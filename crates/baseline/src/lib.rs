@@ -1,0 +1,27 @@
+//! Baseline testing tools that PMTest is compared against.
+//!
+//! The paper positions PMTest against two prior tools (§2.2, Table 1):
+//!
+//! * **pmemcheck** — Intel's Valgrind-based checker for PMDK programs.
+//!   [`Pmemcheck`] reproduces its architecture: a *synchronous* checker that
+//!   shadows every store at fine (8-byte) granularity **on the application
+//!   thread**, with built-in PMDK-transaction rules but no user-extensible
+//!   checkers and no support for other persistency models. That combination
+//!   is what makes it ~20× slower than native and flat across transaction
+//!   sizes (Fig. 10a): cost scales with *stores*, not with PM operations.
+//!
+//! * **Yat** — Intel's exhaustive crash-state tester for PMFS.
+//!   [`yat`] replays a recorded trace and validates a recovery
+//!   procedure against **every reachable crash state** (or a bounded
+//!   prefix), using the ground-truth generator from `pmtest-pmem`. Its cost
+//!   is exponential in the number of unconstrained writes — the paper quotes
+//!   more than five years for a 100k-operation trace — which
+//!   [`yat::estimate_states`] makes measurable here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pmemcheck;
+pub mod yat;
+
+pub use pmemcheck::Pmemcheck;

@@ -1,0 +1,352 @@
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use pmtest_core::{Diag, DiagKind, Report, TraceReport};
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Entry, Event, Sink, SourceLoc};
+
+/// Shadow granularity: pmemcheck runs under Valgrind, whose shadow memory
+/// tracks state per byte; modelling that granularity is what reproduces
+/// pmemcheck's cost scaling with *bytes stored* rather than with PM
+/// operations (the flat curve of Fig. 10a).
+const CHUNK: u64 = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChunkState {
+    /// Stored, not yet written back.
+    Dirty,
+    /// Writeback issued, not yet fenced.
+    Flushed,
+}
+
+/// A pmemcheck-like baseline checker.
+///
+/// Differences from PMTest, mirroring §2.2 / Table 1:
+///
+/// * **synchronous** — every event is checked inline on the application
+///   thread ([`Sink::record`] does the work), no trace batching, no worker
+///   pipeline;
+/// * **fine-grained** — each write is decomposed into byte-granular shadow
+///   state (Valgrind-style shadow memory), so cost grows with bytes stored
+///   rather than with PM operations; this is why its slowdown stays flat
+///   as the transaction size grows (Fig. 10a);
+/// * **PMDK-only rules** — it understands `TX_BEGIN`/`TX_ADD`/`TX_END` and
+///   flags unlogged stores, stores left unpersisted at transaction end, and
+///   redundant flushes; the generic `isPersist`/`isOrderedBefore` checkers
+///   and the HOPS fences are *ignored* (flexibility gap);
+/// * results are read with [`Pmemcheck::finish`] after the run.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_baseline::Pmemcheck;
+/// use pmtest_trace::{Event, Sink};
+/// use pmtest_interval::ByteRange;
+///
+/// let checker = Pmemcheck::new();
+/// checker.record(Event::Write(ByteRange::with_len(0, 8)).here());
+/// // no flush/fence: left dirty
+/// let report = checker.finish();
+/// assert_eq!(report.fail_count(), 1);
+/// ```
+pub struct Pmemcheck {
+    state: Mutex<State>,
+}
+
+struct State {
+    chunks: HashMap<u64, (ChunkState, SourceLoc)>,
+    tx_depth: u32,
+    /// Ranges registered with the current outermost transaction.
+    logged: Vec<ByteRange>,
+    /// Chunks stored inside the current transaction.
+    tx_chunks: Vec<u64>,
+    diags: Vec<Diag>,
+}
+
+impl Default for Pmemcheck {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pmemcheck {
+    /// Creates a checker with empty shadow state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(State {
+                chunks: HashMap::new(),
+                tx_depth: 0,
+                logged: Vec::new(),
+                tx_chunks: Vec::new(),
+                diags: Vec::new(),
+            }),
+        }
+    }
+
+    fn chunks_of(range: ByteRange) -> impl Iterator<Item = u64> {
+        let start = range.start() / CHUNK;
+        let end = range.end().div_ceil(CHUNK);
+        (start..end).map(|c| c * CHUNK)
+    }
+
+    fn process(&self, entry: &Entry) {
+        let mut st = self.state.lock();
+        match entry.event {
+            Event::Write(range) => {
+                if range.is_empty() {
+                    return;
+                }
+                let in_tx = st.tx_depth > 0;
+                if in_tx && !st.logged.iter().any(|l| l.contains(&range)) {
+                    // Partially covered ranges still count as unlogged for
+                    // the uncovered part; report the whole store like
+                    // pmemcheck's "store made without adding to tx".
+                    let covered = total_covered(&st.logged, range);
+                    if covered < range.len() {
+                        st.diags.push(Diag {
+                            kind: DiagKind::MissingLog,
+                            loc: entry.loc,
+                            range: Some(range),
+                            culprit: None,
+                            message: "store inside a transaction without TX_ADD".to_owned(),
+                        });
+                    }
+                }
+                for chunk in Self::chunks_of(range) {
+                    st.chunks.insert(chunk, (ChunkState::Dirty, entry.loc));
+                    if in_tx {
+                        st.tx_chunks.push(chunk);
+                    }
+                }
+            }
+            Event::Flush(range) => {
+                let mut redundant = true;
+                let mut chunk_hits = Vec::new();
+                for chunk in Self::chunks_of(range) {
+                    match st.chunks.get(&chunk).copied() {
+                        Some((ChunkState::Dirty, loc)) => {
+                            redundant = false;
+                            chunk_hits.push((chunk, loc));
+                        }
+                        Some((ChunkState::Flushed, _)) | None => {}
+                    }
+                }
+                for (chunk, loc) in chunk_hits {
+                    st.chunks.insert(chunk, (ChunkState::Flushed, loc));
+                }
+                if redundant {
+                    st.diags.push(Diag {
+                        kind: DiagKind::DuplicateFlush,
+                        loc: entry.loc,
+                        range: Some(range),
+                        culprit: None,
+                        message: "flush of data that is not dirty (pmemcheck: redundant flush)"
+                            .to_owned(),
+                    });
+                }
+            }
+            Event::Fence => {
+                // Flushed chunks become persistent and leave the shadow map.
+                st.chunks.retain(|_, (state, _)| *state != ChunkState::Flushed);
+            }
+            Event::TxBegin => st.tx_depth += 1,
+            Event::TxAdd(range) => st.logged.push(range),
+            Event::TxEnd => {
+                st.tx_depth = st.tx_depth.saturating_sub(1);
+                if st.tx_depth == 0 {
+                    // Everything stored in the transaction must be durable
+                    // by its end (pmemcheck: "store not made persistent").
+                    let chunks = std::mem::take(&mut st.tx_chunks);
+                    let leftover: Vec<(u64, SourceLoc)> = chunks
+                        .into_iter()
+                        .filter_map(|c| st.chunks.get(&c).map(|&(_, loc)| (c, loc)))
+                        .collect();
+                    for (range, loc) in coalesce(leftover) {
+                        st.diags.push(Diag {
+                            kind: DiagKind::NotPersisted,
+                            loc,
+                            range: Some(range),
+                            culprit: None,
+                            message: "store inside a transaction not persistent at TX_END"
+                                .to_owned(),
+                        });
+                    }
+                    st.logged.clear();
+                }
+            }
+            // pmemcheck has no generic checker interface and no HOPS
+            // support — these are silently ignored (Table 1's flexibility
+            // gap).
+            Event::IsPersist(_)
+            | Event::IsOrderedBefore(_, _)
+            | Event::TxCheckerStart
+            | Event::TxCheckerEnd
+            | Event::Exclude(_)
+            | Event::Include(_)
+            | Event::OFence
+            | Event::DFence => {}
+        }
+    }
+
+    /// Finalizes the run: any chunk still not persistent is reported, then
+    /// all diagnostics are returned.
+    #[must_use]
+    pub fn finish(&self) -> Report {
+        let mut st = self.state.lock();
+        let leftovers: Vec<(u64, SourceLoc)> =
+            st.chunks.iter().map(|(&c, &(_, loc))| (c, loc)).collect();
+        for (range, loc) in coalesce(leftovers) {
+            st.diags.push(Diag {
+                kind: DiagKind::NotPersisted,
+                loc,
+                range: Some(range),
+                culprit: None,
+                message: "store never made persistent (reported at exit)".to_owned(),
+            });
+        }
+        st.chunks.clear();
+        let diags = std::mem::take(&mut st.diags);
+        Report::from_traces(vec![TraceReport { trace_id: 0, diags }])
+    }
+}
+
+/// Merges contiguous shadow chunks into maximal ranges (one diagnostic per
+/// torn region, like pmemcheck's region reports).
+fn coalesce(mut chunks: Vec<(u64, SourceLoc)>) -> Vec<(ByteRange, SourceLoc)> {
+    chunks.sort_by_key(|&(c, _)| c);
+    chunks.dedup_by_key(|&mut (c, _)| c);
+    let mut out: Vec<(ByteRange, SourceLoc)> = Vec::new();
+    for (chunk, loc) in chunks {
+        match out.last_mut() {
+            Some((range, _)) if range.end() == chunk => {
+                *range = ByteRange::new(range.start(), chunk + CHUNK);
+            }
+            _ => out.push((ByteRange::with_len(chunk, CHUNK), loc)),
+        }
+    }
+    out
+}
+
+fn total_covered(logged: &[ByteRange], range: ByteRange) -> u64 {
+    // Sum of covered bytes (logged ranges may overlap; clamp at range.len()).
+    let mut covered = 0u64;
+    for l in logged {
+        if let Some(i) = l.intersection(&range) {
+            covered += i.len();
+        }
+    }
+    covered.min(range.len())
+}
+
+impl Sink for Pmemcheck {
+    fn record(&self, entry: Entry) {
+        self.process(&entry);
+    }
+}
+
+impl std::fmt::Debug for Pmemcheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Pmemcheck")
+            .field("tracked_chunks", &st.chunks.len())
+            .field("diags", &st.diags.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    #[test]
+    fn persisted_store_is_clean() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::Flush(r(0, 8)).here());
+        pc.record(Event::Fence.here());
+        assert!(pc.finish().is_clean());
+    }
+
+    #[test]
+    fn dirty_store_reported_at_exit() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::Write(r(0, 8)).here());
+        let report = pc.finish();
+        assert_eq!(report.fail_count(), 1);
+        assert!(report.has(DiagKind::NotPersisted));
+    }
+
+    #[test]
+    fn flushed_but_unfenced_store_reported() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::Flush(r(0, 8)).here());
+        assert_eq!(pc.finish().fail_count(), 1);
+    }
+
+    #[test]
+    fn unlogged_tx_store_reported() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::TxBegin.here());
+        pc.record(Event::TxAdd(r(0, 8)).here());
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::Write(r(64, 72)).here()); // not added
+        pc.record(Event::Flush(r(0, 72)).here());
+        pc.record(Event::Fence.here());
+        pc.record(Event::TxEnd.here());
+        let report = pc.finish();
+        assert_eq!(report.iter().filter(|d| d.kind == DiagKind::MissingLog).count(), 1);
+    }
+
+    #[test]
+    fn unpersisted_tx_store_reported_at_tx_end() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::TxBegin.here());
+        pc.record(Event::TxAdd(r(0, 8)).here());
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::TxEnd.here());
+        let report = pc.finish();
+        assert!(report.has(DiagKind::NotPersisted));
+    }
+
+    #[test]
+    fn redundant_flush_reported() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::Flush(r(0, 8)).here());
+        pc.record(Event::Flush(r(0, 8)).here()); // nothing dirty
+        pc.record(Event::Fence.here());
+        let report = pc.finish();
+        assert_eq!(report.warn_count(), 1);
+        assert!(report.has(DiagKind::DuplicateFlush));
+    }
+
+    #[test]
+    fn generic_checkers_are_ignored() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::IsPersist(r(0, 8)).here()); // pmemcheck can't do this
+        pc.record(Event::Flush(r(0, 8)).here());
+        pc.record(Event::Fence.here());
+        assert!(pc.finish().is_clean(), "checker events don't exist for pmemcheck");
+    }
+
+    #[test]
+    fn nested_tx_checked_at_outermost_end() {
+        let pc = Pmemcheck::new();
+        pc.record(Event::TxBegin.here());
+        pc.record(Event::TxAdd(r(0, 8)).here());
+        pc.record(Event::TxBegin.here());
+        pc.record(Event::Write(r(0, 8)).here());
+        pc.record(Event::TxEnd.here()); // inner: no report yet
+        pc.record(Event::Flush(r(0, 8)).here());
+        pc.record(Event::Fence.here());
+        pc.record(Event::TxEnd.here());
+        assert!(pc.finish().is_clean());
+    }
+}

@@ -1,0 +1,146 @@
+//! A Yat-like exhaustive crash-state tester (§2.2).
+//!
+//! Yat validates a file system by *enumerating* the memory states a crash
+//! could leave and running recovery on each — sound, but exponential. This
+//! module drives the ground-truth generator of [`pmtest_pmem::crash`] the
+//! same way, with bounded-budget and estimation entry points so the
+//! `yat_exhaustive` bench can reproduce the paper's blow-up argument (the
+//! authors report "more than five years" for a 100k-operation trace).
+
+use pmtest_pmem::crash::{CrashSim, RecoveryCheck, Violation};
+
+/// Budget limits for an exhaustive run.
+#[derive(Clone, Copy, Debug)]
+pub struct YatConfig {
+    /// Maximum total crash states to validate (`None` = unbounded).
+    pub max_states: Option<u128>,
+}
+
+impl Default for YatConfig {
+    fn default() -> Self {
+        Self { max_states: Some(1_000_000) }
+    }
+}
+
+/// Outcome of an exhaustive run.
+#[derive(Clone, Debug)]
+pub struct YatResult {
+    /// Crash states actually validated.
+    pub states_tested: u128,
+    /// The first inconsistent state found, if any.
+    pub violation: Option<Violation>,
+    /// Whether the whole state space was covered (false if the budget was
+    /// exhausted first).
+    pub exhausted_space: bool,
+}
+
+/// Number of reachable crash states across all crash points (saturating) —
+/// the quantity that explodes exponentially with trace length.
+#[must_use]
+pub fn estimate_states(sim: &CrashSim) -> u128 {
+    let mut total: u128 = 0;
+    for point in 0..=sim.op_count() {
+        total = total.saturating_add(sim.analyze(point).state_count());
+    }
+    total
+}
+
+/// Exhaustively validates every reachable crash state (up to the budget)
+/// against `check`.
+pub fn run(sim: &CrashSim, check: &dyn RecoveryCheck, config: YatConfig) -> YatResult {
+    let mut tested: u128 = 0;
+    let budget = config.max_states.unwrap_or(u128::MAX);
+    for point in 0..=sim.op_count() {
+        let analysis = sim.analyze(point);
+        for image in analysis.states() {
+            if tested >= budget {
+                return YatResult { states_tested: tested, violation: None, exhausted_space: false };
+            }
+            tested += 1;
+            if let Err(reason) = check.check(&image) {
+                return YatResult {
+                    states_tested: tested,
+                    violation: Some(Violation { point, reason, image }),
+                    exhausted_space: false,
+                };
+            }
+        }
+    }
+    YatResult { states_tested: tested, violation: None, exhausted_space: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_interval::ByteRange;
+    use pmtest_pmem::crash::ValuedOp;
+
+    fn w(addr: u64, data: &[u8]) -> ValuedOp {
+        ValuedOp::Write {
+            range: ByteRange::with_len(addr, data.len() as u64),
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn exhaustive_run_covers_all_states() {
+        // Two pending writes to one line: 1 + 2 + 3 states over the three
+        // crash points.
+        let sim = CrashSim::new(vec![0; 64], vec![w(0, &[1]), w(1, &[2])]);
+        assert_eq!(estimate_states(&sim), 6);
+        let ok = |_: &[u8]| -> Result<(), String> { Ok(()) };
+        let result = run(&sim, &ok, YatConfig { max_states: None });
+        assert_eq!(result.states_tested, 6);
+        assert!(result.exhausted_space);
+        assert!(result.violation.is_none());
+    }
+
+    #[test]
+    fn budget_stops_early() {
+        let ops: Vec<ValuedOp> = (0..8).map(|i| w(i * 64, &[1])).collect();
+        let sim = CrashSim::new(vec![0; 1024], ops);
+        let ok = |_: &[u8]| -> Result<(), String> { Ok(()) };
+        let result = run(&sim, &ok, YatConfig { max_states: Some(10) });
+        assert_eq!(result.states_tested, 10);
+        assert!(!result.exhausted_space);
+    }
+
+    #[test]
+    fn violation_found() {
+        // Fig. 1a shape across two cache lines.
+        let sim = CrashSim::new(
+            vec![0; 128],
+            vec![
+                w(0, &[0xAA]),
+                w(64, &[1]),
+                ValuedOp::Flush(ByteRange::new(0, 1)),
+                ValuedOp::Flush(ByteRange::new(64, 65)),
+                ValuedOp::Fence,
+            ],
+        );
+        let check = |image: &[u8]| -> Result<(), String> {
+            if image[64] == 1 && image[0] != 0xAA {
+                Err("valid set but data stale".to_owned())
+            } else {
+                Ok(())
+            }
+        };
+        let result = run(&sim, &check, YatConfig::default());
+        assert!(result.violation.is_some());
+    }
+
+    #[test]
+    fn state_count_grows_exponentially_with_unfenced_writes() {
+        // Each additional pending write to a distinct line doubles the final
+        // crash point's state count — the Yat blow-up.
+        let mut prev = 0u128;
+        for n in 1..=10u64 {
+            let ops: Vec<ValuedOp> = (0..n).map(|i| w(i * 64, &[1])).collect();
+            let sim = CrashSim::new(vec![0; (n * 64) as usize], ops);
+            let count = sim.analyze(n as usize).state_count();
+            assert_eq!(count, 1u128 << n);
+            assert!(count > prev);
+            prev = count;
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! **Fig. 10a** — PMTest vs the pmemcheck-like baseline on the five PMDK
+//! microbenchmarks, across transaction (value) sizes 64 B – 4 KiB.
+//!
+//! Paper shapes to reproduce (not absolute numbers):
+//! * PMTest is several times faster than pmemcheck (paper: 5.2–8.9×, avg
+//!   7.1×);
+//! * PMTest's overhead *falls* as the transaction size grows (it tracks
+//!   coarse PM operations), while pmemcheck's stays roughly flat (it
+//!   shadows every store);
+//! * the non-transactional HashMap has the highest overhead (most PM
+//!   operations per byte).
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench fig10a_micro`
+//! (set `PMTEST_BENCH_OPS=100000` for paper scale).
+
+use pmtest_bench::{bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool};
+
+const TX_SIZES: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+fn main() {
+    let ops = bench_ops();
+    let reps = bench_reps();
+    println!("Fig. 10a reproduction — {ops} insertions per point, median of {reps} runs");
+
+    let mut rows = Vec::new();
+    let mut pmtest_ratio_sum = 0.0;
+    let mut pmtest_points = 0u32;
+    let mut speedup_sum = 0.0;
+    for micro in Micro::ALL {
+        for &size in &TX_SIZES {
+            let native = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::Native, ops, size));
+            });
+            let pmtest = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::PmTest, ops, size));
+            });
+            let pmemcheck = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::Pmemcheck, ops, size));
+            });
+            let s_pmtest = slowdown(pmtest, native);
+            let s_pmc = slowdown(pmemcheck, native);
+            pmtest_ratio_sum += s_pmtest;
+            speedup_sum += s_pmc / s_pmtest;
+            pmtest_points += 1;
+            rows.push(vec![
+                micro.label().to_owned(),
+                size.to_string(),
+                format!("{:.2}x", s_pmtest),
+                format!("{:.2}x", s_pmc),
+                format!("{:.2}x", s_pmc / s_pmtest),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 10a — slowdown vs native (lower is better)",
+        &["microbench", "tx size (B)", "PMTest", "pmemcheck-like", "PMTest speedup"],
+        &rows,
+    );
+    println!(
+        "\naverage PMTest slowdown: {:.2}x; average speedup over pmemcheck-like: {:.2}x (paper: 7.1x)",
+        pmtest_ratio_sum / f64::from(pmtest_points),
+        speedup_sum / f64::from(pmtest_points),
+    );
+}

@@ -1,0 +1,57 @@
+//! **Fig. 10b** — PMTest overhead breakdown: tracking/framework cost vs
+//! checker cost.
+//!
+//! Paper shape: because checking is decoupled onto worker threads, the
+//! checkers contribute only a minority of the total overhead (paper:
+//! 18.9%–37.8%).
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench fig10b_breakdown`
+
+use pmtest_bench::{bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool};
+
+const TX_SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+fn main() {
+    let ops = bench_ops();
+    let reps = bench_reps();
+    println!("Fig. 10b reproduction — {ops} insertions per point, median of {reps} runs");
+
+    let mut rows = Vec::new();
+    let mut checker_fractions = Vec::new();
+    for micro in Micro::ALL {
+        for &size in &TX_SIZES {
+            let native = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::Native, ops, size));
+            });
+            let framework = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::PmTestFrameworkOnly, ops, size));
+            });
+            let full = median_time(reps, || {
+                std::hint::black_box(run_micro(micro, Tool::PmTest, ops, size));
+            });
+            let s_framework = slowdown(framework, native);
+            let s_full = slowdown(full, native);
+            let overhead_total = (s_full - 1.0).max(1e-9);
+            let overhead_checker = (s_full - s_framework).max(0.0);
+            let fraction = (overhead_checker / overhead_total).clamp(0.0, 1.0);
+            checker_fractions.push(fraction);
+            rows.push(vec![
+                micro.label().to_owned(),
+                size.to_string(),
+                format!("{:.2}x", s_framework),
+                format!("{:.2}x", s_full),
+                format!("{:.1}%", fraction * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 10b — overhead breakdown (framework vs +checkers)",
+        &["microbench", "tx size (B)", "framework only", "full PMTest", "checker share of overhead"],
+        &rows,
+    );
+    let avg = checker_fractions.iter().sum::<f64>() / checker_fractions.len() as f64;
+    println!(
+        "\naverage checker share of total overhead: {:.1}% (paper: 18.9%-37.8%)",
+        avg * 100.0
+    );
+}

@@ -1,0 +1,134 @@
+//! **Fig. 12** — scalability of the Memcached-like store under PMTest:
+//! (a) more application threads against one checking worker raises the
+//! slowdown (the worker saturates and its bounded queue backpressures the
+//! clients); (b) more checking workers (at 4 app threads) lowers it;
+//! (c) scaling both together stays roughly level.
+//!
+//! Only the client-operation loops are timed; store construction and the
+//! final `PMTest_GET_RESULT` drain sit outside.
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench fig12_scalability`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pmtest_bench::{bench_ops, bench_reps, build_kvstore, print_table, slowdown};
+use pmtest_core::PmTestSession;
+use pmtest_trace::NullSink;
+use pmtest_workloads::{gen, CheckMode};
+
+/// Runs `threads` YCSB clients against one shared store; `workers` is the
+/// PMTest pool size (`None` = native, untracked). Returns the time of the
+/// client phase only.
+fn run(threads: usize, workers: Option<usize>, ops_per_thread: usize) -> Duration {
+    let (sink, session): (pmtest_trace::SharedSink, Option<PmTestSession>) = match workers {
+        None => (Arc::new(NullSink), None),
+        Some(w) => {
+            // A small queue makes checking-pipeline saturation visible at
+            // bench scale, as the kernel FIFO does in the paper (§4.5).
+            let s = PmTestSession::builder().workers(w).queue_capacity(16).build();
+            s.start();
+            (s.sink(), Some(s))
+        }
+    };
+    let check = if workers.is_some() { CheckMode::Checkers } else { CheckMode::None };
+    let store = Arc::new(build_kvstore(sink, check, 64 << 20, threads * 8));
+    let plans: Vec<Vec<gen::Op>> = (0..threads)
+        .map(|t| gen::ycsb_update_heavy(ops_per_thread, 1000, t as u64))
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, plan) in plans.iter().enumerate() {
+            let store = store.clone();
+            let session = session.clone();
+            scope.spawn(move || {
+                if let Some(s) = &session {
+                    s.thread_init();
+                }
+                for op in plan {
+                    match op {
+                        gen::Op::Set(k) => {
+                            store
+                                .set((t as u64) * 100_000 + k, &gen::value_for(*k, 64))
+                                .expect("set");
+                            if let Some(s) = &session {
+                                s.send_trace();
+                            }
+                        }
+                        gen::Op::Get(k) => {
+                            let _ = store.get((t as u64) * 100_000 + k).expect("get");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    if let Some(s) = session {
+        let report = s.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+    elapsed
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..reps.max(2)).map(|_| f()).min().expect("at least one sample")
+}
+
+fn main() {
+    let ops = bench_ops().max(5_000);
+    let reps = bench_reps();
+    println!("Fig. 12 reproduction — {ops} YCSB ops per client, best of {reps} runs");
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    println!("available CPU cores: {cores}");
+    if cores < 8 {
+        println!(
+            "WARNING: Fig. 12's trends need real parallelism (the paper uses 8 cores / 16 \
+             threads). With {cores} core(s), app threads and checking workers time-share a \
+             CPU, so expect flat curves; run on a multi-core machine for the paper's shapes."
+        );
+    }
+
+    let threads_axis = [1usize, 2, 4];
+
+    // (a) one worker, varying app threads.
+    let mut rows_a = Vec::new();
+    for &threads in &threads_axis {
+        let native = best_of(reps, || run(threads, None, ops));
+        let pmtest = best_of(reps, || run(threads, Some(1), ops));
+        rows_a.push(vec![threads.to_string(), format!("{:.2}x", slowdown(pmtest, native))]);
+    }
+    print_table(
+        "Fig. 12a — slowdown vs #Memcached threads (1 PMTest worker)",
+        &["app threads", "slowdown"],
+        &rows_a,
+    );
+
+    // (b) four app threads, varying workers.
+    let mut rows_b = Vec::new();
+    let native4 = best_of(reps, || run(4, None, ops));
+    for &workers in &threads_axis {
+        let pmtest = best_of(reps, || run(4, Some(workers), ops));
+        rows_b.push(vec![workers.to_string(), format!("{:.2}x", slowdown(pmtest, native4))]);
+    }
+    print_table(
+        "Fig. 12b — slowdown vs #PMTest workers (4 Memcached threads)",
+        &["PMTest workers", "slowdown"],
+        &rows_b,
+    );
+
+    // (c) scale both together.
+    let mut rows_c = Vec::new();
+    for &n in &threads_axis {
+        let native = best_of(reps, || run(n, None, ops));
+        let pmtest = best_of(reps, || run(n, Some(n), ops));
+        rows_c.push(vec![n.to_string(), format!("{:.2}x", slowdown(pmtest, native))]);
+    }
+    print_table(
+        "Fig. 12c — slowdown with #threads == #workers",
+        &["threads = workers", "slowdown"],
+        &rows_c,
+    );
+    println!("\npaper shapes: (a) rises with threads, (b) falls with workers, (c) roughly level");
+}

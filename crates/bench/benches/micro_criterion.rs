@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the engine's own primitives: shadow-memory
+//! updates, single-trace checking, and per-operation tracking cost — the
+//! quantities behind Fig. 10's end-to-end numbers.
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench micro_criterion`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmtest_core::{check_trace, PmTestSession, ShadowMemory, X86Model};
+use pmtest_interval::{ByteRange, SegmentMap};
+use pmtest_trace::{Event, Sink, SourceLoc, Trace};
+
+/// A well-formed transactional trace of `n` persist-barriered writes.
+fn make_trace(n: u64) -> Trace {
+    let mut t = Trace::new(0);
+    let loc = SourceLoc::new("bench.rs", 1);
+    for i in 0..n {
+        let r = ByteRange::with_len(i * 64, 32);
+        t.push(Event::Write(r).at(loc));
+        t.push(Event::Flush(r).at(loc));
+        t.push(Event::Fence.at(loc));
+        t.push(Event::IsPersist(r).at(loc));
+    }
+    t
+}
+
+fn bench_check_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_trace_x86");
+    for n in [64u64, 512, 4096] {
+        let trace = make_trace(n);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            let model = X86Model::new();
+            b.iter(|| {
+                let diags = check_trace(trace, &model);
+                assert!(diags.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shadow_memory(c: &mut Criterion) {
+    c.bench_function("shadow_write_flush_fence", |b| {
+        let loc = SourceLoc::new("bench.rs", 1);
+        b.iter(|| {
+            let mut shadow = ShadowMemory::new();
+            for i in 0..256u64 {
+                let r = ByteRange::with_len(i * 64, 32);
+                shadow.record_write(r, loc);
+                let _ = shadow.record_flush(r, loc);
+                shadow.fence();
+            }
+            assert!(shadow.is_persisted(ByteRange::new(0, 256 * 64)));
+        });
+    });
+}
+
+fn bench_segment_map(c: &mut Criterion) {
+    c.bench_function("segment_map_insert_overlapping", |b| {
+        b.iter(|| {
+            let mut map = SegmentMap::new();
+            for i in 0..512u64 {
+                map.insert(ByteRange::with_len((i * 37) % 4096, 64), i);
+            }
+            std::hint::black_box(map.len());
+        });
+    });
+}
+
+fn bench_session_record(c: &mut Criterion) {
+    c.bench_function("session_record_per_event", |b| {
+        let session = PmTestSession::builder().build();
+        session.start();
+        let entry = Event::Write(ByteRange::with_len(0, 64)).at(SourceLoc::new("b.rs", 1));
+        b.iter(|| {
+            for _ in 0..64 {
+                session.record(std::hint::black_box(entry));
+            }
+            // Drop the buffered entries without engine round-trips.
+            let _ = session.send_trace();
+        });
+        let _ = session.finish();
+    });
+}
+
+fn bench_pmemcheck_vs_pmtest_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_write_tracking_cost");
+    let entry = Event::Write(ByteRange::with_len(0, 4096)).at(SourceLoc::new("b.rs", 1));
+    group.bench_function("pmtest_session", |b| {
+        let session = PmTestSession::builder().build();
+        session.start();
+        b.iter(|| {
+            session.record(std::hint::black_box(entry));
+            let _ = session.send_trace();
+        });
+        let _ = session.finish();
+    });
+    group.bench_function("pmemcheck_like", |b| {
+        let pc = Arc::new(pmtest_baseline::Pmemcheck::new());
+        b.iter(|| {
+            pc.record(std::hint::black_box(entry));
+        });
+        let _ = pc.finish();
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_check_trace, bench_shadow_memory, bench_segment_map, bench_session_record, bench_pmemcheck_vs_pmtest_tracking
+}
+criterion_main!(benches);

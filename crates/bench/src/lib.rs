@@ -1,0 +1,316 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of the paper's evaluation (§6) has one bench
+//! target in `benches/`; this library provides the pieces they share:
+//! stopwatch helpers, table printing, and builders that run each WHISPER
+//! microbenchmark under a configurable *testing tool* ([`Tool`]).
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `PMTEST_BENCH_OPS` — operations per microbenchmark data point
+//!   (default 1000; the paper uses 100 000 — set it for paper-scale runs);
+//! * `PMTEST_BENCH_REPS` — repetitions per measurement (default 3, median
+//!   reported; the paper averages ten runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pmtest_baseline::Pmemcheck;
+use pmtest_core::{PmTestSession, Report};
+use pmtest_mnemosyne::MnPool;
+use pmtest_pmem::{PersistMode, PmHeap, PmPool};
+use pmtest_trace::{NullSink, SharedSink};
+use pmtest_txlib::ObjPool;
+use pmtest_workloads::{
+    gen, BTree, CheckMode, CritBitTree, FaultSet, HashMapLl, HashMapTx, KvMap, RbTree,
+};
+
+/// Operations per data point (`PMTEST_BENCH_OPS`, default 1000).
+#[must_use]
+pub fn bench_ops() -> usize {
+    std::env::var("PMTEST_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(1000)
+}
+
+/// Repetitions per measurement (`PMTEST_BENCH_REPS`, default 3).
+#[must_use]
+pub fn bench_reps() -> usize {
+    std::env::var("PMTEST_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Times one run of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+/// Median wall-clock time of `reps` runs of `f`.
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Ratio formatted as the paper reports slowdowns.
+#[must_use]
+pub fn slowdown(tool: Duration, native: Duration) -> f64 {
+    tool.as_secs_f64() / native.as_secs_f64().max(1e-9)
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Which testing tool observes the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tool {
+    /// No tool (the normalization baseline of Figs. 10–12).
+    Native,
+    /// PMTest with checkers, traces checked asynchronously.
+    PmTest,
+    /// PMTest tracking only — no checkers placed (the "framework" bar of
+    /// Fig. 10b).
+    PmTestFrameworkOnly,
+    /// The pmemcheck-like synchronous baseline.
+    Pmemcheck,
+}
+
+impl Tool {
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tool::Native => "native",
+            Tool::PmTest => "PMTest",
+            Tool::PmTestFrameworkOnly => "PMTest (framework)",
+            Tool::Pmemcheck => "pmemcheck-like",
+        }
+    }
+}
+
+/// The five microbenchmarks of Fig. 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Micro {
+    /// Crit-bit tree.
+    Ctree,
+    /// B-tree.
+    Btree,
+    /// Red-black tree.
+    Rbtree,
+    /// HashMap with transactions.
+    HashMapTx,
+    /// HashMap on low-level primitives.
+    HashMapLl,
+}
+
+impl Micro {
+    /// All five, in the paper's order.
+    pub const ALL: [Micro; 5] =
+        [Micro::Ctree, Micro::Btree, Micro::Rbtree, Micro::HashMapTx, Micro::HashMapLl];
+
+    /// Display label matching Fig. 10.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Micro::Ctree => "C-Tree",
+            Micro::Btree => "B-Tree",
+            Micro::Rbtree => "RB-Tree",
+            Micro::HashMapTx => "HashMap (w/ TX)",
+            Micro::HashMapLl => "HashMap (w/o TX)",
+        }
+    }
+}
+
+/// The per-run handles the driver needs.
+struct ToolRun {
+    sink: SharedSink,
+    session: Option<PmTestSession>,
+    pmemcheck: Option<Arc<Pmemcheck>>,
+    check: CheckMode,
+}
+
+fn tool_run(tool: Tool) -> ToolRun {
+    match tool {
+        Tool::Native => ToolRun {
+            sink: Arc::new(NullSink),
+            session: None,
+            pmemcheck: None,
+            check: CheckMode::None,
+        },
+        Tool::PmTest => {
+            let session = PmTestSession::builder().build();
+            session.start();
+            ToolRun {
+                sink: session.sink(),
+                session: Some(session),
+                pmemcheck: None,
+                check: CheckMode::Checkers,
+            }
+        }
+        Tool::PmTestFrameworkOnly => {
+            let session = PmTestSession::builder().build();
+            session.start();
+            ToolRun {
+                sink: session.sink(),
+                session: Some(session),
+                pmemcheck: None,
+                check: CheckMode::None,
+            }
+        }
+        Tool::Pmemcheck => {
+            let pc = Arc::new(Pmemcheck::new());
+            ToolRun {
+                sink: pc.clone(),
+                session: None,
+                pmemcheck: Some(pc),
+                check: CheckMode::Checkers,
+            }
+        }
+    }
+}
+
+fn pool_bytes(ops: usize, value_size: usize) -> usize {
+    // Values + node/log overhead, with generous slack.
+    (ops * (value_size + 1024) + (4 << 20)).next_power_of_two()
+}
+
+/// Runs `ops` insertions of `value_size`-byte values into the chosen
+/// microbenchmark under `tool`, returning the wall-clock time of the
+/// insertion loop (trace shipping included; final drain excluded, as the
+/// checking pipeline overlaps execution, §3.2).
+///
+/// # Panics
+///
+/// Panics on substrate errors (benchmarks run the correct protocol).
+#[must_use]
+pub fn run_micro(micro: Micro, tool: Tool, ops: usize, value_size: usize) -> Duration {
+    let run = tool_run(tool);
+    let pm = Arc::new(PmPool::new(pool_bytes(ops, value_size), run.sink.clone()));
+    let map: Box<dyn KvMap> = match micro {
+        Micro::HashMapLl => {
+            let heap = Arc::new(PmHeap::new(pm, 8192));
+            Box::new(HashMapLl::create(heap, 256, run.check, FaultSet::none()).expect("create"))
+        }
+        _ => {
+            let pool =
+                Arc::new(ObjPool::create(pm, 8192, PersistMode::X86).expect("create pool"));
+            match micro {
+                Micro::Ctree => Box::new(
+                    CritBitTree::create(pool, run.check, FaultSet::none()).expect("create"),
+                ),
+                Micro::Btree => {
+                    Box::new(BTree::create(pool, run.check, FaultSet::none()).expect("create"))
+                }
+                Micro::Rbtree => {
+                    Box::new(RbTree::create(pool, run.check, FaultSet::none()).expect("create"))
+                }
+                Micro::HashMapTx => Box::new(
+                    HashMapTx::create(pool, 256, run.check, FaultSet::none()).expect("create"),
+                ),
+                Micro::HashMapLl => unreachable!(),
+            }
+        }
+    };
+
+    let start = Instant::now();
+    for k in 0..ops as u64 {
+        map.insert(k, &gen::value_for(k, value_size)).expect("insert");
+        if let Some(session) = &run.session {
+            session.send_trace();
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Drain and sanity-check outside the timed region.
+    if let Some(session) = run.session {
+        let report = session.finish();
+        assert!(report.is_clean(), "{}: {report}", micro.label());
+    }
+    if let Some(pc) = run.pmemcheck {
+        let report = pc.finish();
+        assert!(report.is_clean(), "{}: {report}", micro.label());
+    }
+    elapsed
+}
+
+/// Like [`run_micro`] but *includes* the final drain (`PMTest_GET_RESULT`)
+/// in the timed region — used by the breakdown figure.
+#[must_use]
+pub fn run_micro_with_drain(micro: Micro, tool: Tool, ops: usize, value_size: usize) -> Duration {
+    let (elapsed, _) = time_once(|| {
+        let d = run_micro(micro, tool, ops, value_size);
+        std::hint::black_box(d);
+    });
+    elapsed
+}
+
+/// Builds a Mnemosyne-backed KvStore for the real-workload benches.
+///
+/// # Panics
+///
+/// Panics on substrate errors.
+#[must_use]
+pub fn build_kvstore(
+    sink: SharedSink,
+    check: CheckMode,
+    bytes: usize,
+    shards: usize,
+) -> pmtest_workloads::KvStore {
+    let pm = Arc::new(PmPool::new(bytes, sink));
+    let pool = Arc::new(MnPool::create(pm, 16384, PersistMode::X86).expect("mn pool"));
+    pmtest_workloads::KvStore::create(pool, 1024, shards, check, FaultSet::none())
+        .expect("kvstore")
+}
+
+/// Convenience: asserts a report is clean and returns it (for harness
+/// sanity checks).
+#[must_use]
+pub fn expect_clean(report: Report, what: &str) -> Report {
+    assert!(report.is_clean(), "{what}: {report}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_runs_under_every_tool() {
+        for tool in [Tool::Native, Tool::PmTest, Tool::PmTestFrameworkOnly, Tool::Pmemcheck] {
+            let d = run_micro(Micro::HashMapTx, tool, 20, 64);
+            assert!(d.as_nanos() > 0, "{tool:?}");
+        }
+    }
+
+    #[test]
+    fn all_micros_run_clean_under_pmtest() {
+        for micro in Micro::ALL {
+            let _ = run_micro(micro, Tool::PmTest, 30, 64);
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(bench_ops() > 0);
+        assert!(bench_reps() > 0);
+        let d = median_time(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(slowdown(d + Duration::from_nanos(1), d.max(Duration::from_nanos(1))) >= 1.0);
+    }
+}

@@ -1,0 +1,567 @@
+use std::fmt;
+
+use pmtest_core::DiagKind;
+use pmtest_workloads::Fault;
+
+/// The six bug classes of Table 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Missing or misplaced ordering enforcement (low-level).
+    Ordering,
+    /// Missing or misplaced writeback operations (low-level).
+    Writeback,
+    /// Writeback of the same object more than once (low-level performance).
+    LowLevelPerf,
+    /// Missing or misplaced backup of persistent objects (transactions).
+    Backup,
+    /// Incomplete transactions due to improper termination.
+    Completion,
+    /// Logging the same persistent object more than once (TX performance).
+    TxPerf,
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugClass::Ordering => "Ordering",
+            BugClass::Writeback => "Writeback",
+            BugClass::LowLevelPerf => "Performance (low-level)",
+            BugClass::Backup => "Backup",
+            BugClass::Completion => "Completion",
+            BugClass::TxPerf => "Performance (transaction)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which instrumented structure a scenario drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StructKind {
+    /// Crit-bit tree on the PMDK-like library.
+    Ctree,
+    /// B-tree on the PMDK-like library.
+    Btree,
+    /// Red-black tree on the PMDK-like library.
+    Rbtree,
+    /// Transactional hashmap.
+    HashMapTx,
+    /// Low-level (non-TX) hashmap.
+    HashMapLl,
+    /// Redis-like LRU store.
+    Redis,
+    /// Memcached-like store on the Mnemosyne-like library.
+    KvStore,
+    /// Durable FIFO queue on low-level primitives.
+    Queue,
+    /// The Fig. 1a array-update example.
+    Array,
+}
+
+/// A PMFS fault flag used by the file-system scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PmfsFault {
+    /// Skip the fence between journal/marker and truncation.
+    SkipJournalFence,
+    /// Skip the fence after commit writebacks.
+    SkipCommitFence,
+    /// Skip persisting journal entries.
+    SkipJournalPersist,
+    /// Skip writing back modified data at commit.
+    SkipCommitWriteback,
+    /// Paper Bug 1: double flush of the commit log entry.
+    LegacyDoubleFlush,
+    /// Paper known bug: flush of an unwritten buffer.
+    LegacyFlushUnmapped,
+}
+
+/// How a case exercises its fault site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Drive a key-value structure with inserts (and removes where the site
+    /// is on the removal path).
+    Structure {
+        /// Which structure.
+        kind: StructKind,
+        /// The planted fault (`None` = clean).
+        fault: Option<Fault>,
+        /// Whether the driver also issues removals.
+        with_removes: bool,
+    },
+    /// Drive the PMFS-like file system with creates/writes.
+    Pmfs {
+        /// The planted fault (`None` = clean).
+        fault: Option<PmfsFault>,
+    },
+    /// Open a raw PMDK-like transaction and walk away without terminating
+    /// it (library-level completion bug).
+    TxlibAbandon,
+}
+
+/// One synthetic bug of the Table 5 catalog.
+#[derive(Clone, Debug)]
+pub struct BugCase {
+    /// Stable identifier (used by the harness output).
+    pub id: &'static str,
+    /// Table 5 class.
+    pub class: BugClass,
+    /// What the case does and where the bug sits.
+    pub description: &'static str,
+    /// The diagnostic kind PMTest must raise.
+    pub expect: DiagKind,
+    /// How to run it.
+    pub scenario: Scenario,
+}
+
+fn structure(kind: StructKind, fault: Fault) -> Scenario {
+    Scenario::Structure { kind, fault: Some(fault), with_removes: false }
+}
+
+fn structure_rm(kind: StructKind, fault: Fault) -> Scenario {
+    Scenario::Structure { kind, fault: Some(fault), with_removes: true }
+}
+
+/// The full synthetic-bug catalog (≥45 cases across the six classes).
+#[must_use]
+pub fn catalog() -> Vec<BugCase> {
+    use BugClass::*;
+    use DiagKind::*;
+    use Fault::*;
+    use StructKind::*;
+    vec![
+        // ---------------- Ordering (low-level) ----------------
+        BugCase {
+            id: "ll-order-node-fence",
+            class: Ordering,
+            description: "hashmap_ll: fence after node persist removed; node may publish first",
+            expect: NotOrderedBefore,
+            scenario: structure(HashMapLl, HmLlSkipFenceAfterNode),
+        },
+        BugCase {
+            id: "ll-order-head-fence",
+            class: Ordering,
+            description: "hashmap_ll: fence after head publish removed; later fences complete \
+                          the flush, but the unlink/count persist order is lost",
+            expect: NotOrderedBefore,
+            scenario: structure_rm(HashMapLl, HmLlSkipFenceAfterHead),
+        },
+        BugCase {
+            id: "ll-order-link-early",
+            class: Ordering,
+            description: "hashmap_ll: head linked before the node is persisted (misplaced order)",
+            expect: NotOrderedBefore,
+            scenario: structure(HashMapLl, HmLlLinkBeforeNodePersist),
+        },
+        BugCase {
+            id: "pmfs-order-journal-fence",
+            class: Ordering,
+            description: "pmfs: fence after the commit log entry removed; marker and \
+                          truncation persist unordered",
+            expect: NotOrderedBefore,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::SkipJournalFence) },
+        },
+        BugCase {
+            id: "pmfs-order-commit-fence",
+            class: Ordering,
+            description: "pmfs: fence after commit writebacks removed; data and commit \
+                          marker persist unordered",
+            expect: NotOrderedBefore,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::SkipCommitFence) },
+        },
+        BugCase {
+            id: "queue-order-node-fence",
+            class: Ordering,
+            description: "queue: fence after node persist removed; node may publish first",
+            expect: NotOrderedBefore,
+            scenario: structure(Queue, QueueSkipFenceNode),
+        },
+        BugCase {
+            id: "queue-order-link-early",
+            class: Ordering,
+            description: "queue: node linked before it is persisted (misplaced order)",
+            expect: NotOrderedBefore,
+            scenario: structure(Queue, QueueLinkBeforeNodePersist),
+        },
+        BugCase {
+            id: "array-order-backup-barrier",
+            class: Ordering,
+            description: "array (Fig. 1a): barrier between backup and valid flag removed",
+            expect: NotOrderedBefore,
+            scenario: structure(Array, ArraySkipBackupBarrier),
+        },
+        BugCase {
+            id: "array-order-update-barrier",
+            class: Ordering,
+            description: "array (Fig. 1a): barrier between update and invalidation removed",
+            expect: NotOrderedBefore,
+            scenario: structure(Array, ArraySkipUpdateBarrier),
+        },
+        BugCase {
+            id: "kv-order-log-persist",
+            class: Ordering,
+            description: "kvstore/mnemosyne: redo-log entries not persisted before commit marker",
+            expect: NotPersisted,
+            scenario: structure(KvStore, KvSkipLogPersist),
+        },
+        // ---------------- Writeback (low-level) ----------------
+        BugCase {
+            id: "ll-wb-node",
+            class: Writeback,
+            description: "hashmap_ll: clwb of the new node removed",
+            expect: NotPersisted,
+            scenario: structure(HashMapLl, HmLlSkipFlushNode),
+        },
+        BugCase {
+            id: "ll-wb-head",
+            class: Writeback,
+            description: "hashmap_ll: clwb of the bucket head removed",
+            expect: NotPersisted,
+            scenario: structure(HashMapLl, HmLlSkipFlushHead),
+        },
+        BugCase {
+            id: "ll-wb-count",
+            class: Writeback,
+            description: "hashmap_ll: clwb of the element count removed",
+            expect: NotPersisted,
+            scenario: structure(HashMapLl, HmLlSkipFlushCount),
+        },
+        BugCase {
+            id: "pmfs-wb-commit",
+            class: Writeback,
+            description: "pmfs: modified metadata not written back at commit",
+            expect: NotPersisted,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::SkipCommitWriteback) },
+        },
+        BugCase {
+            id: "pmfs-wb-journal",
+            class: Writeback,
+            description: "pmfs: journal entries never written back",
+            expect: NotPersisted,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::SkipJournalPersist) },
+        },
+        BugCase {
+            id: "queue-wb-node",
+            class: Writeback,
+            description: "queue: clwb of the new node removed",
+            expect: NotPersisted,
+            scenario: structure(Queue, QueueSkipFlushNode),
+        },
+        BugCase {
+            id: "queue-wb-link",
+            class: Writeback,
+            description: "queue: clwb of the link pointer removed",
+            expect: NotPersisted,
+            scenario: structure_rm(Queue, QueueSkipFlushLink),
+        },
+        BugCase {
+            id: "queue-wb-tail",
+            class: Writeback,
+            description: "queue: clwb of the tail/count removed",
+            expect: NotPersisted,
+            scenario: structure(Queue, QueueSkipFlushTail),
+        },
+        BugCase {
+            id: "kv-wb-replay",
+            class: Writeback,
+            description: "kvstore/mnemosyne: in-place replay not written back at commit",
+            expect: NotPersisted,
+            scenario: structure(KvStore, KvSkipReplayWriteback),
+        },
+        // ---------------- Performance (low-level) ----------------
+        BugCase {
+            id: "ll-perf-double-node",
+            class: LowLevelPerf,
+            description: "hashmap_ll: node written back twice",
+            expect: DuplicateFlush,
+            scenario: structure(HashMapLl, HmLlDoubleFlushNode),
+        },
+        BugCase {
+            id: "ll-perf-double-head",
+            class: LowLevelPerf,
+            description: "hashmap_ll: bucket head written back twice",
+            expect: DuplicateFlush,
+            scenario: structure(HashMapLl, HmLlDoubleFlushHead),
+        },
+        BugCase {
+            id: "pmfs-perf-double-flush",
+            class: LowLevelPerf,
+            description: "pmfs Bug 1 (journal.c:632): whole transaction re-flushed after the \
+                          commit log entry",
+            expect: DuplicateFlush,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::LegacyDoubleFlush) },
+        },
+        BugCase {
+            id: "pmfs-perf-unmapped-flush",
+            class: LowLevelPerf,
+            description: "pmfs known bug (files.c:232): flush of a never-written buffer",
+            expect: UnnecessaryFlush,
+            scenario: Scenario::Pmfs { fault: Some(PmfsFault::LegacyFlushUnmapped) },
+        },
+        BugCase {
+            id: "queue-perf-double-tail",
+            class: LowLevelPerf,
+            description: "queue: tail/count written back twice",
+            expect: DuplicateFlush,
+            scenario: structure(Queue, QueueDoubleFlushTail),
+        },
+        // ---------------- Backup (transactions) ----------------
+        BugCase {
+            id: "ctree-backup-root",
+            class: Backup,
+            description: "ctree: root pointer updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Ctree, CtreeSkipLogRootPtr),
+        },
+        BugCase {
+            id: "ctree-backup-parent",
+            class: Backup,
+            description: "ctree: parent child slot updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Ctree, CtreeSkipLogParentNode),
+        },
+        BugCase {
+            id: "ctree-backup-count",
+            class: Backup,
+            description: "ctree: element count updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Ctree, CtreeSkipLogCount),
+        },
+        BugCase {
+            id: "ctree-backup-remove",
+            class: Backup,
+            description: "ctree: grandparent slot updated without TX_ADD on the removal path",
+            expect: MissingLog,
+            scenario: structure_rm(Ctree, CtreeSkipLogParentNode),
+        },
+        BugCase {
+            id: "btree-backup-insert",
+            class: Backup,
+            description: "btree: leaf modified without TX_ADD on insert",
+            expect: MissingLog,
+            scenario: structure(Btree, BtreeSkipLogInsertNode),
+        },
+        BugCase {
+            id: "btree-backup-split-node",
+            class: Backup,
+            description: "btree Bug 2 (btree_map.c:201): split node modified without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Btree, BtreeSkipLogSplitNode),
+        },
+        BugCase {
+            id: "btree-backup-split-parent",
+            class: Backup,
+            description: "btree: split parent modified without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Btree, BtreeSkipLogSplitParent),
+        },
+        BugCase {
+            id: "btree-backup-root-grow",
+            class: Backup,
+            description: "btree: root pointer updated without TX_ADD when the tree grows",
+            expect: MissingLog,
+            scenario: structure(Btree, BtreeSkipLogRootGrow),
+        },
+        BugCase {
+            id: "btree-backup-count",
+            class: Backup,
+            description: "btree: element count updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Btree, BtreeSkipLogCount),
+        },
+        BugCase {
+            id: "rb-backup-insert-parent",
+            class: Backup,
+            description: "rbtree: parent link written without TX_ADD on insert",
+            expect: MissingLog,
+            scenario: structure(Rbtree, RbSkipLogInsertParent),
+        },
+        BugCase {
+            id: "rb-backup-rotate-pivot",
+            class: Backup,
+            description: "rbtree known bug (rbtree_map.c:379): rotation pivot modified without \
+                          TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Rbtree, RbSkipLogRotatePivot),
+        },
+        BugCase {
+            id: "rb-backup-rotate-parent",
+            class: Backup,
+            description: "rbtree: rotation parent modified without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Rbtree, RbSkipLogRotateParent),
+        },
+        BugCase {
+            id: "rb-backup-recolor",
+            class: Backup,
+            description: "rbtree: recolored node not TX_ADDed",
+            expect: MissingLog,
+            scenario: structure(Rbtree, RbSkipLogRecolor),
+        },
+        BugCase {
+            id: "rb-backup-root",
+            class: Backup,
+            description: "rbtree: root pointer updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Rbtree, RbSkipLogRootPtr),
+        },
+        BugCase {
+            id: "hm-tx-backup-bucket",
+            class: Backup,
+            description: "hashmap_tx: bucket head updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(HashMapTx, HmTxSkipLogBucket),
+        },
+        BugCase {
+            id: "hm-tx-backup-count",
+            class: Backup,
+            description: "hashmap_tx (Fig. 1b): element count updated without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(HashMapTx, HmTxSkipLogCount),
+        },
+        BugCase {
+            id: "hm-tx-backup-remove-prev",
+            class: Backup,
+            description: "hashmap_tx: predecessor next-pointer updated without TX_ADD on remove",
+            expect: MissingLog,
+            scenario: structure_rm(HashMapTx, HmTxSkipLogRemovePrev),
+        },
+        BugCase {
+            id: "hm-tx-backup-bucket-remove",
+            class: Backup,
+            description: "hashmap_tx: bucket head updated without TX_ADD on remove",
+            expect: MissingLog,
+            scenario: structure_rm(HashMapTx, HmTxSkipLogBucket),
+        },
+        BugCase {
+            id: "redis-backup-value",
+            class: Backup,
+            description: "redis: in-place value update without TX_ADD",
+            expect: MissingLog,
+            scenario: structure(Redis, RedisSkipLogValue),
+        },
+        // ---------------- Completion ----------------
+        BugCase {
+            id: "ctree-completion",
+            class: Completion,
+            description: "ctree: transaction abandoned without TX_END",
+            expect: UnterminatedTx,
+            scenario: structure(Ctree, CtreeAbandonTx),
+        },
+        BugCase {
+            id: "btree-completion",
+            class: Completion,
+            description: "btree: transaction abandoned without TX_END",
+            expect: UnterminatedTx,
+            scenario: structure(Btree, BtreeAbandonTx),
+        },
+        BugCase {
+            id: "rb-completion",
+            class: Completion,
+            description: "rbtree: transaction abandoned without TX_END",
+            expect: UnterminatedTx,
+            scenario: structure(Rbtree, RbAbandonTx),
+        },
+        BugCase {
+            id: "hm-tx-completion",
+            class: Completion,
+            description: "hashmap_tx: transaction abandoned without TX_END",
+            expect: UnterminatedTx,
+            scenario: structure(HashMapTx, HmTxAbandonTx),
+        },
+        BugCase {
+            id: "redis-completion",
+            class: Completion,
+            description: "redis: in-place update transaction abandoned",
+            expect: UnterminatedTx,
+            scenario: structure(Redis, RedisAbandonTx),
+        },
+        BugCase {
+            id: "kv-completion",
+            class: Completion,
+            description: "kvstore/mnemosyne: transaction abandoned without TX_END",
+            expect: UnterminatedTx,
+            scenario: structure(KvStore, KvAbandonTx),
+        },
+        BugCase {
+            id: "txlib-completion-raw",
+            class: Completion,
+            description: "txlib: raw transaction opened and never terminated",
+            expect: UnterminatedTx,
+            scenario: Scenario::TxlibAbandon,
+        },
+        // ---------------- Performance (transactions) ----------------
+        BugCase {
+            id: "ctree-perf-double-log",
+            class: TxPerf,
+            description: "ctree: parent slot TX_ADDed twice",
+            expect: DuplicateLog,
+            scenario: structure(Ctree, CtreeDoubleLogParent),
+        },
+        BugCase {
+            id: "btree-perf-double-log",
+            class: TxPerf,
+            description: "btree Bug 3 (btree_map.c:367): split parent TX_ADDed by caller and \
+                          helper",
+            expect: DuplicateLog,
+            scenario: structure(Btree, BtreeDoubleLogSplitParent),
+        },
+        BugCase {
+            id: "rb-perf-double-log",
+            class: TxPerf,
+            description: "rbtree: fixup node TX_ADDed twice",
+            expect: DuplicateLog,
+            scenario: structure(Rbtree, RbDoubleLogFixup),
+        },
+        BugCase {
+            id: "hm-tx-perf-double-log",
+            class: TxPerf,
+            description: "hashmap_tx: bucket head TX_ADDed twice",
+            expect: DuplicateLog,
+            scenario: structure(HashMapTx, HmTxDoubleLogBucket),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_at_least_45_cases() {
+        assert!(catalog().len() >= 45, "got {}", catalog().len());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let cases = catalog();
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cases.len());
+    }
+
+    #[test]
+    fn class_counts_match_paper_shape() {
+        let cases = catalog();
+        let count = |class: BugClass| cases.iter().filter(|c| c.class == class).count();
+        // Paper Table 5: 4 ordering, 6 writeback, 2 low-level perf,
+        // 19 backup, 7 completion, 4 tx perf. We meet or exceed each.
+        assert!(count(BugClass::Ordering) >= 4);
+        assert!(count(BugClass::Writeback) >= 6);
+        assert!(count(BugClass::LowLevelPerf) >= 2);
+        assert!(count(BugClass::Backup) >= 19);
+        assert!(count(BugClass::Completion) >= 7);
+        assert!(count(BugClass::TxPerf) >= 4);
+    }
+
+    #[test]
+    fn expectation_severity_matches_class() {
+        for case in catalog() {
+            let is_perf = matches!(case.class, BugClass::LowLevelPerf | BugClass::TxPerf);
+            let is_warn = matches!(
+                case.expect,
+                DiagKind::DuplicateFlush | DiagKind::UnnecessaryFlush | DiagKind::DuplicateLog
+            );
+            assert_eq!(is_perf, is_warn, "case {}", case.id);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The synthetic crash-consistency bug catalog (Table 5) and its runner.
+//!
+//! The paper validates PMTest by systematically creating random synthetic
+//! bugs in PMDK workloads (§6.3): 45 bugs across six classes — low-level
+//! *Ordering*, *Writeback* and *Performance* bugs, and transactional
+//! *Backup*, *Completion* and *Performance* bugs. Every catalog entry here
+//! plants exactly one such bug at a named fault site in one of the
+//! instrumented workloads, states which diagnostic PMTest must raise, and
+//! can also be run in its *clean* variant to demonstrate the absence of
+//! false positives.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_bugs::{catalog, run_case, BugClass};
+//!
+//! let cases = catalog();
+//! assert!(cases.len() >= 45);
+//! let case = cases.iter().find(|c| c.id == "hm-tx-backup-count").unwrap();
+//! assert_eq!(case.class, BugClass::Backup);
+//! let outcome = run_case(case);
+//! assert!(outcome.detected, "the Fig. 1b bug must be detected");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cases;
+mod runner;
+
+pub use cases::{catalog, BugCase, BugClass, PmfsFault, Scenario, StructKind};
+pub use runner::{run_case, run_clean, CaseOutcome};

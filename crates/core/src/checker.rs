@@ -1,0 +1,606 @@
+use pmtest_interval::{ByteRange, IntervalTree, SegmentMap};
+use pmtest_trace::{Entry, Event, SourceLoc, Trace};
+
+use crate::diag::{Diag, DiagKind};
+use crate::model::PersistencyModel;
+use crate::shadow::ShadowMemory;
+
+/// Validates one trace against a persistency model's checking rules (§4.4)
+/// and the high-level transaction checkers (§5.1).
+///
+/// The checker owns the trace's [`ShadowMemory`] and walks entries in program
+/// order: operations update the shadow state (via the model), checkers are
+/// validated against it, and the transaction checker maintains the *log tree*
+/// of `TX_ADD`ed ranges plus the set of objects modified inside the checked
+/// scope.
+///
+/// For one-shot use see [`check_trace`].
+pub struct TraceChecker<'m> {
+    model: &'m dyn PersistencyModel,
+    shadow: ShadowMemory,
+    diags: Vec<Diag>,
+    tx: TxScope,
+    tx_depth: u32,
+}
+
+/// State of an open `TX_CHECKER_START` … `TX_CHECKER_END` scope.
+#[derive(Default)]
+struct TxScope {
+    active: bool,
+    start_loc: Option<SourceLoc>,
+    /// Ranges backed up by `TX_ADD`, attributed to the call that logged them.
+    log: IntervalTree<SourceLoc>,
+    /// Ranges modified inside the scope, attributed to the last write.
+    modified: SegmentMap<SourceLoc>,
+}
+
+impl<'m> TraceChecker<'m> {
+    /// Creates a checker for one trace.
+    #[must_use]
+    pub fn new(model: &'m dyn PersistencyModel) -> Self {
+        Self {
+            model,
+            shadow: ShadowMemory::new(),
+            diags: Vec::new(),
+            tx: TxScope::default(),
+            tx_depth: 0,
+        }
+    }
+
+    /// Processes one entry.
+    pub fn process(&mut self, entry: &Entry) {
+        // Fast path: no exclusions active (the overwhelmingly common case),
+        // so no range clipping and no per-event allocation is needed.
+        if !self.shadow.has_exclusions() {
+            return self.process_unclipped(entry);
+        }
+        match entry.event {
+            Event::Write(range) => self.on_write(range, entry),
+            Event::Flush(range) => {
+                for sub in self.shadow.in_scope(range) {
+                    let clipped = Event::Flush(sub).at(entry.loc);
+                    self.model.apply(&mut self.shadow, &clipped, &mut self.diags);
+                }
+            }
+            Event::Fence | Event::OFence | Event::DFence => {
+                self.model.apply(&mut self.shadow, entry, &mut self.diags);
+            }
+            Event::TxBegin => self.tx_depth += 1,
+            Event::TxEnd => self.on_tx_end(entry),
+            Event::TxAdd(range) => self.on_tx_add(range, entry),
+            Event::IsPersist(range) => {
+                for sub in self.shadow.in_scope(range) {
+                    self.model.check_persist(&self.shadow, sub, entry.loc, &mut self.diags);
+                }
+            }
+            Event::IsOrderedBefore(first, second) => {
+                for a in self.shadow.in_scope(first) {
+                    for b in self.shadow.in_scope(second) {
+                        self.model
+                            .check_ordered_before(&self.shadow, a, b, entry.loc, &mut self.diags);
+                    }
+                }
+            }
+            Event::TxCheckerStart => {
+                self.tx = TxScope {
+                    active: true,
+                    start_loc: Some(entry.loc),
+                    log: IntervalTree::new(),
+                    modified: SegmentMap::new(),
+                };
+            }
+            Event::TxCheckerEnd => self.on_tx_checker_end(entry),
+            Event::Exclude(range) => self.shadow.exclude(range),
+            Event::Include(range) => self.shadow.include(range),
+        }
+    }
+
+    /// The no-exclusions fast path of [`process`](Self::process): identical
+    /// semantics with every range passed through whole.
+    fn process_unclipped(&mut self, entry: &Entry) {
+        match entry.event {
+            Event::Write(range) => self.write_sub(range, range, entry),
+            Event::Flush(_) | Event::Fence | Event::OFence | Event::DFence => {
+                self.model.apply(&mut self.shadow, entry, &mut self.diags);
+            }
+            Event::IsPersist(range) => {
+                self.model.check_persist(&self.shadow, range, entry.loc, &mut self.diags);
+            }
+            Event::IsOrderedBefore(first, second) => {
+                self.model
+                    .check_ordered_before(&self.shadow, first, second, entry.loc, &mut self.diags);
+            }
+            Event::TxAdd(range) => self.tx_add_sub(range, entry),
+            _ => self.process_slow(entry),
+        }
+    }
+
+    /// Events with no hot-path concern (tx boundaries, scope control,
+    /// checker scopes).
+    fn process_slow(&mut self, entry: &Entry) {
+        match entry.event {
+            Event::TxBegin => self.tx_depth += 1,
+            Event::TxEnd => self.on_tx_end(entry),
+            Event::TxCheckerStart => {
+                self.tx = TxScope {
+                    active: true,
+                    start_loc: Some(entry.loc),
+                    log: IntervalTree::new(),
+                    modified: SegmentMap::new(),
+                };
+            }
+            Event::TxCheckerEnd => self.on_tx_checker_end(entry),
+            Event::Exclude(range) => self.shadow.exclude(range),
+            Event::Include(range) => self.shadow.include(range),
+            _ => unreachable!("hot-path event {} reached process_slow", entry.event),
+        }
+    }
+
+    fn on_tx_end(&mut self, entry: &Entry) {
+        if self.tx_depth == 0 {
+            self.diags.push(Diag {
+                kind: DiagKind::UnmatchedTxEnd,
+                loc: entry.loc,
+                range: None,
+                culprit: None,
+                message: "transaction end without a matching begin".to_owned(),
+            });
+        } else {
+            self.tx_depth -= 1;
+        }
+    }
+
+    fn on_write(&mut self, range: ByteRange, entry: &Entry) {
+        for sub in self.shadow.in_scope(range) {
+            self.write_sub(range, sub, entry);
+        }
+    }
+
+    /// Handles one (possibly clipped) written sub-range.
+    fn write_sub(&mut self, _full: ByteRange, sub: ByteRange, entry: &Entry) {
+        // Missing-backup check (§5.1.1): inside a checked transaction,
+        // every modified range must already be in the undo log.
+        if self.tx.active && self.tx_depth > 0 {
+            for gap in self.tx.log.uncovered(sub) {
+                self.diags.push(Diag {
+                    kind: DiagKind::MissingLog,
+                    loc: entry.loc,
+                    range: Some(gap),
+                    culprit: None,
+                    message: "persistent object modified inside a transaction without \
+                              a prior TX_ADD backup"
+                        .to_owned(),
+                });
+            }
+        }
+        if self.tx.active {
+            self.tx.modified.insert(sub, entry.loc);
+        }
+        let clipped = Event::Write(sub).at(entry.loc);
+        self.model.apply(&mut self.shadow, &clipped, &mut self.diags);
+    }
+
+    fn on_tx_add(&mut self, range: ByteRange, entry: &Entry) {
+        if !self.tx.active {
+            return;
+        }
+        for sub in self.shadow.in_scope(range) {
+            self.tx_add_sub(sub, entry);
+        }
+    }
+
+    fn tx_add_sub(&mut self, sub: ByteRange, entry: &Entry) {
+        if !self.tx.active {
+            return;
+        }
+        // Duplicate-log check (§5.1.2).
+        if let Some((_, earlier)) = self.tx.log.overlaps(sub).next() {
+            self.diags.push(Diag {
+                kind: DiagKind::DuplicateLog,
+                loc: entry.loc,
+                range: Some(sub),
+                culprit: Some(*earlier),
+                message: "object already added to the undo log in this transaction".to_owned(),
+            });
+        }
+        self.tx.log.insert(sub, entry.loc);
+    }
+
+    fn on_tx_checker_end(&mut self, entry: &Entry) {
+        if !self.tx.active {
+            self.diags.push(Diag {
+                kind: DiagKind::UnterminatedTx,
+                loc: entry.loc,
+                range: None,
+                culprit: None,
+                message: "TX_CHECKER_END without a matching TX_CHECKER_START".to_owned(),
+            });
+            return;
+        }
+        // Incomplete-transaction check (§5.1.1).
+        if self.tx_depth > 0 {
+            self.diags.push(Diag {
+                kind: DiagKind::UnterminatedTx,
+                loc: entry.loc,
+                range: None,
+                culprit: self.tx.start_loc,
+                message: format!(
+                    "{} transaction(s) still open at the end of the checked scope",
+                    self.tx_depth
+                ),
+            });
+        }
+        // Auto-injected `isPersist` for every modified, in-scope object
+        // (§5.1.1, Fig. 5b).
+        let modified: Vec<ByteRange> = self.tx.modified.iter().map(|(r, _)| r).collect();
+        for range in modified {
+            for sub in self.shadow.in_scope(range) {
+                self.model.check_persist(&self.shadow, sub, entry.loc, &mut self.diags);
+            }
+        }
+        self.tx = TxScope::default();
+    }
+
+    /// Processes every entry of `trace` and returns the diagnostics.
+    #[must_use]
+    pub fn run(mut self, trace: &Trace) -> Vec<Diag> {
+        for entry in trace.entries() {
+            self.process(entry);
+        }
+        self.finish()
+    }
+
+    /// Returns the diagnostics accumulated so far.
+    #[must_use]
+    pub fn finish(self) -> Vec<Diag> {
+        self.diags
+    }
+
+    /// Read access to the shadow memory (for tests and custom checkers).
+    #[must_use]
+    pub fn shadow(&self) -> &ShadowMemory {
+        &self.shadow
+    }
+}
+
+/// Checks one trace against `model`, returning all diagnostics.
+///
+/// This is the synchronous path used by a single [`Engine`](crate::Engine)
+/// worker per trace; tests and custom tools can call it directly.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::{check_trace, X86Model};
+/// use pmtest_trace::{Event, Trace};
+/// use pmtest_interval::ByteRange;
+///
+/// let mut trace = Trace::new(0);
+/// let r = ByteRange::with_len(0, 8);
+/// trace.push(Event::Write(r).here());
+/// trace.push(Event::Flush(r).here());
+/// trace.push(Event::Fence.here());
+/// trace.push(Event::IsPersist(r).here());
+/// assert!(check_trace(&trace, &X86Model::new()).is_empty());
+/// ```
+#[must_use]
+pub fn check_trace(trace: &Trace, model: &dyn PersistencyModel) -> Vec<Diag> {
+    TraceChecker::new(model).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{HopsModel, X86Model};
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    fn trace(events: &[Event]) -> Trace {
+        let mut t = Trace::new(0);
+        for (i, &e) in events.iter().enumerate() {
+            t.push(e.at(SourceLoc::new("t.rs", i as u32 + 1)));
+        }
+        t
+    }
+
+    fn kinds(diags: &[Diag]) -> Vec<DiagKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn figure4_trace() {
+        // sfence; write A; clwb A; write B; sfence;
+        // isOrderedBefore A B → FAIL; isPersist B → FAIL.
+        let a = ByteRange::with_len(0x00, 8);
+        let b = ByteRange::with_len(0x40, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::Fence,
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Write(b),
+                Event::Fence,
+                Event::IsOrderedBefore(a, b),
+                Event::IsPersist(b),
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::NotOrderedBefore, DiagKind::NotPersisted]);
+        // Locations point at the checkers (lines 6 and 7).
+        assert_eq!(diags[0].loc.line(), 6);
+        assert_eq!(diags[1].loc.line(), 7);
+        // The culprit of the isPersist failure is the write at line 4.
+        assert_eq!(diags[1].culprit.map(|l| l.line()), Some(4));
+    }
+
+    #[test]
+    fn figure7_trace() {
+        // write(0x10,64); clwb(0x10,64); sfence; write(0x50,64);
+        // isPersist(0x50,64) → FAIL; isOrderedBefore(0x10 → 0x50) → pass.
+        let a = ByteRange::with_len(0x10, 64);
+        let b = ByteRange::with_len(0x50, 64);
+        let diags = check_trace(
+            &trace(&[
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Fence,
+                Event::Write(b),
+                Event::IsPersist(b),
+                Event::IsOrderedBefore(a, b),
+            ]),
+            &X86Model::new(),
+        );
+        // Note: [0x10,0x50) closed at 1; the overlap of a and b ([0x50,0x50))
+        // is empty, so the ordering check sees A=(0,1) vs B=(1,∞) — pass.
+        assert_eq!(kinds(&diags), [DiagKind::NotPersisted]);
+    }
+
+    #[test]
+    fn clean_figure3a_trace() {
+        let a = r(0, 8);
+        let b = r(64, 72);
+        let diags = check_trace(
+            &trace(&[
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Fence,
+                Event::Write(b),
+                Event::Flush(b),
+                Event::Fence,
+                Event::IsOrderedBefore(a, b),
+                Event::IsPersist(a),
+                Event::IsPersist(b),
+            ]),
+            &X86Model::new(),
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn clean_figure3b_trace_under_hops() {
+        let a = r(0, 8);
+        let b = r(64, 72);
+        let diags = check_trace(
+            &trace(&[
+                Event::Write(a),
+                Event::OFence,
+                Event::Write(b),
+                Event::DFence,
+                Event::IsOrderedBefore(a, b),
+                Event::IsPersist(a),
+                Event::IsPersist(b),
+            ]),
+            &HopsModel::new(),
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn tx_checker_detects_missing_log() {
+        // Fig. 1b shape: head is TX_ADDed, length is not.
+        let head = r(0, 8);
+        let length = r(8, 16);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(head),
+                Event::Write(head),
+                Event::Write(length), // bug: no TX_ADD
+                Event::Flush(r(0, 16)),
+                Event::Fence,
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::MissingLog]);
+        assert_eq!(diags[0].range, Some(length));
+        assert_eq!(diags[0].loc.line(), 5);
+    }
+
+    #[test]
+    fn tx_checker_detects_incomplete_transaction() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(a),
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Fence,
+                // bug: no TxEnd
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::UnterminatedTx]);
+    }
+
+    #[test]
+    fn tx_checker_injects_is_persist_at_end() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(a),
+                Event::Write(a),
+                // bug: modified object never written back
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::NotPersisted]);
+        assert_eq!(diags[0].culprit.map(|l| l.line()), Some(4));
+    }
+
+    #[test]
+    fn tx_checker_detects_duplicate_log() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(a),
+                Event::TxAdd(a), // bug: double log
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Fence,
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::DuplicateLog]);
+        assert_eq!(diags[0].culprit.map(|l| l.line()), Some(3));
+    }
+
+    #[test]
+    fn clean_transaction_passes() {
+        let a = r(0, 8);
+        let b = r(64, 72);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(a),
+                Event::Write(a),
+                Event::TxAdd(b),
+                Event::Write(b),
+                Event::Flush(a),
+                Event::Flush(b),
+                Event::Fence,
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn unmatched_tx_end_reported() {
+        let diags = check_trace(&trace(&[Event::TxEnd]), &X86Model::new());
+        assert_eq!(kinds(&diags), [DiagKind::UnmatchedTxEnd]);
+    }
+
+    #[test]
+    fn tx_checker_end_without_start_reported() {
+        let diags = check_trace(&trace(&[Event::TxCheckerEnd]), &X86Model::new());
+        assert_eq!(kinds(&diags), [DiagKind::UnterminatedTx]);
+    }
+
+    #[test]
+    fn exclusion_silences_checks_on_a_range() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::Exclude(a),
+                Event::Write(a), // would be MissingLog + NotPersisted
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+                Event::IsPersist(a),
+            ]),
+            &X86Model::new(),
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn include_restores_checking() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::Exclude(a),
+                Event::Include(a),
+                Event::Write(a),
+                Event::IsPersist(a),
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::NotPersisted]);
+    }
+
+    #[test]
+    fn writes_outside_transactions_are_not_log_checked() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::Write(a), // outside TX_BEGIN/END: no MissingLog
+                Event::Flush(a),
+                Event::Fence,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn nested_transactions_must_all_terminate() {
+        let a = r(0, 8);
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxBegin,
+                Event::TxAdd(a),
+                Event::Write(a),
+                Event::Flush(a),
+                Event::Fence,
+                Event::TxEnd,
+                // inner ended; outer still open
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::UnterminatedTx]);
+    }
+
+    #[test]
+    fn partial_log_coverage_reports_only_the_gap() {
+        let diags = check_trace(
+            &trace(&[
+                Event::TxCheckerStart,
+                Event::TxBegin,
+                Event::TxAdd(r(0, 8)),
+                Event::Write(r(0, 16)), // bytes 8..16 unlogged
+                Event::Flush(r(0, 16)),
+                Event::Fence,
+                Event::TxEnd,
+                Event::TxCheckerEnd,
+            ]),
+            &X86Model::new(),
+        );
+        assert_eq!(kinds(&diags), [DiagKind::MissingLog]);
+        assert_eq!(diags[0].range, Some(r(8, 16)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Composite checkers built from the two low-level ones (§5.1).
+//!
+//! The paper's workflow for library authors: "programmers can use the
+//! PMTest framework to build custom, high-level checkers in the software
+//! based on the two low-level checkers". The transaction checkers are the
+//! built-in instance; this module packages the other invariant shapes that
+//! recur across crash-consistent code so applications and libraries can
+//! assert them in one call. Each helper only *emits checker events* into a
+//! sink — validation still happens in the engine, under whatever
+//! persistency model the session runs.
+
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Event, Sink};
+
+/// Asserts a *persist chain*: each range must be guaranteed durable before
+/// the next one can persist, and every range must be durable now.
+///
+/// This is the shape of multi-step initialization protocols (superblock →
+/// metadata → commit record). Emits `n-1` `isOrderedBefore` checkers plus
+/// `n` `isPersist` checkers.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::{compose, PmTestSession};
+/// use pmtest_trace::{Event, Sink};
+/// use pmtest_interval::ByteRange;
+///
+/// let session = PmTestSession::builder().build();
+/// session.start();
+/// let a = ByteRange::with_len(0, 8);
+/// let b = ByteRange::with_len(64, 8);
+/// session.record(Event::Write(a).here());
+/// session.record(Event::Flush(a).here());
+/// session.record(Event::Fence.here());
+/// session.record(Event::Write(b).here());
+/// session.record(Event::Flush(b).here());
+/// session.record(Event::Fence.here());
+/// compose::persist_chain(&session, &[a, b]);
+/// session.send_trace();
+/// assert!(session.finish().is_clean());
+/// ```
+#[track_caller]
+pub fn persist_chain(sink: &impl Sink, ranges: &[ByteRange]) {
+    for pair in ranges.windows(2) {
+        sink.record(Event::IsOrderedBefore(pair[0], pair[1]).here());
+    }
+    for &range in ranges {
+        sink.record(Event::IsPersist(range).here());
+    }
+}
+
+/// Asserts the *publish* protocol: `object` must be guaranteed durable
+/// before `pointer` can persist, and both must be durable now — the
+/// persist-then-link idiom of every pointer-based durable structure
+/// (Fig. 1a's backup/valid pair, the hashmap node/bucket pair, the queue
+/// node/tail pair).
+#[track_caller]
+pub fn publishes(sink: &impl Sink, object: ByteRange, pointer: ByteRange) {
+    sink.record(Event::IsOrderedBefore(object, pointer).here());
+    sink.record(Event::IsPersist(object).here());
+    sink.record(Event::IsPersist(pointer).here());
+}
+
+/// Asserts *mutual exclusion in time*: a log (undo or redo) must be durable
+/// strictly before the data it protects can persist. Identical to
+/// [`publishes`] but without requiring the data itself to be durable yet —
+/// the write-ahead-logging invariant.
+#[track_caller]
+pub fn logged_before(sink: &impl Sink, log: ByteRange, data: ByteRange) {
+    sink.record(Event::IsOrderedBefore(log, data).here());
+    sink.record(Event::IsPersist(log).here());
+}
+
+/// Asserts that every range in `ranges` is guaranteed durable — the
+/// "everything reached persistence" postcondition of a checkpoint or sync
+/// operation.
+#[track_caller]
+pub fn all_persisted(sink: &impl Sink, ranges: &[ByteRange]) {
+    for &range in ranges {
+        sink.record(Event::IsPersist(range).here());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiagKind, PmTestSession};
+    use pmtest_trace::Event;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    fn session() -> PmTestSession {
+        let s = PmTestSession::builder().build();
+        s.start();
+        s
+    }
+
+    fn barriered_write(s: &PmTestSession, range: ByteRange) {
+        s.record(Event::Write(range).here());
+        s.record(Event::Flush(range).here());
+        s.record(Event::Fence.here());
+    }
+
+    #[test]
+    fn persist_chain_passes_on_ordered_protocol() {
+        let s = session();
+        let ranges = [r(0, 8), r(64, 72), r(128, 136)];
+        for range in ranges {
+            barriered_write(&s, range);
+        }
+        persist_chain(&s, &ranges);
+        s.send_trace();
+        assert!(s.finish().is_clean());
+    }
+
+    #[test]
+    fn persist_chain_catches_a_shared_barrier() {
+        let s = session();
+        let (a, b) = (r(0, 8), r(64, 72));
+        s.record(Event::Write(a).here());
+        s.record(Event::Write(b).here());
+        s.record(Event::Flush(a).here());
+        s.record(Event::Flush(b).here());
+        s.record(Event::Fence.here());
+        persist_chain(&s, &[a, b]);
+        s.send_trace();
+        let report = s.finish();
+        assert_eq!(report.fail_count(), 1);
+        assert!(report.has(DiagKind::NotOrderedBefore));
+    }
+
+    #[test]
+    fn publishes_catches_early_link() {
+        let s = session();
+        let (node, head) = (r(0, 32), r(64, 72));
+        s.record(Event::Write(head).here()); // pointer published first!
+        barriered_write(&s, node);
+        s.record(Event::Flush(head).here());
+        s.record(Event::Fence.here());
+        publishes(&s, node, head);
+        s.send_trace();
+        let report = s.finish();
+        assert!(report.has(DiagKind::NotOrderedBefore), "{report}");
+    }
+
+    #[test]
+    fn logged_before_does_not_require_data_durability() {
+        let s = session();
+        let (log, data) = (r(0, 32), r(64, 96));
+        barriered_write(&s, log);
+        s.record(Event::Write(data).here()); // data still in flight: fine
+        logged_before(&s, log, data);
+        s.send_trace();
+        assert!(s.finish().is_clean());
+    }
+
+    #[test]
+    fn all_persisted_reports_each_violation() {
+        let s = session();
+        barriered_write(&s, r(0, 8));
+        s.record(Event::Write(r(64, 72)).here());
+        s.record(Event::Write(r(128, 136)).here());
+        all_persisted(&s, &[r(0, 8), r(64, 72), r(128, 136)]);
+        s.send_trace();
+        let report = s.finish();
+        assert_eq!(report.fail_count(), 2, "{report}");
+    }
+}

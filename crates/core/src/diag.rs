@@ -1,0 +1,340 @@
+use std::fmt;
+
+use pmtest_interval::ByteRange;
+use pmtest_trace::SourceLoc;
+
+/// Diagnostic severity, matching the paper's two output classes (§4.1):
+/// `FAIL` for crash-consistency bugs and `WARN` for performance bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A performance bug (redundant writeback, duplicated log, …).
+    Warn,
+    /// A crash-consistency bug (missing fence, missing backup, …).
+    Fail,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "WARN"),
+            Severity::Fail => write!(f, "FAIL"),
+        }
+    }
+}
+
+/// The specific rule a diagnostic was produced by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum DiagKind {
+    /// `isPersist` failed: the range is not guaranteed durable (§4.4).
+    NotPersisted,
+    /// `isOrderedBefore` failed: persist intervals overlap or are inverted
+    /// (§4.4).
+    NotOrderedBefore,
+    /// A write inside a transaction was not backed up by `TX_ADD` first
+    /// (§5.1.1, "check missing backup logs").
+    MissingLog,
+    /// A transaction-checker scope ended with an open transaction
+    /// (§5.1.1, "check incomplete transactions").
+    UnterminatedTx,
+    /// `TX_END` without a matching `TX_BEGIN`.
+    UnmatchedTxEnd,
+    /// Performance: writeback of a range that was never modified (§5.1.2).
+    UnnecessaryFlush,
+    /// Performance: writeback of a range already written back (§5.1.2).
+    DuplicateFlush,
+    /// Performance: `TX_ADD` of a range already in the undo log (§5.1.2).
+    DuplicateLog,
+    /// An operation outside the configured persistency model's vocabulary
+    /// (e.g. `ofence` under the x86 model).
+    ForeignOperation,
+}
+
+impl DiagKind {
+    /// The severity class this kind reports at.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            DiagKind::NotPersisted
+            | DiagKind::NotOrderedBefore
+            | DiagKind::MissingLog
+            | DiagKind::UnterminatedTx
+            | DiagKind::UnmatchedTxEnd => Severity::Fail,
+            DiagKind::UnnecessaryFlush
+            | DiagKind::DuplicateFlush
+            | DiagKind::DuplicateLog
+            | DiagKind::ForeignOperation => Severity::Warn,
+        }
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagKind::NotPersisted => "not persisted",
+            DiagKind::NotOrderedBefore => "persist order not guaranteed",
+            DiagKind::MissingLog => "modified without undo-log backup",
+            DiagKind::UnterminatedTx => "transaction not terminated",
+            DiagKind::UnmatchedTxEnd => "tx_end without tx_begin",
+            DiagKind::UnnecessaryFlush => "writeback of unmodified data",
+            DiagKind::DuplicateFlush => "duplicate writeback",
+            DiagKind::DuplicateLog => "duplicate undo-log entry",
+            DiagKind::ForeignOperation => "operation outside persistency model",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One `WARN`/`FAIL` output of the checking engine, with the source
+/// attribution the paper reports (`@<file>:<line>`, Fig. 6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diag {
+    /// Which rule fired.
+    pub kind: DiagKind,
+    /// Where the checker (or offending operation) was issued.
+    pub loc: SourceLoc,
+    /// The address range involved, when applicable.
+    pub range: Option<ByteRange>,
+    /// The source location of the operation that caused the problem (e.g.
+    /// the unpersisted write), when known.
+    pub culprit: Option<SourceLoc>,
+    /// Human-readable details.
+    pub message: String,
+}
+
+impl Diag {
+    /// The severity class of this diagnostic.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} @ {}", self.severity(), self.kind, self.loc)?;
+        if let Some(r) = self.range {
+            write!(f, " [{r}]")?;
+        }
+        if !self.message.is_empty() {
+            write!(f, " — {}", self.message)?;
+        }
+        if let Some(c) = self.culprit {
+            write!(f, " (caused at {c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The diagnostics produced by checking one trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// The trace identifier assigned at submission.
+    pub trace_id: u64,
+    /// Diagnostics in trace order.
+    pub diags: Vec<Diag>,
+}
+
+/// The aggregated result of a testing run (what `PMTest_GET_RESULT` returns).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    traces: Vec<TraceReport>,
+}
+
+impl Report {
+    /// Builds a report from per-trace results, sorting by trace id.
+    #[must_use]
+    pub fn from_traces(mut traces: Vec<TraceReport>) -> Self {
+        traces.sort_by_key(|t| t.trace_id);
+        Self { traces }
+    }
+
+    /// Per-trace results in submission order.
+    #[must_use]
+    pub fn traces(&self) -> &[TraceReport] {
+        &self.traces
+    }
+
+    /// All diagnostics across traces, in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diag> {
+        self.traces.iter().flat_map(|t| t.diags.iter())
+    }
+
+    /// All `FAIL` diagnostics.
+    pub fn fails(&self) -> impl Iterator<Item = &Diag> {
+        self.iter().filter(|d| d.severity() == Severity::Fail)
+    }
+
+    /// All `WARN` diagnostics.
+    pub fn warns(&self) -> impl Iterator<Item = &Diag> {
+        self.iter().filter(|d| d.severity() == Severity::Warn)
+    }
+
+    /// Number of `FAIL` diagnostics.
+    #[must_use]
+    pub fn fail_count(&self) -> usize {
+        self.fails().count()
+    }
+
+    /// Number of `WARN` diagnostics.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.warns().count()
+    }
+
+    /// Whether no diagnostics at all were reported.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.traces.iter().all(|t| t.diags.is_empty())
+    }
+
+    /// Whether any diagnostic of `kind` was reported.
+    #[must_use]
+    pub fn has(&self, kind: DiagKind) -> bool {
+        self.iter().any(|d| d.kind == kind)
+    }
+
+    /// Merges another report into this one (re-sorting by trace id).
+    pub fn merge(&mut self, other: Report) {
+        self.traces.extend(other.traces);
+        self.traces.sort_by_key(|t| t.trace_id);
+    }
+
+    /// Diagnostic counts per kind, for summaries and harness tables.
+    #[must_use]
+    pub fn counts_by_kind(&self) -> std::collections::BTreeMap<DiagKind, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for d in self.iter() {
+            *counts.entry(d.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// A one-line summary, e.g. `2 FAIL (not persisted x2), 1 WARN
+    /// (duplicate writeback x1)`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!("clean ({} traces)", self.traces.len());
+        }
+        let detail: Vec<String> = self
+            .counts_by_kind()
+            .into_iter()
+            .map(|(kind, n)| format!("{kind} x{n}"))
+            .collect();
+        format!(
+            "{} FAIL, {} WARN ({})",
+            self.fail_count(),
+            self.warn_count(),
+            detail.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "PMTest: all checks passed ({} traces)", self.traces.len());
+        }
+        for t in &self.traces {
+            for d in &t.diags {
+                writeln!(f, "[trace {}] {}", t.trace_id, d)?;
+            }
+        }
+        write!(f, "PMTest: {} FAIL, {} WARN", self.fail_count(), self.warn_count())
+    }
+}
+
+impl IntoIterator for Report {
+    type Item = TraceReport;
+    type IntoIter = std::vec::IntoIter<TraceReport>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagKind) -> Diag {
+        Diag {
+            kind,
+            loc: SourceLoc::new("app.rs", 10),
+            range: Some(ByteRange::new(0, 8)),
+            culprit: Some(SourceLoc::new("app.rs", 5)),
+            message: "details".to_owned(),
+        }
+    }
+
+    #[test]
+    fn severity_classes_match_paper() {
+        assert_eq!(DiagKind::NotPersisted.severity(), Severity::Fail);
+        assert_eq!(DiagKind::NotOrderedBefore.severity(), Severity::Fail);
+        assert_eq!(DiagKind::MissingLog.severity(), Severity::Fail);
+        assert_eq!(DiagKind::UnterminatedTx.severity(), Severity::Fail);
+        assert_eq!(DiagKind::UnnecessaryFlush.severity(), Severity::Warn);
+        assert_eq!(DiagKind::DuplicateFlush.severity(), Severity::Warn);
+        assert_eq!(DiagKind::DuplicateLog.severity(), Severity::Warn);
+    }
+
+    #[test]
+    fn diag_display_has_paper_shape() {
+        let d = diag(DiagKind::NotPersisted);
+        let s = d.to_string();
+        assert!(s.starts_with("FAIL: not persisted @ app.rs:10"), "got {s}");
+        assert!(s.contains("caused at app.rs:5"));
+    }
+
+    #[test]
+    fn report_queries() {
+        let report = Report::from_traces(vec![
+            TraceReport { trace_id: 1, diags: vec![diag(DiagKind::DuplicateFlush)] },
+            TraceReport { trace_id: 0, diags: vec![diag(DiagKind::NotPersisted)] },
+        ]);
+        assert_eq!(report.traces()[0].trace_id, 0, "sorted by id");
+        assert_eq!(report.fail_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert!(!report.is_clean());
+        assert!(report.has(DiagKind::NotPersisted));
+        assert!(!report.has(DiagKind::MissingLog));
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let mut a = Report::from_traces(vec![TraceReport { trace_id: 2, diags: vec![] }]);
+        let b = Report::from_traces(vec![TraceReport { trace_id: 1, diags: vec![] }]);
+        a.merge(b);
+        let ids: Vec<u64> = a.traces().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, [1, 2]);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn summary_and_counts() {
+        let report = Report::from_traces(vec![TraceReport {
+            trace_id: 0,
+            diags: vec![diag(DiagKind::NotPersisted), diag(DiagKind::NotPersisted),
+                        diag(DiagKind::DuplicateFlush)],
+        }]);
+        let counts = report.counts_by_kind();
+        assert_eq!(counts[&DiagKind::NotPersisted], 2);
+        assert_eq!(counts[&DiagKind::DuplicateFlush], 1);
+        let s = report.summary();
+        assert!(s.contains("2 FAIL"), "{s}");
+        assert!(s.contains("not persisted x2"), "{s}");
+        assert!(Report::default().summary().contains("clean"));
+    }
+
+    #[test]
+    fn clean_report_display() {
+        let r = Report::default();
+        assert!(r.to_string().contains("all checks passed"));
+        let r = Report::from_traces(vec![TraceReport {
+            trace_id: 0,
+            diags: vec![diag(DiagKind::MissingLog)],
+        }]);
+        assert!(r.to_string().contains("1 FAIL, 0 WARN"));
+    }
+}

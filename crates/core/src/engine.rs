@@ -1,0 +1,332 @@
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use pmtest_trace::Trace;
+
+use crate::checker::check_trace;
+use crate::diag::{Report, TraceReport};
+use crate::model::{PersistencyModel, X86Model};
+
+/// Configuration of the checking engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The persistency model whose checking rules to apply.
+    pub model: Arc<dyn PersistencyModel>,
+    /// Number of worker threads (the paper uses one unless stated, §6.1;
+    /// Fig. 12b scales this up).
+    pub workers: usize,
+    /// Per-worker trace-queue depth. Bounding the queue keeps memory finite
+    /// and reproduces the paper's behaviour that a saturated checking
+    /// pipeline backpressures the program (Fig. 12a).
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { model: Arc::new(X86Model::new()), workers: 1, queue_capacity: 256 }
+    }
+}
+
+/// The decoupled checking engine: a master dispatching traces round-robin to
+/// a pool of worker threads (Fig. 8).
+///
+/// The program under test keeps executing while workers validate completed
+/// traces — this pipelining is the second half of the paper's performance
+/// story (§3.2, "Runtime Testing"). [`Engine::wait_idle`] is the
+/// `PMTest_GET_RESULT` barrier: it blocks until every submitted trace has
+/// been checked.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::{Engine, EngineConfig};
+/// use pmtest_trace::{Event, Trace};
+/// use pmtest_interval::ByteRange;
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let mut trace = Trace::new(0);
+/// let r = ByteRange::with_len(0, 8);
+/// trace.push(Event::Write(r).here());
+/// trace.push(Event::IsPersist(r).here()); // will FAIL
+/// engine.submit(trace);
+/// let report = engine.take_report();
+/// assert_eq!(report.fail_count(), 1);
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    worker_txs: Vec<Sender<Trace>>,
+    next_worker: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+struct Shared {
+    /// Traces submitted but not yet checked. Producers only touch this
+    /// atomic (plus the channel), keeping `submit` off the results lock.
+    outstanding: AtomicU64,
+    results: Mutex<Vec<TraceReport>>,
+    idle_lock: Mutex<()>,
+    idle: Condvar,
+    traces_checked: AtomicU64,
+    entries_processed: AtomicU64,
+    diagnostics: AtomicU64,
+}
+
+/// Lifetime counters of an [`Engine`] (useful for the benchmark harnesses
+/// and for sizing trace batches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Traces fully checked.
+    pub traces_checked: u64,
+    /// Trace entries processed across all traces.
+    pub entries_processed: u64,
+    /// Diagnostics (FAIL + WARN) produced.
+    pub diagnostics: u64,
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        let shared = Arc::new(Shared {
+            outstanding: AtomicU64::new(0),
+            results: Mutex::new(Vec::new()),
+            idle_lock: Mutex::new(()),
+            idle: Condvar::new(),
+            traces_checked: AtomicU64::new(0),
+            entries_processed: AtomicU64::new(0),
+            diagnostics: AtomicU64::new(0),
+        });
+        let mut worker_txs = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        assert!(config.queue_capacity > 0, "engine queue capacity must be positive");
+        for i in 0..config.workers {
+            let (tx, rx) = bounded::<Trace>(config.queue_capacity);
+            let shared = shared.clone();
+            let model = config.model.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("pmtest-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(trace) = rx.recv() {
+                        let diags = check_trace(&trace, model.as_ref());
+                        shared.traces_checked.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .entries_processed
+                            .fetch_add(trace.len() as u64, Ordering::Relaxed);
+                        shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
+                        shared.results.lock().push(TraceReport { trace_id: trace.id(), diags });
+                        if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last outstanding trace: wake any waiter. The
+                            // brief lock pairs with the wait below.
+                            drop(shared.idle_lock.lock());
+                            shared.idle.notify_all();
+                        }
+                    }
+                })
+                .expect("spawn pmtest worker");
+            worker_txs.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            shared,
+            worker_txs,
+            next_worker: AtomicUsize::new(0),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.worker_txs.len()
+    }
+
+    /// Lifetime counters (never reset, even by
+    /// [`take_report`](Self::take_report)).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            traces_checked: self.shared.traces_checked.load(Ordering::Relaxed),
+            entries_processed: self.shared.entries_processed.load(Ordering::Relaxed),
+            diagnostics: self.shared.diagnostics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a trace for asynchronous checking (round-robin dispatch).
+    pub fn submit(&self, trace: Trace) {
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        let idx = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.worker_txs.len();
+        self.worker_txs[idx]
+            .send(trace)
+            .expect("pmtest worker thread terminated unexpectedly");
+    }
+
+    /// Blocks until every submitted trace has been checked
+    /// (`PMTest_GET_RESULT`, §4.2).
+    pub fn wait_idle(&self) {
+        if self.shared.outstanding.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            self.shared.idle.wait(&mut guard);
+        }
+    }
+
+    /// Waits for all outstanding traces, then returns a copy of every result
+    /// so far (results keep accumulating).
+    #[must_use]
+    pub fn report(&self) -> Report {
+        self.wait_idle();
+        Report::from_traces(self.shared.results.lock().clone())
+    }
+
+    /// Waits for all outstanding traces, then drains and returns the results.
+    #[must_use]
+    pub fn take_report(&self) -> Report {
+        self.wait_idle();
+        Report::from_traces(std::mem::take(&mut *self.shared.results.lock()))
+    }
+
+    /// Shuts the worker pool down, returning everything checked so far
+    /// (`PMTest_EXIT`, §4.2).
+    ///
+    /// Consumes the engine; the channels disconnect and workers are joined.
+    pub fn shutdown(mut self) -> Report {
+        self.wait_idle();
+        let report = self.take_report();
+        self.worker_txs.clear();
+        for handle in std::mem::take(&mut *self.handles.lock()) {
+            let _ = handle.join();
+        }
+        report
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Disconnect the channels so workers exit their recv loops.
+        self.worker_txs.clear();
+        for handle in std::mem::take(&mut *self.handles.lock()) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.worker_txs.len())
+            .field("outstanding", &self.shared.outstanding.load(Ordering::Relaxed))
+            .field("checked", &self.shared.results.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagKind;
+    use pmtest_interval::ByteRange;
+    use pmtest_trace::Event;
+
+    fn failing_trace(id: u64) -> Trace {
+        let mut t = Trace::new(id);
+        let r = ByteRange::with_len(0, 8);
+        t.push(Event::Write(r).here());
+        t.push(Event::IsPersist(r).here());
+        t
+    }
+
+    fn clean_trace(id: u64) -> Trace {
+        let mut t = Trace::new(id);
+        let r = ByteRange::with_len(0, 8);
+        t.push(Event::Write(r).here());
+        t.push(Event::Flush(r).here());
+        t.push(Event::Fence.here());
+        t.push(Event::IsPersist(r).here());
+        t
+    }
+
+    #[test]
+    fn single_worker_checks_in_submission_order() {
+        let engine = Engine::new(EngineConfig::default());
+        for id in 0..10 {
+            engine.submit(if id % 2 == 0 { failing_trace(id) } else { clean_trace(id) });
+        }
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 10);
+        assert_eq!(report.fail_count(), 5);
+        let ids: Vec<u64> = report.traces().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_workers_produce_the_same_report() {
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.workers(), 4);
+        for id in 0..100 {
+            engine.submit(failing_trace(id));
+        }
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 100);
+        assert_eq!(report.fail_count(), 100);
+        assert!(report.iter().all(|d| d.kind == DiagKind::NotPersisted));
+    }
+
+    #[test]
+    fn report_accumulates_take_drains() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.submit(failing_trace(0));
+        assert_eq!(engine.report().fail_count(), 1);
+        engine.submit(failing_trace(1));
+        assert_eq!(engine.report().fail_count(), 2, "report keeps history");
+        assert_eq!(engine.take_report().fail_count(), 2);
+        assert_eq!(engine.report().fail_count(), 0, "take drained");
+    }
+
+    #[test]
+    fn wait_idle_on_empty_engine_returns() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.wait_idle();
+        assert!(engine.report().is_clean());
+    }
+
+    #[test]
+    fn submissions_from_many_threads() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        }));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        engine.submit(clean_trace(t * 25 + i));
+                    }
+                });
+            }
+        });
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 100);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() });
+    }
+}

@@ -1,0 +1,195 @@
+use std::fmt;
+
+/// A fence-delimited epoch number.
+///
+/// The engine breaks a thread's execution into epochs separated by ordering
+/// points (`sfence` on x86; `ofence`/`dfence` on HOPS) and uses the epoch as
+/// its unit of time (§3.1): the global timestamp starts at 0 and increments
+/// at every fence.
+pub type Epoch = u64;
+
+/// The epoch window in which a write may become durable (§3.1).
+///
+/// `(start, ∞)` means the write may persist at any time from `start` onward
+/// but is never *guaranteed* to; a closed interval `(start, end)` means the
+/// write is guaranteed durable once the fence that began epoch `end`
+/// completes.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::EpochInterval;
+///
+/// let a = EpochInterval::closed(0, 1);
+/// let b = EpochInterval::open(1);
+/// assert!(a.is_closed());
+/// assert!(!b.is_closed());
+/// assert!(a.ends_before_starts(&b), "Fig. 7: (0,1) is ordered before (1,∞)");
+/// assert!(!a.overlaps(&b));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EpochInterval {
+    start: Epoch,
+    end: Option<Epoch>,
+}
+
+impl EpochInterval {
+    /// An interval that opened at `start` and may persist any time onward.
+    #[must_use]
+    pub fn open(start: Epoch) -> Self {
+        Self { start, end: None }
+    }
+
+    /// An interval guaranteed to complete by `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn closed(start: Epoch, end: Epoch) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Self { start, end: Some(end) }
+    }
+
+    /// The epoch in which the write was issued.
+    #[must_use]
+    pub fn start(&self) -> Epoch {
+        self.start
+    }
+
+    /// The epoch by which the write is guaranteed durable, if any.
+    #[must_use]
+    pub fn end(&self) -> Option<Epoch> {
+        self.end
+    }
+
+    /// Whether the write is guaranteed durable ([`end`](Self::end) is set).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.end.is_some()
+    }
+
+    /// Closes the interval at `end` if it is still open.
+    pub fn close(&mut self, end: Epoch) {
+        if self.end.is_none() {
+            debug_assert!(end >= self.start);
+            self.end = Some(end);
+        }
+    }
+
+    /// Whether the two windows can both be "in flight" at the same time —
+    /// the paper's overlap test for `isOrderedBefore` (§4.4).
+    #[must_use]
+    pub fn overlaps(&self, other: &EpochInterval) -> bool {
+        let self_before = matches!(self.end, Some(e) if e <= other.start);
+        let other_before = matches!(other.end, Some(e) if e <= self.start);
+        !(self_before || other_before)
+    }
+
+    /// Whether this write is guaranteed durable before `other` can begin to
+    /// persist: closed, with `end <= other.start`.
+    #[must_use]
+    pub fn ends_before_starts(&self, other: &EpochInterval) -> bool {
+        matches!(self.end, Some(e) if e <= other.start)
+    }
+
+    /// Whether this write was issued in a strictly earlier epoch than
+    /// `other` — the HOPS ordering test (§5.2), where fences already order
+    /// persists across epochs.
+    #[must_use]
+    pub fn starts_before(&self, other: &EpochInterval) -> bool {
+        self.start < other.start
+    }
+}
+
+impl fmt::Display for EpochInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(e) => write!(f, "({}, {})", self.start, e),
+            None => write!(f, "({}, \u{221e})", self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_and_closed_basics() {
+        let o = EpochInterval::open(3);
+        assert_eq!(o.start(), 3);
+        assert_eq!(o.end(), None);
+        assert!(!o.is_closed());
+        let c = EpochInterval::closed(3, 5);
+        assert!(c.is_closed());
+        assert_eq!(c.end(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn inverted_interval_panics() {
+        let _ = EpochInterval::closed(5, 3);
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let mut iv = EpochInterval::open(1);
+        iv.close(4);
+        assert_eq!(iv.end(), Some(4));
+        iv.close(9);
+        assert_eq!(iv.end(), Some(4), "already closed stays put");
+    }
+
+    #[test]
+    fn figure7_semantics() {
+        // PI(0x10) = (0,1), PI(0x50) = (1,∞): ordered, not overlapping.
+        let a = EpochInterval::closed(0, 1);
+        let b = EpochInterval::open(1);
+        assert!(!a.overlaps(&b));
+        assert!(a.ends_before_starts(&b));
+        assert!(!b.ends_before_starts(&a));
+    }
+
+    #[test]
+    fn figure4_semantics() {
+        // PI(A) = (1,2), PI(B) = (1,∞): overlap ⇒ isOrderedBefore fails.
+        let a = EpochInterval::closed(1, 2);
+        let b = EpochInterval::open(1);
+        assert!(a.overlaps(&b));
+        assert!(!a.ends_before_starts(&b));
+    }
+
+    #[test]
+    fn two_open_intervals_overlap() {
+        let a = EpochInterval::open(0);
+        let b = EpochInterval::open(5);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn disjoint_closed_intervals_do_not_overlap() {
+        let a = EpochInterval::closed(0, 1);
+        let b = EpochInterval::closed(1, 2);
+        assert!(!a.overlaps(&b));
+        assert!(a.ends_before_starts(&b));
+        // Reverse direction detected.
+        assert!(!b.ends_before_starts(&a));
+    }
+
+    #[test]
+    fn hops_starts_before() {
+        let a = EpochInterval::open(0);
+        let b = EpochInterval::open(1);
+        assert!(a.starts_before(&b));
+        assert!(!b.starts_before(&a));
+        assert!(!a.starts_before(&EpochInterval::open(0)), "same epoch unordered");
+    }
+
+    #[test]
+    fn display_uses_infinity() {
+        assert_eq!(EpochInterval::open(2).to_string(), "(2, ∞)");
+        assert_eq!(EpochInterval::closed(0, 1).to_string(), "(0, 1)");
+    }
+}

@@ -1,0 +1,238 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use parking_lot::{Condvar, Mutex};
+use pmtest_trace::Trace;
+
+/// A bounded trace queue simulating the kernel FIFO of §4.5.
+///
+/// Crash-consistent *kernel modules* (the paper tests PMFS) cannot host the
+/// checking engine; instead the kernel side pushes traces into a FIFO
+/// (`/proc/PMTest`, 1024 entries) that a user-space pump drains into the
+/// engine. Two details from the paper are reproduced:
+///
+/// * when the FIFO is full, the producer blocks on an interruptible wait
+///   queue;
+/// * it is woken only once the FIFO has drained below **half** capacity,
+///   avoiding wakeup thrashing.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::KernelFifo;
+/// use pmtest_trace::Trace;
+///
+/// let fifo = KernelFifo::with_capacity(4);
+/// assert!(fifo.push(Trace::new(0)));
+/// assert_eq!(fifo.pop().map(|t| t.id()), Some(0));
+/// fifo.close();
+/// assert_eq!(fifo.pop(), None);
+/// ```
+pub struct KernelFifo {
+    state: Mutex<FifoState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct FifoState {
+    queue: VecDeque<Trace>,
+    closed: bool,
+}
+
+impl Default for KernelFifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelFifo {
+    /// The paper's FIFO depth.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a FIFO with the paper's 1024-trace capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a FIFO with a custom capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            state: Mutex::new(FifoState { queue: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued traces.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently queued traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().queue.is_empty()
+    }
+
+    /// Enqueues a trace, blocking while the FIFO is full (the kernel module
+    /// putting itself on the wait queue, §4.5). Returns `false` if the FIFO
+    /// was closed.
+    pub fn push(&self, trace: Trace) -> bool {
+        let mut state = self.state.lock();
+        while state.queue.len() >= self.capacity && !state.closed {
+            self.not_full.wait(&mut state);
+        }
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(trace);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the next trace, blocking while the FIFO is empty. Returns
+    /// `None` once the FIFO is closed *and* drained.
+    pub fn pop(&self) -> Option<Trace> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(trace) = state.queue.pop_front() {
+                // Paper: the producer "gets interrupted and resumes execution
+                // when the FIFO is less than half full".
+                if state.queue.len() < self.capacity / 2 {
+                    self.not_full.notify_all();
+                }
+                return Some(trace);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Closes the FIFO: producers stop being admitted, consumers drain what
+    /// remains and then observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+impl fmt::Debug for KernelFifo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("KernelFifo")
+            .field("capacity", &self.capacity)
+            .field("len", &state.queue.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let fifo = KernelFifo::with_capacity(8);
+        for id in 0..5 {
+            assert!(fifo.push(Trace::new(id)));
+        }
+        assert_eq!(fifo.len(), 5);
+        for id in 0..5 {
+            assert_eq!(fifo.pop().map(|t| t.id()), Some(id));
+        }
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_until_half_drained() {
+        let fifo = Arc::new(KernelFifo::with_capacity(4));
+        for id in 0..4 {
+            fifo.push(Trace::new(id));
+        }
+        let producer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || fifo.push(Trace::new(99)))
+        };
+        // Give the producer time to block.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!producer.is_finished(), "producer must block on a full fifo");
+        // One pop leaves 3 >= capacity/2: still blocked.
+        fifo.pop().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!producer.is_finished(), "woken only below half capacity");
+        // Two more pops drop below half (1 < 2): producer resumes.
+        fifo.pop().unwrap();
+        fifo.pop().unwrap();
+        assert!(producer.join().unwrap());
+        let remaining: Vec<u64> = std::iter::from_fn(|| {
+            if fifo.is_empty() { None } else { fifo.pop().map(|t| t.id()) }
+        })
+        .collect();
+        assert_eq!(remaining, [3, 99]);
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let fifo = Arc::new(KernelFifo::with_capacity(1));
+        fifo.push(Trace::new(0));
+        let blocked_producer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || fifo.push(Trace::new(1)))
+        };
+        let consumer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(t) = fifo.pop() {
+                    seen.push(t.id());
+                }
+                seen
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        fifo.close();
+        assert!(!blocked_producer.join().unwrap(), "closed fifo rejects");
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, [0], "consumer drained then observed close");
+    }
+
+    #[test]
+    fn pop_on_closed_empty_returns_none() {
+        let fifo = KernelFifo::new();
+        assert_eq!(fifo.capacity(), KernelFifo::DEFAULT_CAPACITY);
+        fifo.close();
+        assert_eq!(fifo.pop(), None);
+        assert!(!fifo.push(Trace::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = KernelFifo::with_capacity(0);
+    }
+}

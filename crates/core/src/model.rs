@@ -1,0 +1,452 @@
+use std::fmt::Debug;
+
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Entry, Event, SourceLoc};
+
+use crate::diag::{Diag, DiagKind};
+use crate::shadow::ShadowMemory;
+
+/// The checking rules for one memory persistency model (§4.4, §5.2).
+///
+/// A model decides (i) how each PM *operation* updates the shadow memory's
+/// persist/flush intervals and (ii) how the two low-level checkers are
+/// validated against those intervals. PMTest ships the x86 rules
+/// ([`X86Model`]) and the HOPS rules ([`HopsModel`]); supporting another
+/// persistency model — the paper names DPO and epoch persistency as
+/// candidates — means implementing this trait, nothing else changes.
+///
+/// The trait is object-safe: the engine stores models as `Arc<dyn
+/// PersistencyModel>`.
+pub trait PersistencyModel: Send + Sync + Debug {
+    /// A short model name for reports (e.g. `"x86"`).
+    fn name(&self) -> &str;
+
+    /// Applies one *operation* entry (`write`/`clwb`/fences) to the shadow
+    /// memory, appending any performance diagnostics to `diags`.
+    ///
+    /// Transaction events and checkers never reach this method; the
+    /// [`TraceChecker`](crate::TraceChecker) handles those uniformly.
+    fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>);
+
+    /// Validates `isPersist(range)` (§4.4): every written byte of `range`
+    /// must be guaranteed durable.
+    fn check_persist(
+        &self,
+        shadow: &ShadowMemory,
+        range: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    );
+
+    /// Validates `isOrderedBefore(first, second)` (§4.4): every persist of
+    /// `first` must be guaranteed to complete before any persist of `second`
+    /// can happen.
+    fn check_ordered_before(
+        &self,
+        shadow: &ShadowMemory,
+        first: ByteRange,
+        second: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    );
+}
+
+fn foreign_op(entry: &Entry, model: &str, diags: &mut Vec<Diag>) {
+    diags.push(Diag {
+        kind: DiagKind::ForeignOperation,
+        loc: entry.loc,
+        range: None,
+        culprit: None,
+        message: format!("`{}` is not part of the {model} persistency model", entry.event),
+    });
+}
+
+fn persist_failure(
+    shadow: &ShadowMemory,
+    range: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    for (sub, st) in shadow.states_in(range) {
+        if let Some(pi) = st.persist {
+            if !pi.is_closed() {
+                diags.push(Diag {
+                    kind: DiagKind::NotPersisted,
+                    loc,
+                    range: Some(sub),
+                    culprit: st.write_loc,
+                    message: format!("persist interval {pi} never closes"),
+                });
+            }
+        }
+    }
+}
+
+/// The x86 persistency model: `write` / `clwb` / `sfence` (§4.4).
+///
+/// * a write may persist any time from its issue epoch onward;
+/// * a `clwb` makes the eventual writeback *possible*;
+/// * an `sfence` completes all issued writebacks, so a write is guaranteed
+///   durable once a covering `clwb` and a subsequent `sfence` have executed.
+///
+/// The built-in performance checkers (§5.1.2) fire here: `clwb` of
+/// never-written data reports [`DiagKind::UnnecessaryFlush`], and `clwb` of
+/// data whose writeback is already issued or completed reports
+/// [`DiagKind::DuplicateFlush`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct X86Model {
+    warn_performance: bool,
+}
+
+impl X86Model {
+    /// Creates the model with performance warnings enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { warn_performance: true }
+    }
+
+    /// Creates the model without the §5.1.2 performance checkers (only
+    /// correctness FAILs are reported).
+    #[must_use]
+    pub fn without_performance_checks() -> Self {
+        Self { warn_performance: false }
+    }
+}
+
+impl PersistencyModel for X86Model {
+    fn name(&self) -> &str {
+        "x86"
+    }
+
+    fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>) {
+        match entry.event {
+            Event::Write(range) => shadow.record_write(range, entry.loc),
+            Event::Flush(range) => {
+                let obs = shadow.record_flush(range, entry.loc);
+                if self.warn_performance {
+                    for sub in obs.unmodified {
+                        diags.push(Diag {
+                            kind: DiagKind::UnnecessaryFlush,
+                            loc: entry.loc,
+                            range: Some(sub),
+                            culprit: None,
+                            message: "writing back data that was never modified".to_owned(),
+                        });
+                    }
+                    for (sub, earlier) in obs.duplicate {
+                        diags.push(Diag {
+                            kind: DiagKind::DuplicateFlush,
+                            loc: entry.loc,
+                            range: Some(sub),
+                            culprit: earlier,
+                            message: "data already written back".to_owned(),
+                        });
+                    }
+                }
+            }
+            Event::Fence => shadow.fence(),
+            Event::OFence => {
+                foreign_op(entry, self.name(), diags);
+                shadow.ofence();
+            }
+            Event::DFence => {
+                foreign_op(entry, self.name(), diags);
+                shadow.dfence();
+            }
+            _ => unreachable!("non-operation event {} reached the model", entry.event),
+        }
+    }
+
+    fn check_persist(
+        &self,
+        shadow: &ShadowMemory,
+        range: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        persist_failure(shadow, range, loc, diags);
+    }
+
+    fn check_ordered_before(
+        &self,
+        shadow: &ShadowMemory,
+        first: ByteRange,
+        second: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        let firsts = shadow.persist_intervals(first);
+        let seconds = shadow.persist_intervals(second);
+        for (sub_a, pi_a, loc_a) in &firsts {
+            for (sub_b, pi_b, _) in &seconds {
+                if !pi_a.ends_before_starts(pi_b) {
+                    diags.push(Diag {
+                        kind: DiagKind::NotOrderedBefore,
+                        loc,
+                        range: Some(*sub_a),
+                        culprit: *loc_a,
+                        message: format!(
+                            "persist interval {pi_a} of {sub_a:?} may not complete before \
+                             {pi_b} of {sub_b:?} begins"
+                        ),
+                    });
+                    return; // one witness per checker, like the paper's output
+                }
+            }
+        }
+    }
+}
+
+/// The HOPS persistency model: `write` / `ofence` / `dfence` (§5.2).
+///
+/// `ofence` orders persists without forcing durability (epoch bump);
+/// `dfence` stalls until everything before it is durable (epoch bump plus
+/// closing all open persist intervals). Because fences already order
+/// persists across epochs, `isOrderedBefore` compares interval *starts*.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HopsModel;
+
+impl HopsModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PersistencyModel for HopsModel {
+    fn name(&self) -> &str {
+        "hops"
+    }
+
+    fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>) {
+        match entry.event {
+            Event::Write(range) => shadow.record_write(range, entry.loc),
+            Event::OFence => shadow.ofence(),
+            Event::DFence => shadow.dfence(),
+            Event::Flush(_) => {
+                // HOPS hardware tracks dirty PM data itself; clwb is
+                // redundant there (§5.2 removes the flush interval).
+                foreign_op(entry, self.name(), diags);
+            }
+            Event::Fence => {
+                foreign_op(entry, self.name(), diags);
+                shadow.ofence();
+            }
+            _ => unreachable!("non-operation event {} reached the model", entry.event),
+        }
+    }
+
+    fn check_persist(
+        &self,
+        shadow: &ShadowMemory,
+        range: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        persist_failure(shadow, range, loc, diags);
+    }
+
+    fn check_ordered_before(
+        &self,
+        shadow: &ShadowMemory,
+        first: ByteRange,
+        second: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        let firsts = shadow.persist_intervals(first);
+        let seconds = shadow.persist_intervals(second);
+        for (sub_a, pi_a, loc_a) in &firsts {
+            for (sub_b, pi_b, _) in &seconds {
+                if !pi_a.starts_before(pi_b) {
+                    diags.push(Diag {
+                        kind: DiagKind::NotOrderedBefore,
+                        loc,
+                        range: Some(*sub_a),
+                        culprit: *loc_a,
+                        message: format!(
+                            "write at {sub_a:?} (epoch {}) is not fence-ordered before \
+                             write at {sub_b:?} (epoch {})",
+                            pi_a.start(),
+                            pi_b.start()
+                        ),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(event: Event) -> Entry {
+        event.at(SourceLoc::new("m.rs", 1))
+    }
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    fn apply_all(model: &dyn PersistencyModel, shadow: &mut ShadowMemory, events: &[Event]) -> Vec<Diag> {
+        let mut diags = Vec::new();
+        for &e in events {
+            model.apply(shadow, &entry(e), &mut diags);
+        }
+        diags
+    }
+
+    #[test]
+    fn x86_flush_fence_persists() {
+        let model = X86Model::new();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(
+            &model,
+            &mut sh,
+            &[Event::Write(r(0, 8)), Event::Flush(r(0, 8)), Event::Fence],
+        );
+        assert!(diags.is_empty());
+        let mut out = Vec::new();
+        model.check_persist(&sh, r(0, 8), SourceLoc::new("m.rs", 9), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn x86_missing_flush_fails_is_persist() {
+        let model = X86Model::new();
+        let mut sh = ShadowMemory::new();
+        apply_all(&model, &mut sh, &[Event::Write(r(0, 8)), Event::Fence]);
+        let mut out = Vec::new();
+        model.check_persist(&sh, r(0, 8), SourceLoc::new("m.rs", 9), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, DiagKind::NotPersisted);
+        assert_eq!(out[0].culprit, Some(SourceLoc::new("m.rs", 1)));
+    }
+
+    #[test]
+    fn x86_ordered_before_direction_matters() {
+        let model = X86Model::new();
+        let mut sh = ShadowMemory::new();
+        // B persists first, then A is written: isOrderedBefore(A, B) fails.
+        apply_all(
+            &model,
+            &mut sh,
+            &[
+                Event::Write(r(64, 72)),
+                Event::Flush(r(64, 72)),
+                Event::Fence,
+                Event::Write(r(0, 8)),
+            ],
+        );
+        let mut out = Vec::new();
+        model.check_ordered_before(&sh, r(0, 8), r(64, 72), SourceLoc::new("m.rs", 9), &mut out);
+        assert_eq!(out.len(), 1, "inverted order is a failure even without overlap");
+        out.clear();
+        model.check_ordered_before(&sh, r(64, 72), r(0, 8), SourceLoc::new("m.rs", 9), &mut out);
+        assert!(out.is_empty(), "actual order passes");
+    }
+
+    #[test]
+    fn x86_performance_warnings_fire() {
+        let model = X86Model::new();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(
+            &model,
+            &mut sh,
+            &[Event::Flush(r(0, 8)), Event::Write(r(64, 72)), Event::Flush(r(64, 72)), Event::Flush(r(64, 72))],
+        );
+        assert!(diags.iter().any(|d| d.kind == DiagKind::UnnecessaryFlush));
+        assert!(diags.iter().any(|d| d.kind == DiagKind::DuplicateFlush));
+    }
+
+    #[test]
+    fn x86_performance_warnings_can_be_disabled() {
+        let model = X86Model::without_performance_checks();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(&model, &mut sh, &[Event::Flush(r(0, 8)), Event::Flush(r(0, 8))]);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn x86_rejects_hops_fences_but_keeps_going() {
+        let model = X86Model::new();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(&model, &mut sh, &[Event::Write(r(0, 8)), Event::DFence]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::ForeignOperation);
+        assert!(sh.is_persisted(r(0, 8)), "dfence semantics still applied");
+    }
+
+    #[test]
+    fn hops_dfence_persists_everything() {
+        let model = HopsModel::new();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(
+            &model,
+            &mut sh,
+            &[Event::Write(r(0, 8)), Event::OFence, Event::Write(r(64, 72)), Event::DFence],
+        );
+        assert!(diags.is_empty());
+        let mut out = Vec::new();
+        model.check_persist(&sh, r(0, 128), SourceLoc::new("m.rs", 9), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hops_ordering_by_epoch_start() {
+        let model = HopsModel::new();
+        let mut sh = ShadowMemory::new();
+        // Figure 3b: write A; ofence; write B; dfence.
+        apply_all(
+            &model,
+            &mut sh,
+            &[Event::Write(r(0, 8)), Event::OFence, Event::Write(r(64, 72)), Event::DFence],
+        );
+        let mut out = Vec::new();
+        model.check_ordered_before(&sh, r(0, 8), r(64, 72), SourceLoc::new("m.rs", 9), &mut out);
+        assert!(out.is_empty(), "A ofence-ordered before B");
+        model.check_ordered_before(&sh, r(64, 72), r(0, 8), SourceLoc::new("m.rs", 9), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn hops_same_epoch_writes_are_unordered() {
+        let model = HopsModel::new();
+        let mut sh = ShadowMemory::new();
+        apply_all(&model, &mut sh, &[Event::Write(r(0, 8)), Event::Write(r(64, 72))]);
+        let mut out = Vec::new();
+        model.check_ordered_before(&sh, r(0, 8), r(64, 72), SourceLoc::new("m.rs", 9), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, DiagKind::NotOrderedBefore);
+    }
+
+    #[test]
+    fn hops_flags_clwb_as_foreign() {
+        let model = HopsModel::new();
+        let mut sh = ShadowMemory::new();
+        let diags = apply_all(&model, &mut sh, &[Event::Write(r(0, 8)), Event::Flush(r(0, 8))]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::ForeignOperation);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn PersistencyModel>> =
+            vec![Box::new(X86Model::new()), Box::new(HopsModel::new())];
+        assert_eq!(models[0].name(), "x86");
+        assert_eq!(models[1].name(), "hops");
+    }
+
+    #[test]
+    fn vacuous_checks_pass_on_unwritten_ranges() {
+        let model = X86Model::new();
+        let sh = ShadowMemory::new();
+        let mut out = Vec::new();
+        model.check_persist(&sh, r(0, 8), SourceLoc::new("m.rs", 9), &mut out);
+        model.check_ordered_before(&sh, r(0, 8), r(8, 16), SourceLoc::new("m.rs", 9), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,460 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Entry, Event, SharedSink, Sink, Trace};
+
+use crate::diag::Report;
+use crate::engine::{Engine, EngineConfig};
+use crate::model::PersistencyModel;
+
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread trace buffers, keyed by session id (§4.5: "PMTest
+    /// maintains a per-thread data structure that maintains the trace of
+    /// different threads"). A linear-scanned small vector: in practice a
+    /// thread records into one or two sessions, and the scan beats hashing
+    /// on the per-event hot path.
+    static BUFFERS: RefCell<Vec<(u64, Vec<Entry>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_buffer<R>(id: u64, f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
+    BUFFERS.with(|b| {
+        let mut buffers = b.borrow_mut();
+        if let Some(pos) = buffers.iter().position(|(sid, _)| *sid == id) {
+            return f(&mut buffers[pos].1);
+        }
+        buffers.push((id, Vec::new()));
+        let last = buffers.len() - 1;
+        f(&mut buffers[last].1)
+    })
+}
+
+/// A PMTest testing session — the Rust face of the paper's Table 2 API.
+///
+/// | Paper function | Here |
+/// |---|---|
+/// | `PMTest_INIT` | [`PmTestSession::builder`] / [`SessionBuilder::build`] |
+/// | `PMTest_EXIT` | drop the session (or [`finish`](Self::finish)) |
+/// | `PMTest_THREAD_INIT` | [`thread_init`](Self::thread_init) |
+/// | `PMTest_START` / `PMTest_END` | [`start`](Self::start) / [`end`](Self::end) |
+/// | `PMTest_EXCLUDE` / `PMTest_INCLUDE` | [`exclude`](Self::exclude) / [`include`](Self::include) |
+/// | `PMTest_REG_VAR` / `UNREG_VAR` / `GET_VAR` | [`reg_var`](Self::reg_var) / [`unreg_var`](Self::unreg_var) / [`var`](Self::var) |
+/// | `PMTest_SEND_TRACE` | [`send_trace`](Self::send_trace) |
+/// | `PMTest_GET_RESULT` | [`report`](Self::report) |
+/// | `isPersist` / `isOrderedBefore` | [`is_persist`](Self::is_persist) / [`is_ordered_before`](Self::is_ordered_before) |
+/// | `TX_CHECKER_START` / `TX_CHECKER_END` | [`tx_checker_start`](Self::tx_checker_start) / [`tx_checker_end`](Self::tx_checker_end) |
+///
+/// The session is the [`Sink`] that instrumented pools record into: entries
+/// are buffered per thread; [`send_trace`](Self::send_trace) ships the
+/// calling thread's buffer to the asynchronous [`Engine`]. Clone the session
+/// (cheap; shared state) to hand it to other threads.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::PmTestSession;
+/// use pmtest_trace::{Event, Sink};
+/// use pmtest_interval::ByteRange;
+///
+/// let session = PmTestSession::builder().build();
+/// session.start();
+/// let r = ByteRange::with_len(0, 8);
+/// session.record(Event::Write(r).here());
+/// session.is_persist(r); // checker recorded into the trace
+/// session.send_trace();
+/// let report = session.report();
+/// assert_eq!(report.fail_count(), 1); // the write was never persisted
+/// ```
+#[derive(Clone)]
+pub struct PmTestSession {
+    shared: Arc<SessionShared>,
+}
+
+struct SessionShared {
+    id: u64,
+    enabled: AtomicBool,
+    engine: Engine,
+    next_trace: AtomicU64,
+    vars: Mutex<HashMap<String, ByteRange>>,
+}
+
+/// Builder for [`PmTestSession`] (`PMTest_INIT`).
+pub struct SessionBuilder {
+    config: EngineConfig,
+}
+
+impl SessionBuilder {
+    /// Sets the persistency model (default: x86).
+    #[must_use]
+    pub fn model<M: PersistencyModel + 'static>(mut self, model: M) -> Self {
+        self.config.model = Arc::new(model);
+        self
+    }
+
+    /// Sets a shared persistency model handle.
+    #[must_use]
+    pub fn model_arc(mut self, model: Arc<dyn PersistencyModel>) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Sets the number of checking workers (default: 1, as in §6.1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the per-worker trace-queue depth (default: 256). A full queue
+    /// backpressures `send_trace`, bounding the engine's memory use.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Spawns the engine and returns the session (tracking starts *disabled*;
+    /// call [`PmTestSession::start`]).
+    #[must_use]
+    pub fn build(self) -> PmTestSession {
+        PmTestSession {
+            shared: Arc::new(SessionShared {
+                id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
+                enabled: AtomicBool::new(false),
+                engine: Engine::new(self.config),
+                next_trace: AtomicU64::new(0),
+                vars: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+}
+
+impl PmTestSession {
+    /// Starts building a session.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder { config: EngineConfig::default() }
+    }
+
+    /// A `Sink` handle to hand to instrumented pools.
+    #[must_use]
+    pub fn sink(&self) -> SharedSink {
+        self.shared.clone()
+    }
+
+    /// Enables tracking and testing (`PMTest_START`).
+    pub fn start(&self) {
+        self.shared.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disables tracking and testing (`PMTest_END`).
+    pub fn end(&self) {
+        self.shared.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether tracking is currently enabled.
+    #[must_use]
+    pub fn is_started(&self) -> bool {
+        self.shared.enabled.load(Ordering::Acquire)
+    }
+
+    /// Initializes per-thread tracking for the calling thread
+    /// (`PMTest_THREAD_INIT`). Buffers are created lazily anyway; calling
+    /// this up front matches the paper's API and pre-allocates the buffer.
+    pub fn thread_init(&self) {
+        with_buffer(self.shared.id, |_| {});
+    }
+
+    /// Ships the calling thread's buffered entries to the checking engine as
+    /// one independent trace (`PMTest_SEND_TRACE`). Empty buffers are
+    /// skipped.
+    ///
+    /// Returns the trace id, if a trace was submitted.
+    pub fn send_trace(&self) -> Option<u64> {
+        let entries = with_buffer(self.shared.id, |buf| {
+            if buf.is_empty() {
+                Vec::new()
+            } else {
+                // Keep the capacity hint so the next transaction's events
+                // don't re-grow the buffer from scratch.
+                std::mem::replace(buf, Vec::with_capacity(buf.len()))
+            }
+        });
+        if entries.is_empty() {
+            return None;
+        }
+        let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
+        self.shared.engine.submit(Trace::from_entries(trace_id, entries));
+        Some(trace_id)
+    }
+
+    /// Blocks until all submitted traces are checked and returns the
+    /// accumulated results (`PMTest_GET_RESULT`).
+    #[must_use]
+    pub fn report(&self) -> Report {
+        self.shared.engine.report()
+    }
+
+    /// Like [`report`](Self::report) but drains the accumulated results.
+    #[must_use]
+    pub fn take_report(&self) -> Report {
+        self.shared.engine.take_report()
+    }
+
+    /// Engine lifetime counters (traces checked, entries processed,
+    /// diagnostics produced).
+    #[must_use]
+    pub fn stats(&self) -> crate::engine::EngineStats {
+        self.shared.engine.stats()
+    }
+
+    /// Convenience teardown: flushes the calling thread's trace, waits for
+    /// the engine, and returns everything (`PMTest_SEND_TRACE` +
+    /// `PMTest_GET_RESULT` + `PMTest_EXIT`).
+    #[must_use]
+    pub fn finish(&self) -> Report {
+        self.send_trace();
+        self.end();
+        self.shared.engine.report()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkers (recorded into the trace at the current program point)
+    // ------------------------------------------------------------------
+
+    /// Places an `isPersist(range)` checker (§4.4).
+    #[track_caller]
+    pub fn is_persist(&self, range: ByteRange) {
+        self.record(Event::IsPersist(range).here());
+    }
+
+    /// Places an `isOrderedBefore(first, second)` checker (§4.4).
+    #[track_caller]
+    pub fn is_ordered_before(&self, first: ByteRange, second: ByteRange) {
+        self.record(Event::IsOrderedBefore(first, second).here());
+    }
+
+    /// Opens a transaction-checking scope (`TX_CHECKER_START`, §5.1.1).
+    #[track_caller]
+    pub fn tx_checker_start(&self) {
+        self.record(Event::TxCheckerStart.here());
+    }
+
+    /// Closes a transaction-checking scope (`TX_CHECKER_END`, §5.1.1),
+    /// auto-injecting `isPersist` for every object modified inside it.
+    #[track_caller]
+    pub fn tx_checker_end(&self) {
+        self.record(Event::TxCheckerEnd.here());
+    }
+
+    /// Removes `range` from the testing scope (`PMTest_EXCLUDE`).
+    #[track_caller]
+    pub fn exclude(&self, range: ByteRange) {
+        self.record(Event::Exclude(range).here());
+    }
+
+    /// Adds `range` back to the testing scope (`PMTest_INCLUDE`).
+    #[track_caller]
+    pub fn include(&self, range: ByteRange) {
+        self.record(Event::Include(range).here());
+    }
+
+    // ------------------------------------------------------------------
+    // Variable registry (PMTest_REG_VAR / UNREG_VAR / GET_VAR)
+    // ------------------------------------------------------------------
+
+    /// Registers `range` under `name` so its persistency can be checked
+    /// outside the scope where it was computed (§4.2).
+    pub fn reg_var(&self, name: impl Into<String>, range: ByteRange) {
+        self.shared.vars.lock().insert(name.into(), range);
+    }
+
+    /// Unregisters `name`; returns its range if it was registered.
+    pub fn unreg_var(&self, name: &str) -> Option<ByteRange> {
+        self.shared.vars.lock().remove(name)
+    }
+
+    /// Looks up a registered variable.
+    #[must_use]
+    pub fn var(&self, name: &str) -> Option<ByteRange> {
+        self.shared.vars.lock().get(name).copied()
+    }
+
+    /// Places an `isPersist` checker on a registered variable; returns
+    /// `false` if `name` is unknown.
+    #[track_caller]
+    pub fn is_persist_var(&self, name: &str) -> bool {
+        match self.var(name) {
+            Some(range) => {
+                self.record(Event::IsPersist(range).here());
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Sink for PmTestSession {
+    fn record(&self, entry: Entry) {
+        self.shared.record(entry);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.shared.is_enabled()
+    }
+}
+
+impl Sink for SessionShared {
+    fn record(&self, entry: Entry) {
+        if !self.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        with_buffer(self.id, |buf| buf.push(entry));
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Debug for PmTestSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmTestSession")
+            .field("id", &self.shared.id)
+            .field("started", &self.is_started())
+            .field("engine", &self.shared.engine)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagKind;
+    use crate::model::HopsModel;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    #[test]
+    fn disabled_session_records_nothing() {
+        let session = PmTestSession::builder().build();
+        assert!(!session.is_started());
+        session.record(Event::Write(r(0, 8)).here());
+        assert!(session.send_trace().is_none());
+        assert!(session.report().is_clean());
+    }
+
+    #[test]
+    fn start_end_toggles_tracking() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        session.record(Event::Write(r(0, 8)).here());
+        session.end();
+        session.record(Event::Write(r(8, 16)).here()); // dropped
+        session.start();
+        session.is_persist(r(0, 16));
+        assert!(session.send_trace().is_some());
+        let report = session.report();
+        // Only the first write was tracked; only it can fail isPersist.
+        assert_eq!(report.fail_count(), 1);
+        assert_eq!(report.iter().next().unwrap().range, Some(r(0, 8)));
+    }
+
+    #[test]
+    fn traces_are_independent() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        session.record(Event::Write(r(0, 8)).here());
+        session.send_trace();
+        // New trace: fresh shadow memory, the earlier write is unknown.
+        session.is_persist(r(0, 8));
+        session.send_trace();
+        let report = session.finish();
+        assert!(report.is_clean(), "checker in a fresh trace is vacuous");
+    }
+
+    #[test]
+    fn per_thread_buffers_do_not_mix() {
+        let session = PmTestSession::builder().workers(2).build();
+        session.start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let session = session.clone();
+                s.spawn(move || {
+                    session.thread_init();
+                    for _ in 0..10 {
+                        session.record(Event::Write(r(0, 8)).here());
+                        session.record(Event::Flush(r(0, 8)).here());
+                        session.record(Event::Fence.here());
+                        session.is_persist(r(0, 8));
+                        session.send_trace().expect("trace submitted");
+                    }
+                });
+            }
+        });
+        let report = session.finish();
+        assert_eq!(report.traces().len(), 40);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn hops_model_session() {
+        let session = PmTestSession::builder().model(HopsModel::new()).build();
+        session.start();
+        session.record(Event::Write(r(0, 8)).here());
+        session.record(Event::OFence.here());
+        session.record(Event::Write(r(64, 72)).here());
+        session.record(Event::DFence.here());
+        session.is_ordered_before(r(0, 8), r(64, 72));
+        let report = session.finish();
+        assert!(report.is_clean(), "got {report}");
+    }
+
+    #[test]
+    fn var_registry_round_trip() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        session.reg_var("backup", r(0, 16));
+        assert_eq!(session.var("backup"), Some(r(0, 16)));
+        session.record(Event::Write(r(0, 16)).here());
+        assert!(session.is_persist_var("backup"));
+        assert!(!session.is_persist_var("nope"));
+        assert_eq!(session.unreg_var("backup"), Some(r(0, 16)));
+        assert_eq!(session.var("backup"), None);
+        let report = session.finish();
+        assert_eq!(report.fail_count(), 1, "registered var checked");
+    }
+
+    #[test]
+    fn duplicate_flush_warn_reaches_report() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        session.record(Event::Write(r(0, 8)).here());
+        session.record(Event::Flush(r(0, 8)).here());
+        session.record(Event::Flush(r(0, 8)).here());
+        let report = session.finish();
+        assert_eq!(report.warn_count(), 1);
+        assert!(report.has(DiagKind::DuplicateFlush));
+    }
+
+    #[test]
+    fn session_clones_share_state() {
+        let session = PmTestSession::builder().build();
+        let clone = session.clone();
+        session.start();
+        assert!(clone.is_started());
+        clone.record(Event::Write(r(0, 8)).here());
+        clone.is_persist(r(0, 8));
+        // Same thread: same buffer, session can send what clone recorded.
+        assert!(session.send_trace().is_some());
+        assert_eq!(session.report().fail_count(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Interval containers used throughout the PMTest reproduction.
+//!
+//! The paper's checking engine (§4.4) keeps its *shadow memory* — the map from
+//! persistent-memory addresses to persistency status — in an interval
+//! structure so that updates and lookups cost `O(log n)`. This crate provides
+//! the two containers the engine needs:
+//!
+//! * [`SegmentMap`] — a map from **non-overlapping** half-open byte ranges to
+//!   values, with range-wise read/modify/write operations. The shadow memory
+//!   (persist/flush intervals per address range) is a `SegmentMap`.
+//! * [`IntervalTree`] — an augmented balanced tree over **possibly
+//!   overlapping** intervals with stabbing/overlap queries. The transaction
+//!   *log tree* that records `TX_ADD` ranges (§5.1.1) is an `IntervalTree`.
+//!
+//! Both containers operate on [`ByteRange`], a half-open `[start, end)` range
+//! of `u64` addresses.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_interval::{ByteRange, SegmentMap};
+//!
+//! let mut map = SegmentMap::new();
+//! map.insert(ByteRange::new(0x10, 0x50), "a");
+//! map.insert(ByteRange::new(0x30, 0x40), "b"); // splits "a"
+//! assert_eq!(map.get(0x20), Some(&"a"));
+//! assert_eq!(map.get(0x38), Some(&"b"));
+//! assert_eq!(map.get(0x48), Some(&"a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval_tree;
+mod range;
+mod segment_map;
+
+pub use interval_tree::{IntervalTree, Overlaps};
+pub use range::ByteRange;
+pub use segment_map::{SegmentMap, Segments};

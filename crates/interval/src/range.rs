@@ -1,0 +1,196 @@
+use std::fmt;
+
+/// A half-open range `[start, end)` of byte addresses.
+///
+/// Every PM operation the paper traces (`write`, `clwb`, checkers, `TX_ADD`)
+/// carries an `(addr, size)` pair; `ByteRange` is the canonical form of that
+/// pair used by the shadow memory and the log tree.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_interval::ByteRange;
+///
+/// let r = ByteRange::with_len(0x100, 64);
+/// assert_eq!(r.end(), 0x140);
+/// assert!(r.contains_addr(0x13f));
+/// assert!(!r.contains_addr(0x140));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteRange {
+    start: u64,
+    end: u64,
+}
+
+impl ByteRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    #[track_caller]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "byte range start {start:#x} > end {end:#x}");
+        Self { start, end }
+    }
+
+    /// Creates the range `[addr, addr + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + len` overflows `u64`.
+    #[must_use]
+    #[track_caller]
+    pub fn with_len(addr: u64, len: u64) -> Self {
+        let end = addr
+            .checked_add(len)
+            .expect("byte range end overflows u64");
+        Self { start: addr, end }
+    }
+
+    /// The inclusive lower bound.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The exclusive upper bound.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of bytes covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers zero bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the range.
+    #[must_use]
+    pub fn contains_addr(&self, addr: u64) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[must_use]
+    pub fn contains(&self, other: &ByteRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two ranges share at least one byte.
+    #[must_use]
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        self.start < other.end && other.start < self.end && !self.is_empty() && !other.is_empty()
+    }
+
+    /// The overlapping portion of the two ranges, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(ByteRange { start, end })
+    }
+}
+
+impl fmt::Debug for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}+{}", self.start, self.len())
+    }
+}
+
+impl From<std::ops::Range<u64>> for ByteRange {
+    fn from(r: std::ops::Range<u64>) -> Self {
+        ByteRange::new(r.start, r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = ByteRange::new(8, 24);
+        assert_eq!(r.start(), 8);
+        assert_eq!(r.end(), 24);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+        assert!(ByteRange::new(4, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "byte range start")]
+    fn inverted_range_panics() {
+        let _ = ByteRange::new(10, 4);
+    }
+
+    #[test]
+    fn with_len_matches_new() {
+        assert_eq!(ByteRange::with_len(0x40, 64), ByteRange::new(0x40, 0x80));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn with_len_overflow_panics() {
+        let _ = ByteRange::with_len(u64::MAX - 1, 4);
+    }
+
+    #[test]
+    fn contains_addr_is_half_open() {
+        let r = ByteRange::new(16, 32);
+        assert!(r.contains_addr(16));
+        assert!(r.contains_addr(31));
+        assert!(!r.contains_addr(32));
+        assert!(!r.contains_addr(15));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = ByteRange::new(0, 100);
+        assert!(outer.contains(&ByteRange::new(0, 100)));
+        assert!(outer.contains(&ByteRange::new(10, 20)));
+        assert!(!outer.contains(&ByteRange::new(90, 101)));
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let a = ByteRange::new(0, 10);
+        assert!(a.overlaps(&ByteRange::new(9, 20)));
+        assert!(!a.overlaps(&ByteRange::new(10, 20)), "touching is not overlap");
+        assert!(!a.overlaps(&ByteRange::new(5, 5)), "empty never overlaps");
+    }
+
+    #[test]
+    fn intersection() {
+        let a = ByteRange::new(0, 10);
+        assert_eq!(a.intersection(&ByteRange::new(5, 20)), Some(ByteRange::new(5, 10)));
+        assert_eq!(a.intersection(&ByteRange::new(10, 20)), None);
+    }
+
+    #[test]
+    fn from_std_range() {
+        let r: ByteRange = (3..9).into();
+        assert_eq!(r, ByteRange::new(3, 9));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let r = ByteRange::new(0x10, 0x20);
+        assert_eq!(format!("{r:?}"), "[0x10, 0x20)");
+        assert_eq!(format!("{r}"), "0x10+16");
+    }
+}

@@ -1,0 +1,426 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ByteRange;
+
+/// A map from non-overlapping half-open byte ranges to values.
+///
+/// This is the container backing the PMTest *shadow memory* (§4.4): each
+/// modified address range maps to its persistency status, and the engine
+/// needs `O(log n)` range-wise updates and lookups. Overlapping inserts split
+/// or truncate the segments already present, exactly like writing over part
+/// of a previously tracked range.
+///
+/// Internally the map is a `BTreeMap` keyed by segment start; the invariant
+/// (checked in debug builds and by property tests) is that segments are
+/// non-empty, sorted, and pairwise disjoint.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_interval::{ByteRange, SegmentMap};
+///
+/// let mut map = SegmentMap::new();
+/// map.insert(ByteRange::new(0, 64), 'x');
+/// map.insert(ByteRange::new(16, 32), 'y');
+/// let segs: Vec<_> = map.iter().map(|(r, v)| (r.start(), r.end(), *v)).collect();
+/// assert_eq!(segs, [(0, 16, 'x'), (16, 32, 'y'), (32, 64, 'x')]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SegmentMap<V> {
+    /// start -> (end, value)
+    segments: BTreeMap<u64, (u64, V)>,
+}
+
+impl<V> Default for SegmentMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> SegmentMap<V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { segments: BTreeMap::new() }
+    }
+
+    /// Number of stored segments (not bytes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the map holds no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Removes all segments.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// Returns the value covering `addr`, if any.
+    #[must_use]
+    pub fn get(&self, addr: u64) -> Option<&V> {
+        let (&start, (end, value)) = self.segments.range(..=addr).next_back()?;
+        (start <= addr && addr < *end).then_some(value)
+    }
+
+    /// Returns the segment (range and value) covering `addr`, if any.
+    #[must_use]
+    pub fn get_segment(&self, addr: u64) -> Option<(ByteRange, &V)> {
+        let (&start, (end, value)) = self.segments.range(..=addr).next_back()?;
+        (start <= addr && addr < *end).then(|| (ByteRange::new(start, *end), value))
+    }
+
+    /// Iterates over all segments in address order.
+    pub fn iter(&self) -> Segments<'_, V> {
+        Segments { inner: self.segments.iter() }
+    }
+
+    /// Iterates over the segments overlapping `range`, clipped to `range`.
+    ///
+    /// Each yielded pair is `(clipped_range, value)`; gaps inside `range` are
+    /// skipped (see [`SegmentMap::gaps`] for the complement).
+    pub fn overlapping(&self, range: ByteRange) -> impl Iterator<Item = (ByteRange, &V)> {
+        // The first candidate may start before `range.start()`.
+        let first_start = self
+            .segments
+            .range(..=range.start())
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(range.start());
+        self.segments
+            .range(first_start..range.end())
+            .filter_map(move |(&s, (e, v))| {
+                ByteRange::new(s, *e).intersection(&range).map(|clip| (clip, v))
+            })
+    }
+
+    /// Iterates over the maximal sub-ranges of `range` not covered by any
+    /// segment.
+    pub fn gaps(&self, range: ByteRange) -> Vec<ByteRange> {
+        let mut gaps = Vec::new();
+        let mut cursor = range.start();
+        for (seg, _) in self.overlapping(range) {
+            if cursor < seg.start() {
+                gaps.push(ByteRange::new(cursor, seg.start()));
+            }
+            cursor = seg.end();
+        }
+        if cursor < range.end() {
+            gaps.push(ByteRange::new(cursor, range.end()));
+        }
+        gaps
+    }
+
+    /// Whether every byte of `range` is covered by some segment.
+    #[must_use]
+    pub fn covers(&self, range: ByteRange) -> bool {
+        if range.is_empty() {
+            return true;
+        }
+        let mut cursor = range.start();
+        for (seg, _) in self.overlapping(range) {
+            if seg.start() > cursor {
+                return false;
+            }
+            cursor = seg.end();
+        }
+        cursor >= range.end()
+    }
+
+    /// Whether any byte of `range` is covered by some segment.
+    #[must_use]
+    pub fn overlaps(&self, range: ByteRange) -> bool {
+        self.overlapping(range).next().is_some()
+    }
+}
+
+impl<V: Clone> SegmentMap<V> {
+    /// Maps `range` to `value`, overwriting anything previously stored there.
+    ///
+    /// Existing segments that partially overlap `range` are split; their
+    /// portions outside `range` keep their old values.
+    pub fn insert(&mut self, range: ByteRange, value: V) {
+        if range.is_empty() {
+            return;
+        }
+        self.carve(range);
+        self.segments.insert(range.start(), (range.end(), value));
+        self.debug_check();
+    }
+
+    /// Removes all coverage of `range`; segments partially overlapping it are
+    /// truncated or split.
+    pub fn remove(&mut self, range: ByteRange) {
+        if range.is_empty() {
+            return;
+        }
+        self.carve(range);
+        self.debug_check();
+    }
+
+    /// Applies `f` to every sub-segment of `range`, including uncovered gaps.
+    ///
+    /// For each maximal sub-range with uniform current value (`Some(v)` for a
+    /// covered sub-range, `None` for a gap), `f(sub_range, current)` decides
+    /// the new value: `Some(v)` stores `v`, `None` leaves the sub-range empty.
+    ///
+    /// This is the primitive behind the paper's checking rules: a `write`
+    /// replaces the status over its range, a `clwb` updates the flush interval
+    /// of covered sub-ranges and can inspect gaps to flag unnecessary
+    /// writebacks.
+    pub fn update_range<F>(&mut self, range: ByteRange, mut f: F)
+    where
+        F: FnMut(ByteRange, Option<&V>) -> Option<V>,
+    {
+        if range.is_empty() {
+            return;
+        }
+        // Collect the current view first to avoid aliasing the tree while
+        // mutating it.
+        let mut pieces: Vec<(ByteRange, Option<V>)> = Vec::new();
+        let mut cursor = range.start();
+        for (seg, v) in self.overlapping(range) {
+            if cursor < seg.start() {
+                pieces.push((ByteRange::new(cursor, seg.start()), None));
+            }
+            pieces.push((seg, Some(v.clone())));
+            cursor = seg.end();
+        }
+        if cursor < range.end() {
+            pieces.push((ByteRange::new(cursor, range.end()), None));
+        }
+
+        self.carve(range);
+        for (sub, current) in pieces {
+            if let Some(new) = f(sub, current.as_ref()) {
+                self.segments.insert(sub.start(), (sub.end(), new));
+            }
+        }
+        self.debug_check();
+    }
+
+    /// Removes `range` coverage, splitting boundary segments so that no
+    /// remaining segment overlaps `range`.
+    fn carve(&mut self, range: ByteRange) {
+        // Split a segment straddling range.start().
+        if let Some((&s, &(e, _))) = self.segments.range(..range.start()).next_back() {
+            if e > range.start() {
+                let (_, (_, v)) = self.segments.remove_entry(&s).expect("segment exists");
+                self.segments.insert(s, (range.start(), v.clone()));
+                if e > range.end() {
+                    self.segments.insert(range.end(), (e, v));
+                }
+            }
+        }
+        // Remove or truncate segments starting inside the range.
+        let starts: Vec<u64> = self
+            .segments
+            .range(range.start()..range.end())
+            .map(|(&s, _)| s)
+            .collect();
+        for s in starts {
+            let (e, v) = self.segments.remove(&s).expect("segment exists");
+            if e > range.end() {
+                self.segments.insert(range.end(), (e, v));
+            }
+        }
+    }
+
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut prev_end = 0u64;
+            for (&s, &(e, _)) in &self.segments {
+                debug_assert!(s < e, "empty segment [{s:#x},{e:#x})");
+                debug_assert!(s >= prev_end, "overlapping segments at {s:#x}");
+                prev_end = e;
+            }
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for SegmentMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|(r, v)| (format!("{r:?}"), v)))
+            .finish()
+    }
+}
+
+/// Iterator over the segments of a [`SegmentMap`] in address order.
+pub struct Segments<'a, V> {
+    inner: std::collections::btree_map::Iter<'a, u64, (u64, V)>,
+}
+
+impl<'a, V> Iterator for Segments<'a, V> {
+    type Item = (ByteRange, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner
+            .next()
+            .map(|(&s, (e, v))| (ByteRange::new(s, *e), v))
+    }
+}
+
+impl<V: Clone> FromIterator<(ByteRange, V)> for SegmentMap<V> {
+    fn from_iter<T: IntoIterator<Item = (ByteRange, V)>>(iter: T) -> Self {
+        let mut map = SegmentMap::new();
+        for (r, v) in iter {
+            map.insert(r, v);
+        }
+        map
+    }
+}
+
+impl<V: Clone> Extend<(ByteRange, V)> for SegmentMap<V> {
+    fn extend<T: IntoIterator<Item = (ByteRange, V)>>(&mut self, iter: T) {
+        for (r, v) in iter {
+            self.insert(r, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    fn dump(map: &SegmentMap<char>) -> Vec<(u64, u64, char)> {
+        map.iter().map(|(rg, v)| (rg.start(), rg.end(), *v)).collect()
+    }
+
+    #[test]
+    fn insert_disjoint() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 10), 'a');
+        m.insert(r(20, 30), 'b');
+        assert_eq!(dump(&m), [(0, 10, 'a'), (20, 30, 'b')]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn insert_splits_enclosing_segment() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 100), 'a');
+        m.insert(r(40, 60), 'b');
+        assert_eq!(dump(&m), [(0, 40, 'a'), (40, 60, 'b'), (60, 100, 'a')]);
+    }
+
+    #[test]
+    fn insert_overwrites_contained_segments() {
+        let mut m = SegmentMap::new();
+        m.insert(r(10, 20), 'a');
+        m.insert(r(30, 40), 'b');
+        m.insert(r(0, 50), 'c');
+        assert_eq!(dump(&m), [(0, 50, 'c')]);
+    }
+
+    #[test]
+    fn insert_truncates_left_and_right_neighbours() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 20), 'a');
+        m.insert(r(30, 50), 'b');
+        m.insert(r(10, 40), 'c');
+        assert_eq!(dump(&m), [(0, 10, 'a'), (10, 40, 'c'), (40, 50, 'b')]);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut m = SegmentMap::new();
+        m.insert(r(5, 5), 'a');
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_lookups() {
+        let mut m = SegmentMap::new();
+        m.insert(r(10, 20), 'a');
+        assert_eq!(m.get(10), Some(&'a'));
+        assert_eq!(m.get(19), Some(&'a'));
+        assert_eq!(m.get(20), None);
+        assert_eq!(m.get(9), None);
+        assert_eq!(m.get_segment(15), Some((r(10, 20), &'a')));
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 100), 'a');
+        m.remove(r(40, 60));
+        assert_eq!(dump(&m), [(0, 40, 'a'), (60, 100, 'a')]);
+        assert!(!m.covers(r(0, 100)));
+        assert!(m.covers(r(0, 40)));
+    }
+
+    #[test]
+    fn overlapping_clips_to_query() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 10), 'a');
+        m.insert(r(10, 20), 'b');
+        m.insert(r(25, 35), 'c');
+        let got: Vec<_> = m.overlapping(r(5, 30)).map(|(rg, v)| (rg.start(), rg.end(), *v)).collect();
+        assert_eq!(got, [(5, 10, 'a'), (10, 20, 'b'), (25, 30, 'c')]);
+    }
+
+    #[test]
+    fn gaps_and_covers() {
+        let mut m = SegmentMap::new();
+        m.insert(r(10, 20), 'a');
+        m.insert(r(30, 40), 'b');
+        assert_eq!(m.gaps(r(0, 50)), [r(0, 10), r(20, 30), r(40, 50)]);
+        assert_eq!(m.gaps(r(12, 18)), []);
+        assert!(m.covers(r(12, 18)));
+        assert!(!m.covers(r(15, 35)));
+        assert!(m.overlaps(r(15, 35)));
+        assert!(!m.overlaps(r(20, 30)));
+        assert!(m.covers(r(7, 7)), "empty range is vacuously covered");
+    }
+
+    #[test]
+    fn update_range_visits_gaps_and_segments() {
+        let mut m = SegmentMap::new();
+        m.insert(r(10, 20), 'a');
+        let mut seen = Vec::new();
+        m.update_range(r(0, 30), |sub, cur| {
+            seen.push((sub.start(), sub.end(), cur.copied()));
+            Some(cur.copied().unwrap_or('x'))
+        });
+        assert_eq!(
+            seen,
+            [(0, 10, None), (10, 20, Some('a')), (20, 30, None)]
+        );
+        assert_eq!(dump(&m), [(0, 10, 'x'), (10, 20, 'a'), (20, 30, 'x')]);
+    }
+
+    #[test]
+    fn update_range_can_erase() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 30), 'a');
+        m.update_range(r(10, 20), |_, _| None);
+        assert_eq!(dump(&m), [(0, 10, 'a'), (20, 30, 'a')]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: SegmentMap<char> = [(r(0, 4), 'a'), (r(4, 8), 'b')].into_iter().collect();
+        m.extend([(r(8, 12), 'c')]);
+        assert_eq!(dump(&m), [(0, 4, 'a'), (4, 8, 'b'), (8, 12, 'c')]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let mut m = SegmentMap::new();
+        assert_eq!(format!("{m:?}"), "{}");
+        m.insert(r(0, 1), 'z');
+        assert!(format!("{m:?}").contains("0x0"));
+    }
+}

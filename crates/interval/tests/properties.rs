@@ -1,0 +1,158 @@
+//! Property tests comparing the interval containers against naive
+//! byte-granular oracles.
+
+use std::collections::HashMap;
+
+use pmtest_interval::{ByteRange, IntervalTree, SegmentMap};
+use proptest::prelude::*;
+
+const ADDR_SPACE: u64 = 256;
+
+fn arb_range() -> impl Strategy<Value = ByteRange> {
+    (0..ADDR_SPACE, 0..ADDR_SPACE).prop_map(|(a, b)| {
+        let (s, e) = if a <= b { (a, b) } else { (b, a) };
+        ByteRange::new(s, e)
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(ByteRange, u8),
+    Remove(ByteRange),
+    Update(ByteRange, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_range(), any::<u8>()).prop_map(|(r, v)| Op::Insert(r, v)),
+        arb_range().prop_map(Op::Remove),
+        (arb_range(), any::<u8>()).prop_map(|(r, v)| Op::Update(r, v)),
+    ]
+}
+
+/// Byte-granular oracle for `SegmentMap`.
+fn apply_oracle(oracle: &mut HashMap<u64, u8>, op: &Op) {
+    match op {
+        Op::Insert(r, v) => {
+            for a in r.start()..r.end() {
+                oracle.insert(a, *v);
+            }
+        }
+        Op::Remove(r) => {
+            for a in r.start()..r.end() {
+                oracle.remove(&a);
+            }
+        }
+        Op::Update(r, v) => {
+            // Mirrors the closure below: add `v` to covered bytes, fill gaps
+            // with `v`.
+            for a in r.start()..r.end() {
+                let cur = oracle.get(&a).copied();
+                oracle.insert(a, cur.map_or(*v, |c| c.wrapping_add(*v)));
+            }
+        }
+    }
+}
+
+fn apply_map(map: &mut SegmentMap<u8>, op: &Op) {
+    match op {
+        Op::Insert(r, v) => map.insert(*r, *v),
+        Op::Remove(r) => map.remove(*r),
+        Op::Update(r, v) => map.update_range(*r, |_, cur| {
+            Some(cur.copied().map_or(*v, |c| c.wrapping_add(*v)))
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn segment_map_matches_byte_oracle(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut map = SegmentMap::new();
+        let mut oracle = HashMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            apply_oracle(&mut oracle, op);
+        }
+        for addr in 0..ADDR_SPACE {
+            prop_assert_eq!(map.get(addr).copied(), oracle.get(&addr).copied(), "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn segment_map_segments_are_disjoint_sorted(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut map = SegmentMap::new();
+        let mut oracle = HashMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            apply_oracle(&mut oracle, op);
+        }
+        let mut prev_end = 0u64;
+        for (r, _) in map.iter() {
+            prop_assert!(!r.is_empty());
+            prop_assert!(r.start() >= prev_end);
+            prev_end = r.end();
+        }
+    }
+
+    #[test]
+    fn segment_map_covers_matches_oracle(
+        ops in prop::collection::vec(arb_op(), 0..30),
+        query in arb_range(),
+    ) {
+        let mut map = SegmentMap::new();
+        let mut oracle = HashMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            apply_oracle(&mut oracle, op);
+        }
+        let oracle_covers = (query.start()..query.end()).all(|a| oracle.contains_key(&a));
+        let oracle_overlaps = (query.start()..query.end()).any(|a| oracle.contains_key(&a));
+        prop_assert_eq!(map.covers(query), oracle_covers);
+        prop_assert_eq!(map.overlaps(query), oracle_overlaps);
+        // Gaps + overlapping partition the query range.
+        let mut covered: u64 = map.overlapping(query).map(|(r, _)| r.len()).sum();
+        covered += map.gaps(query).iter().map(ByteRange::len).sum::<u64>();
+        prop_assert_eq!(covered, query.len());
+    }
+
+    #[test]
+    fn interval_tree_overlaps_matches_naive(
+        ivs in prop::collection::vec(arb_range(), 0..40),
+        query in arb_range(),
+    ) {
+        let tree: IntervalTree<usize> =
+            ivs.iter().copied().zip(0..).collect();
+        let mut got: Vec<usize> = tree.overlaps(query).map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = ivs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.overlaps(&query))
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interval_tree_covers_matches_naive(
+        ivs in prop::collection::vec(arb_range(), 0..40),
+        query in arb_range(),
+    ) {
+        let tree: IntervalTree<()> = ivs.iter().map(|r| (*r, ())).collect();
+        let naive = (query.start()..query.end())
+            .all(|a| ivs.iter().any(|r| r.contains_addr(a)));
+        prop_assert_eq!(tree.covers(query), naive);
+        // `uncovered` is consistent with `covers`.
+        let gaps = tree.uncovered(query);
+        prop_assert_eq!(gaps.is_empty(), tree.covers(query));
+        for g in &gaps {
+            prop_assert!(!g.is_empty());
+            for a in g.start()..g.end() {
+                prop_assert!(!ivs.iter().any(|r| r.contains_addr(a)));
+            }
+        }
+    }
+}

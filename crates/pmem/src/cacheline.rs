@@ -1,0 +1,75 @@
+//! Cache-line geometry helpers.
+//!
+//! x86 writebacks (`clwb`) operate on whole cache lines; the crash-state
+//! generator and the pmemcheck-like baseline both need to map byte ranges to
+//! the lines they touch.
+
+use pmtest_interval::ByteRange;
+
+/// Cache-line size in bytes, matching the Skylake system of Table 3.
+pub const CACHE_LINE: u64 = 64;
+
+/// Rounds `addr` down to its cache-line base.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_pmem::cacheline::line_base;
+/// assert_eq!(line_base(0x7f), 0x40);
+/// assert_eq!(line_base(0x80), 0x80);
+/// ```
+#[must_use]
+pub fn line_base(addr: u64) -> u64 {
+    addr & !(CACHE_LINE - 1)
+}
+
+/// Expands `range` to full cache-line granularity, as a `clwb` of the range
+/// would write back.
+#[must_use]
+pub fn align_to_lines(range: ByteRange) -> ByteRange {
+    if range.is_empty() {
+        return range;
+    }
+    let start = line_base(range.start());
+    let end = line_base(range.end() - 1) + CACHE_LINE;
+    ByteRange::new(start, end)
+}
+
+/// Iterates over the base addresses of the cache lines touched by `range`.
+pub fn lines(range: ByteRange) -> impl Iterator<Item = u64> {
+    let aligned = align_to_lines(range);
+    (aligned.start()..aligned.end()).step_by(CACHE_LINE as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        assert_eq!(line_base(0), 0);
+        assert_eq!(line_base(63), 0);
+        assert_eq!(line_base(64), 64);
+        assert_eq!(line_base(130), 128);
+    }
+
+    #[test]
+    fn align_covers_partial_lines() {
+        assert_eq!(align_to_lines(ByteRange::new(10, 20)), ByteRange::new(0, 64));
+        assert_eq!(align_to_lines(ByteRange::new(60, 70)), ByteRange::new(0, 128));
+        assert_eq!(align_to_lines(ByteRange::new(64, 128)), ByteRange::new(64, 128));
+    }
+
+    #[test]
+    fn empty_range_stays_empty() {
+        let r = ByteRange::new(100, 100);
+        assert_eq!(align_to_lines(r), r);
+        assert_eq!(lines(r).count(), 0);
+    }
+
+    #[test]
+    fn lines_enumerates_all_touched() {
+        let ls: Vec<u64> = lines(ByteRange::new(60, 200)).collect();
+        assert_eq!(ls, [0, 64, 128, 192]);
+    }
+}

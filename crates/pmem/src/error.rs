@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use pmtest_interval::ByteRange;
+
+/// Errors raised by the simulated persistent-memory substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmError {
+    /// An access fell outside the pool.
+    OutOfBounds {
+        /// The offending range.
+        range: ByteRange,
+        /// The pool size in bytes.
+        pool_size: u64,
+    },
+    /// The heap could not satisfy an allocation.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// `free` was called on an address that is not an active allocation.
+    InvalidFree {
+        /// The address passed to `free`.
+        addr: u64,
+    },
+    /// An allocation request was malformed (zero size or non-power-of-two
+    /// alignment).
+    InvalidAlloc {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::OutOfBounds { range, pool_size } => {
+                write!(f, "access {range:?} outside pool of {pool_size} bytes")
+            }
+            PmError::OutOfMemory { requested } => {
+                write!(f, "persistent heap exhausted while allocating {requested} bytes")
+            }
+            PmError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not an active allocation")
+            }
+            PmError::InvalidAlloc { reason } => write!(f, "invalid allocation request: {reason}"),
+        }
+    }
+}
+
+impl Error for PmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = PmError::OutOfBounds { range: ByteRange::new(0, 8), pool_size: 4 };
+        assert!(e.to_string().contains("outside pool"));
+        let e = PmError::OutOfMemory { requested: 128 };
+        assert!(e.to_string().contains("128"));
+        let e = PmError::InvalidFree { addr: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        let e = PmError::InvalidAlloc { reason: "zero size" };
+        assert!(e.to_string().contains("zero size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<PmError>();
+    }
+}

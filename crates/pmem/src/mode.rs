@@ -1,0 +1,124 @@
+//! Durability/ordering primitive selection.
+
+use crate::PmPool;
+use pmtest_interval::ByteRange;
+
+/// Which persistency model's primitives an instrumented library should emit.
+///
+/// This reproduces the paper's Fig. 2: the *same* crash-consistent software
+/// can run on an x86 system (`clwb` + `sfence`) or on a HOPS system
+/// (`ofence` + `dfence`). Libraries in this repository take a `PersistMode`
+/// and call [`persist`](Self::persist) / [`order`](Self::order) instead of
+/// hard-coding primitives, so one workload exercises both models.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_pmem::{PersistMode, PmPool};
+/// use pmtest_trace::MemorySink;
+/// use pmtest_interval::ByteRange;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), pmtest_pmem::PmError> {
+/// let sink = Arc::new(MemorySink::new());
+/// let pool = PmPool::new(128, sink.clone());
+/// let r = pool.write_u64(0, 7)?;
+/// PersistMode::Hops.persist(&pool, r); // emits a dfence, no clwb
+/// assert_eq!(sink.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PersistMode {
+    /// Intel x86: `clwb` + `sfence` (§2.1).
+    #[default]
+    X86,
+    /// HOPS: `ofence` for ordering, `dfence` for durability (§5.2).
+    Hops,
+}
+
+impl PersistMode {
+    /// Makes `range` durable: `clwb(range); sfence` on x86, `dfence` on
+    /// HOPS.
+    #[track_caller]
+    pub fn persist(self, pool: &PmPool, range: ByteRange) {
+        match self {
+            PersistMode::X86 => {
+                pool.flush(range);
+                pool.fence();
+            }
+            PersistMode::Hops => pool.dfence(),
+        }
+    }
+
+    /// Orders prior writes before subsequent ones: `sfence` on x86 (writes
+    /// must have been flushed to be ordered durably), `ofence` on HOPS.
+    #[track_caller]
+    pub fn order(self, pool: &PmPool) {
+        match self {
+            PersistMode::X86 => pool.fence(),
+            PersistMode::Hops => pool.ofence(),
+        }
+    }
+
+    /// Issues the writeback half of a persist without the ordering half
+    /// (`clwb` on x86, nothing on HOPS — HOPS hardware tracks dirty data).
+    #[track_caller]
+    pub fn writeback(self, pool: &PmPool, range: ByteRange) {
+        match self {
+            PersistMode::X86 => pool.flush(range),
+            PersistMode::Hops => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_trace::{Event, MemorySink};
+    use std::sync::Arc;
+
+    fn recorded(mode: PersistMode, f: impl Fn(&PmPool)) -> Vec<Event> {
+        let sink = Arc::new(MemorySink::new());
+        let pool = PmPool::new(128, sink.clone());
+        let _ = mode;
+        f(&pool);
+        sink.snapshot().iter().map(|e| e.event).collect()
+    }
+
+    #[test]
+    fn x86_persist_is_flush_fence() {
+        let r = ByteRange::new(0, 8);
+        let events = recorded(PersistMode::X86, |p| PersistMode::X86.persist(p, r));
+        assert_eq!(events, [Event::Flush(r), Event::Fence]);
+    }
+
+    #[test]
+    fn hops_persist_is_dfence() {
+        let r = ByteRange::new(0, 8);
+        let events = recorded(PersistMode::Hops, |p| PersistMode::Hops.persist(p, r));
+        assert_eq!(events, [Event::DFence]);
+    }
+
+    #[test]
+    fn order_primitives() {
+        let events = recorded(PersistMode::X86, |p| PersistMode::X86.order(p));
+        assert_eq!(events, [Event::Fence]);
+        let events = recorded(PersistMode::Hops, |p| PersistMode::Hops.order(p));
+        assert_eq!(events, [Event::OFence]);
+    }
+
+    #[test]
+    fn writeback_primitives() {
+        let r = ByteRange::new(0, 8);
+        let events = recorded(PersistMode::X86, |p| PersistMode::X86.writeback(p, r));
+        assert_eq!(events, [Event::Flush(r)]);
+        let events = recorded(PersistMode::Hops, |p| PersistMode::Hops.writeback(p, r));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn default_is_x86() {
+        assert_eq!(PersistMode::default(), PersistMode::X86);
+    }
+}

@@ -1,0 +1,863 @@
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use pmtest_interval::ByteRange;
+use pmtest_pmem::{PersistMode, PmError, PmHeap, PmPool};
+
+use crate::journal::{self, Journal, JournalStats};
+
+const MAGIC: u64 = 0x504d_4653_2d52_5553; // "PMFS-RUS"
+const SUPER_SIZE: u64 = 64;
+const INODE_SIZE: u64 = 64;
+const DIRENT_SIZE: u64 = 32;
+const NAME_MAX: usize = 23;
+/// Data block size.
+pub(crate) const BLOCK_SIZE: u64 = 256;
+const BLOCKS_PER_INODE: u64 = 4;
+/// Maximum file size (4 blocks).
+const MAX_FILE: u64 = BLOCK_SIZE * BLOCKS_PER_INODE;
+
+// Superblock field offsets.
+const SB_MAGIC: u64 = 0;
+const SB_INODES: u64 = 8;
+const SB_JOURNAL_HEAD: u64 = 24;
+const SB_GEN: u64 = 32;
+
+/// A file's inode number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InodeId(u32);
+
+impl InodeId {
+    /// The raw inode index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode#{}", self.0)
+    }
+}
+
+/// Metadata returned by [`Pmfs::stat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    /// File size in bytes.
+    pub size: u64,
+    /// Number of allocated data blocks.
+    pub blocks: u32,
+}
+
+/// File-system errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// Underlying persistent-memory error.
+    Pm(PmError),
+    /// No such file.
+    NotFound {
+        /// The name looked up.
+        name: String,
+    },
+    /// A file with this name already exists.
+    Exists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The inode table or directory is full.
+    NoSpace,
+    /// Name longer than the 23-byte dirent limit, or empty.
+    InvalidName,
+    /// Access beyond the 1 KiB per-file limit.
+    FileTooLarge,
+    /// The superblock magic does not match (corrupt or unformatted image).
+    BadSuperblock,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Pm(e) => write!(f, "persistent memory error: {e}"),
+            FsError::NotFound { name } => write!(f, "no such file: {name}"),
+            FsError::Exists { name } => write!(f, "file exists: {name}"),
+            FsError::NoSpace => write!(f, "no free inodes or directory entries"),
+            FsError::InvalidName => write!(f, "invalid file name"),
+            FsError::FileTooLarge => write!(f, "file exceeds the maximum size"),
+            FsError::BadSuperblock => write!(f, "bad superblock magic"),
+        }
+    }
+}
+
+impl Error for FsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsError::Pm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for FsError {
+    fn from(e: PmError) -> Self {
+        FsError::Pm(e)
+    }
+}
+
+/// Formatting and fault-injection options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmfsOptions {
+    /// Number of inodes (and directory slots).
+    pub inodes: u32,
+    /// Durability primitives to emit.
+    pub mode: PersistMode,
+    /// Paper Bug 1 (`journal.c:632`): flush the whole transaction again
+    /// after flushing the commit log entry (duplicate writeback, `WARN`).
+    pub legacy_double_flush: bool,
+    /// Paper known bug (`files.c:232`): flush a buffer that was never
+    /// written (unnecessary writeback, `WARN`).
+    pub legacy_flush_unmapped: bool,
+    /// Table 5 ordering bug: skip persisting journal entries before the
+    /// in-place modification.
+    pub skip_journal_persist: bool,
+    /// Table 5 ordering bug: skip the fence between the journal and the
+    /// in-place updates.
+    pub skip_journal_fence: bool,
+    /// Table 5 writeback bug: skip writing back modified data at commit.
+    pub skip_commit_writeback: bool,
+    /// Table 5 ordering bug: skip the fence after commit writebacks.
+    pub skip_commit_fence: bool,
+    /// Wrap every journal transaction in `TX_CHECKER_START`/`END` so
+    /// PMTest's high-level transaction checkers validate the file system.
+    pub checkers: bool,
+}
+
+impl Default for PmfsOptions {
+    fn default() -> Self {
+        Self {
+            inodes: 64,
+            mode: PersistMode::X86,
+            legacy_double_flush: false,
+            legacy_flush_unmapped: false,
+            skip_journal_persist: false,
+            skip_journal_fence: false,
+            skip_commit_writeback: false,
+            skip_commit_fence: false,
+            checkers: false,
+        }
+    }
+}
+
+/// The PMFS-like file system over a simulated PM pool.
+///
+/// See the crate docs for the on-media layout and journal protocol.
+pub struct Pmfs {
+    pm: Arc<PmPool>,
+    heap: PmHeap,
+    journal: Journal,
+    opts: PmfsOptions,
+}
+
+impl Pmfs {
+    /// Formats `pm` and returns a mounted file system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Pm`] if the pool is too small for the requested
+    /// inode count.
+    pub fn format(pm: Arc<PmPool>, opts: PmfsOptions) -> Result<Self, FsError> {
+        let meta_end = Self::dirents_off_for(opts.inodes)
+            + u64::from(opts.inodes) * DIRENT_SIZE;
+        if meta_end + journal::JOURNAL_BUF > pm.size() {
+            return Err(FsError::Pm(PmError::OutOfMemory { requested: meta_end }));
+        }
+        let heap = PmHeap::new(pm.clone(), meta_end);
+        let fs = Self {
+            journal: Journal::new(SB_JOURNAL_HEAD, SB_GEN, opts.mode, opts),
+            pm,
+            heap,
+            opts,
+        };
+        // Superblock (persisted up front; zeroed pool means inodes/dirents
+        // are already "free"). Write the whole block so the persist below
+        // covers no unwritten bytes.
+        fs.pm.write(0, &[0u8; SUPER_SIZE as usize])?;
+        fs.pm.write_u64(SB_MAGIC, MAGIC)?;
+        fs.pm.write_u64(SB_INODES, u64::from(opts.inodes))?;
+        fs.pm.write_u64(SB_JOURNAL_HEAD, 0)?;
+        opts.mode.persist(&fs.pm, ByteRange::new(0, SUPER_SIZE));
+        Ok(fs)
+    }
+
+    /// Mounts an existing image (running journal recovery first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadSuperblock`] if the image was never formatted.
+    pub fn mount(pm: Arc<PmPool>, opts: PmfsOptions) -> Result<Self, FsError> {
+        if pm.read_u64(SB_MAGIC)? != MAGIC {
+            return Err(FsError::BadSuperblock);
+        }
+        let inodes = pm.read_u64(SB_INODES)? as u32;
+        let opts = PmfsOptions { inodes, ..opts };
+        let meta_end = Self::dirents_off_for(inodes) + u64::from(inodes) * DIRENT_SIZE;
+        let heap = PmHeap::new(pm.clone(), meta_end);
+        let fs = Self {
+            journal: Journal::new(SB_JOURNAL_HEAD, SB_GEN, opts.mode, opts),
+            pm,
+            heap,
+            opts,
+        };
+        fs.recover()?;
+        // Rebuild heap occupancy: the allocator is volatile, so every data
+        // block referenced by a live inode must be re-reserved before new
+        // allocations can be served.
+        for i in 0..fs.opts.inodes {
+            let ino_off = fs.inode_off(InodeId(i));
+            if fs.pm.read_u32(ino_off)? != 1 {
+                continue;
+            }
+            for b in 0..BLOCKS_PER_INODE {
+                let ptr = fs.pm.read_u64(ino_off + 16 + b * 8)?;
+                if ptr != 0 {
+                    let _ = fs.heap.reserve(ByteRange::with_len(ptr, BLOCK_SIZE));
+                }
+            }
+        }
+        Ok(fs)
+    }
+
+    /// Mounts a crash image produced by the simulator (untracked pool).
+    ///
+    /// Note: the volatile heap allocator starts fresh, so a recovered image
+    /// is suitable for *validation reads*, not for continued allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadSuperblock`] on an unformatted image.
+    pub fn mount_image(image: &[u8], opts: PmfsOptions) -> Result<Self, FsError> {
+        let pm = Arc::new(PmPool::untracked(image.len()));
+        pm.restore(image);
+        Self::mount(pm, opts)
+    }
+
+    /// The underlying pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PmPool> {
+        &self.pm
+    }
+
+    /// Journal activity counters.
+    #[must_use]
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.stats()
+    }
+
+    fn inode_off(&self, ino: InodeId) -> u64 {
+        SUPER_SIZE + u64::from(ino.0) * INODE_SIZE
+    }
+
+    fn dirents_off_for(inodes: u32) -> u64 {
+        SUPER_SIZE + u64::from(inodes) * INODE_SIZE
+    }
+
+    fn dirent_off(&self, slot: u32) -> u64 {
+        Self::dirents_off_for(self.opts.inodes) + u64::from(slot) * DIRENT_SIZE
+    }
+
+    fn encode_name(name: &str) -> Result<[u8; NAME_MAX + 1], FsError> {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.len() > NAME_MAX || bytes.contains(&0) {
+            return Err(FsError::InvalidName);
+        }
+        let mut buf = [0u8; NAME_MAX + 1];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Ok(buf)
+    }
+
+    fn dirent_name(&self, slot: u32) -> Result<Option<(InodeId, String)>, FsError> {
+        let off = self.dirent_off(slot);
+        let ino = self.pm.read_u64(off)?;
+        if ino == 0 {
+            return Ok(None);
+        }
+        let raw = self.pm.read_vec(ByteRange::with_len(off + 8, NAME_MAX as u64 + 1))?;
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+        let name = String::from_utf8_lossy(&raw[..end]).into_owned();
+        Ok(Some((InodeId((ino - 1) as u32), name)))
+    }
+
+    /// Looks a file up by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<InodeId> {
+        for slot in 0..self.opts.inodes {
+            if let Ok(Some((ino, entry_name))) = self.dirent_name(slot) {
+                if entry_name == name {
+                    return Some(ino);
+                }
+            }
+        }
+        None
+    }
+
+    /// Lists all files (name, inode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Pm`] on a corrupt image.
+    pub fn readdir(&self) -> Result<Vec<(String, InodeId)>, FsError> {
+        let mut out = Vec::new();
+        for slot in 0..self.opts.inodes {
+            if let Some((ino, name)) = self.dirent_name(slot)? {
+                out.push((name, ino));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the name is taken, [`FsError::NoSpace`] if the
+    /// inode table or directory is full, [`FsError::InvalidName`] for bad
+    /// names.
+    #[track_caller]
+    pub fn create(&self, name: &str) -> Result<InodeId, FsError> {
+        let encoded = Self::encode_name(name)?;
+        if self.lookup(name).is_some() {
+            return Err(FsError::Exists { name: name.to_owned() });
+        }
+        // Find a free inode and a free dirent slot.
+        let mut free_ino = None;
+        for i in 0..self.opts.inodes {
+            if self.pm.read_u32(self.inode_off(InodeId(i)))? == 0 {
+                free_ino = Some(InodeId(i));
+                break;
+            }
+        }
+        let mut free_slot = None;
+        for s in 0..self.opts.inodes {
+            if self.pm.read_u64(self.dirent_off(s))? == 0 {
+                free_slot = Some(s);
+                break;
+            }
+        }
+        let (ino, slot) = match (free_ino, free_slot) {
+            (Some(i), Some(s)) => (i, s),
+            _ => return Err(FsError::NoSpace),
+        };
+        let ino_range = ByteRange::with_len(self.inode_off(ino), INODE_SIZE);
+        let de_range = ByteRange::with_len(self.dirent_off(slot), DIRENT_SIZE);
+        self.journal.run(&self.pm, &self.heap, |jtx| {
+            jtx.log(ino_range)?;
+            jtx.log(de_range)?;
+            // Inode: mode=1 (file), size=0, no blocks.
+            jtx.write_u32(ino_range.start(), 1)?;
+            jtx.write_u64(ino_range.start() + 8, 0)?;
+            for b in 0..BLOCKS_PER_INODE {
+                jtx.write_u64(ino_range.start() + 16 + b * 8, 0)?;
+            }
+            // Dirent: ino+1 (0 marks free), then the name.
+            jtx.write_u64(de_range.start(), u64::from(ino.0) + 1)?;
+            jtx.write(de_range.start() + 8, &encoded)?;
+            Ok(())
+        })?;
+        Ok(ino)
+    }
+
+    /// Removes a file and frees its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if the name does not exist.
+    #[track_caller]
+    pub fn unlink(&self, name: &str) -> Result<(), FsError> {
+        let ino = self.lookup(name).ok_or_else(|| FsError::NotFound { name: name.to_owned() })?;
+        let slot = (0..self.opts.inodes)
+            .find(|&s| {
+                self.dirent_name(s)
+                    .ok()
+                    .flatten()
+                    .is_some_and(|(i, n)| i == ino && n == name)
+            })
+            .expect("dirent exists for looked-up name");
+        let ino_off = self.inode_off(ino);
+        let de_range = ByteRange::with_len(self.dirent_off(slot), DIRENT_SIZE);
+        let ino_range = ByteRange::with_len(ino_off, INODE_SIZE);
+        // Collect blocks to free after the journal commits.
+        let mut blocks = Vec::new();
+        for b in 0..BLOCKS_PER_INODE {
+            let ptr = self.pm.read_u64(ino_off + 16 + b * 8)?;
+            if ptr != 0 {
+                blocks.push(ptr);
+            }
+        }
+        self.journal.run(&self.pm, &self.heap, |jtx| {
+            jtx.log(de_range)?;
+            jtx.log(ino_range)?;
+            jtx.write_u64(de_range.start(), 0)?;
+            jtx.write_u32(ino_range.start(), 0)?;
+            Ok(())
+        })?;
+        for ptr in blocks {
+            let _ = self.heap.free(ptr);
+        }
+        Ok(())
+    }
+
+    /// Renames a file (journaled dirent update; fails if `to` exists).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if `from` is missing, [`FsError::Exists`] if
+    /// `to` is taken, [`FsError::InvalidName`] for bad names.
+    #[track_caller]
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let encoded = Self::encode_name(to)?;
+        if self.lookup(to).is_some() {
+            return Err(FsError::Exists { name: to.to_owned() });
+        }
+        let ino =
+            self.lookup(from).ok_or_else(|| FsError::NotFound { name: from.to_owned() })?;
+        let slot = (0..self.opts.inodes)
+            .find(|&s| {
+                self.dirent_name(s)
+                    .ok()
+                    .flatten()
+                    .is_some_and(|(i, n)| i == ino && n == from)
+            })
+            .expect("dirent exists for looked-up name");
+        let de_range = ByteRange::with_len(self.dirent_off(slot), DIRENT_SIZE);
+        self.journal.run(&self.pm, &self.heap, |jtx| {
+            jtx.log(de_range)?;
+            jtx.write(de_range.start() + 8, &encoded)?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Truncates a file to `size` bytes (journaled size/pointer update;
+    /// blocks past the new size are freed).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::FileTooLarge`] beyond the per-file limit.
+    #[track_caller]
+    pub fn truncate(&self, ino: InodeId, size: u64) -> Result<(), FsError> {
+        if size > MAX_FILE {
+            return Err(FsError::FileTooLarge);
+        }
+        let ino_off = self.inode_off(ino);
+        let old_size = self.pm.read_u64(ino_off + 8)?;
+        if size >= old_size {
+            // Growing via truncate just updates the size (reads of holes
+            // return zeroes only where blocks exist; keep it simple and
+            // refuse to grow past allocated blocks).
+            let allocated = (0..BLOCKS_PER_INODE)
+                .take_while(|b| {
+                    self.pm.read_u64(ino_off + 16 + b * 8).map(|p| p != 0).unwrap_or(false)
+                })
+                .count() as u64
+                * BLOCK_SIZE;
+            if size > allocated {
+                return Err(FsError::FileTooLarge);
+            }
+        }
+        let first_dead = size.div_ceil(BLOCK_SIZE);
+        let mut dead_blocks = Vec::new();
+        for b in first_dead..BLOCKS_PER_INODE {
+            let ptr = self.pm.read_u64(ino_off + 16 + b * 8)?;
+            if ptr != 0 {
+                dead_blocks.push(ptr);
+            }
+        }
+        self.journal.run(&self.pm, &self.heap, |jtx| {
+            jtx.log(ByteRange::with_len(ino_off, INODE_SIZE))?;
+            jtx.write_u64(ino_off + 8, size)?;
+            for b in first_dead..BLOCKS_PER_INODE {
+                jtx.write_u64(ino_off + 16 + b * 8, 0)?;
+            }
+            Ok(())
+        })?;
+        for ptr in dead_blocks {
+            let _ = self.heap.free(ptr);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at byte `offset` of the file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::FileTooLarge`] beyond the 1 KiB limit; [`FsError::Pm`] on
+    /// allocation failure.
+    #[track_caller]
+    pub fn write(&self, ino: InodeId, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let end = offset + data.len() as u64;
+        if end > MAX_FILE {
+            return Err(FsError::FileTooLarge);
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let ino_off = self.inode_off(ino);
+        // Allocate missing blocks up front (allocator is volatile; the block
+        // pointers themselves are journaled below).
+        let first_block = offset / BLOCK_SIZE;
+        let last_block = (end - 1) / BLOCK_SIZE;
+        let mut new_blocks = Vec::new();
+        for b in first_block..=last_block {
+            if self.pm.read_u64(ino_off + 16 + b * 8)? == 0 {
+                new_blocks.push((b, self.heap.alloc(BLOCK_SIZE, 8)?));
+            }
+        }
+        let old_size = self.pm.read_u64(ino_off + 8)?;
+        let new_size = old_size.max(end);
+        self.journal.run(&self.pm, &self.heap, |jtx| {
+            // Journal the inode (size + block pointers).
+            jtx.log(ByteRange::with_len(ino_off, INODE_SIZE))?;
+            for &(b, ptr) in &new_blocks {
+                jtx.fresh(ByteRange::with_len(ptr, BLOCK_SIZE));
+                jtx.write_u64(ino_off + 16 + b * 8, ptr)?;
+            }
+            jtx.write_u64(ino_off + 8, new_size)?;
+            // Journal and update the data, block by block.
+            let mut cursor = offset;
+            let mut remaining = data;
+            while !remaining.is_empty() {
+                let b = cursor / BLOCK_SIZE;
+                let in_block = cursor % BLOCK_SIZE;
+                let take = ((BLOCK_SIZE - in_block) as usize).min(remaining.len());
+                let ptr = if let Some(&(_, p)) = new_blocks.iter().find(|&&(nb, _)| nb == b) {
+                    p
+                } else {
+                    self.pm.read_u64(ino_off + 16 + b * 8)?
+                };
+                let dst = ptr + in_block;
+                let dst_range = ByteRange::with_len(dst, take as u64);
+                // Fresh blocks hold no old data worth journaling.
+                if new_blocks.iter().all(|&(nb, _)| nb != b) {
+                    jtx.log(dst_range)?;
+                }
+                jtx.write(dst, &remaining[..take])?;
+                cursor += take as u64;
+                remaining = &remaining[take..];
+            }
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::FileTooLarge`] beyond the file-size limit.
+    pub fn read(&self, ino: InodeId, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let end = offset + len as u64;
+        if end > MAX_FILE {
+            return Err(FsError::FileTooLarge);
+        }
+        let ino_off = self.inode_off(ino);
+        let mut out = vec![0u8; len];
+        let mut cursor = offset;
+        let mut filled = 0;
+        while filled < len {
+            let b = cursor / BLOCK_SIZE;
+            let in_block = cursor % BLOCK_SIZE;
+            let take = ((BLOCK_SIZE - in_block) as usize).min(len - filled);
+            let ptr = self.pm.read_u64(ino_off + 16 + b * 8)?;
+            if ptr != 0 {
+                let bytes = self.pm.read_vec(ByteRange::with_len(ptr + in_block, take as u64))?;
+                out[filled..filled + take].copy_from_slice(&bytes);
+            }
+            cursor += take as u64;
+            filled += take;
+        }
+        Ok(out)
+    }
+
+    /// Returns a file's metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Pm`] on a corrupt image.
+    pub fn stat(&self, ino: InodeId) -> Result<FileStat, FsError> {
+        let ino_off = self.inode_off(ino);
+        let size = self.pm.read_u64(ino_off + 8)?;
+        let mut blocks = 0;
+        for b in 0..BLOCKS_PER_INODE {
+            if self.pm.read_u64(ino_off + 16 + b * 8)? != 0 {
+                blocks += 1;
+            }
+        }
+        Ok(FileStat { size, blocks })
+    }
+
+    /// Runs journal recovery (called by [`mount`](Self::mount)). Returns the
+    /// number of undo entries applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Pm`] on a corrupt journal.
+    pub fn recover(&self) -> Result<usize, FsError> {
+        Ok(journal::recover(&self.pm, SB_JOURNAL_HEAD, SB_GEN, self.opts.mode)?)
+    }
+
+    /// Structural consistency check used by the crash-state validation
+    /// tests: every directory entry must point at a live inode, inodes must
+    /// be referenced at most once, sizes must fit their blocks, and block
+    /// pointers must be in bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.pm.read_u64(SB_MAGIC).map_err(|e| e.to_string())? != MAGIC {
+            return Err("superblock magic destroyed".to_owned());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..self.opts.inodes {
+            let Some((ino, name)) = self.dirent_name(slot).map_err(|e| e.to_string())? else {
+                continue;
+            };
+            if ino.0 >= self.opts.inodes {
+                return Err(format!("dirent '{name}' references bad inode {ino}"));
+            }
+            if !seen.insert(ino) {
+                return Err(format!("inode {ino} referenced twice"));
+            }
+            let ino_off = self.inode_off(ino);
+            let mode = self.pm.read_u32(ino_off).map_err(|e| e.to_string())?;
+            if mode != 1 {
+                return Err(format!("dirent '{name}' points at free inode {ino}"));
+            }
+            let size = self.pm.read_u64(ino_off + 8).map_err(|e| e.to_string())?;
+            if size > MAX_FILE {
+                return Err(format!("inode {ino} has impossible size {size}"));
+            }
+            let needed = size.div_ceil(BLOCK_SIZE);
+            for b in 0..needed {
+                let ptr = self.pm.read_u64(ino_off + 16 + b * 8).map_err(|e| e.to_string())?;
+                if ptr == 0 {
+                    return Err(format!("inode {ino} sized {size} missing block {b}"));
+                }
+                if ptr + BLOCK_SIZE > self.pm.size() {
+                    return Err(format!("inode {ino} block {b} out of bounds"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Pmfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pmfs")
+            .field("inodes", &self.opts.inodes)
+            .field("mode", &self.opts.mode)
+            .field("journal", &self.journal.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Pmfs {
+        Pmfs::format(Arc::new(PmPool::untracked(1 << 18)), PmfsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let fs = fresh();
+        let ino = fs.create("a.txt").unwrap();
+        fs.write(ino, 0, b"hello world").unwrap();
+        assert_eq!(fs.read(ino, 0, 11).unwrap(), b"hello world");
+        assert_eq!(fs.read(ino, 6, 5).unwrap(), b"world");
+        assert_eq!(fs.stat(ino).unwrap().size, 11);
+    }
+
+    #[test]
+    fn writes_spanning_blocks() {
+        let fs = fresh();
+        let ino = fs.create("big").unwrap();
+        let data: Vec<u8> = (0..600).map(|i| (i % 251) as u8).collect();
+        fs.write(ino, 100, &data).unwrap();
+        assert_eq!(fs.read(ino, 100, 600).unwrap(), data);
+        assert_eq!(fs.stat(ino).unwrap().size, 700);
+        assert_eq!(fs.stat(ino).unwrap().blocks, 3);
+    }
+
+    #[test]
+    fn max_file_size_enforced() {
+        let fs = fresh();
+        let ino = fs.create("f").unwrap();
+        assert!(fs.write(ino, 1020, &[0; 8]).is_err());
+        fs.write(ino, 1016, &[0; 8]).unwrap();
+    }
+
+    #[test]
+    fn lookup_readdir_unlink() {
+        let fs = fresh();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        assert_eq!(fs.lookup("a"), Some(a));
+        assert_eq!(fs.lookup("b"), Some(b));
+        assert_eq!(fs.readdir().unwrap().len(), 2);
+        fs.unlink("a").unwrap();
+        assert_eq!(fs.lookup("a"), None);
+        assert_eq!(fs.readdir().unwrap().len(), 1);
+        // Inode and name reusable.
+        let a2 = fs.create("a").unwrap();
+        assert_eq!(a2, a, "freed inode is reused");
+    }
+
+    #[test]
+    fn name_validation_and_duplicates() {
+        let fs = fresh();
+        assert!(matches!(fs.create(""), Err(FsError::InvalidName)));
+        assert!(matches!(
+            fs.create("this-name-is-way-too-long-for-a-dirent"),
+            Err(FsError::InvalidName)
+        ));
+        fs.create("x").unwrap();
+        assert!(matches!(fs.create("x"), Err(FsError::Exists { .. })));
+        assert!(matches!(fs.unlink("y"), Err(FsError::NotFound { .. })));
+    }
+
+    #[test]
+    fn inode_exhaustion() {
+        let fs = Pmfs::format(
+            Arc::new(PmPool::untracked(1 << 18)),
+            PmfsOptions { inodes: 4, ..PmfsOptions::default() },
+        )
+        .unwrap();
+        for i in 0..4 {
+            fs.create(&format!("f{i}")).unwrap();
+        }
+        assert!(matches!(fs.create("overflow"), Err(FsError::NoSpace)));
+    }
+
+    #[test]
+    fn mount_after_clean_shutdown() {
+        let pm = Arc::new(PmPool::untracked(1 << 18));
+        {
+            let fs = Pmfs::format(pm.clone(), PmfsOptions::default()).unwrap();
+            let ino = fs.create("persist me").unwrap();
+            fs.write(ino, 0, b"data").unwrap();
+        }
+        let fs = Pmfs::mount(pm, PmfsOptions::default()).unwrap();
+        let ino = fs.lookup("persist me").unwrap();
+        assert_eq!(fs.read(ino, 0, 4).unwrap(), b"data");
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn mount_rejects_garbage() {
+        let pm = Arc::new(PmPool::untracked(1 << 16));
+        assert!(matches!(
+            Pmfs::mount(pm, PmfsOptions::default()),
+            Err(FsError::BadSuperblock)
+        ));
+    }
+
+    #[test]
+    fn consistency_check_detects_dangling_dirent() {
+        let fs = fresh();
+        let ino = fs.create("f").unwrap();
+        assert!(fs.check_consistency().is_ok());
+        // Corrupt: free the inode behind the dirent's back.
+        fs.pool().write_u32(fs.inode_off(ino), 0).unwrap();
+        assert!(fs.check_consistency().unwrap_err().contains("free inode"));
+    }
+
+    #[test]
+    fn crash_states_of_correct_fs_are_all_recoverable() {
+        let pm = Arc::new(PmPool::untracked(1 << 18));
+        let fs = Pmfs::format(pm.clone(), PmfsOptions::default()).unwrap();
+        pm.begin_crash_recording();
+        let ino = fs.create("crashme").unwrap();
+        fs.write(ino, 0, b"abc").unwrap();
+        let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
+        let check = |image: &[u8]| -> Result<(), String> {
+            let fs = Pmfs::mount_image(image, PmfsOptions::default()).map_err(|e| e.to_string())?;
+            fs.check_consistency()
+        };
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        assert!(
+            sim.find_violation_sampled(&check, 12, &mut rng).is_none(),
+            "journaled fs must be consistent at every crash point"
+        );
+    }
+
+    #[test]
+    fn rename_round_trip() {
+        let fs = fresh();
+        let ino = fs.create("old-name").unwrap();
+        fs.write(ino, 0, b"contents").unwrap();
+        fs.rename("old-name", "new-name").unwrap();
+        assert_eq!(fs.lookup("old-name"), None);
+        assert_eq!(fs.lookup("new-name"), Some(ino));
+        assert_eq!(fs.read(ino, 0, 8).unwrap(), b"contents");
+        assert!(matches!(fs.rename("old-name", "x"), Err(FsError::NotFound { .. })));
+        fs.create("taken").unwrap();
+        assert!(matches!(fs.rename("new-name", "taken"), Err(FsError::Exists { .. })));
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn truncate_shrinks_and_frees_blocks() {
+        let fs = fresh();
+        let ino = fs.create("t").unwrap();
+        fs.write(ino, 0, &[7u8; 700]).unwrap();
+        assert_eq!(fs.stat(ino).unwrap().blocks, 3);
+        fs.truncate(ino, 100).unwrap();
+        let stat = fs.stat(ino).unwrap();
+        assert_eq!(stat.size, 100);
+        assert_eq!(stat.blocks, 1);
+        assert_eq!(fs.read(ino, 0, 100).unwrap(), vec![7u8; 100]);
+        // Growing past allocated blocks is refused; within them it works.
+        assert!(fs.truncate(ino, 300).is_err());
+        fs.truncate(ino, 0).unwrap();
+        assert_eq!(fs.stat(ino).unwrap().blocks, 0);
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn rename_is_crash_consistent() {
+        let pm = Arc::new(PmPool::untracked(1 << 18));
+        let fs = Pmfs::format(pm.clone(), PmfsOptions::default()).unwrap();
+        let ino = fs.create("a").unwrap();
+        fs.write(ino, 0, b"data").unwrap();
+        pm.begin_crash_recording();
+        fs.rename("a", "b").unwrap();
+        let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
+        let check = |image: &[u8]| -> Result<(), String> {
+            let fs = Pmfs::mount_image(image, PmfsOptions::default()).map_err(|e| e.to_string())?;
+            fs.check_consistency()?;
+            let a = fs.lookup("a");
+            let b = fs.lookup("b");
+            match (a, b) {
+                (Some(_), None) | (None, Some(_)) => Ok(()),
+                other => Err(format!("rename must be atomic, saw {other:?}")),
+            }
+        };
+        assert!(sim.find_violation(&check, 2000).is_none());
+    }
+
+    #[test]
+    fn journal_stats_count_activity() {
+        let fs = fresh();
+        let ino = fs.create("s").unwrap();
+        fs.write(ino, 0, b"xyz").unwrap();
+        let stats = fs.journal_stats();
+        assert_eq!(stats.transactions, 2);
+        assert!(stats.entries >= 3);
+        assert!(stats.bytes_logged > 0);
+    }
+}

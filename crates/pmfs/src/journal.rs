@@ -1,0 +1,350 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_pmem::{PersistMode, PmError, PmHeap, PmPool};
+use pmtest_trace::Event;
+
+use crate::fs::PmfsOptions;
+
+/// Marker word identifying a committed journal transaction.
+pub(crate) const COMMIT_MAGIC: u64 = 0x434f_4d4d_4954_4c45; // "COMMITLE"
+
+/// Fixed size of a per-transaction journal buffer.
+pub(crate) const JOURNAL_BUF: u64 = 4096;
+
+/// Entry header: `addr, len, gen, checksum`.
+const ENTRY_HDR: u64 = 32;
+
+/// Counters describing journal activity (used by the benchmark harnesses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Committed transactions.
+    pub transactions: u64,
+    /// Undo entries written.
+    pub entries: u64,
+    /// Old bytes copied into the journal.
+    pub bytes_logged: u64,
+}
+
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for &b in *part {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn entry_checksum(addr: u64, len: u64, gen: u64, data: &[u8]) -> u64 {
+    fnv1a(&[&addr.to_le_bytes(), &len.to_le_bytes(), &gen.to_le_bytes(), data])
+}
+
+/// The PMFS-like undo journal: one global journal transaction at a time
+/// (kernel journal lock), entries in a contiguous per-transaction buffer.
+///
+/// Torn-entry protection follows real PMFS: every log entry carries the
+/// transaction's generation id and a checksum, so recovery stops at the
+/// first entry that is stale (old generation) or only partially durable
+/// (checksum mismatch).
+pub(crate) struct Journal {
+    /// Pool offset of the durable head slot (in the superblock).
+    head_slot: u64,
+    /// Pool offset of the durable generation id (in the superblock).
+    gen_slot: u64,
+    mode: PersistMode,
+    opts: PmfsOptions,
+    state: Mutex<Option<OpenTx>>,
+    tx_count: AtomicU64,
+    entry_count: AtomicU64,
+    bytes_logged: AtomicU64,
+}
+
+struct OpenTx {
+    buf: u64,
+    cursor: u64,
+    gen: u64,
+    modified: Vec<ByteRange>,
+}
+
+impl Journal {
+    pub(crate) fn new(
+        head_slot: u64,
+        gen_slot: u64,
+        mode: PersistMode,
+        opts: PmfsOptions,
+    ) -> Self {
+        Self {
+            head_slot,
+            gen_slot,
+            mode,
+            opts,
+            state: Mutex::new(None),
+            tx_count: AtomicU64::new(0),
+            entry_count: AtomicU64::new(0),
+            bytes_logged: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> JournalStats {
+        JournalStats {
+            transactions: self.tx_count.load(Ordering::Relaxed),
+            entries: self.entry_count.load(Ordering::Relaxed),
+            bytes_logged: self.bytes_logged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` inside one journal transaction. `f` receives a handle used
+    /// to log-before-modify and to register modified ranges.
+    pub(crate) fn run<T>(
+        &self,
+        pm: &PmPool,
+        heap: &PmHeap,
+        f: impl FnOnce(&mut JTx<'_>) -> Result<T, PmError>,
+    ) -> Result<T, PmError> {
+        let mut guard = self.state.lock();
+        debug_assert!(guard.is_none(), "journal transactions are serialized");
+        if self.opts.checkers {
+            pm.emit(Event::TxCheckerStart);
+        }
+        pm.emit(Event::TxBegin);
+        let buf = heap.alloc(JOURNAL_BUF, 8)?;
+        // Announce the journal's own structures as transaction-safe metadata
+        // (the buffer, the head slot, the generation slot).
+        pm.emit(Event::TxAdd(ByteRange::with_len(buf, JOURNAL_BUF)));
+        pm.emit(Event::TxAdd(ByteRange::with_len(self.head_slot, 8)));
+        pm.emit(Event::TxAdd(ByteRange::with_len(self.gen_slot, 8)));
+        // New generation, durable before the buffer is published: stale
+        // entries from a previous use of this buffer then fail the gen
+        // check during recovery.
+        let gen = pm.read_u64(self.gen_slot)? + 1;
+        let gen_w = pm.write_u64(self.gen_slot, gen)?;
+        self.mode.persist(pm, gen_w);
+        // Terminate the buffer, then publish it.
+        pm.write_u64(buf, 0)?;
+        self.mode.persist(pm, ByteRange::with_len(buf, 8));
+        let head = pm.write_u64(self.head_slot, buf)?;
+        self.mode.persist(pm, head);
+        *guard = Some(OpenTx { buf, cursor: 0, gen, modified: Vec::new() });
+
+        let mut jtx = JTx { journal: self, pm, guard: &mut guard };
+        let outcome = match f(&mut jtx) {
+            Ok(value) => {
+                self.commit(pm, &mut guard)?;
+                let tx = guard.take().expect("open journal tx");
+                heap.free(tx.buf)?;
+                Ok(value)
+            }
+            Err(e) => {
+                self.rollback(pm, &mut guard)?;
+                let tx = guard.take().expect("open journal tx");
+                heap.free(tx.buf)?;
+                Err(e)
+            }
+        };
+        pm.emit(Event::TxEnd);
+        if self.opts.checkers {
+            pm.emit(Event::TxCheckerEnd);
+        }
+        outcome
+    }
+
+    /// Commit protocol (undo journaling): the in-place updates must be
+    /// durable **before** the journal is invalidated, otherwise a crash
+    /// between the two leaves committed-but-lost updates.
+    fn commit(&self, pm: &PmPool, guard: &mut Option<OpenTx>) -> Result<(), PmError> {
+        let tx = guard.as_mut().expect("open journal tx");
+        // 1. Persist the modified metadata/data.
+        if !self.opts.skip_commit_writeback {
+            for r in &tx.modified {
+                self.mode.writeback(pm, *r);
+            }
+            if !self.opts.skip_commit_fence {
+                self.mode.order(pm);
+            }
+        }
+        // 2. Commit log entry (gen-id marker, as in pmfs_commit_logentry).
+        let marker_at = tx.buf + tx.cursor;
+        pm.write_u64(marker_at, COMMIT_MAGIC)?;
+        pm.write_u64(marker_at + 8, tx.gen)?;
+        let marker = ByteRange::with_len(marker_at, 16);
+        if self.opts.checkers {
+            // The undo-journal commit invariant: every in-place update must
+            // be durable before the commit marker can persist (otherwise a
+            // crash could see "committed" with lost updates).
+            for r in &tx.modified {
+                pm.emit(Event::IsOrderedBefore(*r, marker));
+            }
+        }
+        self.mode.writeback(pm, marker);
+        if self.opts.legacy_double_flush {
+            // Paper Bug 1 (journal.c:632): after flushing the commit log
+            // entry, legacy PMFS flushed the *whole* transaction again,
+            // re-writing back the entry it had just flushed.
+            self.mode.writeback(pm, ByteRange::new(tx.buf, marker.end()));
+        }
+        if !self.opts.skip_journal_fence {
+            self.mode.order(pm);
+        }
+        if self.opts.legacy_flush_unmapped {
+            // Paper known bug (files.c:232): flushing a buffer that was
+            // never written — reported by PMTest as an unnecessary
+            // writeback.
+            let scratch = ByteRange::with_len(tx.buf + JOURNAL_BUF - 64, 64);
+            self.mode.writeback(pm, scratch);
+            self.mode.order(pm);
+        }
+        // 3. Truncate the journal.
+        let head = pm.write_u64(self.head_slot, 0)?;
+        self.mode.persist(pm, head);
+        if self.opts.checkers {
+            // ...and the marker must be durable before the truncation.
+            pm.emit(Event::IsOrderedBefore(marker, head));
+        }
+        self.tx_count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn rollback(&self, pm: &PmPool, guard: &mut Option<OpenTx>) -> Result<(), PmError> {
+        let tx = guard.as_mut().expect("open journal tx");
+        let entries = parse_entries(pm, tx.buf, tx.gen)?.0;
+        for (addr, data) in entries.into_iter().rev() {
+            let r = pm.write(addr, &data)?;
+            self.mode.persist(pm, r);
+        }
+        let head = pm.write_u64(self.head_slot, 0)?;
+        self.mode.persist(pm, head);
+        Ok(())
+    }
+}
+
+/// Handle passed to the closure of one journal transaction.
+pub(crate) struct JTx<'a> {
+    journal: &'a Journal,
+    pm: &'a PmPool,
+    guard: &'a mut Option<OpenTx>,
+}
+
+impl JTx<'_> {
+    /// Copies `range`'s old bytes into the journal and persists the entry —
+    /// must precede any modification of `range`.
+    #[track_caller]
+    pub(crate) fn log(&mut self, range: ByteRange) -> Result<(), PmError> {
+        self.pm.emit(Event::TxAdd(range));
+        let tx = self.guard.as_mut().expect("open journal tx");
+        let entry_len = ENTRY_HDR + range.len();
+        assert!(
+            tx.cursor + entry_len + 24 <= JOURNAL_BUF,
+            "journal transaction buffer overflow"
+        );
+        let old = self.pm.read_vec(range)?;
+        let at = tx.buf + tx.cursor;
+        self.pm.write_u64(at, range.start())?;
+        self.pm.write_u64(at + 8, range.len())?;
+        self.pm.write_u64(at + 16, tx.gen)?;
+        self.pm
+            .write_u64(at + 24, entry_checksum(range.start(), range.len(), tx.gen, &old))?;
+        self.pm.write(at + ENTRY_HDR, &old)?;
+        // Durable terminator after the entry (overwritten by the next one).
+        self.pm.write_u64(at + entry_len, 0)?;
+        let whole = ByteRange::with_len(at, entry_len + 8);
+        if !self.journal.opts.skip_journal_persist {
+            self.journal.mode.persist(self.pm, whole);
+        }
+        tx.cursor += entry_len;
+        self.journal.entry_count.fetch_add(1, Ordering::Relaxed);
+        self.journal.bytes_logged.fetch_add(range.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Announces a freshly allocated range (no old state to snapshot) as
+    /// covered by this transaction, like `pmemobj_tx_alloc` registration.
+    pub(crate) fn fresh(&mut self, range: ByteRange) {
+        self.pm.emit(Event::TxAdd(range));
+    }
+
+    /// Stores `data` at `addr` and registers the range for commit-time
+    /// writeback.
+    #[track_caller]
+    pub(crate) fn write(&mut self, addr: u64, data: &[u8]) -> Result<ByteRange, PmError> {
+        let r = self.pm.write(addr, data)?;
+        self.guard.as_mut().expect("open journal tx").modified.push(r);
+        Ok(r)
+    }
+
+    /// Stores a little-endian `u64` (journaled write).
+    #[track_caller]
+    pub(crate) fn write_u64(&mut self, addr: u64, value: u64) -> Result<ByteRange, PmError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Stores a little-endian `u32` (journaled write).
+    #[track_caller]
+    pub(crate) fn write_u32(&mut self, addr: u64, value: u32) -> Result<ByteRange, PmError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+}
+
+/// Undo entries in append order: `(target address, old bytes)`.
+type UndoEntries = Vec<(u64, Vec<u8>)>;
+
+/// Parses the valid entries of a journal buffer for generation `gen`.
+/// Returns the entries in append order plus whether a commit marker for this
+/// generation was found.
+fn parse_entries(pm: &PmPool, buf: u64, gen: u64) -> Result<(UndoEntries, bool), PmError> {
+    let mut entries = Vec::new();
+    let mut committed = false;
+    let mut off = 0;
+    while off + ENTRY_HDR <= JOURNAL_BUF {
+        let addr = pm.read_u64(buf + off)?;
+        if addr == 0 {
+            break;
+        }
+        if addr == COMMIT_MAGIC {
+            committed = pm.read_u64(buf + off + 8)? == gen;
+            break;
+        }
+        let len = pm.read_u64(buf + off + 8)?;
+        let entry_gen = pm.read_u64(buf + off + 16)?;
+        let csum = pm.read_u64(buf + off + 24)?;
+        if entry_gen != gen || len == 0 || off + ENTRY_HDR + len > JOURNAL_BUF {
+            break; // stale or torn entry: stop, undo only what is intact
+        }
+        let data = pm.read_vec(ByteRange::with_len(buf + off + ENTRY_HDR, len))?;
+        if entry_checksum(addr, len, gen, &data) != csum {
+            break; // torn entry
+        }
+        entries.push((addr, data));
+        off += ENTRY_HDR + len;
+    }
+    Ok((entries, committed))
+}
+
+/// Offline journal recovery over a raw pool: undo an uncommitted
+/// transaction, truncate the journal. Returns the number of entries undone.
+pub(crate) fn recover(
+    pm: &PmPool,
+    head_slot: u64,
+    gen_slot: u64,
+    mode: PersistMode,
+) -> Result<usize, PmError> {
+    let buf = pm.read_u64(head_slot)?;
+    if buf == 0 {
+        return Ok(0);
+    }
+    let gen = pm.read_u64(gen_slot)?;
+    let (entries, committed) = parse_entries(pm, buf, gen)?;
+    let mut undone = 0;
+    if !committed {
+        for (addr, data) in entries.into_iter().rev() {
+            let r = pm.write(addr, &data)?;
+            mode.persist(pm, r);
+            undone += 1;
+        }
+    }
+    let head = pm.write_u64(head_slot, 0)?;
+    mode.persist(pm, head);
+    Ok(undone)
+}

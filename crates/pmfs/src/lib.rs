@@ -1,0 +1,53 @@
+//! A PMFS-like persistent-memory file system, instrumented for PMTest.
+//!
+//! PMFS (EuroSys 2014) is the kernel-space stack the paper tests (Fig. 2c):
+//! a PM-optimized file system that ensures metadata crash consistency with a
+//! fine-grained **undo journal**. This crate reproduces the pieces PMTest
+//! exercises:
+//!
+//! * a superblock, a fixed inode table, a flat root directory, and
+//!   heap-allocated data blocks;
+//! * an undo journal: before any journaled range is modified, its old bytes
+//!   are appended to a per-transaction log buffer and persisted; commit
+//!   writes a commit marker, persists the modified ranges, then truncates
+//!   the journal;
+//! * [`Pmfs::recover`] rolls back transactions that crashed before their
+//!   commit marker persisted.
+//!
+//! The journal commit path reproduces the paper's **Bug 1** (Table 6,
+//! `journal.c:632`): in legacy mode, committing flushes the commit log entry
+//! and then flushes the *entire* transaction buffer again — a duplicate
+//! writeback that PMTest reports as a `WARN`. [`PmfsOptions`] also exposes
+//! the ordering/writeback fault knobs used by the Table 5 catalog.
+//!
+//! Being a "kernel module", PMFS does not host the checking engine; the
+//! examples and benches ship its traces through
+//! `KernelFifo`-style queues from `pmtest-core` (§4.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_pmfs::{Pmfs, PmfsOptions};
+//! use pmtest_pmem::{PersistMode, PmPool};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), pmtest_pmfs::FsError> {
+//! let fs = Pmfs::format(Arc::new(PmPool::untracked(1 << 18)), PmfsOptions::default())?;
+//! let ino = fs.create("hello.txt")?;
+//! fs.write(ino, 0, b"persistent!")?;
+//! assert_eq!(fs.read(ino, 0, 11)?, b"persistent!");
+//! assert_eq!(fs.lookup("hello.txt"), Some(ino));
+//! fs.unlink("hello.txt")?;
+//! assert_eq!(fs.lookup("hello.txt"), None);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fs;
+mod journal;
+
+pub use fs::{FileStat, FsError, InodeId, Pmfs, PmfsOptions};
+pub use journal::JournalStats;

@@ -1,0 +1,215 @@
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Entry, Trace};
+
+/// Where instrumented code sends its trace events.
+///
+/// Every instrumented substrate in this repository (the PM pool, the
+/// transactional libraries, the file system) is generic over *where* its
+/// events go, mirroring Fig. 2 of the paper where the same CCS can run under
+/// different testing back ends:
+///
+/// * PMTest's recorder (in `pmtest-core`) buffers entries per thread and
+///   ships them to the asynchronous checking engine;
+/// * the pmemcheck-like baseline (in `pmtest-baseline`) checks each event
+///   synchronously on the application thread;
+/// * [`NullSink`] discards everything — the "no testing tool" native runs
+///   used as the normalization baseline in Figs. 10–12.
+///
+/// Implementations must be thread-safe: multithreaded workloads emit events
+/// concurrently (§4.5).
+pub trait Sink: Send + Sync {
+    /// Records one trace entry.
+    fn record(&self, entry: Entry);
+
+    /// Whether the sink currently wants events at all.
+    ///
+    /// Instrumentation may (but need not) skip event construction when this
+    /// returns `false`; `record` must still be safe to call.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A reference-counted, dynamically dispatched sink handle.
+///
+/// Instrumented pools store one of these; cloning is cheap.
+pub type SharedSink = Arc<dyn Sink>;
+
+impl<S: Sink + ?Sized> Sink for Arc<S> {
+    fn record(&self, entry: Entry) {
+        (**self).record(entry);
+    }
+
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+/// A sink that discards all events.
+///
+/// Used for the uninstrumented "native" runs that Figs. 10–12 normalize
+/// against.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_trace::{Event, NullSink, Sink};
+///
+/// let sink = NullSink;
+/// assert!(!sink.is_enabled());
+/// sink.record(Event::Fence.here()); // no-op
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _entry: Entry) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that appends every entry to an in-memory buffer.
+///
+/// Useful in tests and for offline tools (the Yat-like exhaustive baseline
+/// consumes a fully recorded trace).
+pub struct MemorySink {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { entries: Mutex::new(Vec::new()) }
+    }
+
+    /// Number of recorded entries so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drains the recorded entries into a [`Trace`] with the given id.
+    #[must_use]
+    pub fn take_trace(&self, id: u64) -> Trace {
+        Trace::from_entries(id, std::mem::take(&mut *self.entries.lock()))
+    }
+
+    /// Returns a copy of the recorded entries without draining them.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Entry> {
+        self.entries.lock().clone()
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, entry: Entry) {
+        self.entries.lock().push(entry);
+    }
+}
+
+impl fmt::Debug for MemorySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySink").field("len", &self.len()).finish()
+    }
+}
+
+/// A sink that only counts events, for overhead measurements and tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates a sink with a zero count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for CountingSink {
+    fn record(&self, _entry: Entry) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use pmtest_interval::ByteRange;
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        sink.record(Event::Fence.here());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(Event::Write(ByteRange::new(0, 8)).here());
+        sink.record(Event::Fence.here());
+        assert_eq!(sink.len(), 2);
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].event, Event::Fence);
+        let trace = sink.take_trace(3);
+        assert_eq!(trace.id(), 3);
+        assert_eq!(trace.len(), 2);
+        assert!(sink.is_empty(), "take_trace drains");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let sink = CountingSink::new();
+        for _ in 0..5 {
+            sink.record(Event::Fence.here());
+        }
+        assert_eq!(sink.count(), 5);
+    }
+
+    #[test]
+    fn arc_dyn_sink_dispatches() {
+        let sink: SharedSink = Arc::new(CountingSink::new());
+        sink.record(Event::Fence.here());
+        assert!(sink.is_enabled());
+    }
+
+    #[test]
+    fn sinks_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NullSink>();
+        assert_send_sync::<MemorySink>();
+        assert_send_sync::<CountingSink>();
+        assert_send_sync::<SharedSink>();
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use pmtest_pmem::PmError;
+
+/// Errors raised by the transactional library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TxError {
+    /// An underlying persistent-memory error (bounds, allocation, …).
+    Pm(PmError),
+    /// The application aborted the transaction.
+    Aborted {
+        /// Application-supplied reason.
+        reason: String,
+    },
+    /// All transaction lanes are in use.
+    NoFreeLane,
+    /// An operation was attempted on a transaction that already finished.
+    NotActive,
+}
+
+impl TxError {
+    /// Convenience constructor for an application-level abort.
+    #[must_use]
+    pub fn aborted(reason: impl Into<String>) -> Self {
+        TxError::Aborted { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Pm(e) => write!(f, "persistent memory error: {e}"),
+            TxError::Aborted { reason } => write!(f, "transaction aborted: {reason}"),
+            TxError::NoFreeLane => write!(f, "no free transaction lane"),
+            TxError::NotActive => write!(f, "transaction is no longer active"),
+        }
+    }
+}
+
+impl Error for TxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TxError::Pm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for TxError {
+    fn from(e: PmError) -> Self {
+        TxError::Pm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TxError::from(PmError::OutOfMemory { requested: 8 });
+        assert!(e.to_string().contains("persistent memory error"));
+        assert!(Error::source(&e).is_some());
+        assert!(TxError::aborted("because").to_string().contains("because"));
+        assert!(Error::source(&TxError::NoFreeLane).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! A PMDK-like transactional persistent-object library, instrumented for
+//! PMTest.
+//!
+//! This crate substitutes for Intel's PMDK (`libpmemobj`), one of the three
+//! system stacks the paper tests (Fig. 2b): a user-space library offering
+//! failure-atomic transactions over a persistent heap. The moving parts
+//! mirror PMDK's:
+//!
+//! * an [`ObjPool`] with a durable *root* object and a persistent heap;
+//! * *lanes* — per-transaction undo-log lists anchored in pool metadata, so
+//!   concurrent transactions do not share a log;
+//! * undo logging: [`Tx::add`] snapshots an object's old bytes into a log
+//!   entry and persists it **before** the object may be modified;
+//! * commit: write back all modified objects, fence, then atomically
+//!   invalidate the lane's log head;
+//! * recovery: [`ObjPool::recover`] rolls back any lane whose log head is
+//!   still set.
+//!
+//! Every PM operation flows through the instrumented [`pmtest_pmem::PmPool`],
+//! and the library additionally emits the transaction events
+//! (`TX_BEGIN`/`TX_END`/`TX_ADD`) that PMTest's high-level checkers consume
+//! (§5.1.1). Like PMDK's pmemcheck integration, the library marks its own
+//! log entries as transaction-safe metadata so that the missing-backup
+//! checker does not flag internal log writes.
+//!
+//! The raw [`ObjPool::begin_tx_with`] API plus [`TxOptions`] exists so the
+//! fault-injection catalog (`pmtest-bugs`, Table 5) can plant bugs *inside*
+//! the library — skipping the log persist, the commit writeback, or proper
+//! termination — exactly the classes of bugs the paper seeds and finds.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_txlib::ObjPool;
+//! use pmtest_pmem::{PersistMode, PmPool};
+//! use pmtest_interval::ByteRange;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), pmtest_txlib::TxError> {
+//! let pool = ObjPool::create(Arc::new(PmPool::untracked(1 << 16)), 64, PersistMode::X86)?;
+//! let root = pool.root();
+//! pool.tx(|tx| {
+//!     tx.add(ByteRange::with_len(root.start(), 8))?;
+//!     tx.write_u64(root.start(), 42)?;
+//!     Ok(())
+//! })?;
+//! assert_eq!(pool.pool().read_u64(root.start())?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod objpool;
+mod tx;
+
+pub use error::TxError;
+pub use objpool::{ObjPool, MAX_LANES};
+pub use tx::{Tx, TxOptions};

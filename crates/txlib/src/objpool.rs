@@ -1,0 +1,263 @@
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_pmem::{PersistMode, PmHeap, PmPool};
+
+use crate::tx::{Tx, TxOptions};
+use crate::TxError;
+
+/// Number of transaction lanes (concurrent transactions), as in PMDK's
+/// lane-based design.
+pub const MAX_LANES: usize = 64;
+
+/// Size of the pool-metadata area holding the per-lane log heads.
+pub(crate) const META_SIZE: u64 = (MAX_LANES as u64) * 8;
+
+/// Undo-log entry header: `addr: u64, len: u64, next: u64`.
+pub(crate) const ENTRY_HDR: u64 = 24;
+
+/// A persistent object pool with failure-atomic transactions (PMDK-like).
+///
+/// Layout inside the underlying [`PmPool`]:
+///
+/// ```text
+/// [0, 512)              per-lane undo-log heads (8 bytes each, 0 = empty)
+/// [512, 512+root_size)  application root object
+/// [512+root_size, ..)   persistent heap (objects and log entries)
+/// ```
+///
+/// See the crate docs for the transaction protocol.
+pub struct ObjPool {
+    heap: PmHeap,
+    mode: PersistMode,
+    root_size: u64,
+    free_lanes: Mutex<Vec<usize>>,
+}
+
+impl ObjPool {
+    /// Initializes a pool over `pm`, reserving `root_size` bytes for the
+    /// application root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pm`] if the pool is too small for the metadata and
+    /// root areas.
+    pub fn create(pm: Arc<PmPool>, root_size: u64, mode: PersistMode) -> Result<Self, TxError> {
+        let reserved = META_SIZE + root_size;
+        if reserved > pm.size() {
+            return Err(TxError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: reserved }));
+        }
+        let heap = PmHeap::new(pm, reserved);
+        Ok(Self {
+            heap,
+            mode,
+            root_size,
+            free_lanes: Mutex::new((0..MAX_LANES).rev().collect()),
+        })
+    }
+
+    /// The underlying persistent-memory pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PmPool> {
+        self.heap.pool()
+    }
+
+    /// The persistent heap used for objects and log entries.
+    #[must_use]
+    pub fn heap(&self) -> &PmHeap {
+        &self.heap
+    }
+
+    /// The durability primitives this pool emits.
+    #[must_use]
+    pub fn mode(&self) -> PersistMode {
+        self.mode
+    }
+
+    /// The application root object.
+    #[must_use]
+    pub fn root(&self) -> ByteRange {
+        ByteRange::with_len(META_SIZE, self.root_size)
+    }
+
+    /// The metadata slot holding lane `lane`'s undo-log head.
+    #[must_use]
+    pub fn lane_head_slot(lane: usize) -> ByteRange {
+        ByteRange::with_len((lane as u64) * 8, 8)
+    }
+
+    /// Reads lane `lane`'s current log head (0 = no open transaction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pm`] on a bounds error (never for valid lanes).
+    pub fn lane_head(&self, lane: usize) -> Result<u64, TxError> {
+        Ok(self.pool().read_u64((lane as u64) * 8)?)
+    }
+
+    /// Runs `f` inside a failure-atomic transaction: commits on `Ok`, rolls
+    /// back on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error after rolling back, or any commit
+    /// error.
+    pub fn tx<T>(&self, f: impl FnOnce(&mut Tx<'_>) -> Result<T, TxError>) -> Result<T, TxError> {
+        let mut tx = self.begin_tx()?;
+        match f(&mut tx) {
+            Ok(value) => {
+                tx.commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                tx.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Begins a raw transaction with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::NoFreeLane`] when `MAX_LANES` transactions are
+    /// already open.
+    #[track_caller]
+    pub fn begin_tx(&self) -> Result<Tx<'_>, TxError> {
+        self.begin_tx_with(TxOptions::default())
+    }
+
+    /// Begins a raw transaction with explicit [`TxOptions`] — the
+    /// fault-injection entry point used by the Table 5 bug catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::NoFreeLane`] when `MAX_LANES` transactions are
+    /// already open.
+    #[track_caller]
+    pub fn begin_tx_with(&self, options: TxOptions) -> Result<Tx<'_>, TxError> {
+        let lane = self.free_lanes.lock().pop().ok_or(TxError::NoFreeLane)?;
+        Ok(Tx::start(self, lane, options))
+    }
+
+    pub(crate) fn release_lane(&self, lane: usize) {
+        self.free_lanes.lock().push(lane);
+    }
+
+    /// Rolls back every lane with a non-empty undo log (crash recovery).
+    /// Returns the number of log entries applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pm`] if the log structure references memory
+    /// outside the pool (a corrupted image).
+    pub fn recover(&self) -> Result<usize, TxError> {
+        let mut applied = 0;
+        for lane in 0..MAX_LANES {
+            let slot = (lane as u64) * 8;
+            let mut head = self.pool().read_u64(slot)?;
+            while head != 0 {
+                let (range, old, next) = self.read_log_entry(head)?;
+                self.pool().write(range.start(), &old)?;
+                self.mode.persist(self.pool(), range);
+                applied += 1;
+                head = next;
+            }
+            if self.pool().read_u64(slot)? != 0 {
+                let r = self.pool().write_u64(slot, 0)?;
+                self.mode.persist(self.pool(), r);
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Reads an undo-log entry: the target range, old bytes, and next
+    /// pointer.
+    pub(crate) fn read_log_entry(&self, entry: u64) -> Result<(ByteRange, Vec<u8>, u64), TxError> {
+        let addr = self.pool().read_u64(entry)?;
+        let len = self.pool().read_u64(entry + 8)?;
+        let next = self.pool().read_u64(entry + 16)?;
+        let range = ByteRange::with_len(addr, len);
+        let old = self.pool().read_vec(ByteRange::with_len(entry + ENTRY_HDR, len))?;
+        Ok((range, old, next))
+    }
+
+    /// Recovery for an offline crash image: reconstructs an untracked pool
+    /// from `image`, rolls back open transactions, and returns it for
+    /// validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pm`] if the image's log structure is corrupt.
+    pub fn recover_image(
+        image: &[u8],
+        root_size: u64,
+        mode: PersistMode,
+    ) -> Result<ObjPool, TxError> {
+        let pm = Arc::new(PmPool::untracked(image.len()));
+        pm.restore(image);
+        let pool = ObjPool::create(pm, root_size, mode)?;
+        pool.recover()?;
+        Ok(pool)
+    }
+}
+
+impl fmt::Debug for ObjPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjPool")
+            .field("mode", &self.mode)
+            .field("root", &self.root())
+            .field("heap", &self.heap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_pool(size: usize) -> ObjPool {
+        ObjPool::create(Arc::new(PmPool::untracked(size)), 64, PersistMode::X86).unwrap()
+    }
+
+    #[test]
+    fn layout_reserves_meta_and_root() {
+        let pool = new_pool(1 << 16);
+        assert_eq!(pool.root(), ByteRange::new(META_SIZE, META_SIZE + 64));
+        let obj = pool.heap().alloc(32, 8).unwrap();
+        assert!(obj >= META_SIZE + 64);
+    }
+
+    #[test]
+    fn too_small_pool_rejected() {
+        let err = ObjPool::create(Arc::new(PmPool::untracked(16)), 64, PersistMode::X86);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lanes_are_recycled() {
+        let pool = new_pool(1 << 16);
+        let tx = pool.begin_tx().unwrap();
+        let lane_count_during = pool.free_lanes.lock().len();
+        assert_eq!(lane_count_during, MAX_LANES - 1);
+        tx.commit().unwrap();
+        assert_eq!(pool.free_lanes.lock().len(), MAX_LANES);
+    }
+
+    #[test]
+    fn lane_exhaustion() {
+        let pool = new_pool(1 << 16);
+        let txs: Vec<Tx<'_>> = (0..MAX_LANES).map(|_| pool.begin_tx().unwrap()).collect();
+        assert!(matches!(pool.begin_tx(), Err(TxError::NoFreeLane)));
+        drop(txs); // aborts, releasing lanes
+        assert!(pool.begin_tx().is_ok());
+    }
+
+    #[test]
+    fn recover_on_clean_pool_is_noop() {
+        let pool = new_pool(1 << 16);
+        assert_eq!(pool.recover().unwrap(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_pmem::{PersistMode, PmError, PmPool};
+use pmtest_trace::Event;
+
+use crate::fault::{Fault, FaultSet};
+use crate::kv::{CheckMode, KvError};
+
+/// The paper's running example (Fig. 1a) as a reusable workload: a
+/// crash-consistent array updated via an undo *backup cell*
+/// `{val, index, valid}`.
+///
+/// The correct protocol needs four persist barriers; the two the buggy
+/// version of Fig. 1a omits are the fault sites:
+///
+/// * [`Fault::ArraySkipBackupBarrier`] — no barrier between writing
+///   `backup.val` and setting `backup.valid`, so a crash can see a valid
+///   flag vouching for a backup that never persisted;
+/// * [`Fault::ArraySkipUpdateBarrier`] — no barrier between the in-place
+///   update and clearing `backup.valid`, so the stale value can be
+///   "recovered" over a persisted update.
+///
+/// Recovery: if `valid == 1`, copy `backup.val` back to `array[index]`.
+pub struct ArrayStore {
+    pm: Arc<PmPool>,
+    base: u64,
+    len: u64,
+    check: CheckMode,
+    faults: FaultSet,
+    op_lock: Mutex<()>,
+}
+
+const BACKUP_VAL: u64 = 0;
+const BACKUP_INDEX: u64 = 8;
+/// The valid flag lives on its own cache line: on real hardware, fields
+/// sharing the backup's line would persist in store order (line-granular
+/// writeback), masking the Fig. 1a bug — the crash oracle's same-line
+/// prefix rule proves that. A flag beside the data it guards is the
+/// genuinely dangerous layout.
+const BACKUP_VALID: u64 = 64;
+const BACKUP_SIZE: u64 = 128;
+
+impl ArrayStore {
+    /// Initializes an array of `len` `u64` elements at `base` in `pm`
+    /// (layout: backup cell, then the array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the region exceeds the pool.
+    pub fn create(
+        pm: Arc<PmPool>,
+        base: u64,
+        len: u64,
+        check: CheckMode,
+        faults: FaultSet,
+    ) -> Result<Self, KvError> {
+        let total = BACKUP_SIZE + len * 8;
+        if base + total > pm.size() {
+            return Err(KvError::Pm(PmError::OutOfMemory { requested: total }));
+        }
+        pm.write(base, &vec![0u8; total as usize])?;
+        PersistMode::X86.persist(&pm, ByteRange::with_len(base, total));
+        Ok(Self { pm, base, len, check, faults, op_lock: Mutex::new(()) })
+    }
+
+    /// The underlying pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PmPool> {
+        &self.pm
+    }
+
+    fn slot(&self, index: u64) -> u64 {
+        self.base + BACKUP_SIZE + index * 8
+    }
+
+    /// Reads `array[index]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if `index` is out of bounds.
+    pub fn get(&self, index: u64) -> Result<u64, KvError> {
+        self.check_index(index)?;
+        Ok(self.pm.read_u64(self.slot(index))?)
+    }
+
+    fn check_index(&self, index: u64) -> Result<(), KvError> {
+        if index >= self.len {
+            return Err(KvError::Pm(PmError::OutOfBounds {
+                range: ByteRange::with_len(self.slot(index), 8),
+                pool_size: self.pm.size(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Fig. 1a's `ArrayUpdate`: backup, validate, update in place,
+    /// invalidate — with the barrier placement governed by the fault set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if `index` is out of bounds.
+    pub fn update(&self, index: u64, new_val: u64) -> Result<(), KvError> {
+        self.check_index(index)?;
+        let _guard = self.op_lock.lock();
+        let mode = PersistMode::X86;
+        let old = self.pm.read_u64(self.slot(index))?;
+
+        // backup.val = array[index]; backup.index = index;
+        let bval = self.pm.write_u64(self.base + BACKUP_VAL, old)?;
+        let bidx = self.pm.write_u64(self.base + BACKUP_INDEX, index)?;
+        let backup = ByteRange::new(bval.start(), bidx.end());
+        if !self.faults.is_active(Fault::ArraySkipBackupBarrier) {
+            mode.persist(&self.pm, backup); // the first missing barrier
+        }
+        // backup.valid = true;
+        let valid = self.pm.write_u8(self.base + BACKUP_VALID, 1)?;
+        mode.persist(&self.pm, valid);
+        if self.check.enabled() {
+            self.pm.emit(Event::IsOrderedBefore(backup, valid));
+        }
+        // array[index] = new_val;
+        let update = self.pm.write_u64(self.slot(index), new_val)?;
+        if !self.faults.is_active(Fault::ArraySkipUpdateBarrier) {
+            mode.persist(&self.pm, update); // the second missing barrier
+        }
+        // backup.valid = false;
+        let invalid = self.pm.write_u8(self.base + BACKUP_VALID, 0)?;
+        mode.persist(&self.pm, invalid);
+        if self.check.enabled() {
+            self.pm.emit(Event::IsOrderedBefore(update, invalid));
+            self.pm.emit(Event::IsPersist(update));
+            self.pm.emit(Event::IsPersist(invalid));
+        }
+        Ok(())
+    }
+
+    /// Crash recovery: a valid backup wins over whatever is in the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on a corrupt image.
+    pub fn recover(&self) -> Result<bool, KvError> {
+        if self.pm.read_u8(self.base + BACKUP_VALID)? != 1 {
+            return Ok(false);
+        }
+        let index = self.pm.read_u64(self.base + BACKUP_INDEX)?;
+        let val = self.pm.read_u64(self.base + BACKUP_VAL)?;
+        if index < self.len {
+            let w = self.pm.write_u64(self.slot(index), val)?;
+            PersistMode::X86.persist(&self.pm, w);
+        }
+        let v = self.pm.write_u8(self.base + BACKUP_VALID, 0)?;
+        PersistMode::X86.persist(&self.pm, v);
+        Ok(true)
+    }
+
+    /// Opens a store over a recovered image (validation reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the region exceeds the image.
+    pub fn open_image(image: &[u8], base: u64, len: u64) -> Result<ArrayStore, KvError> {
+        let pm = Arc::new(PmPool::untracked(image.len()));
+        pm.restore(image);
+        if base + BACKUP_SIZE + len * 8 > pm.size() {
+            return Err(KvError::Pm(PmError::OutOfMemory { requested: len * 8 }));
+        }
+        Ok(ArrayStore {
+            pm,
+            base,
+            len,
+            check: CheckMode::None,
+            faults: FaultSet::none(),
+            op_lock: Mutex::new(()),
+        })
+    }
+}
+
+impl fmt::Debug for ArrayStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArrayStore")
+            .field("len", &self.len)
+            .field("check", &self.check)
+            .field("faults", &format_args!("{}", self.faults))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_core::{DiagKind, PmTestSession};
+
+    fn store(check: CheckMode, faults: FaultSet, sink: Option<pmtest_trace::SharedSink>) -> ArrayStore {
+        let pm = match sink {
+            Some(s) => Arc::new(PmPool::new(1 << 14, s)),
+            None => Arc::new(PmPool::untracked(1 << 14)),
+        };
+        ArrayStore::create(pm, 0, 16, check, faults).unwrap()
+    }
+
+    #[test]
+    fn updates_and_reads() {
+        let a = store(CheckMode::None, FaultSet::none(), None);
+        a.update(3, 77).unwrap();
+        a.update(3, 78).unwrap();
+        assert_eq!(a.get(3).unwrap(), 78);
+        assert_eq!(a.get(0).unwrap(), 0);
+        assert!(a.get(16).is_err());
+        assert!(a.update(16, 1).is_err());
+    }
+
+    #[test]
+    fn correct_protocol_is_clean() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        let a = store(CheckMode::Checkers, FaultSet::none(), Some(session.sink()));
+        for i in 0..8u64 {
+            a.update(i, i * 10).unwrap();
+            session.send_trace();
+        }
+        let report = session.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn missing_barriers_are_detected() {
+        for fault in [Fault::ArraySkipBackupBarrier, Fault::ArraySkipUpdateBarrier] {
+            let session = PmTestSession::builder().build();
+            session.start();
+            let a = store(CheckMode::Checkers, FaultSet::one(fault), Some(session.sink()));
+            a.update(1, 11).unwrap();
+            let report = session.finish();
+            assert!(
+                report.has(DiagKind::NotOrderedBefore),
+                "{fault:?} must violate an ordering checker: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_applies_valid_backup() {
+        let a = store(CheckMode::None, FaultSet::none(), None);
+        a.update(2, 42).unwrap();
+        // Simulate a crash mid-update: valid backup of the old value.
+        a.pool().write_u64(BACKUP_VAL, 42).unwrap();
+        a.pool().write_u64(BACKUP_INDEX, 2).unwrap();
+        a.pool().write_u8(BACKUP_VALID, 1).unwrap();
+        a.pool().write_u64(a.slot(2), 9999).unwrap(); // torn update
+        assert!(a.recover().unwrap());
+        assert_eq!(a.get(2).unwrap(), 42, "backup restored");
+        assert!(!a.recover().unwrap(), "second recovery is a no-op");
+    }
+
+    /// The Fig. 1a bug's real damage: a crash during update N can see the
+    /// valid flag of update N with the *stale backup of update N-1* (the
+    /// flag persisted before the backup it vouches for), so recovery rolls
+    /// a long-committed element back. The correct protocol never can.
+    #[test]
+    fn crash_oracle_confirms_fig1a() {
+        // Invariant after recovery: update(1, 11) was fully committed
+        // before the crash recording, so array[1] must stay 11; the
+        // in-flight update(2, 22) may be absent or present.
+        let check = |image: &[u8]| -> Result<(), String> {
+            let a = ArrayStore::open_image(image, 0, 16).map_err(|e| e.to_string())?;
+            a.recover().map_err(|e| e.to_string())?;
+            let committed = a.get(1).map_err(|e| e.to_string())?;
+            if committed != 11 {
+                return Err(format!("committed array[1]=11 destroyed (now {committed})"));
+            }
+            let inflight = a.get(2).map_err(|e| e.to_string())?;
+            if inflight != 0 && inflight != 22 {
+                return Err(format!("torn in-flight value {inflight}"));
+            }
+            Ok(())
+        };
+
+        // Correct protocol: no reachable crash state breaks the invariant.
+        let a = store(CheckMode::None, FaultSet::none(), None);
+        a.update(1, 11).unwrap();
+        a.pool().begin_crash_recording();
+        a.update(2, 22).unwrap();
+        let sim = pmtest_pmem::crash::CrashSim::from_pool(a.pool()).unwrap();
+        assert!(sim.find_violation(&check, 8192).is_none(), "correct Fig. 1a recovers");
+
+        // Buggy variant: the valid flag of update(2) can persist while the
+        // backup cell still holds update(1)'s snapshot — recovery then
+        // "restores" array[1] to its pre-update value.
+        let a = store(CheckMode::None, FaultSet::one(Fault::ArraySkipBackupBarrier), None);
+        a.update(1, 11).unwrap();
+        a.pool().begin_crash_recording();
+        a.update(2, 22).unwrap();
+        let sim = pmtest_pmem::crash::CrashSim::from_pool(a.pool()).unwrap();
+        let violation = sim.find_violation(&check, 8192);
+        assert!(
+            violation.is_some(),
+            "the Fig. 1a bug must have a reachable inconsistent state"
+        );
+        assert!(violation.unwrap().reason.contains("destroyed"));
+    }
+}

@@ -1,0 +1,603 @@
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_trace::Event;
+use pmtest_txlib::{ObjPool, Tx};
+
+use crate::fault::{Fault, FaultSet};
+use crate::kv::{CheckMode, KvError, KvMap};
+
+const ORDER: usize = 4; // max children
+const MAX_KEYS: usize = ORDER - 1;
+const OFF_NKEYS: u64 = 0;
+const OFF_LEAF: u64 = 8;
+const OFF_KEYS: u64 = 16;
+const OFF_VALS: u64 = 16 + 8 * MAX_KEYS as u64;
+const OFF_CHILDREN: u64 = OFF_VALS + 8 * MAX_KEYS as u64;
+const NODE_SIZE: u64 = OFF_CHILDREN + 8 * ORDER as u64;
+
+/// The B-tree microbenchmark ("B-Tree" in Fig. 10), modelled on PMDK's
+/// `btree_map` example — including the two real bugs the paper found in it:
+///
+/// * [`Fault::BtreeSkipLogSplitNode`] reproduces **Bug 2**
+///   (`btree_map.c:201`): the node being split is modified without a
+///   `TX_ADD`;
+/// * [`Fault::BtreeDoubleLogSplitParent`] reproduces **Bug 3**
+///   (`btree_map.c:367`): the parent is logged both by the split helper and
+///   again by its caller.
+///
+/// Order-4 tree with preemptive splits on the way down; deletions swap with
+/// the in-order predecessor and may leave leaves underfull (rebalancing is
+/// not needed for the paper's workloads — documented simplification).
+pub struct BTree {
+    pool: Arc<ObjPool>,
+    check: CheckMode,
+    faults: FaultSet,
+    op_lock: Mutex<()>,
+}
+
+struct NodeView {
+    nkeys: usize,
+    leaf: bool,
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    children: Vec<u64>,
+}
+
+impl BTree {
+    /// Initializes an empty tree in `pool`'s root area (needs 16 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area is too small.
+    pub fn create(pool: Arc<ObjPool>, check: CheckMode, faults: FaultSet) -> Result<Self, KvError> {
+        if pool.root().len() < 16 {
+            return Err(KvError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: 16 }));
+        }
+        let root = pool.root().start();
+        pool.tx(|tx| {
+            tx.add(ByteRange::with_len(root, 16))?;
+            tx.write_u64(root, 0)?;
+            tx.write_u64(root + 8, 0)?;
+            Ok(())
+        })?;
+        Ok(Self { pool, check, faults, op_lock: Mutex::new(()) })
+    }
+
+    /// Opens an already initialized tree (e.g. over a recovered image or to
+    /// drive it with a different fault set).
+    #[must_use]
+    pub fn open(pool: Arc<ObjPool>, check: CheckMode, faults: FaultSet) -> Self {
+        Self { pool, check, faults, op_lock: Mutex::new(()) }
+    }
+
+    /// The underlying object pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ObjPool> {
+        &self.pool
+    }
+
+    fn root_slot(&self) -> u64 {
+        self.pool.root().start()
+    }
+
+    /// Current root node pointer (0 = empty), for invariant checking.
+    pub(crate) fn root_ptr(&self) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(self.root_slot())?)
+    }
+
+    /// Raw node shape for invariant checking: `(nkeys, leaf, keys, children)`.
+    pub(crate) fn node_shape(
+        &self,
+        node: u64,
+    ) -> Result<(usize, bool, [u64; MAX_KEYS], [u64; ORDER]), KvError> {
+        let v = self.view(node)?;
+        let mut keys = [0u64; MAX_KEYS];
+        let mut children = [0u64; ORDER];
+        keys.copy_from_slice(&v.keys);
+        children.copy_from_slice(&v.children);
+        Ok((v.nkeys, v.leaf, keys, children))
+    }
+
+    fn count_slot(&self) -> u64 {
+        self.pool.root().start() + 8
+    }
+
+    fn checker_start(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerStart);
+        }
+    }
+
+    fn checker_end(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerEnd);
+        }
+    }
+
+    fn view(&self, node: u64) -> Result<NodeView, KvError> {
+        let pm = self.pool.pool();
+        let nkeys = pm.read_u64(node + OFF_NKEYS)? as usize;
+        let leaf = pm.read_u64(node + OFF_LEAF)? == 1;
+        let mut keys = Vec::with_capacity(MAX_KEYS);
+        let mut vals = Vec::with_capacity(MAX_KEYS);
+        let mut children = Vec::with_capacity(ORDER);
+        for i in 0..MAX_KEYS {
+            keys.push(pm.read_u64(node + OFF_KEYS + 8 * i as u64)?);
+            vals.push(pm.read_u64(node + OFF_VALS + 8 * i as u64)?);
+        }
+        for i in 0..ORDER {
+            children.push(pm.read_u64(node + OFF_CHILDREN + 8 * i as u64)?);
+        }
+        Ok(NodeView { nkeys, leaf, keys, vals, children })
+    }
+
+    fn write_view(&self, tx: &mut Tx<'_>, node: u64, v: &NodeView) -> Result<(), KvError> {
+        tx.write_u64(node + OFF_NKEYS, v.nkeys as u64)?;
+        tx.write_u64(node + OFF_LEAF, u64::from(v.leaf))?;
+        for i in 0..MAX_KEYS {
+            tx.write_u64(node + OFF_KEYS + 8 * i as u64, v.keys[i])?;
+            tx.write_u64(node + OFF_VALS + 8 * i as u64, v.vals[i])?;
+        }
+        for i in 0..ORDER {
+            tx.write_u64(node + OFF_CHILDREN + 8 * i as u64, v.children[i])?;
+        }
+        Ok(())
+    }
+
+    /// Logs a whole node once per transaction (deduplicated, as PMDK
+    /// applications do to avoid redundant log entries).
+    fn log_node(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        node: u64,
+        skip: bool,
+    ) -> Result<(), KvError> {
+        if !skip && logged.insert(node) {
+            tx.add(ByteRange::with_len(node, NODE_SIZE))?;
+        }
+        Ok(())
+    }
+
+    fn alloc_node(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        leaf: bool,
+    ) -> Result<u64, KvError> {
+        let node = tx.alloc(NODE_SIZE, 8)?;
+        // tx.alloc already announced the fresh node; a later log_node on it
+        // would be a duplicate log entry.
+        logged.insert(node);
+        let v = NodeView {
+            nkeys: 0,
+            leaf,
+            keys: vec![0; MAX_KEYS],
+            vals: vec![0; MAX_KEYS],
+            children: vec![0; ORDER],
+        };
+        self.write_view(tx, node, &v)?;
+        Ok(node)
+    }
+
+    fn new_value(&self, tx: &mut Tx<'_>, value: &[u8]) -> Result<u64, KvError> {
+        let blob = tx.alloc(8 + value.len() as u64, 8)?;
+        tx.write_u64(blob, value.len() as u64)?;
+        tx.write(blob + 8, value)?;
+        Ok(blob)
+    }
+
+    fn read_value(&self, blob: u64) -> Result<Vec<u8>, KvError> {
+        let vlen = self.pool.pool().read_u64(blob)?;
+        Ok(self.pool.pool().read_vec(ByteRange::with_len(blob + 8, vlen))?)
+    }
+
+    /// Splits full child `ci` of `parent`, like `btree_map_create_split_node`
+    /// plus the parent insertion.
+    fn split_child(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        parent: u64,
+        ci: usize,
+    ) -> Result<(), KvError> {
+        let mut pv = self.view(parent)?;
+        let child = pv.children[ci];
+        let mut cv = self.view(child)?;
+        debug_assert_eq!(cv.nkeys, MAX_KEYS);
+        // New right node takes the upper keys (fresh alloc: auto-logged).
+        let right = self.alloc_node(tx, logged, cv.leaf)?;
+        let mid = MAX_KEYS / 2;
+        let up_key = cv.keys[mid];
+        let up_val = cv.vals[mid];
+        let mut rv = self.view(right)?;
+        rv.nkeys = MAX_KEYS - mid - 1;
+        for i in 0..rv.nkeys {
+            rv.keys[i] = cv.keys[mid + 1 + i];
+            rv.vals[i] = cv.vals[mid + 1 + i];
+        }
+        if !cv.leaf {
+            for i in 0..=rv.nkeys {
+                rv.children[i] = cv.children[mid + 1 + i];
+            }
+        }
+        self.write_view(tx, right, &rv)?;
+        // Shrink the split node — Bug 2 site: this *existing* node must be
+        // logged before modification.
+        self.log_node(tx, logged, child, self.faults.is_active(Fault::BtreeSkipLogSplitNode))?;
+        cv.nkeys = mid;
+        for i in mid..MAX_KEYS {
+            cv.keys[i] = 0;
+            cv.vals[i] = 0;
+        }
+        if !cv.leaf {
+            for i in mid + 1..ORDER {
+                cv.children[i] = 0;
+            }
+        }
+        self.write_view(tx, child, &cv)?;
+        // Insert separator into the parent — Bug 3 site: the double-log
+        // variant logs the parent here *and* below.
+        if self.faults.is_active(Fault::BtreeDoubleLogSplitParent) {
+            // Deliberately bypass the dedup (Bug 3: caller and helper both
+            // log the same node).
+            tx.add(ByteRange::with_len(parent, NODE_SIZE))?;
+            logged.insert(parent);
+        }
+        self.log_node(tx, logged, parent, self.faults.is_active(Fault::BtreeSkipLogSplitParent))?;
+        for i in (ci..pv.nkeys).rev() {
+            pv.keys[i + 1] = pv.keys[i];
+            pv.vals[i + 1] = pv.vals[i];
+        }
+        for i in (ci + 1..=pv.nkeys).rev() {
+            pv.children[i + 1] = pv.children[i];
+        }
+        pv.keys[ci] = up_key;
+        pv.vals[ci] = up_val;
+        pv.children[ci + 1] = right;
+        pv.nkeys += 1;
+        self.write_view(tx, parent, &pv)?;
+        Ok(())
+    }
+
+    /// Removes and returns the maximum `(key, value)` of `node`'s subtree,
+    /// or `None` if the subtree holds no keys (possible after underflowing
+    /// deletions). Keyless rightmost subtrees are pruned on the way.
+    fn remove_max(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        node: u64,
+    ) -> Result<Option<(u64, u64)>, KvError> {
+        let v = self.view(node)?;
+        if !v.leaf {
+            if let Some(kv) = self.remove_max(tx, logged, v.children[v.nkeys])? {
+                return Ok(Some(kv));
+            }
+            // The rightmost subtree is keyless: this node's own last key is
+            // the subtree maximum. Take it and prune the empty subtree.
+            if v.nkeys == 0 {
+                return Ok(None);
+            }
+            let mut v = v;
+            let kv = (v.keys[v.nkeys - 1], v.vals[v.nkeys - 1]);
+            self.log_node(tx, logged, node, false)?;
+            v.children[v.nkeys] = 0;
+            v.nkeys -= 1;
+            v.keys[v.nkeys] = 0;
+            v.vals[v.nkeys] = 0;
+            self.write_view(tx, node, &v)?;
+            return Ok(Some(kv));
+        }
+        if v.nkeys == 0 {
+            return Ok(None);
+        }
+        let mut v = v;
+        let kv = (v.keys[v.nkeys - 1], v.vals[v.nkeys - 1]);
+        self.log_node(tx, logged, node, false)?;
+        v.nkeys -= 1;
+        v.keys[v.nkeys] = 0;
+        v.vals[v.nkeys] = 0;
+        self.write_view(tx, node, &v)?;
+        Ok(Some(kv))
+    }
+
+    fn bump_count(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        delta: i64,
+    ) -> Result<(), KvError> {
+        let count = self.pool.pool().read_u64(self.count_slot())?;
+        if !self.faults.is_active(Fault::BtreeSkipLogCount) && logged.insert(self.count_slot()) {
+            tx.add(ByteRange::with_len(self.count_slot(), 8))?;
+        }
+        tx.write_u64(self.count_slot(), count.wrapping_add_signed(delta))?;
+        Ok(())
+    }
+}
+
+impl KvMap for BTree {
+    fn insert(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        let _guard = self.op_lock.lock();
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let mut logged = HashSet::new();
+        let logged = &mut logged;
+        let abandon = self.faults.is_active(Fault::BtreeAbandonTx);
+        let result: Result<(), KvError> = (|| {
+            let mut root = self.pool.pool().read_u64(self.root_slot())?;
+            if root == 0 {
+                root = self.alloc_node(&mut tx, logged, true)?;
+                if !self.faults.is_active(Fault::BtreeSkipLogRootGrow)
+                    && logged.insert(self.root_slot())
+                {
+                    tx.add(ByteRange::with_len(self.root_slot(), 8))?;
+                }
+                tx.write_u64(self.root_slot(), root)?;
+            }
+            if self.view(root)?.nkeys == MAX_KEYS {
+                // Grow: new root, split the old one.
+                let new_root = self.alloc_node(&mut tx, logged, false)?;
+                let mut nv = self.view(new_root)?;
+                nv.children[0] = root;
+                self.write_view(&mut tx, new_root, &nv)?;
+                self.split_child(&mut tx, logged, new_root, 0)?;
+                if !self.faults.is_active(Fault::BtreeSkipLogRootGrow)
+                    && logged.insert(self.root_slot())
+                {
+                    tx.add(ByteRange::with_len(self.root_slot(), 8))?;
+                }
+                tx.write_u64(self.root_slot(), new_root)?;
+                root = new_root;
+            }
+            // Descend with preemptive splits.
+            let mut cur = root;
+            loop {
+                let v = self.view(cur)?;
+                // Replace in place?
+                if let Some(i) = v.keys[..v.nkeys].iter().position(|&k| k == key) {
+                    let blob = self.new_value(&mut tx, value)?;
+                    self.log_node(
+                        &mut tx,
+                        logged,
+                        cur,
+                        self.faults.is_active(Fault::BtreeSkipLogInsertNode),
+                    )?;
+                    tx.write_u64(cur + OFF_VALS + 8 * i as u64, blob)?;
+                    return Ok(());
+                }
+                let ci = v.keys[..v.nkeys].iter().position(|&k| key < k).unwrap_or(v.nkeys);
+                if v.leaf {
+                    let blob = self.new_value(&mut tx, value)?;
+                    self.log_node(
+                        &mut tx,
+                        logged,
+                        cur,
+                        self.faults.is_active(Fault::BtreeSkipLogInsertNode),
+                    )?;
+                    let mut v = v;
+                    for i in (ci..v.nkeys).rev() {
+                        v.keys[i + 1] = v.keys[i];
+                        v.vals[i + 1] = v.vals[i];
+                    }
+                    v.keys[ci] = key;
+                    v.vals[ci] = blob;
+                    v.nkeys += 1;
+                    self.write_view(&mut tx, cur, &v)?;
+                    self.bump_count(&mut tx, logged, 1)?;
+                    return Ok(());
+                }
+                let child = v.children[ci];
+                if self.view(child)?.nkeys == MAX_KEYS {
+                    self.split_child(&mut tx, logged, cur, ci)?;
+                    continue; // re-examine cur: the separator moved up
+                }
+                cur = child;
+            }
+        })();
+        match result {
+            Ok(()) => {
+                if abandon {
+                    tx.abandon();
+                } else {
+                    tx.commit()?;
+                }
+                self.checker_end();
+                Ok(())
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        let mut cur = self.pool.pool().read_u64(self.root_slot())?;
+        while cur != 0 {
+            let v = self.view(cur)?;
+            if let Some(i) = v.keys[..v.nkeys].iter().position(|&k| k == key) {
+                return Ok(Some(self.read_value(v.vals[i])?));
+            }
+            if v.leaf {
+                return Ok(None);
+            }
+            let ci = v.keys[..v.nkeys].iter().position(|&k| key < k).unwrap_or(v.nkeys);
+            cur = v.children[ci];
+        }
+        Ok(None)
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, KvError> {
+        let _guard = self.op_lock.lock();
+        // Locate the node holding the key.
+        let mut cur = self.pool.pool().read_u64(self.root_slot())?;
+        let mut holder = None;
+        while cur != 0 {
+            let v = self.view(cur)?;
+            if let Some(i) = v.keys[..v.nkeys].iter().position(|&k| k == key) {
+                holder = Some((cur, i));
+                break;
+            }
+            if v.leaf {
+                break;
+            }
+            let ci = v.keys[..v.nkeys].iter().position(|&k| key < k).unwrap_or(v.nkeys);
+            cur = v.children[ci];
+        }
+        let Some((node, idx)) = holder else { return Ok(false) };
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let mut logged = HashSet::new();
+        let logged = &mut logged;
+        let result: Result<(), KvError> = (|| {
+            let v = self.view(node)?;
+            if v.leaf {
+                self.log_node(&mut tx, logged, node, self.faults.is_active(Fault::BtreeSkipLogInsertNode))?;
+                let mut v = v;
+                for i in idx..v.nkeys - 1 {
+                    v.keys[i] = v.keys[i + 1];
+                    v.vals[i] = v.vals[i + 1];
+                }
+                v.nkeys -= 1;
+                v.keys[v.nkeys] = 0;
+                v.vals[v.nkeys] = 0;
+                self.write_view(&mut tx, node, &v)?;
+            } else {
+                // Swap with the in-order predecessor: the maximum key of
+                // the left subtree. Deletions permit underfull (even empty)
+                // leaves, so the predecessor may live at an internal node —
+                // `remove_max` handles both and prunes keyless subtrees.
+                match self.remove_max(&mut tx, logged, v.children[idx])? {
+                    Some((pk, pv_)) => {
+                        self.log_node(
+                            &mut tx,
+                            logged,
+                            node,
+                            self.faults.is_active(Fault::BtreeSkipLogInsertNode),
+                        )?;
+                        tx.write_u64(node + OFF_KEYS + 8 * idx as u64, pk)?;
+                        tx.write_u64(node + OFF_VALS + 8 * idx as u64, pv_)?;
+                    }
+                    None => {
+                        // The whole left subtree is keyless: drop it and
+                        // shift the key out of this node.
+                        self.log_node(&mut tx, logged, node, false)?;
+                        let mut v = v;
+                        for i in idx..v.nkeys - 1 {
+                            v.keys[i] = v.keys[i + 1];
+                            v.vals[i] = v.vals[i + 1];
+                        }
+                        for i in idx..v.nkeys {
+                            v.children[i] = v.children[i + 1];
+                        }
+                        v.children[v.nkeys] = 0;
+                        v.nkeys -= 1;
+                        v.keys[v.nkeys] = 0;
+                        v.vals[v.nkeys] = 0;
+                        self.write_view(&mut tx, node, &v)?;
+                    }
+                }
+            }
+            self.bump_count(&mut tx, logged, -1)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                tx.commit()?;
+                self.checker_end();
+                Ok(true)
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn len(&self) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(self.count_slot())?)
+    }
+}
+
+impl fmt::Debug for BTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BTree")
+            .field("order", &ORDER)
+            .field("check", &self.check)
+            .field("faults", &format_args!("{}", self.faults))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::{PersistMode, PmPool};
+
+    fn tree() -> BTree {
+        let pool = Arc::new(
+            ObjPool::create(Arc::new(PmPool::untracked(1 << 22)), 64, PersistMode::X86).unwrap(),
+        );
+        BTree::create(pool, CheckMode::None, FaultSet::none()).unwrap()
+    }
+
+    #[test]
+    fn sequential_inserts_trigger_splits() {
+        let t = tree();
+        for k in 0..200u64 {
+            t.insert(k, &crate::gen::value_for(k, 16)).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 200);
+        for k in 0..200u64 {
+            assert_eq!(t.get(k).unwrap(), Some(crate::gen::value_for(k, 16)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        let t = tree();
+        let keys: Vec<u64> = (0..300).map(|i| (i * 2654435761u64) % 1_000_000).collect();
+        for &k in &keys {
+            t.insert(k, &k.to_le_bytes()).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k).unwrap(), Some(k.to_le_bytes().to_vec()));
+        }
+        assert_eq!(t.get(1_000_001).unwrap(), None);
+    }
+
+    #[test]
+    fn replace_existing_key() {
+        let t = tree();
+        for k in 0..50u64 {
+            t.insert(k, b"one").unwrap();
+        }
+        t.insert(25, b"two").unwrap();
+        assert_eq!(t.get(25).unwrap(), Some(b"two".to_vec()));
+        assert_eq!(t.len().unwrap(), 50);
+    }
+
+    #[test]
+    fn remove_from_leaves_and_internals() {
+        let t = tree();
+        for k in 0..60u64 {
+            t.insert(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in (0..60u64).step_by(2) {
+            assert!(t.remove(k).unwrap(), "remove {k}");
+        }
+        for k in 0..60u64 {
+            assert_eq!(t.get(k).unwrap().is_some(), k % 2 == 1, "key {k}");
+        }
+        assert_eq!(t.len().unwrap(), 30);
+        assert!(!t.remove(0).unwrap());
+    }
+}

@@ -1,0 +1,429 @@
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_trace::Event;
+use pmtest_txlib::{ObjPool, Tx, TxError};
+
+use crate::fault::{Fault, FaultSet};
+use crate::kv::{CheckMode, KvError, KvMap};
+
+const TAG_LEAF: u64 = 1;
+const TAG_INTERNAL: u64 = 2;
+
+/// Node classification used by the invariant checker.
+pub(crate) enum NodeKind {
+    /// A key/value leaf.
+    Leaf,
+    /// An internal decision node.
+    Internal {
+        /// Critical bit index.
+        bit: u64,
+        /// Left child pointer.
+        left: u64,
+        /// Right child pointer.
+        right: u64,
+    },
+}
+const LEAF_HDR: u64 = 24; // tag, key, vlen
+const INTERNAL_SIZE: u64 = 32; // tag, bit, left, right
+
+/// The crit-bit tree microbenchmark ("C-Tree" in Fig. 10), modelled on
+/// PMDK's `ctree_map` example.
+///
+/// Root layout: `root_ptr: u64, count: u64`. Internal nodes store the
+/// critical bit and two children; leaves store the key and value. Every
+/// operation runs in one failure-atomic transaction; the pointer-slot
+/// updates are the fault-injection sites.
+pub struct CritBitTree {
+    pool: Arc<ObjPool>,
+    check: CheckMode,
+    faults: FaultSet,
+    op_lock: Mutex<()>,
+}
+
+impl CritBitTree {
+    /// Initializes an empty tree in `pool`'s root area (needs 16 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area is too small.
+    pub fn create(pool: Arc<ObjPool>, check: CheckMode, faults: FaultSet) -> Result<Self, KvError> {
+        if pool.root().len() < 16 {
+            return Err(KvError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: 16 }));
+        }
+        let root = pool.root().start();
+        pool.tx(|tx| {
+            tx.add(ByteRange::with_len(root, 16))?;
+            tx.write_u64(root, 0)?;
+            tx.write_u64(root + 8, 0)?;
+            Ok(())
+        })?;
+        Ok(Self { pool, check, faults, op_lock: Mutex::new(()) })
+    }
+
+    /// Opens an already initialized tree (e.g. to drive it with a different
+    /// fault set).
+    #[must_use]
+    pub fn open(pool: Arc<ObjPool>, check: CheckMode, faults: FaultSet) -> Self {
+        Self { pool, check, faults, op_lock: Mutex::new(()) }
+    }
+
+    /// The underlying object pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ObjPool> {
+        &self.pool
+    }
+
+    fn root_slot(&self) -> u64 {
+        self.pool.root().start()
+    }
+
+    /// Current root node pointer (0 = empty), for invariant checking.
+    pub(crate) fn root_ptr(&self) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(self.root_slot())?)
+    }
+
+    /// Raw node classification for invariant checking.
+    pub(crate) fn node_kind(&self, node: u64) -> Result<NodeKind, KvError> {
+        if self.tag(node)? == TAG_INTERNAL {
+            Ok(NodeKind::Internal {
+                bit: self.internal_bit(node)?,
+                left: self.pool.pool().read_u64(node + 16)?,
+                right: self.pool.pool().read_u64(node + 24)?,
+            })
+        } else {
+            Ok(NodeKind::Leaf)
+        }
+    }
+
+    fn count_slot(&self) -> u64 {
+        self.pool.root().start() + 8
+    }
+
+    fn checker_start(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerStart);
+        }
+    }
+
+    fn checker_end(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerEnd);
+        }
+    }
+
+    fn tag(&self, node: u64) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(node)?)
+    }
+
+    fn leaf_key(&self, node: u64) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(node + 8)?)
+    }
+
+    fn leaf_value(&self, node: u64) -> Result<Vec<u8>, KvError> {
+        let vlen = self.pool.pool().read_u64(node + 16)?;
+        Ok(self.pool.pool().read_vec(ByteRange::with_len(node + LEAF_HDR, vlen))?)
+    }
+
+    fn internal_bit(&self, node: u64) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(node + 8)?)
+    }
+
+    fn child_slot(node: u64, go_right: bool) -> u64 {
+        if go_right {
+            node + 24
+        } else {
+            node + 16
+        }
+    }
+
+    /// Descends to the leaf that `key` would collide with.
+    fn best_leaf(&self, mut node: u64, key: u64) -> Result<u64, KvError> {
+        while self.tag(node)? == TAG_INTERNAL {
+            let bit = self.internal_bit(node)?;
+            let slot = Self::child_slot(node, (key >> bit) & 1 == 1);
+            node = self.pool.pool().read_u64(slot)?;
+        }
+        Ok(node)
+    }
+
+    fn new_leaf(&self, tx: &mut Tx<'_>, key: u64, value: &[u8]) -> Result<u64, TxError> {
+        let leaf = tx.alloc(LEAF_HDR + value.len() as u64, 8)?;
+        tx.write_u64(leaf, TAG_LEAF)?;
+        tx.write_u64(leaf + 8, key)?;
+        tx.write_u64(leaf + 16, value.len() as u64)?;
+        tx.write(leaf + LEAF_HDR, value)?;
+        Ok(leaf)
+    }
+
+    /// Logs and updates a pointer slot, honouring the fault sites.
+    fn set_slot(
+        &self,
+        tx: &mut Tx<'_>,
+        slot: u64,
+        value: u64,
+        is_root_slot: bool,
+    ) -> Result<(), KvError> {
+        let skip = if is_root_slot {
+            self.faults.is_active(Fault::CtreeSkipLogRootPtr)
+        } else {
+            self.faults.is_active(Fault::CtreeSkipLogParentNode)
+        };
+        if !skip {
+            tx.add(ByteRange::with_len(slot, 8))?;
+            if !is_root_slot && self.faults.is_active(Fault::CtreeDoubleLogParent) {
+                tx.add(ByteRange::with_len(slot, 8))?;
+            }
+        }
+        tx.write_u64(slot, value)?;
+        Ok(())
+    }
+
+    fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<(), KvError> {
+        let count = self.pool.pool().read_u64(self.count_slot())?;
+        if !self.faults.is_active(Fault::CtreeSkipLogCount) {
+            tx.add(ByteRange::with_len(self.count_slot(), 8))?;
+        }
+        tx.write_u64(self.count_slot(), count.wrapping_add_signed(delta))?;
+        Ok(())
+    }
+
+    fn finish(&self, tx: Tx<'_>, abandon: bool) -> Result<(), KvError> {
+        if abandon {
+            tx.abandon();
+        } else {
+            tx.commit()?;
+        }
+        self.checker_end();
+        Ok(())
+    }
+}
+
+impl KvMap for CritBitTree {
+    fn insert(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        let _guard = self.op_lock.lock();
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let abandon = self.faults.is_active(Fault::CtreeAbandonTx);
+        let result: Result<(), KvError> = (|| {
+            let root = self.pool.pool().read_u64(self.root_slot())?;
+            if root == 0 {
+                let leaf = self.new_leaf(&mut tx, key, value)?;
+                self.set_slot(&mut tx, self.root_slot(), leaf, true)?;
+                self.bump_count(&mut tx, 1)?;
+                return Ok(());
+            }
+            let best = self.best_leaf(root, key)?;
+            let best_key = self.leaf_key(best)?;
+            if best_key == key {
+                // Replace: swap the leaf pointer wherever it lives.
+                let leaf = self.new_leaf(&mut tx, key, value)?;
+                let (slot, is_root) = self.locate_slot(key)?;
+                self.set_slot(&mut tx, slot, leaf, is_root)?;
+                return Ok(());
+            }
+            // New internal node at the critical bit.
+            let crit = 63 - (best_key ^ key).leading_zeros() as u64;
+            let leaf = self.new_leaf(&mut tx, key, value)?;
+            // Find the insertion slot: first node with a smaller bit.
+            let mut slot = self.root_slot();
+            let mut is_root = true;
+            let mut cur = root;
+            while self.tag(cur)? == TAG_INTERNAL && self.internal_bit(cur)? > crit {
+                let bit = self.internal_bit(cur)?;
+                slot = Self::child_slot(cur, (key >> bit) & 1 == 1);
+                is_root = false;
+                cur = self.pool.pool().read_u64(slot)?;
+            }
+            let node = tx.alloc(INTERNAL_SIZE, 8)?;
+            tx.write_u64(node, TAG_INTERNAL)?;
+            tx.write_u64(node + 8, crit)?;
+            let key_right = (key >> crit) & 1 == 1;
+            tx.write_u64(Self::child_slot(node, key_right), leaf)?;
+            tx.write_u64(Self::child_slot(node, !key_right), cur)?;
+            self.set_slot(&mut tx, slot, node, is_root)?;
+            self.bump_count(&mut tx, 1)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.finish(tx, abandon),
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        let root = self.pool.pool().read_u64(self.root_slot())?;
+        if root == 0 {
+            return Ok(None);
+        }
+        let leaf = self.best_leaf(root, key)?;
+        if self.leaf_key(leaf)? == key {
+            Ok(Some(self.leaf_value(leaf)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, KvError> {
+        let _guard = self.op_lock.lock();
+        let root = self.pool.pool().read_u64(self.root_slot())?;
+        if root == 0 {
+            return Ok(false);
+        }
+        // Walk remembering parent and grandparent slots.
+        let mut gp_slot = self.root_slot();
+        let mut gp_is_root = true;
+        let mut parent: Option<u64> = None;
+        let mut cur = root;
+        let mut cur_slot = self.root_slot();
+        while self.tag(cur)? == TAG_INTERNAL {
+            let bit = self.internal_bit(cur)?;
+            let next_slot = Self::child_slot(cur, (key >> bit) & 1 == 1);
+            gp_slot = cur_slot;
+            gp_is_root = parent.is_none();
+            parent = Some(cur);
+            cur_slot = next_slot;
+            cur = self.pool.pool().read_u64(next_slot)?;
+        }
+        if self.leaf_key(cur)? != key {
+            return Ok(false);
+        }
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let result: Result<(), KvError> = (|| {
+            match parent {
+                None => {
+                    // Removing the only leaf.
+                    self.set_slot(&mut tx, self.root_slot(), 0, true)?;
+                }
+                Some(p) => {
+                    // Splice the sibling into the grandparent slot.
+                    let bit = self.internal_bit(p)?;
+                    let sibling_slot = Self::child_slot(p, (key >> bit) & 1 == 0);
+                    let sibling = self.pool.pool().read_u64(sibling_slot)?;
+                    self.set_slot(&mut tx, gp_slot, sibling, gp_is_root)?;
+                }
+            }
+            self.bump_count(&mut tx, -1)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.finish(tx, false)?;
+                let _ = self.pool.heap().free(cur);
+                if let Some(p) = parent {
+                    let _ = self.pool.heap().free(p);
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn len(&self) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(self.count_slot())?)
+    }
+}
+
+impl CritBitTree {
+    /// Finds the pointer slot that currently holds the leaf for `key`.
+    fn locate_slot(&self, key: u64) -> Result<(u64, bool), KvError> {
+        let mut slot = self.root_slot();
+        let mut is_root = true;
+        let mut cur = self.pool.pool().read_u64(slot)?;
+        while self.tag(cur)? == TAG_INTERNAL {
+            let bit = self.internal_bit(cur)?;
+            slot = Self::child_slot(cur, (key >> bit) & 1 == 1);
+            is_root = false;
+            cur = self.pool.pool().read_u64(slot)?;
+        }
+        Ok((slot, is_root))
+    }
+}
+
+impl fmt::Debug for CritBitTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CritBitTree")
+            .field("check", &self.check)
+            .field("faults", &format_args!("{}", self.faults))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::{PersistMode, PmPool};
+
+    fn tree() -> CritBitTree {
+        let pool = Arc::new(
+            ObjPool::create(Arc::new(PmPool::untracked(1 << 21)), 64, PersistMode::X86).unwrap(),
+        );
+        CritBitTree::create(pool, CheckMode::None, FaultSet::none()).unwrap()
+    }
+
+    #[test]
+    fn insert_get_many() {
+        let t = tree();
+        let keys: Vec<u64> = (0..200).map(|i| i * 2654435761 % 100_000).collect();
+        for &k in &keys {
+            t.insert(k, &crate::gen::value_for(k, 24)).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k).unwrap(), Some(crate::gen::value_for(k, 24)), "key {k}");
+        }
+        assert_eq!(t.get(999_999).unwrap(), None);
+    }
+
+    #[test]
+    fn replace_keeps_count() {
+        let t = tree();
+        t.insert(1, b"a").unwrap();
+        t.insert(1, b"bb").unwrap();
+        assert_eq!(t.get(1).unwrap(), Some(b"bb".to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_restores_sibling() {
+        let t = tree();
+        for k in [1u64, 2, 3, 7, 100, 255] {
+            t.insert(k, &k.to_le_bytes()).unwrap();
+        }
+        assert!(t.remove(3).unwrap());
+        assert!(!t.remove(3).unwrap());
+        assert_eq!(t.get(3).unwrap(), None);
+        for k in [1u64, 2, 7, 100, 255] {
+            assert!(t.get(k).unwrap().is_some(), "key {k} must survive");
+        }
+        assert_eq!(t.len().unwrap(), 5);
+        // Remove down to empty and reinsert.
+        for k in [1u64, 2, 7, 100, 255] {
+            assert!(t.remove(k).unwrap());
+        }
+        assert_eq!(t.len().unwrap(), 0);
+        t.insert(9, b"again").unwrap();
+        assert_eq!(t.get(9).unwrap(), Some(b"again".to_vec()));
+    }
+
+    #[test]
+    fn adjacent_keys_split_correctly() {
+        let t = tree();
+        for k in 0..32u64 {
+            t.insert(k, &[k as u8]).unwrap();
+        }
+        for k in 0..32u64 {
+            assert_eq!(t.get(k).unwrap(), Some(vec![k as u8]));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named fault-injection site in one of the workloads (Table 5).
+///
+/// Each variant removes, misplaces, or duplicates exactly one
+/// crash-consistency-relevant operation at a specific source site, mirroring
+/// how the paper systematically creates random synthetic bugs in PMDK
+/// workloads" (§6.3). The variants group into the paper's six bug classes:
+///
+/// * **Backup** — a `TX_ADD` is skipped before a modification;
+/// * **Completion** — a transaction is abandoned without terminating;
+/// * **TX performance** — the same object is logged twice;
+/// * **Ordering** — a fence is skipped or misplaced (low-level code);
+/// * **Writeback** — a `clwb` is skipped (low-level code);
+/// * **Low-level performance** — the same line is written back twice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // variant names are the documentation; see group docs
+pub enum Fault {
+    // --- C-Tree (transactional) ---
+    CtreeSkipLogRootPtr,
+    CtreeSkipLogParentNode,
+    CtreeSkipLogCount,
+    CtreeDoubleLogParent,
+    CtreeAbandonTx,
+    // --- B-Tree (transactional) ---
+    BtreeSkipLogInsertNode,
+    /// Paper Bug 2 (`btree_map.c:201`): the node produced by a split is
+    /// modified without logging.
+    BtreeSkipLogSplitNode,
+    BtreeSkipLogSplitParent,
+    BtreeSkipLogRootGrow,
+    BtreeSkipLogCount,
+    /// Paper Bug 3 (`btree_map.c:367`): the same node is logged both by the
+    /// caller and by `insert_item`.
+    BtreeDoubleLogSplitParent,
+    BtreeAbandonTx,
+    // --- RB-Tree (transactional) ---
+    RbSkipLogInsertParent,
+    /// The known rbtree bug (`rbtree_map.c:379`): a rotation modifies a node
+    /// without logging it.
+    RbSkipLogRotatePivot,
+    RbSkipLogRotateParent,
+    RbSkipLogRecolor,
+    RbSkipLogRootPtr,
+    RbDoubleLogFixup,
+    RbAbandonTx,
+    // --- HashMap with transactions ---
+    HmTxSkipLogBucket,
+    /// The Fig. 1b bug: the element count is updated without being logged.
+    HmTxSkipLogCount,
+    HmTxSkipLogRemovePrev,
+    HmTxDoubleLogBucket,
+    HmTxAbandonTx,
+    // --- HashMap on low-level primitives ---
+    HmLlSkipFlushNode,
+    HmLlSkipFenceAfterNode,
+    HmLlSkipFlushHead,
+    HmLlSkipFenceAfterHead,
+    /// The head is linked *before* the node is persisted (misplaced order).
+    HmLlLinkBeforeNodePersist,
+    HmLlSkipFlushCount,
+    HmLlDoubleFlushNode,
+    HmLlDoubleFlushHead,
+    // --- Redis-like store ---
+    RedisSkipLogValue,
+    RedisAbandonTx,
+    // --- Memcached-like store (Mnemosyne) ---
+    KvSkipLogPersist,
+    KvSkipReplayWriteback,
+    KvAbandonTx,
+    // --- Durable queue (low-level primitives) ---
+    QueueSkipFlushNode,
+    QueueSkipFenceNode,
+    QueueSkipFlushLink,
+    QueueSkipFlushTail,
+    /// The node is linked before it is persisted (misplaced order).
+    QueueLinkBeforeNodePersist,
+    QueueDoubleFlushTail,
+    // --- Array store (the Fig. 1a example) ---
+    /// Omit the barrier between `backup.val` and `backup.valid` (Fig. 1a
+    /// missing barrier #1).
+    ArraySkipBackupBarrier,
+    /// Omit the barrier between the in-place update and clearing
+    /// `backup.valid` (Fig. 1a missing barrier #2).
+    ArraySkipUpdateBarrier,
+}
+
+/// The set of faults active for one workload run.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_workloads::{Fault, FaultSet};
+///
+/// let faults = FaultSet::of(&[Fault::HmTxSkipLogCount]);
+/// assert!(faults.is_active(Fault::HmTxSkipLogCount));
+/// assert!(!faults.is_active(Fault::HmTxSkipLogBucket));
+/// assert!(FaultSet::none().is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    active: BTreeSet<Fault>,
+}
+
+impl FaultSet {
+    /// No faults: the correct implementation.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A set with exactly one fault.
+    #[must_use]
+    pub fn one(fault: Fault) -> Self {
+        Self::of(&[fault])
+    }
+
+    /// A set with the given faults.
+    #[must_use]
+    pub fn of(faults: &[Fault]) -> Self {
+        Self { active: faults.iter().copied().collect() }
+    }
+
+    /// Whether `fault` should fire.
+    #[must_use]
+    pub fn is_active(&self, fault: Fault) -> bool {
+        self.active.contains(&fault)
+    }
+
+    /// Whether no fault is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.active.is_empty() {
+            return write!(f, "no faults");
+        }
+        let names: Vec<String> = self.active.iter().map(|x| format!("{x:?}")).collect();
+        write!(f, "{}", names.join("+"))
+    }
+}
+
+impl FromIterator<Fault> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = Fault>>(iter: T) -> Self {
+        Self { active: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let fs: FaultSet = [Fault::CtreeAbandonTx, Fault::RbSkipLogRotatePivot]
+            .into_iter()
+            .collect();
+        assert!(fs.is_active(Fault::CtreeAbandonTx));
+        assert!(!fs.is_active(Fault::BtreeAbandonTx));
+        assert!(!fs.is_empty());
+        assert_eq!(FaultSet::one(Fault::KvAbandonTx), FaultSet::of(&[Fault::KvAbandonTx]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FaultSet::none().to_string(), "no faults");
+        assert!(FaultSet::one(Fault::HmTxSkipLogCount).to_string().contains("HmTxSkipLogCount"));
+    }
+}

@@ -1,0 +1,243 @@
+//! File-system clients for the PMFS-like substrate, reproducing Table 4's
+//! "NFS (Filebench, 8 clients)" and "MySQL (OLTP-complex, 4 clients)" load
+//! shapes at simulator scale.
+
+use pmtest_pmfs::{FsError, InodeId, Pmfs};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Counters produced by a file-system driver run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsBenchStats {
+    /// Files created.
+    pub creates: u64,
+    /// Write calls issued.
+    pub writes: u64,
+    /// Read calls issued.
+    pub reads: u64,
+    /// Files unlinked.
+    pub unlinks: u64,
+    /// Files renamed.
+    pub renames: u64,
+    /// Truncate calls issued.
+    pub truncates: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// Configuration for [`filebench`].
+#[derive(Clone, Copy, Debug)]
+pub struct FilebenchConfig {
+    /// Operations to issue.
+    pub ops: usize,
+    /// Maximum live files per client.
+    pub max_files: usize,
+    /// Bytes per write.
+    pub write_size: usize,
+    /// RNG seed (use the client id for distinct streams).
+    pub seed: u64,
+}
+
+impl Default for FilebenchConfig {
+    fn default() -> Self {
+        Self { ops: 200, max_files: 8, write_size: 128, seed: 0 }
+    }
+}
+
+/// A Filebench-style fileserver personality: create/append/read/delete over
+/// a churning working set of files.
+///
+/// # Errors
+///
+/// Returns [`FsError`] on file-system errors other than expected capacity
+/// conditions.
+pub fn filebench(fs: &Pmfs, client: usize, cfg: FilebenchConfig) -> Result<FsBenchStats, FsError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (client as u64) << 32);
+    let mut stats = FsBenchStats::default();
+    let mut live: Vec<(String, InodeId, u64)> = Vec::new(); // (name, ino, size)
+    let mut next_id = 0u64;
+    for _ in 0..cfg.ops {
+        let action = rng.gen_range(0..100);
+        if live.is_empty() || (action < 30 && live.len() < cfg.max_files) {
+            let name = format!("c{client}-f{next_id}");
+            next_id += 1;
+            match fs.create(&name) {
+                Ok(ino) => {
+                    stats.creates += 1;
+                    live.push((name, ino, 0));
+                }
+                Err(FsError::NoSpace) => {} // directory full: fall through
+                Err(e) => return Err(e),
+            }
+        } else if action < 65 {
+            // Append-ish write within the 1 KiB file limit.
+            let i = rng.gen_range(0..live.len());
+            let (_, ino, size) = live[i];
+            let off = size.min(1024 - cfg.write_size as u64);
+            let data: Vec<u8> = (0..cfg.write_size).map(|j| (j as u8) ^ ino.index() as u8).collect();
+            fs.write(ino, off, &data)?;
+            live[i].2 = (off + cfg.write_size as u64).min(1024);
+            stats.writes += 1;
+            stats.bytes_written += cfg.write_size as u64;
+        } else if action < 85 {
+            let i = rng.gen_range(0..live.len());
+            let (_, ino, size) = live[i];
+            if size > 0 {
+                let len = (size as usize).min(cfg.write_size);
+                let _ = fs.read(ino, 0, len)?;
+            }
+            stats.reads += 1;
+        } else if action < 90 {
+            let i = rng.gen_range(0..live.len());
+            if action < 88 {
+                // Rename within the client's namespace.
+                let new_name = format!("c{client}-r{next_id}");
+                next_id += 1;
+                let old_name = live[i].0.clone();
+                fs.rename(&old_name, &new_name)?;
+                live[i].0 = new_name;
+                stats.renames += 1;
+            } else {
+                let (_, ino, size) = live[i];
+                let new_size = size / 2;
+                fs.truncate(ino, new_size)?;
+                live[i].2 = new_size;
+                stats.truncates += 1;
+            }
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let (name, _, _) = live.remove(i);
+            fs.unlink(&name)?;
+            stats.unlinks += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Configuration for [`oltp`].
+#[derive(Clone, Copy, Debug)]
+pub struct OltpConfig {
+    /// Transactions to issue.
+    pub transactions: usize,
+    /// Number of "table" files.
+    pub tables: usize,
+    /// Bytes per record update.
+    pub record_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OltpConfig {
+    fn default() -> Self {
+        Self { transactions: 100, tables: 4, record_size: 64, seed: 0 }
+    }
+}
+
+/// An OLTP-complex-style personality: read-modify-write of records inside a
+/// fixed set of table files plus a write-ahead "log file" append per
+/// transaction (the MySQL-on-PMFS shape of Table 4).
+///
+/// # Errors
+///
+/// Returns [`FsError`] on file-system errors.
+pub fn oltp(fs: &Pmfs, client: usize, cfg: OltpConfig) -> Result<FsBenchStats, FsError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (client as u64) << 32);
+    let mut stats = FsBenchStats::default();
+    // Set up table files and the client's log file once.
+    let mut tables = Vec::new();
+    for t in 0..cfg.tables {
+        let name = format!("table{t}");
+        let ino = match fs.lookup(&name) {
+            Some(ino) => ino,
+            None => {
+                stats.creates += 1;
+                fs.create(&name)?
+            }
+        };
+        tables.push(ino);
+    }
+    let log_name = format!("oltp-log-{client}");
+    let log = match fs.lookup(&log_name) {
+        Some(ino) => ino,
+        None => {
+            stats.creates += 1;
+            fs.create(&log_name)?
+        }
+    };
+    let mut log_off = fs.stat(log)?.size;
+    for txn in 0..cfg.transactions {
+        // Read-modify-write one record in a random table.
+        let table = tables[rng.gen_range(0..tables.len())];
+        let slots = 1024 / cfg.record_size as u64;
+        let off = rng.gen_range(0..slots) * cfg.record_size as u64;
+        let mut record = fs.read(table, off, cfg.record_size)?;
+        stats.reads += 1;
+        for b in &mut record {
+            *b = b.wrapping_add(1);
+        }
+        fs.write(table, off, &record)?;
+        stats.writes += 1;
+        stats.bytes_written += cfg.record_size as u64;
+        // Append a commit record to the log (wrap within the file limit).
+        if log_off + 16 > 1024 {
+            log_off = 0;
+        }
+        fs.write(log, log_off, &(txn as u64).to_le_bytes())?;
+        log_off += 8;
+        stats.writes += 1;
+        stats.bytes_written += 8;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::PmPool;
+    use pmtest_pmfs::PmfsOptions;
+    use std::sync::Arc;
+
+    fn fs() -> Pmfs {
+        Pmfs::format(Arc::new(PmPool::untracked(1 << 20)), PmfsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn filebench_completes_and_counts() {
+        let fs = fs();
+        let stats = filebench(&fs, 0, FilebenchConfig { ops: 400, ..Default::default() }).unwrap();
+        assert!(stats.creates > 0);
+        assert!(stats.writes > 0);
+        assert!(stats.reads > 0);
+        assert!(stats.renames > 0);
+        assert!(stats.truncates > 0);
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn filebench_multiple_clients_share_namespace() {
+        let fs = fs();
+        for client in 0..4 {
+            filebench(&fs, client, FilebenchConfig { ops: 60, ..Default::default() }).unwrap();
+        }
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn oltp_reuses_tables_across_clients() {
+        let fs = fs();
+        let s1 = oltp(&fs, 0, OltpConfig::default()).unwrap();
+        let s2 = oltp(&fs, 1, OltpConfig::default()).unwrap();
+        assert_eq!(s1.creates, 5, "4 tables + 1 log");
+        assert_eq!(s2.creates, 1, "tables already exist; only the log");
+        assert!(fs.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn drivers_are_deterministic_per_seed() {
+        let fs1 = fs();
+        let fs2 = fs();
+        let a = filebench(&fs1, 0, FilebenchConfig::default()).unwrap();
+        let b = filebench(&fs2, 0, FilebenchConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

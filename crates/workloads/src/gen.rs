@@ -1,0 +1,235 @@
+//! Load generators reproducing the client mixes of Table 4.
+//!
+//! * [`memslap`] — Memslap's default mix: 5% `set`, 95% `get`, uniform keys
+//!   (the paper drives Memcached with "Memslap, 100k ops/client, 5% set");
+//! * [`ycsb_update_heavy`] — YCSB with 50% updates and a Zipfian key
+//!   distribution ("YCSB, 100k ops/client, 50% update");
+//! * [`lru_churn`] — the Redis LRU test: keep inserting fresh keys into a
+//!   bounded keyspace so older ones are evicted, mixed with point reads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One client operation against a key-value service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Get(u64),
+    /// Insert or update.
+    Set(u64),
+}
+
+impl Op {
+    /// The key this operation touches.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Get(k) | Op::Set(k) => k,
+        }
+    }
+
+    /// Whether this operation writes.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Set(_))
+    }
+}
+
+/// A Zipfian key sampler over `0..n` (the YCSB algorithm, default skew
+/// `theta = 0.99`).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Self {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, Euler–Maclaurin style approximation above.
+        const EXACT_LIMIT: u64 = 10_000;
+        if n <= EXACT_LIMIT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+/// Memslap's default mix: `set_pct` writes (the paper uses 5%), uniform
+/// keys over `0..key_space`.
+#[must_use]
+pub fn memslap(ops: usize, key_space: u64, set_pct: u32, seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            let key = rng.gen_range(0..key_space);
+            if rng.gen_range(0..100) < set_pct {
+                Op::Set(key)
+            } else {
+                Op::Get(key)
+            }
+        })
+        .collect()
+}
+
+/// YCSB update-heavy mix: 50% updates, Zipfian keys (workload A shape, the
+/// paper's "50% update").
+#[must_use]
+pub fn ycsb_update_heavy(ops: usize, key_space: u64, seed: u64) -> Vec<Op> {
+    let zipf = Zipfian::new(key_space, 0.99);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            let key = zipf.sample(&mut rng);
+            if rng.gen_bool(0.5) {
+                Op::Set(key)
+            } else {
+                Op::Get(key)
+            }
+        })
+        .collect()
+}
+
+/// The Redis LRU test: a stream of mostly-fresh inserts over a keyspace much
+/// larger than the cache capacity, with occasional reads of recent keys.
+#[must_use]
+pub fn lru_churn(ops: usize, key_space: u64, seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_key = 0u64;
+    (0..ops)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                next_key = (next_key + 1) % key_space;
+                Op::Set(next_key)
+            } else {
+                let back = rng.gen_range(0..64.min(next_key + 1));
+                Op::Get(next_key.saturating_sub(back))
+            }
+        })
+        .collect()
+}
+
+/// Deterministic value payload of `size` bytes derived from `key`.
+#[must_use]
+pub fn value_for(key: u64, size: usize) -> Vec<u8> {
+    let mut v = vec![0u8; size];
+    let bytes = key.to_le_bytes();
+    for (i, b) in v.iter_mut().enumerate() {
+        *b = bytes[i % 8].wrapping_add(i as u8);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memslap_mix_ratio() {
+        let ops = memslap(10_000, 1000, 5, 42);
+        let sets = ops.iter().filter(|o| o.is_write()).count();
+        assert!((300..=700).contains(&sets), "~5% sets, got {sets}");
+        assert!(ops.iter().all(|o| o.key() < 1000));
+    }
+
+    #[test]
+    fn ycsb_mix_ratio_and_skew() {
+        let ops = ycsb_update_heavy(10_000, 1000, 7);
+        let sets = ops.iter().filter(|o| o.is_write()).count();
+        assert!((4500..=5500).contains(&sets), "~50% updates, got {sets}");
+        // Zipfian: the most popular key should be much more frequent than
+        // the median.
+        let mut counts = std::collections::HashMap::new();
+        for op in &ops {
+            *counts.entry(op.key()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 200, "head key should dominate, got {max}");
+    }
+
+    #[test]
+    fn zipfian_respects_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_large_n_uses_approximation() {
+        let z = Zipfian::new(10_000_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty key space")]
+    fn zipfian_rejects_empty() {
+        let _ = Zipfian::new(0, 0.99);
+    }
+
+    #[test]
+    fn lru_churn_is_mostly_inserts() {
+        let ops = lru_churn(10_000, 100_000, 9);
+        let sets = ops.iter().filter(|o| o.is_write()).count();
+        assert!(sets > 7000);
+    }
+
+    #[test]
+    fn value_is_deterministic_and_sized() {
+        assert_eq!(value_for(9, 64), value_for(9, 64));
+        assert_ne!(value_for(9, 64), value_for(10, 64));
+        assert_eq!(value_for(3, 17).len(), 17);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(memslap(100, 10, 5, 1), memslap(100, 10, 5, 1));
+        assert_ne!(memslap(100, 10, 5, 1), memslap(100, 10, 5, 2));
+    }
+}

@@ -1,0 +1,383 @@
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_trace::Event;
+use pmtest_txlib::{ObjPool, Tx};
+
+use crate::fault::{Fault, FaultSet};
+use crate::kv::{CheckMode, KvError, KvMap};
+
+const NODE_HDR: u64 = 24; // key, next, vlen
+
+pub(crate) fn hash64(mut x: u64) -> u64 {
+    // splitmix64 finalizer
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The transactional hashmap microbenchmark ("HashMap w/ TX" in Fig. 10):
+/// chained buckets, one failure-atomic transaction per operation.
+///
+/// Root layout: `nbuckets: u64, count: u64, buckets: [u64; nbuckets]`.
+/// Nodes: `key: u64, next: u64, vlen: u64, value bytes`.
+///
+/// The element-count update is the Fig. 1b bug shape: with
+/// [`Fault::HmTxSkipLogCount`] active, `count` is modified without a
+/// `TX_ADD`, which PMTest's transaction checker reports as a missing backup.
+pub struct HashMapTx {
+    pool: Arc<ObjPool>,
+    nbuckets: u64,
+    check: CheckMode,
+    faults: FaultSet,
+    op_lock: Mutex<()>,
+}
+
+impl HashMapTx {
+    /// Initializes a map with `nbuckets` buckets in `pool`'s root area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area cannot hold the bucket array.
+    pub fn create(
+        pool: Arc<ObjPool>,
+        nbuckets: u64,
+        check: CheckMode,
+        faults: FaultSet,
+    ) -> Result<Self, KvError> {
+        let root = pool.root();
+        let needed = 16 + nbuckets * 8;
+        if root.len() < needed {
+            return Err(KvError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: needed }));
+        }
+        // Root initialization is itself a transaction.
+        pool.tx(|tx| {
+            tx.add(ByteRange::with_len(root.start(), needed))?;
+            tx.write_u64(root.start(), nbuckets)?;
+            tx.write_u64(root.start() + 8, 0)?;
+            for b in 0..nbuckets {
+                tx.write_u64(root.start() + 16 + b * 8, 0)?;
+            }
+            Ok(())
+        })?;
+        Ok(Self { pool, nbuckets, check, faults, op_lock: Mutex::new(()) })
+    }
+
+    /// Opens an already initialized map (e.g. after recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on a corrupt root.
+    pub fn open(pool: Arc<ObjPool>, check: CheckMode, faults: FaultSet) -> Result<Self, KvError> {
+        let nbuckets = pool.pool().read_u64(pool.root().start())?;
+        Ok(Self { pool, nbuckets, check, faults, op_lock: Mutex::new(()) })
+    }
+
+    /// The underlying object pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ObjPool> {
+        &self.pool
+    }
+
+    /// Node header size (key, next, vlen); the value bytes follow.
+    pub(crate) const NODE_HDR: u64 = NODE_HDR;
+
+    /// The check mode this map was created with.
+    pub(crate) fn check_mode(&self) -> CheckMode {
+        self.check
+    }
+
+    /// Pool offset and value length of `key`'s node, if present.
+    pub(crate) fn node_for(&self, key: u64) -> Result<Option<(u64, u64)>, KvError> {
+        match self.find(key)? {
+            Some((_, node)) => {
+                let vlen = self.pool.pool().read_u64(node + 16)?;
+                Ok(Some((node, vlen)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn count_slot(&self) -> u64 {
+        self.pool.root().start() + 8
+    }
+
+    fn bucket_slot(&self, key: u64) -> u64 {
+        self.pool.root().start() + 16 + (hash64(key) % self.nbuckets) * 8
+    }
+
+    fn checker_start(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerStart);
+        }
+    }
+
+    fn checker_end(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerEnd);
+        }
+    }
+
+    fn node_key(&self, node: u64) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(node)?)
+    }
+
+    fn node_next(&self, node: u64) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(node + 8)?)
+    }
+
+    fn node_value(&self, node: u64) -> Result<Vec<u8>, KvError> {
+        let vlen = self.pool.pool().read_u64(node + 16)?;
+        Ok(self.pool.pool().read_vec(ByteRange::with_len(node + NODE_HDR, vlen))?)
+    }
+
+    /// Finds `(prev, node)` for `key` in its chain.
+    fn find(&self, key: u64) -> Result<Option<(Option<u64>, u64)>, KvError> {
+        let mut prev = None;
+        let mut cur = self.pool.pool().read_u64(self.bucket_slot(key))?;
+        while cur != 0 {
+            if self.node_key(cur)? == key {
+                return Ok(Some((prev, cur)));
+            }
+            prev = Some(cur);
+            cur = self.node_next(cur)?;
+        }
+        Ok(None)
+    }
+
+    fn unlink_in_tx(
+        &self,
+        tx: &mut Tx<'_>,
+        logged: &mut HashSet<u64>,
+        key: u64,
+        prev: Option<u64>,
+        node: u64,
+    ) -> Result<(), KvError> {
+        let next = self.node_next(node)?;
+        match prev {
+            Some(p) => {
+                if !self.faults.is_active(Fault::HmTxSkipLogRemovePrev) && logged.insert(p + 8) {
+                    tx.add(ByteRange::with_len(p + 8, 8))?;
+                }
+                tx.write_u64(p + 8, next)?;
+            }
+            None => {
+                let slot = self.bucket_slot(key);
+                if !self.faults.is_active(Fault::HmTxSkipLogBucket) && logged.insert(slot) {
+                    tx.add(ByteRange::with_len(slot, 8))?;
+                }
+                tx.write_u64(slot, next)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl KvMap for HashMapTx {
+    fn insert(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        let _guard = self.op_lock.lock();
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let mut logged = HashSet::new();
+        let logged = &mut logged;
+        let result: Result<u64, KvError> = (|| {
+            let existing = self.find(key)?;
+            // Replace: unlink the old node first.
+            let mut delta: i64 = 1;
+            if let Some((prev, node)) = existing {
+                self.unlink_in_tx(&mut tx, logged, key, prev, node)?;
+                delta = 0;
+            }
+            // Fresh node.
+            let node = tx.alloc(NODE_HDR + value.len() as u64, 8)?;
+            let slot = self.bucket_slot(key);
+            let head = self.pool.pool().read_u64(slot)?;
+            tx.write_u64(node, key)?;
+            tx.write_u64(node + 8, head)?;
+            tx.write_u64(node + 16, value.len() as u64)?;
+            tx.write(node + NODE_HDR, value)?;
+            // Link at the bucket head.
+            if self.faults.is_active(Fault::HmTxDoubleLogBucket) {
+                tx.add(ByteRange::with_len(slot, 8))?;
+                tx.add(ByteRange::with_len(slot, 8))?;
+                logged.insert(slot);
+            } else if !self.faults.is_active(Fault::HmTxSkipLogBucket) && logged.insert(slot) {
+                tx.add(ByteRange::with_len(slot, 8))?;
+            }
+            tx.write_u64(slot, node)?;
+            // Count (the Fig. 1b site).
+            if delta != 0 {
+                let count = self.pool.pool().read_u64(self.count_slot())?;
+                if !self.faults.is_active(Fault::HmTxSkipLogCount) {
+                    tx.add(ByteRange::with_len(self.count_slot(), 8))?;
+                }
+                tx.write_u64(self.count_slot(), count + 1)?;
+            }
+            Ok(node)
+        })();
+        match result {
+            Ok(_) => {
+                if self.faults.is_active(Fault::HmTxAbandonTx) {
+                    tx.abandon();
+                } else {
+                    tx.commit()?;
+                }
+                self.checker_end();
+                Ok(())
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        match self.find(key)? {
+            Some((_, node)) => Ok(Some(self.node_value(node)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, KvError> {
+        let _guard = self.op_lock.lock();
+        let Some((prev, node)) = self.find(key)? else {
+            return Ok(false);
+        };
+        self.checker_start();
+        let mut tx = self.pool.begin_tx()?;
+        let mut logged = HashSet::new();
+        let logged = &mut logged;
+        let result: Result<(), KvError> = (|| {
+            self.unlink_in_tx(&mut tx, logged, key, prev, node)?;
+            let count = self.pool.pool().read_u64(self.count_slot())?;
+            if !self.faults.is_active(Fault::HmTxSkipLogCount) {
+                tx.add(ByteRange::with_len(self.count_slot(), 8))?;
+            }
+            tx.write_u64(self.count_slot(), count.saturating_sub(1))?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                tx.commit()?;
+                self.checker_end();
+                let _ = self.pool.heap().free(node);
+                Ok(true)
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn len(&self) -> Result<u64, KvError> {
+        Ok(self.pool.pool().read_u64(self.count_slot())?)
+    }
+}
+
+impl fmt::Debug for HashMapTx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashMapTx")
+            .field("nbuckets", &self.nbuckets)
+            .field("check", &self.check)
+            .field("faults", &format_args!("{}", self.faults))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::{PersistMode, PmPool};
+
+    pub(crate) fn tx_pool(bytes: usize, root: u64) -> Arc<ObjPool> {
+        Arc::new(
+            ObjPool::create(Arc::new(PmPool::untracked(bytes)), root, PersistMode::X86).unwrap(),
+        )
+    }
+
+    fn map() -> HashMapTx {
+        HashMapTx::create(tx_pool(1 << 20, 4096), 64, CheckMode::None, FaultSet::none()).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let m = map();
+        for k in 0..100u64 {
+            m.insert(k, &crate::gen::value_for(k, 32)).unwrap();
+        }
+        assert_eq!(m.len().unwrap(), 100);
+        for k in 0..100u64 {
+            assert_eq!(m.get(k).unwrap(), Some(crate::gen::value_for(k, 32)));
+        }
+        assert_eq!(m.get(1000).unwrap(), None);
+        assert!(m.remove(50).unwrap());
+        assert!(!m.remove(50).unwrap());
+        assert_eq!(m.get(50).unwrap(), None);
+        assert_eq!(m.len().unwrap(), 99);
+    }
+
+    #[test]
+    fn replace_updates_value_without_growing() {
+        let m = map();
+        m.insert(1, b"old").unwrap();
+        m.insert(1, b"newer value").unwrap();
+        assert_eq!(m.get(1).unwrap(), Some(b"newer value".to_vec()));
+        assert_eq!(m.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let m = HashMapTx::create(tx_pool(1 << 20, 4096), 2, CheckMode::None, FaultSet::none())
+            .unwrap();
+        for k in 0..64u64 {
+            m.insert(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.get(k).unwrap(), Some(k.to_le_bytes().to_vec()));
+        }
+        // Remove middle-of-chain entries.
+        for k in (0..64u64).step_by(3) {
+            assert!(m.remove(k).unwrap());
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.get(k).unwrap().is_some(), k % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn too_small_root_rejected() {
+        let pool = tx_pool(1 << 16, 8);
+        assert!(HashMapTx::create(pool, 64, CheckMode::None, FaultSet::none()).is_err());
+    }
+
+    #[test]
+    fn open_after_create_sees_data() {
+        let pool = tx_pool(1 << 20, 4096);
+        let m = HashMapTx::create(pool.clone(), 16, CheckMode::None, FaultSet::none()).unwrap();
+        m.insert(5, b"v").unwrap();
+        drop(m);
+        let m2 = HashMapTx::open(pool, CheckMode::None, FaultSet::none()).unwrap();
+        assert_eq!(m2.get(5).unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn checkers_mode_emits_tx_checker_events() {
+        use pmtest_trace::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        let pm = Arc::new(PmPool::new(1 << 20, sink.clone()));
+        let pool = Arc::new(ObjPool::create(pm, 4096, PersistMode::X86).unwrap());
+        let m = HashMapTx::create(pool, 16, CheckMode::Checkers, FaultSet::none()).unwrap();
+        m.insert(1, b"x").unwrap();
+        let events: Vec<Event> = sink.snapshot().iter().map(|e| e.event).collect();
+        assert!(events.contains(&Event::TxCheckerStart));
+        assert!(events.contains(&Event::TxCheckerEnd));
+    }
+}

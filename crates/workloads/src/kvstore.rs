@@ -1,0 +1,337 @@
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_mnemosyne::{MnOptions, MnPool};
+use pmtest_trace::Event;
+
+use crate::fault::{Fault, FaultSet};
+use crate::hashmap_tx::hash64;
+use crate::kv::{CheckMode, KvError, KvMap};
+
+const NODE_HDR: u64 = 24; // key, next, vlen
+
+/// The Memcached-like key-value store on the Mnemosyne-like redo-log
+/// library (Table 4: "Memcached / Mnemosyne").
+///
+/// A persistent chained hash table whose every mutation runs in one durable
+/// redo-log transaction; reads go straight to PM. Locks are striped per
+/// bucket group so multiple client threads can operate concurrently — the
+/// configuration scaled in Fig. 12.
+pub struct KvStore {
+    pool: Arc<MnPool>,
+    nbuckets: u64,
+    shards: Vec<Mutex<()>>,
+    check: CheckMode,
+    faults: FaultSet,
+}
+
+impl KvStore {
+    /// Initializes a store with `nbuckets` buckets in `pool`'s root area
+    /// and `shards` lock stripes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area cannot hold the bucket array.
+    pub fn create(
+        pool: Arc<MnPool>,
+        nbuckets: u64,
+        shards: usize,
+        check: CheckMode,
+        faults: FaultSet,
+    ) -> Result<Self, KvError> {
+        let root = pool.root();
+        let needed = 16 + nbuckets * 8;
+        if root.len() < needed {
+            return Err(KvError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: needed }));
+        }
+        pool.transaction(|tx| {
+            tx.set_u64(root.start(), nbuckets)?;
+            tx.set_u64(root.start() + 8, 0)?;
+            for b in 0..nbuckets {
+                tx.set_u64(root.start() + 16 + b * 8, 0)?;
+            }
+            Ok(())
+        })?;
+        Ok(Self {
+            pool,
+            nbuckets,
+            shards: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
+            check,
+            faults,
+        })
+    }
+
+    /// The underlying redo-log pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<MnPool> {
+        &self.pool
+    }
+
+    fn bucket_slot(&self, key: u64) -> u64 {
+        self.pool.root().start() + 16 + (hash64(key) % self.nbuckets) * 8
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<()> {
+        &self.shards[(hash64(key) as usize) % self.shards.len()]
+    }
+
+    fn mn_options(&self) -> MnOptions {
+        MnOptions {
+            skip_log_persist: self.faults.is_active(Fault::KvSkipLogPersist),
+            skip_replay_writeback: self.faults.is_active(Fault::KvSkipReplayWriteback),
+            ..MnOptions::default()
+        }
+    }
+
+    fn checker_start(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerStart);
+        }
+    }
+
+    fn checker_end(&self) {
+        if self.check.enabled() {
+            self.pool.pool().emit(Event::TxCheckerEnd);
+        }
+    }
+
+    fn find(&self, key: u64) -> Result<Option<(Option<u64>, u64)>, KvError> {
+        let mut prev = None;
+        let mut cur = self.pool.pool().read_u64(self.bucket_slot(key))?;
+        while cur != 0 {
+            if self.pool.pool().read_u64(cur)? == key {
+                return Ok(Some((prev, cur)));
+            }
+            prev = Some(cur);
+            cur = self.pool.pool().read_u64(cur + 8)?;
+        }
+        Ok(None)
+    }
+
+    /// Memcached-style `set`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on allocation or substrate errors.
+    pub fn set(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        let _guard = self.shard(key).lock();
+        self.checker_start();
+        let mut tx = self.pool.begin(self.mn_options())?;
+        let result: Result<(), KvError> = (|| {
+            let existing = self.find(key)?;
+            let slot = self.bucket_slot(key);
+            match existing {
+                Some((prev, node)) => {
+                    let vlen = self.pool.pool().read_u64(node + 16)?;
+                    if vlen == value.len() as u64 {
+                        // In-place value update through the redo log.
+                        tx.set(node + NODE_HDR, value)?;
+                        return Ok(());
+                    }
+                    // Unlink the old node, then fall through to insert.
+                    let next = self.pool.pool().read_u64(node + 8)?;
+                    match prev {
+                        Some(p) => tx.set_u64(p + 8, next)?,
+                        None => tx.set_u64(slot, next)?,
+                    }
+                    let new = self.alloc_node(&mut tx, key, value, next)?;
+                    match prev {
+                        Some(p) => tx.set_u64(p + 8, new)?,
+                        None => tx.set_u64(slot, new)?,
+                    }
+                    Ok(())
+                }
+                None => {
+                    let head = self.pool.pool().read_u64(slot)?;
+                    let new = self.alloc_node(&mut tx, key, value, head)?;
+                    tx.set_u64(slot, new)?;
+                    Ok(())
+                }
+            }
+        })();
+        match result {
+            Ok(()) => {
+                if self.faults.is_active(Fault::KvAbandonTx) {
+                    tx.abandon();
+                } else {
+                    tx.commit()?;
+                }
+                self.checker_end();
+                Ok(())
+            }
+            Err(e) => {
+                tx.abort();
+                self.checker_end();
+                Err(e)
+            }
+        }
+    }
+
+    fn alloc_node(
+        &self,
+        tx: &mut pmtest_mnemosyne::MnTx<'_>,
+        key: u64,
+        value: &[u8],
+        next: u64,
+    ) -> Result<u64, KvError> {
+        let node = self.pool.heap().alloc(NODE_HDR + value.len() as u64, 8)?;
+        tx.set_u64(node, key)?;
+        tx.set_u64(node + 8, next)?;
+        tx.set_u64(node + 16, value.len() as u64)?;
+        tx.set(node + NODE_HDR, value)?;
+        Ok(node)
+    }
+
+    /// Memcached-style `get`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        let _guard = self.shard(key).lock();
+        match self.find(key)? {
+            Some((_, node)) => {
+                let vlen = self.pool.pool().read_u64(node + 16)?;
+                Ok(Some(self.pool.pool().read_vec(ByteRange::with_len(node + NODE_HDR, vlen))?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Memcached-style `delete`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn delete(&self, key: u64) -> Result<bool, KvError> {
+        let _guard = self.shard(key).lock();
+        let Some((prev, node)) = self.find(key)? else {
+            return Ok(false);
+        };
+        self.checker_start();
+        let next = self.pool.pool().read_u64(node + 8)?;
+        let result = self.pool.transaction_with(self.mn_options(), |tx| {
+            match prev {
+                Some(p) => tx.set_u64(p + 8, next)?,
+                None => tx.set_u64(self.bucket_slot(key), next)?,
+            }
+            Ok(())
+        });
+        self.checker_end();
+        result?;
+        let _ = self.pool.heap().free(node);
+        Ok(true)
+    }
+
+    /// Number of live keys (walks every chain; Memcached keeps no durable
+    /// global counter either, avoiding a cross-shard hotspot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn count(&self) -> Result<u64, KvError> {
+        let mut n = 0;
+        for b in 0..self.nbuckets {
+            let mut cur = self.pool.pool().read_u64(self.pool.root().start() + 16 + b * 8)?;
+            while cur != 0 {
+                n += 1;
+                cur = self.pool.pool().read_u64(cur + 8)?;
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl KvMap for KvStore {
+    fn insert(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        self.set(key, value)
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        KvStore::get(self, key)
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, KvError> {
+        self.delete(key)
+    }
+
+    fn len(&self) -> Result<u64, KvError> {
+        self.count()
+    }
+}
+
+impl fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("nbuckets", &self.nbuckets)
+            .field("shards", &self.shards.len())
+            .field("check", &self.check)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::{PersistMode, PmPool};
+
+    fn store() -> KvStore {
+        let pool = Arc::new(
+            MnPool::create(Arc::new(PmPool::untracked(1 << 21)), 4096, PersistMode::X86).unwrap(),
+        );
+        KvStore::create(pool, 64, 8, CheckMode::None, FaultSet::none()).unwrap()
+    }
+
+    #[test]
+    fn set_get_delete() {
+        let s = store();
+        for k in 0..100u64 {
+            s.set(k, &crate::gen::value_for(k, 40)).unwrap();
+        }
+        assert_eq!(s.count().unwrap(), 100);
+        for k in 0..100u64 {
+            assert_eq!(s.get(k).unwrap(), Some(crate::gen::value_for(k, 40)));
+        }
+        assert!(s.delete(7).unwrap());
+        assert_eq!(s.get(7).unwrap(), None);
+        assert_eq!(s.count().unwrap(), 99);
+    }
+
+    #[test]
+    fn same_size_update_is_in_place() {
+        let s = store();
+        s.set(1, b"aaaa").unwrap();
+        s.set(1, b"bbbb").unwrap();
+        assert_eq!(s.get(1).unwrap(), Some(b"bbbb".to_vec()));
+        assert_eq!(s.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn different_size_update_relinks() {
+        let s = store();
+        s.set(1, b"short").unwrap();
+        s.set(1, b"much longer value").unwrap();
+        assert_eq!(s.get(1).unwrap(), Some(b"much longer value".to_vec()));
+        assert_eq!(s.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let s = Arc::new(store());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = t * 1000 + i;
+                        s.set(key, &key.to_le_bytes()).unwrap();
+                        assert_eq!(s.get(key).unwrap(), Some(key.to_le_bytes().to_vec()));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count().unwrap(), 400);
+    }
+}

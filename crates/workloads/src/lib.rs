@@ -1,0 +1,72 @@
+//! WHISPER-like persistent-memory workloads for the PMTest reproduction.
+//!
+//! The paper evaluates PMTest on the WHISPER benchmark suite (§6.1): five
+//! PMDK-based microbenchmarks (Fig. 10) and three "real" workloads —
+//! Memcached on Mnemosyne, Redis on PMDK, and PMFS under file-system clients
+//! (Table 4, Fig. 11). This crate rebuilds all of them on the instrumented
+//! substrates of this repository:
+//!
+//! | Paper workload | Here |
+//! |---|---|
+//! | C-Tree (PMDK example) | [`CritBitTree`] |
+//! | B-Tree (PMDK example) | [`BTree`] (with the paper's Bug 2 & Bug 3 behind flags) |
+//! | RB-Tree (PMDK example) | [`RbTree`] (with the known rbtree logging bug) |
+//! | HashMap w/ TX | [`HashMapTx`] |
+//! | HashMap w/o TX (low-level primitives) | [`HashMapLl`] |
+//! | Memcached + Memslap/YCSB (Mnemosyne) | [`KvStore`] + [`gen`] drivers |
+//! | Redis + LRU test (PMDK) | [`RedisKv`] |
+//! | PMFS + Filebench/OLTP | [`fsbench`] drivers |
+//!
+//! Every structure is generic over where its trace events go (any
+//! [`pmtest_trace::Sink`]), takes a *value size* parameter (the transaction
+//! size axis of Fig. 10a), can annotate itself with PMTest checkers
+//! ([`CheckMode`]), and accepts a [`FaultSet`] that plants the synthetic
+//! crash-consistency bugs of Table 5 at named sites.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_workloads::{CheckMode, FaultSet, HashMapTx, KvMap};
+//! use pmtest_txlib::ObjPool;
+//! use pmtest_pmem::{PersistMode, PmPool};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pool = Arc::new(ObjPool::create(
+//!     Arc::new(PmPool::untracked(1 << 20)), 4096, PersistMode::X86)?);
+//! let map = HashMapTx::create(pool, 64, CheckMode::None, FaultSet::none())?;
+//! map.insert(7, b"value")?;
+//! assert_eq!(map.get(7)?, Some(b"value".to_vec()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arraystore;
+mod btree;
+mod ctree;
+mod fault;
+pub mod fsbench;
+pub mod gen;
+mod hashmap_ll;
+mod hashmap_tx;
+mod invariants;
+mod kv;
+mod kvstore;
+mod queue;
+mod rbtree;
+mod rediskv;
+
+pub use arraystore::ArrayStore;
+pub use btree::BTree;
+pub use ctree::CritBitTree;
+pub use fault::{Fault, FaultSet};
+pub use hashmap_ll::HashMapLl;
+pub use hashmap_tx::HashMapTx;
+pub use kv::{CheckMode, KvError, KvMap};
+pub use kvstore::KvStore;
+pub use queue::PmQueue;
+pub use rbtree::RbTree;
+pub use rediskv::RedisKv;

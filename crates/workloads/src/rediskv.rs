@@ -1,0 +1,280 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+use pmtest_txlib::ObjPool;
+
+use crate::fault::{Fault, FaultSet};
+use crate::hashmap_tx::HashMapTx;
+use crate::kv::{CheckMode, KvError, KvMap};
+
+/// The Redis-like store (Table 4: "Redis / PMDK") — a persistent hash table
+/// with a volatile LRU index and a capacity bound, driven by the paper's
+/// `redis-cli` LRU test.
+///
+/// The persistent state is a [`HashMapTx`] over the PMDK-like library; the
+/// LRU bookkeeping is volatile (real Redis also rebuilds its LRU clocks on
+/// restart). Same-size value updates run in place through the undo log —
+/// the [`Fault::RedisSkipLogValue`] site omits that `TX_ADD`.
+pub struct RedisKv {
+    map: HashMapTx,
+    capacity: usize,
+    lru: Mutex<LruIndex>,
+    faults: FaultSet,
+}
+
+/// A slab-based doubly-linked LRU list with O(1) touch/evict.
+#[derive(Default)]
+struct LruIndex {
+    pos: HashMap<u64, usize>,
+    slab: Vec<LruEntry>,
+    free: Vec<usize>,
+    head: Option<usize>, // most recent
+    tail: Option<usize>, // least recent
+}
+
+struct LruEntry {
+    key: u64,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruIndex {
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            Some(p) => self.slab[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slab[n].prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = None;
+        self.slab[i].next = self.head;
+        if let Some(h) = self.head {
+            self.slab[h].prev = Some(i);
+        }
+        self.head = Some(i);
+        if self.tail.is_none() {
+            self.tail = Some(i);
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(&i) = self.pos.get(&key) {
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let entry = LruEntry { key, prev: None, next: None };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.pos.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn remove(&mut self, key: u64) {
+        if let Some(i) = self.pos.remove(&key) {
+            self.unlink(i);
+            self.free.push(i);
+        }
+    }
+
+    fn evict_candidate(&self) -> Option<u64> {
+        self.tail.map(|t| self.slab[t].key)
+    }
+
+    fn len(&self) -> usize {
+        self.pos.len()
+    }
+}
+
+impl RedisKv {
+    /// Creates a store bounded to `capacity` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the pool's root area is too small for the
+    /// bucket array.
+    pub fn create(
+        pool: Arc<ObjPool>,
+        nbuckets: u64,
+        capacity: usize,
+        check: CheckMode,
+        faults: FaultSet,
+    ) -> Result<Self, KvError> {
+        let map = HashMapTx::create(pool, nbuckets, check, faults.clone())?;
+        Ok(Self { map, capacity, lru: Mutex::new(LruIndex::default()), faults })
+    }
+
+    /// The underlying object pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ObjPool> {
+        self.map.pool()
+    }
+
+    /// Redis-style `SET` with LRU eviction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn set(&self, key: u64, value: &[u8]) -> Result<(), KvError> {
+        // Fast path: same-size in-place update through the undo log.
+        if let Some((node, vlen)) = self.map.node_for(key)? {
+            if vlen == value.len() as u64 {
+                let pool = self.map.pool();
+                let value_range = ByteRange::with_len(node + HashMapTx::NODE_HDR, vlen);
+                if self.map.check_mode().enabled() {
+                    pool.pool().emit(pmtest_trace::Event::TxCheckerStart);
+                }
+                let mut tx = pool.begin_tx()?;
+                if !self.faults.is_active(Fault::RedisSkipLogValue) {
+                    tx.add(value_range)?;
+                }
+                tx.write(value_range.start(), value)?;
+                if self.faults.is_active(Fault::RedisAbandonTx) {
+                    tx.abandon();
+                } else {
+                    tx.commit()?;
+                }
+                if self.map.check_mode().enabled() {
+                    pool.pool().emit(pmtest_trace::Event::TxCheckerEnd);
+                }
+                self.lru.lock().touch(key);
+                return Ok(());
+            }
+        }
+        self.map.insert(key, value)?;
+        let evict = {
+            let mut lru = self.lru.lock();
+            lru.touch(key);
+            if lru.len() > self.capacity {
+                lru.evict_candidate()
+            } else {
+                None
+            }
+        };
+        if let Some(victim) = evict {
+            self.map.remove(victim)?;
+            self.lru.lock().remove(victim);
+        }
+        Ok(())
+    }
+
+    /// Redis-style `GET` (touches the LRU clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, KvError> {
+        let v = self.map.get(key)?;
+        if v.is_some() {
+            self.lru.lock().touch(key);
+        }
+        Ok(v)
+    }
+
+    /// Number of live keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn len(&self) -> Result<u64, KvError> {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on substrate errors.
+    pub fn is_empty(&self) -> Result<bool, KvError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+impl fmt::Debug for RedisKv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RedisKv")
+            .field("capacity", &self.capacity)
+            .field("lru_len", &self.lru.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_pmem::{PersistMode, PmPool};
+
+    fn store(capacity: usize) -> RedisKv {
+        let pool = Arc::new(
+            ObjPool::create(Arc::new(PmPool::untracked(1 << 21)), 4096, PersistMode::X86)
+                .unwrap(),
+        );
+        RedisKv::create(pool, 64, capacity, CheckMode::None, FaultSet::none()).unwrap()
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let s = store(100);
+        s.set(1, b"one").unwrap();
+        s.set(2, b"two").unwrap();
+        assert_eq!(s.get(1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(s.get(3).unwrap(), None);
+        assert_eq!(s.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_least_recent() {
+        let s = store(3);
+        for k in 0..3u64 {
+            s.set(k, b"v").unwrap();
+        }
+        // Touch 0 so it is most recent; inserting 3 evicts 1.
+        s.get(0).unwrap();
+        s.set(3, b"v").unwrap();
+        assert_eq!(s.len().unwrap(), 3);
+        assert!(s.get(1).unwrap().is_none(), "key 1 was least recently used");
+        assert!(s.get(0).unwrap().is_some());
+        assert!(s.get(2).unwrap().is_some());
+        assert!(s.get(3).unwrap().is_some());
+    }
+
+    #[test]
+    fn in_place_update_same_size() {
+        let s = store(10);
+        s.set(9, b"aaaa").unwrap();
+        s.set(9, b"bbbb").unwrap();
+        assert_eq!(s.get(9).unwrap(), Some(b"bbbb".to_vec()));
+        assert_eq!(s.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn churn_respects_capacity() {
+        let s = store(50);
+        for op in crate::gen::lru_churn(2000, 10_000, 11) {
+            match op {
+                crate::gen::Op::Set(k) => s.set(k, &k.to_le_bytes()).unwrap(),
+                crate::gen::Op::Get(k) => {
+                    let _ = s.get(k).unwrap();
+                }
+            }
+        }
+        assert!(s.len().unwrap() <= 50);
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's Fig. 1b bug: a transactional linked list that forgets to
+//! back up its `length` field, caught automatically by the high-level
+//! transaction checkers (`TX_CHECKER_START`/`END`).
+//!
+//! Run with: `cargo run --example linked_list_tx`
+
+use std::sync::Arc;
+
+use pmtest::prelude::*;
+use pmtest::txlib::{ObjPool, TxError};
+
+/// Root layout: `head: u64, length: u64`.
+const HEAD: u64 = 0;
+const LENGTH: u64 = 8;
+
+struct List {
+    pool: Arc<ObjPool>,
+}
+
+impl List {
+    fn new(pool: Arc<ObjPool>) -> Result<Self, TxError> {
+        let root = pool.root().start();
+        pool.tx(|tx| {
+            tx.add(ByteRange::with_len(root, 16))?;
+            tx.write_u64(root + HEAD, 0)?;
+            tx.write_u64(root + LENGTH, 0)?;
+            Ok(())
+        })?;
+        Ok(Self { pool })
+    }
+
+    fn root(&self) -> u64 {
+        self.pool.root().start()
+    }
+
+    /// Fig. 1b's `appendList`: creates a node, backs up the head... and
+    /// updates the length without a `TX_ADD` when `buggy` is set.
+    fn append(&self, value: u64, buggy: bool) -> Result<(), TxError> {
+        self.pool.pool().emit(Event::TxCheckerStart); // TX_CHECKER_START
+        let mut tx = self.pool.begin_tx()?;
+        // node: { value, next }
+        let node = tx.alloc(16, 8)?;
+        let head = self.pool.pool().read_u64(self.root() + HEAD)?;
+        tx.write_u64(node, value)?;
+        tx.write_u64(node + 8, head)?;
+        tx.add(ByteRange::with_len(self.root() + HEAD, 8))?; // TX_ADD(list.head)
+        tx.write_u64(self.root() + HEAD, node)?;
+        let length = self.pool.pool().read_u64(self.root() + LENGTH)?;
+        if !buggy {
+            tx.add(ByteRange::with_len(self.root() + LENGTH, 8))?; // the missing TX_ADD
+        }
+        tx.write_u64(self.root() + LENGTH, length + 1)?;
+        tx.commit()?;
+        self.pool.pool().emit(Event::TxCheckerEnd); // TX_CHECKER_END
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.pool.pool().read_u64(self.root() + LENGTH).unwrap_or(0)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = PmTestSession::builder().build();
+    session.start();
+    let pm = Arc::new(PmPool::new(1 << 16, session.sink()));
+    let pool = Arc::new(ObjPool::create(pm, 64, PersistMode::X86)?);
+    let list = List::new(pool)?;
+
+    println!("== buggy appendList (Fig. 1b): length not TX_ADDed ==");
+    list.append(41, true)?;
+    session.send_trace();
+    let report = session.take_report();
+    println!("{report}\n");
+    assert!(
+        report.has(DiagKind::MissingLog),
+        "the forgotten backup must be reported as a missing log"
+    );
+
+    println!("== fixed appendList ==");
+    list.append(42, false)?;
+    session.send_trace();
+    let report = session.finish();
+    println!("{report}");
+    assert!(report.is_clean());
+    assert_eq!(list.len(), 2);
+    Ok(())
+}

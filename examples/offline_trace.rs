@@ -1,0 +1,64 @@
+//! Offline trace analysis: record a workload's trace once, then inspect it,
+//! check it under different persistency models, and size the crash-state
+//! space the Yat-like baseline would have to explore.
+//!
+//! This is the "post-mortem" usage mode: the trace is a value, so it can be
+//! replayed against any [`PersistencyModel`] without rerunning the program.
+//!
+//! Run with: `cargo run --example offline_trace`
+
+use std::sync::Arc;
+
+use pmtest::baseline::yat;
+use pmtest::prelude::*;
+use pmtest::trace::MemorySink;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record: run a small PM program against a memory sink (no engine).
+    let sink = Arc::new(MemorySink::new());
+    let pool = PmPool::new(4096, sink.clone());
+    pool.begin_crash_recording();
+
+    let data = pool.write_u64(0x00, 0x1111)?;
+    pool.persist_barrier(data);
+    let index = pool.write_u64(0x40, 1)?;
+    pool.persist_barrier(index);
+    sink.record(Event::IsOrderedBefore(data, index).here());
+    sink.record(Event::IsPersist(index).here());
+
+    let trace = sink.take_trace(0);
+    println!("recorded:\n{trace}");
+
+    // Check offline under the x86 rules...
+    let x86 = pmtest::core::check_trace(&trace, &X86Model::new());
+    println!("x86 model: {} diagnostics", x86.len());
+    assert!(x86.is_empty(), "the barriered program is correct on x86");
+
+    // ...and under HOPS, where the same trace is *not* correct: the
+    // clwb/sfence vocabulary is foreign there, and without a dfence nothing
+    // is ever guaranteed durable — the isPersist checker fails.
+    let hops = pmtest::core::check_trace(&trace, &HopsModel::new());
+    println!(
+        "HOPS model: {} diagnostics (foreign x86 primitives + missing durability)",
+        hops.len()
+    );
+    assert!(hops.iter().any(|d| d.kind == DiagKind::ForeignOperation));
+    assert!(hops.iter().any(|d| d.kind == DiagKind::NotPersisted));
+
+    // Size the crash-state space an exhaustive tester would face.
+    let sim = pmtest::pmem::crash::CrashSim::from_pool(&pool).expect("recording active");
+    let states = yat::estimate_states(&sim);
+    let result = yat::run(
+        &sim,
+        &|_: &[u8]| Ok(()),
+        yat::YatConfig { max_states: Some(100_000) },
+    );
+    println!(
+        "crash oracle: {} reachable states across {} crash points, {} validated exhaustively",
+        states,
+        sim.op_count() + 1,
+        result.states_tested
+    );
+    assert!(result.exhausted_space);
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Testing a kernel module through the bounded FIFO (§4.5, Fig. 9b).
+//!
+//! The PMFS-like file system runs on the "kernel side": its traces are
+//! pushed into a 1024-entry [`KernelFifo`] (the stand-in for the paper's
+//! `/proc/PMTest` kfifo) and a user-space pump thread drains them into the
+//! checking engine. The run uses the *legacy* journal, reproducing the
+//! paper's Bug 1 (duplicate flush of the commit log entry,
+//! `journal.c:632`) and the known unmapped-buffer flush (`files.c:232`) —
+//! both reported as performance `WARN`s.
+//!
+//! Run with: `cargo run --example pmfs_kernel`
+
+use std::sync::Arc;
+
+use pmtest::pmfs::{Pmfs, PmfsOptions};
+use pmtest::prelude::*;
+
+/// The kernel-side sink: buffers entries, ships complete traces into the
+/// FIFO when the module commits a journal transaction.
+struct KernelSink {
+    fifo: Arc<KernelFifo>,
+    buf: parking_lot_like::Mutex<Vec<Entry>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+/// Minimal stand-in so the example has no extra dependencies.
+mod parking_lot_like {
+    pub use std::sync::Mutex;
+}
+
+impl KernelSink {
+    fn new(fifo: Arc<KernelFifo>) -> Self {
+        Self {
+            fifo,
+            buf: parking_lot_like::Mutex::new(Vec::new()),
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Ships the buffered entries as one trace (blocking if the FIFO is
+    /// full, like the kernel wait queue).
+    fn send_trace(&self) {
+        let entries = std::mem::take(&mut *self.buf.lock().expect("kernel sink lock"));
+        if entries.is_empty() {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.fifo.push(Trace::from_entries(id, entries));
+    }
+}
+
+impl Sink for KernelSink {
+    fn record(&self, entry: Entry) {
+        self.buf.lock().expect("kernel sink lock").push(entry);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fifo = Arc::new(KernelFifo::new());
+
+    // User-space side: engine + pump thread draining the FIFO.
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let pump = {
+        let fifo = fifo.clone();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            while let Some(trace) = fifo.pop() {
+                engine.submit(trace);
+            }
+        })
+    };
+
+    // Kernel side: PMFS with the legacy (buggy) journal paths enabled.
+    let sink = Arc::new(KernelSink::new(fifo.clone()));
+    let pm = Arc::new(PmPool::new(1 << 19, sink.clone()));
+    let opts = PmfsOptions {
+        checkers: true,
+        legacy_double_flush: true,   // paper Bug 1
+        legacy_flush_unmapped: true, // paper known bug
+        ..PmfsOptions::default()
+    };
+    let fs = Pmfs::format(pm, opts)?;
+    for i in 0..4 {
+        let ino = fs.create(&format!("log{i}.dat"))?;
+        sink.send_trace();
+        fs.write(ino, 0, format!("entry {i}").as_bytes())?;
+        sink.send_trace();
+    }
+    fs.unlink("log0.dat")?;
+    sink.send_trace();
+
+    // Shut the FIFO down and collect the results.
+    fifo.close();
+    pump.join().expect("pump thread");
+    let report = engine.take_report();
+    println!("journal stats: {:?}", fs.journal_stats());
+    println!("{} FAIL, {} WARN across {} traces; first diagnostics:",
+        report.fail_count(), report.warn_count(), report.traces().len());
+    for diag in report.iter().take(4) {
+        println!("  {diag}");
+    }
+    assert!(
+        report.has(DiagKind::DuplicateFlush),
+        "Bug 1: the commit log entry is flushed twice"
+    );
+    assert!(
+        report.has(DiagKind::UnnecessaryFlush),
+        "known bug: a never-written buffer is flushed"
+    );
+    assert_eq!(report.fail_count(), 0, "legacy bugs are performance-only");
+    Ok(())
+}

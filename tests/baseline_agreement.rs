@@ -1,0 +1,139 @@
+//! Agreement and gaps between PMTest and the pmemcheck-like baseline
+//! (Table 1): both detect PMDK-transaction bugs; only PMTest handles the
+//! generic checkers, other libraries' idioms, and HOPS.
+
+use std::sync::Arc;
+
+use pmtest::baseline::Pmemcheck;
+use pmtest::prelude::*;
+use pmtest::txlib::ObjPool;
+use pmtest::workloads::{gen, CheckMode, Fault, FaultSet, HashMapTx, KvMap};
+
+/// Runs the transactional hashmap under a given sink.
+fn run_hashmap(sink: pmtest::trace::SharedSink, faults: FaultSet) {
+    let pm = Arc::new(PmPool::new(1 << 20, sink));
+    let pool = Arc::new(ObjPool::create(pm, 4096, PersistMode::X86).expect("pool"));
+    let map = HashMapTx::create(pool, 4, CheckMode::Checkers, faults).expect("map");
+    for k in 0..16u64 {
+        let _ = map.insert(k, &gen::value_for(k, 32));
+    }
+}
+
+#[test]
+fn both_tools_flag_the_missing_backup() {
+    // PMTest.
+    let session = PmTestSession::builder().build();
+    session.start();
+    run_hashmap(session.sink(), FaultSet::one(Fault::HmTxSkipLogCount));
+    session.send_trace();
+    let pmtest_report = session.finish();
+    assert!(pmtest_report.has(DiagKind::MissingLog));
+
+    // pmemcheck-like.
+    let pc = Arc::new(Pmemcheck::new());
+    run_hashmap(pc.clone(), FaultSet::one(Fault::HmTxSkipLogCount));
+    let pc_report = pc.finish();
+    assert!(pc_report.has(DiagKind::MissingLog), "{pc_report}");
+}
+
+#[test]
+fn both_tools_pass_the_correct_hashmap() {
+    let session = PmTestSession::builder().build();
+    session.start();
+    run_hashmap(session.sink(), FaultSet::none());
+    session.send_trace();
+    assert!(session.finish().is_clean());
+
+    let pc = Arc::new(Pmemcheck::new());
+    run_hashmap(pc.clone(), FaultSet::none());
+    let report = pc.finish();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn both_tools_flag_unpersisted_tx_stores() {
+    use pmtest::txlib::TxOptions;
+    let drive = |sink: pmtest::trace::SharedSink| {
+        let pm = Arc::new(PmPool::new(1 << 18, sink));
+        let pool = Arc::new(ObjPool::create(pm, 4096, PersistMode::X86).expect("pool"));
+        let root = pool.root().start();
+        pool.pool().emit(Event::TxCheckerStart);
+        let mut tx = pool
+            .begin_tx_with(TxOptions { skip_commit_writeback: true, ..TxOptions::default() })
+            .expect("begin");
+        tx.add(ByteRange::with_len(root, 8)).expect("add");
+        tx.write_u64(root, 9).expect("write");
+        tx.commit().expect("commit");
+        pool.pool().emit(Event::TxCheckerEnd);
+    };
+
+    let session = PmTestSession::builder().build();
+    session.start();
+    drive(session.sink());
+    session.send_trace();
+    assert!(session.finish().has(DiagKind::NotPersisted));
+
+    let pc = Arc::new(Pmemcheck::new());
+    drive(pc.clone());
+    assert!(pc.finish().has(DiagKind::NotPersisted));
+}
+
+/// The flexibility gap (Table 1): pmemcheck cannot express the low-level
+/// ordering assertion that PMTest's `isOrderedBefore` checks — the paper's
+/// motivating Fig. 1a bug slips through it.
+#[test]
+fn only_pmtest_catches_the_ordering_bug() {
+    let drive = |sink: pmtest::trace::SharedSink| -> (ByteRange, ByteRange) {
+        let pm = PmPool::new(4096, sink);
+        let data = pm.write_u64(0, 0xDA7A).unwrap();
+        let valid = pm.write_u8(64, 1).unwrap();
+        pm.flush(data);
+        pm.flush(valid);
+        pm.fence(); // one fence: durable, but order unconstrained
+        (data, valid)
+    };
+
+    // PMTest with the explicit ordering checker: caught.
+    let session = PmTestSession::builder().build();
+    session.start();
+    let pm = PmPool::new(4096, session.sink());
+    let data = pm.write_u64(0, 0xDA7A).unwrap();
+    let valid = pm.write_u8(64, 1).unwrap();
+    pm.flush(data);
+    pm.flush(valid);
+    pm.fence();
+    session.is_ordered_before(data, valid);
+    session.send_trace();
+    assert!(session.finish().has(DiagKind::NotOrderedBefore));
+
+    // pmemcheck-like: everything is durable, so nothing is reported — it
+    // has no way to express the ordering requirement.
+    let pc = Arc::new(Pmemcheck::new());
+    let _ = drive(pc.clone());
+    assert!(pc.finish().is_clean(), "pmemcheck misses the Fig. 1a ordering bug");
+}
+
+/// The model gap: pmemcheck ignores HOPS fences entirely, so a HOPS
+/// program looks "never persisted" or silently passes depending on the
+/// trace; PMTest validates it under the HOPS rules.
+#[test]
+fn only_pmtest_supports_hops() {
+    let session = PmTestSession::builder().model(HopsModel::new()).build();
+    session.start();
+    let pm = PmPool::new(4096, session.sink());
+    let a = pm.write_u64(0, 1).unwrap();
+    pm.dfence();
+    session.is_persist(a);
+    session.send_trace();
+    assert!(session.finish().is_clean(), "PMTest validates HOPS durability");
+
+    let pc = Arc::new(Pmemcheck::new());
+    let pm = PmPool::new(4096, pc.clone());
+    let _ = pm.write_u64(0, 1).unwrap();
+    pm.dfence(); // ignored by pmemcheck
+    let report = pc.finish();
+    assert!(
+        report.has(DiagKind::NotPersisted),
+        "pmemcheck cannot see HOPS durability: {report}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-validation of PMTest against the ground-truth crash oracle
+//! (DESIGN.md §6): bugs that PMTest flags correspond to *reachable*
+//! inconsistent crash states, and the correct protocols have none.
+
+use std::sync::Arc;
+
+use pmtest::pmem::crash::CrashSim;
+use pmtest::pmfs::{Pmfs, PmfsOptions};
+use pmtest::prelude::*;
+use pmtest::txlib::ObjPool;
+use pmtest::workloads::{gen, CheckMode, Fault, FaultSet, HashMapTx, KvMap};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SAMPLES_PER_POINT: usize = 16;
+
+/// The hashmap consistency check used below: after recovery, the map's
+/// count must equal the number of reachable keys, and every reachable node
+/// must be intact.
+fn hashmap_check(
+    root_size: u64,
+    expected_sets: &[Vec<u64>],
+) -> impl Fn(&[u8]) -> Result<(), String> + '_ {
+    move |image: &[u8]| {
+        let pool = Arc::new(
+            ObjPool::recover_image(image, root_size, PersistMode::X86)
+                .map_err(|e| e.to_string())?,
+        );
+        let map = HashMapTx::open(pool, CheckMode::None, FaultSet::none())
+            .map_err(|e| e.to_string())?;
+        let count = map.len().map_err(|e| e.to_string())?;
+        // The recovered state must match one of the expected key sets
+        // (before or after the in-flight operation).
+        'outer: for expected in expected_sets {
+            if count != expected.len() as u64 {
+                continue;
+            }
+            for &k in expected {
+                match map.get(k) {
+                    Ok(Some(v)) if v == gen::value_for(k, 16) => {}
+                    _ => continue 'outer,
+                }
+            }
+            return Ok(());
+        }
+        Err(format!("recovered state matches no consistent snapshot (count={count})"))
+    }
+}
+
+fn record_one_insert(faults: FaultSet) -> (CrashSim, u64) {
+    let pm = Arc::new(PmPool::untracked(1 << 18));
+    let pool = Arc::new(ObjPool::create(pm.clone(), 4096, PersistMode::X86).unwrap());
+    let map = HashMapTx::create(pool, 4, CheckMode::None, faults).unwrap();
+    for k in 0..3u64 {
+        map.insert(k, &gen::value_for(k, 16)).unwrap();
+    }
+    pm.begin_crash_recording();
+    map.insert(3, &gen::value_for(3, 16)).unwrap();
+    (CrashSim::from_pool(&pm).unwrap(), 4096)
+}
+
+/// The correct transactional hashmap: no reachable crash state is
+/// inconsistent, at any crash point.
+#[test]
+fn correct_hashmap_has_no_bad_crash_state() {
+    let (sim, root) = record_one_insert(FaultSet::none());
+    let before: Vec<u64> = (0..3).collect();
+    let after: Vec<u64> = (0..4).collect();
+    let expected = [before, after];
+    let check = hashmap_check(root, &expected);
+    let mut rng = SmallRng::seed_from_u64(42);
+    assert!(
+        sim.find_violation_sampled(&check, SAMPLES_PER_POINT, &mut rng).is_none(),
+        "correct protocol must be crash-consistent"
+    );
+}
+
+/// The Fig. 1b bug (count not logged): PMTest flags it, and the oracle
+/// confirms a reachable crash state where the recovered count disagrees
+/// with the recovered keys.
+#[test]
+fn missing_count_log_has_a_reachable_bad_state() {
+    let (sim, root) = record_one_insert(FaultSet::one(Fault::HmTxSkipLogCount));
+    let before: Vec<u64> = (0..3).collect();
+    let after: Vec<u64> = (0..4).collect();
+    let expected = [before, after];
+    let check = hashmap_check(root, &expected);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let violation = sim.find_violation_sampled(&check, SAMPLES_PER_POINT, &mut rng);
+    assert!(violation.is_some(), "the flagged bug must be reachable in hardware");
+}
+
+/// The missing-bucket-log bug: rollback cannot restore the bucket pointer,
+/// so recovery can surface a half-linked chain.
+#[test]
+fn missing_bucket_log_has_a_reachable_bad_state() {
+    let (sim, root) = record_one_insert(FaultSet::one(Fault::HmTxSkipLogBucket));
+    let before: Vec<u64> = (0..3).collect();
+    let after: Vec<u64> = (0..4).collect();
+    let expected = [before, after];
+    let check = hashmap_check(root, &expected);
+    let mut rng = SmallRng::seed_from_u64(43);
+    let violation = sim.find_violation_sampled(&check, SAMPLES_PER_POINT, &mut rng);
+    assert!(violation.is_some());
+}
+
+/// PMFS: the correct journal yields a consistent file system at every
+/// sampled crash state; skipping the commit writeback yields a reachable
+/// inconsistency (or lost-but-committed data).
+#[test]
+fn pmfs_crash_states_match_pmtest_verdicts() {
+    // Correct journal.
+    let pm = Arc::new(PmPool::untracked(1 << 18));
+    let fs = Pmfs::format(pm.clone(), PmfsOptions::default()).unwrap();
+    pm.begin_crash_recording();
+    let ino = fs.create("a").unwrap();
+    fs.write(ino, 0, b"payload").unwrap();
+    let sim = CrashSim::from_pool(&pm).unwrap();
+    let check = |image: &[u8]| -> Result<(), String> {
+        let fs = Pmfs::mount_image(image, PmfsOptions::default()).map_err(|e| e.to_string())?;
+        fs.check_consistency()?;
+        // If the file exists post-recovery it must be fully formed.
+        if let Some(ino) = fs.lookup("a") {
+            let stat = fs.stat(ino).map_err(|e| e.to_string())?;
+            if stat.size > 0 {
+                let data = fs.read(ino, 0, 7).map_err(|e| e.to_string())?;
+                if data != b"payload" {
+                    return Err("file content torn".to_owned());
+                }
+            }
+        }
+        Ok(())
+    };
+    assert!(
+        sim.find_violation(&check, 2000).is_none(),
+        "correct journal must be crash-consistent"
+    );
+
+    // skip_commit_fence: the commit marker can persist before the data it
+    // covers — a crash there shows "committed" metadata with torn content.
+    let opts = PmfsOptions { skip_commit_fence: true, ..PmfsOptions::default() };
+    let pm = Arc::new(PmPool::untracked(1 << 18));
+    let fs = Pmfs::format(pm.clone(), opts).unwrap();
+    pm.begin_crash_recording();
+    let ino = fs.create("a").unwrap();
+    fs.write(ino, 0, b"payload").unwrap();
+    let sim = CrashSim::from_pool(&pm).unwrap();
+    let violation = sim.find_violation(&check, 3000);
+    assert!(
+        violation.is_some(),
+        "the ordering bug PMTest flags must be reachable in hardware"
+    );
+}

@@ -1,0 +1,161 @@
+//! Flexibility claim (§5.2): "the new checking rules for other persistency
+//! models can be integrated into PMTest by programmers". This test defines
+//! a *third* persistency model — strict persistency (Pelley et al., ISCA
+//! 2014), where every store persists synchronously in program order — from
+//! **outside** the engine crate, using only the public
+//! [`PersistencyModel`] trait and [`ShadowMemory`] API.
+
+use pmtest::core::ShadowMemory;
+use pmtest::prelude::*;
+use pmtest::trace::Entry;
+
+/// Strict persistency: stores persist in program order, synchronously.
+/// Fences are unnecessary; writebacks are meaningless.
+#[derive(Debug, Default)]
+struct StrictModel;
+
+impl PersistencyModel for StrictModel {
+    fn name(&self) -> &str {
+        "strict"
+    }
+
+    fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>) {
+        match entry.event {
+            Event::Write(range) => {
+                // A store persists before the next instruction: open the
+                // interval and close it immediately. `dfence` (close all
+                // open persists, bump the epoch) gives each write its own
+                // epoch, so program order becomes persist order.
+                shadow.record_write(range, entry.loc);
+                shadow.dfence();
+            }
+            // Under strict persistency the ordering/durability primitives
+            // do nothing; programs carrying them are flagged (they were
+            // written for a weaker model).
+            Event::Flush(_) | Event::Fence | Event::OFence | Event::DFence => {
+                diags.push(Diag {
+                    kind: DiagKind::ForeignOperation,
+                    loc: entry.loc,
+                    range: None,
+                    culprit: None,
+                    message: format!(
+                        "`{}` is unnecessary under strict persistency",
+                        entry.event
+                    ),
+                });
+            }
+            _ => unreachable!("non-operation event reached the model"),
+        }
+    }
+
+    fn check_persist(
+        &self,
+        shadow: &ShadowMemory,
+        range: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        for (sub, pi, culprit) in shadow.persist_intervals(range) {
+            if !pi.is_closed() {
+                diags.push(Diag {
+                    kind: DiagKind::NotPersisted,
+                    loc,
+                    range: Some(sub),
+                    culprit,
+                    message: "write not persisted (impossible under strict persistency)"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    fn check_ordered_before(
+        &self,
+        shadow: &ShadowMemory,
+        first: ByteRange,
+        second: ByteRange,
+        loc: SourceLoc,
+        diags: &mut Vec<Diag>,
+    ) {
+        for (sub_a, pi_a, culprit) in shadow.persist_intervals(first) {
+            for (_, pi_b, _) in shadow.persist_intervals(second) {
+                if !pi_a.ends_before_starts(&pi_b) {
+                    diags.push(Diag {
+                        kind: DiagKind::NotOrderedBefore,
+                        loc,
+                        range: Some(sub_a),
+                        culprit,
+                        message: "issued after the second range (strict persistency orders \
+                                  persists by program order)"
+                            .to_owned(),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn writes_persist_immediately_without_fences() {
+    let session = PmTestSession::builder().model(StrictModel).build();
+    session.start();
+    let pool = PmPool::new(4096, session.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    let b = pool.write_u64(64, 2).unwrap();
+    // No flush, no fence — strict persistency needs none.
+    session.is_persist(a);
+    session.is_persist(b);
+    session.is_ordered_before(a, b);
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn program_order_is_persist_order() {
+    let session = PmTestSession::builder().model(StrictModel).build();
+    session.start();
+    let pool = PmPool::new(4096, session.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    let b = pool.write_u64(64, 2).unwrap();
+    session.is_ordered_before(b, a); // inverted: must fail
+    session.send_trace();
+    let report = session.finish();
+    assert_eq!(report.fail_count(), 1);
+    assert!(report.has(DiagKind::NotOrderedBefore));
+}
+
+#[test]
+fn x86_primitives_are_flagged_as_unnecessary() {
+    let session = PmTestSession::builder().model(StrictModel).build();
+    session.start();
+    let pool = PmPool::new(4096, session.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    pool.persist_barrier(a); // clwb + sfence: both superfluous here
+    session.send_trace();
+    let report = session.finish();
+    assert_eq!(report.warn_count(), 2, "{report}");
+    assert_eq!(report.fail_count(), 0);
+}
+
+#[test]
+fn transaction_checkers_compose_with_custom_models() {
+    use pmtest::txlib::ObjPool;
+    use std::sync::Arc;
+    // The high-level TX checkers are model-independent: the same missing
+    // TX_ADD is caught under the user-defined model.
+    let session = PmTestSession::builder().model(StrictModel).build();
+    session.start();
+    let pm = Arc::new(PmPool::new(1 << 16, session.sink()));
+    let pool = Arc::new(ObjPool::create(pm, 64, PersistMode::X86).unwrap());
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    let mut tx = pool.begin_tx().unwrap();
+    tx.write_u64(root, 9).unwrap(); // no tx.add: missing backup
+    tx.commit().unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.has(DiagKind::MissingLog), "{report}");
+}

@@ -1,0 +1,188 @@
+//! End-to-end reproduction of the paper's worked examples (Figs. 3, 4, 7)
+//! through the full session → engine → worker pipeline.
+
+use pmtest::prelude::*;
+
+fn session() -> PmTestSession {
+    let s = PmTestSession::builder().build();
+    s.start();
+    s
+}
+
+/// Fig. 4: `sfence; write A; clwb A; write B; sfence` — the ordering check
+/// fails (intervals overlap) and B is never guaranteed durable.
+#[test]
+fn figure4_via_session() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    pool.fence();
+    let a = pool.write_u64(0x00, 1).unwrap();
+    pool.flush(a);
+    let b = pool.write_u64(0x40, 2).unwrap();
+    pool.fence();
+    s.is_ordered_before(a, b);
+    s.is_persist(b);
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 2, "{report}");
+    let kinds: Vec<DiagKind> = report.iter().map(|d| d.kind).collect();
+    assert_eq!(kinds, [DiagKind::NotOrderedBefore, DiagKind::NotPersisted]);
+}
+
+/// Fig. 7: the persist interval of A closes at the fence; B's interval is
+/// open, so `isPersist(B)` fails while `isOrderedBefore(A, B)` passes.
+#[test]
+fn figure7_via_session() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write(0x10, &[0xAA; 64]).unwrap();
+    pool.flush(a);
+    pool.fence();
+    let b = pool.write(0x50, &[0xBB; 64]).unwrap();
+    s.is_persist(b);
+    s.is_ordered_before(ByteRange::new(0x10, 0x50), b);
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 1, "{report}");
+    assert!(report.has(DiagKind::NotPersisted));
+    assert!(!report.has(DiagKind::NotOrderedBefore));
+}
+
+/// Fig. 3a: the correctly barriered x86 sequence passes all three checkers.
+#[test]
+fn figure3a_clean() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write_u64(0x00, 1).unwrap();
+    pool.persist_barrier(a);
+    let b = pool.write_u64(0x40, 2).unwrap();
+    pool.persist_barrier(b);
+    s.is_ordered_before(a, b);
+    s.is_persist(a);
+    s.is_persist(b);
+    s.send_trace();
+    assert!(s.finish().is_clean());
+}
+
+/// Fig. 3b: the same checkers validate the HOPS sequence under the HOPS
+/// rules.
+#[test]
+fn figure3b_clean_under_hops() {
+    let s = PmTestSession::builder().model(HopsModel::new()).build();
+    s.start();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write_u64(0x00, 1).unwrap();
+    pool.ofence();
+    let b = pool.write_u64(0x40, 2).unwrap();
+    pool.dfence();
+    s.is_ordered_before(a, b);
+    s.is_persist(a);
+    s.is_persist(b);
+    s.send_trace();
+    assert!(s.finish().is_clean());
+}
+
+/// A write invalidates the pending writeback of its range (§4.4 write
+/// rule): flushing before the last write does not persist it.
+#[test]
+fn write_after_flush_reopens_interval() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    pool.flush(a);
+    pool.write_u64(0, 2).unwrap();
+    pool.fence();
+    s.is_persist(a);
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 1);
+}
+
+/// Diagnostics carry the file/line of both the checker and the culprit
+/// operation, as in the paper's `@<file>:<line>` output.
+#[test]
+fn diagnostics_point_at_this_file() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    s.is_persist(a);
+    s.send_trace();
+    let report = s.finish();
+    let diag = report.iter().next().expect("one failure");
+    assert!(diag.loc.file().ends_with("end_to_end_x86.rs"), "checker loc: {}", diag.loc);
+    let culprit = diag.culprit.expect("culprit write recorded");
+    assert!(culprit.file().ends_with("end_to_end_x86.rs"), "culprit loc: {culprit}");
+    assert!(culprit.line() < diag.loc.line(), "write precedes checker");
+}
+
+/// Multiple independent traces: state does not leak between them.
+#[test]
+fn traces_are_isolated_units() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    for i in 0..10u64 {
+        let r = pool.write_u64(i * 8, i).unwrap();
+        if i % 2 == 0 {
+            pool.persist_barrier(r);
+        }
+        s.is_persist(r);
+        s.send_trace();
+    }
+    let report = s.finish();
+    assert_eq!(report.traces().len(), 10);
+    assert_eq!(report.fail_count(), 5, "{report}");
+}
+
+/// The performance checkers (§5.1.2) fire through the full pipeline.
+#[test]
+fn performance_warnings_end_to_end() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let a = pool.write_u64(0, 1).unwrap();
+    pool.flush(a);
+    pool.flush(a); // duplicate
+    pool.fence();
+    pool.flush(ByteRange::with_len(0x100, 64)); // never written
+    pool.fence();
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 0);
+    assert!(report.has(DiagKind::DuplicateFlush));
+    assert!(report.has(DiagKind::UnnecessaryFlush));
+}
+
+/// PMTest_EXCLUDE / INCLUDE control the testing scope end to end.
+#[test]
+fn exclude_include_scope() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+    let scratch = ByteRange::with_len(0x200, 8);
+    s.exclude(scratch);
+    pool.write_u64(0x200, 7).unwrap();
+    s.is_persist(scratch); // would fail if tracked
+    s.include(scratch);
+    pool.write_u64(0x200, 8).unwrap();
+    s.is_persist(scratch); // now it does fail
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 1, "{report}");
+}
+
+/// The variable registry works across scopes (PMTest_REG_VAR / GET_VAR).
+#[test]
+fn registered_variables() {
+    let s = session();
+    let pool = PmPool::new(4096, s.sink());
+
+    // Scope 1: compute and register.
+    {
+        let r = pool.write_u64(0x80, 42).unwrap();
+        s.reg_var("commit-record", r);
+    }
+    // Scope 2: check by name.
+    assert!(s.is_persist_var("commit-record"));
+    s.send_trace();
+    let report = s.finish();
+    assert_eq!(report.fail_count(), 1, "registered var was never persisted");
+    assert_eq!(s.unreg_var("commit-record"), Some(ByteRange::with_len(0x80, 8)));
+}

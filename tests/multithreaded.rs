@@ -1,0 +1,156 @@
+//! Multithreaded testing (§4.5): per-thread traces, concurrent clients on
+//! the Memcached-like store, multiple checking workers, and the kernel
+//! FIFO transport.
+
+use std::sync::Arc;
+
+use pmtest::mnemosyne::MnPool;
+use pmtest::pmfs::{Pmfs, PmfsOptions};
+use pmtest::prelude::*;
+use pmtest::workloads::{gen, CheckMode, FaultSet, KvStore};
+
+#[test]
+fn concurrent_clients_produce_clean_per_thread_traces() {
+    let session = PmTestSession::builder().workers(2).build();
+    session.start();
+    let pm = Arc::new(PmPool::new(1 << 22, session.sink()));
+    let pool = Arc::new(MnPool::create(pm, 4096, PersistMode::X86).unwrap());
+    let store =
+        Arc::new(KvStore::create(pool, 64, 16, CheckMode::Checkers, FaultSet::none()).unwrap());
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let store = store.clone();
+            let session = session.clone();
+            s.spawn(move || {
+                session.thread_init();
+                for op in gen::memslap(200, 500, 20, t) {
+                    match op {
+                        gen::Op::Set(k) => {
+                            store.set(t * 10_000 + k, &gen::value_for(k, 48)).unwrap();
+                            session.send_trace();
+                        }
+                        gen::Op::Get(k) => {
+                            let _ = store.get(t * 10_000 + k).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let report = session.finish();
+    assert!(report.traces().len() >= 4, "each thread shipped traces");
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let run = |workers: usize| -> (usize, usize) {
+        let session = PmTestSession::builder().workers(workers).build();
+        session.start();
+        let pm = Arc::new(PmPool::new(1 << 21, session.sink()));
+        let pool = Arc::new(MnPool::create(pm, 4096, PersistMode::X86).unwrap());
+        let store =
+            KvStore::create(pool, 16, 4, CheckMode::Checkers, FaultSet::none()).unwrap();
+        for k in 0..50u64 {
+            store.set(k, &gen::value_for(k, 32)).unwrap();
+            session.send_trace();
+        }
+        let report = session.finish();
+        (report.traces().len(), report.fail_count() + report.warn_count())
+    };
+    let (t1, d1) = run(1);
+    let (t4, d4) = run(4);
+    assert_eq!(t1, t4);
+    assert_eq!(d1, d4);
+    assert_eq!(d1, 0);
+}
+
+#[test]
+fn kernel_fifo_pipeline_matches_direct_checking() {
+    // The same PMFS workload checked directly and through the FIFO gives
+    // identical diagnostics.
+    let run_direct = || {
+        let session = PmTestSession::builder().build();
+        session.start();
+        let pm = Arc::new(PmPool::new(1 << 19, session.sink()));
+        let opts = PmfsOptions {
+            checkers: true,
+            legacy_double_flush: true,
+            ..PmfsOptions::default()
+        };
+        let fs = Pmfs::format(pm, opts).unwrap();
+        let ino = fs.create("x").unwrap();
+        fs.write(ino, 0, b"abc").unwrap();
+        session.send_trace();
+        session.finish()
+    };
+
+    let run_fifo = || {
+        use pmtest::trace::MemorySink;
+        let fifo = Arc::new(KernelFifo::with_capacity(8));
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let pump = {
+            let (fifo, engine) = (fifo.clone(), engine.clone());
+            std::thread::spawn(move || {
+                while let Some(trace) = fifo.pop() {
+                    engine.submit(trace);
+                }
+            })
+        };
+        let sink = Arc::new(MemorySink::new());
+        let pm = Arc::new(PmPool::new(1 << 19, sink.clone()));
+        let opts = PmfsOptions {
+            checkers: true,
+            legacy_double_flush: true,
+            ..PmfsOptions::default()
+        };
+        let fs = Pmfs::format(pm, opts).unwrap();
+        let ino = fs.create("x").unwrap();
+        fs.write(ino, 0, b"abc").unwrap();
+        fifo.push(sink.take_trace(0));
+        fifo.close();
+        pump.join().unwrap();
+        engine.take_report()
+    };
+
+    let direct = run_direct();
+    let fifo = run_fifo();
+    assert_eq!(direct.fail_count(), fifo.fail_count());
+    assert_eq!(direct.warn_count(), fifo.warn_count());
+    assert!(fifo.has(DiagKind::DuplicateFlush));
+}
+
+#[test]
+fn backpressure_does_not_deadlock_the_pipeline() {
+    // A tiny FIFO forces the producer to block; the pump keeps draining.
+    let fifo = Arc::new(KernelFifo::with_capacity(2));
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let pump = {
+        let (fifo, engine) = (fifo.clone(), engine.clone());
+        std::thread::spawn(move || {
+            while let Some(trace) = fifo.pop() {
+                engine.submit(trace);
+            }
+        })
+    };
+    let producer = {
+        let fifo = fifo.clone();
+        std::thread::spawn(move || {
+            for id in 0..100 {
+                let mut t = Trace::new(id);
+                t.push(Event::Write(ByteRange::with_len(0, 8)).here());
+                t.push(Event::Flush(ByteRange::with_len(0, 8)).here());
+                t.push(Event::Fence.here());
+                t.push(Event::IsPersist(ByteRange::with_len(0, 8)).here());
+                assert!(fifo.push(t));
+            }
+        })
+    };
+    producer.join().unwrap();
+    fifo.close();
+    pump.join().unwrap();
+    let report = engine.take_report();
+    assert_eq!(report.traces().len(), 100);
+    assert!(report.is_clean());
+}

@@ -1,0 +1,269 @@
+//! Differential property testing of the checking engine: random traces are
+//! validated both by PMTest's interval-based single pass and by a naive
+//! per-byte reference implementation of the §4.4 / §5.2 checking rules.
+//! Any disagreement on any checker verdict or performance warning is a bug
+//! in one of them.
+
+use pmtest::prelude::*;
+use proptest::prelude::*;
+
+const SPACE: u64 = 96;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write(u64, u64),
+    Flush(u64, u64),
+    Fence,
+    OFence,
+    DFence,
+    IsPersist(u64, u64),
+    IsOrderedBefore(u64, u64, u64, u64),
+}
+
+fn arb_range() -> impl Strategy<Value = (u64, u64)> {
+    (0..SPACE, 1..24u64).prop_map(|(s, l)| (s, l.min(SPACE - s).max(1)))
+}
+
+fn arb_op(hops: bool) -> impl Strategy<Value = Op> {
+    let base = prop_oneof![
+        4 => arb_range().prop_map(|(s, l)| Op::Write(s, l)),
+        2 => arb_range().prop_map(|(s, l)| Op::IsPersist(s, l)),
+        2 => (arb_range(), arb_range())
+            .prop_map(|((a, al), (b, bl))| Op::IsOrderedBefore(a, al, b, bl)),
+    ];
+    if hops {
+        prop_oneof![
+            6 => base,
+            2 => Just(Op::OFence),
+            2 => Just(Op::DFence),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            6 => base,
+            3 => arb_range().prop_map(|(s, l)| Op::Flush(s, l)),
+            3 => Just(Op::Fence),
+        ]
+        .boxed()
+    }
+}
+
+/// Per-byte reference state: the §4.4 intervals at byte granularity.
+#[derive(Clone, Copy, Default)]
+struct ByteState {
+    pi: Option<(u64, Option<u64>)>,
+    fi: Option<(u64, Option<u64>)>,
+}
+
+#[derive(Default)]
+struct Reference {
+    bytes: Vec<ByteState>,
+    t: u64,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Self { bytes: vec![ByteState::default(); SPACE as usize], t: 0 }
+    }
+
+    fn write(&mut self, s: u64, l: u64) {
+        for b in s..s + l {
+            self.bytes[b as usize] = ByteState { pi: Some((self.t, None)), fi: None };
+        }
+    }
+
+    /// Returns (unnecessary, duplicate) warning verdicts for this flush.
+    fn flush(&mut self, s: u64, l: u64) -> (bool, bool) {
+        let (mut unnecessary, mut duplicate) = (false, false);
+        for b in s..s + l {
+            let st = &mut self.bytes[b as usize];
+            match (st.pi, st.fi) {
+                (None, None) => unnecessary = true,
+                (pi, fi) => {
+                    let fi_open = matches!(fi, Some((_, None)));
+                    let pi_closed = matches!(pi, Some((_, Some(_))));
+                    let flush_only = pi.is_none() && fi.is_some();
+                    if fi_open || pi_closed || flush_only {
+                        duplicate = true;
+                    }
+                    if flush_only {
+                        unnecessary = true;
+                    }
+                }
+            }
+            st.fi = Some((self.t, None));
+        }
+        (unnecessary, duplicate)
+    }
+
+    fn fence(&mut self) {
+        self.t += 1;
+        for st in &mut self.bytes {
+            if let Some((fs, None)) = st.fi {
+                st.fi = Some((fs, Some(self.t)));
+                if let Some((ps, None)) = st.pi {
+                    st.pi = Some((ps, Some(self.t)));
+                }
+            }
+        }
+    }
+
+    fn ofence(&mut self) {
+        self.t += 1;
+    }
+
+    fn dfence(&mut self) {
+        self.t += 1;
+        for st in &mut self.bytes {
+            if let Some((ps, None)) = st.pi {
+                st.pi = Some((ps, Some(self.t)));
+            }
+        }
+    }
+
+    /// `isPersist` fails iff any written byte's interval is open.
+    fn is_persist_fails(&self, s: u64, l: u64) -> bool {
+        (s..s + l).any(|b| matches!(self.bytes[b as usize].pi, Some((_, None))))
+    }
+
+    /// x86 `isOrderedBefore`: every A-interval must end no later than any
+    /// B-interval starts.
+    fn ordered_fails_x86(&self, a: u64, al: u64, b: u64, bl: u64) -> bool {
+        for ba in a..a + al {
+            let Some(pa) = self.bytes[ba as usize].pi else { continue };
+            for bb in b..b + bl {
+                let Some(pb) = self.bytes[bb as usize].pi else { continue };
+                let ok = matches!(pa.1, Some(end) if end <= pb.0);
+                if !ok {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// HOPS `isOrderedBefore`: strictly earlier start epoch.
+    fn ordered_fails_hops(&self, a: u64, al: u64, b: u64, bl: u64) -> bool {
+        for ba in a..a + al {
+            let Some(pa) = self.bytes[ba as usize].pi else { continue };
+            for bb in b..b + bl {
+                let Some(pb) = self.bytes[bb as usize].pi else { continue };
+                if pa.0 >= pb.0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Runs ops through both implementations; returns disagreement description.
+fn differential(ops: &[Op], hops: bool) -> Result<(), String> {
+    // Build the PMTest trace with the op index as the source line, so each
+    // diagnostic can be attributed to the op that raised it.
+    let mut trace = Trace::new(0);
+    for (i, op) in ops.iter().enumerate() {
+        let loc = SourceLoc::new("prop.rs", i as u32 + 1);
+        let event = match *op {
+            Op::Write(s, l) => Event::Write(ByteRange::with_len(s, l)),
+            Op::Flush(s, l) => Event::Flush(ByteRange::with_len(s, l)),
+            Op::Fence => Event::Fence,
+            Op::OFence => Event::OFence,
+            Op::DFence => Event::DFence,
+            Op::IsPersist(s, l) => Event::IsPersist(ByteRange::with_len(s, l)),
+            Op::IsOrderedBefore(a, al, b, bl) => Event::IsOrderedBefore(
+                ByteRange::with_len(a, al),
+                ByteRange::with_len(b, bl),
+            ),
+        };
+        trace.push(event.at(loc));
+    }
+    let diags = if hops {
+        pmtest::core::check_trace(&trace, &HopsModel::new())
+    } else {
+        pmtest::core::check_trace(&trace, &X86Model::new())
+    };
+    let has = |line: usize, kind: DiagKind| {
+        diags.iter().any(|d| d.loc.line() == line as u32 + 1 && d.kind == kind)
+    };
+
+    // Replay through the reference, comparing per-op verdicts.
+    let mut reference = Reference::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Write(s, l) => reference.write(s, l),
+            Op::Flush(s, l) => {
+                let (unnecessary, duplicate) = reference.flush(s, l);
+                if unnecessary != has(i, DiagKind::UnnecessaryFlush) {
+                    return Err(format!(
+                        "op {i} {op:?}: unnecessary-flush mismatch (ref={unnecessary})"
+                    ));
+                }
+                if duplicate != has(i, DiagKind::DuplicateFlush) {
+                    return Err(format!(
+                        "op {i} {op:?}: duplicate-flush mismatch (ref={duplicate})"
+                    ));
+                }
+            }
+            Op::Fence => reference.fence(),
+            Op::OFence => reference.ofence(),
+            Op::DFence => reference.dfence(),
+            Op::IsPersist(s, l) => {
+                let fails = reference.is_persist_fails(s, l);
+                if fails != has(i, DiagKind::NotPersisted) {
+                    return Err(format!("op {i} {op:?}: isPersist mismatch (ref={fails})"));
+                }
+            }
+            Op::IsOrderedBefore(a, al, b, bl) => {
+                let fails = if hops {
+                    reference.ordered_fails_hops(a, al, b, bl)
+                } else {
+                    reference.ordered_fails_x86(a, al, b, bl)
+                };
+                if fails != has(i, DiagKind::NotOrderedBefore) {
+                    return Err(format!(
+                        "op {i} {op:?}: isOrderedBefore mismatch (ref={fails})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn x86_checker_matches_byte_reference(ops in prop::collection::vec(arb_op(false), 0..60)) {
+        prop_assert_eq!(differential(&ops, false), Ok(()));
+    }
+
+    #[test]
+    fn hops_checker_matches_byte_reference(ops in prop::collection::vec(arb_op(true), 0..60)) {
+        prop_assert_eq!(differential(&ops, true), Ok(()));
+    }
+}
+
+/// Regression shapes worth pinning beyond random search.
+#[test]
+fn differential_pinned_cases() {
+    use Op::*;
+    let cases: Vec<Vec<Op>> = vec![
+        // Fig. 4.
+        vec![Fence, Write(0, 8), Flush(0, 8), Write(16, 8), Fence,
+             IsOrderedBefore(0, 8, 16, 8), IsPersist(16, 8)],
+        // Flush split across written/unwritten.
+        vec![Write(0, 4), Flush(0, 8), Fence, IsPersist(0, 8)],
+        // Overwrite invalidates a pending flush.
+        vec![Write(0, 8), Flush(0, 8), Write(4, 4), Fence, IsPersist(0, 8)],
+        // Inverted order without overlap.
+        vec![Write(16, 8), Flush(16, 8), Fence, Write(0, 8), Flush(0, 8), Fence,
+             IsOrderedBefore(0, 8, 16, 8)],
+        // Flush-only bytes then re-flush.
+        vec![Flush(0, 8), Flush(0, 8), Fence, Flush(0, 8)],
+    ];
+    for (n, ops) in cases.iter().enumerate() {
+        assert_eq!(differential(ops, false), Ok(()), "pinned case {n}");
+    }
+}

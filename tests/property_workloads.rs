@@ -1,0 +1,160 @@
+//! Randomized workload testing: arbitrary operation sequences against the
+//! transactional structures must (1) behave like an in-memory mirror,
+//! (2) pass all PMTest checkers, and (3) — for a sampled prefix — recover
+//! to a consistent state from every sampled crash image.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmtest::prelude::*;
+use pmtest::txlib::ObjPool;
+use pmtest::workloads::{
+    gen, BTree, CheckMode, CritBitTree, FaultSet, HashMapTx, KvMap, RbTree,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+enum WlOp {
+    Insert(u64, usize),
+    Remove(u64),
+    Get(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = WlOp> {
+    prop_oneof![
+        4 => (0..48u64, 1..64usize).prop_map(|(k, l)| WlOp::Insert(k, l)),
+        2 => (0..48u64).prop_map(WlOp::Remove),
+        2 => (0..48u64).prop_map(WlOp::Get),
+    ]
+}
+
+type Structure = (&'static str, Arc<dyn KvMap>, Box<dyn Fn() -> Result<(), String>>);
+
+fn make_structures(sink: pmtest::trace::SharedSink) -> Vec<Structure> {
+    let mk_pool = |sink: &pmtest::trace::SharedSink| {
+        Arc::new(
+            ObjPool::create(
+                Arc::new(PmPool::new(1 << 21, sink.clone())),
+                4096,
+                PersistMode::X86,
+            )
+            .expect("pool"),
+        )
+    };
+    let ctree = Arc::new(
+        CritBitTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap(),
+    );
+    let btree =
+        Arc::new(BTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap());
+    let rbtree =
+        Arc::new(RbTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap());
+    let hashmap = Arc::new(
+        HashMapTx::create(mk_pool(&sink), 8, CheckMode::Checkers, FaultSet::none()).unwrap(),
+    );
+    vec![
+        ("ctree", ctree.clone(), {
+            let t = ctree;
+            Box::new(move || t.check_invariants())
+        }),
+        ("btree", btree.clone(), {
+            let t = btree;
+            Box::new(move || t.check_invariants())
+        }),
+        ("rbtree", rbtree.clone(), {
+            let t = rbtree;
+            Box::new(move || t.check_no_red_red())
+        }),
+        ("hashmap", hashmap, Box::new(|| Ok(()))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every structure mirrors a `HashMap` under arbitrary op sequences and
+    /// produces zero diagnostics under full checking.
+    #[test]
+    fn structures_mirror_hashmap_and_stay_clean(ops in prop::collection::vec(arb_op(), 0..28)) {
+        let session = PmTestSession::builder().build();
+        session.start();
+        for (name, map, validate) in make_structures(session.sink()) {
+            let mut mirror: HashMap<u64, Vec<u8>> = HashMap::new();
+            for op in &ops {
+                match *op {
+                    WlOp::Insert(k, len) => {
+                        let v = gen::value_for(k, len);
+                        map.insert(k, &v).unwrap();
+                        mirror.insert(k, v);
+                    }
+                    WlOp::Remove(k) => {
+                        let removed = map.remove(k).unwrap();
+                        prop_assert_eq!(removed, mirror.remove(&k).is_some(), "{}: remove {}", name, k);
+                    }
+                    WlOp::Get(k) => {
+                        prop_assert_eq!(&map.get(k).unwrap(), &mirror.get(&k).cloned(), "{}: get {}", name, k);
+                    }
+                }
+                prop_assert_eq!(validate(), Ok(()), "{}: invariants after {:?}", name, op);
+                session.send_trace();
+            }
+            prop_assert_eq!(map.len().unwrap(), mirror.len() as u64, "{}: len", name);
+            for (k, v) in &mirror {
+                prop_assert_eq!(&map.get(*k).unwrap(), &Some(v.clone()), "{}: final {}", name, k);
+            }
+            prop_assert_eq!(validate(), Ok(()), "{}: structural invariants", name);
+        }
+        let report = session.finish();
+        prop_assert!(report.is_clean(), "diagnostics on a correct run: {}", report);
+    }
+
+    /// Crash-and-recover: run a short random prefix on the hashmap while
+    /// recording values, then sample crash states at every point; after
+    /// undo-log recovery the map must equal the mirror as of some consistent
+    /// prefix of the executed operations.
+    #[test]
+    fn hashmap_recovers_to_an_operation_prefix(
+        ops in prop::collection::vec((0..16u64, 1..24usize), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let pm = Arc::new(PmPool::untracked(1 << 17));
+        let pool = Arc::new(ObjPool::create(pm.clone(), 4096, PersistMode::X86).unwrap());
+        let map = HashMapTx::create(pool, 8, CheckMode::None, FaultSet::none()).unwrap();
+        // Mirrors after each prefix of operations.
+        let mut prefixes: Vec<HashMap<u64, Vec<u8>>> = vec![HashMap::new()];
+        pm.begin_crash_recording();
+        for &(k, len) in &ops {
+            let v = gen::value_for(k, len);
+            map.insert(k, &v).unwrap();
+            let mut next = prefixes.last().unwrap().clone();
+            next.insert(k, v);
+            prefixes.push(next);
+        }
+        let sim = pmtest::pmem::crash::CrashSim::from_pool(&pm).unwrap();
+        let check = |image: &[u8]| -> Result<(), String> {
+            let pool = Arc::new(
+                ObjPool::recover_image(image, 4096, PersistMode::X86)
+                    .map_err(|e| e.to_string())?,
+            );
+            let map = HashMapTx::open(pool, CheckMode::None, FaultSet::none())
+                .map_err(|e| e.to_string())?;
+            'prefix: for mirror in &prefixes {
+                if map.len().map_err(|e| e.to_string())? != mirror.len() as u64 {
+                    continue;
+                }
+                for (k, v) in mirror {
+                    match map.get(*k) {
+                        Ok(Some(got)) if &got == v => {}
+                        _ => continue 'prefix,
+                    }
+                }
+                return Ok(());
+            }
+            Err("recovered state matches no operation prefix".to_owned())
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let violation = sim.find_violation_sampled(&check, 4, &mut rng);
+        prop_assert!(violation.is_none(), "{:?}", violation.map(|v| (v.point, v.reason)));
+    }
+}

@@ -1,0 +1,203 @@
+//! The high-level transaction checkers (§5.1) against the real PMDK-like
+//! library, including the nested-transaction semantics the paper
+//! reverse-engineered with PMTest (§7.1).
+
+use std::sync::Arc;
+
+use pmtest::prelude::*;
+use pmtest::txlib::ObjPool;
+
+fn setup() -> (PmTestSession, Arc<ObjPool>) {
+    let session = PmTestSession::builder().build();
+    session.start();
+    let pm = Arc::new(PmPool::new(1 << 18, session.sink()));
+    let pool = Arc::new(ObjPool::create(pm, 4096, PersistMode::X86).expect("pool"));
+    (session, pool)
+}
+
+#[test]
+fn clean_transaction_passes_all_checkers() {
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 16))?;
+        tx.write_u64(root, 1)?;
+        tx.write_u64(root + 8, 2)?;
+        Ok(())
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    assert!(session.finish().is_clean());
+}
+
+/// §7.1: with the checker around the *inner* transaction, updates are not
+/// yet persistent at its end — PMDK-style libraries only persist at the
+/// outermost commit. Moving the checker to the outer transaction passes.
+/// This is exactly the experiment the paper describes running to "demystify
+/// the semantics of library functions".
+#[test]
+fn nested_tx_semantics_paper_7_1() {
+    // Checker around the inner transaction: FAIL (not yet persistent).
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        pool.pool().emit(Event::TxCheckerStart);
+        tx.nested(|tx| {
+            tx.write_u64(root, 42)?;
+            Ok(())
+        })?;
+        pool.pool().emit(Event::TxCheckerEnd);
+        Ok(())
+    })
+    .unwrap();
+    session.send_trace();
+    let report = session.finish();
+    assert!(
+        report.has(DiagKind::NotPersisted),
+        "inner TX_END does not persist updates: {report}"
+    );
+
+    // Checker around the outer transaction: clean.
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        tx.nested(|tx| {
+            tx.write_u64(root, 42)?;
+            Ok(())
+        })
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    assert!(session.finish().is_clean(), "outermost TX_END persists everything");
+}
+
+#[test]
+fn abort_path_is_crash_consistent_and_clean() {
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().write_u64(root, 7).unwrap();
+    pool.pool().emit(Event::TxCheckerStart);
+    let result: Result<(), pmtest::txlib::TxError> = pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        tx.write_u64(root, 8)?;
+        Err(pmtest::txlib::TxError::aborted("change of plans"))
+    });
+    pool.pool().emit(Event::TxCheckerEnd);
+    assert!(result.is_err());
+    assert_eq!(pool.pool().read_u64(root).unwrap(), 7, "rolled back");
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.is_clean(), "abort restores and persists old data: {report}");
+}
+
+#[test]
+fn library_internals_are_whitelisted_not_flagged() {
+    // The undo-log entries and lane heads are written inside the
+    // transaction without an explicit application-level TX_ADD; the library
+    // marks them as transaction-safe metadata, so no MissingLog fires.
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        tx.write_u64(root, 5)?;
+        Ok(())
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    let report = session.finish();
+    assert!(!report.has(DiagKind::MissingLog), "{report}");
+}
+
+#[test]
+fn alloc_objects_need_no_backup() {
+    let (session, pool) = setup();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        let node = tx.alloc(64, 8)?;
+        tx.write_u64(node, 1)?; // fresh object: no TX_ADD required
+        Ok(())
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    assert!(session.finish().is_clean());
+}
+
+#[test]
+fn double_add_is_a_performance_warning_only() {
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        tx.add(ByteRange::with_len(root, 8))?; // redundant
+        tx.write_u64(root, 5)?;
+        Ok(())
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    let report = session.finish();
+    assert_eq!(report.fail_count(), 0);
+    assert!(report.has(DiagKind::DuplicateLog));
+}
+
+#[test]
+fn fault_options_produce_the_matching_diagnostics() {
+    use pmtest::txlib::TxOptions;
+    // skip_commit_writeback: modified objects never persisted.
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    let mut tx = pool
+        .begin_tx_with(TxOptions { skip_commit_writeback: true, ..TxOptions::default() })
+        .unwrap();
+    tx.add(ByteRange::with_len(root, 8)).unwrap();
+    tx.write_u64(root, 9).unwrap();
+    tx.commit().unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.has(DiagKind::NotPersisted), "{report}");
+
+    // double_commit_writeback: duplicate flush warning.
+    let (session, pool) = setup();
+    let root = pool.root().start();
+    let mut tx = pool
+        .begin_tx_with(TxOptions { double_commit_writeback: true, ..TxOptions::default() })
+        .unwrap();
+    tx.add(ByteRange::with_len(root, 8)).unwrap();
+    tx.write_u64(root, 9).unwrap();
+    tx.commit().unwrap();
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.has(DiagKind::DuplicateFlush), "{report}");
+}
+
+#[test]
+fn hops_mode_transactions_check_cleanly_under_hops_model() {
+    let session = PmTestSession::builder().model(HopsModel::new()).build();
+    session.start();
+    let pm = Arc::new(PmPool::new(1 << 18, session.sink()));
+    let pool = Arc::new(ObjPool::create(pm, 4096, PersistMode::Hops).expect("pool"));
+    let root = pool.root().start();
+    pool.pool().emit(Event::TxCheckerStart);
+    pool.tx(|tx| {
+        tx.add(ByteRange::with_len(root, 8))?;
+        tx.write_u64(root, 11)?;
+        Ok(())
+    })
+    .unwrap();
+    pool.pool().emit(Event::TxCheckerEnd);
+    session.send_trace();
+    let report = session.finish();
+    assert!(report.is_clean(), "{report}");
+}
