@@ -54,7 +54,11 @@ pub fn run(sim: &CrashSim, check: &dyn RecoveryCheck, config: YatConfig) -> YatR
         let analysis = sim.analyze(point);
         for image in analysis.states() {
             if tested >= budget {
-                return YatResult { states_tested: tested, violation: None, exhausted_space: false };
+                return YatResult {
+                    states_tested: tested,
+                    violation: None,
+                    exhausted_space: false,
+                };
             }
             tested += 1;
             if let Err(reason) = check.check(&image) {
@@ -76,10 +80,7 @@ mod tests {
     use pmtest_pmem::crash::ValuedOp;
 
     fn w(addr: u64, data: &[u8]) -> ValuedOp {
-        ValuedOp::Write {
-            range: ByteRange::with_len(addr, data.len() as u64),
-            data: data.to_vec(),
-        }
+        ValuedOp::Write { range: ByteRange::with_len(addr, data.len() as u64), data: data.to_vec() }
     }
 
     #[test]

@@ -22,11 +22,7 @@ use pmtest_txlib::ObjPool;
 use pmtest_workloads::{gen, CheckMode, FaultSet, HashMapTx, KvMap};
 
 fn run(ops: usize, batch: usize, queue: usize, perf_checks: bool) -> Duration {
-    let model = if perf_checks {
-        X86Model::new()
-    } else {
-        X86Model::without_performance_checks()
-    };
+    let model = if perf_checks { X86Model::new() } else { X86Model::without_performance_checks() };
     let session = PmTestSession::builder().model(model).queue_capacity(queue).build();
     session.start();
     let pm = Arc::new(PmPool::new(16 << 20, session.sink()));
@@ -57,11 +53,20 @@ fn main() {
 
     // (1) Trace granularity: transactions per trace.
     let baseline = best_of(reps, || run(ops, 1, 256, true));
-    let mut rows = vec![vec!["1 (per transaction, paper)".to_owned(), format!("{baseline:.2?}"), "1.00x".to_owned()]];
+    let mut rows = vec![vec![
+        "1 (per transaction, paper)".to_owned(),
+        format!("{baseline:.2?}"),
+        "1.00x".to_owned(),
+    ]];
     for batch in [8usize, 64, ops] {
         let t = best_of(reps, || run(ops, batch, 256, true));
-        let label = if batch == ops { "entire run as one trace".to_owned() } else { batch.to_string() };
-        rows.push(vec![label, format!("{t:.2?}"), format!("{:.2}x", t.as_secs_f64() / baseline.as_secs_f64())]);
+        let label =
+            if batch == ops { "entire run as one trace".to_owned() } else { batch.to_string() };
+        rows.push(vec![
+            label,
+            format!("{t:.2?}"),
+            format!("{:.2}x", t.as_secs_f64() / baseline.as_secs_f64()),
+        ]);
     }
     print_table(
         "Ablation 1 — transactions per trace (vs paper's per-transaction)",
@@ -73,7 +78,11 @@ fn main() {
     let mut rows = Vec::new();
     for queue in [1usize, 16, 256, 4096] {
         let t = best_of(reps, || run(ops, 1, queue, true));
-        rows.push(vec![queue.to_string(), format!("{t:.2?}"), format!("{:.2}x", t.as_secs_f64() / baseline.as_secs_f64())]);
+        rows.push(vec![
+            queue.to_string(),
+            format!("{t:.2?}"),
+            format!("{:.2}x", t.as_secs_f64() / baseline.as_secs_f64()),
+        ]);
     }
     print_table("Ablation 2 — engine queue depth", &["depth", "time", "relative"], &rows);
 
@@ -83,8 +92,16 @@ fn main() {
         "Ablation 3 — §5.1.2 performance checkers",
         &["configuration", "time", "relative"],
         &[
-            vec!["with WARN checkers (default)".to_owned(), format!("{baseline:.2?}"), "1.00x".to_owned()],
-            vec!["without".to_owned(), format!("{without:.2?}"), format!("{:.2}x", without.as_secs_f64() / baseline.as_secs_f64())],
+            vec![
+                "with WARN checkers (default)".to_owned(),
+                format!("{baseline:.2?}"),
+                "1.00x".to_owned(),
+            ],
+            vec![
+                "without".to_owned(),
+                format!("{without:.2?}"),
+                format!("{:.2}x", without.as_secs_f64() / baseline.as_secs_f64()),
+            ],
         ],
     );
 }

@@ -1,0 +1,232 @@
+//! Submission throughput of the checking engine: traces/second as a
+//! function of worker count (1–8) and session batch capacity (1 vs 32),
+//! under the short traces where dispatch overhead dominates (the regime of
+//! Fig. 10a's microbenchmarks and Fig. 12b's scaling study).
+//!
+//! Each measured iteration submits a fixed round of short traces through a
+//! `PmTestSession` and ends with the `PMTest_GET_RESULT` barrier, so the
+//! number includes checking, not just enqueueing. Results are written to
+//! `bench_results/BENCH_engine.json` together with the engine's new
+//! pipeline counters (queue high-water mark, backpressure stalls, batch
+//! totals) and the buffer pool's recycling stats.
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench engine_throughput`
+//! (`PMTEST_BENCH_TRACES` overrides the per-round trace count.)
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmtest_core::PmTestSession;
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Event, Sink};
+
+/// Traces submitted per measured iteration (at least one per producer, so
+/// a degenerate override cannot divide by zero in the rate math).
+fn traces_per_round() -> u64 {
+    std::env::var("PMTEST_BENCH_TRACES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+        .max(PRODUCERS)
+}
+
+/// Entries per trace: write + flush + fence + checker — the short-trace
+/// shape of the paper's microbenchmarks.
+const ENTRIES_PER_TRACE: u64 = 4;
+
+/// Concurrent instrumented threads feeding the session, as in the paper's
+/// multi-client setups (Fig. 12b). Several producers keep the dispatch path
+/// contended, which is exactly what batching is meant to amortize.
+const PRODUCERS: u64 = 4;
+
+/// Per-worker queue bound, in batches — small, like the kernel FIFO it
+/// models, so submission throughput reflects handoff cost rather than
+/// unbounded buffering.
+const QUEUE_CAPACITY: usize = 4;
+
+/// Records and submits one round of short traces from [`PRODUCERS`]
+/// threads, then drains the engine.
+fn run_round(session: &PmTestSession, traces: u64) {
+    let per_producer = traces / PRODUCERS;
+    std::thread::scope(|s| {
+        for _ in 0..PRODUCERS {
+            s.spawn(|| {
+                session.thread_init();
+                let r = ByteRange::with_len(0, 8);
+                for _ in 0..per_producer {
+                    session.record(Event::Write(r).here());
+                    session.record(Event::Flush(r).here());
+                    session.record(Event::Fence.here());
+                    session.is_persist(r);
+                    session.send_trace();
+                }
+            });
+        }
+    });
+    let report = session.take_report();
+    assert!(report.is_clean(), "bench traces must check clean");
+}
+
+struct Sample {
+    workers: usize,
+    batch: usize,
+    ns_per_trace: f64,
+}
+
+impl Sample {
+    fn traces_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_trace
+    }
+}
+
+fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
+    let traces = traces_per_round();
+    let mut samples = Vec::new();
+    let mut group = c.benchmark_group("engine_throughput");
+    group.throughput(Throughput::Elements(traces));
+    for &workers in &[1usize, 2, 4, 8] {
+        for &batch in &[1usize, 32] {
+            let session = PmTestSession::builder()
+                .workers(workers)
+                .batch_capacity(batch)
+                // Bounded like the kernel FIFO (§4.5): dispatch cost then
+                // includes the producer/worker handoff, which is what
+                // batching amortizes.
+                .queue_capacity(QUEUE_CAPACITY)
+                .build();
+            session.start();
+            run_round(&session, traces); // warm the buffer pool
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{workers}"), format!("b{batch}")),
+                &traces,
+                |b, &traces| b.iter(|| run_round(&session, traces)),
+            );
+            let per_round_ns = group.last_estimate_ns().expect("benchmark just ran");
+            samples.push(Sample { workers, batch, ns_per_trace: per_round_ns / traces as f64 });
+        }
+    }
+    group.finish();
+    samples
+}
+
+/// Engine/pool counters from one instrumented 4-worker batch-32 round, for
+/// the JSON report.
+fn stats_sample(traces: u64) -> String {
+    let session = PmTestSession::builder()
+        .workers(4)
+        .batch_capacity(32)
+        .queue_capacity(QUEUE_CAPACITY)
+        .build();
+    session.start();
+    run_round(&session, traces);
+    run_round(&session, traces);
+    let stats = session.stats();
+    let pool = session.pool_stats();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "{{\n",
+            "    \"workers\": 4,\n",
+            "    \"batch_capacity\": 32,\n",
+            "    \"queue_capacity\": {},\n",
+            "    \"traces_submitted\": {},\n",
+            "    \"batches_submitted\": {},\n",
+            "    \"mean_batch_size\": {:.2},\n",
+            "    \"queue_highwater\": {},\n",
+            "    \"backpressure_stalls\": {},\n",
+            "    \"pool_recycled\": {},\n",
+            "    \"pool_fresh\": {},\n",
+            "    \"pool_hit_rate\": {:.4}\n",
+            "  }}"
+        ),
+        QUEUE_CAPACITY,
+        stats.traces_submitted,
+        stats.batches_submitted,
+        stats.mean_batch_size(),
+        stats.queue_highwater,
+        stats.backpressure_stalls,
+        pool.recycled,
+        pool.fresh,
+        pool.hit_rate(),
+    );
+    s
+}
+
+fn write_json(samples: &[Sample], traces: u64) {
+    let speedup_at = |workers: usize| -> Option<f64> {
+        let b1 = samples.iter().find(|s| s.workers == workers && s.batch == 1)?;
+        let b32 = samples.iter().find(|s| s.workers == workers && s.batch == 32)?;
+        Some(b1.ns_per_trace / b32.ns_per_trace)
+    };
+    let mut rows = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            rows,
+            "    {{\"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}}{}",
+            s.workers,
+            s.batch,
+            s.ns_per_trace,
+            s.traces_per_sec(),
+            if i + 1 == samples.len() { "" } else { "," },
+        );
+    }
+    let mut speedups = String::new();
+    for (i, &w) in [1usize, 2, 4, 8].iter().enumerate() {
+        if let Some(sp) = speedup_at(w) {
+            let _ = writeln!(speedups, "    \"{}\": {:.2}{}", w, sp, if i == 3 { "" } else { "," });
+        }
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"engine_throughput\",\n",
+            "  \"traces_per_round\": {},\n",
+            "  \"entries_per_trace\": {},\n",
+            "  \"workload\": \"short traces: write+flush+fence+isPersist, 4 producer threads, queue_capacity 4 batches/worker\",\n",
+            "  \"results\": [\n{}  ],\n",
+            "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
+            "  \"stats_sample\": {}\n",
+            "}}\n"
+        ),
+        traces,
+        ENTRIES_PER_TRACE,
+        rows,
+        speedups,
+        stats_sample(traces),
+    );
+    // cargo sets the bench cwd to crates/bench; anchor the output at the
+    // workspace root so it lands in the committed bench_results/.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
+    std::fs::create_dir_all(dir).expect("create bench_results/");
+    let path = format!("{dir}/BENCH_engine.json");
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let traces = traces_per_round();
+    let samples = bench_matrix(c);
+    for s in &samples {
+        println!(
+            "workers={} batch={:>2}: {:>7.1} ns/trace ({:.2} M traces/s)",
+            s.workers,
+            s.batch,
+            s.ns_per_trace,
+            s.traces_per_sec() / 1e6
+        );
+    }
+    write_json(&samples, traces);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    targets = engine_throughput
+}
+criterion_main!(benches);

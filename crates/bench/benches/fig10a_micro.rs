@@ -13,7 +13,9 @@
 //! Run with: `cargo bench -p pmtest-bench --bench fig10a_micro`
 //! (set `PMTEST_BENCH_OPS=100000` for paper scale).
 
-use pmtest_bench::{bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool};
+use pmtest_bench::{
+    bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool,
+};
 
 const TX_SIZES: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 

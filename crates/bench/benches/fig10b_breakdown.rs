@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo bench -p pmtest-bench --bench fig10b_breakdown`
 
-use pmtest_bench::{bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool};
+use pmtest_bench::{
+    bench_ops, bench_reps, median_time, print_table, run_micro, slowdown, Micro, Tool,
+};
 
 const TX_SIZES: [usize; 4] = [64, 256, 1024, 4096];
 
@@ -46,12 +48,15 @@ fn main() {
     }
     print_table(
         "Fig. 10b — overhead breakdown (framework vs +checkers)",
-        &["microbench", "tx size (B)", "framework only", "full PMTest", "checker share of overhead"],
+        &[
+            "microbench",
+            "tx size (B)",
+            "framework only",
+            "full PMTest",
+            "checker share of overhead",
+        ],
         &rows,
     );
     let avg = checker_fractions.iter().sum::<f64>() / checker_fractions.len() as f64;
-    println!(
-        "\naverage checker share of total overhead: {:.1}% (paper: 18.9%-37.8%)",
-        avg * 100.0
-    );
+    println!("\naverage checker share of total overhead: {:.1}% (paper: 18.9%-37.8%)", avg * 100.0);
 }

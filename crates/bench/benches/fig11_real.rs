@@ -131,11 +131,7 @@ fn redis_workload(tool: Tool, ops: &[gen::Op]) -> Duration {
 fn pmfs_workload(tool: Tool, oltp: bool, scale: usize) -> Duration {
     let run = handles(tool);
     let pm = Arc::new(PmPool::new(32 << 20, run.sink.clone()));
-    let opts = PmfsOptions {
-        checkers: run.check.enabled(),
-        inodes: 128,
-        ..PmfsOptions::default()
-    };
+    let opts = PmfsOptions { checkers: run.check.enabled(), inodes: 128, ..PmfsOptions::default() };
     let fs = Pmfs::format(pm, opts).expect("format");
     let start = Instant::now();
     if oltp {

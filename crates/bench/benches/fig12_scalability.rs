@@ -13,29 +13,38 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pmtest_bench::{bench_ops, bench_reps, build_kvstore, print_table, slowdown};
-use pmtest_core::PmTestSession;
+use pmtest_core::{EngineStats, PmTestSession};
 use pmtest_trace::NullSink;
 use pmtest_workloads::{gen, CheckMode};
 
 /// Runs `threads` YCSB clients against one shared store; `workers` is the
-/// PMTest pool size (`None` = native, untracked). Returns the time of the
-/// client phase only.
-fn run(threads: usize, workers: Option<usize>, ops_per_thread: usize) -> Duration {
+/// PMTest pool size (`None` = native, untracked) and `batch` the session
+/// batch capacity (1 = submit every trace immediately, the paper's
+/// semantics). Returns the time of the client phase only.
+fn run(
+    threads: usize,
+    workers: Option<usize>,
+    batch: usize,
+    ops_per_thread: usize,
+) -> (Duration, Option<EngineStats>) {
     let (sink, session): (pmtest_trace::SharedSink, Option<PmTestSession>) = match workers {
         None => (Arc::new(NullSink), None),
         Some(w) => {
             // A small queue makes checking-pipeline saturation visible at
             // bench scale, as the kernel FIFO does in the paper (§4.5).
-            let s = PmTestSession::builder().workers(w).queue_capacity(16).build();
+            let s = PmTestSession::builder()
+                .workers(w)
+                .queue_capacity(16)
+                .batch_capacity(batch)
+                .build();
             s.start();
             (s.sink(), Some(s))
         }
     };
     let check = if workers.is_some() { CheckMode::Checkers } else { CheckMode::None };
     let store = Arc::new(build_kvstore(sink, check, 64 << 20, threads * 8));
-    let plans: Vec<Vec<gen::Op>> = (0..threads)
-        .map(|t| gen::ycsb_update_heavy(ops_per_thread, 1000, t as u64))
-        .collect();
+    let plans: Vec<Vec<gen::Op>> =
+        (0..threads).map(|t| gen::ycsb_update_heavy(ops_per_thread, 1000, t as u64)).collect();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -65,11 +74,12 @@ fn run(threads: usize, workers: Option<usize>, ops_per_thread: usize) -> Duratio
         }
     });
     let elapsed = start.elapsed();
-    if let Some(s) = session {
+    let stats = session.map(|s| {
         let report = s.finish();
         assert!(report.is_clean(), "{report}");
-    }
-    elapsed
+        s.stats()
+    });
+    (elapsed, stats)
 }
 
 fn best_of(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {
@@ -95,8 +105,8 @@ fn main() {
     // (a) one worker, varying app threads.
     let mut rows_a = Vec::new();
     for &threads in &threads_axis {
-        let native = best_of(reps, || run(threads, None, ops));
-        let pmtest = best_of(reps, || run(threads, Some(1), ops));
+        let native = best_of(reps, || run(threads, None, 1, ops).0);
+        let pmtest = best_of(reps, || run(threads, Some(1), 1, ops).0);
         rows_a.push(vec![threads.to_string(), format!("{:.2}x", slowdown(pmtest, native))]);
     }
     print_table(
@@ -107,9 +117,9 @@ fn main() {
 
     // (b) four app threads, varying workers.
     let mut rows_b = Vec::new();
-    let native4 = best_of(reps, || run(4, None, ops));
+    let native4 = best_of(reps, || run(4, None, 1, ops).0);
     for &workers in &threads_axis {
-        let pmtest = best_of(reps, || run(4, Some(workers), ops));
+        let pmtest = best_of(reps, || run(4, Some(workers), 1, ops).0);
         rows_b.push(vec![workers.to_string(), format!("{:.2}x", slowdown(pmtest, native4))]);
     }
     print_table(
@@ -121,8 +131,8 @@ fn main() {
     // (c) scale both together.
     let mut rows_c = Vec::new();
     for &n in &threads_axis {
-        let native = best_of(reps, || run(n, None, ops));
-        let pmtest = best_of(reps, || run(n, Some(n), ops));
+        let native = best_of(reps, || run(n, None, 1, ops).0);
+        let pmtest = best_of(reps, || run(n, Some(n), 1, ops).0);
         rows_c.push(vec![n.to_string(), format!("{:.2}x", slowdown(pmtest, native))]);
     }
     print_table(
@@ -130,5 +140,32 @@ fn main() {
         &["threads = workers", "slowdown"],
         &rows_c,
     );
+
+    // (d) batched submission: same 4-thread/4-worker setup, session batch
+    // capacity 1 (paper semantics) vs 32. Shows how much of the slowdown is
+    // per-trace handoff that batching amortizes away.
+    let mut rows_d = Vec::new();
+    for &batch in &[1usize, 32] {
+        let pmtest = best_of(reps, || run(4, Some(4), batch, ops).0);
+        rows_d.push(vec![batch.to_string(), format!("{:.2}x", slowdown(pmtest, native4))]);
+    }
+    print_table(
+        "Fig. 12 extension — slowdown vs session batch capacity (4 threads, 4 workers)",
+        &["batch capacity", "slowdown"],
+        &rows_d,
+    );
+
+    // Engine pipeline counters from one instrumented batched run.
+    if let (_, Some(stats)) = run(4, Some(4), 32, ops) {
+        println!(
+            "\nengine stats (4 threads, 4 workers, batch 32): {} traces in {} batches \
+             (mean {:.1}/batch), queue high-water {}, backpressure stalls {}",
+            stats.traces_submitted,
+            stats.batches_submitted,
+            stats.mean_batch_size(),
+            stats.queue_highwater,
+            stats.backpressure_stalls,
+        );
+    }
     println!("\npaper shapes: (a) rises with threads, (b) falls with workers, (c) roughly level");
 }

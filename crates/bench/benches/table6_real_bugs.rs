@@ -43,8 +43,8 @@ fn hashmap_ll_run(fault: Fault) -> Report {
     session.start();
     let pm = Arc::new(PmPool::new(1 << 20, session.sink()));
     let heap = Arc::new(pmtest_pmem::PmHeap::new(pm, 4096));
-    let map = HashMapLl::create(heap, 16, CheckMode::Checkers, FaultSet::one(fault))
-        .expect("create");
+    let map =
+        HashMapLl::create(heap, 16, CheckMode::Checkers, FaultSet::one(fault)).expect("create");
     for k in 0..8u64 {
         map.insert(k, b"value").expect("insert");
         session.send_trace();
@@ -84,8 +84,12 @@ fn main() {
             DiagKind::MissingLog,
             tree_run(
                 |p| {
-                    RbTree::create(p, CheckMode::Checkers, FaultSet::one(Fault::RbSkipLogRotatePivot))
-                        .expect("rbtree")
+                    RbTree::create(
+                        p,
+                        CheckMode::Checkers,
+                        FaultSet::one(Fault::RbSkipLogRotatePivot),
+                    )
+                    .expect("rbtree")
                 },
                 16,
             ),
@@ -102,8 +106,12 @@ fn main() {
             DiagKind::MissingLog,
             tree_run(
                 |p| {
-                    BTree::create(p, CheckMode::Checkers, FaultSet::one(Fault::BtreeSkipLogSplitNode))
-                        .expect("btree")
+                    BTree::create(
+                        p,
+                        CheckMode::Checkers,
+                        FaultSet::one(Fault::BtreeSkipLogSplitNode),
+                    )
+                    .expect("btree")
                 },
                 8,
             ),
@@ -142,14 +150,10 @@ fn main() {
     // The fixed variants are clean (the paper's fixes were merged by Intel
     // with credit to PMTest).
     let fixed_fs = pmfs_run(PmfsOptions::default());
-    let fixed_btree = tree_run(
-        |p| BTree::create(p, CheckMode::Checkers, FaultSet::none()).expect("btree"),
-        12,
-    );
-    let fixed_rb = tree_run(
-        |p| RbTree::create(p, CheckMode::Checkers, FaultSet::none()).expect("rbtree"),
-        16,
-    );
+    let fixed_btree =
+        tree_run(|p| BTree::create(p, CheckMode::Checkers, FaultSet::none()).expect("btree"), 12);
+    let fixed_rb =
+        tree_run(|p| RbTree::create(p, CheckMode::Checkers, FaultSet::none()).expect("rbtree"), 16);
     println!(
         "\nfixed variants clean: pmfs={}, btree={}, rbtree={}",
         fixed_fs.is_clean(),

@@ -97,10 +97,7 @@ fn main() {
          {:.1}µs per validated state):",
         per_state * 1e6
     );
-    println!(
-        "  subset-exhaustive (this simulator): ~{:.1} days",
-        subset_secs / 86_400.0
-    );
+    println!("  subset-exhaustive (this simulator): ~{:.1} days", subset_secs / 86_400.0);
     println!(
         "  ordering-exhaustive (Yat, ~{epoch_width}! per epoch): ~2^{ordering_secs_log2:.0} \
          seconds — five years is only 2^{five_years_log2:.0} seconds, so the paper's '>5 years' \

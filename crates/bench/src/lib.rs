@@ -207,8 +207,7 @@ pub fn run_micro(micro: Micro, tool: Tool, ops: usize, value_size: usize) -> Dur
             Box::new(HashMapLl::create(heap, 256, run.check, FaultSet::none()).expect("create"))
         }
         _ => {
-            let pool =
-                Arc::new(ObjPool::create(pm, 8192, PersistMode::X86).expect("create pool"));
+            let pool = Arc::new(ObjPool::create(pm, 8192, PersistMode::X86).expect("create pool"));
             match micro {
                 Micro::Ctree => Box::new(
                     CritBitTree::create(pool, run.check, FaultSet::none()).expect("create"),
@@ -273,8 +272,7 @@ pub fn build_kvstore(
 ) -> pmtest_workloads::KvStore {
     let pm = Arc::new(PmPool::new(bytes, sink));
     let pool = Arc::new(MnPool::create(pm, 16384, PersistMode::X86).expect("mn pool"));
-    pmtest_workloads::KvStore::create(pool, 1024, shards, check, FaultSet::none())
-        .expect("kvstore")
+    pmtest_workloads::KvStore::create(pool, 1024, shards, check, FaultSet::none()).expect("kvstore")
 }
 
 /// Convenience: asserts a report is clean and returns it (for harness

@@ -94,8 +94,8 @@ fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> 
             }
         }
         StructKind::Array => {
-            let store = ArrayStore::create(pm, 0, 64, CheckMode::Checkers, faults)
-                .expect("create array");
+            let store =
+                ArrayStore::create(pm, 0, 64, CheckMode::Checkers, faults).expect("create array");
             for &k in &keys {
                 let _ = store.update(k % 64, k * 10);
                 session.send_trace();
@@ -103,8 +103,8 @@ fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> 
         }
         StructKind::HashMapLl => {
             let heap = Arc::new(PmHeap::new(pm, ROOT_BYTES));
-            let map = HashMapLl::create(heap, 4, CheckMode::Checkers, faults)
-                .expect("create hashmap_ll");
+            let map =
+                HashMapLl::create(heap, 4, CheckMode::Checkers, faults).expect("create hashmap_ll");
             drive_kv(&session, &map, &keys, with_removes);
         }
         StructKind::KvStore => {
@@ -131,8 +131,8 @@ fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> 
             let pool = Arc::new(
                 ObjPool::create(pm, ROOT_BYTES, PersistMode::X86).expect("create obj pool"),
             );
-            let store = RedisKv::create(pool, 4, 1000, CheckMode::Checkers, faults)
-                .expect("create redis");
+            let store =
+                RedisKv::create(pool, 4, 1000, CheckMode::Checkers, faults).expect("create redis");
             for &k in &keys {
                 let _ = store.set(k, &gen::value_for(k, VALUE_SIZE));
                 session.send_trace();

@@ -76,8 +76,13 @@ impl<'m> TraceChecker<'m> {
             Event::IsOrderedBefore(first, second) => {
                 for a in self.shadow.in_scope(first) {
                     for b in self.shadow.in_scope(second) {
-                        self.model
-                            .check_ordered_before(&self.shadow, a, b, entry.loc, &mut self.diags);
+                        self.model.check_ordered_before(
+                            &self.shadow,
+                            a,
+                            b,
+                            entry.loc,
+                            &mut self.diags,
+                        );
                     }
                 }
             }
@@ -107,8 +112,13 @@ impl<'m> TraceChecker<'m> {
                 self.model.check_persist(&self.shadow, range, entry.loc, &mut self.diags);
             }
             Event::IsOrderedBefore(first, second) => {
-                self.model
-                    .check_ordered_before(&self.shadow, first, second, entry.loc, &mut self.diags);
+                self.model.check_ordered_before(
+                    &self.shadow,
+                    first,
+                    second,
+                    entry.loc,
+                    &mut self.diags,
+                );
             }
             Event::TxAdd(range) => self.tx_add_sub(range, entry),
             _ => self.process_slow(entry),
@@ -537,12 +547,7 @@ mod tests {
     fn include_restores_checking() {
         let a = r(0, 8);
         let diags = check_trace(
-            &trace(&[
-                Event::Exclude(a),
-                Event::Include(a),
-                Event::Write(a),
-                Event::IsPersist(a),
-            ]),
+            &trace(&[Event::Exclude(a), Event::Include(a), Event::Write(a), Event::IsPersist(a)]),
             &X86Model::new(),
         );
         assert_eq!(kinds(&diags), [DiagKind::NotPersisted]);

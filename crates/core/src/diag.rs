@@ -217,17 +217,9 @@ impl Report {
         if self.is_clean() {
             return format!("clean ({} traces)", self.traces.len());
         }
-        let detail: Vec<String> = self
-            .counts_by_kind()
-            .into_iter()
-            .map(|(kind, n)| format!("{kind} x{n}"))
-            .collect();
-        format!(
-            "{} FAIL, {} WARN ({})",
-            self.fail_count(),
-            self.warn_count(),
-            detail.join(", ")
-        )
+        let detail: Vec<String> =
+            self.counts_by_kind().into_iter().map(|(kind, n)| format!("{kind} x{n}")).collect();
+        format!("{} FAIL, {} WARN ({})", self.fail_count(), self.warn_count(), detail.join(", "))
     }
 }
 
@@ -315,8 +307,11 @@ mod tests {
     fn summary_and_counts() {
         let report = Report::from_traces(vec![TraceReport {
             trace_id: 0,
-            diags: vec![diag(DiagKind::NotPersisted), diag(DiagKind::NotPersisted),
-                        diag(DiagKind::DuplicateFlush)],
+            diags: vec![
+                diag(DiagKind::NotPersisted),
+                diag(DiagKind::NotPersisted),
+                diag(DiagKind::DuplicateFlush),
+            ],
         }]);
         let counts = report.counts_by_kind();
         assert_eq!(counts[&DiagKind::NotPersisted], 2);

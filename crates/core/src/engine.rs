@@ -3,9 +3,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
-use pmtest_trace::Trace;
+use pmtest_trace::{BufferPool, Trace};
 
 use crate::checker::check_trace;
 use crate::diag::{Report, TraceReport};
@@ -19,8 +19,8 @@ pub struct EngineConfig {
     /// Number of worker threads (the paper uses one unless stated, §6.1;
     /// Fig. 12b scales this up).
     pub workers: usize,
-    /// Per-worker trace-queue depth. Bounding the queue keeps memory finite
-    /// and reproduces the paper's behaviour that a saturated checking
+    /// Per-worker queue depth, in *batches*. Bounding the queue keeps memory
+    /// finite and reproduces the paper's behaviour that a saturated checking
     /// pipeline backpressures the program (Fig. 12a).
     pub queue_capacity: usize,
 }
@@ -31,14 +31,66 @@ impl Default for EngineConfig {
     }
 }
 
-/// The decoupled checking engine: a master dispatching traces round-robin to
-/// a pool of worker threads (Fig. 8).
+/// One message on a worker channel: a single trace or a batch of traces.
+///
+/// The single-trace variant keeps the unbatched path (the paper's default)
+/// free of the extra `Vec` a one-element batch would allocate.
+enum TraceBatch {
+    One(Trace),
+    Many(Vec<Trace>),
+}
+
+impl TraceBatch {
+    fn len(&self) -> u64 {
+        match self {
+            TraceBatch::One(_) => 1,
+            TraceBatch::Many(traces) => traces.len() as u64,
+        }
+    }
+}
+
+/// Error returned by [`Engine::submit`] / [`Engine::submit_batch`] when the
+/// worker pool is no longer accepting traces — its threads have terminated,
+/// either because the engine was shut down or because a worker panicked.
+///
+/// The submitted traces are dropped; results already collected remain
+/// available through [`Engine::report`] / [`Engine::take_report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitError;
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("checking engine is no longer accepting traces (workers terminated)")
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The decoupled checking engine: a master dispatching trace batches to a
+/// pool of worker threads (Fig. 8).
 ///
 /// The program under test keeps executing while workers validate completed
 /// traces — this pipelining is the second half of the paper's performance
 /// story (§3.2, "Runtime Testing"). [`Engine::wait_idle`] is the
 /// `PMTest_GET_RESULT` barrier: it blocks until every submitted trace has
 /// been checked.
+///
+/// Three mechanisms keep the submission path cheap (Fig. 12's scalability
+/// depends on all of them):
+///
+/// * **Batching** — [`submit_batch`](Self::submit_batch) moves many traces
+///   through the channel, the dispatch bookkeeping, and the idle-tracking
+///   atomics in one step.
+/// * **Sharded results** — each worker appends finished [`TraceReport`]s to
+///   its own shard; shards merge only when a report is requested, so workers
+///   never contend on a global results lock.
+/// * **Buffer recycling** — workers return each trace's entry buffer to a
+///   [`BufferPool`] that sessions draw from, keeping the per-trace heap
+///   allocation off the hot path.
+///
+/// Dispatch is load-aware: a batch goes to the worker with the fewest
+/// outstanding traces (ties broken round-robin), which keeps long traces
+/// from piling behind one queue while others sit idle.
 ///
 /// # Examples
 ///
@@ -52,27 +104,54 @@ impl Default for EngineConfig {
 /// let r = ByteRange::with_len(0, 8);
 /// trace.push(Event::Write(r).here());
 /// trace.push(Event::IsPersist(r).here()); // will FAIL
-/// engine.submit(trace);
+/// engine.submit(trace).unwrap();
 /// let report = engine.take_report();
 /// assert_eq!(report.fail_count(), 1);
 /// ```
 pub struct Engine {
     shared: Arc<Shared>,
-    worker_txs: Vec<Sender<Trace>>,
+    worker_txs: Vec<Sender<TraceBatch>>,
     next_worker: AtomicUsize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 struct Shared {
     /// Traces submitted but not yet checked. Producers only touch this
-    /// atomic (plus the channel), keeping `submit` off the results lock.
+    /// atomic (plus the channel), keeping `submit` off the result shards.
     outstanding: AtomicU64,
-    results: Mutex<Vec<TraceReport>>,
+    /// Per-worker result shards; worker `i` writes only `shards[i]`.
+    shards: Vec<Mutex<Vec<TraceReport>>>,
+    /// Results merged out of the shards so far. Drained by
+    /// [`Engine::take_report`], appended to by every report request.
+    collected: Mutex<Vec<TraceReport>>,
+    /// Traces queued per worker, for load-aware dispatch.
+    queued: Vec<AtomicU64>,
+    /// Entry buffers recycled between workers (release) and sessions
+    /// (acquire).
+    pool: Arc<BufferPool>,
     idle_lock: Mutex<()>,
     idle: Condvar,
     traces_checked: AtomicU64,
     entries_processed: AtomicU64,
     diagnostics: AtomicU64,
+    batches_submitted: AtomicU64,
+    traces_submitted: AtomicU64,
+    queue_highwater: AtomicU64,
+    backpressure_stalls: AtomicU64,
+}
+
+impl Shared {
+    /// Marks `n` traces as no longer outstanding, waking idle waiters when
+    /// the count reaches zero. Used by workers after finishing a batch and
+    /// by the dispatch rollback when a send fails.
+    fn retire(&self, n: u64) {
+        if self.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
+            // Last outstanding trace: wake any waiter. The brief lock pairs
+            // with the wait in `wait_idle`.
+            drop(self.idle_lock.lock());
+            self.idle.notify_all();
+        }
+    }
 }
 
 /// Lifetime counters of an [`Engine`] (useful for the benchmark harnesses
@@ -85,6 +164,30 @@ pub struct EngineStats {
     pub entries_processed: u64,
     /// Diagnostics (FAIL + WARN) produced.
     pub diagnostics: u64,
+    /// Batches accepted by [`Engine::submit`] / [`Engine::submit_batch`]
+    /// (a bare `submit` counts as a batch of one).
+    pub batches_submitted: u64,
+    /// Traces accepted across all batches. `traces_submitted /
+    /// batches_submitted` is the mean batch size.
+    pub traces_submitted: u64,
+    /// Highest number of traces ever queued on a single worker — how deep
+    /// the checking pipeline ran behind the program.
+    pub queue_highwater: u64,
+    /// Times a submission found its worker's queue full and had to block
+    /// until the worker caught up (Fig. 12a's backpressure regime).
+    pub backpressure_stalls: u64,
+}
+
+impl EngineStats {
+    /// Mean traces per submitted batch (0 if nothing was submitted).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_submitted == 0 {
+            0.0
+        } else {
+            self.traces_submitted as f64 / self.batches_submitted as f64
+        }
+    }
 }
 
 impl Engine {
@@ -92,61 +195,68 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers` is zero.
+    /// Panics if `config.workers` or `config.queue_capacity` is zero.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
+        assert!(config.queue_capacity > 0, "engine queue capacity must be positive");
         let shared = Arc::new(Shared {
             outstanding: AtomicU64::new(0),
-            results: Mutex::new(Vec::new()),
+            shards: (0..config.workers).map(|_| Mutex::new(Vec::new())).collect(),
+            collected: Mutex::new(Vec::new()),
+            queued: (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
+            pool: Arc::new(BufferPool::new()),
             idle_lock: Mutex::new(()),
             idle: Condvar::new(),
             traces_checked: AtomicU64::new(0),
             entries_processed: AtomicU64::new(0),
             diagnostics: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+            traces_submitted: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
+            backpressure_stalls: AtomicU64::new(0),
         });
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
-        assert!(config.queue_capacity > 0, "engine queue capacity must be positive");
         for i in 0..config.workers {
-            let (tx, rx) = bounded::<Trace>(config.queue_capacity);
+            let (tx, rx) = bounded::<TraceBatch>(config.queue_capacity);
             let shared = shared.clone();
             let model = config.model.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("pmtest-worker-{i}"))
                 .spawn(move || {
-                    while let Ok(trace) = rx.recv() {
-                        let diags = check_trace(&trace, model.as_ref());
-                        shared.traces_checked.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .entries_processed
-                            .fetch_add(trace.len() as u64, Ordering::Relaxed);
-                        shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
-                        shared.results.lock().push(TraceReport { trace_id: trace.id(), diags });
-                        if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            // Last outstanding trace: wake any waiter. The
-                            // brief lock pairs with the wait below.
-                            drop(shared.idle_lock.lock());
-                            shared.idle.notify_all();
+                    while let Ok(batch) = rx.recv() {
+                        let n = batch.len();
+                        match batch {
+                            TraceBatch::One(trace) => worker_check(&shared, i, &model, trace),
+                            TraceBatch::Many(traces) => {
+                                for trace in traces {
+                                    worker_check(&shared, i, &model, trace);
+                                }
+                            }
                         }
+                        shared.queued[i].fetch_sub(n, Ordering::Relaxed);
+                        shared.retire(n);
                     }
                 })
                 .expect("spawn pmtest worker");
             worker_txs.push(tx);
             handles.push(handle);
         }
-        Self {
-            shared,
-            worker_txs,
-            next_worker: AtomicUsize::new(0),
-            handles: Mutex::new(handles),
-        }
+        Self { shared, worker_txs, next_worker: AtomicUsize::new(0), handles: Mutex::new(handles) }
     }
 
     /// Number of worker threads.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.worker_txs.len()
+    }
+
+    /// The pool of recycled trace-entry buffers. Sessions draw replacement
+    /// buffers from here; workers return each checked trace's buffer.
+    #[must_use]
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.shared.pool
     }
 
     /// Lifetime counters (never reset, even by
@@ -157,16 +267,104 @@ impl Engine {
             traces_checked: self.shared.traces_checked.load(Ordering::Relaxed),
             entries_processed: self.shared.entries_processed.load(Ordering::Relaxed),
             diagnostics: self.shared.diagnostics.load(Ordering::Relaxed),
+            batches_submitted: self.shared.batches_submitted.load(Ordering::Relaxed),
+            traces_submitted: self.shared.traces_submitted.load(Ordering::Relaxed),
+            queue_highwater: self.shared.queue_highwater.load(Ordering::Relaxed),
+            backpressure_stalls: self.shared.backpressure_stalls.load(Ordering::Relaxed),
         }
     }
 
-    /// Submits a trace for asynchronous checking (round-robin dispatch).
-    pub fn submit(&self, trace: Trace) {
-        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
-        let idx = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.worker_txs.len();
-        self.worker_txs[idx]
-            .send(trace)
-            .expect("pmtest worker thread terminated unexpectedly");
+    /// Submits one trace for asynchronous checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] if the worker pool has terminated (the engine
+    /// was shut down, or a worker panicked); the trace is dropped.
+    pub fn submit(&self, trace: Trace) -> Result<(), SubmitError> {
+        self.dispatch(TraceBatch::One(trace))
+    }
+
+    /// Submits a batch of traces, all to the same worker, paying the
+    /// dispatch cost once. An empty batch is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] if the worker pool has terminated; the whole
+    /// batch is dropped.
+    pub fn submit_batch(&self, traces: Vec<Trace>) -> Result<(), SubmitError> {
+        if traces.is_empty() {
+            return Ok(());
+        }
+        self.dispatch(TraceBatch::Many(traces))
+    }
+
+    fn dispatch(&self, batch: TraceBatch) -> Result<(), SubmitError> {
+        let n = batch.len();
+        let idx = self.pick_worker();
+        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        let depth = self.shared.queued[idx].fetch_add(n, Ordering::Relaxed) + n;
+        self.shared.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+        let batch = match self.worker_txs[idx].try_send(batch) {
+            Ok(()) => {
+                self.note_submitted(n);
+                return Ok(());
+            }
+            Err(TrySendError::Full(batch)) => {
+                // Queue full: the program now blocks behind the checking
+                // pipeline — the backpressure regime of Fig. 12a.
+                self.shared.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+                batch
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.rollback(idx, n);
+                return Err(SubmitError);
+            }
+        };
+        match self.worker_txs[idx].send(batch) {
+            Ok(()) => {
+                self.note_submitted(n);
+                Ok(())
+            }
+            Err(_) => {
+                self.rollback(idx, n);
+                Err(SubmitError)
+            }
+        }
+    }
+
+    fn note_submitted(&self, n: u64) {
+        self.shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.traces_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Undoes the dispatch bookkeeping for a batch that never reached a
+    /// worker, waking idle waiters if nothing else is outstanding.
+    fn rollback(&self, idx: usize, n: u64) {
+        self.shared.queued[idx].fetch_sub(n, Ordering::Relaxed);
+        self.shared.retire(n);
+    }
+
+    /// The worker with the fewest queued traces, ties broken round-robin.
+    fn pick_worker(&self) -> usize {
+        let workers = self.worker_txs.len();
+        if workers == 1 {
+            return 0;
+        }
+        let rotate = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let mut best = rotate % workers;
+        let mut best_depth = self.shared.queued[best].load(Ordering::Relaxed);
+        for offset in 1..workers {
+            if best_depth == 0 {
+                break; // cannot beat an empty queue
+            }
+            let idx = (rotate + offset) % workers;
+            let depth = self.shared.queued[idx].load(Ordering::Relaxed);
+            if depth < best_depth {
+                best = idx;
+                best_depth = depth;
+            }
+        }
+        best
     }
 
     /// Blocks until every submitted trace has been checked
@@ -181,27 +379,38 @@ impl Engine {
         }
     }
 
+    /// Merges every worker shard into the accumulated result list. Callers
+    /// must already hold no shard or collected lock.
+    fn drain_shards(&self) -> parking_lot::MutexGuard<'_, Vec<TraceReport>> {
+        let mut collected = self.shared.collected.lock();
+        for shard in &self.shared.shards {
+            collected.append(&mut shard.lock());
+        }
+        collected
+    }
+
     /// Waits for all outstanding traces, then returns a copy of every result
     /// so far (results keep accumulating).
     #[must_use]
     pub fn report(&self) -> Report {
         self.wait_idle();
-        Report::from_traces(self.shared.results.lock().clone())
+        Report::from_traces(self.drain_shards().clone())
     }
 
     /// Waits for all outstanding traces, then drains and returns the results.
     #[must_use]
     pub fn take_report(&self) -> Report {
         self.wait_idle();
-        Report::from_traces(std::mem::take(&mut *self.shared.results.lock()))
+        Report::from_traces(std::mem::take(&mut *self.drain_shards()))
     }
 
     /// Shuts the worker pool down, returning everything checked so far
     /// (`PMTest_EXIT`, §4.2).
     ///
     /// Consumes the engine; the channels disconnect and workers are joined.
+    /// `take_report` already waits for every outstanding trace, so this
+    /// performs exactly one idle wait.
     pub fn shutdown(mut self) -> Report {
-        self.wait_idle();
         let report = self.take_report();
         self.worker_txs.clear();
         for handle in std::mem::take(&mut *self.handles.lock()) {
@@ -209,6 +418,18 @@ impl Engine {
         }
         report
     }
+}
+
+/// Checks one trace on worker `idx`: runs the checkers, records stats, files
+/// the result in the worker's shard, and recycles the entry buffer.
+fn worker_check(shared: &Shared, idx: usize, model: &Arc<dyn PersistencyModel>, trace: Trace) {
+    let diags = check_trace(&trace, model.as_ref());
+    shared.traces_checked.fetch_add(1, Ordering::Relaxed);
+    shared.entries_processed.fetch_add(trace.len() as u64, Ordering::Relaxed);
+    shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
+    let trace_id = trace.id();
+    shared.shards[idx].lock().push(TraceReport { trace_id, diags });
+    shared.pool.release(trace.into_entries());
 }
 
 impl Drop for Engine {
@@ -226,7 +447,7 @@ impl fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("workers", &self.worker_txs.len())
             .field("outstanding", &self.shared.outstanding.load(Ordering::Relaxed))
-            .field("checked", &self.shared.results.lock().len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -260,7 +481,7 @@ mod tests {
     fn single_worker_checks_in_submission_order() {
         let engine = Engine::new(EngineConfig::default());
         for id in 0..10 {
-            engine.submit(if id % 2 == 0 { failing_trace(id) } else { clean_trace(id) });
+            engine.submit(if id % 2 == 0 { failing_trace(id) } else { clean_trace(id) }).unwrap();
         }
         let report = engine.take_report();
         assert_eq!(report.traces().len(), 10);
@@ -271,13 +492,10 @@ mod tests {
 
     #[test]
     fn multiple_workers_produce_the_same_report() {
-        let engine = Engine::new(EngineConfig {
-            workers: 4,
-            ..EngineConfig::default()
-        });
+        let engine = Engine::new(EngineConfig { workers: 4, ..EngineConfig::default() });
         assert_eq!(engine.workers(), 4);
         for id in 0..100 {
-            engine.submit(failing_trace(id));
+            engine.submit(failing_trace(id)).unwrap();
         }
         let report = engine.take_report();
         assert_eq!(report.traces().len(), 100);
@@ -288,9 +506,9 @@ mod tests {
     #[test]
     fn report_accumulates_take_drains() {
         let engine = Engine::new(EngineConfig::default());
-        engine.submit(failing_trace(0));
+        engine.submit(failing_trace(0)).unwrap();
         assert_eq!(engine.report().fail_count(), 1);
-        engine.submit(failing_trace(1));
+        engine.submit(failing_trace(1)).unwrap();
         assert_eq!(engine.report().fail_count(), 2, "report keeps history");
         assert_eq!(engine.take_report().fail_count(), 2);
         assert_eq!(engine.report().fail_count(), 0, "take drained");
@@ -305,16 +523,13 @@ mod tests {
 
     #[test]
     fn submissions_from_many_threads() {
-        let engine = Arc::new(Engine::new(EngineConfig {
-            workers: 2,
-            ..EngineConfig::default()
-        }));
+        let engine = Arc::new(Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() }));
         std::thread::scope(|s| {
             for t in 0..4 {
                 let engine = engine.clone();
                 s.spawn(move || {
                     for i in 0..25 {
-                        engine.submit(clean_trace(t * 25 + i));
+                        engine.submit(clean_trace(t * 25 + i)).unwrap();
                     }
                 });
             }
@@ -328,5 +543,136 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() });
+    }
+
+    #[test]
+    fn batch_submission_checks_every_trace() {
+        let engine = Engine::new(EngineConfig { workers: 3, ..EngineConfig::default() });
+        engine.submit_batch(Vec::new()).unwrap(); // no-op
+        engine.submit_batch((0..32).map(failing_trace).collect()).unwrap();
+        engine.submit_batch((32..64).map(clean_trace).collect()).unwrap();
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 64);
+        assert_eq!(report.fail_count(), 32);
+        let ids: Vec<u64> = report.traces().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>(), "merge is ordered by trace id");
+    }
+
+    #[test]
+    fn stats_track_batches_and_queue_depth() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.submit(clean_trace(0)).unwrap();
+        engine.submit_batch((1..32).map(clean_trace).collect()).unwrap();
+        engine.wait_idle();
+        let stats = engine.stats();
+        assert_eq!(stats.batches_submitted, 2, "empty batches are not counted");
+        assert_eq!(stats.traces_submitted, 32);
+        assert_eq!(stats.traces_checked, 32);
+        assert!(stats.queue_highwater >= 31, "batch of 31 must register in the high-water mark");
+        assert!((stats.mean_batch_size() - 16.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn backpressure_stalls_are_counted_and_survivable() {
+        // One worker with a one-batch queue: the second in-flight submission
+        // must stall until the worker drains the first.
+        let engine = Engine::new(EngineConfig { queue_capacity: 1, ..EngineConfig::default() });
+        for id in 0..200 {
+            engine.submit(failing_trace(id)).unwrap();
+        }
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 200, "stalled submissions still deliver");
+        assert!(engine.stats().backpressure_stalls > 0, "queue of 1 must have stalled");
+    }
+
+    #[test]
+    fn buffers_are_recycled_through_the_pool() {
+        let engine = Engine::new(EngineConfig::default());
+        for id in 0..50 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let stats = engine.buffer_pool().stats();
+        assert_eq!(stats.released, 50, "every checked trace returns its buffer");
+        let buf = engine.buffer_pool().acquire();
+        assert!(buf.is_empty(), "recycled buffer must be cleared");
+    }
+
+    #[test]
+    fn shutdown_returns_full_report_once() {
+        let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+        for id in 0..20 {
+            engine.submit(failing_trace(id)).unwrap();
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.traces().len(), 20);
+        assert_eq!(report.fail_count(), 20);
+    }
+
+    /// A model whose checkers panic, killing the worker thread — the only
+    /// way the submission channel can disconnect while an `Engine` is alive.
+    #[derive(Debug)]
+    struct PanickingModel;
+
+    impl PersistencyModel for PanickingModel {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+
+        fn apply(
+            &self,
+            _shadow: &mut crate::shadow::ShadowMemory,
+            _entry: &pmtest_trace::Entry,
+            _diags: &mut Vec<crate::diag::Diag>,
+        ) {
+            panic!("model deliberately kills the worker");
+        }
+
+        fn check_persist(
+            &self,
+            _shadow: &crate::shadow::ShadowMemory,
+            _range: ByteRange,
+            _loc: pmtest_trace::SourceLoc,
+            _diags: &mut Vec<crate::diag::Diag>,
+        ) {
+            panic!("model deliberately kills the worker");
+        }
+
+        fn check_ordered_before(
+            &self,
+            _shadow: &crate::shadow::ShadowMemory,
+            _first: ByteRange,
+            _second: ByteRange,
+            _loc: pmtest_trace::SourceLoc,
+            _diags: &mut Vec<crate::diag::Diag>,
+        ) {
+            panic!("model deliberately kills the worker");
+        }
+    }
+
+    #[test]
+    fn submit_after_worker_death_is_an_error_not_a_panic() {
+        let engine = Engine::new(EngineConfig {
+            model: Arc::new(PanickingModel),
+            ..EngineConfig::default()
+        });
+        let mut t = Trace::new(0);
+        t.push(Event::Write(ByteRange::with_len(0, 8)).here());
+        let _ = engine.submit(t); // worker dies checking this trace
+                                  // Spin until the death is observable as a disconnected channel.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let mut t = Trace::new(1);
+            t.push(Event::Write(ByteRange::with_len(0, 8)).here());
+            match engine.submit(t) {
+                Err(SubmitError) => break,
+                Ok(()) => assert!(
+                    std::time::Instant::now() < deadline,
+                    "worker death never surfaced as SubmitError"
+                ),
+            }
+            std::thread::yield_now();
+        }
+        assert!(SubmitError.to_string().contains("no longer accepting"));
     }
 }

@@ -127,6 +127,35 @@ impl KernelFifo {
         }
     }
 
+    /// Dequeues up to `max` traces in one lock acquisition, blocking while
+    /// the FIFO is empty. Returns an empty vector once the FIFO is closed
+    /// *and* drained.
+    ///
+    /// This is the batched drain for the user-space pump: everything popped
+    /// here can go to the engine via `Engine::submit_batch` as one dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn pop_batch(&self, max: usize) -> Vec<Trace> {
+        assert!(max > 0, "pop_batch needs a positive batch size");
+        let mut state = self.state.lock();
+        loop {
+            if !state.queue.is_empty() {
+                let take = max.min(state.queue.len());
+                let batch: Vec<Trace> = state.queue.drain(..take).collect();
+                if state.queue.len() < self.capacity / 2 {
+                    self.not_full.notify_all();
+                }
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
     /// Closes the FIFO: producers stop being admitted, consumers drain what
     /// remains and then observe `None`.
     pub fn close(&self) {
@@ -189,10 +218,9 @@ mod tests {
         fifo.pop().unwrap();
         fifo.pop().unwrap();
         assert!(producer.join().unwrap());
-        let remaining: Vec<u64> = std::iter::from_fn(|| {
-            if fifo.is_empty() { None } else { fifo.pop().map(|t| t.id()) }
-        })
-        .collect();
+        let remaining: Vec<u64> =
+            std::iter::from_fn(|| if fifo.is_empty() { None } else { fifo.pop().map(|t| t.id()) })
+                .collect();
         assert_eq!(remaining, [3, 99]);
     }
 
@@ -219,6 +247,38 @@ mod tests {
         assert!(!blocked_producer.join().unwrap(), "closed fifo rejects");
         let seen = consumer.join().unwrap();
         assert_eq!(seen, [0], "consumer drained then observed close");
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let fifo = KernelFifo::with_capacity(8);
+        for id in 0..6 {
+            assert!(fifo.push(Trace::new(id)));
+        }
+        let batch = fifo.pop_batch(4);
+        assert_eq!(batch.iter().map(|t| t.id()).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        let batch = fifo.pop_batch(4);
+        assert_eq!(batch.iter().map(|t| t.id()).collect::<Vec<_>>(), [4, 5]);
+        fifo.close();
+        assert!(fifo.pop_batch(4).is_empty(), "closed and drained");
+    }
+
+    #[test]
+    fn pop_batch_wakes_blocked_producer() {
+        let fifo = Arc::new(KernelFifo::with_capacity(4));
+        for id in 0..4 {
+            fifo.push(Trace::new(id));
+        }
+        let producer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || fifo.push(Trace::new(99)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!producer.is_finished(), "producer must block on a full fifo");
+        // Draining four at once goes far below half capacity: wakes producer.
+        assert_eq!(fifo.pop_batch(4).len(), 4);
+        assert!(producer.join().unwrap());
+        assert_eq!(fifo.pop().map(|t| t.id()), Some(99));
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! libraries built on it) so that every PM operation and every checker the
 //! programmer places flows into a [`PmTestSession`]. The session buffers
 //! entries per thread; `send_trace` ships the current buffer as an
-//! independent [`pmtest_trace::Trace`] to the [`Engine`], whose master thread
-//! dispatches traces round-robin to a pool of worker threads (Fig. 8). Each
+//! independent [`pmtest_trace::Trace`] to the [`Engine`] — singly or in
+//! per-thread batches — which dispatches each batch to the least-loaded
+//! worker of its thread pool (Fig. 8). Each
 //! worker replays its trace against the configured
 //! [`PersistencyModel`]'s *checking rules*, maintaining a [`ShadowMemory`]
 //! that maps each modified address range to a *persist interval* — the epoch
@@ -75,7 +76,7 @@ mod shadow;
 
 pub use checker::{check_trace, TraceChecker};
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{Engine, EngineConfig, EngineStats, SubmitError};
 pub use epoch::{Epoch, EpochInterval};
 pub use fifo::KernelFifo;
 pub use model::{HopsModel, PersistencyModel, X86Model};

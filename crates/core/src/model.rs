@@ -61,12 +61,7 @@ fn foreign_op(entry: &Entry, model: &str, diags: &mut Vec<Diag>) {
     });
 }
 
-fn persist_failure(
-    shadow: &ShadowMemory,
-    range: ByteRange,
-    loc: SourceLoc,
-    diags: &mut Vec<Diag>,
-) {
+fn persist_failure(shadow: &ShadowMemory, range: ByteRange, loc: SourceLoc, diags: &mut Vec<Diag>) {
     for (sub, st) in shadow.states_in(range) {
         if let Some(pi) = st.persist {
             if !pi.is_closed() {
@@ -291,7 +286,11 @@ mod tests {
         ByteRange::new(s, e)
     }
 
-    fn apply_all(model: &dyn PersistencyModel, shadow: &mut ShadowMemory, events: &[Event]) -> Vec<Diag> {
+    fn apply_all(
+        model: &dyn PersistencyModel,
+        shadow: &mut ShadowMemory,
+        events: &[Event],
+    ) -> Vec<Diag> {
         let mut diags = Vec::new();
         for &e in events {
             model.apply(shadow, &entry(e), &mut diags);
@@ -356,7 +355,12 @@ mod tests {
         let diags = apply_all(
             &model,
             &mut sh,
-            &[Event::Flush(r(0, 8)), Event::Write(r(64, 72)), Event::Flush(r(64, 72)), Event::Flush(r(64, 72))],
+            &[
+                Event::Flush(r(0, 8)),
+                Event::Write(r(64, 72)),
+                Event::Flush(r(64, 72)),
+                Event::Flush(r(64, 72)),
+            ],
         );
         assert!(diags.iter().any(|d| d.kind == DiagKind::UnnecessaryFlush));
         assert!(diags.iter().any(|d| d.kind == DiagKind::DuplicateFlush));

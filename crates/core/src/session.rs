@@ -2,7 +2,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use pmtest_interval::ByteRange;
@@ -14,24 +14,58 @@ use crate::model::PersistencyModel;
 
 static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
 
-thread_local! {
-    /// Per-thread trace buffers, keyed by session id (§4.5: "PMTest
-    /// maintains a per-thread data structure that maintains the trace of
-    /// different threads"). A linear-scanned small vector: in practice a
-    /// thread records into one or two sessions, and the scan beats hashing
-    /// on the per-event hot path.
-    static BUFFERS: RefCell<Vec<(u64, Vec<Entry>)>> = const { RefCell::new(Vec::new()) };
+/// Per-thread recording state for one session (§4.5: "PMTest maintains a
+/// per-thread data structure that maintains the trace of different
+/// threads").
+struct Slot {
+    session: u64,
+    /// Entries of the trace currently being recorded. Drawn from the
+    /// engine's [`pmtest_trace::BufferPool`] so checked traces recycle their
+    /// allocation back to us.
+    buf: Vec<Entry>,
+    /// Traces completed by `send_trace` but not yet shipped to the engine —
+    /// the per-thread submission batch.
+    pending: Vec<Trace>,
+    /// Back-reference for the drop-flush; weak so a dead session does not
+    /// keep its engine alive through thread-local storage.
+    shared: Weak<SessionShared>,
 }
 
-fn with_buffer<R>(id: u64, f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
-    BUFFERS.with(|b| {
-        let mut buffers = b.borrow_mut();
-        if let Some(pos) = buffers.iter().position(|(sid, _)| *sid == id) {
-            return f(&mut buffers[pos].1);
+impl Drop for Slot {
+    fn drop(&mut self) {
+        // Thread exit with traces still batched: ship them so nothing a
+        // thread recorded is ever lost (`per_thread_buffers_do_not_mix`
+        // relies on this when batching is on).
+        if self.pending.is_empty() {
+            return;
         }
-        buffers.push((id, Vec::new()));
-        let last = buffers.len() - 1;
-        f(&mut buffers[last].1)
+        if let Some(shared) = self.shared.upgrade() {
+            let _ = shared.engine.submit_batch(std::mem::take(&mut self.pending));
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread slots, keyed by session id. A linear-scanned small vector:
+    /// in practice a thread records into one or two sessions, and the scan
+    /// beats hashing on the per-event hot path.
+    static SLOTS: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> R {
+    SLOTS.with(|s| {
+        let mut slots = s.borrow_mut();
+        if let Some(pos) = slots.iter().position(|slot| slot.session == shared.id) {
+            return f(&mut slots[pos]);
+        }
+        slots.push(Slot {
+            session: shared.id,
+            buf: Vec::new(),
+            pending: Vec::new(),
+            shared: Arc::downgrade(shared),
+        });
+        let last = slots.len() - 1;
+        f(&mut slots[last])
     })
 }
 
@@ -54,6 +88,18 @@ fn with_buffer<R>(id: u64, f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
 /// are buffered per thread; [`send_trace`](Self::send_trace) ships the
 /// calling thread's buffer to the asynchronous [`Engine`]. Clone the session
 /// (cheap; shared state) to hand it to other threads.
+///
+/// ## Batched submission
+///
+/// By default every `send_trace` goes straight to the engine (the paper's
+/// behaviour). With [`SessionBuilder::batch_capacity`] greater than one,
+/// completed traces collect in a per-thread batch and ship together once the
+/// batch fills — one channel operation and one dispatch for many traces,
+/// which is what lets short-trace workloads scale (Fig. 12b). Batches flush
+/// automatically on [`report`](Self::report), [`take_report`](Self::take_report),
+/// [`finish`](Self::finish), thread exit, and explicitly via
+/// [`flush`](Self::flush). Results are identical either way; only submission
+/// granularity changes.
 ///
 /// # Examples
 ///
@@ -81,12 +127,14 @@ struct SessionShared {
     enabled: AtomicBool,
     engine: Engine,
     next_trace: AtomicU64,
+    batch_capacity: usize,
     vars: Mutex<HashMap<String, ByteRange>>,
 }
 
 /// Builder for [`PmTestSession`] (`PMTest_INIT`).
 pub struct SessionBuilder {
     config: EngineConfig,
+    batch_capacity: usize,
 }
 
 impl SessionBuilder {
@@ -111,11 +159,22 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the per-worker trace-queue depth (default: 256). A full queue
-    /// backpressures `send_trace`, bounding the engine's memory use.
+    /// Sets the per-worker queue depth in batches (default: 256). A full
+    /// queue backpressures `send_trace`, bounding the engine's memory use.
     #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets how many completed traces each thread collects before shipping
+    /// them to the engine in one batch (default: 1 — submit immediately,
+    /// like the paper). Values above one amortise dispatch overhead on
+    /// short-trace workloads; see the session-level docs for the flush
+    /// points.
+    #[must_use]
+    pub fn batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch_capacity = capacity.max(1);
         self
     }
 
@@ -129,6 +188,7 @@ impl SessionBuilder {
                 enabled: AtomicBool::new(false),
                 engine: Engine::new(self.config),
                 next_trace: AtomicU64::new(0),
+                batch_capacity: self.batch_capacity,
                 vars: Mutex::new(HashMap::new()),
             }),
         }
@@ -139,7 +199,7 @@ impl PmTestSession {
     /// Starts building a session.
     #[must_use]
     pub fn builder() -> SessionBuilder {
-        SessionBuilder { config: EngineConfig::default() }
+        SessionBuilder { config: EngineConfig::default(), batch_capacity: 1 }
     }
 
     /// A `Sink` handle to hand to instrumented pools.
@@ -166,52 +226,90 @@ impl PmTestSession {
 
     /// Initializes per-thread tracking for the calling thread
     /// (`PMTest_THREAD_INIT`). Buffers are created lazily anyway; calling
-    /// this up front matches the paper's API and pre-allocates the buffer.
+    /// this up front matches the paper's API and pre-allocates the slot.
     pub fn thread_init(&self) {
-        with_buffer(self.shared.id, |_| {});
+        with_slot(&self.shared, |_| {});
     }
 
     /// Ships the calling thread's buffered entries to the checking engine as
     /// one independent trace (`PMTest_SEND_TRACE`). Empty buffers are
     /// skipped.
     ///
-    /// Returns the trace id, if a trace was submitted.
+    /// With a [`batch_capacity`](SessionBuilder::batch_capacity) above one
+    /// the trace may sit in the thread's batch until the batch fills or a
+    /// flush point is reached.
+    ///
+    /// Returns the trace id, if a trace was produced. If the engine's
+    /// workers have terminated (it was shut down or a worker panicked) the
+    /// trace is dropped and will not appear in any report.
     pub fn send_trace(&self) -> Option<u64> {
-        let entries = with_buffer(self.shared.id, |buf| {
-            if buf.is_empty() {
-                Vec::new()
+        let shared = &self.shared;
+        with_slot(shared, |slot| {
+            if slot.buf.is_empty() {
+                return None;
+            }
+            // Swap in a recycled buffer from the engine's pool; the checked
+            // trace's buffer flows back into the pool from the worker.
+            let replacement = shared.engine.buffer_pool().acquire();
+            let entries = std::mem::replace(&mut slot.buf, replacement);
+            let trace_id = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+            let trace = Trace::from_entries(trace_id, entries);
+            if shared.batch_capacity <= 1 {
+                let _ = shared.engine.submit(trace);
             } else {
-                // Keep the capacity hint so the next transaction's events
-                // don't re-grow the buffer from scratch.
-                std::mem::replace(buf, Vec::with_capacity(buf.len()))
+                slot.pending.push(trace);
+                if slot.pending.len() >= shared.batch_capacity {
+                    let batch = std::mem::replace(
+                        &mut slot.pending,
+                        Vec::with_capacity(shared.batch_capacity),
+                    );
+                    let _ = shared.engine.submit_batch(batch);
+                }
+            }
+            Some(trace_id)
+        })
+    }
+
+    /// Ships the calling thread's pending trace batch to the engine now.
+    ///
+    /// A no-op when the batch is empty — in particular always, when
+    /// [`batch_capacity`](SessionBuilder::batch_capacity) is 1. Entries
+    /// still being recorded (not yet `send_trace`d) are *not* flushed.
+    pub fn flush(&self) {
+        with_slot(&self.shared, |slot| {
+            if !slot.pending.is_empty() {
+                let _ = self.shared.engine.submit_batch(std::mem::take(&mut slot.pending));
             }
         });
-        if entries.is_empty() {
-            return None;
-        }
-        let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
-        self.shared.engine.submit(Trace::from_entries(trace_id, entries));
-        Some(trace_id)
     }
 
     /// Blocks until all submitted traces are checked and returns the
-    /// accumulated results (`PMTest_GET_RESULT`).
+    /// accumulated results (`PMTest_GET_RESULT`). Flushes the calling
+    /// thread's pending batch first.
     #[must_use]
     pub fn report(&self) -> Report {
+        self.flush();
         self.shared.engine.report()
     }
 
     /// Like [`report`](Self::report) but drains the accumulated results.
     #[must_use]
     pub fn take_report(&self) -> Report {
+        self.flush();
         self.shared.engine.take_report()
     }
 
-    /// Engine lifetime counters (traces checked, entries processed,
-    /// diagnostics produced).
+    /// Engine lifetime counters (traces checked, batches submitted, queue
+    /// high-water mark, backpressure stalls, …).
     #[must_use]
     pub fn stats(&self) -> crate::engine::EngineStats {
         self.shared.engine.stats()
+    }
+
+    /// Statistics of the engine's trace-buffer recycling pool.
+    #[must_use]
+    pub fn pool_stats(&self) -> pmtest_trace::PoolStats {
+        self.shared.engine.buffer_pool().stats()
     }
 
     /// Convenience teardown: flushes the calling thread's trace, waits for
@@ -221,7 +319,7 @@ impl PmTestSession {
     pub fn finish(&self) -> Report {
         self.send_trace();
         self.end();
-        self.shared.engine.report()
+        self.report()
     }
 
     // ------------------------------------------------------------------
@@ -315,7 +413,24 @@ impl Sink for SessionShared {
         if !self.enabled.load(Ordering::Acquire) {
             return;
         }
-        with_buffer(self.id, |buf| buf.push(entry));
+        // `record` is called through `Arc<SessionShared>` handles only; the
+        // slot needs the Arc for its weak back-reference, so re-wrap.
+        SLOTS.with(|s| {
+            let mut slots = s.borrow_mut();
+            if let Some(pos) = slots.iter().position(|slot| slot.session == self.id) {
+                slots[pos].buf.push(entry);
+            } else {
+                // First event on this thread before any session call: record
+                // without a drop-flush hook. `send_trace` / `thread_init`
+                // upgrade the slot with the back-reference when they run.
+                slots.push(Slot {
+                    session: self.id,
+                    buf: vec![entry],
+                    pending: Vec::new(),
+                    shared: Weak::new(),
+                });
+            }
+        });
     }
 
     fn is_enabled(&self) -> bool {
@@ -328,6 +443,7 @@ impl fmt::Debug for PmTestSession {
         f.debug_struct("PmTestSession")
             .field("id", &self.shared.id)
             .field("started", &self.is_started())
+            .field("batch_capacity", &self.shared.batch_capacity)
             .field("engine", &self.shared.engine)
             .finish()
     }
@@ -456,5 +572,112 @@ mod tests {
         // Same thread: same buffer, session can send what clone recorded.
         assert!(session.send_trace().is_some());
         assert_eq!(session.report().fail_count(), 1);
+    }
+
+    // --------------------------------------------------------------
+    // Batched submission
+    // --------------------------------------------------------------
+
+    fn record_clean_trace(session: &PmTestSession) {
+        session.record(Event::Write(r(0, 8)).here());
+        session.record(Event::Flush(r(0, 8)).here());
+        session.record(Event::Fence.here());
+        session.is_persist(r(0, 8));
+        session.send_trace().expect("trace submitted");
+    }
+
+    #[test]
+    fn batches_ship_when_full() {
+        let session = PmTestSession::builder().batch_capacity(4).build();
+        session.start();
+        for _ in 0..8 {
+            record_clean_trace(&session);
+        }
+        // Two full batches of four shipped without any flush call.
+        assert_eq!(session.stats().batches_submitted, 2);
+        assert_eq!(session.stats().traces_submitted, 8);
+        assert!(session.report().is_clean());
+    }
+
+    #[test]
+    fn report_flushes_partial_batch() {
+        let session = PmTestSession::builder().batch_capacity(32).build();
+        session.start();
+        for _ in 0..5 {
+            record_clean_trace(&session);
+        }
+        let report = session.report();
+        assert_eq!(report.traces().len(), 5, "partial batch reached the engine");
+        let stats = session.stats();
+        assert_eq!(stats.batches_submitted, 1);
+        assert!((stats.mean_batch_size() - 5.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn explicit_flush_ships_partial_batch() {
+        let session = PmTestSession::builder().batch_capacity(32).build();
+        session.start();
+        for _ in 0..3 {
+            record_clean_trace(&session);
+        }
+        assert_eq!(session.stats().traces_submitted, 0, "still batched");
+        session.flush();
+        session.flush(); // second flush is a no-op
+        let stats = session.stats();
+        assert_eq!(stats.traces_submitted, 3);
+        assert_eq!(stats.batches_submitted, 1);
+    }
+
+    #[test]
+    fn thread_exit_flushes_pending_batch() {
+        let session = PmTestSession::builder().batch_capacity(64).workers(2).build();
+        session.start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let session = session.clone();
+                s.spawn(move || {
+                    session.thread_init();
+                    for _ in 0..10 {
+                        record_clean_trace(&session);
+                    }
+                    // Batch (10 < 64) still pending here; the thread-local
+                    // slot's Drop must ship it on thread exit.
+                });
+            }
+        });
+        let report = session.finish();
+        assert_eq!(report.traces().len(), 40, "no trace lost to thread exit");
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn batching_defaults_off() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        for _ in 0..3 {
+            record_clean_trace(&session);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.batches_submitted, 3, "capacity 1 submits immediately");
+        assert_eq!(stats.traces_submitted, 3);
+    }
+
+    #[test]
+    fn buffers_recycle_between_traces() {
+        let session = PmTestSession::builder().build();
+        session.start();
+        for _ in 0..10 {
+            record_clean_trace(&session);
+        }
+        // Barrier: every checked trace has returned its buffer to the pool,
+        // so the next round's acquires must be recycles.
+        assert!(session.report().is_clean());
+        for _ in 0..10 {
+            record_clean_trace(&session);
+        }
+        assert!(session.report().is_clean());
+        let pool = session.pool_stats();
+        assert_eq!(pool.released, 20, "workers return every entry buffer");
+        assert!(pool.recycled > 0, "later traces reuse returned buffers");
     }
 }

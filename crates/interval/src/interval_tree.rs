@@ -176,11 +176,7 @@ impl<V> IntervalTree<V> {
     fn refresh(&mut self, n: usize) {
         let (l, r) = (self.nodes[n].left, self.nodes[n].right);
         self.nodes[n].height = 1 + self.height(l).max(self.height(r));
-        self.nodes[n].max_end = self.nodes[n]
-            .range
-            .end()
-            .max(self.max_end(l))
-            .max(self.max_end(r));
+        self.nodes[n].max_end = self.nodes[n].range.end().max(self.max_end(l)).max(self.max_end(r));
     }
 
     fn balance_factor(&self, n: usize) -> i32 {
@@ -230,9 +226,7 @@ impl<V: fmt::Debug> fmt::Debug for IntervalTree<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut entries: Vec<_> = self.iter().collect();
         entries.sort_by_key(|(r, _)| (r.start(), r.end()));
-        f.debug_map()
-            .entries(entries.into_iter().map(|(r, v)| (format!("{r:?}"), v)))
-            .finish()
+        f.debug_map().entries(entries.into_iter().map(|(r, v)| (format!("{r:?}"), v))).finish()
     }
 }
 
@@ -361,7 +355,8 @@ mod tests {
         assert!(h <= 2 * (64 - (n.leading_zeros() as i32)), "height {h} too large");
         // Every interval individually findable.
         for i in (0..n).step_by(97) {
-            let hits: Vec<u64> = tree.overlaps(r(i * 10 + 1, i * 10 + 2)).map(|(_, v)| *v).collect();
+            let hits: Vec<u64> =
+                tree.overlaps(r(i * 10 + 1, i * 10 + 2)).map(|(_, v)| *v).collect();
             assert_eq!(hits, [i]);
         }
     }

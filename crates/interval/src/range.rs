@@ -43,9 +43,7 @@ impl ByteRange {
     #[must_use]
     #[track_caller]
     pub fn with_len(addr: u64, len: u64) -> Self {
-        let end = addr
-            .checked_add(len)
-            .expect("byte range end overflows u64");
+        let end = addr.checked_add(len).expect("byte range end overflows u64");
         Self { start: addr, end }
     }
 

@@ -93,11 +93,9 @@ impl<V> SegmentMap<V> {
             .next_back()
             .map(|(&s, _)| s)
             .unwrap_or(range.start());
-        self.segments
-            .range(first_start..range.end())
-            .filter_map(move |(&s, (e, v))| {
-                ByteRange::new(s, *e).intersection(&range).map(|clip| (clip, v))
-            })
+        self.segments.range(first_start..range.end()).filter_map(move |(&s, (e, v))| {
+            ByteRange::new(s, *e).intersection(&range).map(|clip| (clip, v))
+        })
     }
 
     /// Iterates over the maximal sub-ranges of `range` not covered by any
@@ -219,11 +217,8 @@ impl<V: Clone> SegmentMap<V> {
             }
         }
         // Remove or truncate segments starting inside the range.
-        let starts: Vec<u64> = self
-            .segments
-            .range(range.start()..range.end())
-            .map(|(&s, _)| s)
-            .collect();
+        let starts: Vec<u64> =
+            self.segments.range(range.start()..range.end()).map(|(&s, _)| s).collect();
         for s in starts {
             let (e, v) = self.segments.remove(&s).expect("segment exists");
             if e > range.end() {
@@ -247,9 +242,7 @@ impl<V: Clone> SegmentMap<V> {
 
 impl<V: fmt::Debug> fmt::Debug for SegmentMap<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map()
-            .entries(self.iter().map(|(r, v)| (format!("{r:?}"), v)))
-            .finish()
+        f.debug_map().entries(self.iter().map(|(r, v)| (format!("{r:?}"), v))).finish()
     }
 }
 
@@ -262,9 +255,7 @@ impl<'a, V> Iterator for Segments<'a, V> {
     type Item = (ByteRange, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner
-            .next()
-            .map(|(&s, (e, v))| (ByteRange::new(s, *e), v))
+        self.inner.next().map(|(&s, (e, v))| (ByteRange::new(s, *e), v))
     }
 }
 
@@ -367,7 +358,8 @@ mod tests {
         m.insert(r(0, 10), 'a');
         m.insert(r(10, 20), 'b');
         m.insert(r(25, 35), 'c');
-        let got: Vec<_> = m.overlapping(r(5, 30)).map(|(rg, v)| (rg.start(), rg.end(), *v)).collect();
+        let got: Vec<_> =
+            m.overlapping(r(5, 30)).map(|(rg, v)| (rg.start(), rg.end(), *v)).collect();
         assert_eq!(got, [(5, 10, 'a'), (10, 20, 'b'), (25, 30, 'c')]);
     }
 
@@ -394,10 +386,7 @@ mod tests {
             seen.push((sub.start(), sub.end(), cur.copied()));
             Some(cur.copied().unwrap_or('x'))
         });
-        assert_eq!(
-            seen,
-            [(0, 10, None), (10, 20, Some('a')), (20, 30, None)]
-        );
+        assert_eq!(seen, [(0, 10, None), (10, 20, Some('a')), (20, 30, None)]);
         assert_eq!(dump(&m), [(0, 10, 'x'), (10, 20, 'a'), (20, 30, 'x')]);
     }
 

@@ -58,9 +58,9 @@ fn apply_map(map: &mut SegmentMap<u8>, op: &Op) {
     match op {
         Op::Insert(r, v) => map.insert(*r, *v),
         Op::Remove(r) => map.remove(*r),
-        Op::Update(r, v) => map.update_range(*r, |_, cur| {
-            Some(cur.copied().map_or(*v, |c| c.wrapping_add(*v)))
-        }),
+        Op::Update(r, v) => {
+            map.update_range(*r, |_, cur| Some(cur.copied().map_or(*v, |c| c.wrapping_add(*v))))
+        }
     }
 }
 

@@ -144,12 +144,7 @@ impl MnPool {
             return Err(MnError::Pm(PmError::OutOfMemory { requested: reserved }));
         }
         let heap = PmHeap::new(pm, reserved);
-        Ok(Self {
-            heap,
-            mode,
-            root_size,
-            free_lanes: Mutex::new((0..MAX_LANES).rev().collect()),
-        })
+        Ok(Self { heap, mode, root_size, free_lanes: Mutex::new((0..MAX_LANES).rev().collect()) })
     }
 
     /// The underlying persistent-memory pool.
@@ -310,10 +305,7 @@ impl MnPool {
 
 impl fmt::Debug for MnPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MnPool")
-            .field("mode", &self.mode)
-            .field("root", &self.root())
-            .finish()
+        f.debug_struct("MnPool").field("mode", &self.mode).field("root", &self.root()).finish()
     }
 }
 
@@ -597,8 +589,8 @@ mod tests {
         pool.transaction(|tx| tx.set_u64(root, 0xBBBB)).unwrap();
         let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
         let check = move |image: &[u8]| -> Result<(), String> {
-            let rec = MnPool::recover_image(image, 64, PersistMode::X86)
-                .map_err(|e| e.to_string())?;
+            let rec =
+                MnPool::recover_image(image, 64, PersistMode::X86).map_err(|e| e.to_string())?;
             let v = rec.pool().read_u64(root).map_err(|e| e.to_string())?;
             if v == 0xAAAA || v == 0xBBBB {
                 Ok(())
@@ -627,8 +619,8 @@ mod tests {
         .unwrap();
         let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
         let check = move |image: &[u8]| -> Result<(), String> {
-            let rec = MnPool::recover_image(image, 64, PersistMode::X86)
-                .map_err(|e| e.to_string())?;
+            let rec =
+                MnPool::recover_image(image, 64, PersistMode::X86).map_err(|e| e.to_string())?;
             let v = rec.pool().read_u64(root).map_err(|e| e.to_string())?;
             // Once the log is truncated (committed), the new value must be
             // durable; before that, old or rolled-forward new are fine.

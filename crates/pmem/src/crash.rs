@@ -265,9 +265,9 @@ impl CrashAnalysis<'_> {
     /// Number of distinct reachable crash states (saturating).
     #[must_use]
     pub fn state_count(&self) -> u128 {
-        self.lines.iter().fold(1u128, |acc, l| {
-            acc.saturating_mul((l.pieces.len() - l.forced + 1) as u128)
-        })
+        self.lines
+            .iter()
+            .fold(1u128, |acc, l| acc.saturating_mul((l.pieces.len() - l.forced + 1) as u128))
     }
 
     /// Whether `range` is guaranteed durable at this point (every written
@@ -325,11 +325,8 @@ impl CrashAnalysis<'_> {
     /// Draws one reachable crash image uniformly over per-line prefix
     /// choices.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<u8> {
-        let prefixes: Vec<usize> = self
-            .lines
-            .iter()
-            .map(|l| rng.gen_range(l.forced..=l.pieces.len()))
-            .collect();
+        let prefixes: Vec<usize> =
+            self.lines.iter().map(|l| rng.gen_range(l.forced..=l.pieces.len())).collect();
         self.image_for(&prefixes)
     }
 }
@@ -444,10 +441,8 @@ mod tests {
     #[test]
     fn write_after_flush_is_not_covered_by_it() {
         // write A; clwb; write B (same line); sfence — B persisted only maybe.
-        let sim = CrashSim::new(
-            vec![0; 64],
-            vec![w(0, &[1]), fl(0, 1), w(1, &[2]), ValuedOp::Fence],
-        );
+        let sim =
+            CrashSim::new(vec![0; 64], vec![w(0, &[1]), fl(0, 1), w(1, &[2]), ValuedOp::Fence]);
         let a = sim.analyze(4);
         assert!(a.is_guaranteed_durable(ByteRange::new(0, 1)));
         assert!(!a.is_guaranteed_durable(ByteRange::new(1, 2)));
@@ -520,8 +515,8 @@ mod tests {
         // write data; write valid=1; clwb both; sfence — reachable state has
         // valid=1 with stale data when they sit in different lines.
         let ops = vec![
-            w(0, &[0xAA]),    // data in line 0
-            w(64, &[1]),      // valid flag in line 1
+            w(0, &[0xAA]), // data in line 0
+            w(64, &[1]),   // valid flag in line 1
             fl(0, 1),
             fl(64, 1),
             ValuedOp::Fence,
@@ -542,14 +537,8 @@ mod tests {
     #[test]
     fn find_violation_clean_on_correct_ordering() {
         // Correct version: persist data first, then set valid.
-        let ops = vec![
-            w(0, &[0xAA]),
-            fl(0, 1),
-            ValuedOp::Fence,
-            w(64, &[1]),
-            fl(64, 1),
-            ValuedOp::Fence,
-        ];
+        let ops =
+            vec![w(0, &[0xAA]), fl(0, 1), ValuedOp::Fence, w(64, &[1]), fl(64, 1), ValuedOp::Fence];
         let sim = CrashSim::new(vec![0; 128], ops);
         let check = |image: &[u8]| -> Result<(), String> {
             if image[64] == 1 && image[0] != 0xAA {

@@ -168,8 +168,7 @@ impl Pmfs {
     /// Returns [`FsError::Pm`] if the pool is too small for the requested
     /// inode count.
     pub fn format(pm: Arc<PmPool>, opts: PmfsOptions) -> Result<Self, FsError> {
-        let meta_end = Self::dirents_off_for(opts.inodes)
-            + u64::from(opts.inodes) * DIRENT_SIZE;
+        let meta_end = Self::dirents_off_for(opts.inodes) + u64::from(opts.inodes) * DIRENT_SIZE;
         if meta_end + journal::JOURNAL_BUF > pm.size() {
             return Err(FsError::Pm(PmError::OutOfMemory { requested: meta_end }));
         }
@@ -378,10 +377,7 @@ impl Pmfs {
         let ino = self.lookup(name).ok_or_else(|| FsError::NotFound { name: name.to_owned() })?;
         let slot = (0..self.opts.inodes)
             .find(|&s| {
-                self.dirent_name(s)
-                    .ok()
-                    .flatten()
-                    .is_some_and(|(i, n)| i == ino && n == name)
+                self.dirent_name(s).ok().flatten().is_some_and(|(i, n)| i == ino && n == name)
             })
             .expect("dirent exists for looked-up name");
         let ino_off = self.inode_off(ino);
@@ -420,14 +416,10 @@ impl Pmfs {
         if self.lookup(to).is_some() {
             return Err(FsError::Exists { name: to.to_owned() });
         }
-        let ino =
-            self.lookup(from).ok_or_else(|| FsError::NotFound { name: from.to_owned() })?;
+        let ino = self.lookup(from).ok_or_else(|| FsError::NotFound { name: from.to_owned() })?;
         let slot = (0..self.opts.inodes)
             .find(|&s| {
-                self.dirent_name(s)
-                    .ok()
-                    .flatten()
-                    .is_some_and(|(i, n)| i == ino && n == from)
+                self.dirent_name(s).ok().flatten().is_some_and(|(i, n)| i == ino && n == from)
             })
             .expect("dirent exists for looked-up name");
         let de_range = ByteRange::with_len(self.dirent_off(slot), DIRENT_SIZE);
@@ -760,10 +752,7 @@ mod tests {
     #[test]
     fn mount_rejects_garbage() {
         let pm = Arc::new(PmPool::untracked(1 << 16));
-        assert!(matches!(
-            Pmfs::mount(pm, PmfsOptions::default()),
-            Err(FsError::BadSuperblock)
-        ));
+        assert!(matches!(Pmfs::mount(pm, PmfsOptions::default()), Err(FsError::BadSuperblock)));
     }
 
     #[test]

@@ -70,12 +70,7 @@ struct OpenTx {
 }
 
 impl Journal {
-    pub(crate) fn new(
-        head_slot: u64,
-        gen_slot: u64,
-        mode: PersistMode,
-        opts: PmfsOptions,
-    ) -> Self {
+    pub(crate) fn new(head_slot: u64, gen_slot: u64, mode: PersistMode, opts: PmfsOptions) -> Self {
         Self {
             head_slot,
             gen_slot,
@@ -235,17 +230,13 @@ impl JTx<'_> {
         self.pm.emit(Event::TxAdd(range));
         let tx = self.guard.as_mut().expect("open journal tx");
         let entry_len = ENTRY_HDR + range.len();
-        assert!(
-            tx.cursor + entry_len + 24 <= JOURNAL_BUF,
-            "journal transaction buffer overflow"
-        );
+        assert!(tx.cursor + entry_len + 24 <= JOURNAL_BUF, "journal transaction buffer overflow");
         let old = self.pm.read_vec(range)?;
         let at = tx.buf + tx.cursor;
         self.pm.write_u64(at, range.start())?;
         self.pm.write_u64(at + 8, range.len())?;
         self.pm.write_u64(at + 16, tx.gen)?;
-        self.pm
-            .write_u64(at + 24, entry_checksum(range.start(), range.len(), tx.gen, &old))?;
+        self.pm.write_u64(at + 24, entry_checksum(range.start(), range.len(), tx.gen, &old))?;
         self.pm.write(at + ENTRY_HDR, &old)?;
         // Durable terminator after the entry (overwritten by the next one).
         self.pm.write_u64(at + entry_len, 0)?;

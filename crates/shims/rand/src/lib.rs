@@ -1,0 +1,299 @@
+//! Offline shim for [`rand`](https://crates.io/crates/rand) 0.8.
+//!
+//! This build environment has no access to the crates.io registry, so the
+//! workspace vendors the API subset it uses: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen`,
+//! `gen_range`, and `gen_bool`. The generator is xoshiro256++ (the same
+//! family the real `SmallRng` uses on 64-bit targets) seeded via SplitMix64,
+//! so statistical quality is adequate for workload generation and sampling.
+//! Streams are *not* bit-compatible with the real crate — seeds reproduce
+//! runs against this shim only, which is all the repository relies on.
+
+#![forbid(unsafe_code)]
+
+/// Types that can seed themselves from integers or another generator.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (stable across runs).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of randomness plus the derived sampling helpers.
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a primitive type over its natural full range
+    /// (`f64` in `[0, 1)`, integers over the whole domain).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Marker for types samplable by [`Rng::gen`] (rand's `Standard`
+/// distribution).
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from. Generic over the element
+/// type (like the real crate's `SampleRange<T>`) so literal ranges infer
+/// their element type from the surrounding expression.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over arbitrary sub-ranges. Having a single
+/// blanket `SampleRange` impl per range shape (mirroring the real crate)
+/// lets integer-literal ranges take their element type from context.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)`.
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample an empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// The named generators of rand 0.8.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = Self::splitmix(&mut state);
+            }
+            // A xoshiro state of all zeros is a fixed point; splitmix of any
+            // seed never yields four zero words, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let s = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5u64);
+    }
+}

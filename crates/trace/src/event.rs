@@ -312,8 +312,9 @@ mod tests {
     fn event_display_is_readable() {
         assert_eq!(format!("{}", Event::Fence), "sfence");
         assert_eq!(format!("{}", Event::Write(r(0x10, 0x18))), "write(0x10+8)");
-        assert!(format!("{}", Event::IsOrderedBefore(r(0, 8), r(8, 16)))
-            .starts_with("isOrderedBefore"));
+        assert!(
+            format!("{}", Event::IsOrderedBefore(r(0, 8), r(8, 16))).starts_with("isOrderedBefore")
+        );
     }
 
     #[test]

@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 mod event;
+mod pool;
 mod sink;
 mod stats;
 
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
-pub use sink::{CountingSink, MemorySink, NullSink, Sink, SharedSink};
+pub use pool::{BufferPool, PoolStats};
+pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};
 pub use stats::TraceStats;

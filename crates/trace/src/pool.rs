@@ -1,0 +1,288 @@
+//! Recycling pool for trace entry buffers.
+//!
+//! Decoupled checking (Fig. 8) moves a `Vec<Entry>` from the program thread
+//! to a checking worker on every `PMTest_SEND_TRACE`. Without recycling, each
+//! trace costs one heap allocation on the hot path plus one deallocation on a
+//! worker — and under the short traces of the paper's microbenchmarks
+//! (Fig. 10a) the allocator becomes a measurable fraction of the runtime
+//! overhead. The [`BufferPool`] closes that loop: workers return emptied
+//! buffers here, and sessions draw replacements instead of allocating.
+//!
+//! The free list is sharded to keep producers (many program threads) and
+//! consumers (worker threads) from serialising on one lock. Each shard is a
+//! small mutex-guarded stack; a release/acquire pair usually touches only one
+//! shard. A strictly lock-free list would need `unsafe` or an external queue,
+//! and this crate is `#![forbid(unsafe_code)]` — the sharded mutexes measure
+//! within noise of that design for the pool's access pattern (sub-microsecond
+//! critical sections, shard count ≥ typical thread count).
+//!
+//! Buffers are always [cleared](Vec::clear) on release, *before* they become
+//! visible to any other trace. That is the pool's core invariant: a recycled
+//! buffer can never leak entries from one trace into another.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::event::Entry;
+
+/// Number of independent free-list shards. A power of two so the rotating
+/// counter maps onto shards with a mask.
+const SHARDS: usize = 8;
+
+/// Default cap on buffers retained per shard (total = `SHARDS` × this).
+const DEFAULT_BUFFERS_PER_SHARD: usize = 64;
+
+/// Default cap on the capacity of a retained buffer. A trace that ballooned
+/// to thousands of entries should not pin that memory forever; oversized
+/// buffers are dropped instead of pooled.
+const DEFAULT_MAX_BUFFER_CAPACITY: usize = 4096;
+
+/// A sharded free list of `Vec<Entry>` buffers shared between sessions
+/// (which acquire) and engine workers (which release).
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_trace::{BufferPool, Entry, Event};
+///
+/// let pool = BufferPool::new();
+/// let mut buf = pool.acquire(); // fresh allocation: pool is empty
+/// buf.push(Event::Fence.here());
+/// pool.release(buf);
+/// let buf = pool.acquire(); // recycled — and guaranteed empty
+/// assert!(buf.is_empty());
+/// assert_eq!(pool.stats().recycled, 1);
+/// ```
+pub struct BufferPool {
+    shards: Vec<Mutex<Vec<Vec<Entry>>>>,
+    /// Rotates acquire/release across shards so a single hot thread does not
+    /// hammer shard 0.
+    cursor: AtomicUsize,
+    buffers_per_shard: usize,
+    max_buffer_capacity: usize,
+    recycled: AtomicU64,
+    fresh: AtomicU64,
+    released: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Lifetime counters of a [`BufferPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the free list.
+    pub recycled: u64,
+    /// Acquires that fell back to a fresh allocation.
+    pub fresh: u64,
+    /// Buffers returned to the pool (whether retained or dropped).
+    pub released: u64,
+    /// Released buffers dropped because a shard was full or the buffer
+    /// exceeded the capacity cap.
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served by recycling, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.recycled + self.fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.recycled as f64 / total as f64
+        }
+    }
+}
+
+impl BufferPool {
+    /// A pool with the default retention caps.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_limits(SHARDS * DEFAULT_BUFFERS_PER_SHARD, DEFAULT_MAX_BUFFER_CAPACITY)
+    }
+
+    /// A pool retaining at most `max_buffers` buffers in total, each of
+    /// capacity at most `max_buffer_capacity` entries.
+    #[must_use]
+    pub fn with_limits(max_buffers: usize, max_buffer_capacity: usize) -> Self {
+        let buffers_per_shard = max_buffers.div_ceil(SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            cursor: AtomicUsize::new(0),
+            buffers_per_shard,
+            max_buffer_capacity,
+            recycled: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a buffer from the pool, or allocates a fresh one if every shard
+    /// is empty. The returned buffer is always empty.
+    #[must_use]
+    pub fn acquire(&self) -> Vec<Entry> {
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..SHARDS {
+            let shard = &self.shards[(start + offset) & (SHARDS - 1)];
+            // Skip contended shards: a miss here only costs an extra probe.
+            let Some(mut guard) = shard.try_lock() else { continue };
+            if let Some(buf) = guard.pop() {
+                drop(guard);
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(buf.is_empty(), "pooled buffer must be empty");
+                return buf;
+            }
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Returns a buffer to the pool. The buffer is cleared here — before it
+    /// becomes visible to any future [`acquire`](Self::acquire) — so entries
+    /// can never leak across traces. Oversized buffers and overflow beyond
+    /// the retention cap are dropped.
+    pub fn release(&self, mut buf: Vec<Entry>) {
+        self.released.fetch_add(1, Ordering::Relaxed);
+        buf.clear();
+        if buf.capacity() == 0 || buf.capacity() > self.max_buffer_capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..SHARDS {
+            let shard = &self.shards[(start + offset) & (SHARDS - 1)];
+            let Some(mut guard) = shard.try_lock() else { continue };
+            if guard.len() < self.buffers_per_shard {
+                guard.push(buf);
+                return;
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buffers currently available for recycling.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            recycled: self.recycled.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("available", &self.available())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn dirty_buffer(n: usize) -> Vec<Entry> {
+        let mut buf = Vec::with_capacity(n.max(1));
+        for _ in 0..n {
+            buf.push(Event::Fence.here());
+        }
+        buf
+    }
+
+    #[test]
+    fn acquire_from_empty_pool_allocates() {
+        let pool = BufferPool::new();
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+        assert_eq!(pool.stats().fresh, 1);
+        assert_eq!(pool.stats().recycled, 0);
+    }
+
+    #[test]
+    fn released_buffers_come_back_empty() {
+        let pool = BufferPool::new();
+        pool.release(dirty_buffer(5));
+        let buf = pool.acquire();
+        assert!(buf.is_empty(), "recycled buffer leaked entries");
+        assert!(buf.capacity() >= 5, "capacity should be retained");
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped() {
+        let pool = BufferPool::with_limits(16, 8);
+        pool.release(dirty_buffer(9)); // capacity > 8 → dropped
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.stats().dropped, 1);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        pool.release(Vec::new());
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn retention_cap_is_enforced() {
+        let pool = BufferPool::with_limits(4, 1024);
+        for _ in 0..100 {
+            pool.release(dirty_buffer(2));
+        }
+        // div_ceil rounds the per-shard cap up to 1, so at most SHARDS stay.
+        assert!(pool.available() <= SHARDS);
+        assert!(pool.stats().dropped >= 100 - SHARDS as u64);
+    }
+
+    #[test]
+    fn hit_rate_reflects_recycling() {
+        let pool = BufferPool::new();
+        let a = pool.acquire(); // fresh
+        pool.release(dirty_buffer(3));
+        let _b = pool.acquire(); // recycled
+        pool.release(a);
+        let stats = pool.stats();
+        assert_eq!(stats.fresh, 1);
+        assert_eq!(stats.recycled, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let pool = std::sync::Arc::new(BufferPool::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        let mut buf = pool.acquire();
+                        assert!(buf.is_empty());
+                        buf.push(Event::Fence.here());
+                        pool.release(buf);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.recycled + stats.fresh, 4_000);
+        assert_eq!(stats.released, 4_000);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the trace-buffer recycling pool.
+//!
+//! The pool's core invariant: a buffer recycled through the pool can never
+//! leak entries from one trace into another. Every `acquire` must observe an
+//! empty buffer, no matter what interleaving of acquires and releases (with
+//! arbitrarily dirty buffers) preceded it, and the stats counters must stay
+//! consistent with the operation sequence.
+
+use pmtest_trace::{BufferPool, Entry, Event, Trace};
+use proptest::prelude::*;
+
+/// One step of a pool workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Acquire a buffer, stuff `fill` entries into it, keep it on the side.
+    AcquireAndFill(u8),
+    /// Release the oldest held buffer (no-op when none are held).
+    ReleaseOldest,
+    /// Release a freshly allocated dirty buffer of the given size.
+    ReleaseForeign(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AcquireAndFill),
+        Just(Op::ReleaseOldest),
+        (1..64u8).prop_map(Op::ReleaseForeign),
+    ]
+}
+
+fn dirty(n: u8) -> Vec<Entry> {
+    let mut buf = Vec::with_capacity(n.max(1) as usize);
+    for _ in 0..n {
+        buf.push(Event::Fence.here());
+    }
+    buf
+}
+
+proptest! {
+    /// No interleaving of acquires and dirty releases ever surfaces a
+    /// non-empty buffer from `acquire`.
+    #[test]
+    fn acquired_buffers_are_always_empty(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let pool = BufferPool::new();
+        let mut held: Vec<Vec<Entry>> = Vec::new();
+        let mut acquires = 0u64;
+        let mut releases = 0u64;
+        for op in &ops {
+            match op {
+                Op::AcquireAndFill(fill) => {
+                    let mut buf = pool.acquire();
+                    acquires += 1;
+                    prop_assert!(buf.is_empty(), "acquire returned {} stale entries", buf.len());
+                    buf.extend(dirty(*fill));
+                    held.push(buf);
+                }
+                Op::ReleaseOldest => {
+                    if !held.is_empty() {
+                        pool.release(held.remove(0));
+                        releases += 1;
+                    }
+                }
+                Op::ReleaseForeign(n) => {
+                    pool.release(dirty(*n));
+                    releases += 1;
+                }
+            }
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.recycled + stats.fresh, acquires);
+        prop_assert_eq!(stats.released, releases);
+        prop_assert!(stats.recycled <= releases, "cannot recycle more than was released");
+        prop_assert!(pool.available() as u64 <= releases);
+    }
+
+    /// Round-tripping entry buffers through `Trace` the way the engine does
+    /// (session builds `Trace::from_entries`, worker releases
+    /// `trace.into_entries()`) never leaks entries across traces, for any
+    /// sequence of trace lengths.
+    #[test]
+    fn trace_round_trip_never_leaks(lens in proptest::collection::vec(0..40usize, 1..100)) {
+        let pool = BufferPool::new();
+        for (id, len) in lens.iter().enumerate() {
+            let mut buf = pool.acquire();
+            prop_assert!(buf.is_empty(), "trace {} inherited {} entries", id, buf.len());
+            for _ in 0..*len {
+                buf.push(Event::Fence.here());
+            }
+            let trace = Trace::from_entries(id as u64, buf);
+            prop_assert_eq!(trace.len(), *len);
+            pool.release(trace.into_entries());
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.released, lens.len() as u64);
+    }
+}

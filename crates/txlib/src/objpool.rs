@@ -50,12 +50,7 @@ impl ObjPool {
             return Err(TxError::Pm(pmtest_pmem::PmError::OutOfMemory { requested: reserved }));
         }
         let heap = PmHeap::new(pm, reserved);
-        Ok(Self {
-            heap,
-            mode,
-            root_size,
-            free_lanes: Mutex::new((0..MAX_LANES).rev().collect()),
-        })
+        Ok(Self { heap, mode, root_size, free_lanes: Mutex::new((0..MAX_LANES).rev().collect()) })
     }
 
     /// The underlying persistent-memory pool.

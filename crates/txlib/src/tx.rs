@@ -477,8 +477,8 @@ mod tests {
         .unwrap();
         let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
         let check = move |image: &[u8]| -> Result<(), String> {
-            let recovered = ObjPool::recover_image(image, 64, PersistMode::X86)
-                .map_err(|e| e.to_string())?;
+            let recovered =
+                ObjPool::recover_image(image, 64, PersistMode::X86).map_err(|e| e.to_string())?;
             let v = recovered.pool().read_u64(root).map_err(|e| e.to_string())?;
             if v == 0xAAAA || v == 0xBBBB {
                 Ok(())
@@ -513,8 +513,8 @@ mod tests {
         tx.abandon();
         let sim = pmtest_pmem::crash::CrashSim::from_pool(&pm).unwrap();
         let check = move |image: &[u8]| -> Result<(), String> {
-            let recovered = ObjPool::recover_image(image, 64, PersistMode::X86)
-                .map_err(|e| e.to_string())?;
+            let recovered =
+                ObjPool::recover_image(image, 64, PersistMode::X86).map_err(|e| e.to_string())?;
             let v = recovered.pool().read_u64(root).map_err(|e| e.to_string())?;
             if v == 0xAAAA || v == 0xBBBB {
                 Ok(())
@@ -533,8 +533,7 @@ mod tests {
         let mut saw_unlogged_update = false;
         for point in 0..=sim.op_count() {
             for image in sim.analyze(point).states().take(2048) {
-                let recovered =
-                    ObjPool::recover_image(&image, 64, PersistMode::X86).unwrap();
+                let recovered = ObjPool::recover_image(&image, 64, PersistMode::X86).unwrap();
                 let v = recovered.pool().read_u64(root).unwrap();
                 if v == 0xBBBB {
                     // Was the log there to protect it?

@@ -194,7 +194,11 @@ mod tests {
     use super::*;
     use pmtest_core::{DiagKind, PmTestSession};
 
-    fn store(check: CheckMode, faults: FaultSet, sink: Option<pmtest_trace::SharedSink>) -> ArrayStore {
+    fn store(
+        check: CheckMode,
+        faults: FaultSet,
+        sink: Option<pmtest_trace::SharedSink>,
+    ) -> ArrayStore {
         let pm = match sink {
             Some(s) => Arc::new(PmPool::new(1 << 14, s)),
             None => Arc::new(PmPool::untracked(1 << 14)),
@@ -295,10 +299,7 @@ mod tests {
         a.update(2, 22).unwrap();
         let sim = pmtest_pmem::crash::CrashSim::from_pool(a.pool()).unwrap();
         let violation = sim.find_violation(&check, 8192);
-        assert!(
-            violation.is_some(),
-            "the Fig. 1a bug must have a reachable inconsistent state"
-        );
+        assert!(violation.is_some(), "the Fig. 1a bug must have a reachable inconsistent state");
         assert!(violation.unwrap().reason.contains("destroyed"));
     }
 }

@@ -459,7 +459,12 @@ impl KvMap for BTree {
         let result: Result<(), KvError> = (|| {
             let v = self.view(node)?;
             if v.leaf {
-                self.log_node(&mut tx, logged, node, self.faults.is_active(Fault::BtreeSkipLogInsertNode))?;
+                self.log_node(
+                    &mut tx,
+                    logged,
+                    node,
+                    self.faults.is_active(Fault::BtreeSkipLogInsertNode),
+                )?;
                 let mut v = v;
                 for i in idx..v.nkeys - 1 {
                     v.keys[i] = v.keys[i + 1];

@@ -157,9 +157,8 @@ mod tests {
 
     #[test]
     fn set_operations() {
-        let fs: FaultSet = [Fault::CtreeAbandonTx, Fault::RbSkipLogRotatePivot]
-            .into_iter()
-            .collect();
+        let fs: FaultSet =
+            [Fault::CtreeAbandonTx, Fault::RbSkipLogRotatePivot].into_iter().collect();
         assert!(fs.is_active(Fault::CtreeAbandonTx));
         assert!(!fs.is_active(Fault::BtreeAbandonTx));
         assert!(!fs.is_empty());

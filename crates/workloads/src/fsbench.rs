@@ -74,7 +74,8 @@ pub fn filebench(fs: &Pmfs, client: usize, cfg: FilebenchConfig) -> Result<FsBen
             let i = rng.gen_range(0..live.len());
             let (_, ino, size) = live[i];
             let off = size.min(1024 - cfg.write_size as u64);
-            let data: Vec<u8> = (0..cfg.write_size).map(|j| (j as u8) ^ ino.index() as u8).collect();
+            let data: Vec<u8> =
+                (0..cfg.write_size).map(|j| (j as u8) ^ ino.index() as u8).collect();
             fs.write(ino, off, &data)?;
             live[i].2 = (off + cfg.write_size as u64).min(1024);
             stats.writes += 1;

@@ -45,11 +45,7 @@ impl PmQueue {
     /// # Errors
     ///
     /// Returns [`KvError`] if the root area is too small.
-    pub fn create(
-        heap: Arc<PmHeap>,
-        check: CheckMode,
-        faults: FaultSet,
-    ) -> Result<Self, KvError> {
+    pub fn create(heap: Arc<PmHeap>, check: CheckMode, faults: FaultSet) -> Result<Self, KvError> {
         let root = heap.root();
         if root.len() < 24 {
             return Err(KvError::Pm(PmError::OutOfMemory { requested: 24 }));
@@ -119,12 +115,7 @@ impl PmQueue {
         let tail = self.pm.read_u64(self.tail_slot())?;
         let link_slot = if tail == 0 { self.head_slot() } else { tail };
         let link = self.pm.write_u64(link_slot, node)?;
-        self.persist_maybe(
-            link,
-            self.faults.is_active(Fault::QueueSkipFlushLink),
-            false,
-            false,
-        );
+        self.persist_maybe(link, self.faults.is_active(Fault::QueueSkipFlushLink), false, false);
         if link_early {
             // Misplaced ordering: the node persists only after publication.
             self.persist_maybe(node_range, false, false, false);

@@ -247,11 +247,8 @@ impl RbTree {
             let gp = self.read(parent, OFF_PARENT)?;
             debug_assert_ne!(gp, 0, "red parent implies grandparent");
             let parent_is_left = self.read(gp, OFF_LEFT)? == parent;
-            let uncle = if parent_is_left {
-                self.read(gp, OFF_RIGHT)?
-            } else {
-                self.read(gp, OFF_LEFT)?
-            };
+            let uncle =
+                if parent_is_left { self.read(gp, OFF_RIGHT)? } else { self.read(gp, OFF_LEFT)? };
             if uncle != 0 && self.read(uncle, OFF_COLOR)? == RED {
                 self.set_color(tx, logged, parent, BLACK)?;
                 self.set_color(tx, logged, uncle, BLACK)?;
@@ -364,9 +361,7 @@ impl RbTree {
         let right = self.read(node, OFF_RIGHT).map_err(|e| e.to_string())?;
         if color == RED {
             for child in [left, right] {
-                if child != 0
-                    && self.read(child, OFF_COLOR).map_err(|e| e.to_string())? == RED
-                {
+                if child != 0 && self.read(child, OFF_COLOR).map_err(|e| e.to_string())? == RED {
                     return Err("red-red edge".to_owned());
                 }
             }

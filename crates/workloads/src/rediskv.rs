@@ -223,8 +223,7 @@ mod tests {
 
     fn store(capacity: usize) -> RedisKv {
         let pool = Arc::new(
-            ObjPool::create(Arc::new(PmPool::untracked(1 << 21)), 4096, PersistMode::X86)
-                .unwrap(),
+            ObjPool::create(Arc::new(PmPool::untracked(1 << 21)), 4096, PersistMode::X86).unwrap(),
         );
         RedisKv::create(pool, 64, capacity, CheckMode::None, FaultSet::none()).unwrap()
     }

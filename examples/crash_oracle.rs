@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = PmTestSession::builder().build();
     session.start();
     let pm = Arc::new(PmPool::new(1 << 21, session.sink()));
-    let tree = build_tree(
-        pm,
-        FaultSet::one(Fault::BtreeSkipLogSplitNode),
-        CheckMode::Checkers,
-    )?;
+    let tree = build_tree(pm, FaultSet::one(Fault::BtreeSkipLogSplitNode), CheckMode::Checkers)?;
     for k in 0..8u64 {
         // enough inserts to force a split
         tree.insert(k, &gen::value_for(k, 16))?;
@@ -50,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    record valued operations, crash everywhere, and run recovery.
     // ------------------------------------------------------------------
     let pm = Arc::new(PmPool::untracked(1 << 17));
-    let tree = build_tree(pm.clone(), FaultSet::one(Fault::BtreeSkipLogSplitNode), CheckMode::None)?;
+    let tree =
+        build_tree(pm.clone(), FaultSet::one(Fault::BtreeSkipLogSplitNode), CheckMode::None)?;
     for k in 0..3u64 {
         tree.insert(k, &gen::value_for(k, 16))?;
     }

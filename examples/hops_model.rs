@@ -43,28 +43,19 @@ fn run(mode: PersistMode, session: PmTestSession) -> Report {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== x86 persistency model (Fig. 3a) ==");
-    let report = run(
-        PersistMode::X86,
-        PmTestSession::builder().model(X86Model::new()).build(),
-    );
+    let report = run(PersistMode::X86, PmTestSession::builder().model(X86Model::new()).build());
     println!("{report}\n");
     assert!(report.is_clean());
 
     println!("== HOPS persistency model (Fig. 3b) ==");
-    let report = run(
-        PersistMode::Hops,
-        PmTestSession::builder().model(HopsModel::new()).build(),
-    );
+    let report = run(PersistMode::Hops, PmTestSession::builder().model(HopsModel::new()).build());
     println!("{report}\n");
     assert!(report.is_clean());
 
     // Running HOPS code under the x86 rules is flagged, not silently
     // accepted — the models really differ.
     println!("== HOPS code under the x86 rules (model mismatch) ==");
-    let report = run(
-        PersistMode::Hops,
-        PmTestSession::builder().model(X86Model::new()).build(),
-    );
+    let report = run(PersistMode::Hops, PmTestSession::builder().model(X86Model::new()).build());
     println!("{report}\n");
     assert!(report.warn_count() > 0, "dfence is foreign to x86");
 

@@ -23,13 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pm = Arc::new(PmPool::new(1 << 24, session.sink()));
     let pool = Arc::new(MnPool::create(pm, 4096, PersistMode::X86)?);
-    let store = Arc::new(KvStore::create(
-        pool,
-        256,
-        CLIENTS * 4,
-        CheckMode::Checkers,
-        FaultSet::none(),
-    )?);
+    let store =
+        Arc::new(KvStore::create(pool, 256, CLIENTS * 4, CheckMode::Checkers, FaultSet::none())?);
 
     let start = Instant::now();
     std::thread::scope(|s| {

@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Size the crash-state space an exhaustive tester would face.
     let sim = pmtest::pmem::crash::CrashSim::from_pool(&pool).expect("recording active");
     let states = yat::estimate_states(&sim);
-    let result = yat::run(
-        &sim,
-        &|_: &[u8]| Ok(()),
-        yat::YatConfig { max_states: Some(100_000) },
-    );
+    let result = yat::run(&sim, &|_: &[u8]| Ok(()), yat::YatConfig { max_states: Some(100_000) });
     println!(
         "crash oracle: {} reachable states across {} crash points, {} validated exhaustively",
         states,

@@ -58,14 +58,20 @@ impl Sink for KernelSink {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fifo = Arc::new(KernelFifo::new());
 
-    // User-space side: engine + pump thread draining the FIFO.
+    // User-space side: engine + pump thread draining the FIFO. The pump
+    // pops up to 32 traces per wakeup and ships them as one batch — one
+    // dispatch instead of 32.
     let engine = Arc::new(Engine::new(EngineConfig::default()));
     let pump = {
         let fifo = fifo.clone();
         let engine = engine.clone();
-        std::thread::spawn(move || {
-            while let Some(trace) = fifo.pop() {
-                engine.submit(trace);
+        std::thread::spawn(move || loop {
+            let batch = fifo.pop_batch(32);
+            if batch.is_empty() {
+                break; // FIFO closed and drained
+            }
+            if engine.submit_batch(batch).is_err() {
+                break; // engine shut down under us
             }
         })
     };
@@ -94,19 +100,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pump.join().expect("pump thread");
     let report = engine.take_report();
     println!("journal stats: {:?}", fs.journal_stats());
-    println!("{} FAIL, {} WARN across {} traces; first diagnostics:",
-        report.fail_count(), report.warn_count(), report.traces().len());
+    println!(
+        "{} FAIL, {} WARN across {} traces; first diagnostics:",
+        report.fail_count(),
+        report.warn_count(),
+        report.traces().len()
+    );
     for diag in report.iter().take(4) {
         println!("  {diag}");
     }
-    assert!(
-        report.has(DiagKind::DuplicateFlush),
-        "Bug 1: the commit log entry is flushed twice"
-    );
-    assert!(
-        report.has(DiagKind::UnnecessaryFlush),
-        "known bug: a never-written buffer is flushed"
-    );
+    assert!(report.has(DiagKind::DuplicateFlush), "Bug 1: the commit log entry is flushed twice");
+    assert!(report.has(DiagKind::UnnecessaryFlush), "known bug: a never-written buffer is flushed");
     assert_eq!(report.fail_count(), 0, "legacy bugs are performance-only");
     Ok(())
 }

@@ -29,8 +29,8 @@ fn array_update_buggy(
     pool.flush(val);
     pool.flush(valid);
     pool.fence(); // one barrier for both: their persist order is unconstrained!
-    // The programmer's intent, asserted where it matters: the backup value
-    // must be durable before the valid flag can persist.
+                  // The programmer's intent, asserted where it matters: the backup value
+                  // must be durable before the valid flag can persist.
     session.is_ordered_before(val, valid);
     let upd = pool.write_u64(ARRAY + index * 8, new_val)?; // in-place update
     let invalid = pool.write_u8(BACKUP_VALID, 0)?; // backup.valid = false

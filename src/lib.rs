@@ -83,12 +83,12 @@ pub use pmtest_workloads as workloads;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use pmtest_core::{
-        check_trace, Diag, DiagKind, Engine, EngineConfig, HopsModel, KernelFifo,
-        PersistencyModel, PmTestSession, Report, Severity, X86Model,
+        check_trace, Diag, DiagKind, Engine, EngineConfig, EngineStats, HopsModel, KernelFifo,
+        PersistencyModel, PmTestSession, Report, Severity, SubmitError, X86Model,
     };
     pub use pmtest_interval::ByteRange;
     pub use pmtest_pmem::{PersistMode, PmHeap, PmPool};
-    pub use pmtest_trace::{Entry, Event, Sink, SourceLoc, Trace};
+    pub use pmtest_trace::{BufferPool, Entry, Event, PoolStats, Sink, SourceLoc, Trace};
 }
 
 #[cfg(test)]

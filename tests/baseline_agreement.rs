@@ -132,8 +132,5 @@ fn only_pmtest_supports_hops() {
     let _ = pm.write_u64(0, 1).unwrap();
     pm.dfence(); // ignored by pmemcheck
     let report = pc.finish();
-    assert!(
-        report.has(DiagKind::NotPersisted),
-        "pmemcheck cannot see HOPS durability: {report}"
-    );
+    assert!(report.has(DiagKind::NotPersisted), "pmemcheck cannot see HOPS durability: {report}");
 }

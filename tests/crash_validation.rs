@@ -26,8 +26,8 @@ fn hashmap_check(
             ObjPool::recover_image(image, root_size, PersistMode::X86)
                 .map_err(|e| e.to_string())?,
         );
-        let map = HashMapTx::open(pool, CheckMode::None, FaultSet::none())
-            .map_err(|e| e.to_string())?;
+        let map =
+            HashMapTx::open(pool, CheckMode::None, FaultSet::none()).map_err(|e| e.to_string())?;
         let count = map.len().map_err(|e| e.to_string())?;
         // The recovered state must match one of the expected key sets
         // (before or after the in-flight operation).
@@ -131,10 +131,7 @@ fn pmfs_crash_states_match_pmtest_verdicts() {
         }
         Ok(())
     };
-    assert!(
-        sim.find_violation(&check, 2000).is_none(),
-        "correct journal must be crash-consistent"
-    );
+    assert!(sim.find_violation(&check, 2000).is_none(), "correct journal must be crash-consistent");
 
     // skip_commit_fence: the commit marker can persist before the data it
     // covers — a crash there shows "committed" metadata with torn content.
@@ -146,8 +143,5 @@ fn pmfs_crash_states_match_pmtest_verdicts() {
     fs.write(ino, 0, b"payload").unwrap();
     let sim = CrashSim::from_pool(&pm).unwrap();
     let violation = sim.find_violation(&check, 3000);
-    assert!(
-        violation.is_some(),
-        "the ordering bug PMTest flags must be reachable in hardware"
-    );
+    assert!(violation.is_some(), "the ordering bug PMTest flags must be reachable in hardware");
 }

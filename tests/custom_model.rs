@@ -38,10 +38,7 @@ impl PersistencyModel for StrictModel {
                     loc: entry.loc,
                     range: None,
                     culprit: None,
-                    message: format!(
-                        "`{}` is unnecessary under strict persistency",
-                        entry.event
-                    ),
+                    message: format!("`{}` is unnecessary under strict persistency", entry.event),
                 });
             }
             _ => unreachable!("non-operation event reached the model"),
@@ -62,8 +59,7 @@ impl PersistencyModel for StrictModel {
                     loc,
                     range: Some(sub),
                     culprit,
-                    message: "write not persisted (impossible under strict persistency)"
-                        .to_owned(),
+                    message: "write not persisted (impossible under strict persistency)".to_owned(),
                 });
             }
         }

@@ -50,8 +50,7 @@ fn worker_count_does_not_change_results() {
         session.start();
         let pm = Arc::new(PmPool::new(1 << 21, session.sink()));
         let pool = Arc::new(MnPool::create(pm, 4096, PersistMode::X86).unwrap());
-        let store =
-            KvStore::create(pool, 16, 4, CheckMode::Checkers, FaultSet::none()).unwrap();
+        let store = KvStore::create(pool, 16, 4, CheckMode::Checkers, FaultSet::none()).unwrap();
         for k in 0..50u64 {
             store.set(k, &gen::value_for(k, 32)).unwrap();
             session.send_trace();
@@ -74,11 +73,8 @@ fn kernel_fifo_pipeline_matches_direct_checking() {
         let session = PmTestSession::builder().build();
         session.start();
         let pm = Arc::new(PmPool::new(1 << 19, session.sink()));
-        let opts = PmfsOptions {
-            checkers: true,
-            legacy_double_flush: true,
-            ..PmfsOptions::default()
-        };
+        let opts =
+            PmfsOptions { checkers: true, legacy_double_flush: true, ..PmfsOptions::default() };
         let fs = Pmfs::format(pm, opts).unwrap();
         let ino = fs.create("x").unwrap();
         fs.write(ino, 0, b"abc").unwrap();
@@ -94,17 +90,14 @@ fn kernel_fifo_pipeline_matches_direct_checking() {
             let (fifo, engine) = (fifo.clone(), engine.clone());
             std::thread::spawn(move || {
                 while let Some(trace) = fifo.pop() {
-                    engine.submit(trace);
+                    engine.submit(trace).unwrap();
                 }
             })
         };
         let sink = Arc::new(MemorySink::new());
         let pm = Arc::new(PmPool::new(1 << 19, sink.clone()));
-        let opts = PmfsOptions {
-            checkers: true,
-            legacy_double_flush: true,
-            ..PmfsOptions::default()
-        };
+        let opts =
+            PmfsOptions { checkers: true, legacy_double_flush: true, ..PmfsOptions::default() };
         let fs = Pmfs::format(pm, opts).unwrap();
         let ino = fs.create("x").unwrap();
         fs.write(ino, 0, b"abc").unwrap();
@@ -129,8 +122,14 @@ fn backpressure_does_not_deadlock_the_pipeline() {
     let pump = {
         let (fifo, engine) = (fifo.clone(), engine.clone());
         std::thread::spawn(move || {
-            while let Some(trace) = fifo.pop() {
-                engine.submit(trace);
+            // Batched drain: everything available goes to the engine in one
+            // dispatch.
+            loop {
+                let batch = fifo.pop_batch(16);
+                if batch.is_empty() {
+                    break;
+                }
+                engine.submit_batch(batch).unwrap();
             }
         })
     };

@@ -16,10 +16,12 @@ fn filebench_through_the_kernel_fifo_is_clean() {
     let engine = Arc::new(Engine::new(EngineConfig::default()));
     let pump = {
         let (fifo, engine) = (fifo.clone(), engine.clone());
-        std::thread::spawn(move || {
-            while let Some(trace) = fifo.pop() {
-                engine.submit(trace);
+        std::thread::spawn(move || loop {
+            let batch = fifo.pop_batch(8);
+            if batch.is_empty() {
+                break;
             }
+            engine.submit_batch(batch).unwrap();
         })
     };
 
@@ -85,11 +87,8 @@ fn crash_then_remount_recovers_the_journal() {
 fn remount_cycles_preserve_data() {
     let pm = Arc::new(PmPool::untracked(1 << 19));
     {
-        let fs = Pmfs::format(
-            pm.clone(),
-            PmfsOptions { inodes: 32, ..PmfsOptions::default() },
-        )
-        .unwrap();
+        let fs =
+            Pmfs::format(pm.clone(), PmfsOptions { inodes: 32, ..PmfsOptions::default() }).unwrap();
         let ino = fs.create("a").unwrap();
         fs.write(ino, 0, b"first mount").unwrap();
     }

@@ -171,10 +171,9 @@ fn differential(ops: &[Op], hops: bool) -> Result<(), String> {
             Op::OFence => Event::OFence,
             Op::DFence => Event::DFence,
             Op::IsPersist(s, l) => Event::IsPersist(ByteRange::with_len(s, l)),
-            Op::IsOrderedBefore(a, al, b, bl) => Event::IsOrderedBefore(
-                ByteRange::with_len(a, al),
-                ByteRange::with_len(b, bl),
-            ),
+            Op::IsOrderedBefore(a, al, b, bl) => {
+                Event::IsOrderedBefore(ByteRange::with_len(a, al), ByteRange::with_len(b, bl))
+            }
         };
         trace.push(event.at(loc));
     }
@@ -221,9 +220,7 @@ fn differential(ops: &[Op], hops: bool) -> Result<(), String> {
                     reference.ordered_fails_x86(a, al, b, bl)
                 };
                 if fails != has(i, DiagKind::NotOrderedBefore) {
-                    return Err(format!(
-                        "op {i} {op:?}: isOrderedBefore mismatch (ref={fails})"
-                    ));
+                    return Err(format!("op {i} {op:?}: isOrderedBefore mismatch (ref={fails})"));
                 }
             }
         }
@@ -251,15 +248,29 @@ fn differential_pinned_cases() {
     use Op::*;
     let cases: Vec<Vec<Op>> = vec![
         // Fig. 4.
-        vec![Fence, Write(0, 8), Flush(0, 8), Write(16, 8), Fence,
-             IsOrderedBefore(0, 8, 16, 8), IsPersist(16, 8)],
+        vec![
+            Fence,
+            Write(0, 8),
+            Flush(0, 8),
+            Write(16, 8),
+            Fence,
+            IsOrderedBefore(0, 8, 16, 8),
+            IsPersist(16, 8),
+        ],
         // Flush split across written/unwritten.
         vec![Write(0, 4), Flush(0, 8), Fence, IsPersist(0, 8)],
         // Overwrite invalidates a pending flush.
         vec![Write(0, 8), Flush(0, 8), Write(4, 4), Fence, IsPersist(0, 8)],
         // Inverted order without overlap.
-        vec![Write(16, 8), Flush(16, 8), Fence, Write(0, 8), Flush(0, 8), Fence,
-             IsOrderedBefore(0, 8, 16, 8)],
+        vec![
+            Write(16, 8),
+            Flush(16, 8),
+            Fence,
+            Write(0, 8),
+            Flush(0, 8),
+            Fence,
+            IsOrderedBefore(0, 8, 16, 8),
+        ],
         // Flush-only bytes then re-flush.
         vec![Flush(0, 8), Flush(0, 8), Fence, Flush(0, 8)],
     ];

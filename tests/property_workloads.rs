@@ -8,9 +8,7 @@ use std::sync::Arc;
 
 use pmtest::prelude::*;
 use pmtest::txlib::ObjPool;
-use pmtest::workloads::{
-    gen, BTree, CheckMode, CritBitTree, FaultSet, HashMapTx, KvMap, RbTree,
-};
+use pmtest::workloads::{gen, BTree, CheckMode, CritBitTree, FaultSet, HashMapTx, KvMap, RbTree};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -35,12 +33,8 @@ type Structure = (&'static str, Arc<dyn KvMap>, Box<dyn Fn() -> Result<(), Strin
 fn make_structures(sink: pmtest::trace::SharedSink) -> Vec<Structure> {
     let mk_pool = |sink: &pmtest::trace::SharedSink| {
         Arc::new(
-            ObjPool::create(
-                Arc::new(PmPool::new(1 << 21, sink.clone())),
-                4096,
-                PersistMode::X86,
-            )
-            .expect("pool"),
+            ObjPool::create(Arc::new(PmPool::new(1 << 21, sink.clone())), 4096, PersistMode::X86)
+                .expect("pool"),
         )
     };
     let ctree = Arc::new(

@@ -73,12 +73,9 @@ fn fixed_pmfs_journal_is_clean() {
 #[test]
 fn bug2_btree_split_without_logging() {
     let (session, pool) = tx_session();
-    let tree = BTree::create(
-        pool,
-        CheckMode::Checkers,
-        FaultSet::one(Fault::BtreeSkipLogSplitNode),
-    )
-    .unwrap();
+    let tree =
+        BTree::create(pool, CheckMode::Checkers, FaultSet::one(Fault::BtreeSkipLogSplitNode))
+            .unwrap();
     // Four inserts fill the order-4 root; the fifth splits it.
     for k in 0..8u64 {
         tree.insert(k, &gen::value_for(k, 16)).unwrap();
@@ -96,12 +93,9 @@ fn bug2_btree_split_without_logging() {
 #[test]
 fn bug3_btree_double_logging() {
     let (session, pool) = tx_session();
-    let tree = BTree::create(
-        pool,
-        CheckMode::Checkers,
-        FaultSet::one(Fault::BtreeDoubleLogSplitParent),
-    )
-    .unwrap();
+    let tree =
+        BTree::create(pool, CheckMode::Checkers, FaultSet::one(Fault::BtreeDoubleLogSplitParent))
+            .unwrap();
     for k in 0..12u64 {
         tree.insert(k, &gen::value_for(k, 16)).unwrap();
         session.send_trace();
@@ -116,12 +110,9 @@ fn bug3_btree_double_logging() {
 #[test]
 fn known_rbtree_unlogged_rotation() {
     let (session, pool) = tx_session();
-    let tree = RbTree::create(
-        pool,
-        CheckMode::Checkers,
-        FaultSet::one(Fault::RbSkipLogRotatePivot),
-    )
-    .unwrap();
+    let tree =
+        RbTree::create(pool, CheckMode::Checkers, FaultSet::one(Fault::RbSkipLogRotatePivot))
+            .unwrap();
     // Sequential inserts force rotations quickly.
     for k in 0..16u64 {
         tree.insert(k, &gen::value_for(k, 16)).unwrap();

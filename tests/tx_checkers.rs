@@ -55,10 +55,7 @@ fn nested_tx_semantics_paper_7_1() {
     .unwrap();
     session.send_trace();
     let report = session.finish();
-    assert!(
-        report.has(DiagKind::NotPersisted),
-        "inner TX_END does not persist updates: {report}"
-    );
+    assert!(report.has(DiagKind::NotPersisted), "inner TX_END does not persist updates: {report}");
 
     // Checker around the outer transaction: clean.
     let (session, pool) = setup();
