@@ -49,12 +49,42 @@ impl TraceBatch {
     }
 }
 
+/// What actually travels on a worker channel: the traces plus their dispatch
+/// accounting. The accounting settles on drop, so the `outstanding` /
+/// `queued` counters stay consistent no matter how the batch dies — checked
+/// normally, abandoned mid-batch by a panicking checker, or discarded inside
+/// a disconnected channel when a worker is gone.
+struct BatchMsg {
+    traces: TraceBatch,
+    accounting: BatchAccounting,
+}
+
+/// Drop-guard for one dispatched batch. Dropping it marks the batch's traces
+/// as no longer queued or outstanding, waking idle waiters if it was the
+/// last work in flight.
+struct BatchAccounting {
+    shared: Arc<Shared>,
+    idx: usize,
+    n: u64,
+}
+
+impl Drop for BatchAccounting {
+    fn drop(&mut self) {
+        self.shared.queued[self.idx].fetch_sub(self.n, Ordering::Relaxed);
+        self.shared.retire(self.n);
+    }
+}
+
 /// Error returned by [`Engine::submit`] / [`Engine::submit_batch`] when the
 /// worker pool is no longer accepting traces — its threads have terminated,
 /// either because the engine was shut down or because a worker panicked.
 ///
 /// The submitted traces are dropped; results already collected remain
-/// available through [`Engine::report`] / [`Engine::take_report`].
+/// available through [`Engine::report`] / [`Engine::take_report`]. Those
+/// calls stay safe after a worker death: every dispatched batch settles its
+/// idle-tracking accounting even if a panicking checker abandons it or a
+/// disconnected channel discards it, so the report barrier cannot hang on
+/// traces that will never be checked.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubmitError;
 
@@ -110,7 +140,7 @@ impl std::error::Error for SubmitError {}
 /// ```
 pub struct Engine {
     shared: Arc<Shared>,
-    worker_txs: Vec<Sender<TraceBatch>>,
+    worker_txs: Vec<Sender<BatchMsg>>,
     next_worker: AtomicUsize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -219,15 +249,19 @@ impl Engine {
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let (tx, rx) = bounded::<TraceBatch>(config.queue_capacity);
+            let (tx, rx) = bounded::<BatchMsg>(config.queue_capacity);
             let shared = shared.clone();
             let model = config.model.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("pmtest-worker-{i}"))
                 .spawn(move || {
-                    while let Ok(batch) = rx.recv() {
-                        let n = batch.len();
-                        match batch {
+                    while let Ok(msg) = rx.recv() {
+                        // Destructured so the accounting guard outlives the
+                        // checking: a panicking checker unwinds through it
+                        // and the batch still retires (otherwise `wait_idle`
+                        // would block forever on the lost traces).
+                        let BatchMsg { traces, accounting: _accounting } = msg;
+                        match traces {
                             TraceBatch::One(trace) => worker_check(&shared, i, &model, trace),
                             TraceBatch::Many(traces) => {
                                 for trace in traces {
@@ -235,8 +269,6 @@ impl Engine {
                                 }
                             }
                         }
-                        shared.queued[i].fetch_sub(n, Ordering::Relaxed);
-                        shared.retire(n);
                     }
                 })
                 .expect("spawn pmtest worker");
@@ -303,45 +335,43 @@ impl Engine {
         let idx = self.pick_worker();
         self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
         let depth = self.shared.queued[idx].fetch_add(n, Ordering::Relaxed) + n;
-        self.shared.queue_highwater.fetch_max(depth, Ordering::Relaxed);
-        let batch = match self.worker_txs[idx].try_send(batch) {
+        // From here the accounting settles when `msg` (or its batch) drops —
+        // whether the worker finishes it, a panicking checker abandons it,
+        // or a disconnected channel discards it. No explicit rollback.
+        let msg = BatchMsg {
+            traces: batch,
+            accounting: BatchAccounting { shared: self.shared.clone(), idx, n },
+        };
+        let msg = match self.worker_txs[idx].try_send(msg) {
             Ok(()) => {
-                self.note_submitted(n);
+                self.note_submitted(n, depth);
                 return Ok(());
             }
-            Err(TrySendError::Full(batch)) => {
+            Err(TrySendError::Full(msg)) => {
                 // Queue full: the program now blocks behind the checking
                 // pipeline — the backpressure regime of Fig. 12a.
                 self.shared.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
-                batch
+                msg
             }
-            Err(TrySendError::Disconnected(_)) => {
-                self.rollback(idx, n);
-                return Err(SubmitError);
-            }
+            Err(TrySendError::Disconnected(_)) => return Err(SubmitError),
         };
-        match self.worker_txs[idx].send(batch) {
+        match self.worker_txs[idx].send(msg) {
             Ok(()) => {
-                self.note_submitted(n);
+                self.note_submitted(n, depth);
                 Ok(())
             }
-            Err(_) => {
-                self.rollback(idx, n);
-                Err(SubmitError)
-            }
+            Err(_) => Err(SubmitError),
         }
     }
 
-    fn note_submitted(&self, n: u64) {
+    /// Records a successfully delivered batch: submission counters, plus the
+    /// queue high-water mark. The mark is only updated here — after the send
+    /// — so a batch bounced off a disconnected channel never records a queue
+    /// depth that existed only on paper.
+    fn note_submitted(&self, n: u64, depth: u64) {
         self.shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.traces_submitted.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Undoes the dispatch bookkeeping for a batch that never reached a
-    /// worker, waking idle waiters if nothing else is outstanding.
-    fn rollback(&self, idx: usize, n: u64) {
-        self.shared.queued[idx].fetch_sub(n, Ordering::Relaxed);
-        self.shared.retire(n);
+        self.shared.queue_highwater.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// The worker with the fewest queued traces, ties broken round-robin.
@@ -674,5 +704,29 @@ mod tests {
             std::thread::yield_now();
         }
         assert!(SubmitError.to_string().contains("no longer accepting"));
+    }
+
+    #[test]
+    fn report_does_not_hang_after_worker_panic() {
+        // A panicking checker must not strand its batch's accounting: the
+        // abandoned batch, and any batches later discarded by the
+        // disconnected channel, all have to retire or this report blocks
+        // forever.
+        let engine = Engine::new(EngineConfig {
+            model: Arc::new(PanickingModel),
+            queue_capacity: 4,
+            ..EngineConfig::default()
+        });
+        for id in 0..50 {
+            let mut t = Trace::new(id);
+            t.push(Event::Write(ByteRange::with_len(0, 8)).here());
+            // Early submissions kill the worker; later ones race the death
+            // and either land in the dying queue or error out. Every
+            // accepted trace must still retire.
+            let _ = engine.submit(t);
+        }
+        let report = engine.report();
+        assert!(report.traces().is_empty(), "no trace survives a panicking checker");
+        assert!(engine.take_report().is_clean());
     }
 }

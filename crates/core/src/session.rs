@@ -56,7 +56,14 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
     SLOTS.with(|s| {
         let mut slots = s.borrow_mut();
         if let Some(pos) = slots.iter().position(|slot| slot.session == shared.id) {
-            return f(&mut slots[pos]);
+            let slot = &mut slots[pos];
+            // The slot may have been created by `SessionShared::record`,
+            // which only has `&self` and therefore no back-reference to give
+            // it. Repair it here so the drop-flush can reach the engine.
+            if slot.shared.strong_count() == 0 {
+                slot.shared = Arc::downgrade(shared);
+            }
+            return f(slot);
         }
         slots.push(Slot {
             session: shared.id,
@@ -421,8 +428,9 @@ impl Sink for SessionShared {
                 slots[pos].buf.push(entry);
             } else {
                 // First event on this thread before any session call: record
-                // without a drop-flush hook. `send_trace` / `thread_init`
-                // upgrade the slot with the back-reference when they run.
+                // without a drop-flush hook. `with_slot` (send_trace,
+                // thread_init, flush, …) repairs the back-reference on the
+                // next session call from this thread.
                 slots.push(Slot {
                     session: self.id,
                     buf: vec![entry],
@@ -647,6 +655,36 @@ mod tests {
         });
         let report = session.finish();
         assert_eq!(report.traces().len(), 40, "no trace lost to thread exit");
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sink_only_thread_flushes_pending_batch_on_exit() {
+        // A thread whose *first* session interaction is `record` through the
+        // shared sink (the normal instrumented-pool path) gets its slot from
+        // `SessionShared::record`, which cannot attach the drop-flush
+        // back-reference. `with_slot` must repair it, or the thread's whole
+        // pending batch vanishes on exit.
+        let session = PmTestSession::builder().batch_capacity(64).build();
+        session.start();
+        let handle = {
+            let session = session.clone();
+            std::thread::spawn(move || {
+                let sink = session.sink();
+                for _ in 0..10 {
+                    // No thread_init: the sink record creates the slot.
+                    sink.record(Event::Write(r(0, 8)).here());
+                    sink.record(Event::Flush(r(0, 8)).here());
+                    sink.record(Event::Fence.here());
+                    session.is_persist(r(0, 8));
+                    session.send_trace().expect("trace submitted");
+                }
+                // 10 < 64: everything is still in the pending batch here.
+            })
+        };
+        handle.join().unwrap();
+        let report = session.report();
+        assert_eq!(report.traces().len(), 10, "drop-flush shipped the batch");
         assert!(report.is_clean());
     }
 
