@@ -13,12 +13,20 @@ pub enum Severity {
     Fail,
 }
 
+impl Severity {
+    /// The severity's output label, as the paper prints it.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warn => write!(f, "WARN"),
-            Severity::Fail => write!(f, "FAIL"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -51,6 +59,45 @@ pub enum DiagKind {
 }
 
 impl DiagKind {
+    /// Every diagnostic kind, in declaration order. Telemetry and emitters
+    /// iterate this to stay exhaustive as kinds are added.
+    pub const ALL: [DiagKind; 9] = [
+        DiagKind::NotPersisted,
+        DiagKind::NotOrderedBefore,
+        DiagKind::MissingLog,
+        DiagKind::UnterminatedTx,
+        DiagKind::UnmatchedTxEnd,
+        DiagKind::UnnecessaryFlush,
+        DiagKind::DuplicateFlush,
+        DiagKind::DuplicateLog,
+        DiagKind::ForeignOperation,
+    ];
+
+    /// A stable machine-readable identifier (`snake_case`), used as the
+    /// `code` field of JSON-lines diagnostics and as the metric label of
+    /// `engine_diag_total`. Unlike [`Display`](fmt::Display) output, codes
+    /// are an interchange format: they never change once published.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            DiagKind::NotPersisted => "not_persisted",
+            DiagKind::NotOrderedBefore => "not_ordered_before",
+            DiagKind::MissingLog => "missing_log",
+            DiagKind::UnterminatedTx => "unterminated_tx",
+            DiagKind::UnmatchedTxEnd => "unmatched_tx_end",
+            DiagKind::UnnecessaryFlush => "unnecessary_flush",
+            DiagKind::DuplicateFlush => "duplicate_flush",
+            DiagKind::DuplicateLog => "duplicate_log",
+            DiagKind::ForeignOperation => "foreign_operation",
+        }
+    }
+
+    /// Parses a [`code`](Self::code) back to its kind.
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<DiagKind> {
+        DiagKind::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
     /// The severity class this kind reports at.
     #[must_use]
     pub fn severity(&self) -> Severity {
@@ -196,7 +243,17 @@ impl Report {
 
     /// Merges another report into this one (re-sorting by trace id).
     pub fn merge(&mut self, other: Report) {
-        self.traces.extend(other.traces);
+        self.extend_traces(other.traces);
+    }
+
+    /// Appends per-trace results, keeping the report sorted by trace id.
+    /// A no-op for an empty batch, so repeated drains of idle shards cost
+    /// nothing.
+    pub fn extend_traces(&mut self, traces: Vec<TraceReport>) {
+        if traces.is_empty() {
+            return;
+        }
+        self.traces.extend(traces);
         self.traces.sort_by_key(|t| t.trace_id);
     }
 
@@ -208,6 +265,47 @@ impl Report {
             *counts.entry(d.kind).or_insert(0) += 1;
         }
         counts
+    }
+
+    /// Serializes every diagnostic as JSON-lines: one object per diagnostic
+    /// with stable field names (`trace_id`, `severity`, `code`, `loc`,
+    /// `range`, `culprit`, `message`), using [`DiagKind::code`] identifiers.
+    /// Each line parses on its own, so reports stream, grep, and diff; an
+    /// empty report serializes to the empty string.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        use std::fmt::Write as _;
+
+        use pmtest_obs::json::escape_into;
+
+        let mut out = String::new();
+        for t in &self.traces {
+            for d in &t.diags {
+                let _ = write!(out, "{{\"trace_id\":{},\"severity\":", t.trace_id);
+                escape_into(&mut out, d.severity().as_str());
+                out.push_str(",\"code\":");
+                escape_into(&mut out, d.kind.code());
+                out.push_str(",\"loc\":");
+                escape_into(&mut out, &d.loc.to_string());
+                match d.range {
+                    Some(r) => {
+                        let _ = write!(out, ",\"range\":[{},{}]", r.start(), r.end());
+                    }
+                    None => out.push_str(",\"range\":null"),
+                }
+                match d.culprit {
+                    Some(c) => {
+                        out.push_str(",\"culprit\":");
+                        escape_into(&mut out, &c.to_string());
+                    }
+                    None => out.push_str(",\"culprit\":null"),
+                }
+                out.push_str(",\"message\":");
+                escape_into(&mut out, &d.message);
+                out.push_str("}\n");
+            }
+        }
+        out
     }
 
     /// A one-line summary, e.g. `2 FAIL (not persisted x2), 1 WARN
@@ -320,6 +418,98 @@ mod tests {
         assert!(s.contains("2 FAIL"), "{s}");
         assert!(s.contains("not persisted x2"), "{s}");
         assert!(Report::default().summary().contains("clean"));
+    }
+
+    #[test]
+    fn codes_round_trip_for_every_kind() {
+        for kind in DiagKind::ALL {
+            let code = kind.code();
+            assert_eq!(DiagKind::from_code(code), Some(kind), "{code}");
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "code {code:?} is not snake_case"
+            );
+        }
+        // Codes are unique — two kinds must never alias in machine output.
+        let mut codes: Vec<_> = DiagKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), DiagKind::ALL.len());
+        assert_eq!(DiagKind::from_code("nonsense"), None);
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        // The exact published strings: changing any of these breaks every
+        // consumer of the JSON-lines format. Append-only.
+        let expected = [
+            "not_persisted",
+            "not_ordered_before",
+            "missing_log",
+            "unterminated_tx",
+            "unmatched_tx_end",
+            "unnecessary_flush",
+            "duplicate_flush",
+            "duplicate_log",
+            "foreign_operation",
+        ];
+        let actual: Vec<_> = DiagKind::ALL.iter().map(|k| k.code()).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn json_lines_emit_every_variant_parseably() {
+        let report = Report::from_traces(
+            DiagKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| TraceReport { trace_id: i as u64, diags: vec![diag(kind)] })
+                .collect(),
+        );
+        let jsonl = report.to_json_lines();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), DiagKind::ALL.len());
+        for (line, kind) in lines.iter().zip(DiagKind::ALL) {
+            let v = pmtest_obs::json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            let code = v.get("code").unwrap().as_str().unwrap();
+            assert_eq!(DiagKind::from_code(code), Some(kind), "round-trip through JSON");
+            assert_eq!(v.get("severity").unwrap().as_str().unwrap(), kind.severity().as_str());
+            assert_eq!(v.get("loc").unwrap().as_str(), Some("app.rs:10"));
+            assert_eq!(v.get("message").unwrap().as_str(), Some("details"));
+        }
+    }
+
+    #[test]
+    fn json_lines_handle_missing_fields_and_quoting() {
+        let report = Report::from_traces(vec![TraceReport {
+            trace_id: 7,
+            diags: vec![Diag {
+                kind: DiagKind::ForeignOperation,
+                loc: SourceLoc::new("a\"b.rs", 1),
+                range: None,
+                culprit: None,
+                message: "say \"hi\"\n".to_owned(),
+            }],
+        }]);
+        let jsonl = report.to_json_lines();
+        let v = pmtest_obs::json::parse(jsonl.trim_end()).unwrap();
+        assert_eq!(v.get("trace_id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("loc").unwrap().as_str(), Some("a\"b.rs:1"));
+        assert_eq!(v.get("message").unwrap().as_str(), Some("say \"hi\"\n"));
+        assert!(matches!(v.get("range"), Some(pmtest_obs::json::JsonValue::Null)));
+        assert!(Report::default().to_json_lines().is_empty());
+    }
+
+    #[test]
+    fn extend_traces_keeps_sorted_order() {
+        let mut report = Report::from_traces(vec![TraceReport { trace_id: 5, diags: vec![] }]);
+        report.extend_traces(vec![
+            TraceReport { trace_id: 9, diags: vec![] },
+            TraceReport { trace_id: 1, diags: vec![] },
+        ]);
+        report.extend_traces(Vec::new());
+        let ids: Vec<u64> = report.traces().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, [1, 5, 9]);
     }
 
     #[test]

@@ -2,14 +2,17 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
-use pmtest_trace::{BufferPool, Trace};
+use pmtest_obs::{EventLog, TelemetrySnapshot};
+use pmtest_trace::{BufferPool, Trace, TraceStats};
 
-use crate::checker::check_trace;
+use crate::checker::{check_trace, TraceChecker};
 use crate::diag::{Report, TraceReport};
 use crate::model::{PersistencyModel, X86Model};
+use crate::telemetry::{EngineTelemetry, TelemetryConfig};
 
 /// Configuration of the checking engine.
 #[derive(Clone, Debug)]
@@ -23,11 +26,19 @@ pub struct EngineConfig {
     /// finite and reproduces the paper's behaviour that a saturated checking
     /// pipeline backpressures the program (Fig. 12a).
     pub queue_capacity: usize,
+    /// What the engine records beyond its always-on counters (latency
+    /// histograms, the structured event ring). Defaults to everything off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { model: Arc::new(X86Model::new()), workers: 1, queue_capacity: 256 }
+        Self {
+            model: Arc::new(X86Model::new()),
+            workers: 1,
+            queue_capacity: 256,
+            telemetry: TelemetryConfig::off(),
+        }
     }
 }
 
@@ -57,6 +68,10 @@ impl TraceBatch {
 struct BatchMsg {
     traces: TraceBatch,
     accounting: BatchAccounting,
+    /// Send time, for the dispatch-latency histogram. `None` unless the
+    /// telemetry timing layer is on — reading the clock per submit would
+    /// otherwise dominate short traces.
+    submitted: Option<Instant>,
 }
 
 /// Drop-guard for one dispatched batch. Dropping it marks the batch's traces
@@ -151,9 +166,11 @@ struct Shared {
     outstanding: AtomicU64,
     /// Per-worker result shards; worker `i` writes only `shards[i]`.
     shards: Vec<Mutex<Vec<TraceReport>>>,
-    /// Results merged out of the shards so far. Drained by
-    /// [`Engine::take_report`], appended to by every report request.
-    collected: Mutex<Vec<TraceReport>>,
+    /// Results merged out of the shards so far, kept sorted by trace id.
+    /// Drained by [`Engine::take_report`], appended to by every report
+    /// request — so [`Engine::report`] clones an already-built [`Report`]
+    /// and [`Engine::with_report`] borrows it without copying at all.
+    collected: Mutex<Report>,
     /// Traces queued per worker, for load-aware dispatch.
     queued: Vec<AtomicU64>,
     /// Entry buffers recycled between workers (release) and sessions
@@ -168,6 +185,10 @@ struct Shared {
     traces_submitted: AtomicU64,
     queue_highwater: AtomicU64,
     backpressure_stalls: AtomicU64,
+    /// Typed metric handles (histograms, per-kind diagnostic counters, the
+    /// event ring). Always present; whether clocks are read depends on
+    /// [`TelemetryConfig::timing`].
+    telemetry: EngineTelemetry,
 }
 
 impl Shared {
@@ -233,7 +254,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             outstanding: AtomicU64::new(0),
             shards: (0..config.workers).map(|_| Mutex::new(Vec::new())).collect(),
-            collected: Mutex::new(Vec::new()),
+            collected: Mutex::new(Report::default()),
             queued: (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
             pool: Arc::new(BufferPool::new()),
             idle_lock: Mutex::new(()),
@@ -245,6 +266,7 @@ impl Engine {
             traces_submitted: AtomicU64::new(0),
             queue_highwater: AtomicU64::new(0),
             backpressure_stalls: AtomicU64::new(0),
+            telemetry: EngineTelemetry::new(config.workers, config.telemetry),
         });
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
@@ -260,7 +282,15 @@ impl Engine {
                         // checking: a panicking checker unwinds through it
                         // and the batch still retires (otherwise `wait_idle`
                         // would block forever on the lost traces).
-                        let BatchMsg { traces, accounting: _accounting } = msg;
+                        let BatchMsg { traces, accounting: _accounting, submitted } = msg;
+                        let dequeued = submitted.map(|sent| {
+                            let now = Instant::now();
+                            shared
+                                .telemetry
+                                .dispatch_latency
+                                .record(now.duration_since(sent).as_nanos() as u64);
+                            now
+                        });
                         match traces {
                             TraceBatch::One(trace) => worker_check(&shared, i, &model, trace),
                             TraceBatch::Many(traces) => {
@@ -268,6 +298,9 @@ impl Engine {
                                     worker_check(&shared, i, &model, trace);
                                 }
                             }
+                        }
+                        if let Some(start) = dequeued {
+                            shared.telemetry.worker_busy[i].add(start.elapsed().as_nanos() as u64);
                         }
                     }
                 })
@@ -306,6 +339,74 @@ impl Engine {
         }
     }
 
+    /// The typed metric handles shared with sessions (batch-fill histogram,
+    /// flush-cause counters).
+    pub(crate) fn telemetry(&self) -> &EngineTelemetry {
+        &self.shared.telemetry
+    }
+
+    /// The engine's structured event log. Empty unless
+    /// [`TelemetryConfig::events`] is on (or it is enabled here at runtime
+    /// via [`EventLog::set_enabled`]).
+    #[must_use]
+    pub fn event_log(&self) -> &EventLog {
+        &self.shared.telemetry.events
+    }
+
+    /// A full machine-readable snapshot of the engine's telemetry: registry
+    /// metrics (per-checker latency histograms, per-kind diagnostic
+    /// counters, queue-depth and worker-utilization gauges), the lifetime
+    /// [`EngineStats`] counters, buffer-pool statistics, live per-worker
+    /// queue depths, and the contents of the event ring.
+    ///
+    /// Export it with [`TelemetrySnapshot::to_json_lines`],
+    /// [`TelemetrySnapshot::to_prometheus`], or dump it to disk via
+    /// [`pmtest_obs::writer`].
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.shared.telemetry.snapshot();
+        let stats = self.stats();
+        snap.push_counter("engine_traces_checked", &[], stats.traces_checked);
+        snap.push_counter("engine_entries_processed", &[], stats.entries_processed);
+        snap.push_counter("engine_diagnostics", &[], stats.diagnostics);
+        snap.push_counter("engine_batches_submitted", &[], stats.batches_submitted);
+        snap.push_counter("engine_traces_submitted", &[], stats.traces_submitted);
+        snap.push_counter("engine_queue_highwater", &[], stats.queue_highwater);
+        snap.push_counter("engine_backpressure_stalls", &[], stats.backpressure_stalls);
+        snap.push_gauge("engine_workers", &[], self.workers() as f64);
+        for (i, queued) in self.shared.queued.iter().enumerate() {
+            let worker = i.to_string();
+            snap.push_gauge(
+                "engine_worker_queued",
+                &[("worker", &worker)],
+                queued.load(Ordering::Relaxed) as f64,
+            );
+        }
+        let pool = self.shared.pool.stats();
+        snap.push_counter("pool_recycled", &[], pool.recycled);
+        snap.push_counter("pool_fresh", &[], pool.fresh);
+        snap.push_counter("pool_released", &[], pool.released);
+        snap.push_counter("pool_dropped", &[], pool.dropped);
+        snap.push_gauge("pool_hit_rate", &[], pool.hit_rate());
+        snap
+    }
+
+    /// One human-readable line summarizing [`telemetry_snapshot`]
+    /// (Self::telemetry_snapshot): traces checked, check-latency quantiles,
+    /// queue high-water, diagnostic totals.
+    #[must_use]
+    pub fn telemetry_summary(&self) -> String {
+        crate::telemetry::summary_line(&self.telemetry_snapshot())
+    }
+
+    /// Aggregated [`TraceStats`] per worker — how checker-dense and
+    /// epoch-dense each worker's share of the workload was. All zeros unless
+    /// [`TelemetryConfig::timing`] is on.
+    #[must_use]
+    pub fn worker_trace_stats(&self) -> Vec<TraceStats> {
+        self.shared.telemetry.worker_stats.iter().map(|s| *s.lock()).collect()
+    }
+
     /// Submits one trace for asynchronous checking.
     ///
     /// # Errors
@@ -341,6 +442,7 @@ impl Engine {
         let msg = BatchMsg {
             traces: batch,
             accounting: BatchAccounting { shared: self.shared.clone(), idx, n },
+            submitted: self.shared.telemetry.timing.then(Instant::now),
         };
         let msg = match self.worker_txs[idx].try_send(msg) {
             Ok(()) => {
@@ -372,6 +474,8 @@ impl Engine {
         self.shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.traces_submitted.fetch_add(n, Ordering::Relaxed);
         self.shared.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+        // Sampled on every submit: the depth the delivered batch landed at.
+        self.shared.telemetry.queue_depth.set(depth);
     }
 
     /// The worker with the fewest queued traces, ties broken round-robin.
@@ -409,29 +513,41 @@ impl Engine {
         }
     }
 
-    /// Merges every worker shard into the accumulated result list. Callers
-    /// must already hold no shard or collected lock.
-    fn drain_shards(&self) -> parking_lot::MutexGuard<'_, Vec<TraceReport>> {
+    /// Merges every worker shard into the accumulated, sorted [`Report`].
+    /// Callers must already hold no shard or collected lock.
+    fn drain_shards(&self) -> parking_lot::MutexGuard<'_, Report> {
         let mut collected = self.shared.collected.lock();
         for shard in &self.shared.shards {
-            collected.append(&mut shard.lock());
+            collected.extend_traces(std::mem::take(&mut *shard.lock()));
         }
         collected
     }
 
     /// Waits for all outstanding traces, then returns a copy of every result
-    /// so far (results keep accumulating).
+    /// so far (results keep accumulating). The accumulated report is kept
+    /// merged and sorted between calls, so each call clones only once — for
+    /// read-only access without even that clone, use
+    /// [`with_report`](Self::with_report).
     #[must_use]
     pub fn report(&self) -> Report {
         self.wait_idle();
-        Report::from_traces(self.drain_shards().clone())
+        self.drain_shards().clone()
+    }
+
+    /// Waits for all outstanding traces, then runs `f` on a borrow of the
+    /// accumulated results — the zero-copy variant of
+    /// [`report`](Self::report). Results keep accumulating; `f` must not
+    /// call back into report methods (the results lock is held).
+    pub fn with_report<R>(&self, f: impl FnOnce(&Report) -> R) -> R {
+        self.wait_idle();
+        f(&self.drain_shards())
     }
 
     /// Waits for all outstanding traces, then drains and returns the results.
     #[must_use]
     pub fn take_report(&self) -> Report {
         self.wait_idle();
-        Report::from_traces(std::mem::take(&mut *self.drain_shards()))
+        std::mem::take(&mut *self.drain_shards())
     }
 
     /// Shuts the worker pool down, returning everything checked so far
@@ -452,11 +568,41 @@ impl Engine {
 
 /// Checks one trace on worker `idx`: runs the checkers, records stats, files
 /// the result in the worker's shard, and recycles the entry buffer.
+///
+/// With the telemetry timing layer on, the checker loop is run manually so
+/// each entry's cost lands in its [`CheckerCategory`] histogram
+/// (`engine_checker_ns{checker=…}`) — `isPersist` separable from
+/// `TX_CHECKER` separable from plain model replay; otherwise the trace goes
+/// through the clock-free [`check_trace`] fast path.
+///
+/// [`CheckerCategory`]: crate::telemetry::CheckerCategory
 fn worker_check(shared: &Shared, idx: usize, model: &Arc<dyn PersistencyModel>, trace: Trace) {
-    let diags = check_trace(&trace, model.as_ref());
+    let diags = if shared.telemetry.timing {
+        let started = Instant::now();
+        let mut checker = TraceChecker::new(model.as_ref());
+        let mut last = started;
+        for entry in trace.entries() {
+            checker.process(entry);
+            let now = Instant::now();
+            shared
+                .telemetry
+                .checker_histogram(&entry.event)
+                .record(now.duration_since(last).as_nanos() as u64);
+            last = now;
+        }
+        let diags = checker.finish();
+        shared.telemetry.check_latency.record(started.elapsed().as_nanos() as u64);
+        shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_trace(&trace));
+        diags
+    } else {
+        check_trace(&trace, model.as_ref())
+    };
     shared.traces_checked.fetch_add(1, Ordering::Relaxed);
     shared.entries_processed.fetch_add(trace.len() as u64, Ordering::Relaxed);
     shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
+    for diag in &diags {
+        shared.telemetry.diag_counter(diag.kind).inc();
+    }
     let trace_id = trace.id();
     shared.shards[idx].lock().push(TraceReport { trace_id, diags });
     shared.pool.release(trace.into_entries());
@@ -637,6 +783,80 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.traces().len(), 20);
         assert_eq!(report.fail_count(), 20);
+    }
+
+    #[test]
+    fn with_report_borrows_accumulated_results() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.submit(failing_trace(0)).unwrap();
+        assert_eq!(engine.with_report(Report::fail_count), 1);
+        engine.submit(failing_trace(1)).unwrap();
+        assert_eq!(engine.with_report(Report::fail_count), 2, "results accumulate");
+        assert_eq!(engine.take_report().fail_count(), 2);
+        assert_eq!(engine.with_report(|r| r.traces().len()), 0, "take drained");
+    }
+
+    #[test]
+    fn telemetry_snapshot_counts_diagnostics_by_kind() {
+        let engine = Engine::new(EngineConfig::default());
+        for id in 0..4 {
+            engine.submit(failing_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(snap.counter("engine_traces_checked"), Some(4));
+        assert_eq!(snap.counter("engine_entries_processed"), Some(8));
+        let not_persisted = snap
+            .counters
+            .iter()
+            .find(|c| {
+                c.name == "engine_diag_total"
+                    && c.labels.iter().any(|(k, v)| k == "code" && v == "not_persisted")
+            })
+            .expect("per-kind counter registered");
+        assert_eq!(not_persisted.value, 4);
+        assert!(not_persisted.labels.iter().any(|(k, v)| k == "severity" && v == "FAIL"));
+        assert_eq!(snap.counter_sum("engine_diag_total"), 4, "no other kind fired");
+        assert!(snap.gauge("engine_queue_depth").is_some(), "sampled on submit");
+        assert!(snap.gauge("pool_hit_rate").is_some());
+        // Timing layer off: histograms exist but hold no observations, and
+        // the per-worker trace stats stay zero.
+        assert_eq!(snap.histogram("engine_check_latency_ns").unwrap().count, 0);
+        assert_eq!(engine.worker_trace_stats(), vec![TraceStats::default()]);
+        assert!(engine.telemetry_summary().contains("timing off"));
+    }
+
+    #[test]
+    fn timing_layer_populates_latency_histograms_and_worker_stats() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..EngineConfig::default()
+        });
+        for id in 0..8 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let snap = engine.telemetry_snapshot();
+        let check = snap.histogram("engine_check_latency_ns").unwrap();
+        assert_eq!(check.count, 8);
+        assert!(check.p50 > 0.0 && check.p99 >= check.p50);
+        let is_persist = snap.histogram_with("engine_checker_ns", "checker", "is_persist").unwrap();
+        assert_eq!(is_persist.count, 8, "one isPersist per clean trace");
+        let replay = snap.histogram_with("engine_checker_ns", "checker", "model_replay").unwrap();
+        assert_eq!(replay.count, 24, "write + flush + fence per clean trace");
+        assert_eq!(snap.histogram("engine_dispatch_latency_ns").unwrap().count, 8);
+        assert!(snap.counter_sum("engine_worker_busy_ns") > 0);
+        assert!(snap.gauge("engine_worker_utilization").is_some());
+        let mut totals = TraceStats::default();
+        for stats in engine.worker_trace_stats() {
+            totals.merge(&stats);
+        }
+        assert_eq!(totals.writes, 8);
+        assert_eq!(totals.entries, 32);
+        assert_eq!(snap.counter_sum("engine_worker_entries"), 32);
+        let summary = engine.telemetry_summary();
+        assert!(summary.contains("8 traces checked"), "{summary}");
+        assert!(summary.contains("p50"), "{summary}");
     }
 
     /// A model whose checkers panic, killing the worker thread — the only

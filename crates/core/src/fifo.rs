@@ -1,7 +1,10 @@
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use pmtest_obs::TelemetrySnapshot;
 use pmtest_trace::Trace;
 
 /// A bounded trace queue simulating the kernel FIFO of §4.5.
@@ -33,11 +36,47 @@ pub struct KernelFifo {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    counters: FifoCounters,
 }
 
 struct FifoState {
     queue: VecDeque<Trace>,
     closed: bool,
+}
+
+/// Always-on occupancy and stall accounting. Counters are relaxed atomics;
+/// the stall clocks are read only on the blocking paths, where a condvar
+/// wait already dwarfs them.
+#[derive(Default)]
+struct FifoCounters {
+    pushes: AtomicU64,
+    pops: AtomicU64,
+    occupancy_highwater: AtomicU64,
+    push_stalls: AtomicU64,
+    push_stall_ns: AtomicU64,
+    pop_stalls: AtomicU64,
+    pop_stall_ns: AtomicU64,
+}
+
+/// Lifetime statistics of a [`KernelFifo`] — how full the FIFO ran and how
+/// long each side spent blocked on the other (§4.5's producer wait queue).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Traces accepted by [`KernelFifo::push`].
+    pub pushes: u64,
+    /// Traces handed out by [`KernelFifo::pop`] / [`KernelFifo::pop_batch`].
+    pub pops: u64,
+    /// Highest occupancy ever reached. At capacity, the producer has been
+    /// put on the wait queue at least once.
+    pub occupancy_highwater: u64,
+    /// Times a push found the FIFO full and blocked.
+    pub push_stalls: u64,
+    /// Total nanoseconds pushes spent blocked on a full FIFO.
+    pub push_stall_ns: u64,
+    /// Times a pop found the FIFO empty and blocked.
+    pub pop_stalls: u64,
+    /// Total nanoseconds pops spent blocked on an empty FIFO.
+    pub pop_stall_ns: u64,
 }
 
 impl Default for KernelFifo {
@@ -69,7 +108,47 @@ impl KernelFifo {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
+            counters: FifoCounters::default(),
         }
+    }
+
+    /// Lifetime occupancy and stall statistics.
+    #[must_use]
+    pub fn stats(&self) -> FifoStats {
+        FifoStats {
+            pushes: self.counters.pushes.load(Ordering::Relaxed),
+            pops: self.counters.pops.load(Ordering::Relaxed),
+            occupancy_highwater: self.counters.occupancy_highwater.load(Ordering::Relaxed),
+            push_stalls: self.counters.push_stalls.load(Ordering::Relaxed),
+            push_stall_ns: self.counters.push_stall_ns.load(Ordering::Relaxed),
+            pop_stalls: self.counters.pop_stalls.load(Ordering::Relaxed),
+            pop_stall_ns: self.counters.pop_stall_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds the FIFO's statistics into a telemetry snapshot (so a pump
+    /// harness can merge them with [`Engine::telemetry_snapshot`]).
+    ///
+    /// [`Engine::telemetry_snapshot`]: crate::Engine::telemetry_snapshot
+    pub fn snapshot_into(&self, snap: &mut TelemetrySnapshot) {
+        let stats = self.stats();
+        snap.push_counter("fifo_pushes", &[], stats.pushes);
+        snap.push_counter("fifo_pops", &[], stats.pops);
+        snap.push_counter("fifo_occupancy_highwater", &[], stats.occupancy_highwater);
+        snap.push_counter("fifo_push_stalls", &[], stats.push_stalls);
+        snap.push_counter("fifo_push_stall_ns", &[], stats.push_stall_ns);
+        snap.push_counter("fifo_pop_stalls", &[], stats.pop_stalls);
+        snap.push_counter("fifo_pop_stall_ns", &[], stats.pop_stall_ns);
+        snap.push_gauge("fifo_capacity", &[], self.capacity as f64);
+        snap.push_gauge("fifo_occupancy", &[], self.len() as f64);
+    }
+
+    /// The FIFO's statistics as a standalone telemetry snapshot.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
     }
 
     /// Maximum number of queued traces.
@@ -95,14 +174,25 @@ impl KernelFifo {
     /// was closed.
     pub fn push(&self, trace: Trace) -> bool {
         let mut state = self.state.lock();
-        while state.queue.len() >= self.capacity && !state.closed {
-            self.not_full.wait(&mut state);
+        if state.queue.len() >= self.capacity && !state.closed {
+            // Producer goes on the wait queue: count the stall and clock it.
+            self.counters.push_stalls.fetch_add(1, Ordering::Relaxed);
+            let stalled = Instant::now();
+            while state.queue.len() >= self.capacity && !state.closed {
+                self.not_full.wait(&mut state);
+            }
+            self.counters
+                .push_stall_ns
+                .fetch_add(stalled.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         if state.closed {
             return false;
         }
         state.queue.push_back(trace);
+        let occupancy = state.queue.len() as u64;
         drop(state);
+        self.counters.pushes.fetch_add(1, Ordering::Relaxed);
+        self.counters.occupancy_highwater.fetch_max(occupancy, Ordering::Relaxed);
         self.not_empty.notify_one();
         true
     }
@@ -111,6 +201,7 @@ impl KernelFifo {
     /// `None` once the FIFO is closed *and* drained.
     pub fn pop(&self) -> Option<Trace> {
         let mut state = self.state.lock();
+        let mut stalled = None;
         loop {
             if let Some(trace) = state.queue.pop_front() {
                 // Paper: the producer "gets interrupted and resumes execution
@@ -118,12 +209,30 @@ impl KernelFifo {
                 if state.queue.len() < self.capacity / 2 {
                     self.not_full.notify_all();
                 }
+                drop(state);
+                self.settle_pop_stall(stalled);
+                self.counters.pops.fetch_add(1, Ordering::Relaxed);
                 return Some(trace);
             }
             if state.closed {
+                drop(state);
+                self.settle_pop_stall(stalled);
                 return None;
             }
+            if stalled.is_none() {
+                self.counters.pop_stalls.fetch_add(1, Ordering::Relaxed);
+                stalled = Some(Instant::now());
+            }
             self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Accumulates the time a pop spent blocked, if it blocked at all.
+    fn settle_pop_stall(&self, stalled: Option<Instant>) {
+        if let Some(since) = stalled {
+            self.counters
+                .pop_stall_ns
+                .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
@@ -140,6 +249,7 @@ impl KernelFifo {
     pub fn pop_batch(&self, max: usize) -> Vec<Trace> {
         assert!(max > 0, "pop_batch needs a positive batch size");
         let mut state = self.state.lock();
+        let mut stalled = None;
         loop {
             if !state.queue.is_empty() {
                 let take = max.min(state.queue.len());
@@ -147,10 +257,19 @@ impl KernelFifo {
                 if state.queue.len() < self.capacity / 2 {
                     self.not_full.notify_all();
                 }
+                drop(state);
+                self.settle_pop_stall(stalled);
+                self.counters.pops.fetch_add(batch.len() as u64, Ordering::Relaxed);
                 return batch;
             }
             if state.closed {
+                drop(state);
+                self.settle_pop_stall(stalled);
                 return Vec::new();
+            }
+            if stalled.is_none() {
+                self.counters.pop_stalls.fetch_add(1, Ordering::Relaxed);
+                stalled = Some(Instant::now());
             }
             self.not_empty.wait(&mut state);
         }
@@ -294,5 +413,64 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = KernelFifo::with_capacity(0);
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_stalls() {
+        let fifo = Arc::new(KernelFifo::with_capacity(2));
+        fifo.push(Trace::new(0));
+        fifo.push(Trace::new(1));
+        assert_eq!(fifo.stats().occupancy_highwater, 2);
+        assert_eq!(fifo.stats().push_stalls, 0);
+        let producer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || fifo.push(Trace::new(2)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(fifo.stats().push_stalls, 1, "full fifo stalls the producer");
+        fifo.pop().unwrap();
+        fifo.pop().unwrap();
+        assert!(producer.join().unwrap());
+        let stats = fifo.stats();
+        assert_eq!(stats.pushes, 3);
+        assert_eq!(stats.pops, 2);
+        assert!(stats.push_stall_ns > 0, "stall time accumulates while blocked");
+    }
+
+    #[test]
+    fn pop_stall_time_is_clocked() {
+        let fifo = Arc::new(KernelFifo::with_capacity(4));
+        let consumer = {
+            let fifo = fifo.clone();
+            std::thread::spawn(move || fifo.pop_batch(4))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        fifo.push(Trace::new(0));
+        assert_eq!(consumer.join().unwrap().len(), 1);
+        let stats = fifo.stats();
+        assert_eq!(stats.pop_stalls, 1);
+        assert!(stats.pop_stall_ns > 0);
+        assert_eq!(stats.pops, 1);
+    }
+
+    #[test]
+    fn snapshot_folds_into_telemetry() {
+        let fifo = KernelFifo::with_capacity(8);
+        for id in 0..3 {
+            fifo.push(Trace::new(id));
+        }
+        fifo.pop().unwrap();
+        let snap = fifo.telemetry_snapshot();
+        assert_eq!(snap.counter("fifo_pushes"), Some(3));
+        assert_eq!(snap.counter("fifo_pops"), Some(1));
+        assert_eq!(snap.counter("fifo_occupancy_highwater"), Some(3));
+        assert_eq!(snap.gauge("fifo_occupancy"), Some(2.0));
+        assert_eq!(snap.gauge("fifo_capacity"), Some(8.0));
+        // Folds into an existing snapshot without clobbering it.
+        let mut merged = TelemetrySnapshot::default();
+        merged.push_counter("engine_traces_checked", &[], 9);
+        fifo.snapshot_into(&mut merged);
+        assert_eq!(merged.counter("engine_traces_checked"), Some(9));
+        assert_eq!(merged.counter("fifo_pushes"), Some(3));
     }
 }

@@ -73,12 +73,14 @@ mod fifo;
 mod model;
 mod session;
 mod shadow;
+pub mod telemetry;
 
 pub use checker::{check_trace, TraceChecker};
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
 pub use engine::{Engine, EngineConfig, EngineStats, SubmitError};
 pub use epoch::{Epoch, EpochInterval};
-pub use fifo::KernelFifo;
+pub use fifo::{FifoStats, KernelFifo};
 pub use model::{HopsModel, PersistencyModel, X86Model};
 pub use session::{PmTestSession, SessionBuilder};
 pub use shadow::{SegState, ShadowMemory};
+pub use telemetry::{CheckerCategory, TelemetryConfig};

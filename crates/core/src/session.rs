@@ -11,6 +11,7 @@ use pmtest_trace::{Entry, Event, SharedSink, Sink, Trace};
 use crate::diag::Report;
 use crate::engine::{Engine, EngineConfig};
 use crate::model::PersistencyModel;
+use crate::telemetry::{FlushCause, TelemetryConfig};
 
 static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -40,7 +41,7 @@ impl Drop for Slot {
             return;
         }
         if let Some(shared) = self.shared.upgrade() {
-            let _ = shared.engine.submit_batch(std::mem::take(&mut self.pending));
+            shared.ship_batch(std::mem::take(&mut self.pending), FlushCause::ThreadExit);
         }
     }
 }
@@ -138,6 +139,15 @@ struct SessionShared {
     vars: Mutex<HashMap<String, ByteRange>>,
 }
 
+impl SessionShared {
+    /// Ships one completed per-thread batch to the engine, recording its
+    /// fill level and why it flushed (`session_flush_total{cause=…}`).
+    fn ship_batch(&self, batch: Vec<Trace>, cause: FlushCause) {
+        self.engine.telemetry().note_batch_shipped(cause, batch.len());
+        let _ = self.engine.submit_batch(batch);
+    }
+}
+
 /// Builder for [`PmTestSession`] (`PMTest_INIT`).
 pub struct SessionBuilder {
     config: EngineConfig,
@@ -182,6 +192,14 @@ impl SessionBuilder {
     #[must_use]
     pub fn batch_capacity(mut self, capacity: usize) -> Self {
         self.batch_capacity = capacity.max(1);
+        self
+    }
+
+    /// Configures engine telemetry (default: counters only — no clocks read
+    /// on the hot path, empty event ring). See [`TelemetryConfig`].
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
         self
     }
 
@@ -270,7 +288,7 @@ impl PmTestSession {
                         &mut slot.pending,
                         Vec::with_capacity(shared.batch_capacity),
                     );
-                    let _ = shared.engine.submit_batch(batch);
+                    shared.ship_batch(batch, FlushCause::Capacity);
                 }
             }
             Some(trace_id)
@@ -285,7 +303,7 @@ impl PmTestSession {
     pub fn flush(&self) {
         with_slot(&self.shared, |slot| {
             if !slot.pending.is_empty() {
-                let _ = self.shared.engine.submit_batch(std::mem::take(&mut slot.pending));
+                self.shared.ship_batch(std::mem::take(&mut slot.pending), FlushCause::ResultPoint);
             }
         });
     }
@@ -317,6 +335,28 @@ impl PmTestSession {
     #[must_use]
     pub fn pool_stats(&self) -> pmtest_trace::PoolStats {
         self.shared.engine.buffer_pool().stats()
+    }
+
+    /// A machine-readable snapshot of the engine's telemetry — see
+    /// [`Engine::telemetry_snapshot`]. Includes the session-level batching
+    /// metrics (`session_batch_fill`, `session_flush_total{cause=…}`).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> pmtest_obs::TelemetrySnapshot {
+        self.shared.engine.telemetry_snapshot()
+    }
+
+    /// One human-readable telemetry summary line — see
+    /// [`Engine::telemetry_summary`].
+    #[must_use]
+    pub fn telemetry_summary(&self) -> String {
+        self.shared.engine.telemetry_summary()
+    }
+
+    /// The engine's structured event log (empty unless enabled via
+    /// [`SessionBuilder::telemetry`] or at runtime).
+    #[must_use]
+    pub fn event_log(&self) -> &pmtest_obs::EventLog {
+        self.shared.engine.event_log()
     }
 
     /// Convenience teardown: flushes the calling thread's trace, waits for
@@ -686,6 +726,75 @@ mod tests {
         let report = session.report();
         assert_eq!(report.traces().len(), 10, "drop-flush shipped the batch");
         assert!(report.is_clean());
+    }
+
+    fn flush_cause_count(snap: &pmtest_obs::TelemetrySnapshot, cause: &str) -> u64 {
+        snap.counters
+            .iter()
+            .filter(|c| {
+                c.name == "session_flush_total"
+                    && c.labels.iter().any(|(k, v)| k == "cause" && v == cause)
+            })
+            .map(|c| c.value)
+            .sum()
+    }
+
+    #[test]
+    fn flush_causes_and_batch_fill_are_recorded() {
+        let session = PmTestSession::builder().batch_capacity(4).build();
+        session.start();
+        for _ in 0..9 {
+            record_clean_trace(&session);
+        }
+        // 9 traces at capacity 4: two capacity flushes, one trace pending.
+        let report = session.report(); // result-point flush ships the ninth
+        assert_eq!(report.traces().len(), 9);
+        let snap = session.telemetry_snapshot();
+        assert_eq!(flush_cause_count(&snap, "capacity"), 2);
+        assert_eq!(flush_cause_count(&snap, "result_point"), 1);
+        assert_eq!(flush_cause_count(&snap, "thread_exit"), 0);
+        let fill = snap.histogram("session_batch_fill").expect("registered");
+        assert_eq!(fill.count, 3);
+        assert_eq!(fill.sum, 9, "4 + 4 + 1 traces across the three batches");
+    }
+
+    #[test]
+    fn thread_exit_flush_cause_is_attributed() {
+        let session = PmTestSession::builder().batch_capacity(64).build();
+        session.start();
+        let handle = {
+            let session = session.clone();
+            std::thread::spawn(move || {
+                session.thread_init();
+                for _ in 0..5 {
+                    record_clean_trace(&session);
+                }
+            })
+        };
+        handle.join().unwrap();
+        let report = session.report();
+        assert_eq!(report.traces().len(), 5);
+        let snap = session.telemetry_snapshot();
+        assert_eq!(flush_cause_count(&snap, "thread_exit"), 1);
+        assert_eq!(flush_cause_count(&snap, "capacity"), 0);
+    }
+
+    #[test]
+    fn session_event_log_captures_flushes() {
+        let session = PmTestSession::builder()
+            .batch_capacity(2)
+            .telemetry(TelemetryConfig::enabled())
+            .build();
+        session.start();
+        for _ in 0..4 {
+            record_clean_trace(&session);
+        }
+        assert!(session.report().is_clean());
+        let events = session.event_log().snapshot();
+        let flushes: Vec<_> = events.iter().filter(|e| e.name == "session.flush").collect();
+        assert_eq!(flushes.len(), 2, "two capacity flushes recorded as events");
+        let snap = session.telemetry_snapshot();
+        assert!(!snap.events.is_empty(), "snapshot carries the event ring");
     }
 
     #[test]

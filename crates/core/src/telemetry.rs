@@ -1,0 +1,366 @@
+//! Engine telemetry: the typed metrics the checking pipeline exposes
+//! through [`pmtest_obs`].
+//!
+//! The engine's counters are always on — each is one `Relaxed` atomic op on
+//! an already-atomic-heavy path, which is why telemetry-off overhead is
+//! within noise (see DESIGN.md §9 for the budget). The *timing* layer
+//! (per-checker latency histograms, dispatch latency, worker utilization,
+//! per-worker [`TraceStats`] aggregation) costs `Instant` reads per entry
+//! and is opt-in via [`TelemetryConfig::timing`]; the structured
+//! [`EventLog`] ring is likewise behind [`TelemetryConfig::events`].
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pmtest_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot};
+use pmtest_trace::{Event, TraceStats};
+
+use crate::diag::DiagKind;
+
+/// What the engine records beyond its always-on counters.
+///
+/// The default is everything off: counters and the queue-depth gauge still
+/// update (they are single relaxed atomics), but no clocks are read on the
+/// hot path and the event ring stays empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record latency histograms (per-checker, per-trace, dispatch), worker
+    /// busy time / utilization, and per-worker [`TraceStats`] aggregation.
+    /// Costs two `Instant` reads per trace entry on the worker side.
+    pub timing: bool,
+    /// Record structured events (batch spans, flush causes) into the ring.
+    pub events: bool,
+    /// Capacity of the event ring (oldest events are overwritten).
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl TelemetryConfig {
+    /// Counters only — the zero-cost default.
+    #[must_use]
+    pub fn off() -> Self {
+        Self { timing: false, events: false, event_capacity: EventLog::DEFAULT_CAPACITY }
+    }
+
+    /// Everything on: timing histograms and the event ring.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self { timing: true, events: true, event_capacity: EventLog::DEFAULT_CAPACITY }
+    }
+
+    /// Timing histograms without the event ring.
+    #[must_use]
+    pub fn timing_only() -> Self {
+        Self { timing: true, ..Self::off() }
+    }
+}
+
+/// Cost category a trace entry is attributed to in the per-checker
+/// wall-time histograms (`engine_checker_ns{checker=…}`), so `isPersist`
+/// cost is separable from `TX_CHECKER` maintenance and from replaying plain
+/// PM operations against the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckerCategory {
+    /// Plain PM operations replayed into the shadow memory
+    /// (write/flush/fence, any flavour).
+    ModelReplay,
+    /// `isPersist` checkers.
+    IsPersist,
+    /// `isOrderedBefore` checkers.
+    IsOrderedBefore,
+    /// Transaction bookkeeping and the high-level checker
+    /// (`TX_BEGIN`/`TX_END`/`TX_ADD`, `TX_CHECKER_START`/`END`).
+    TxChecker,
+    /// Scope control (exclude/include).
+    Scope,
+}
+
+impl CheckerCategory {
+    /// Every category, in histogram registration order.
+    pub const ALL: [CheckerCategory; 5] = [
+        CheckerCategory::ModelReplay,
+        CheckerCategory::IsPersist,
+        CheckerCategory::IsOrderedBefore,
+        CheckerCategory::TxChecker,
+        CheckerCategory::Scope,
+    ];
+
+    /// The category charged for processing `event`.
+    #[must_use]
+    pub fn of(event: &Event) -> Self {
+        match event {
+            Event::Write(_) | Event::Flush(_) | Event::Fence | Event::OFence | Event::DFence => {
+                CheckerCategory::ModelReplay
+            }
+            Event::IsPersist(_) => CheckerCategory::IsPersist,
+            Event::IsOrderedBefore(_, _) => CheckerCategory::IsOrderedBefore,
+            Event::TxBegin
+            | Event::TxEnd
+            | Event::TxAdd(_)
+            | Event::TxCheckerStart
+            | Event::TxCheckerEnd => CheckerCategory::TxChecker,
+            Event::Exclude(_) | Event::Include(_) => CheckerCategory::Scope,
+        }
+    }
+
+    /// The `checker` label value of the category's histogram.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckerCategory::ModelReplay => "model_replay",
+            CheckerCategory::IsPersist => "is_persist",
+            CheckerCategory::IsOrderedBefore => "is_ordered_before",
+            CheckerCategory::TxChecker => "tx_checker",
+            CheckerCategory::Scope => "scope",
+        }
+    }
+}
+
+/// Why a session shipped a pending trace batch to the engine
+/// (`session_flush_total{cause=…}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The per-thread batch reached `batch_capacity`.
+    Capacity,
+    /// A result point — `flush`, `report`, `take_report`, or `finish`.
+    ResultPoint,
+    /// The recording thread exited with traces still batched.
+    ThreadExit,
+}
+
+impl FlushCause {
+    /// The `cause` label value.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushCause::Capacity => "capacity",
+            FlushCause::ResultPoint => "result_point",
+            FlushCause::ThreadExit => "thread_exit",
+        }
+    }
+}
+
+/// The engine's typed metric handles, shared with its workers.
+pub(crate) struct EngineTelemetry {
+    registry: MetricsRegistry,
+    /// Structured event ring (batch spans, flush events).
+    pub(crate) events: EventLog,
+    /// Whether the timing layer is on (checked by workers and dispatch).
+    pub(crate) timing: bool,
+    started: Instant,
+    /// Submit → worker-dequeue latency, ns (timing only).
+    pub(crate) dispatch_latency: Histogram,
+    /// Queue depth of the chosen worker, sampled on every submit.
+    pub(crate) queue_depth: Gauge,
+    /// Whole-trace check latency, ns (timing only).
+    pub(crate) check_latency: Histogram,
+    /// Per-category entry-processing time, ns (timing only); indexed like
+    /// [`CheckerCategory::ALL`].
+    pub(crate) checker_ns: [Histogram; CheckerCategory::ALL.len()],
+    /// FAIL/WARN production per [`DiagKind`]; indexed like [`DiagKind::ALL`].
+    diag_kinds: [Counter; DiagKind::ALL.len()],
+    /// Busy nanoseconds per worker (timing only).
+    pub(crate) worker_busy: Vec<Counter>,
+    /// Aggregated [`TraceStats`] per worker (timing only).
+    pub(crate) worker_stats: Vec<Mutex<TraceStats>>,
+    /// Traces per shipped session batch.
+    pub(crate) batch_fill: Histogram,
+    flush_causes: [Counter; 3],
+}
+
+impl EngineTelemetry {
+    pub(crate) fn new(workers: usize, config: TelemetryConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let events = EventLog::with_capacity(config.event_capacity.max(1));
+        events.set_enabled(config.events);
+        let checker_ns = CheckerCategory::ALL
+            .map(|c| registry.histogram("engine_checker_ns", &[("checker", c.label())]));
+        let diag_kinds = DiagKind::ALL.map(|k| {
+            registry.counter(
+                "engine_diag_total",
+                &[("code", k.code()), ("severity", k.severity().as_str())],
+            )
+        });
+        let worker_busy = (0..workers)
+            .map(|i| {
+                let worker = i.to_string();
+                registry.counter("engine_worker_busy_ns", &[("worker", &worker)])
+            })
+            .collect();
+        Self {
+            events,
+            timing: config.timing,
+            started: Instant::now(),
+            dispatch_latency: registry.histogram("engine_dispatch_latency_ns", &[]),
+            queue_depth: registry.gauge("engine_queue_depth", &[]),
+            check_latency: registry.histogram("engine_check_latency_ns", &[]),
+            checker_ns,
+            diag_kinds,
+            worker_busy,
+            worker_stats: (0..workers).map(|_| Mutex::new(TraceStats::default())).collect(),
+            batch_fill: registry.histogram("session_batch_fill", &[]),
+            flush_causes: [
+                registry.counter("session_flush_total", &[("cause", FlushCause::Capacity.label())]),
+                registry
+                    .counter("session_flush_total", &[("cause", FlushCause::ResultPoint.label())]),
+                registry
+                    .counter("session_flush_total", &[("cause", FlushCause::ThreadExit.label())]),
+            ],
+            registry,
+        }
+    }
+
+    /// The counter for one diagnostic kind.
+    pub(crate) fn diag_counter(&self, kind: DiagKind) -> &Counter {
+        let idx = DiagKind::ALL.iter().position(|k| *k == kind).expect("kind listed in ALL");
+        &self.diag_kinds[idx]
+    }
+
+    /// Records one shipped session batch.
+    pub(crate) fn note_batch_shipped(&self, cause: FlushCause, traces: usize) {
+        self.batch_fill.record(traces as u64);
+        self.flush_causes[cause as usize].inc();
+        if self.events.is_enabled() {
+            self.events.record(
+                "session.flush",
+                &[("cause", cause.label().into()), ("traces", (traces as u64).into())],
+            );
+        }
+    }
+
+    /// The per-category histogram charged for `event`.
+    pub(crate) fn checker_histogram(&self, event: &Event) -> &Histogram {
+        &self.checker_ns[CheckerCategory::of(event) as usize]
+    }
+
+    /// Registry metrics plus derived per-worker gauges and the event ring.
+    pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.registry.snapshot();
+        let uptime_ns = self.started.elapsed().as_nanos() as f64;
+        for (i, busy) in self.worker_busy.iter().enumerate() {
+            let worker = i.to_string();
+            snap.push_gauge(
+                "engine_worker_utilization",
+                &[("worker", &worker)],
+                busy.get() as f64 / uptime_ns.max(1.0),
+            );
+        }
+        if self.timing {
+            for (i, stats) in self.worker_stats.iter().enumerate() {
+                let stats = *stats.lock();
+                let worker = i.to_string();
+                let labels: &[(&str, &str)] = &[("worker", &worker)];
+                snap.push_counter("engine_worker_entries", labels, stats.entries);
+                snap.push_counter("engine_worker_writes", labels, stats.writes);
+                snap.push_counter("engine_worker_fences", labels, stats.fences);
+                snap.push_counter("engine_worker_ofences", labels, stats.ofences);
+                snap.push_counter("engine_worker_dfences", labels, stats.dfences);
+                snap.push_counter("engine_worker_epochs", labels, stats.epochs());
+                snap.push_gauge(
+                    "engine_worker_avg_writes_per_epoch",
+                    labels,
+                    stats.avg_writes_per_epoch(),
+                );
+                snap.push_gauge(
+                    "engine_worker_max_writes_per_epoch",
+                    labels,
+                    stats.max_writes_per_epoch as f64,
+                );
+            }
+        }
+        snap.push_counter("engine_events_dropped", &[], self.events.dropped());
+        snap.events = self.events.snapshot();
+        snap
+    }
+}
+
+/// A one-line human summary of an engine snapshot — traces checked, check
+/// latency p50/p99, queue high-water, diagnostics — for examples and
+/// harnesses to dogfood the telemetry API without formatting it themselves.
+#[must_use]
+pub fn summary_line(snap: &TelemetrySnapshot) -> String {
+    let traces = snap.counter("engine_traces_checked").unwrap_or(0);
+    let highwater = snap.counter("engine_queue_highwater").unwrap_or(0);
+    let sev_total = |sev: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|c| {
+                c.name == "engine_diag_total"
+                    && c.labels.iter().any(|(k, v)| k == "severity" && v == sev)
+            })
+            .map(|c| c.value)
+            .sum()
+    };
+    let latency = match snap.histogram("engine_check_latency_ns") {
+        Some(h) if h.count > 0 => {
+            format!("check p50 {:.1}µs / p99 {:.1}µs", h.p50 / 1_000.0, h.p99 / 1_000.0)
+        }
+        _ => "check latency n/a (timing off)".to_owned(),
+    };
+    format!(
+        "telemetry: {traces} traces checked, {latency}, queue high-water {highwater}, \
+         {} FAIL / {} WARN",
+        sev_total("FAIL"),
+        sev_total("WARN"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_interval::ByteRange;
+
+    #[test]
+    fn every_event_maps_to_a_category() {
+        let r = ByteRange::with_len(0, 8);
+        assert_eq!(CheckerCategory::of(&Event::Write(r)), CheckerCategory::ModelReplay);
+        assert_eq!(CheckerCategory::of(&Event::Flush(r)), CheckerCategory::ModelReplay);
+        assert_eq!(CheckerCategory::of(&Event::Fence), CheckerCategory::ModelReplay);
+        assert_eq!(CheckerCategory::of(&Event::OFence), CheckerCategory::ModelReplay);
+        assert_eq!(CheckerCategory::of(&Event::DFence), CheckerCategory::ModelReplay);
+        assert_eq!(CheckerCategory::of(&Event::IsPersist(r)), CheckerCategory::IsPersist);
+        assert_eq!(
+            CheckerCategory::of(&Event::IsOrderedBefore(r, r)),
+            CheckerCategory::IsOrderedBefore
+        );
+        assert_eq!(CheckerCategory::of(&Event::TxBegin), CheckerCategory::TxChecker);
+        assert_eq!(CheckerCategory::of(&Event::TxAdd(r)), CheckerCategory::TxChecker);
+        assert_eq!(CheckerCategory::of(&Event::TxCheckerEnd), CheckerCategory::TxChecker);
+        assert_eq!(CheckerCategory::of(&Event::Exclude(r)), CheckerCategory::Scope);
+        // Labels are distinct (they key the histogram label set).
+        let mut labels: Vec<_> = CheckerCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CheckerCategory::ALL.len());
+    }
+
+    #[test]
+    fn diag_counters_cover_every_kind() {
+        let tel = EngineTelemetry::new(1, TelemetryConfig::off());
+        for kind in DiagKind::ALL {
+            tel.diag_counter(kind).inc();
+        }
+        let snap = tel.snapshot();
+        let total: u64 = snap.counter_sum("engine_diag_total");
+        assert_eq!(total, DiagKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn summary_line_reports_timing_state() {
+        let tel = EngineTelemetry::new(1, TelemetryConfig::off());
+        let s = summary_line(&tel.snapshot());
+        assert!(s.contains("timing off"), "{s}");
+        let tel = EngineTelemetry::new(1, TelemetryConfig::enabled());
+        tel.check_latency.record(1_500);
+        let mut snap = tel.snapshot();
+        snap.push_counter("engine_traces_checked", &[], 1);
+        let s = summary_line(&snap);
+        assert!(s.contains("1 traces checked"), "{s}");
+        assert!(s.contains("p50"), "{s}");
+    }
+}

@@ -1,0 +1,57 @@
+//! `obs-check`: validates that telemetry output files are machine-readable.
+//!
+//! Usage: `obs-check <file>...` — each `.jsonl` argument is parsed line by
+//! line, every other file as one JSON document. Exits non-zero (with the
+//! offending file, line, and parse error on stderr) if anything fails, so CI
+//! can gate on the emitted snapshots actually parsing. No dependencies, no
+//! serde: it reuses the crate's own minimal JSON reader.
+
+use std::process::ExitCode;
+
+use pmtest_obs::json;
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        let mut docs = 0;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            docs += 1;
+        }
+        if docs == 0 {
+            return Err(format!("{path}: no JSON documents found"));
+        }
+        Ok(docs)
+    } else {
+        json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs-check <file.json|file.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(docs) => {
+                println!("ok: {path} ({docs} document{})", if docs == 1 { "" } else { "s" })
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

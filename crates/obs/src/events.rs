@@ -1,0 +1,312 @@
+//! Ring-buffered structured event log with scoped (`span`) timing.
+//!
+//! The log is a bounded ring: recording never blocks on a consumer and never
+//! grows without bound — once full, the oldest events are overwritten and
+//! counted in `dropped`. The whole subsystem sits behind a runtime flag:
+//! disabled (the default), [`EventLog::record`] and [`EventLog::span`] cost
+//! one relaxed atomic load and return immediately, which is what lets the
+//! engine leave the call sites compiled in permanently.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One structured field value on an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// An unsigned integer (counts, ids, sizes, nanoseconds).
+    U64(u64),
+    /// A float (ratios, rates).
+    F64(f64),
+    /// A string (names, causes).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+/// One recorded event: a name, a timestamp relative to the log's creation,
+/// and structured fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (counts *recorded* events; gaps never
+    /// occur, but the ring may have evicted earlier numbers).
+    pub seq: u64,
+    /// Nanoseconds since the log was created.
+    pub t_ns: u64,
+    /// Event name (`engine.batch`, `session.flush`, …).
+    pub name: String,
+    /// Structured key/value payload.
+    pub fields: Vec<(String, Field)>,
+}
+
+/// A bounded, overwrite-oldest structured event log.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_obs::{EventLog, Field};
+///
+/// let log = EventLog::with_capacity(8);
+/// log.set_enabled(true);
+/// log.record("flush", &[("cause", Field::from("capacity"))]);
+/// {
+///     let _span = log.span("check").with("worker", 0usize);
+/// } // drop records the span with its duration_ns
+/// let events = log.snapshot();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[1].name, "check");
+/// ```
+#[derive(Debug)]
+pub struct EventLog {
+    enabled: AtomicBool,
+    capacity: usize,
+    ring: Mutex<VecDeque<EventRecord>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    started: Instant,
+}
+
+impl EventLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A disabled log with the default ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A disabled log retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        Self {
+            enabled: AtomicBool::new(false),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring because it was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one event now. A no-op (one atomic load) while disabled.
+    pub fn record(&self, name: &str, fields: &[(&str, Field)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let fields = fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
+        self.push(name.to_owned(), fields);
+    }
+
+    fn push(&self, name: String, fields: Vec<(String, Field)>) {
+        let record = EventRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            name,
+            fields,
+        };
+        let mut ring = self.ring.lock().expect("event ring poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Opens a timing span: the returned guard records one event on drop
+    /// with a `duration_ns` field appended. Inert (records nothing) while
+    /// the log is disabled at open time.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            log: self.is_enabled().then_some(self),
+            name,
+            fields: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Copies the ring's current contents, oldest first. Does not drain.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.ring.lock().expect("event ring poisoned").iter().cloned().collect()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scoped-timing guard returned by [`EventLog::span`]; see [`crate::span!`]
+/// for the macro form.
+#[must_use = "a span records on drop; binding it to _ discards the timing"]
+pub struct SpanGuard<'a> {
+    log: Option<&'a EventLog>,
+    name: &'static str,
+    fields: Vec<(String, Field)>,
+    started: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a field to the span's event.
+    pub fn with(mut self, key: &str, value: impl Into<Field>) -> Self {
+        if self.log.is_some() {
+            self.fields.push((key.to_owned(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(log) = self.log else { return };
+        let mut fields = std::mem::take(&mut self.fields);
+        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        fields.push(("duration_ns".to_owned(), Field::U64(ns)));
+        log.push(self.name.to_owned(), fields);
+    }
+}
+
+/// Opens a named timing span on an [`EventLog`], in the style of the
+/// `tracing` crate's `span!` (the API subset this workspace needs, like the
+/// shims under `crates/shims/`):
+///
+/// ```
+/// use pmtest_obs::{span, EventLog};
+///
+/// let log = EventLog::new();
+/// log.set_enabled(true);
+/// {
+///     let _guard = span!(log, "dispatch", worker = 2usize, traces = 32u64);
+/// }
+/// assert_eq!(log.snapshot()[0].name, "dispatch");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($log:expr, $name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        $log.span($name)$(.with(stringify!($key), $value))*
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::with_capacity(4);
+        log.record("x", &[]);
+        let _span = log.span("y");
+        drop(_span);
+        assert!(log.snapshot().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let log = EventLog::with_capacity(3);
+        log.set_enabled(true);
+        for i in 0..5u64 {
+            log.record("e", &[("i", Field::U64(i))]);
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].fields[0].1, Field::U64(2), "oldest two evicted");
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(events[2].seq, 4);
+    }
+
+    #[test]
+    fn span_records_duration_and_fields() {
+        let log = EventLog::new();
+        log.set_enabled(true);
+        {
+            let _g = span!(log, "work", worker = 3usize);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].fields[0], ("worker".to_owned(), Field::U64(3)));
+        let (key, Field::U64(ns)) = &events[0].fields[1] else {
+            panic!("missing duration field");
+        };
+        assert_eq!(key, "duration_ns");
+        assert!(*ns >= 1_000_000, "slept 1ms, recorded {ns}ns");
+    }
+
+    #[test]
+    fn toggling_enables_midstream() {
+        let log = EventLog::new();
+        log.record("before", &[]);
+        log.set_enabled(true);
+        log.record("during", &[]);
+        log.set_enabled(false);
+        log.record("after", &[]);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "during");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let log = EventLog::new();
+        log.set_enabled(true);
+        log.record("a", &[]);
+        log.record("b", &[]);
+        let events = log.snapshot();
+        assert!(events[0].t_ns <= events[1].t_ns);
+    }
+}

@@ -1,0 +1,52 @@
+//! Telemetry core for the PMTest reproduction.
+//!
+//! The checking engine of the paper (§6) is a pipeline — sessions batch
+//! traces, a master dispatches them to workers, workers replay checkers —
+//! and every stage of that pipeline needs the same three observability
+//! primitives:
+//!
+//! * a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s, and log-scale
+//!   latency [`Histogram`]s, all plain `Relaxed` atomics so an instrumented
+//!   hot path costs one uncontended atomic op per update;
+//! * a ring-buffered structured [`EventLog`] with [`span!`]-style scoped
+//!   timing, gated behind a runtime flag so it is a single atomic load when
+//!   off;
+//! * exporters over an immutable [`TelemetrySnapshot`]: JSON-lines
+//!   ([`TelemetrySnapshot::to_json_lines`]) for machine triage and
+//!   Prometheus text exposition ([`TelemetrySnapshot::to_prometheus`]) for
+//!   scraping, plus a [`writer`] that drops snapshots into `bench_results/`
+//!   next to the benchmark reports.
+//!
+//! Like the offline shims under `crates/shims/`, this crate vendors exactly
+//! the API surface the workspace needs — no external dependencies, std only
+//! — including a minimal JSON reader ([`json`]) used by the `obs-check`
+//! self-check binary to validate emitted snapshots without serde.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let traces = registry.counter("traces_checked", &[]);
+//! let latency = registry.histogram("check_latency_ns", &[("worker", "0")]);
+//! traces.inc();
+//! latency.record(1_500);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("traces_checked"), Some(1));
+//! assert!(snap.to_prometheus().contains("traces_checked 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod export;
+pub mod json;
+mod metrics;
+mod snapshot;
+pub mod writer;
+
+pub use events::{EventLog, EventRecord, Field, SpanGuard};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot};

@@ -1,0 +1,71 @@
+//! Dumps telemetry snapshots to disk next to the benchmark reports.
+//!
+//! The repository convention (see `bench_results/BENCH_engine.json`) is one
+//! top-level JSON object per run with a `"bench"` name; snapshots written
+//! here follow the same shape so the CI artifact step and any diffing
+//! tooling treat benchmark numbers and telemetry dumps uniformly.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// Writes `snapshot` as `<dir>/<name>.json` (single JSON document) and
+/// returns the path. Creates `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn write_snapshot(
+    dir: impl AsRef<Path>,
+    name: &str,
+    snapshot: &TelemetrySnapshot,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, snapshot.to_json(name))?;
+    Ok(path)
+}
+
+/// Writes `snapshot` as JSON-lines to `<dir>/<name>.jsonl` and returns the
+/// path. Creates `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn write_json_lines(
+    dir: impl AsRef<Path>,
+    name: &str,
+    snapshot: &TelemetrySnapshot,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    std::fs::write(&path, snapshot.to_json_lines())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn written_files_parse_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n", &[]).add(5);
+        reg.histogram("lat_ns", &[]).record(128);
+        let snap = reg.snapshot();
+        let dir = std::env::temp_dir().join(format!("pmtest-obs-writer-{}", std::process::id()));
+        let json = write_snapshot(&dir, "unit_test", &snap).unwrap();
+        let jsonl = write_json_lines(&dir, "unit_test", &snap).unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert_eq!(parse(&doc).unwrap().get("bench").unwrap().as_str(), Some("unit_test"));
+        for line in std::fs::read_to_string(&jsonl).unwrap().lines() {
+            parse(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -214,6 +214,87 @@ mod tests {
     }
 
     #[test]
+    fn hops_fences_count_separately_and_delimit_epochs() {
+        // A HOPS trace (§5.2): ofence orders without forcing durability,
+        // dfence forces durability — both close an epoch, neither counts as
+        // an x86 sfence.
+        let mut t = Trace::new(0);
+        t.push(Event::Write(r(0, 8)).here());
+        t.push(Event::Write(r(8, 16)).here());
+        t.push(Event::OFence.here());
+        t.push(Event::Write(r(16, 24)).here());
+        t.push(Event::OFence.here());
+        t.push(Event::Write(r(24, 32)).here());
+        t.push(Event::DFence.here());
+        t.push(Event::IsOrderedBefore(r(0, 8), r(24, 32)).here());
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.fences, 0, "no sfence in a pure HOPS trace");
+        assert_eq!(s.ofences, 2);
+        assert_eq!(s.dfences, 1);
+        assert_eq!(s.epochs(), 4, "3 fences + trailing open epoch");
+        assert_eq!(s.max_writes_per_epoch, 2);
+        assert!((s.avg_writes_per_epoch() - 1.0).abs() < 1e-9);
+        assert_eq!(s.low_level_checkers, 1);
+    }
+
+    #[test]
+    fn dfence_only_trace_has_no_trailing_writes() {
+        let mut t = Trace::new(0);
+        t.push(Event::Write(r(0, 64)).here());
+        t.push(Event::DFence.here());
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.dfences, 1);
+        assert_eq!(s.epochs(), 2, "trailing epoch counts even when empty");
+        assert_eq!(s.max_writes_per_epoch, 1);
+    }
+
+    #[test]
+    fn mixed_model_trace_aggregates_every_fence_flavour() {
+        // Traces replayed against composed/foreign models can interleave x86
+        // and HOPS primitives; the stats must keep the flavours separate
+        // while the epoch count sees them uniformly.
+        let mut t = Trace::new(0);
+        t.push(Event::Write(r(0, 8)).here());
+        t.push(Event::Flush(r(0, 8)).here());
+        t.push(Event::Fence.here());
+        t.push(Event::Write(r(8, 16)).here());
+        t.push(Event::OFence.here());
+        t.push(Event::Write(r(16, 24)).here());
+        t.push(Event::Write(r(24, 32)).here());
+        t.push(Event::Write(r(32, 40)).here());
+        t.push(Event::DFence.here());
+        let s = TraceStats::from_trace(&t);
+        assert_eq!((s.fences, s.ofences, s.dfences), (1, 1, 1));
+        assert_eq!(s.epochs(), 4);
+        assert_eq!(s.max_writes_per_epoch, 3, "widest epoch is the dfence-closed one");
+        assert_eq!(s.writes, 5);
+        assert_eq!(s.bytes_written, 40);
+    }
+
+    #[test]
+    fn merging_x86_and_hops_traces_keeps_flavours_apart() {
+        let mut x86 = Trace::new(0);
+        x86.push(Event::Write(r(0, 8)).here());
+        x86.push(Event::Flush(r(0, 8)).here());
+        x86.push(Event::Fence.here());
+        let mut hops = Trace::new(1);
+        hops.push(Event::Write(r(0, 8)).here());
+        hops.push(Event::OFence.here());
+        hops.push(Event::Write(r(8, 16)).here());
+        hops.push(Event::DFence.here());
+        let mut total = TraceStats::from_trace(&x86);
+        total.merge(&TraceStats::from_trace(&hops));
+        assert_eq!((total.fences, total.ofences, total.dfences), (1, 1, 1));
+        assert_eq!(total.entries, 7);
+        // Per-run epoch arithmetic still holds on the merged totals: each
+        // trace contributes its fences; the +1 trailing epoch is per-view.
+        assert_eq!(total.epochs(), 4);
+        let display = total.to_string();
+        assert!(display.contains("1 ofence"), "{display}");
+        assert!(display.contains("1 dfence"), "{display}");
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut t1 = Trace::new(0);
         t1.push(Event::Write(r(0, 8)).here());

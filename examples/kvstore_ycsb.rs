@@ -17,8 +17,10 @@ const KEY_SPACE: u64 = 1_000;
 const VALUE_SIZE: usize = 64;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Two PMTest workers, as in the Fig. 12b sweet spot.
-    let session = PmTestSession::builder().workers(2).build();
+    // Two PMTest workers, as in the Fig. 12b sweet spot; timing telemetry
+    // on, so the run ends with check-latency quantiles.
+    let session =
+        PmTestSession::builder().workers(2).telemetry(TelemetryConfig::timing_only()).build();
     session.start();
 
     let pm = Arc::new(PmPool::new(1 << 24, session.sink()));
@@ -60,5 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("traces checked: {}", report.traces().len());
     println!("{report}");
     assert!(report.is_clean(), "the store's redo-log protocol is correct");
+    println!("{}", session.telemetry_summary());
     Ok(())
 }

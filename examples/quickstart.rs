@@ -65,8 +65,11 @@ fn array_update_fixed(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // PMTest_INIT + PMTest_START
-    let session = PmTestSession::builder().model(X86Model::new()).build();
+    // PMTest_INIT + PMTest_START (timing telemetry on, for the summary line)
+    let session = PmTestSession::builder()
+        .model(X86Model::new())
+        .telemetry(TelemetryConfig::timing_only())
+        .build();
     session.start();
     let pool = PmPool::new(4096, session.sink());
 
@@ -83,5 +86,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = session.finish();
     println!("{report}");
     assert!(report.is_clean(), "the fix must pass");
+    println!("\n{}", session.telemetry_summary());
     Ok(())
 }

@@ -1,0 +1,99 @@
+//! Engine telemetry end to end: drive a mixed multi-threaded workload with
+//! every telemetry layer on, then export what the engine observed in all
+//! three machine-readable formats (JSON-lines, Prometheus text exposition,
+//! single-document JSON) plus the diagnostics as JSON-lines.
+//!
+//! The emitted files land in `bench_results/` (same shape as the benchmark
+//! reports there); CI re-parses them with the `obs-check` binary to keep the
+//! formats honest.
+//!
+//! Run with: `cargo run --release --example telemetry`
+
+use pmtest::obs::writer;
+use pmtest::prelude::*;
+
+const THREADS: u64 = 4;
+const TRACES_PER_THREAD: u64 = 100;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Everything on: timing histograms AND the structured event ring.
+    let session = PmTestSession::builder()
+        .workers(2)
+        .batch_capacity(8)
+        .telemetry(TelemetryConfig::enabled())
+        .build();
+    session.start();
+
+    // A deliberately mixed workload: mostly clean traces, some missing their
+    // persist barrier (FAIL: not_persisted), some flushing twice
+    // (WARN: duplicate_flush) — so the per-kind counters all move.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let session = session.clone();
+            s.spawn(move || {
+                session.thread_init();
+                let pool = PmPool::new(4096, session.sink());
+                for i in 0..TRACES_PER_THREAD {
+                    let r = pool.write_u64((i % 64) * 8, t << 32 | i).expect("write");
+                    match i % 10 {
+                        0 => {} // no barrier at all: isPersist below FAILs
+                        1 => {
+                            pool.flush(r);
+                            pool.flush(r); // duplicate writeback: WARN
+                            pool.fence();
+                        }
+                        _ => pool.persist_barrier(r),
+                    }
+                    session.is_persist(r);
+                    session.send_trace();
+                }
+            });
+        }
+    });
+    let report = session.take_report();
+    let snap = session.telemetry_snapshot();
+
+    println!("== run ==");
+    println!("{}", report.summary());
+    println!("{}", session.telemetry_summary());
+
+    println!("\n== Prometheus text exposition (excerpt) ==");
+    for line in snap.to_prometheus().lines().filter(|l| {
+        l.starts_with("# TYPE")
+            || l.starts_with("engine_traces_checked")
+            || l.starts_with("engine_diag_total")
+            || l.starts_with("session_flush_total")
+    }) {
+        println!("{line}");
+    }
+
+    println!("\n== JSON-lines (first 10 of {}) ==", snap.to_json_lines().lines().count());
+    for line in snap.to_json_lines().lines().take(10) {
+        println!("{line}");
+    }
+
+    // Dump everything next to the benchmark reports, in their shape.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/bench_results");
+    let doc = writer::write_snapshot(dir, "TELEMETRY_demo", &snap)?;
+    let jsonl = writer::write_json_lines(dir, "telemetry_demo", &snap)?;
+    let diags = format!("{dir}/telemetry_diags.jsonl");
+    std::fs::write(&diags, report.to_json_lines())?;
+    println!("\nwrote {}", doc.display());
+    println!("wrote {}", jsonl.display());
+    println!("wrote {diags}");
+
+    // The demo doubles as a smoke test: the planted bugs must be visible in
+    // both the report and the telemetry counters.
+    let expected = (THREADS * TRACES_PER_THREAD) as usize;
+    assert_eq!(report.traces().len(), expected);
+    assert_eq!(report.fail_count() as u64, THREADS * TRACES_PER_THREAD / 10);
+    assert_eq!(report.warn_count() as u64, THREADS * TRACES_PER_THREAD / 10);
+    assert_eq!(snap.counter("engine_traces_checked"), Some(expected as u64));
+    assert_eq!(
+        snap.counter_sum("engine_diag_total"),
+        (report.fail_count() + report.warn_count()) as u64
+    );
+    assert!(snap.histogram("engine_check_latency_ns").map_or(0, |h| h.count) >= expected as u64);
+    assert!(!snap.events.is_empty(), "event ring captured batch flushes");
+    Ok(())
+}

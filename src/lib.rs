@@ -26,6 +26,9 @@
 //! * [`workloads`] — the WHISPER-like benchmarks of Figs. 10–12;
 //! * [`bugs`] — the Table 5 synthetic-bug catalog and runner;
 //! * [`baseline`] — the pmemcheck-like and Yat-like comparison tools;
+//! * [`obs`] — the telemetry core: metrics registry, structured event log,
+//!   and JSON-lines / Prometheus exporters behind
+//!   [`core::Engine::telemetry_snapshot`] (see DESIGN.md §9);
 //! * [`interval`] / [`trace`] — the underlying containers and the trace
 //!   vocabulary.
 //!
@@ -74,6 +77,7 @@ pub use pmtest_bugs as bugs;
 pub use pmtest_core as core;
 pub use pmtest_interval as interval;
 pub use pmtest_mnemosyne as mnemosyne;
+pub use pmtest_obs as obs;
 pub use pmtest_pmem as pmem;
 pub use pmtest_pmfs as pmfs;
 pub use pmtest_trace as trace;
@@ -83,12 +87,16 @@ pub use pmtest_workloads as workloads;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use pmtest_core::{
-        check_trace, Diag, DiagKind, Engine, EngineConfig, EngineStats, HopsModel, KernelFifo,
-        PersistencyModel, PmTestSession, Report, Severity, SubmitError, X86Model,
+        check_trace, Diag, DiagKind, Engine, EngineConfig, EngineStats, FifoStats, HopsModel,
+        KernelFifo, PersistencyModel, PmTestSession, Report, Severity, SubmitError,
+        TelemetryConfig, X86Model,
     };
     pub use pmtest_interval::ByteRange;
+    pub use pmtest_obs::TelemetrySnapshot;
     pub use pmtest_pmem::{PersistMode, PmHeap, PmPool};
-    pub use pmtest_trace::{BufferPool, Entry, Event, PoolStats, Sink, SourceLoc, Trace};
+    pub use pmtest_trace::{
+        BufferPool, Entry, Event, PoolStats, Sink, SourceLoc, Trace, TraceStats,
+    };
 }
 
 #[cfg(test)]
