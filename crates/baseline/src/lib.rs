@@ -24,4 +24,4 @@
 mod pmemcheck;
 pub mod yat;
 
-pub use pmemcheck::Pmemcheck;
+pub use pmemcheck::{run_pmemcheck, Pmemcheck};

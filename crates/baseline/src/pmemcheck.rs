@@ -245,6 +245,19 @@ impl Sink for Pmemcheck {
     }
 }
 
+/// Replays one recorded [`Trace`](pmtest_trace::Trace) through a fresh
+/// checker and returns its report — the one-shot form used by harnesses
+/// (e.g. the differential fuzzer) that compare pmemcheck's verdict against
+/// the engine's on the same trace.
+#[must_use]
+pub fn run_pmemcheck(trace: &pmtest_trace::Trace) -> Report {
+    let checker = Pmemcheck::new();
+    for entry in trace.entries() {
+        checker.record(*entry);
+    }
+    checker.finish()
+}
+
 impl std::fmt::Debug for Pmemcheck {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let st = self.state.lock();

@@ -267,6 +267,33 @@ impl Report {
         counts
     }
 
+    /// A canonical, location- and message-free digest of the report: one
+    /// `(trace_id, kind, range)` entry per diagnostic, sorted. Two runs of
+    /// the same program agree on this even when worker interleaving varies
+    /// the order diagnostics were produced in, and even when different
+    /// checker paths word their messages differently — which makes it the
+    /// right equality for cross-configuration comparisons (the differential
+    /// harness checks it across worker counts and batch sizes).
+    #[must_use]
+    pub fn signature(&self) -> Vec<(u64, DiagKind, Option<ByteRange>)> {
+        let mut sig: Vec<_> = self
+            .traces
+            .iter()
+            .flat_map(|t| t.diags.iter().map(move |d| (t.trace_id, d.kind, d.range)))
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+
+    /// Whether two reports carry the same diagnostics up to ordering,
+    /// wording, and source attribution — i.e. their [`signature`]s
+    /// (Self::signature) match. Use `==` instead when byte-identical
+    /// reports (messages and locations included) are required.
+    #[must_use]
+    pub fn equivalent(&self, other: &Report) -> bool {
+        self.signature() == other.signature()
+    }
+
     /// Serializes every diagnostic as JSON-lines: one object per diagnostic
     /// with stable field names (`trace_id`, `severity`, `code`, `loc`,
     /// `range`, `culprit`, `message`), using [`DiagKind::code`] identifiers.
@@ -510,6 +537,58 @@ mod tests {
         report.extend_traces(Vec::new());
         let ids: Vec<u64> = report.traces().iter().map(|t| t.trace_id).collect();
         assert_eq!(ids, [1, 5, 9]);
+    }
+
+    #[test]
+    fn equivalence_ignores_order_message_and_location() {
+        let a = Report::from_traces(vec![TraceReport {
+            trace_id: 3,
+            diags: vec![
+                Diag {
+                    kind: DiagKind::NotPersisted,
+                    loc: SourceLoc::new("a.rs", 1),
+                    range: Some(ByteRange::new(0, 8)),
+                    culprit: Some(SourceLoc::new("a.rs", 2)),
+                    message: "worded one way".to_owned(),
+                },
+                Diag {
+                    kind: DiagKind::UnnecessaryFlush,
+                    loc: SourceLoc::new("a.rs", 3),
+                    range: Some(ByteRange::new(8, 16)),
+                    culprit: None,
+                    message: String::new(),
+                },
+            ],
+        }]);
+        let b = Report::from_traces(vec![TraceReport {
+            trace_id: 3,
+            diags: vec![
+                Diag {
+                    kind: DiagKind::UnnecessaryFlush,
+                    loc: SourceLoc::new("b.rs", 9),
+                    range: Some(ByteRange::new(8, 16)),
+                    culprit: None,
+                    message: "different words".to_owned(),
+                },
+                Diag {
+                    kind: DiagKind::NotPersisted,
+                    loc: SourceLoc::new("b.rs", 7),
+                    range: Some(ByteRange::new(0, 8)),
+                    culprit: None,
+                    message: String::new(),
+                },
+            ],
+        }]);
+        assert!(a.equivalent(&b));
+        assert_ne!(a, b, "equivalence is weaker than equality");
+        // A changed range, kind, or trace id breaks equivalence.
+        let c = Report::from_traces(vec![TraceReport {
+            trace_id: 4,
+            diags: b.traces()[0].diags.clone(),
+        }]);
+        assert!(!a.equivalent(&c));
+        assert!(a.equivalent(&a.clone()));
+        assert!(Report::default().equivalent(&Report::default()));
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub struct EngineConfig {
     /// What the engine records beyond its always-on counters (latency
     /// histograms, the structured event ring). Defaults to everything off.
     pub telemetry: TelemetryConfig,
+    /// Route batches to workers in pure round-robin order instead of the
+    /// default load-aware scan. The load-aware policy consults live queue
+    /// depths, so the trace→worker assignment depends on checking speed;
+    /// with this knob on, the assignment is a pure function of submission
+    /// order. Reports are sorted by trace id either way — this exists for
+    /// harnesses (the differential fuzzer's replay mode) that want the
+    /// *schedule* itself reproducible, e.g. to pin down shard-merge bugs.
+    pub deterministic_dispatch: bool,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +46,7 @@ impl Default for EngineConfig {
             workers: 1,
             queue_capacity: 256,
             telemetry: TelemetryConfig::off(),
+            deterministic_dispatch: false,
         }
     }
 }
@@ -157,6 +166,7 @@ pub struct Engine {
     shared: Arc<Shared>,
     worker_txs: Vec<Sender<BatchMsg>>,
     next_worker: AtomicUsize,
+    deterministic_dispatch: bool,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -308,7 +318,13 @@ impl Engine {
             worker_txs.push(tx);
             handles.push(handle);
         }
-        Self { shared, worker_txs, next_worker: AtomicUsize::new(0), handles: Mutex::new(handles) }
+        Self {
+            shared,
+            worker_txs,
+            next_worker: AtomicUsize::new(0),
+            deterministic_dispatch: config.deterministic_dispatch,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// Number of worker threads.
@@ -479,12 +495,17 @@ impl Engine {
     }
 
     /// The worker with the fewest queued traces, ties broken round-robin.
+    /// With [`EngineConfig::deterministic_dispatch`] the load scan is
+    /// skipped and the rotation alone decides.
     fn pick_worker(&self) -> usize {
         let workers = self.worker_txs.len();
         if workers == 1 {
             return 0;
         }
         let rotate = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        if self.deterministic_dispatch {
+            return rotate % workers;
+        }
         let mut best = rotate % workers;
         let mut best_depth = self.shared.queued[best].load(Ordering::Relaxed);
         for offset in 1..workers {

@@ -203,6 +203,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Routes batches to workers in pure round-robin order instead of the
+    /// load-aware scan (default: off). Used by replay harnesses that need
+    /// the trace→worker schedule itself to be a function of submission
+    /// order; see [`crate::EngineConfig::deterministic_dispatch`].
+    #[must_use]
+    pub fn deterministic_dispatch(mut self, on: bool) -> Self {
+        self.config.deterministic_dispatch = on;
+        self
+    }
+
     /// Spawns the engine and returns the session (tracking starts *disabled*;
     /// call [`PmTestSession::start`]).
     #[must_use]

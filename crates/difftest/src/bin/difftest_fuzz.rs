@@ -1,0 +1,145 @@
+//! Differential fuzzing driver.
+//!
+//! Generates seeded random PM programs, cross-validates engine / crash
+//! oracle / baselines on each, and on any divergence delta-debugs the
+//! program to a minimal reproducer and writes it to the output directory.
+//!
+//! ```text
+//! difftest-fuzz [--seeds N] [--start-seed S] [--seconds T] [--max-ops M] [--out DIR]
+//! ```
+//!
+//! `--seconds` time-boxes the run (seeds keep incrementing from
+//! `--start-seed` until the budget is spent); otherwise exactly `--seeds`
+//! seeds run. Exit status is 1 if any divergence was found.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use pmtest_difftest::compare::check_program;
+use pmtest_difftest::corpus::write_counterexample;
+use pmtest_difftest::gen::{generate, GenConfig};
+use pmtest_difftest::shrink::shrink;
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    seconds: Option<u64>,
+    max_ops: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 500,
+        start_seed: 0,
+        seconds: None,
+        max_ops: GenConfig::default().max_ops,
+        out: PathBuf::from("fuzz_out"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seconds" => {
+                args.seconds = Some(value("--seconds")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--max-ops" => {
+                args.max_ops = value("--max-ops")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("difftest-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = GenConfig { max_ops: args.max_ops, ..GenConfig::default() };
+    let deadline = args.seconds.map(|s| Instant::now() + Duration::from_secs(s));
+    let started = Instant::now();
+    let mut checked: u64 = 0;
+    let mut divergences: u64 = 0;
+    let mut seed = args.start_seed;
+
+    loop {
+        match deadline {
+            Some(d) => {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+            None => {
+                if seed >= args.start_seed + args.seeds {
+                    break;
+                }
+            }
+        }
+        let program = generate(seed, &cfg);
+        match check_program(&program) {
+            Ok(divs) if divs.is_empty() => {}
+            Ok(divs) => {
+                divergences += 1;
+                let detail: Vec<String> = divs.iter().map(|d| d.to_string()).collect();
+                eprintln!("seed {seed}: DIVERGENCE\n  {}", detail.join("\n  "));
+                eprintln!("seed {seed}: shrinking {} ops...", program.ops.len());
+                let min =
+                    shrink(&program, |p| matches!(check_program(p), Ok(ds) if !ds.is_empty()));
+                let min_detail = match check_program(&min) {
+                    Ok(ds) => ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n"),
+                    Err(e) => format!("submit error on minimized replay: {e}"),
+                };
+                match write_counterexample(&args.out, seed, &min, &min_detail) {
+                    Ok(path) => eprintln!(
+                        "seed {seed}: minimized to {} ops -> {}",
+                        min.ops.len(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("seed {seed}: failed to write counterexample: {e}"),
+                }
+            }
+            Err(e) => {
+                // A generated program must never kill the engine; treat as a
+                // divergence in its own right.
+                divergences += 1;
+                eprintln!("seed {seed}: engine rejected submission: {e}");
+                let detail = format!("engine submit error: {e}");
+                if let Err(werr) = write_counterexample(&args.out, seed, &program, &detail) {
+                    eprintln!("seed {seed}: failed to write counterexample: {werr}");
+                }
+            }
+        }
+        checked += 1;
+        seed += 1;
+        if checked.is_multiple_of(200) {
+            eprintln!(
+                "progress: {checked} programs, {divergences} divergences, {:.1}s",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    println!(
+        "difftest-fuzz: {checked} programs checked (seeds {}..{seed}), {divergences} divergences, {:.1}s",
+        args.start_seed,
+        started.elapsed().as_secs_f64()
+    );
+    if divergences > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,92 @@
+//! The committed regression corpus.
+//!
+//! Every minimized counterexample the fuzzer ever produced lives as a text
+//! file under `crates/difftest/corpus/` and is replayed as an ordinary
+//! `cargo test` case (see `tests/corpus_replay.rs`). Seed entries added by
+//! hand document interesting allowance paths of the comparator.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::program::Program;
+
+/// The committed corpus directory (resolved relative to this crate).
+#[must_use]
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.txt` corpus entry, sorted by file name. Panics on
+/// unreadable or unparsable entries — a corrupt corpus must fail loudly in
+/// CI, not silently skip cases.
+#[must_use]
+pub fn load_corpus() -> Vec<(String, Program)> {
+    let dir = corpus_dir();
+    let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            let program = Program::from_text(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+            (name, program)
+        })
+        .collect()
+}
+
+/// Writes a minimized counterexample into `dir` as `div_<seed>.txt`, with
+/// the divergence details as header comments. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_counterexample(
+    dir: &Path,
+    seed: u64,
+    program: &Program,
+    details: &str,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("div_{seed}.txt"));
+    let mut text = String::new();
+    text.push_str(&format!("# seed {seed}\n"));
+    for line in details.lines() {
+        text.push_str(&format!("# {line}\n"));
+    }
+    text.push_str(&program.to_text());
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counterexamples_round_trip_through_disk() {
+        let program = crate::gen::generate(7, &crate::gen::GenConfig::default());
+        let dir = std::env::temp_dir().join(format!("difftest-corpus-{}", std::process::id()));
+        let path = write_counterexample(&dir, 7, &program, "kind: Example\nline two").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# seed 7\n# kind: Example\n# line two\n"));
+        assert_eq!(Program::from_text(&text).unwrap(), program);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_corpus_parses() {
+        let entries = load_corpus();
+        assert!(!entries.is_empty(), "committed corpus must not be empty");
+        for (name, program) in entries {
+            assert!(!program.ops.is_empty(), "{name} has no ops");
+        }
+    }
+}

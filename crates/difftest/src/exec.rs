@@ -1,0 +1,190 @@
+//! Executes a generated program through the checking engine (across a
+//! worker-count × batch-size matrix), the crash-state oracle, and the
+//! baseline checkers.
+
+use std::sync::Arc;
+
+use pmtest_core::{
+    Engine, EngineConfig, HopsModel, PersistencyModel, Report, SubmitError, X86Model,
+};
+use pmtest_pmem::crash::CrashSim;
+use pmtest_trace::Trace;
+
+use crate::program::{Dialect, Program, POOL_BYTES};
+
+/// One engine configuration of the differential matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineRun {
+    /// Worker threads.
+    pub workers: usize,
+    /// Traces per submitted batch.
+    pub batch_capacity: usize,
+}
+
+/// The default matrix: the paper's single-worker default, a two-worker
+/// unbatched run, and a wide batched run — enough to catch shard-merge and
+/// batching bugs on every fuzzed program without tripling its cost.
+pub const DEFAULT_MATRIX: &[EngineRun] = &[
+    EngineRun { workers: 1, batch_capacity: 1 },
+    EngineRun { workers: 2, batch_capacity: 1 },
+    EngineRun { workers: 4, batch_capacity: 32 },
+];
+
+/// How many identical copies of the program each engine run checks. Multiple
+/// replicas make worker scheduling matter (a single trace never exercises
+/// the shard merge), while identical copies keep the expected report trivial
+/// to cross-compare.
+pub const REPLICAS: u64 = 6;
+
+/// The checking model a program dialect runs under.
+#[must_use]
+pub fn model_for(dialect: Dialect) -> Arc<dyn PersistencyModel> {
+    match dialect {
+        Dialect::X86 => Arc::new(X86Model::new()),
+        Dialect::Hops => Arc::new(HopsModel::new()),
+    }
+}
+
+/// Builds an engine for one matrix cell. Dispatch is deterministic so a
+/// replayed program reproduces the exact trace→worker schedule.
+#[must_use]
+pub fn build_engine(model: Arc<dyn PersistencyModel>, run: EngineRun) -> Engine {
+    Engine::new(EngineConfig {
+        model,
+        workers: run.workers,
+        queue_capacity: 64,
+        deterministic_dispatch: true,
+        ..EngineConfig::default()
+    })
+}
+
+/// Submits `replicas` copies of the program (trace ids `start_id..`) in
+/// batches of `batch_capacity`.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] if the engine's workers have died — e.g. a
+/// generated program killed a checker mid-batch.
+pub fn submit_replicas(
+    engine: &Engine,
+    program: &Program,
+    batch_capacity: usize,
+    replicas: u64,
+    start_id: u64,
+) -> Result<(), SubmitError> {
+    let mut batch: Vec<Trace> = Vec::with_capacity(batch_capacity);
+    for id in start_id..start_id + replicas {
+        batch.push(program.trace(id));
+        if batch.len() >= batch_capacity {
+            engine.submit_batch(std::mem::take(&mut batch))?;
+        }
+    }
+    engine.submit_batch(batch)
+}
+
+/// Runs the program through one engine configuration under an explicit
+/// model and returns the report.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] if the engine stopped accepting traces.
+pub fn run_with_model(
+    program: &Program,
+    model: Arc<dyn PersistencyModel>,
+    run: EngineRun,
+    replicas: u64,
+) -> Result<Report, SubmitError> {
+    let engine = build_engine(model, run);
+    submit_replicas(&engine, program, run.batch_capacity, replicas, 0)?;
+    Ok(engine.shutdown())
+}
+
+/// Runs the program through one engine configuration under its dialect's
+/// model.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] if the engine stopped accepting traces.
+pub fn run_engine(program: &Program, run: EngineRun, replicas: u64) -> Result<Report, SubmitError> {
+    run_with_model(program, model_for(program.dialect), run, replicas)
+}
+
+/// The reports of one program across the engine matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixOutcome {
+    /// `(configuration, report)` pairs, in matrix order.
+    pub reports: Vec<(EngineRun, Report)>,
+}
+
+impl MatrixOutcome {
+    /// A description of the first cross-configuration disagreement, if any.
+    /// Reports must be *byte-identical* (same diagnostics, messages, and
+    /// locations, sorted by trace id) across the matrix — per-trace checking
+    /// is deterministic, so anything weaker would hide shard-merge bugs.
+    #[must_use]
+    pub fn mismatch(&self) -> Option<String> {
+        let (base_run, base) = &self.reports[0];
+        for (run, report) in &self.reports[1..] {
+            if report != base {
+                return Some(format!(
+                    "engine reports diverge: {}w/b{} vs {}w/b{}: [{}] vs [{}]",
+                    base_run.workers,
+                    base_run.batch_capacity,
+                    run.workers,
+                    run.batch_capacity,
+                    base.summary(),
+                    report.summary(),
+                ));
+            }
+        }
+        None
+    }
+
+    /// The canonical report (first matrix cell).
+    #[must_use]
+    pub fn canonical(&self) -> &Report {
+        &self.reports[0].1
+    }
+}
+
+/// Runs the program across the whole matrix.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] if any engine stopped accepting traces.
+pub fn run_matrix(program: &Program, matrix: &[EngineRun]) -> Result<MatrixOutcome, SubmitError> {
+    let mut reports = Vec::with_capacity(matrix.len());
+    for &run in matrix {
+        reports.push((run, run_engine(program, run, REPLICAS)?));
+    }
+    Ok(MatrixOutcome { reports })
+}
+
+/// Builds the crash-state oracle for the program: an all-zeros pool image
+/// plus the program's valued-op log.
+#[must_use]
+pub fn crash_sim(program: &Program) -> CrashSim {
+    CrashSim::new(vec![0u8; POOL_BYTES as usize], program.valued_ops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+
+    #[test]
+    fn matrix_runs_agree_on_a_simple_program() {
+        let p = Program {
+            dialect: Dialect::X86,
+            ops: vec![
+                Op::Write { addr: 0, len: 8 },
+                Op::Flush { addr: 0, len: 8 },
+                Op::CheckPersist { addr: 0, len: 8 }, // no fence: FAIL
+            ],
+        };
+        let outcome = run_matrix(&p, DEFAULT_MATRIX).unwrap();
+        assert!(outcome.mismatch().is_none());
+        assert_eq!(outcome.canonical().traces().len(), REPLICAS as usize);
+        assert_eq!(outcome.canonical().fail_count(), REPLICAS as usize);
+    }
+}

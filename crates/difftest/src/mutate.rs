@@ -1,0 +1,236 @@
+//! Mutation mode: routes *randomized* operation sequences through the
+//! workload structures with a planted [`Fault`], proving the harness
+//! rediscovers every catalog bug class without relying on the fixed,
+//! hand-tuned sequences in `pmtest-bugs`.
+//!
+//! The drivers mirror `pmtest_bugs::runner` construction but draw the
+//! operation order, extra keys, and removal victims from a seeded RNG, so a
+//! fault only counts as rediscovered if its diagnostic survives sequence
+//! perturbation.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pmtest_bugs::{BugCase, Scenario, StructKind};
+use pmtest_core::{PmTestSession, Report};
+use pmtest_mnemosyne::MnPool;
+use pmtest_pmem::{PersistMode, PmHeap, PmPool};
+use pmtest_txlib::ObjPool;
+use pmtest_workloads::{
+    gen, ArrayStore, BTree, CheckMode, CritBitTree, Fault, FaultSet, HashMapLl, HashMapTx, KvMap,
+    KvStore, PmQueue, RbTree, RedisKv,
+};
+
+const POOL_BYTES: usize = 1 << 21;
+const ROOT_BYTES: u64 = 4096;
+const VALUE_SIZE: usize = 32;
+
+fn session() -> PmTestSession {
+    let s = PmTestSession::builder().build();
+    s.start();
+    s
+}
+
+/// Base keys every run inserts (shuffled), so fault sites that trigger on
+/// splits/rebalances still fill up, plus per-seed extras.
+fn key_plan(rng: &mut SmallRng) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..24u64).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, rng.gen_range(0..=i));
+    }
+    let extras = rng.gen_range(0..8usize);
+    for _ in 0..extras {
+        let k = rng.gen_range(24..48u64);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+/// Runs one structure workload with a randomized operation sequence and the
+/// given fault planted, returning the engine report. Deterministic in
+/// `seed`.
+#[must_use]
+pub fn randomized_structure_report(
+    kind: StructKind,
+    fault: Option<Fault>,
+    with_removes: bool,
+    seed: u64,
+) -> Report {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let session = session();
+    let pm = Arc::new(PmPool::new(POOL_BYTES, session.sink()));
+    let faults = fault.map_or_else(FaultSet::none, FaultSet::one);
+    let keys = key_plan(&mut rng);
+
+    match kind {
+        StructKind::Queue => {
+            let heap = Arc::new(PmHeap::new(pm, ROOT_BYTES));
+            let q = PmQueue::create(heap, CheckMode::Checkers, faults).expect("create queue");
+            for &k in &keys {
+                let _ = q.enqueue(&gen::value_for(k, VALUE_SIZE));
+                session.send_trace();
+                if with_removes && rng.gen_bool(0.25) {
+                    let _ = q.dequeue();
+                    session.send_trace();
+                }
+            }
+            if with_removes {
+                for _ in 0..rng.gen_range(1..8) {
+                    let _ = q.dequeue();
+                    session.send_trace();
+                }
+            }
+        }
+        StructKind::Array => {
+            let store =
+                ArrayStore::create(pm, 0, 64, CheckMode::Checkers, faults).expect("create array");
+            for &k in &keys {
+                let slot = rng.gen_range(0..64u64);
+                let _ = store.update(slot, k * 10);
+                session.send_trace();
+            }
+        }
+        StructKind::HashMapLl => {
+            let heap = Arc::new(PmHeap::new(pm, ROOT_BYTES));
+            let map =
+                HashMapLl::create(heap, 4, CheckMode::Checkers, faults).expect("create hashmap_ll");
+            drive_kv_random(&session, &map, &keys, with_removes, &mut rng);
+        }
+        StructKind::KvStore => {
+            let pool = Arc::new(
+                MnPool::create(pm, ROOT_BYTES, PersistMode::X86).expect("create mnemosyne pool"),
+            );
+            let store =
+                KvStore::create(pool, 4, 4, CheckMode::Checkers, faults).expect("create kvstore");
+            for &k in &keys {
+                let _ = store.set(k, &gen::value_for(k, VALUE_SIZE));
+                session.send_trace();
+            }
+            // Same-size in-place update of a random existing key.
+            let victim = keys[rng.gen_range(0..keys.len())];
+            let _ = store.set(victim, &gen::value_for(999, VALUE_SIZE));
+            session.send_trace();
+            if with_removes {
+                for _ in 0..rng.gen_range(1..8) {
+                    let k = keys[rng.gen_range(0..keys.len())];
+                    let _ = store.delete(k);
+                    session.send_trace();
+                }
+            }
+        }
+        StructKind::Redis => {
+            let pool = Arc::new(
+                ObjPool::create(pm, ROOT_BYTES, PersistMode::X86).expect("create obj pool"),
+            );
+            let store =
+                RedisKv::create(pool, 4, 1000, CheckMode::Checkers, faults).expect("create redis");
+            for &k in &keys {
+                let _ = store.set(k, &gen::value_for(k, VALUE_SIZE));
+                session.send_trace();
+            }
+            // Same-size in-place update: the skip-log site.
+            let victim = keys[rng.gen_range(0..keys.len())];
+            let _ = store.set(victim, &gen::value_for(999, VALUE_SIZE));
+            session.send_trace();
+        }
+        StructKind::Ctree | StructKind::Btree | StructKind::Rbtree | StructKind::HashMapTx => {
+            let pool = Arc::new(
+                ObjPool::create(pm, ROOT_BYTES, PersistMode::X86).expect("create obj pool"),
+            );
+            let map: Box<dyn KvMap> = match kind {
+                StructKind::Ctree => Box::new(
+                    CritBitTree::create(pool, CheckMode::Checkers, faults).expect("create ctree"),
+                ),
+                StructKind::Btree => Box::new(
+                    BTree::create(pool, CheckMode::Checkers, faults).expect("create btree"),
+                ),
+                StructKind::Rbtree => Box::new(
+                    RbTree::create(pool, CheckMode::Checkers, faults).expect("create rbtree"),
+                ),
+                StructKind::HashMapTx => Box::new(
+                    HashMapTx::create(pool, 4, CheckMode::Checkers, faults)
+                        .expect("create hashmap_tx"),
+                ),
+                _ => unreachable!(),
+            };
+            drive_kv_random(&session, map.as_ref(), &keys, with_removes, &mut rng);
+        }
+    }
+    session.finish()
+}
+
+fn drive_kv_random(
+    session: &PmTestSession,
+    map: &(impl KvMap + ?Sized),
+    keys: &[u64],
+    removes: bool,
+    rng: &mut SmallRng,
+) {
+    for &k in keys {
+        let _ = map.insert(k, &gen::value_for(k, VALUE_SIZE));
+        session.send_trace();
+    }
+    // Replace a random existing key (in-place / replace path).
+    let victim = keys[rng.gen_range(0..keys.len())];
+    let _ = map.insert(victim, &gen::value_for(998, VALUE_SIZE));
+    session.send_trace();
+    if removes {
+        let count = rng.gen_range(keys.len() / 4..=keys.len() / 2);
+        for _ in 0..count {
+            let k = keys[rng.gen_range(0..keys.len())];
+            let _ = map.remove(k);
+            session.send_trace();
+        }
+    }
+}
+
+/// Tries each seed in turn until the randomized run raises the case's
+/// expected diagnostic; returns the first seed that rediscovers it, or
+/// `None`. Only applies to `Scenario::Structure` cases with a planted
+/// [`Fault`] — others return `None` immediately.
+#[must_use]
+pub fn rediscover(case: &BugCase, seeds: &[u64]) -> Option<u64> {
+    let Scenario::Structure { kind, fault: Some(fault), with_removes } = case.scenario else {
+        return None;
+    };
+    seeds.iter().copied().find(|&seed| {
+        let report = randomized_structure_report(kind, Some(fault), with_removes, seed);
+        let found = report.iter().any(|d| d.kind == case.expect);
+        found
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtest_bugs::catalog;
+
+    #[test]
+    fn randomized_runs_are_deterministic_per_seed() {
+        let case = catalog()
+            .into_iter()
+            .find(|c| matches!(c.scenario, Scenario::Structure { fault: Some(_), .. }))
+            .expect("a structure case");
+        let Scenario::Structure { kind, fault, with_removes } = case.scenario else {
+            unreachable!()
+        };
+        let a = randomized_structure_report(kind, fault, with_removes, 3);
+        let b = randomized_structure_report(kind, fault, with_removes, 3);
+        assert!(a.equivalent(&b), "same seed must give equivalent reports");
+    }
+
+    #[test]
+    fn clean_randomized_structures_stay_clean() {
+        for kind in [StructKind::Ctree, StructKind::Queue, StructKind::Array] {
+            for seed in 0..3 {
+                let report = randomized_structure_report(kind, None, true, seed);
+                assert!(report.is_clean(), "{kind:?} seed {seed}: {report}");
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Random PM programs: the operation alphabet, lowering to engine traces and
+//! crash-simulator operation logs, and the textual corpus format.
+//!
+//! A [`Program`] is a straight-line sequence of [`Op`]s over a tiny
+//! synthetic pool ([`POOL_BYTES`] bytes, all zeros before the program runs).
+//! The same program lowers three ways:
+//!
+//! * [`Program::trace`] — an engine [`Trace`] whose entry locations encode
+//!   the op index (`difftest:<index>`), so diagnostics map back to the op
+//!   that placed the checker;
+//! * [`Program::valued_ops`] — the [`ValuedOp`] log the crash simulator
+//!   consumes. Each write stores a fill byte unique to its op index
+//!   ([`Program::fill`]), which lets the comparator attribute any byte of a
+//!   crash image to the write that produced it;
+//! * [`Program::to_text`] / [`Program::from_text`] — a line-oriented format
+//!   for the committed regression corpus.
+
+use pmtest_interval::ByteRange;
+use pmtest_pmem::cacheline::align_to_lines;
+use pmtest_pmem::crash::ValuedOp;
+use pmtest_trace::{Event, SourceLoc, Trace};
+
+/// Size of the synthetic pool programs run over: four cache lines. Small
+/// enough that exhaustive crash-state enumeration stays cheap, large enough
+/// for cross-line ordering patterns.
+pub const POOL_BYTES: u64 = 256;
+
+/// Which fence alphabet a program draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dialect {
+    /// `clwb`/`sfence` programs checked under the x86 model (foreign HOPS
+    /// fences may still appear with low probability; the model applies
+    /// their semantics and warns).
+    X86,
+    /// `ofence`/`dfence` programs checked under the HOPS model. No
+    /// `clwb`/`sfence` ops are generated in this dialect — the HOPS model
+    /// treats them as foreign *without* applying their durability effect,
+    /// which would make the crash oracle incomparable.
+    Hops,
+}
+
+/// One operation of a generated program.
+///
+/// Ranges are `(addr, len)` pairs within [`POOL_BYTES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Store to `[addr, addr+len)`. The stored bytes are the op's
+    /// [`fill`](Program::fill) value.
+    Write {
+        /// Destination address.
+        addr: u64,
+        /// Store length in bytes.
+        len: u64,
+    },
+    /// Cache-line writeback (`clwb`) of the byte range.
+    Flush {
+        /// Flushed address.
+        addr: u64,
+        /// Flushed length in bytes.
+        len: u64,
+    },
+    /// x86 `sfence`.
+    Fence,
+    /// HOPS ordering fence (epoch boundary, no durability).
+    OFence,
+    /// HOPS durability fence.
+    DFence,
+    /// `TX_BEGIN`.
+    TxBegin,
+    /// `TX_ADD` of the byte range.
+    TxAdd {
+        /// Logged address.
+        addr: u64,
+        /// Logged length in bytes.
+        len: u64,
+    },
+    /// `TX_END` — the transaction commits.
+    TxCommit,
+    /// The transaction is *abandoned*: the program walks away without
+    /// `TX_END`. Lowers to no trace event at all — the bug is precisely the
+    /// absence of the commit (the engine reports `UnterminatedTx` when the
+    /// checker scope closes).
+    TxAbandon,
+    /// `isPersist(range)` checker placement.
+    CheckPersist {
+        /// Checked address.
+        addr: u64,
+        /// Checked length in bytes.
+        len: u64,
+    },
+    /// `isOrderedBefore(first, second)` checker placement.
+    CheckOrdered {
+        /// The range that must persist first: `(addr, len)`.
+        first: (u64, u64),
+        /// The range that must not start persisting earlier: `(addr, len)`.
+        second: (u64, u64),
+    },
+    /// `TX_CHECKER_START`.
+    TxCheckerStart,
+    /// `TX_CHECKER_END`.
+    TxCheckerEnd,
+}
+
+impl Op {
+    /// Whether this op contributes a [`ValuedOp`] to the crash log (i.e.
+    /// advances the crash-point counter).
+    #[must_use]
+    pub fn is_valued(&self) -> bool {
+        matches!(self, Op::Write { .. } | Op::Flush { .. } | Op::Fence | Op::DFence)
+    }
+}
+
+/// A generated PM program: a dialect plus a straight-line op sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Fence alphabet / checking model.
+    pub dialect: Dialect,
+    /// The ops, in program order.
+    pub ops: Vec<Op>,
+}
+
+/// The synthetic file name used for every program entry's [`SourceLoc`];
+/// the *line* is the op index.
+pub const LOC_FILE: &str = "difftest";
+
+impl Program {
+    /// The fill byte op `index` stores: unique and nonzero for programs of
+    /// up to 251 ops, so any crash-image byte identifies the write that
+    /// produced it (the base image is all zeros).
+    #[must_use]
+    pub fn fill(index: usize) -> u8 {
+        (index % 251) as u8 + 1
+    }
+
+    /// The source location encoding op `index`.
+    #[must_use]
+    pub fn loc(index: usize) -> SourceLoc {
+        SourceLoc::new(LOC_FILE, index as u32)
+    }
+
+    /// Lowers the program to an engine trace with the given id. Entry
+    /// locations encode op indices via [`Program::loc`].
+    #[must_use]
+    pub fn trace(&self, id: u64) -> Trace {
+        let mut trace = Trace::new(id);
+        for (i, op) in self.ops.iter().enumerate() {
+            let event = match *op {
+                Op::Write { addr, len } => Event::Write(ByteRange::with_len(addr, len)),
+                Op::Flush { addr, len } => Event::Flush(ByteRange::with_len(addr, len)),
+                Op::Fence => Event::Fence,
+                Op::OFence => Event::OFence,
+                Op::DFence => Event::DFence,
+                Op::TxBegin => Event::TxBegin,
+                Op::TxAdd { addr, len } => Event::TxAdd(ByteRange::with_len(addr, len)),
+                Op::TxCommit => Event::TxEnd,
+                Op::TxAbandon => continue, // the bug *is* the missing TX_END
+                Op::CheckPersist { addr, len } => Event::IsPersist(ByteRange::with_len(addr, len)),
+                Op::CheckOrdered { first, second } => Event::IsOrderedBefore(
+                    ByteRange::with_len(first.0, first.1),
+                    ByteRange::with_len(second.0, second.1),
+                ),
+                Op::TxCheckerStart => Event::TxCheckerStart,
+                Op::TxCheckerEnd => Event::TxCheckerEnd,
+            };
+            trace.push(event.at(Self::loc(i)));
+        }
+        trace
+    }
+
+    /// Lowers the program to the crash simulator's valued-op log. `ofence`
+    /// lowers to nothing: the simulator conservatively ignores it (it can
+    /// only remove reachable states — see `crates/pmem/src/crash.rs`), which
+    /// the comparator accounts for via [`Program::has_ofence`].
+    #[must_use]
+    pub fn valued_ops(&self) -> Vec<ValuedOp> {
+        let mut ops = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            match *op {
+                Op::Write { addr, len } => ops.push(ValuedOp::Write {
+                    range: ByteRange::with_len(addr, len),
+                    data: vec![Self::fill(i); len as usize],
+                }),
+                Op::Flush { addr, len } => {
+                    ops.push(ValuedOp::Flush(ByteRange::with_len(addr, len)))
+                }
+                Op::Fence => ops.push(ValuedOp::Fence),
+                Op::DFence => ops.push(ValuedOp::DFence),
+                _ => {}
+            }
+        }
+        ops
+    }
+
+    /// The crash point (count of valued ops) reached just before op
+    /// `op_index` executes.
+    #[must_use]
+    pub fn point_before(&self, op_index: usize) -> usize {
+        self.ops[..op_index].iter().filter(|op| op.is_valued()).count()
+    }
+
+    /// Whether any `ofence` appears — when true, the crash oracle
+    /// over-approximates reachability and "engine PASS but oracle reaches a
+    /// bad state" is not evidence of a missed bug.
+    #[must_use]
+    pub fn has_ofence(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, Op::OFence))
+    }
+
+    /// A copy with every flush widened to full cache lines. The engine
+    /// tracks flushes at byte granularity while real `clwb` (and the crash
+    /// simulator) writes back whole lines; re-running a program in this form
+    /// tells the comparator whether an engine FAIL is explained by that
+    /// documented granularity gap.
+    #[must_use]
+    pub fn line_expanded(&self) -> Program {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                Op::Flush { addr, len } => {
+                    let lines = align_to_lines(ByteRange::with_len(addr, len));
+                    Op::Flush { addr: lines.start(), len: lines.len() }
+                }
+                other => other,
+            })
+            .collect();
+        Program { dialect: self.dialect, ops }
+    }
+
+    /// Whether the program's verdict is comparable against pmemcheck.
+    ///
+    /// Pmemcheck has no checker-scope concept: it applies its transaction
+    /// rules from `TX_BEGIN` to `TX_END` and clears its log at the outermost
+    /// `TX_END`, while the engine's log survives until `TX_CHECKER_END`, and
+    /// the two evaluate leftover-durability at those respective points. The
+    /// verdicts coincide exactly on programs where every transaction is
+    /// tightly wrapped — `TX_CHECKER_START` immediately followed by
+    /// `TX_BEGIN`, `TX_END` immediately followed by `TX_CHECKER_END`, no
+    /// nesting, no abandonment — and no HOPS fences appear (pmemcheck
+    /// ignores them; the x86 engine applies their semantics).
+    #[must_use]
+    pub fn pmemcheck_comparable(&self) -> bool {
+        if self.dialect != Dialect::X86 {
+            return false;
+        }
+        let mut in_scope = false;
+        let mut in_tx = false;
+        for (i, op) in self.ops.iter().enumerate() {
+            let prev = i.checked_sub(1).map(|j| self.ops[j]);
+            let next = self.ops.get(i + 1).copied();
+            match op {
+                Op::OFence | Op::DFence | Op::TxAbandon => return false,
+                Op::TxCheckerStart => {
+                    if in_scope || !matches!(next, Some(Op::TxBegin)) {
+                        return false;
+                    }
+                    in_scope = true;
+                }
+                Op::TxBegin => {
+                    if !in_scope || in_tx || !matches!(prev, Some(Op::TxCheckerStart)) {
+                        return false;
+                    }
+                    in_tx = true;
+                }
+                Op::TxAdd { .. } if !in_tx => return false,
+                Op::TxCommit => {
+                    if !in_tx || !matches!(next, Some(Op::TxCheckerEnd)) {
+                        return false;
+                    }
+                    in_tx = false;
+                }
+                Op::TxCheckerEnd => {
+                    if !in_scope || in_tx || !matches!(prev, Some(Op::TxCommit)) {
+                        return false;
+                    }
+                    in_scope = false;
+                }
+                _ => {}
+            }
+        }
+        !in_scope && !in_tx
+    }
+
+    /// Serializes to the corpus text format: a `dialect` line followed by
+    /// one op per line. `#` starts a comment; round-trips through
+    /// [`Program::from_text`].
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(match self.dialect {
+            Dialect::X86 => "dialect x86\n",
+            Dialect::Hops => "dialect hops\n",
+        });
+        for op in &self.ops {
+            let line = match *op {
+                Op::Write { addr, len } => format!("write {addr} {len}"),
+                Op::Flush { addr, len } => format!("flush {addr} {len}"),
+                Op::Fence => "fence".to_owned(),
+                Op::OFence => "ofence".to_owned(),
+                Op::DFence => "dfence".to_owned(),
+                Op::TxBegin => "tx_begin".to_owned(),
+                Op::TxAdd { addr, len } => format!("tx_add {addr} {len}"),
+                Op::TxCommit => "tx_commit".to_owned(),
+                Op::TxAbandon => "tx_abandon".to_owned(),
+                Op::CheckPersist { addr, len } => format!("check_persist {addr} {len}"),
+                Op::CheckOrdered { first, second } => {
+                    format!("check_ordered {} {} {} {}", first.0, first.1, second.0, second.1)
+                }
+                Op::TxCheckerStart => "tx_checker_start".to_owned(),
+                Op::TxCheckerEnd => "tx_checker_end".to_owned(),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the corpus text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Program, String> {
+        let mut dialect = None;
+        let mut ops = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = tokens(line, lineno)?;
+            let word = parts.remove(0);
+            let num = |idx: usize| -> Result<u64, String> {
+                parts
+                    .get(idx)
+                    .ok_or_else(|| format!("line {}: `{word}` needs more arguments", lineno + 1))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let op = match word {
+                "dialect" => {
+                    dialect = Some(match parts.first().copied() {
+                        Some("x86") => Dialect::X86,
+                        Some("hops") => Dialect::Hops,
+                        other => {
+                            return Err(format!("line {}: unknown dialect {other:?}", lineno + 1))
+                        }
+                    });
+                    continue;
+                }
+                "write" => Op::Write { addr: num(0)?, len: num(1)? },
+                "flush" => Op::Flush { addr: num(0)?, len: num(1)? },
+                "fence" => Op::Fence,
+                "ofence" => Op::OFence,
+                "dfence" => Op::DFence,
+                "tx_begin" => Op::TxBegin,
+                "tx_add" => Op::TxAdd { addr: num(0)?, len: num(1)? },
+                "tx_commit" => Op::TxCommit,
+                "tx_abandon" => Op::TxAbandon,
+                "check_persist" => Op::CheckPersist { addr: num(0)?, len: num(1)? },
+                "check_ordered" => {
+                    Op::CheckOrdered { first: (num(0)?, num(1)?), second: (num(2)?, num(3)?) }
+                }
+                "tx_checker_start" => Op::TxCheckerStart,
+                "tx_checker_end" => Op::TxCheckerEnd,
+                other => return Err(format!("line {}: unknown op `{other}`", lineno + 1)),
+            };
+            ops.push(op);
+        }
+        let dialect = dialect.ok_or("missing `dialect x86|hops` line")?;
+        Ok(Program { dialect, ops })
+    }
+}
+
+fn tokens(line: &str, lineno: usize) -> Result<Vec<&str>, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    if parts.is_empty() {
+        return Err(format!("line {}: empty statement", lineno + 1));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            dialect: Dialect::X86,
+            ops: vec![
+                Op::TxCheckerStart,
+                Op::TxBegin,
+                Op::TxAdd { addr: 0, len: 8 },
+                Op::Write { addr: 0, len: 8 },
+                Op::Flush { addr: 0, len: 8 },
+                Op::Fence,
+                Op::TxCommit,
+                Op::TxCheckerEnd,
+                Op::CheckPersist { addr: 0, len: 8 },
+                Op::CheckOrdered { first: (0, 8), second: (64, 8) },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let p = sample();
+        let parsed = Program::from_text(&p.to_text()).unwrap();
+        assert_eq!(parsed, p);
+        let with_comments = format!("# header\n{}\n# trailer", p.to_text());
+        assert_eq!(Program::from_text(&with_comments).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Program::from_text("").is_err(), "missing dialect");
+        assert!(Program::from_text("dialect x86\nwrite 1").is_err(), "missing arg");
+        assert!(Program::from_text("dialect x86\nfrobnicate").is_err(), "unknown op");
+        assert!(Program::from_text("dialect vax").is_err(), "unknown dialect");
+    }
+
+    #[test]
+    fn lowering_is_consistent() {
+        let p = sample();
+        let trace = p.trace(7);
+        assert_eq!(trace.id(), 7);
+        assert_eq!(trace.len(), p.ops.len()); // no TxAbandon in sample
+                                              // The checker at op 8 sits after 4 valued ops (write/flush/fence ×1
+                                              // each... write, flush, fence = 3).
+        assert_eq!(p.point_before(8), 3);
+        assert_eq!(p.valued_ops().len(), 3);
+        let abandoned = Program {
+            dialect: Dialect::X86,
+            ops: vec![Op::TxCheckerStart, Op::TxBegin, Op::TxAbandon, Op::TxCheckerEnd],
+        };
+        assert_eq!(abandoned.trace(0).len(), 3, "tx_abandon lowers to no event");
+    }
+
+    #[test]
+    fn fill_values_are_unique_and_nonzero() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..251 {
+            let v = Program::fill(i);
+            assert_ne!(v, 0);
+            assert!(seen.insert(v), "fill {i} collides");
+        }
+    }
+
+    #[test]
+    fn pmemcheck_comparability() {
+        assert!(sample().pmemcheck_comparable());
+        let loose = Program {
+            dialect: Dialect::X86,
+            ops: vec![
+                Op::TxCheckerStart,
+                Op::Write { addr: 0, len: 8 }, // write between start and begin
+                Op::TxBegin,
+                Op::TxCommit,
+                Op::TxCheckerEnd,
+            ],
+        };
+        assert!(!loose.pmemcheck_comparable());
+        let abandoned = Program {
+            dialect: Dialect::X86,
+            ops: vec![Op::TxCheckerStart, Op::TxBegin, Op::TxAbandon, Op::TxCheckerEnd],
+        };
+        assert!(!abandoned.pmemcheck_comparable());
+        let hops = Program { dialect: Dialect::Hops, ops: vec![] };
+        assert!(!hops.pmemcheck_comparable());
+    }
+
+    #[test]
+    fn line_expansion_widens_flushes_only() {
+        let p = Program {
+            dialect: Dialect::X86,
+            ops: vec![Op::Write { addr: 70, len: 4 }, Op::Flush { addr: 70, len: 4 }],
+        };
+        let wide = p.line_expanded();
+        assert_eq!(wide.ops[0], Op::Write { addr: 70, len: 4 });
+        assert_eq!(wide.ops[1], Op::Flush { addr: 64, len: 64 });
+    }
+}

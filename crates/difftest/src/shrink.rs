@@ -1,0 +1,97 @@
+//! Delta-debugging minimization of diverging programs.
+//!
+//! Classic `ddmin` over the op sequence: repeatedly try deleting chunks of
+//! ops (halving chunk size when stuck) and keep any deletion that still
+//! reproduces the failure. Deletion is the only mutation, so every
+//! generator invariant that is closed under subsequence (in-pool ranges, no
+//! x86 ops in HOPS programs, disjoint ordered pairs) keeps holding; bracket
+//! pairings can break, which the comparator tolerates (structural
+//! diagnostics are excluded from oracle comparison and pmemcheck
+//! comparability is re-derived from the shrunk shape).
+
+use crate::program::Program;
+
+/// Minimizes `program` while `still_failing` keeps returning true. The
+/// result is 1-minimal: removing any single remaining op makes the failure
+/// disappear. `still_failing(program)` must be true on entry.
+pub fn shrink(program: &Program, mut still_failing: impl FnMut(&Program) -> bool) -> Program {
+    let mut ops = program.ops.clone();
+    let mut granularity = 2usize;
+    while ops.len() >= 2 {
+        let chunk = ops.len().div_ceil(granularity);
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < ops.len() {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate: Vec<_> = Vec::with_capacity(ops.len() - (end - start));
+            candidate.extend_from_slice(&ops[..start]);
+            candidate.extend_from_slice(&ops[end..]);
+            let candidate = Program { dialect: program.dialect, ops: candidate };
+            if !candidate.ops.is_empty() && still_failing(&candidate) {
+                ops = candidate.ops;
+                granularity = granularity.saturating_sub(1).max(2);
+                shrunk = true;
+                // Restart at the same position: the next chunk now sits here.
+            } else {
+                start = end;
+            }
+        }
+        if !shrunk {
+            if granularity >= ops.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(ops.len());
+        }
+    }
+    Program { dialect: program.dialect, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Dialect, Op};
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_core() {
+        // "Failure" = contains both a write to 0 and a fence.
+        let program = Program {
+            dialect: Dialect::X86,
+            ops: vec![
+                Op::Write { addr: 8, len: 8 },
+                Op::Write { addr: 0, len: 8 },
+                Op::Flush { addr: 8, len: 8 },
+                Op::Fence,
+                Op::CheckPersist { addr: 8, len: 8 },
+                Op::Write { addr: 16, len: 8 },
+            ],
+        };
+        let failing = |p: &Program| {
+            p.ops.iter().any(|o| matches!(o, Op::Write { addr: 0, .. }))
+                && p.ops.iter().any(|o| matches!(o, Op::Fence))
+        };
+        assert!(failing(&program));
+        let min = shrink(&program, failing);
+        assert_eq!(min.ops, vec![Op::Write { addr: 0, len: 8 }, Op::Fence]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let program = Program {
+            dialect: Dialect::X86,
+            ops: (0..12u64).map(|k| Op::Write { addr: k * 8, len: 8 }).collect(),
+        };
+        // Failure: at least 3 writes with addr divisible by 16.
+        let failing = |p: &Program| {
+            p.ops.iter().filter(|o| matches!(o, Op::Write { addr, .. } if addr % 16 == 0)).count()
+                >= 3
+        };
+        let min = shrink(&program, failing);
+        assert!(failing(&min));
+        for skip in 0..min.ops.len() {
+            let mut fewer = min.ops.clone();
+            fewer.remove(skip);
+            let candidate = Program { dialect: min.dialect, ops: fewer };
+            assert!(!failing(&candidate), "not 1-minimal: op {skip} is removable");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Determinism regression: the same seed + program must yield
+//! byte-identical sorted reports across every worker count and batch size.
+//! Anything weaker means a replayed corpus entry might not reproduce.
+
+use pmtest_difftest::exec::{run_engine, EngineRun, REPLICAS};
+use pmtest_difftest::gen::{generate, GenConfig};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const BATCH_CAPACITIES: [usize; 2] = [1, 32];
+
+#[test]
+fn reports_are_byte_identical_across_workers_and_batching() {
+    let cfg = GenConfig::default();
+    for seed in [0u64, 7, 42, 1234, 99999] {
+        let program = generate(seed, &cfg);
+        let baseline = run_engine(
+            &program,
+            EngineRun { workers: WORKER_COUNTS[0], batch_capacity: BATCH_CAPACITIES[0] },
+            REPLICAS,
+        )
+        .expect("baseline run");
+        for workers in WORKER_COUNTS {
+            for batch_capacity in BATCH_CAPACITIES {
+                let report = run_engine(&program, EngineRun { workers, batch_capacity }, REPLICAS)
+                    .expect("matrix run");
+                assert_eq!(
+                    report, baseline,
+                    "seed {seed}: {workers} workers / batch {batch_capacity} diverged from 1/1"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_of_the_same_cell_are_identical() {
+    let program = generate(7, &GenConfig::default());
+    let run = EngineRun { workers: 4, batch_capacity: 8 };
+    let a = run_engine(&program, run, REPLICAS).expect("first run");
+    let b = run_engine(&program, run, REPLICAS).expect("second run");
+    assert_eq!(a, b);
+}

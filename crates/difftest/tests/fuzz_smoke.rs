@@ -1,0 +1,39 @@
+//! Seeded fuzzing smoke tests: a fixed seed range must cross-validate with
+//! zero divergences on every run. The `#[ignore]`d case is the acceptance
+//! sweep CI's nightly job runs in full.
+
+use pmtest_difftest::compare::check_program;
+use pmtest_difftest::gen::{generate, GenConfig};
+
+fn assert_seeds_clean(range: std::ops::Range<u64>, cfg: &GenConfig) {
+    for seed in range {
+        let program = generate(seed, cfg);
+        match check_program(&program) {
+            Ok(divs) if divs.is_empty() => {}
+            Ok(divs) => panic!(
+                "seed {seed} diverges:\n{}\nprogram:\n{}",
+                divs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+                program.to_text()
+            ),
+            Err(e) => panic!("seed {seed}: engine rejected submission: {e}"),
+        }
+    }
+}
+
+#[test]
+fn seeds_0_to_200_have_no_divergence() {
+    assert_seeds_clean(0..200, &GenConfig::default());
+}
+
+#[test]
+fn long_programs_have_no_divergence() {
+    assert_seeds_clean(0..50, &GenConfig { max_ops: 48, ..GenConfig::default() });
+}
+
+/// The full acceptance sweep (run via `cargo test -- --ignored`): 10k
+/// seeded programs, zero unminimized divergences.
+#[test]
+#[ignore = "acceptance sweep; ~1 min in debug builds"]
+fn seeds_0_to_10000_have_no_divergence() {
+    assert_seeds_clean(0..10_000, &GenConfig::default());
+}

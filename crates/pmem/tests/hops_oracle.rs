@@ -1,0 +1,90 @@
+//! Directed tests for how the crash oracle treats HOPS fences.
+//!
+//! `crash.rs` states that `ofence` only constrains cross-line ordering and
+//! is conservatively ignored: fences can only *remove* reachable states, so
+//! dropping one over-approximates reachability (the oracle may enumerate
+//! crash images real HOPS hardware could never expose, but never misses a
+//! reachable one). These tests pin down both halves of that claim — the
+//! extra states an elided `ofence` admits, and the state-set inclusion that
+//! makes the elision sound for bug *finding*.
+
+use std::collections::BTreeSet;
+
+use pmtest_interval::ByteRange;
+use pmtest_pmem::crash::{CrashSim, ValuedOp};
+
+const POOL: usize = 256;
+
+fn write(addr: u64, len: u64, fill: u8) -> ValuedOp {
+    ValuedOp::Write { range: ByteRange::with_len(addr, len), data: vec![fill; len as usize] }
+}
+
+fn states_at(sim: &CrashSim, point: usize) -> BTreeSet<Vec<u8>> {
+    let analysis = sim.analyze(point);
+    assert!(analysis.state_count() <= 64, "test state space unexpectedly large");
+    analysis.states().collect()
+}
+
+/// An `ofence` between two cross-line writes is ignored by the oracle: the
+/// B-without-A image — which the fence forbids on real HOPS hardware — is
+/// still enumerated. This is the over-approximation: an ordering the
+/// program *does* enforce looks violable to the oracle, so a checker PASS
+/// can never be refuted by an oracle witness on ofence programs (the
+/// comparator in `pmtest-difftest` suppresses that direction).
+#[test]
+fn elided_ofence_admits_b_without_a() {
+    // write A; [ofence elided by the lowering]; write B — different lines.
+    let sim = CrashSim::new(vec![0u8; POOL], vec![write(0, 8, 0xaa), write(64, 8, 0xbb)]);
+    let states = states_at(&sim, 2);
+    let b_without_a = states
+        .iter()
+        .any(|img| img[64..72].iter().all(|&x| x == 0xbb) && img[0..8].iter().all(|&x| x == 0));
+    assert!(b_without_a, "oracle must over-approximate: B-without-A should be reachable");
+    // ...and the fence-respecting images are of course still there.
+    let a_without_b = states
+        .iter()
+        .any(|img| img[0..8].iter().all(|&x| x == 0xaa) && img[64..72].iter().all(|&x| x == 0));
+    assert!(a_without_b);
+}
+
+/// The soundness half: adding a fence can only shrink the reachable state
+/// set. A `dfence` where the program had an `ofence` yields a subset of the
+/// fenceless enumeration, so eliding `ofence` never *hides* a reachable
+/// crash image — every real image is in the over-approximated set.
+#[test]
+fn fences_only_remove_states() {
+    let unfenced = CrashSim::new(vec![0u8; POOL], vec![write(0, 8, 0xaa), write(64, 8, 0xbb)]);
+    let fenced = CrashSim::new(
+        vec![0u8; POOL],
+        vec![write(0, 8, 0xaa), ValuedOp::DFence, write(64, 8, 0xbb)],
+    );
+    let loose = states_at(&unfenced, 2);
+    let tight = states_at(&fenced, 3);
+    assert!(tight.is_subset(&loose), "a fence must only remove reachable states");
+    assert!(tight.len() < loose.len(), "the dfence should actually prune something");
+    // The pruned images are exactly the A-incomplete ones.
+    for img in loose.difference(&tight) {
+        assert!(
+            img[0..8].iter().any(|&x| x != 0xaa),
+            "only A-incomplete states may be pruned by the dfence"
+        );
+    }
+}
+
+/// `dfence` — unlike the elided `ofence` — is a durability fence: the
+/// oracle honors it and guarantees everything before it.
+#[test]
+fn dfence_forces_prior_writes_durable() {
+    let a = ByteRange::with_len(0, 8);
+    let without = CrashSim::new(vec![0u8; POOL], vec![write(0, 8, 0xaa), write(64, 8, 0xbb)]);
+    assert!(!without.analyze(2).is_guaranteed_durable(a), "no fence: A may be lost");
+    let with = CrashSim::new(
+        vec![0u8; POOL],
+        vec![write(0, 8, 0xaa), ValuedOp::DFence, write(64, 8, 0xbb)],
+    );
+    assert!(with.analyze(3).is_guaranteed_durable(a), "dfence: A is guaranteed");
+    assert!(
+        !with.analyze(3).is_guaranteed_durable(ByteRange::with_len(64, 8)),
+        "writes after the dfence stay volatile"
+    );
+}

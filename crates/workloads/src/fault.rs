@@ -86,6 +86,60 @@ pub enum Fault {
     ArraySkipUpdateBarrier,
 }
 
+impl Fault {
+    /// Every injection site, in declaration order — the paper's 45 synthetic
+    /// bugs (Table 5). Sweep harnesses (the bug catalog's coverage test, the
+    /// differential fuzzer's mutation mode) iterate this to prove no planted
+    /// bug class goes undetected.
+    pub const ALL: [Fault; 45] = [
+        Fault::CtreeSkipLogRootPtr,
+        Fault::CtreeSkipLogParentNode,
+        Fault::CtreeSkipLogCount,
+        Fault::CtreeDoubleLogParent,
+        Fault::CtreeAbandonTx,
+        Fault::BtreeSkipLogInsertNode,
+        Fault::BtreeSkipLogSplitNode,
+        Fault::BtreeSkipLogSplitParent,
+        Fault::BtreeSkipLogRootGrow,
+        Fault::BtreeSkipLogCount,
+        Fault::BtreeDoubleLogSplitParent,
+        Fault::BtreeAbandonTx,
+        Fault::RbSkipLogInsertParent,
+        Fault::RbSkipLogRotatePivot,
+        Fault::RbSkipLogRotateParent,
+        Fault::RbSkipLogRecolor,
+        Fault::RbSkipLogRootPtr,
+        Fault::RbDoubleLogFixup,
+        Fault::RbAbandonTx,
+        Fault::HmTxSkipLogBucket,
+        Fault::HmTxSkipLogCount,
+        Fault::HmTxSkipLogRemovePrev,
+        Fault::HmTxDoubleLogBucket,
+        Fault::HmTxAbandonTx,
+        Fault::HmLlSkipFlushNode,
+        Fault::HmLlSkipFenceAfterNode,
+        Fault::HmLlSkipFlushHead,
+        Fault::HmLlSkipFenceAfterHead,
+        Fault::HmLlLinkBeforeNodePersist,
+        Fault::HmLlSkipFlushCount,
+        Fault::HmLlDoubleFlushNode,
+        Fault::HmLlDoubleFlushHead,
+        Fault::RedisSkipLogValue,
+        Fault::RedisAbandonTx,
+        Fault::KvSkipLogPersist,
+        Fault::KvSkipReplayWriteback,
+        Fault::KvAbandonTx,
+        Fault::QueueSkipFlushNode,
+        Fault::QueueSkipFenceNode,
+        Fault::QueueSkipFlushLink,
+        Fault::QueueSkipFlushTail,
+        Fault::QueueLinkBeforeNodePersist,
+        Fault::QueueDoubleFlushTail,
+        Fault::ArraySkipBackupBarrier,
+        Fault::ArraySkipUpdateBarrier,
+    ];
+}
+
 /// The set of faults active for one workload run.
 ///
 /// # Examples
@@ -163,6 +217,13 @@ mod tests {
         assert!(!fs.is_active(Fault::BtreeAbandonTx));
         assert!(!fs.is_empty());
         assert_eq!(FaultSet::one(Fault::KvAbandonTx), FaultSet::of(&[Fault::KvAbandonTx]));
+    }
+
+    #[test]
+    fn all_lists_each_site_once() {
+        assert_eq!(Fault::ALL.len(), 45, "the paper plants 45 synthetic bugs (Table 5)");
+        let unique: BTreeSet<Fault> = Fault::ALL.into_iter().collect();
+        assert_eq!(unique.len(), Fault::ALL.len(), "no duplicates");
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Hygiene for `property_workloads.proptest-regressions`.
+//!
+//! The vendored proptest shim does **not** read `.proptest-regressions`
+//! files, so cases stored there were silently never replayed. This test
+//! closes the gap: every `cc` line is parsed and re-run against the
+//! property it shrank from, and any line whose payload matches no known
+//! property shape fails the build — a stored regression must never
+//! reference a vanished property.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmtest::prelude::*;
+use pmtest::txlib::ObjPool;
+use pmtest::workloads::{gen, BTree, CheckMode, CritBitTree, FaultSet, HashMapTx, KvMap, RbTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const REGRESSIONS: &str = include_str!("property_workloads.proptest-regressions");
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum WlOp {
+    Insert(u64, usize),
+    Remove(u64),
+    Get(u64),
+}
+
+/// One stored regression, matched to the property it shrank from.
+#[derive(Clone, Debug)]
+enum Regression {
+    /// `ops = [Insert(..), Remove(..), Get(..)]` — the
+    /// `structures_mirror_hashmap_and_stay_clean` property.
+    MirrorOps(Vec<WlOp>),
+    /// `ops = [(k, l), ...], seed = N` — the
+    /// `hashmap_recovers_to_an_operation_prefix` property.
+    RecoveryOps(Vec<(u64, usize)>, u64),
+}
+
+/// Parses the payload after `shrinks to `. Returns `None` if the payload
+/// matches no known property shape.
+fn parse_payload(payload: &str) -> Option<Regression> {
+    let payload = payload.trim();
+    let rest = payload.strip_prefix("ops = [")?;
+    let (list, tail) = rest.split_once(']')?;
+    let tail = tail.trim().trim_start_matches(',').trim();
+    if let Some(seed) = tail.strip_prefix("seed = ") {
+        let seed: u64 = seed.trim().parse().ok()?;
+        let mut ops = Vec::new();
+        for item in split_items(list) {
+            let inner = item.strip_prefix('(')?.strip_suffix(')')?;
+            let (k, l) = inner.split_once(',')?;
+            ops.push((k.trim().parse().ok()?, l.trim().parse().ok()?));
+        }
+        return Some(Regression::RecoveryOps(ops, seed));
+    }
+    if !tail.is_empty() {
+        return None;
+    }
+    let mut ops = Vec::new();
+    for item in split_items(list) {
+        let (name, args) = item.split_once('(')?;
+        let args = args.strip_suffix(')')?;
+        match name.trim() {
+            "Insert" => {
+                let (k, l) = args.split_once(',')?;
+                ops.push(WlOp::Insert(k.trim().parse().ok()?, l.trim().parse().ok()?));
+            }
+            "Remove" => ops.push(WlOp::Remove(args.trim().parse().ok()?)),
+            "Get" => ops.push(WlOp::Get(args.trim().parse().ok()?)),
+            _ => return None,
+        }
+    }
+    Some(Regression::MirrorOps(ops))
+}
+
+/// Splits a `[...]` body into top-level comma-separated items, respecting
+/// one level of parentheses.
+fn split_items(list: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in list.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    items.push(current.trim().to_owned());
+                }
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current.trim().to_owned());
+    }
+    items
+}
+
+fn stored_regressions() -> Vec<(String, Option<Regression>)> {
+    REGRESSIONS
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("cc "))
+        .map(|line| {
+            let payload = line.split_once("# shrinks to").map(|(_, p)| p).unwrap_or("");
+            (line.to_owned(), parse_payload(payload))
+        })
+        .collect()
+}
+
+type Structure = (&'static str, Arc<dyn KvMap>, Box<dyn Fn() -> Result<(), String>>);
+
+fn make_structures(sink: pmtest::trace::SharedSink) -> Vec<Structure> {
+    let mk_pool = |sink: &pmtest::trace::SharedSink| {
+        Arc::new(
+            ObjPool::create(Arc::new(PmPool::new(1 << 21, sink.clone())), 4096, PersistMode::X86)
+                .expect("pool"),
+        )
+    };
+    let ctree = Arc::new(
+        CritBitTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap(),
+    );
+    let btree =
+        Arc::new(BTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap());
+    let rbtree =
+        Arc::new(RbTree::create(mk_pool(&sink), CheckMode::Checkers, FaultSet::none()).unwrap());
+    let hashmap = Arc::new(
+        HashMapTx::create(mk_pool(&sink), 8, CheckMode::Checkers, FaultSet::none()).unwrap(),
+    );
+    vec![
+        ("ctree", ctree.clone(), {
+            let t = ctree;
+            Box::new(move || t.check_invariants())
+        }),
+        ("btree", btree.clone(), {
+            let t = btree;
+            Box::new(move || t.check_invariants())
+        }),
+        ("rbtree", rbtree.clone(), {
+            let t = rbtree;
+            Box::new(move || t.check_no_red_red())
+        }),
+        ("hashmap", hashmap, Box::new(|| Ok(()))),
+    ]
+}
+
+/// The `structures_mirror_hashmap_and_stay_clean` property body, as a plain
+/// function replayable on a stored case.
+fn replay_mirror(ops: &[WlOp]) {
+    let session = PmTestSession::builder().build();
+    session.start();
+    for (name, map, validate) in make_structures(session.sink()) {
+        let mut mirror: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match *op {
+                WlOp::Insert(k, len) => {
+                    let v = gen::value_for(k, len);
+                    map.insert(k, &v).unwrap();
+                    mirror.insert(k, v);
+                }
+                WlOp::Remove(k) => {
+                    let removed = map.remove(k).unwrap();
+                    assert_eq!(removed, mirror.remove(&k).is_some(), "{name}: remove {k}");
+                }
+                WlOp::Get(k) => {
+                    assert_eq!(map.get(k).unwrap(), mirror.get(&k).cloned(), "{name}: get {k}");
+                }
+            }
+            assert_eq!(validate(), Ok(()), "{name}: invariants after {op:?}");
+            session.send_trace();
+        }
+        assert_eq!(map.len().unwrap(), mirror.len() as u64, "{name}: len");
+        for (k, v) in &mirror {
+            assert_eq!(map.get(*k).unwrap(), Some(v.clone()), "{name}: final {k}");
+        }
+    }
+    let report = session.finish();
+    assert!(report.is_clean(), "diagnostics on a correct run: {report}");
+}
+
+/// The `hashmap_recovers_to_an_operation_prefix` property body.
+fn replay_recovery(ops: &[(u64, usize)], seed: u64) {
+    let pm = Arc::new(PmPool::untracked(1 << 17));
+    let pool = Arc::new(ObjPool::create(pm.clone(), 4096, PersistMode::X86).unwrap());
+    let map = HashMapTx::create(pool, 8, CheckMode::None, FaultSet::none()).unwrap();
+    let mut prefixes: Vec<HashMap<u64, Vec<u8>>> = vec![HashMap::new()];
+    pm.begin_crash_recording();
+    for &(k, len) in ops {
+        let v = gen::value_for(k, len);
+        map.insert(k, &v).unwrap();
+        let mut next = prefixes.last().unwrap().clone();
+        next.insert(k, v);
+        prefixes.push(next);
+    }
+    let sim = pmtest::pmem::crash::CrashSim::from_pool(&pm).unwrap();
+    let check = |image: &[u8]| -> Result<(), String> {
+        let pool = Arc::new(
+            ObjPool::recover_image(image, 4096, PersistMode::X86).map_err(|e| e.to_string())?,
+        );
+        let map =
+            HashMapTx::open(pool, CheckMode::None, FaultSet::none()).map_err(|e| e.to_string())?;
+        'prefix: for mirror in &prefixes {
+            if map.len().map_err(|e| e.to_string())? != mirror.len() as u64 {
+                continue;
+            }
+            for (k, v) in mirror {
+                match map.get(*k) {
+                    Ok(Some(got)) if &got == v => {}
+                    _ => continue 'prefix,
+                }
+            }
+            return Ok(());
+        }
+        Err("recovered state matches no operation prefix".to_owned())
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let violation = sim.find_violation_sampled(&check, 4, &mut rng);
+    assert!(violation.is_none(), "{:?}", violation.map(|v| (v.point, v.reason)));
+}
+
+/// Every stored `cc` line must parse against a known property shape; a line
+/// that matches none references a vanished property and fails the build.
+#[test]
+fn no_stored_regression_references_a_vanished_property() {
+    let stored = stored_regressions();
+    assert!(!stored.is_empty(), "regressions file has no cc lines");
+    for (line, parsed) in stored {
+        assert!(parsed.is_some(), "stored regression matches no current property: {line}");
+    }
+}
+
+/// Every stored regression is actually re-run.
+#[test]
+fn stored_regressions_replay_clean() {
+    for (line, parsed) in stored_regressions() {
+        match parsed {
+            Some(Regression::MirrorOps(ops)) => replay_mirror(&ops),
+            Some(Regression::RecoveryOps(ops, seed)) => replay_recovery(&ops, seed),
+            None => panic!("unparsable stored regression: {line}"),
+        }
+    }
+}
+
+/// The vanished-property detector actually detects: payloads from renamed
+/// or deleted properties must not silently parse.
+#[test]
+fn unknown_payload_shapes_are_rejected() {
+    for payload in [
+        "ops = [Insert(1, 2)], extra = 3",
+        "ops = [Frobnicate(1)]",
+        "values = [1, 2, 3]",
+        "ops = [Insert(1)]",
+    ] {
+        assert!(parse_payload(payload).is_none(), "payload wrongly accepted: {payload}");
+    }
+}
