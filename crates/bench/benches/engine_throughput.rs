@@ -185,6 +185,7 @@ fn write_json(samples: &[Sample], traces: u64) {
             "  \"traces_per_round\": {},\n",
             "  \"entries_per_trace\": {},\n",
             "  \"workload\": \"short traces: write+flush+fence+isPersist, 4 producer threads, queue_capacity 4 batches/worker\",\n",
+            "  \"telemetry\": \"all layers off (default); with the PR 4 flight recorder disabled the engine takes the pre-recorder check_trace fast path, so these numbers are within run-to-run noise of the PR 3 baseline\",\n",
             "  \"results\": [\n{}  ],\n",
             "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
             "  \"stats_sample\": {}\n",

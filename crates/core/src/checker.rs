@@ -20,7 +20,11 @@ pub struct TraceChecker<'m> {
     shadow: ShadowMemory,
     diags: Vec<Diag>,
     tx: TxScope,
-    tx_depth: u32,
+    /// Locations of the currently open `TX_BEGIN`s, innermost last (the
+    /// stack's length is the transaction nesting depth). Kept so an
+    /// unterminated-transaction diagnostic can name the begin that was
+    /// never closed as its culprit.
+    tx_begins: Vec<SourceLoc>,
 }
 
 /// State of an open `TX_CHECKER_START` … `TX_CHECKER_END` scope.
@@ -43,7 +47,7 @@ impl<'m> TraceChecker<'m> {
             shadow: ShadowMemory::new(),
             diags: Vec::new(),
             tx: TxScope::default(),
-            tx_depth: 0,
+            tx_begins: Vec::new(),
         }
     }
 
@@ -65,7 +69,7 @@ impl<'m> TraceChecker<'m> {
             Event::Fence | Event::OFence | Event::DFence => {
                 self.model.apply(&mut self.shadow, entry, &mut self.diags);
             }
-            Event::TxBegin => self.tx_depth += 1,
+            Event::TxBegin => self.tx_begins.push(entry.loc),
             Event::TxEnd => self.on_tx_end(entry),
             Event::TxAdd(range) => self.on_tx_add(range, entry),
             Event::IsPersist(range) => {
@@ -129,7 +133,7 @@ impl<'m> TraceChecker<'m> {
     /// checker scopes).
     fn process_slow(&mut self, entry: &Entry) {
         match entry.event {
-            Event::TxBegin => self.tx_depth += 1,
+            Event::TxBegin => self.tx_begins.push(entry.loc),
             Event::TxEnd => self.on_tx_end(entry),
             Event::TxCheckerStart => {
                 self.tx = TxScope {
@@ -147,7 +151,7 @@ impl<'m> TraceChecker<'m> {
     }
 
     fn on_tx_end(&mut self, entry: &Entry) {
-        if self.tx_depth == 0 {
+        if self.tx_begins.pop().is_none() {
             self.diags.push(Diag {
                 kind: DiagKind::UnmatchedTxEnd,
                 loc: entry.loc,
@@ -155,8 +159,6 @@ impl<'m> TraceChecker<'m> {
                 culprit: None,
                 message: "transaction end without a matching begin".to_owned(),
             });
-        } else {
-            self.tx_depth -= 1;
         }
     }
 
@@ -170,13 +172,14 @@ impl<'m> TraceChecker<'m> {
     fn write_sub(&mut self, _full: ByteRange, sub: ByteRange, entry: &Entry) {
         // Missing-backup check (§5.1.1): inside a checked transaction,
         // every modified range must already be in the undo log.
-        if self.tx.active && self.tx_depth > 0 {
+        if self.tx.active && !self.tx_begins.is_empty() {
             for gap in self.tx.log.uncovered(sub) {
                 self.diags.push(Diag {
                     kind: DiagKind::MissingLog,
                     loc: entry.loc,
                     range: Some(gap),
-                    culprit: None,
+                    // The unlogged write itself is the site to fix.
+                    culprit: Some(entry.loc),
                     message: "persistent object modified inside a transaction without \
                               a prior TX_ADD backup"
                         .to_owned(),
@@ -228,15 +231,16 @@ impl<'m> TraceChecker<'m> {
             return;
         }
         // Incomplete-transaction check (§5.1.1).
-        if self.tx_depth > 0 {
+        if !self.tx_begins.is_empty() {
             self.diags.push(Diag {
                 kind: DiagKind::UnterminatedTx,
                 loc: entry.loc,
                 range: None,
-                culprit: self.tx.start_loc,
+                // The innermost TX_BEGIN that was never closed.
+                culprit: self.tx_begins.last().copied().or(self.tx.start_loc),
                 message: format!(
                     "{} transaction(s) still open at the end of the checked scope",
-                    self.tx_depth
+                    self.tx_begins.len()
                 ),
             });
         }
@@ -429,6 +433,8 @@ mod tests {
         assert_eq!(kinds(&diags), [DiagKind::MissingLog]);
         assert_eq!(diags[0].range, Some(length));
         assert_eq!(diags[0].loc.line(), 5);
+        // The unlogged write is also the culprit to fix.
+        assert_eq!(diags[0].culprit.map(|l| l.line()), Some(5));
     }
 
     #[test]
@@ -448,6 +454,8 @@ mod tests {
             &X86Model::new(),
         );
         assert_eq!(kinds(&diags), [DiagKind::UnterminatedTx]);
+        // Culprit: the TX_BEGIN (line 2) that was never closed.
+        assert_eq!(diags[0].culprit.map(|l| l.line()), Some(2));
     }
 
     #[test]
@@ -588,6 +596,9 @@ mod tests {
             &X86Model::new(),
         );
         assert_eq!(kinds(&diags), [DiagKind::UnterminatedTx]);
+        // TxEnd closed the inner begin (line 3); the outer (line 2) is the
+        // one still open.
+        assert_eq!(diags[0].culprit.map(|l| l.line()), Some(2));
     }
 
     #[test]

@@ -7,10 +7,11 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use pmtest_obs::{EventLog, TelemetrySnapshot};
-use pmtest_trace::{BufferPool, Trace, TraceStats};
+use pmtest_trace::{BufferPool, FlightRecorder, Trace, TraceStats};
 
+use crate::bundle::{capture_step, BundleReason, DiagnosisBundle};
 use crate::checker::{check_trace, TraceChecker};
-use crate::diag::{Report, TraceReport};
+use crate::diag::{Report, Severity, TraceReport};
 use crate::model::{PersistencyModel, X86Model};
 use crate::telemetry::{EngineTelemetry, TelemetryConfig};
 
@@ -199,7 +200,25 @@ struct Shared {
     /// event ring). Always present; whether clocks are read depends on
     /// [`TelemetryConfig::timing`].
     telemetry: EngineTelemetry,
+    /// Per-worker flight recorders. Empty unless
+    /// [`TelemetryConfig::recorder`] is on, so the off path never touches
+    /// them (`recorders.get(idx)` is `None`).
+    recorders: Vec<FlightRecorder>,
+    /// Diagnosis bundles captured on ERROR, drained by
+    /// [`Engine::take_bundles`]. Bounded at [`MAX_BUNDLES`]; captures past
+    /// the bound increment `bundles_dropped` instead of growing the queue.
+    bundles: Mutex<Vec<DiagnosisBundle>>,
+    /// ERROR bundles discarded because the bundle queue was full.
+    bundles_dropped: AtomicU64,
+    /// Name of the configured persistency model, for bundle headers built
+    /// outside the workers ([`Engine::capture_bundle`]).
+    model_name: String,
 }
+
+/// Most ERROR bundles retained between [`Engine::take_bundles`] drains. One
+/// failing checker in a loop would otherwise buffer a window of every
+/// iteration; the first failures are the interesting ones.
+const MAX_BUNDLES: usize = 16;
 
 impl Shared {
     /// Marks `n` traces as no longer outstanding, waking idle waiters when
@@ -277,6 +296,16 @@ impl Engine {
             queue_highwater: AtomicU64::new(0),
             backpressure_stalls: AtomicU64::new(0),
             telemetry: EngineTelemetry::new(config.workers, config.telemetry),
+            recorders: if config.telemetry.recorder {
+                (0..config.workers)
+                    .map(|_| FlightRecorder::new(config.telemetry.recorder_capacity))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            bundles: Mutex::new(Vec::new()),
+            bundles_dropped: AtomicU64::new(0),
+            model_name: config.model.name().to_owned(),
         });
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
@@ -571,6 +600,49 @@ impl Engine {
         std::mem::take(&mut *self.drain_shards())
     }
 
+    /// Drains the diagnosis bundles captured so far (one per ERROR trace
+    /// while [`TelemetryConfig::recorder`] is on, bounded at 16 between
+    /// drains — the counterexamples that matter are the first ones).
+    /// Returns an empty vec when the recorder is off.
+    #[must_use]
+    pub fn take_bundles(&self) -> Vec<DiagnosisBundle> {
+        self.wait_idle();
+        std::mem::take(&mut *self.shared.bundles.lock())
+    }
+
+    /// ERROR bundles discarded because more than 16 traces failed between
+    /// [`take_bundles`](Self::take_bundles) drains.
+    #[must_use]
+    pub fn bundles_dropped(&self) -> u64 {
+        self.shared.bundles_dropped.load(Ordering::Relaxed)
+    }
+
+    /// On-demand capture: waits for the pipeline to drain, then freezes
+    /// every worker's current flight-recorder window into a
+    /// [`BundleReason::Manual`] bundle (one per worker that has recorded
+    /// anything). Unlike the automatic ERROR path this does not require a
+    /// failing checker — use it to inspect interval state of a passing run.
+    /// Empty when the recorder is off.
+    #[must_use]
+    pub fn capture_bundle(&self) -> Vec<DiagnosisBundle> {
+        self.wait_idle();
+        self.shared
+            .recorders
+            .iter()
+            .filter_map(|rec| {
+                let steps = rec.window();
+                let last = steps.last()?;
+                Some(DiagnosisBundle::from_window(
+                    &self.shared.model_name,
+                    BundleReason::Manual,
+                    last.trace_id,
+                    Vec::new(),
+                    steps,
+                ))
+            })
+            .collect()
+    }
+
     /// Shuts the worker pool down, returning everything checked so far
     /// (`PMTest_EXIT`, §4.2).
     ///
@@ -598,33 +670,61 @@ impl Engine {
 ///
 /// [`CheckerCategory`]: crate::telemetry::CheckerCategory
 fn worker_check(shared: &Shared, idx: usize, model: &Arc<dyn PersistencyModel>, trace: Trace) {
-    let diags = if shared.telemetry.timing {
+    let timing = shared.telemetry.timing;
+    let recorder = shared.recorders.get(idx);
+    let trace_id = trace.id();
+    let diags = if timing || recorder.is_some() {
         let started = Instant::now();
         let mut checker = TraceChecker::new(model.as_ref());
         let mut last = started;
-        for entry in trace.entries() {
+        for (index, entry) in trace.entries().iter().enumerate() {
             checker.process(entry);
-            let now = Instant::now();
-            shared
-                .telemetry
-                .checker_histogram(&entry.event)
-                .record(now.duration_since(last).as_nanos() as u64);
-            last = now;
+            if timing {
+                let now = Instant::now();
+                shared
+                    .telemetry
+                    .checker_histogram(&entry.event)
+                    .record(now.duration_since(last).as_nanos() as u64);
+                last = now;
+            }
+            if let Some(rec) = recorder {
+                rec.record(capture_step(trace_id, index, entry, checker.shadow()));
+            }
         }
         let diags = checker.finish();
-        shared.telemetry.check_latency.record(started.elapsed().as_nanos() as u64);
-        shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_trace(&trace));
+        if timing {
+            shared.telemetry.check_latency.record(started.elapsed().as_nanos() as u64);
+            shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_trace(&trace));
+        }
         diags
     } else {
         check_trace(&trace, model.as_ref())
     };
+    if let Some(rec) = recorder {
+        if diags.iter().any(|d| d.severity() == Severity::Fail) {
+            let steps: Vec<_> =
+                rec.window().into_iter().filter(|s| s.trace_id == trace_id).collect();
+            let bundle = DiagnosisBundle::from_window(
+                model.name(),
+                BundleReason::Error,
+                trace_id,
+                diags.clone(),
+                steps,
+            );
+            let mut bundles = shared.bundles.lock();
+            if bundles.len() < MAX_BUNDLES {
+                bundles.push(bundle);
+            } else {
+                shared.bundles_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
     shared.traces_checked.fetch_add(1, Ordering::Relaxed);
     shared.entries_processed.fetch_add(trace.len() as u64, Ordering::Relaxed);
     shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
     for diag in &diags {
         shared.telemetry.diag_counter(diag.kind).inc();
     }
-    let trace_id = trace.id();
     shared.shards[idx].lock().push(TraceReport { trace_id, diags });
     shared.pool.release(trace.into_entries());
 }
@@ -672,6 +772,85 @@ mod tests {
         t.push(Event::Fence.here());
         t.push(Event::IsPersist(r).here());
         t
+    }
+
+    #[test]
+    fn recorder_captures_a_bundle_on_error() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::recorder_only(),
+            ..EngineConfig::default()
+        });
+        engine.submit(clean_trace(0)).unwrap();
+        engine.submit(failing_trace(1)).unwrap();
+        let bundles = engine.take_bundles();
+        assert_eq!(bundles.len(), 1, "only the failing trace bundles");
+        let b = &bundles[0];
+        assert_eq!(b.reason, crate::BundleReason::Error);
+        assert_eq!(b.trace_id, 1);
+        assert_eq!(b.model, "x86");
+        assert_eq!(b.firing, Some(0));
+        // The window is filtered to the failing trace's own steps.
+        assert_eq!(b.steps.len(), 2);
+        assert!(b.steps.iter().all(|s| s.trace_id == 1));
+        assert_eq!(b.diags[0].kind, DiagKind::NotPersisted);
+        // Drained: a second take sees nothing new.
+        assert!(engine.take_bundles().is_empty());
+        assert_eq!(engine.bundles_dropped(), 0);
+    }
+
+    #[test]
+    fn bundle_queue_is_bounded() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::recorder_only(),
+            ..EngineConfig::default()
+        });
+        for id in 0..20 {
+            engine.submit(failing_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        assert_eq!(engine.take_bundles().len(), 16);
+        assert_eq!(engine.bundles_dropped(), 4);
+    }
+
+    #[test]
+    fn capture_bundle_freezes_windows_on_demand() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::recorder_only(),
+            ..EngineConfig::default()
+        });
+        engine.submit(clean_trace(3)).unwrap();
+        let bundles = engine.capture_bundle();
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].reason, crate::BundleReason::Manual);
+        assert_eq!(bundles[0].trace_id, 3);
+        assert_eq!(bundles[0].steps.len(), 4);
+        assert!(bundles[0].diags.is_empty());
+        // No ERROR fired, so nothing landed in the automatic queue.
+        assert!(engine.take_bundles().is_empty());
+    }
+
+    #[test]
+    fn recorder_off_captures_nothing() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.submit(failing_trace(0)).unwrap();
+        assert!(engine.take_bundles().is_empty());
+        assert!(engine.capture_bundle().is_empty());
+        assert_eq!(engine.take_report().fail_count(), 1);
+    }
+
+    #[test]
+    fn recorder_does_not_change_the_report() {
+        let plain = Engine::new(EngineConfig::default());
+        let recorded = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::recorder_only(),
+            ..EngineConfig::default()
+        });
+        for id in 0..8 {
+            let mk = if id % 2 == 0 { failing_trace } else { clean_trace };
+            plain.submit(mk(id)).unwrap();
+            recorded.submit(mk(id)).unwrap();
+        }
+        assert_eq!(plain.take_report(), recorded.take_report());
     }
 
     #[test]

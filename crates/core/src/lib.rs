@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bundle;
 mod checker;
 pub mod compose;
 mod diag;
@@ -75,6 +76,7 @@ mod session;
 mod shadow;
 pub mod telemetry;
 
+pub use bundle::{op_token, BundleReason, DiagnosisBundle};
 pub use checker::{check_trace, TraceChecker};
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
 pub use engine::{Engine, EngineConfig, EngineStats, SubmitError};

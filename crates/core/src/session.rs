@@ -347,6 +347,24 @@ impl PmTestSession {
         self.shared.engine.buffer_pool().stats()
     }
 
+    /// Drains the diagnosis bundles captured on ERROR so far — see
+    /// [`Engine::take_bundles`]. Flushes the calling thread's pending batch
+    /// first so failures it contains are captured. Empty unless
+    /// [`crate::TelemetryConfig::recorder`] is on.
+    #[must_use]
+    pub fn take_bundles(&self) -> Vec<crate::DiagnosisBundle> {
+        self.flush();
+        self.shared.engine.take_bundles()
+    }
+
+    /// On-demand flight-recorder capture — see [`Engine::capture_bundle`].
+    /// Flushes the calling thread's pending batch first.
+    #[must_use]
+    pub fn capture_bundle(&self) -> Vec<crate::DiagnosisBundle> {
+        self.flush();
+        self.shared.engine.capture_bundle()
+    }
+
     /// A machine-readable snapshot of the engine's telemetry — see
     /// [`Engine::telemetry_snapshot`]. Includes the session-level batching
     /// metrics (`session_batch_fill`, `session_flush_total{cause=…}`).

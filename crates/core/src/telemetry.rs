@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use pmtest_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot};
-use pmtest_trace::{Event, TraceStats};
+use pmtest_trace::{Event, FlightRecorder, TraceStats};
 
 use crate::diag::DiagKind;
 
@@ -32,6 +32,13 @@ pub struct TelemetryConfig {
     pub events: bool,
     /// Capacity of the event ring (oldest events are overwritten).
     pub event_capacity: usize,
+    /// Keep a per-worker flight-recorder ring of recently replayed entries
+    /// with the interval state the model assigned, and emit a diagnosis
+    /// bundle whenever a checker fires an ERROR (see DESIGN.md §11). Costs
+    /// an interval snapshot per entry on the worker side.
+    pub recorder: bool,
+    /// Steps retained per worker by the flight recorder.
+    pub recorder_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -44,19 +51,38 @@ impl TelemetryConfig {
     /// Counters only — the zero-cost default.
     #[must_use]
     pub fn off() -> Self {
-        Self { timing: false, events: false, event_capacity: EventLog::DEFAULT_CAPACITY }
+        Self {
+            timing: false,
+            events: false,
+            event_capacity: EventLog::DEFAULT_CAPACITY,
+            recorder: false,
+            recorder_capacity: FlightRecorder::DEFAULT_CAPACITY,
+        }
     }
 
-    /// Everything on: timing histograms and the event ring.
+    /// Everything on: timing histograms, the event ring, and the flight
+    /// recorder (diagnosis bundles on ERROR).
     #[must_use]
     pub fn enabled() -> Self {
-        Self { timing: true, events: true, event_capacity: EventLog::DEFAULT_CAPACITY }
+        Self {
+            timing: true,
+            events: true,
+            event_capacity: EventLog::DEFAULT_CAPACITY,
+            recorder: true,
+            recorder_capacity: FlightRecorder::DEFAULT_CAPACITY,
+        }
     }
 
     /// Timing histograms without the event ring.
     #[must_use]
     pub fn timing_only() -> Self {
         Self { timing: true, ..Self::off() }
+    }
+
+    /// Flight recorder only: bundles on ERROR, no timing, no event ring.
+    #[must_use]
+    pub fn recorder_only() -> Self {
+        Self { recorder: true, ..Self::off() }
     }
 }
 

@@ -5,12 +5,15 @@
 //! program to a minimal reproducer and writes it to the output directory.
 //!
 //! ```text
-//! difftest-fuzz [--seeds N] [--start-seed S] [--seconds T] [--max-ops M] [--out DIR]
+//! difftest-fuzz [--seeds N] [--start-seed S] [--seconds T] [--max-ops M] [--out DIR] [--minimize]
 //! ```
 //!
 //! `--seconds` time-boxes the run (seeds keep incrementing from
 //! `--start-seed` until the budget is spent); otherwise exactly `--seeds`
-//! seeds run. Exit status is 1 if any divergence was found.
+//! seeds run. With `--minimize`, every minimized counterexample also gets a
+//! diagnosis bundle (`div_<seed>.bundle.jsonl`, captured by a
+//! flight-recorder engine) written next to it, ready for `pmtest-explain`.
+//! Exit status is 1 if any divergence was found.
 
 #![forbid(unsafe_code)]
 
@@ -20,7 +23,9 @@ use std::time::{Duration, Instant};
 
 use pmtest_difftest::compare::check_program;
 use pmtest_difftest::corpus::write_counterexample;
+use pmtest_difftest::exec::capture_diagnosis_bundle;
 use pmtest_difftest::gen::{generate, GenConfig};
+use pmtest_difftest::program::Program;
 use pmtest_difftest::shrink::shrink;
 
 struct Args {
@@ -29,6 +34,7 @@ struct Args {
     seconds: Option<u64>,
     max_ops: usize,
     out: PathBuf,
+    minimize: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         seconds: None,
         max_ops: GenConfig::default().max_ops,
         out: PathBuf::from("fuzz_out"),
+        minimize: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,10 +61,25 @@ fn parse_args() -> Result<Args, String> {
                 args.max_ops = value("--max-ops")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--minimize" => args.minimize = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Writes the minimized program's diagnosis bundle next to its
+/// counterexample. Failures are reported but never abort the fuzz run — the
+/// counterexample itself is already on disk.
+fn write_bundle(out: &std::path::Path, seed: u64, min: &Program) {
+    let path = out.join(format!("div_{seed}.bundle.jsonl"));
+    match capture_diagnosis_bundle(min) {
+        Ok(contents) => match std::fs::write(&path, contents) {
+            Ok(()) => eprintln!("seed {seed}: diagnosis bundle -> {}", path.display()),
+            Err(e) => eprintln!("seed {seed}: failed to write bundle: {e}"),
+        },
+        Err(e) => eprintln!("seed {seed}: failed to capture bundle: {e}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -109,6 +131,9 @@ fn main() -> ExitCode {
                         path.display()
                     ),
                     Err(e) => eprintln!("seed {seed}: failed to write counterexample: {e}"),
+                }
+                if args.minimize {
+                    write_bundle(&args.out, seed, &min);
                 }
             }
             Err(e) => {

@@ -17,9 +17,11 @@ pub fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
 }
 
-/// Loads every `*.txt` corpus entry, sorted by file name. Panics on
-/// unreadable or unparsable entries — a corrupt corpus must fail loudly in
-/// CI, not silently skip cases.
+/// Loads every `*.txt` corpus entry, sorted by file name. The checked-in
+/// `*.explain.txt` golden timeline renders (replayed by `pmtest-explain`'s
+/// tests) are not programs and are skipped. Panics on unreadable or
+/// unparsable entries — a corrupt corpus must fail loudly in CI, not
+/// silently skip cases.
 #[must_use]
 pub fn load_corpus() -> Vec<(String, Program)> {
     let dir = corpus_dir();
@@ -27,6 +29,7 @@ pub fn load_corpus() -> Vec<(String, Program)> {
         .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
         .map(|entry| entry.expect("corpus dir entry").path())
         .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .filter(|p| !p.to_string_lossy().ends_with(".explain.txt"))
         .collect();
     names.sort();
     names

@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use pmtest_core::{
-    Engine, EngineConfig, HopsModel, PersistencyModel, Report, SubmitError, X86Model,
+    Engine, EngineConfig, HopsModel, PersistencyModel, Report, SubmitError, TelemetryConfig,
+    X86Model,
 };
 use pmtest_pmem::crash::CrashSim;
 use pmtest_trace::Trace;
@@ -160,6 +161,37 @@ pub fn run_matrix(program: &Program, matrix: &[EngineRun]) -> Result<MatrixOutco
     Ok(MatrixOutcome { reports })
 }
 
+/// Runs the program once through a flight-recorder-enabled single-worker
+/// engine and returns the serialized diagnosis bundle (JSON lines): the
+/// automatic ERROR capture if a checker failed, a manual window capture
+/// otherwise. Shared by `pmtest-explain --bundle-out` and
+/// `difftest-fuzz --minimize`.
+///
+/// # Errors
+///
+/// Returns a message if the engine rejected the trace or captured nothing.
+pub fn capture_diagnosis_bundle(program: &Program) -> Result<String, String> {
+    let trace = program.trace(0);
+    let engine = Engine::new(EngineConfig {
+        model: model_for(program.dialect),
+        workers: 1,
+        deterministic_dispatch: true,
+        telemetry: TelemetryConfig {
+            recorder_capacity: trace.len().max(1),
+            ..TelemetryConfig::recorder_only()
+        },
+        ..EngineConfig::default()
+    });
+    engine.submit(trace).map_err(|e| e.to_string())?;
+    engine.wait_idle();
+    let mut bundles = engine.take_bundles();
+    if bundles.is_empty() {
+        bundles = engine.capture_bundle();
+    }
+    let bundle = bundles.into_iter().next().ok_or("engine captured no bundle")?;
+    Ok(bundle.to_json_lines())
+}
+
 /// Builds the crash-state oracle for the program: an all-zeros pool image
 /// plus the program's valued-op log.
 #[must_use]
@@ -186,5 +218,32 @@ mod tests {
         assert!(outcome.mismatch().is_none());
         assert_eq!(outcome.canonical().traces().len(), REPLICAS as usize);
         assert_eq!(outcome.canonical().fail_count(), REPLICAS as usize);
+    }
+
+    #[test]
+    fn failing_program_captures_an_error_bundle() {
+        let p = Program {
+            dialect: Dialect::X86,
+            ops: vec![Op::Write { addr: 0, len: 8 }, Op::CheckPersist { addr: 0, len: 8 }],
+        };
+        let text = capture_diagnosis_bundle(&p).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"bundle\":\"pmtest-diagnosis\""));
+        assert!(header.contains("\"reason\":\"error\""));
+    }
+
+    #[test]
+    fn clean_program_captures_a_manual_bundle() {
+        let p = Program {
+            dialect: Dialect::X86,
+            ops: vec![
+                Op::Write { addr: 0, len: 8 },
+                Op::Flush { addr: 0, len: 8 },
+                Op::Fence,
+                Op::CheckPersist { addr: 0, len: 8 },
+            ],
+        };
+        let text = capture_diagnosis_bundle(&p).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"reason\":\"manual\""));
     }
 }

@@ -1,0 +1,93 @@
+//! `pmtest-explain`: render diagnosis bundles or difftest programs as
+//! annotated epoch/interval timelines.
+//!
+//! ```text
+//! pmtest-explain [--bundle-out DIR] <file>...
+//! ```
+//!
+//! Each input is content-detected: a JSON-lines file whose first line is a
+//! `pmtest-diagnosis` header loads as a bundle; anything else parses as a
+//! difftest program (`dialect x86` / `dialect hops` text). With
+//! `--bundle-out DIR`, every *program* input is additionally run through a
+//! flight-recorder-enabled engine and the captured diagnosis bundle is
+//! written to `DIR/<stem>.bundle.jsonl` (ERROR capture if a checker fails,
+//! manual capture otherwise) — CI validates these with `obs-check`.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pmtest_difftest::exec::capture_diagnosis_bundle;
+use pmtest_difftest::program::Program;
+use pmtest_explain::{explain_bundle, explain_program};
+use pmtest_obs::bundle::is_bundle;
+
+struct Args {
+    bundle_out: Option<PathBuf>,
+    inputs: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { bundle_out: None, inputs: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bundle-out" => {
+                let dir = it.next().ok_or("--bundle-out needs a directory")?;
+                args.bundle_out = Some(PathBuf::from(dir));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => args.inputs.push(PathBuf::from(path)),
+        }
+    }
+    if args.inputs.is_empty() {
+        return Err("usage: pmtest-explain [--bundle-out DIR] <file>...".to_owned());
+    }
+    Ok(args)
+}
+
+fn stem(path: &Path) -> String {
+    path.file_stem().map_or_else(|| "input".to_owned(), |s| s.to_string_lossy().into_owned())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    for path in &args.inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = stem(path);
+        if is_bundle(&text) {
+            let render = explain_bundle(&text, &name).map_err(|e| format!("{name}: {e}"))?;
+            print!("{render}");
+        } else {
+            let program = Program::from_text(&text).map_err(|e| format!("{name}: {e}"))?;
+            print!("{}", explain_program(&program, &name));
+            if let Some(dir) = &args.bundle_out {
+                let contents =
+                    capture_diagnosis_bundle(&program).map_err(|e| format!("{name}: {e}"))?;
+                let written =
+                    pmtest_obs::writer::write_lines(dir, &format!("{name}.bundle"), &contents)
+                        .map_err(|e| format!("{name}: {e}"))?;
+                eprintln!("bundle written: {}", written.display());
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pmtest-explain: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pmtest-explain: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

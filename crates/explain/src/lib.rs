@@ -1,0 +1,61 @@
+//! `pmtest-explain`: the interval-timeline debugger.
+//!
+//! PMTest's reports *locate* a crash-consistency bug (`FAIL @ file:line`,
+//! culprit write attached), but the why — the fence-delimited epochs and
+//! per-address persist intervals the inference engine computed — is
+//! discarded after checking. This crate re-runs that interval inference
+//! deterministically and renders it as an annotated ASCII timeline: one row
+//! per operation, epochs as columns, persist intervals as `[===]` bars
+//! (`>` while still open), fences as horizontal epoch dividers, checkers
+//! annotated pass/FAIL, and the culprit write highlighted.
+//!
+//! Input is either a difftest corpus program (`dialect x86` text, see
+//! `pmtest-difftest`) or a diagnosis bundle captured by the engine's flight
+//! recorder (JSON-lines, see the core crate's `DiagnosisBundle` and
+//! DESIGN.md §11); both x86 and HOPS models are supported.
+//!
+//! ```
+//! use pmtest_difftest::program::Program;
+//!
+//! let program = Program::from_text(
+//!     "dialect x86\nwrite 0 8\nflush 0 8\ncheck_persist 0 8\n",
+//! )
+//! .unwrap();
+//! let render = pmtest_explain::explain_program(&program, "demo");
+//! assert!(render.contains("FAIL not_persisted"));
+//! assert!(render.contains("culprit"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod load;
+mod render;
+
+pub use load::{load_bundle, model_from_name, parse_loc, parse_op, LoadedBundle};
+pub use render::render_trace;
+
+use pmtest_difftest::exec::model_for;
+use pmtest_difftest::program::Program;
+
+/// Renders the timeline of a difftest program under its dialect's model.
+/// `source` names the input in the output header (e.g. the file stem).
+#[must_use]
+pub fn explain_program(program: &Program, source: &str) -> String {
+    let model = model_for(program.dialect);
+    render_trace(&program.trace(0), model.as_ref(), source)
+}
+
+/// Loads a diagnosis bundle from its JSON-lines text, re-runs interval
+/// inference over the recorded window, and renders the timeline.
+///
+/// # Errors
+///
+/// Returns a description of the first schema or parse problem (unknown
+/// model, malformed op token, missing field, …).
+pub fn explain_bundle(text: &str, source: &str) -> Result<String, String> {
+    let bundle = load_bundle(text)?;
+    let model = model_from_name(&bundle.model)?;
+    let header = format!("{source} (bundle: reason {}, trace {})", bundle.reason, bundle.trace_id);
+    Ok(render_trace(&bundle.trace, model.as_ref(), &header))
+}

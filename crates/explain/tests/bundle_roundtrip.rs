@@ -1,0 +1,63 @@
+//! End-to-end: a failing corpus program runs through a flight-recorder
+//! engine, the emitted diagnosis bundle validates against the obs schema,
+//! loads back, and renders the same culprit the direct program render
+//! highlights.
+
+use pmtest_core::{BundleReason, Engine, EngineConfig, TelemetryConfig};
+use pmtest_difftest::corpus::load_corpus;
+use pmtest_difftest::exec::model_for;
+use pmtest_explain::{explain_bundle, explain_program, load_bundle};
+use pmtest_obs::bundle::{is_bundle, validate_bundle};
+
+fn recorder_engine(program: &pmtest_difftest::program::Program) -> Engine {
+    Engine::new(EngineConfig {
+        model: model_for(program.dialect),
+        workers: 1,
+        deterministic_dispatch: true,
+        telemetry: TelemetryConfig {
+            recorder_capacity: program.ops.len().max(1),
+            ..TelemetryConfig::recorder_only()
+        },
+        ..EngineConfig::default()
+    })
+}
+
+#[test]
+fn corpus_bundles_validate_and_render_the_same_culprit() {
+    for (name, program) in load_corpus() {
+        let engine = recorder_engine(&program);
+        engine.submit(program.trace(0)).unwrap();
+        let report = engine.take_report();
+        let mut bundles = engine.take_bundles();
+        if report.fail_count() == 0 {
+            assert!(bundles.is_empty(), "{name}: clean program must not auto-bundle");
+            bundles = engine.capture_bundle();
+            assert_eq!(bundles.len(), 1, "{name}: manual capture");
+            assert_eq!(bundles[0].reason, BundleReason::Manual);
+        } else {
+            assert_eq!(bundles.len(), 1, "{name}: one ERROR bundle per failing trace");
+            assert_eq!(bundles[0].reason, BundleReason::Error);
+            assert!(bundles[0].firing.is_some());
+        }
+        let text = bundles[0].to_json_lines();
+        assert!(is_bundle(&text), "{name}");
+        validate_bundle(&text).unwrap_or_else(|e| panic!("{name}: emitted bundle invalid: {e}"));
+
+        // The loaded window replays to the same number of entries (the
+        // recorder saw the whole trace: capacity >= ops).
+        let loaded = load_bundle(&text).unwrap();
+        assert_eq!(loaded.trace.len(), program.trace(0).len(), "{name}");
+
+        // And the bundle render highlights the same culprit line as the
+        // direct program render.
+        let direct = explain_program(&program, "direct");
+        let via_bundle = explain_bundle(&text, "bundle").unwrap();
+        let culprit_of = |render: &str| {
+            render
+                .lines()
+                .find(|l| l.starts_with("culprit: "))
+                .map(|l| l.split(' ').nth(1).unwrap().to_owned())
+        };
+        assert_eq!(culprit_of(&direct), culprit_of(&via_bundle), "{name}");
+    }
+}

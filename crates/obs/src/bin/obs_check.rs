@@ -1,18 +1,24 @@
 //! `obs-check`: validates that telemetry output files are machine-readable.
 //!
 //! Usage: `obs-check <file>...` — each `.jsonl` argument is parsed line by
-//! line, every other file as one JSON document. Exits non-zero (with the
-//! offending file, line, and parse error on stderr) if anything fails, so CI
-//! can gate on the emitted snapshots actually parsing. No dependencies, no
-//! serde: it reuses the crate's own minimal JSON reader.
+//! line, every other file as one JSON document. A `.jsonl` file whose first
+//! line is a diagnosis-bundle header is additionally validated against the
+//! bundle schema (`pmtest_obs::bundle`): typed fields, known line kinds,
+//! counts consistent with the header, escape round-trips. Exits non-zero
+//! (with the offending file, line, and error on stderr) if anything fails,
+//! so CI can gate on the emitted snapshots actually parsing. No
+//! dependencies, no serde: it reuses the crate's own minimal JSON reader.
 
 use std::process::ExitCode;
 
-use pmtest_obs::json;
+use pmtest_obs::{bundle, json};
 
 fn check_file(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     if path.ends_with(".jsonl") {
+        if bundle::is_bundle(&text) {
+            return bundle::validate_bundle(&text).map_err(|e| format!("{path}: {e}"));
+        }
         let mut docs = 0;
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {

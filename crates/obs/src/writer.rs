@@ -46,6 +46,22 @@ pub fn write_json_lines(
     Ok(path)
 }
 
+/// Writes pre-serialized JSON-lines `contents` to `<dir>/<name>.jsonl` and
+/// returns the path. Creates `dir` if needed. Used by producers whose
+/// line format is their own (diagnosis bundles) but who want the same
+/// destination conventions as the snapshot writers.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn write_lines(dir: impl AsRef<Path>, name: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

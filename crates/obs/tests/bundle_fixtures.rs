@@ -1,0 +1,32 @@
+//! The checked-in bundle fixtures: the good one validates, the deliberately
+//! corrupted one (mistyped `epoch` field, step count short of the header's
+//! promise, a mangled escape) is rejected — exactly what `obs-check` runs
+//! on every emitted bundle in CI.
+
+use pmtest_obs::bundle::{is_bundle, validate_bundle};
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::read_to_string(format!("{path}/{name}")).expect("fixture readable")
+}
+
+#[test]
+fn good_fixture_validates() {
+    let text = fixture("bundle_good.jsonl");
+    assert!(is_bundle(&text));
+    assert_eq!(validate_bundle(&text).unwrap(), 6);
+}
+
+#[test]
+fn corrupted_fixture_is_rejected() {
+    let text = fixture("bundle_corrupt.jsonl");
+    assert!(is_bundle(&text), "still recognizably a bundle");
+    let err = validate_bundle(&text).unwrap_err();
+    // The first violation past the header is reported with its line number.
+    assert!(err.starts_with("line "), "error names the line: {err}");
+}
+
+#[test]
+fn telemetry_jsonl_is_not_mistaken_for_a_bundle() {
+    assert!(!is_bundle("{\"metric\":\"engine_traces_checked\",\"value\":4}\n"));
+}

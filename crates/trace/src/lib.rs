@@ -38,10 +38,12 @@
 
 mod event;
 mod pool;
+mod recorder;
 mod sink;
 mod stats;
 
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
 pub use pool::{BufferPool, PoolStats};
+pub use recorder::{FlightRecorder, IntervalNote, StepRecord};
 pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};
 pub use stats::TraceStats;

@@ -1,0 +1,154 @@
+//! Per-worker flight recorder: a bounded ring of recently replayed entries
+//! annotated with the interval state the persistency model assigned.
+//!
+//! The recorder is an observability aid, not part of checking: workers push
+//! a [`StepRecord`] after replaying each entry, and on an ERROR (or an
+//! explicit capture request) the engine snapshots the window into a
+//! diagnosis bundle. The ring is bounded so a long trace cannot grow it
+//! without limit; old steps are dropped oldest-first.
+//!
+//! Epochs and intervals are recorded as plain `u64`s here because the trace
+//! crate sits below the core crate that owns the epoch/interval types.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use pmtest_interval::ByteRange;
+
+use crate::{Entry, SourceLoc};
+
+/// One per-range persist interval as the model saw it after a step.
+///
+/// `end == None` means the interval is still open (flushed but not yet
+/// fenced, or not flushed at all): the range is not guaranteed persistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalNote {
+    /// The byte range this interval covers.
+    pub range: ByteRange,
+    /// Epoch in which the persist interval began (the write's epoch).
+    pub begin: u64,
+    /// Epoch in which the interval closed, if it has closed.
+    pub end: Option<u64>,
+    /// Source location of the write that opened the interval, if known.
+    pub write_loc: Option<SourceLoc>,
+}
+
+/// One replayed entry together with the interval state observed after it.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Id of the trace this entry belonged to.
+    pub trace_id: u64,
+    /// Index of the entry within its trace.
+    pub index: usize,
+    /// The entry itself (events are `Copy`).
+    pub entry: Entry,
+    /// The model's epoch counter after replaying this entry.
+    pub epoch: u64,
+    /// Persist intervals touching the entry's own ranges after this step.
+    pub intervals: Vec<IntervalNote>,
+}
+
+/// A bounded ring buffer of [`StepRecord`]s.
+///
+/// One recorder per engine worker; the ring persists across traces so a
+/// capture sees the most recent window regardless of trace boundaries.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Mutex<VecDeque<StepRecord>>,
+}
+
+impl FlightRecorder {
+    /// Default window size: enough for every trace the paper's examples
+    /// produce while keeping the per-worker footprint small.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Create a recorder retaining at most `capacity` steps (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, buf: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// Maximum number of steps retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a step, evicting the oldest if the ring is full.
+    pub fn record(&self, step: StepRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(step);
+    }
+
+    /// Snapshot the current window, oldest step first.
+    pub fn window(&self) -> Vec<StepRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of steps currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when no steps have been recorded (or all were cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Drop every retained step.
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn step(trace_id: u64, index: usize) -> StepRecord {
+        StepRecord {
+            trace_id,
+            index,
+            entry: Event::Fence.here(),
+            epoch: index as u64,
+            intervals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record(step(1, i));
+        }
+        let window = rec.window();
+        assert_eq!(window.len(), 3);
+        assert_eq!(window.iter().map(|s| s.index).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn window_spans_traces_until_cleared() {
+        let rec = FlightRecorder::new(8);
+        rec.record(step(1, 0));
+        rec.record(step(2, 0));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.window()[0].trace_id, 1);
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let rec = FlightRecorder::new(0);
+        rec.record(step(1, 0));
+        rec.record(step(1, 1));
+        assert_eq!(rec.capacity(), 1);
+        let window = rec.window();
+        assert_eq!(window.len(), 1);
+        assert_eq!(window[0].index, 1);
+    }
+}

@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
     });
+    let bundles = session.take_bundles();
     let report = session.take_report();
     let snap = session.telemetry_snapshot();
 
@@ -78,9 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jsonl = writer::write_json_lines(dir, "telemetry_demo", &snap)?;
     let diags = format!("{dir}/telemetry_diags.jsonl");
     std::fs::write(&diags, report.to_json_lines())?;
+    // The flight recorder auto-captured a diagnosis bundle for each failing
+    // trace (bounded); dump the first one for `pmtest-explain` / `obs-check`.
+    let bundle = writer::write_lines(dir, "EXPLAIN_demo", &bundles[0].to_json_lines())?;
     println!("\nwrote {}", doc.display());
     println!("wrote {}", jsonl.display());
     println!("wrote {diags}");
+    println!("wrote {} ({} bundles captured)", bundle.display(), bundles.len());
 
     // The demo doubles as a smoke test: the planted bugs must be visible in
     // both the report and the telemetry counters.
@@ -95,5 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(snap.histogram("engine_check_latency_ns").map_or(0, |h| h.count) >= expected as u64);
     assert!(!snap.events.is_empty(), "event ring captured batch flushes");
+    assert!(!bundles.is_empty(), "failing traces must auto-capture diagnosis bundles");
+    assert!(bundles.iter().all(|b| !b.steps.is_empty()), "bundles carry a trace window");
     Ok(())
 }
