@@ -1,0 +1,174 @@
+//! Per-entry cost of the fused trace replay, without the engine around it:
+//! ns/entry as a function of trace length and live-segment count, for both
+//! built-in models, on recycled vs fresh checker state.
+//!
+//! This isolates the per-trace checking floor the engine benchmark can only
+//! see through the dispatch pipeline. The `recycled` rows replay through
+//! [`check_trace_with`] on one persistent [`CheckerScratch`] — the engine
+//! worker's steady state, where the shadow memory, interner, and segment
+//! maps retain their allocations across traces. The `fresh` rows pay the
+//! construction cost every trace ([`check_trace`]), which is what every
+//! check cost before the shadow pool existed.
+//!
+//! Results are written to `bench_results/BENCH_checker.json`.
+//!
+//! Run with: `cargo bench -p pmtest-bench --bench checker_replay`
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmtest_core::{
+    check_trace, check_trace_with, CheckerScratch, HopsModel, PersistencyModel, X86Model,
+};
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Event, Trace};
+
+/// Entries per trace: spans the engine bench's 4-entry short traces up to
+/// replays long enough for per-trace setup cost to amortize away.
+const TRACE_LENGTHS: [usize; 3] = [4, 64, 512];
+
+/// Distinct segments the writes cycle over. 1 keeps the shadow memory at a
+/// single segment; 64 crosses the segment map's flat→BTree threshold, so
+/// the `recycled` rows also measure replay in the tree representation.
+const LIVE_SEGMENTS: [usize; 3] = [1, 8, 64];
+
+/// One persist block per segment touch: write, make-durable, check. The
+/// block shape is the model's clean idiom (x86: clwb+sfence; HOPS:
+/// ofence+dfence), so every trace replays diagnostic-free.
+const ENTRIES_PER_BLOCK: usize = 4;
+
+fn build_trace(model: &str, entries: usize, live: usize) -> Trace {
+    let mut trace = Trace::new(0);
+    let blocks = entries / ENTRIES_PER_BLOCK;
+    for b in 0..blocks {
+        // Stride 64 keeps segments disjoint and un-mergeable, so `live`
+        // really is the number of live segments in the shadow memory.
+        let r = ByteRange::with_len(((b % live) as u64) * 64, 8);
+        trace.push(Event::Write(r).here());
+        match model {
+            "x86" => {
+                trace.push(Event::Flush(r).here());
+                trace.push(Event::Fence.here());
+            }
+            _ => {
+                trace.push(Event::OFence.here());
+                trace.push(Event::DFence.here());
+            }
+        }
+        trace.push(Event::IsPersist(r).here());
+    }
+    trace
+}
+
+struct Sample {
+    model: &'static str,
+    entries: usize,
+    live: usize,
+    mode: &'static str,
+    ns_per_entry: f64,
+}
+
+fn bench_model(
+    c: &mut Criterion,
+    samples: &mut Vec<Sample>,
+    name: &'static str,
+    model: &dyn PersistencyModel,
+) {
+    let mut group = c.benchmark_group(&format!("checker_replay_{name}"));
+    for &entries in &TRACE_LENGTHS {
+        for &live in &LIVE_SEGMENTS {
+            let trace = build_trace(name, entries, live);
+            assert!(
+                check_trace(&trace, model).is_empty(),
+                "{name} bench trace (len {entries}, live {live}) must check clean"
+            );
+            group.throughput(Throughput::Elements(entries as u64));
+            let id = format!("len{entries}_live{live}");
+            let mut scratch = CheckerScratch::new();
+            group.bench_with_input(BenchmarkId::new("recycled", &id), &trace, |b, trace| {
+                b.iter(|| check_trace_with(trace, model, &mut scratch))
+            });
+            let ns = group.last_estimate_ns().expect("benchmark just ran");
+            samples.push(Sample {
+                model: name,
+                entries,
+                live,
+                mode: "recycled",
+                ns_per_entry: ns / entries as f64,
+            });
+            group.bench_with_input(BenchmarkId::new("fresh", &id), &trace, |b, trace| {
+                b.iter(|| check_trace(trace, model))
+            });
+            let ns = group.last_estimate_ns().expect("benchmark just ran");
+            samples.push(Sample {
+                model: name,
+                entries,
+                live,
+                mode: "fresh",
+                ns_per_entry: ns / entries as f64,
+            });
+        }
+    }
+    group.finish();
+}
+
+fn write_json(samples: &[Sample]) {
+    let mut rows = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            rows,
+            "    {{\"model\": \"{}\", \"entries\": {}, \"live_segments\": {}, \
+             \"mode\": \"{}\", \"ns_per_entry\": {:.1}, \"ns_per_trace\": {:.1}}}{}",
+            s.model,
+            s.entries,
+            s.live,
+            s.mode,
+            s.ns_per_entry,
+            s.ns_per_entry * s.entries as f64,
+            if i + 1 == samples.len() { "" } else { "," },
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"checker_replay\",\n",
+            "  \"workload\": \"write + make-durable + isPersist blocks cycling over N disjoint \
+             64B-strided segments; clean traces; single thread, no engine\",\n",
+            "  \"modes\": \"recycled = check_trace_with on one persistent CheckerScratch \
+             (engine steady state); fresh = checker state constructed per trace\",\n",
+            "  \"results\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        rows,
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
+    std::fs::create_dir_all(dir).expect("create bench_results/");
+    let path = format!("{dir}/BENCH_checker.json");
+    std::fs::write(&path, &json).expect("write BENCH_checker.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}
+
+fn checker_replay(c: &mut Criterion) {
+    let mut samples = Vec::new();
+    bench_model(c, &mut samples, "x86", &X86Model::new());
+    bench_model(c, &mut samples, "hops", &HopsModel::new());
+    for s in &samples {
+        println!(
+            "{} len={:>3} live={:>2} {:>8}: {:>6.1} ns/entry",
+            s.model, s.entries, s.live, s.mode, s.ns_per_entry
+        );
+    }
+    write_json(&samples);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    targets = checker_replay
+}
+criterion_main!(benches);

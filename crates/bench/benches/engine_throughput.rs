@@ -1,5 +1,5 @@
 //! Submission throughput of the checking engine: traces/second as a
-//! function of worker count (1–8) and session batch capacity (1 vs 32),
+//! function of worker count (1–16) and session batch capacity (1 vs 32),
 //! under the short traces where dispatch overhead dominates (the regime of
 //! Fig. 10a's microbenchmarks and Fig. 12b's scaling study).
 //!
@@ -40,10 +40,17 @@ const ENTRIES_PER_TRACE: u64 = 4;
 /// contended, which is exactly what batching is meant to amortize.
 const PRODUCERS: u64 = 4;
 
-/// Per-worker queue bound, in batches — small, like the kernel FIFO it
-/// models, so submission throughput reflects handoff cost rather than
-/// unbounded buffering.
-const QUEUE_CAPACITY: usize = 4;
+/// The worker-count axis of the matrix. 16 on a small host is deliberate:
+/// it exercises the oversubscribed regime where the dispatch tie-break
+/// matters most.
+const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Adding workers must never make throughput *worse* at the same batched
+/// load: the 8-worker row may run up to this factor above the 4-worker row
+/// (measurement noise) before the bench fails. The rotating tie-break this
+/// guards against regressed 8w/b32 to 1.42x the 4-worker time.
+/// Set `PMTEST_BENCH_NO_ASSERT=1` (as CI's smoke run does) to report only.
+const SCALING_SLACK: f64 = 1.15;
 
 /// Records and submits one round of short traces from [`PRODUCERS`]
 /// threads, then drains the engine.
@@ -85,16 +92,13 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
     let mut samples = Vec::new();
     let mut group = c.benchmark_group("engine_throughput");
     group.throughput(Throughput::Elements(traces));
-    for &workers in &[1usize, 2, 4, 8] {
+    for &workers in &WORKER_COUNTS {
         for &batch in &[1usize, 32] {
-            let session = PmTestSession::builder()
-                .workers(workers)
-                .batch_capacity(batch)
-                // Bounded like the kernel FIFO (§4.5): dispatch cost then
-                // includes the producer/worker handoff, which is what
-                // batching amortizes.
-                .queue_capacity(QUEUE_CAPACITY)
-                .build();
+            // Queue depth left to the derived default (256/batch, floored
+            // at 8): bounded like the kernel FIFO (§4.5), so dispatch cost
+            // includes the producer/worker handoff, without the pinned
+            // depth-4 queues that used to stall batched rounds.
+            let session = PmTestSession::builder().workers(workers).batch_capacity(batch).build();
             session.start();
             run_round(&session, traces); // warm the buffer pool
             group.bench_with_input(
@@ -113,16 +117,17 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
 /// Engine/pool counters from one instrumented 4-worker batch-32 round, for
 /// the JSON report.
 fn stats_sample(traces: u64) -> String {
-    let session = PmTestSession::builder()
-        .workers(4)
-        .batch_capacity(32)
-        .queue_capacity(QUEUE_CAPACITY)
-        .build();
+    let session = PmTestSession::builder().workers(4).batch_capacity(32).build();
     session.start();
     run_round(&session, traces);
     run_round(&session, traces);
     let stats = session.stats();
     let pool = session.pool_stats();
+    let snap = session.telemetry_snapshot();
+    let shadow_recycled = snap.counter("shadow_pool_recycled").unwrap_or(0);
+    let shadow_fresh = snap.counter("shadow_pool_fresh").unwrap_or(0);
+    let shadow_hit = snap.gauge("shadow_pool_hit_rate").unwrap_or(0.0);
+    let repr_switches = snap.counter("engine_segmap_repr_switches").unwrap_or(0);
     let mut s = String::new();
     let _ = write!(
         s,
@@ -138,10 +143,14 @@ fn stats_sample(traces: u64) -> String {
             "    \"backpressure_stalls\": {},\n",
             "    \"pool_recycled\": {},\n",
             "    \"pool_fresh\": {},\n",
-            "    \"pool_hit_rate\": {:.4}\n",
+            "    \"pool_hit_rate\": {:.4},\n",
+            "    \"shadow_pool_recycled\": {},\n",
+            "    \"shadow_pool_fresh\": {},\n",
+            "    \"shadow_pool_hit_rate\": {:.4},\n",
+            "    \"segmap_repr_switches\": {}\n",
             "  }}"
         ),
-        QUEUE_CAPACITY,
+        session.queue_capacity(),
         stats.traces_submitted,
         stats.batches_submitted,
         stats.mean_batch_size(),
@@ -150,6 +159,10 @@ fn stats_sample(traces: u64) -> String {
         pool.recycled,
         pool.fresh,
         pool.hit_rate(),
+        shadow_recycled,
+        shadow_fresh,
+        shadow_hit,
+        repr_switches,
     );
     s
 }
@@ -173,9 +186,15 @@ fn write_json(samples: &[Sample], traces: u64) {
         );
     }
     let mut speedups = String::new();
-    for (i, &w) in [1usize, 2, 4, 8].iter().enumerate() {
+    for (i, &w) in WORKER_COUNTS.iter().enumerate() {
         if let Some(sp) = speedup_at(w) {
-            let _ = writeln!(speedups, "    \"{}\": {:.2}{}", w, sp, if i == 3 { "" } else { "," });
+            let _ = writeln!(
+                speedups,
+                "    \"{}\": {:.2}{}",
+                w,
+                sp,
+                if i + 1 == WORKER_COUNTS.len() { "" } else { "," },
+            );
         }
     }
     let json = format!(
@@ -184,8 +203,8 @@ fn write_json(samples: &[Sample], traces: u64) {
             "  \"bench\": \"engine_throughput\",\n",
             "  \"traces_per_round\": {},\n",
             "  \"entries_per_trace\": {},\n",
-            "  \"workload\": \"short traces: write+flush+fence+isPersist, 4 producer threads, queue_capacity 4 batches/worker\",\n",
-            "  \"telemetry\": \"all layers off (default); with the PR 4 flight recorder disabled the engine takes the pre-recorder check_trace fast path, so these numbers are within run-to-run noise of the PR 3 baseline\",\n",
+            "  \"workload\": \"short traces: write+flush+fence+isPersist, 4 producer threads, queue capacity derived (256/batch, min 8)\",\n",
+            "  \"telemetry\": \"all layers off (default); workers run the fused single-pass replay on recycled CheckerScratch state (shadow pool); dispatch is submitter-affinity with a fill-first spill bounded by host parallelism\",\n",
             "  \"results\": [\n{}  ],\n",
             "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
             "  \"stats_sample\": {}\n",
@@ -207,6 +226,27 @@ fn write_json(samples: &[Sample], traces: u64) {
     print!("{json}");
 }
 
+/// Pins the 8-worker inversion fix: at batch 32, going from 4 to 8 workers
+/// must not cost throughput (up to [`SCALING_SLACK`] of noise). Skipped
+/// when `PMTEST_BENCH_NO_ASSERT=1` — CI smoke runs are report-only.
+fn assert_scaling(samples: &[Sample]) {
+    if std::env::var_os("PMTEST_BENCH_NO_ASSERT").is_some() {
+        println!("scaling assertion skipped (PMTEST_BENCH_NO_ASSERT)");
+        return;
+    }
+    let at = |workers: usize| {
+        samples.iter().find(|s| s.workers == workers && s.batch == 32).map(|s| s.ns_per_trace)
+    };
+    let (Some(w4), Some(w8)) = (at(4), at(8)) else { return };
+    assert!(
+        w8 <= w4 * SCALING_SLACK,
+        "8-worker scaling inversion: {w8:.1} ns/trace at w8/b32 vs {w4:.1} at w4/b32 \
+         (limit {:.1})",
+        w4 * SCALING_SLACK,
+    );
+    println!("scaling assertion ok: w8/b32 {w8:.1} ns <= w4/b32 {w4:.1} ns x {SCALING_SLACK}");
+}
+
 fn engine_throughput(c: &mut Criterion) {
     let traces = traces_per_round();
     let samples = bench_matrix(c);
@@ -220,6 +260,7 @@ fn engine_throughput(c: &mut Criterion) {
         );
     }
     write_json(&samples, traces);
+    assert_scaling(&samples);
 }
 
 criterion_group! {

@@ -2,29 +2,81 @@ use pmtest_interval::{ByteRange, IntervalTree, SegmentMap};
 use pmtest_trace::{Entry, Event, SourceLoc, Trace};
 
 use crate::diag::{Diag, DiagKind};
-use crate::model::PersistencyModel;
+use crate::model::{
+    hops_op, hops_ordered_before, persist_failure, x86_op, x86_ordered_before, BuiltinModel,
+    PersistencyModel,
+};
 use crate::shadow::ShadowMemory;
 
-/// Validates one trace against a persistency model's checking rules (§4.4)
-/// and the high-level transaction checkers (§5.1).
+/// The recyclable working state of a [`TraceChecker`]: the shadow memory,
+/// the transaction-checker scope, and the scratch buffers the replay loop
+/// needs.
 ///
-/// The checker owns the trace's [`ShadowMemory`] and walks entries in program
-/// order: operations update the shadow state (via the model), checkers are
-/// validated against it, and the transaction checker maintains the *log tree*
-/// of `TX_ADD`ed ranges plus the set of objects modified inside the checked
-/// scope.
-///
-/// For one-shot use see [`check_trace`].
-pub struct TraceChecker<'m> {
-    model: &'m dyn PersistencyModel,
+/// Every trace is checked against logically fresh state, but the state's
+/// *allocations* (segment vectors, interval-tree arena, interner) are
+/// expensive to rebuild per trace. A `CheckerScratch` is `reset()` between
+/// traces instead — mirroring the entry [`BufferPool`](pmtest_trace::BufferPool)
+/// — so a steady-state worker checks without touching the allocator. Pass it
+/// to [`TraceChecker::with_scratch`] or [`check_trace_with`].
+#[derive(Default)]
+pub struct CheckerScratch {
     shadow: ShadowMemory,
-    diags: Vec<Diag>,
     tx: TxScope,
     /// Locations of the currently open `TX_BEGIN`s, innermost last (the
     /// stack's length is the transaction nesting depth). Kept so an
     /// unterminated-transaction diagnostic can name the begin that was
     /// never closed as its culprit.
     tx_begins: Vec<SourceLoc>,
+    /// Reused buffer for the modified-object sweep at `TX_CHECKER_END`.
+    modified_ranges: Vec<ByteRange>,
+    /// Segment-map representation switches already handed to telemetry;
+    /// see [`take_repr_switch_delta`](Self::take_repr_switch_delta).
+    reported_repr_switches: u64,
+}
+
+impl CheckerScratch {
+    /// Creates fresh (empty) scratch state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the logical state of a fresh scratch while keeping every
+    /// backing allocation. Called automatically by
+    /// [`TraceChecker::with_scratch`].
+    pub fn reset(&mut self) {
+        self.shadow.clear();
+        self.tx.active = false;
+        self.tx.start_loc = None;
+        self.tx.log.clear();
+        self.tx.modified.clear();
+        self.tx_begins.clear();
+        self.modified_ranges.clear();
+        // reported_repr_switches intentionally survives: the underlying
+        // counters are cumulative across resets.
+    }
+
+    /// Read access to the shadow memory (for tests and custom checkers).
+    #[must_use]
+    pub fn shadow(&self) -> &ShadowMemory {
+        &self.shadow
+    }
+
+    /// Cumulative flat→BTree representation switches across this scratch's
+    /// segment maps (shadow memory plus the transaction modified-set).
+    #[must_use]
+    pub fn repr_switches(&self) -> u64 {
+        self.shadow.repr_switches() + self.tx.modified.repr_switches()
+    }
+
+    /// Representation switches since the last call (for feeding a telemetry
+    /// counter incrementally from a recycled scratch).
+    pub fn take_repr_switch_delta(&mut self) -> u64 {
+        let total = self.repr_switches();
+        let delta = total - self.reported_repr_switches;
+        self.reported_repr_switches = total;
+        delta
+    }
 }
 
 /// State of an open `TX_CHECKER_START` … `TX_CHECKER_END` scope.
@@ -38,221 +90,194 @@ struct TxScope {
     modified: SegmentMap<SourceLoc>,
 }
 
-impl<'m> TraceChecker<'m> {
-    /// Creates a checker for one trace.
+/// Owned-or-borrowed scratch: `TraceChecker::new` owns fresh state for
+/// one-shot use; `with_scratch` borrows a pooled instance.
+enum ScratchSlot<'a> {
+    Owned(Box<CheckerScratch>),
+    Borrowed(&'a mut CheckerScratch),
+}
+
+impl ScratchSlot<'_> {
+    fn get(&self) -> &CheckerScratch {
+        match self {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut CheckerScratch {
+        match self {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+}
+
+/// Applies one *operation* event. For the built-in models the rules are
+/// called directly — no dynamic dispatch, no per-event [`Entry`]
+/// reconstruction; custom models take the object-safe path. Both run the
+/// same rule code (`x86_op`/`hops_op`), so diagnostics are identical.
+#[inline]
+fn apply_op(
+    fast: Option<BuiltinModel>,
+    model: &dyn PersistencyModel,
+    shadow: &mut ShadowMemory,
+    event: Event,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    match fast {
+        Some(BuiltinModel::X86 { warn_performance }) => {
+            x86_op(warn_performance, shadow, event, loc, diags);
+        }
+        Some(BuiltinModel::Hops) => hops_op(shadow, event, loc, diags),
+        None => model.apply(shadow, &event.at(loc), diags),
+    }
+}
+
+#[inline]
+fn do_check_persist(
+    fast: Option<BuiltinModel>,
+    model: &dyn PersistencyModel,
+    shadow: &ShadowMemory,
+    range: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    match fast {
+        Some(_) => persist_failure(shadow, range, loc, diags),
+        None => model.check_persist(shadow, range, loc, diags),
+    }
+}
+
+#[inline]
+fn do_check_ordered_before(
+    fast: Option<BuiltinModel>,
+    model: &dyn PersistencyModel,
+    shadow: &ShadowMemory,
+    first: ByteRange,
+    second: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    match fast {
+        Some(BuiltinModel::X86 { .. }) => x86_ordered_before(shadow, first, second, loc, diags),
+        Some(BuiltinModel::Hops) => hops_ordered_before(shadow, first, second, loc, diags),
+        None => model.check_ordered_before(shadow, first, second, loc, diags),
+    }
+}
+
+/// Validates one trace against a persistency model's checking rules (§4.4)
+/// and the high-level transaction checkers (§5.1).
+///
+/// The checker walks entries in program order in a single fused pass:
+/// operations update the [`ShadowMemory`] (for the built-in models the rules
+/// are inlined, bypassing dynamic dispatch), checkers are validated against
+/// it in place, and the transaction checker maintains the *log tree* of
+/// `TX_ADD`ed ranges plus the set of objects modified inside the checked
+/// scope.
+///
+/// For one-shot use see [`check_trace`]; for the engine's recycled hot path
+/// see [`check_trace_with`] and [`CheckerScratch`].
+pub struct TraceChecker<'a> {
+    model: &'a dyn PersistencyModel,
+    /// `Some` when `model` is one of the built-ins, enabling the fused
+    /// devirtualized replay; queried once per trace.
+    fast: Option<BuiltinModel>,
+    scratch: ScratchSlot<'a>,
+    diags: Vec<Diag>,
+}
+
+impl<'a> TraceChecker<'a> {
+    /// Creates a checker for one trace with its own fresh state.
     #[must_use]
-    pub fn new(model: &'m dyn PersistencyModel) -> Self {
+    pub fn new(model: &'a dyn PersistencyModel) -> Self {
         Self {
             model,
-            shadow: ShadowMemory::new(),
+            fast: model.builtin(),
+            scratch: ScratchSlot::Owned(Box::default()),
             diags: Vec::new(),
-            tx: TxScope::default(),
-            tx_begins: Vec::new(),
         }
+    }
+
+    /// Creates a checker that replays onto recycled `scratch` state (which
+    /// is reset here; any previous trace's results are discarded).
+    #[must_use]
+    pub fn with_scratch(model: &'a dyn PersistencyModel, scratch: &'a mut CheckerScratch) -> Self {
+        scratch.reset();
+        Self {
+            model,
+            fast: model.builtin(),
+            scratch: ScratchSlot::Borrowed(scratch),
+            diags: Vec::new(),
+        }
+    }
+
+    /// Splits the borrow so handlers can mutate scratch state and the
+    /// diagnostics sink simultaneously.
+    fn parts(&mut self) -> (&mut CheckerScratch, &mut Vec<Diag>) {
+        let Self { scratch, diags, .. } = self;
+        (scratch.get_mut(), diags)
     }
 
     /// Processes one entry.
     pub fn process(&mut self, entry: &Entry) {
+        let model = self.model;
+        let fast = self.fast;
+        let (scratch, diags) = self.parts();
         // Fast path: no exclusions active (the overwhelmingly common case),
         // so no range clipping and no per-event allocation is needed.
-        if !self.shadow.has_exclusions() {
-            return self.process_unclipped(entry);
+        if !scratch.shadow.has_exclusions() {
+            return process_unclipped(model, fast, scratch, diags, entry);
         }
         match entry.event {
-            Event::Write(range) => self.on_write(range, entry),
+            Event::Write(range) => {
+                for sub in scratch.shadow.in_scope(range) {
+                    write_sub(model, fast, scratch, diags, sub, entry.loc);
+                }
+            }
             Event::Flush(range) => {
-                for sub in self.shadow.in_scope(range) {
-                    let clipped = Event::Flush(sub).at(entry.loc);
-                    self.model.apply(&mut self.shadow, &clipped, &mut self.diags);
+                for sub in scratch.shadow.in_scope(range) {
+                    apply_op(fast, model, &mut scratch.shadow, Event::Flush(sub), entry.loc, diags);
                 }
             }
             Event::Fence | Event::OFence | Event::DFence => {
-                self.model.apply(&mut self.shadow, entry, &mut self.diags);
+                apply_op(fast, model, &mut scratch.shadow, entry.event, entry.loc, diags);
             }
-            Event::TxBegin => self.tx_begins.push(entry.loc),
-            Event::TxEnd => self.on_tx_end(entry),
-            Event::TxAdd(range) => self.on_tx_add(range, entry),
+            Event::TxBegin => scratch.tx_begins.push(entry.loc),
+            Event::TxEnd => on_tx_end(scratch, diags, entry.loc),
+            Event::TxAdd(range) => {
+                if scratch.tx.active {
+                    for sub in scratch.shadow.in_scope(range) {
+                        tx_add_sub(scratch, diags, sub, entry.loc);
+                    }
+                }
+            }
             Event::IsPersist(range) => {
-                for sub in self.shadow.in_scope(range) {
-                    self.model.check_persist(&self.shadow, sub, entry.loc, &mut self.diags);
+                for sub in scratch.shadow.in_scope(range) {
+                    do_check_persist(fast, model, &scratch.shadow, sub, entry.loc, diags);
                 }
             }
             Event::IsOrderedBefore(first, second) => {
-                for a in self.shadow.in_scope(first) {
-                    for b in self.shadow.in_scope(second) {
-                        self.model.check_ordered_before(
-                            &self.shadow,
+                for a in scratch.shadow.in_scope(first) {
+                    for b in scratch.shadow.in_scope(second) {
+                        do_check_ordered_before(
+                            fast,
+                            model,
+                            &scratch.shadow,
                             a,
                             b,
                             entry.loc,
-                            &mut self.diags,
+                            diags,
                         );
                     }
                 }
             }
-            Event::TxCheckerStart => {
-                self.tx = TxScope {
-                    active: true,
-                    start_loc: Some(entry.loc),
-                    log: IntervalTree::new(),
-                    modified: SegmentMap::new(),
-                };
-            }
-            Event::TxCheckerEnd => self.on_tx_checker_end(entry),
-            Event::Exclude(range) => self.shadow.exclude(range),
-            Event::Include(range) => self.shadow.include(range),
+            Event::TxCheckerStart => on_tx_checker_start(scratch, entry.loc),
+            Event::TxCheckerEnd => on_tx_checker_end(model, fast, scratch, diags, entry.loc),
+            Event::Exclude(range) => scratch.shadow.exclude(range),
+            Event::Include(range) => scratch.shadow.include(range),
         }
-    }
-
-    /// The no-exclusions fast path of [`process`](Self::process): identical
-    /// semantics with every range passed through whole.
-    fn process_unclipped(&mut self, entry: &Entry) {
-        match entry.event {
-            Event::Write(range) => self.write_sub(range, range, entry),
-            Event::Flush(_) | Event::Fence | Event::OFence | Event::DFence => {
-                self.model.apply(&mut self.shadow, entry, &mut self.diags);
-            }
-            Event::IsPersist(range) => {
-                self.model.check_persist(&self.shadow, range, entry.loc, &mut self.diags);
-            }
-            Event::IsOrderedBefore(first, second) => {
-                self.model.check_ordered_before(
-                    &self.shadow,
-                    first,
-                    second,
-                    entry.loc,
-                    &mut self.diags,
-                );
-            }
-            Event::TxAdd(range) => self.tx_add_sub(range, entry),
-            _ => self.process_slow(entry),
-        }
-    }
-
-    /// Events with no hot-path concern (tx boundaries, scope control,
-    /// checker scopes).
-    fn process_slow(&mut self, entry: &Entry) {
-        match entry.event {
-            Event::TxBegin => self.tx_begins.push(entry.loc),
-            Event::TxEnd => self.on_tx_end(entry),
-            Event::TxCheckerStart => {
-                self.tx = TxScope {
-                    active: true,
-                    start_loc: Some(entry.loc),
-                    log: IntervalTree::new(),
-                    modified: SegmentMap::new(),
-                };
-            }
-            Event::TxCheckerEnd => self.on_tx_checker_end(entry),
-            Event::Exclude(range) => self.shadow.exclude(range),
-            Event::Include(range) => self.shadow.include(range),
-            _ => unreachable!("hot-path event {} reached process_slow", entry.event),
-        }
-    }
-
-    fn on_tx_end(&mut self, entry: &Entry) {
-        if self.tx_begins.pop().is_none() {
-            self.diags.push(Diag {
-                kind: DiagKind::UnmatchedTxEnd,
-                loc: entry.loc,
-                range: None,
-                culprit: None,
-                message: "transaction end without a matching begin".to_owned(),
-            });
-        }
-    }
-
-    fn on_write(&mut self, range: ByteRange, entry: &Entry) {
-        for sub in self.shadow.in_scope(range) {
-            self.write_sub(range, sub, entry);
-        }
-    }
-
-    /// Handles one (possibly clipped) written sub-range.
-    fn write_sub(&mut self, _full: ByteRange, sub: ByteRange, entry: &Entry) {
-        // Missing-backup check (§5.1.1): inside a checked transaction,
-        // every modified range must already be in the undo log.
-        if self.tx.active && !self.tx_begins.is_empty() {
-            for gap in self.tx.log.uncovered(sub) {
-                self.diags.push(Diag {
-                    kind: DiagKind::MissingLog,
-                    loc: entry.loc,
-                    range: Some(gap),
-                    // The unlogged write itself is the site to fix.
-                    culprit: Some(entry.loc),
-                    message: "persistent object modified inside a transaction without \
-                              a prior TX_ADD backup"
-                        .to_owned(),
-                });
-            }
-        }
-        if self.tx.active {
-            self.tx.modified.insert(sub, entry.loc);
-        }
-        let clipped = Event::Write(sub).at(entry.loc);
-        self.model.apply(&mut self.shadow, &clipped, &mut self.diags);
-    }
-
-    fn on_tx_add(&mut self, range: ByteRange, entry: &Entry) {
-        if !self.tx.active {
-            return;
-        }
-        for sub in self.shadow.in_scope(range) {
-            self.tx_add_sub(sub, entry);
-        }
-    }
-
-    fn tx_add_sub(&mut self, sub: ByteRange, entry: &Entry) {
-        if !self.tx.active {
-            return;
-        }
-        // Duplicate-log check (§5.1.2).
-        if let Some((_, earlier)) = self.tx.log.overlaps(sub).next() {
-            self.diags.push(Diag {
-                kind: DiagKind::DuplicateLog,
-                loc: entry.loc,
-                range: Some(sub),
-                culprit: Some(*earlier),
-                message: "object already added to the undo log in this transaction".to_owned(),
-            });
-        }
-        self.tx.log.insert(sub, entry.loc);
-    }
-
-    fn on_tx_checker_end(&mut self, entry: &Entry) {
-        if !self.tx.active {
-            self.diags.push(Diag {
-                kind: DiagKind::UnterminatedTx,
-                loc: entry.loc,
-                range: None,
-                culprit: None,
-                message: "TX_CHECKER_END without a matching TX_CHECKER_START".to_owned(),
-            });
-            return;
-        }
-        // Incomplete-transaction check (§5.1.1).
-        if !self.tx_begins.is_empty() {
-            self.diags.push(Diag {
-                kind: DiagKind::UnterminatedTx,
-                loc: entry.loc,
-                range: None,
-                // The innermost TX_BEGIN that was never closed.
-                culprit: self.tx_begins.last().copied().or(self.tx.start_loc),
-                message: format!(
-                    "{} transaction(s) still open at the end of the checked scope",
-                    self.tx_begins.len()
-                ),
-            });
-        }
-        // Auto-injected `isPersist` for every modified, in-scope object
-        // (§5.1.1, Fig. 5b).
-        let modified: Vec<ByteRange> = self.tx.modified.iter().map(|(r, _)| r).collect();
-        for range in modified {
-            for sub in self.shadow.in_scope(range) {
-                self.model.check_persist(&self.shadow, sub, entry.loc, &mut self.diags);
-            }
-        }
-        self.tx = TxScope::default();
     }
 
     /// Processes every entry of `trace` and returns the diagnostics.
@@ -273,14 +298,167 @@ impl<'m> TraceChecker<'m> {
     /// Read access to the shadow memory (for tests and custom checkers).
     #[must_use]
     pub fn shadow(&self) -> &ShadowMemory {
-        &self.shadow
+        &self.scratch.get().shadow
     }
+}
+
+/// The no-exclusions fast path of [`TraceChecker::process`]: identical
+/// semantics with every range passed through whole.
+fn process_unclipped(
+    model: &dyn PersistencyModel,
+    fast: Option<BuiltinModel>,
+    scratch: &mut CheckerScratch,
+    diags: &mut Vec<Diag>,
+    entry: &Entry,
+) {
+    match entry.event {
+        Event::Write(range) => write_sub(model, fast, scratch, diags, range, entry.loc),
+        Event::Flush(_) | Event::Fence | Event::OFence | Event::DFence => {
+            apply_op(fast, model, &mut scratch.shadow, entry.event, entry.loc, diags);
+        }
+        Event::IsPersist(range) => {
+            do_check_persist(fast, model, &scratch.shadow, range, entry.loc, diags);
+        }
+        Event::IsOrderedBefore(first, second) => {
+            do_check_ordered_before(fast, model, &scratch.shadow, first, second, entry.loc, diags);
+        }
+        Event::TxAdd(range) => tx_add_sub(scratch, diags, range, entry.loc),
+        Event::TxBegin => scratch.tx_begins.push(entry.loc),
+        Event::TxEnd => on_tx_end(scratch, diags, entry.loc),
+        Event::TxCheckerStart => on_tx_checker_start(scratch, entry.loc),
+        Event::TxCheckerEnd => on_tx_checker_end(model, fast, scratch, diags, entry.loc),
+        Event::Exclude(range) => scratch.shadow.exclude(range),
+        Event::Include(range) => scratch.shadow.include(range),
+    }
+}
+
+fn on_tx_end(scratch: &mut CheckerScratch, diags: &mut Vec<Diag>, loc: SourceLoc) {
+    if scratch.tx_begins.pop().is_none() {
+        diags.push(Diag {
+            kind: DiagKind::UnmatchedTxEnd,
+            loc,
+            range: None,
+            culprit: None,
+            message: "transaction end without a matching begin".to_owned(),
+        });
+    }
+}
+
+/// Opens (or re-opens) the checked scope; the log tree and modified set are
+/// cleared in place, retaining their capacity for the recycled case.
+fn on_tx_checker_start(scratch: &mut CheckerScratch, loc: SourceLoc) {
+    scratch.tx.active = true;
+    scratch.tx.start_loc = Some(loc);
+    scratch.tx.log.clear();
+    scratch.tx.modified.clear();
+}
+
+/// Handles one (possibly clipped) written sub-range.
+fn write_sub(
+    model: &dyn PersistencyModel,
+    fast: Option<BuiltinModel>,
+    scratch: &mut CheckerScratch,
+    diags: &mut Vec<Diag>,
+    sub: ByteRange,
+    loc: SourceLoc,
+) {
+    // Missing-backup check (§5.1.1): inside a checked transaction, every
+    // modified range must already be in the undo log.
+    if scratch.tx.active && !scratch.tx_begins.is_empty() {
+        for gap in scratch.tx.log.uncovered(sub) {
+            diags.push(Diag {
+                kind: DiagKind::MissingLog,
+                loc,
+                range: Some(gap),
+                // The unlogged write itself is the site to fix.
+                culprit: Some(loc),
+                message: "persistent object modified inside a transaction without \
+                          a prior TX_ADD backup"
+                    .to_owned(),
+            });
+        }
+    }
+    if scratch.tx.active {
+        scratch.tx.modified.insert(sub, loc);
+    }
+    apply_op(fast, model, &mut scratch.shadow, Event::Write(sub), loc, diags);
+}
+
+fn tx_add_sub(scratch: &mut CheckerScratch, diags: &mut Vec<Diag>, sub: ByteRange, loc: SourceLoc) {
+    if !scratch.tx.active {
+        return;
+    }
+    // Duplicate-log check (§5.1.2).
+    if let Some((_, earlier)) = scratch.tx.log.overlaps(sub).next() {
+        diags.push(Diag {
+            kind: DiagKind::DuplicateLog,
+            loc,
+            range: Some(sub),
+            culprit: Some(*earlier),
+            message: "object already added to the undo log in this transaction".to_owned(),
+        });
+    }
+    scratch.tx.log.insert(sub, loc);
+}
+
+fn on_tx_checker_end(
+    model: &dyn PersistencyModel,
+    fast: Option<BuiltinModel>,
+    scratch: &mut CheckerScratch,
+    diags: &mut Vec<Diag>,
+    loc: SourceLoc,
+) {
+    if !scratch.tx.active {
+        diags.push(Diag {
+            kind: DiagKind::UnterminatedTx,
+            loc,
+            range: None,
+            culprit: None,
+            message: "TX_CHECKER_END without a matching TX_CHECKER_START".to_owned(),
+        });
+        return;
+    }
+    // Incomplete-transaction check (§5.1.1).
+    if !scratch.tx_begins.is_empty() {
+        diags.push(Diag {
+            kind: DiagKind::UnterminatedTx,
+            loc,
+            range: None,
+            // The innermost TX_BEGIN that was never closed.
+            culprit: scratch.tx_begins.last().copied().or(scratch.tx.start_loc),
+            message: format!(
+                "{} transaction(s) still open at the end of the checked scope",
+                scratch.tx_begins.len()
+            ),
+        });
+    }
+    // Auto-injected `isPersist` for every modified, in-scope object
+    // (§5.1.1, Fig. 5b). The range list goes through a recycled buffer.
+    let mut ranges = std::mem::take(&mut scratch.modified_ranges);
+    ranges.clear();
+    ranges.extend(scratch.tx.modified.iter().map(|(r, _)| r));
+    let clipping = scratch.shadow.has_exclusions();
+    for &range in &ranges {
+        if clipping {
+            for sub in scratch.shadow.in_scope(range) {
+                do_check_persist(fast, model, &scratch.shadow, sub, loc, diags);
+            }
+        } else {
+            do_check_persist(fast, model, &scratch.shadow, range, loc, diags);
+        }
+    }
+    scratch.modified_ranges = ranges;
+    scratch.tx.active = false;
+    scratch.tx.start_loc = None;
+    scratch.tx.log.clear();
+    scratch.tx.modified.clear();
 }
 
 /// Checks one trace against `model`, returning all diagnostics.
 ///
-/// This is the synchronous path used by a single [`Engine`](crate::Engine)
-/// worker per trace; tests and custom tools can call it directly.
+/// This is the one-shot path; tests and custom tools can call it directly.
+/// The engine's workers use [`check_trace_with`], which recycles the
+/// checker's allocations across traces.
 ///
 /// # Examples
 ///
@@ -300,6 +478,36 @@ impl<'m> TraceChecker<'m> {
 #[must_use]
 pub fn check_trace(trace: &Trace, model: &dyn PersistencyModel) -> Vec<Diag> {
     TraceChecker::new(model).run(trace)
+}
+
+/// Checks one trace on recycled scratch state — the engine hot path. The
+/// scratch is reset first, so results are identical to [`check_trace`];
+/// in steady state no allocation happens besides the returned diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::{check_trace_with, CheckerScratch, X86Model};
+/// use pmtest_trace::{Event, Trace};
+/// use pmtest_interval::ByteRange;
+///
+/// let model = X86Model::new();
+/// let mut scratch = CheckerScratch::new();
+/// for id in 0..3 {
+///     let mut trace = Trace::new(id);
+///     let r = ByteRange::with_len(0, 8);
+///     trace.push(Event::Write(r).here());
+///     trace.push(Event::IsPersist(r).here());
+///     assert_eq!(check_trace_with(&trace, &model, &mut scratch).len(), 1);
+/// }
+/// ```
+#[must_use]
+pub fn check_trace_with(
+    trace: &Trace,
+    model: &dyn PersistencyModel,
+    scratch: &mut CheckerScratch,
+) -> Vec<Diag> {
+    TraceChecker::with_scratch(model, scratch).run(trace)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use pmtest_obs::{EventLog, TelemetrySnapshot};
 use pmtest_trace::{BufferPool, FlightRecorder, Trace, TraceStats};
 
 use crate::bundle::{capture_step, BundleReason, DiagnosisBundle};
-use crate::checker::{check_trace, TraceChecker};
+use crate::checker::{check_trace_with, CheckerScratch, TraceChecker};
 use crate::diag::{Report, Severity, TraceReport};
 use crate::model::{PersistencyModel, X86Model};
 use crate::telemetry::{EngineTelemetry, TelemetryConfig};
@@ -121,6 +121,79 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Per-worker queue depth (in batches) that [`SessionBuilder`] derives when
+/// none is configured explicitly: sized so the pipeline buffers roughly the
+/// same number of *traces* regardless of batch size.
+///
+/// The engine's historical default of 256 was tuned for unbatched
+/// submission. A batched session multiplies it: 256 batches of 32 traces is
+/// an 8192-trace pipeline whose memory high-water dwarfs the checking
+/// backlog it buys, while a *fixed* small depth starves the unbatched path.
+/// Deriving `256 / batch_capacity` (floored at 8 so a worker always has a
+/// few batches of slack, capped at the historical 256) keeps the buffered
+/// trace count — and therefore backpressure onset — consistent across batch
+/// sizes. See DESIGN.md §12.
+///
+/// [`SessionBuilder`]: crate::SessionBuilder
+#[must_use]
+pub fn derived_queue_capacity(batch_capacity: usize) -> usize {
+    (256 / batch_capacity.max(1)).clamp(8, 256)
+}
+
+/// Pool of recycled [`CheckerScratch`] instances shared by the workers.
+///
+/// A worker takes one scratch per received batch and returns it afterwards,
+/// so the pool never holds more instances than there are workers — but the
+/// shadow memory, transaction log tree, and interner *allocations* inside
+/// each instance survive indefinitely. Together with the entry
+/// [`BufferPool`] this removes the last per-trace allocation from the
+/// steady-state checking path.
+struct ShadowPool {
+    // Boxed so acquire/release move one pointer under the lock, not the
+    // whole scratch struct.
+    #[allow(clippy::vec_box)]
+    free: Mutex<Vec<Box<CheckerScratch>>>,
+    /// Acquisitions served by recycling a pooled instance.
+    recycled: AtomicU64,
+    /// Acquisitions that had to allocate a fresh instance.
+    fresh: AtomicU64,
+    /// Instances retained when released; beyond this they are dropped.
+    cap: usize,
+}
+
+impl ShadowPool {
+    fn new(cap: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::with_capacity(cap)),
+            recycled: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    fn acquire(&self) -> Box<CheckerScratch> {
+        if let Some(scratch) = self.free.lock().pop() {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            scratch
+        } else {
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+            Box::default()
+        }
+    }
+
+    fn release(&self, scratch: Box<CheckerScratch>) {
+        let mut free = self.free.lock();
+        if free.len() < self.cap {
+            free.push(scratch);
+        }
+    }
+
+    /// (recycled, fresh) acquisition counts.
+    fn counts(&self) -> (u64, u64) {
+        (self.recycled.load(Ordering::Relaxed), self.fresh.load(Ordering::Relaxed))
+    }
+}
+
 /// The decoupled checking engine: a master dispatching trace batches to a
 /// pool of worker threads (Fig. 8).
 ///
@@ -143,9 +216,17 @@ impl std::error::Error for SubmitError {}
 ///   [`BufferPool`] that sessions draw from, keeping the per-trace heap
 ///   allocation off the hot path.
 ///
-/// Dispatch is load-aware: a batch goes to the worker with the fewest
-/// outstanding traces (ties broken round-robin), which keeps long traces
-/// from piling behind one queue while others sit idle.
+/// Dispatch combines submitter affinity with a bounded fill-first spill:
+/// each submitting thread has a home worker, and a batch goes to the first
+/// worker at or after the home index whose backlog is still shallow
+/// (least-loaded once every queue in reach is saturated). The spill never
+/// reaches further than the host's available parallelism — past that,
+/// extra active workers only add context switches, so sustained overload
+/// becomes backpressure on the submitter instead of a pool-wide wake-up.
+/// The number of *active* workers therefore tracks the offered load — N
+/// producers keep about N workers warm on N separate channels — which is
+/// what keeps adding workers from ever reducing throughput on hosts with
+/// fewer cores than workers.
 ///
 /// # Examples
 ///
@@ -168,6 +249,12 @@ pub struct Engine {
     worker_txs: Vec<Sender<BatchMsg>>,
     next_worker: AtomicUsize,
     deterministic_dispatch: bool,
+    queue_capacity: usize,
+    /// How many workers (starting at the submitter's home index) dispatch
+    /// may spill across: the host's available parallelism. Spilling wider
+    /// can only add context switches — workers beyond the spill window are
+    /// reached through backpressure, never through queue-hopping.
+    spill_window: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -187,6 +274,9 @@ struct Shared {
     /// Entry buffers recycled between workers (release) and sessions
     /// (acquire).
     pool: Arc<BufferPool>,
+    /// Checker scratch state (shadow memory, tx scope, interner) recycled
+    /// across batches, one instance held per busy worker.
+    shadow_pool: ShadowPool,
     idle_lock: Mutex<()>,
     idle: Condvar,
     traces_checked: AtomicU64,
@@ -219,6 +309,35 @@ struct Shared {
 /// failing checker in a loop would otherwise buffer a window of every
 /// iteration; the first failures are the interesting ones.
 const MAX_BUNDLES: usize = 16;
+
+/// Queued traces a worker absorbs before fill-first dispatch spills to the
+/// next index (see [`Engine::pick_worker`]). Measured in traces, not
+/// batches, so batched and unbatched submission spill at the same backlog.
+/// Two 32-trace batches of slack keeps a worker fed across its dequeues
+/// without letting long traces pile deeply behind one queue.
+const QUEUE_SPILL_THRESHOLD: u64 = 64;
+
+/// The submitting thread's dispatch-affinity slot: a small process-wide
+/// sequence number assigned the first time a thread dispatches, reduced
+/// `mod workers` into that thread's *home* worker. Distinct submitting
+/// threads land on distinct home workers (until the pool size wraps), so
+/// concurrent producers neither contend on one channel nor wake more
+/// workers than there are producers.
+fn submitter_slot() -> usize {
+    use std::cell::Cell;
+    static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(v);
+        }
+        v
+    })
+}
 
 impl Shared {
     /// Marks `n` traces as no longer outstanding, waking idle waiters when
@@ -286,6 +405,7 @@ impl Engine {
             collected: Mutex::new(Report::default()),
             queued: (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
             pool: Arc::new(BufferPool::new()),
+            shadow_pool: ShadowPool::new(config.workers),
             idle_lock: Mutex::new(()),
             idle: Condvar::new(),
             traces_checked: AtomicU64::new(0),
@@ -330,14 +450,21 @@ impl Engine {
                                 .record(now.duration_since(sent).as_nanos() as u64);
                             now
                         });
+                        // One recycled scratch serves the whole batch; it is
+                        // reset (not reallocated) between traces.
+                        let mut scratch = shared.shadow_pool.acquire();
                         match traces {
-                            TraceBatch::One(trace) => worker_check(&shared, i, &model, trace),
+                            TraceBatch::One(trace) => {
+                                worker_check(&shared, i, &model, trace, &mut scratch);
+                            }
                             TraceBatch::Many(traces) => {
                                 for trace in traces {
-                                    worker_check(&shared, i, &model, trace);
+                                    worker_check(&shared, i, &model, trace, &mut scratch);
                                 }
                             }
                         }
+                        shared.telemetry.segmap_repr_switches.add(scratch.take_repr_switch_delta());
+                        shared.shadow_pool.release(scratch);
                         if let Some(start) = dequeued {
                             shared.telemetry.worker_busy[i].add(start.elapsed().as_nanos() as u64);
                         }
@@ -352,6 +479,10 @@ impl Engine {
             worker_txs,
             next_worker: AtomicUsize::new(0),
             deterministic_dispatch: config.deterministic_dispatch,
+            queue_capacity: config.queue_capacity,
+            spill_window: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(config.workers),
             handles: Mutex::new(handles),
         }
     }
@@ -360,6 +491,14 @@ impl Engine {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.worker_txs.len()
+    }
+
+    /// Per-worker queue depth, in batches (whatever
+    /// [`EngineConfig::queue_capacity`] was at construction — possibly
+    /// derived from the batch size, see [`derived_queue_capacity`]).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
     }
 
     /// The pool of recycled trace-entry buffers. Sessions draw replacement
@@ -433,6 +572,15 @@ impl Engine {
         snap.push_counter("pool_released", &[], pool.released);
         snap.push_counter("pool_dropped", &[], pool.dropped);
         snap.push_gauge("pool_hit_rate", &[], pool.hit_rate());
+        let (recycled, fresh) = self.shared.shadow_pool.counts();
+        snap.push_counter("shadow_pool_recycled", &[], recycled);
+        snap.push_counter("shadow_pool_fresh", &[], fresh);
+        let acquisitions = recycled + fresh;
+        snap.push_gauge(
+            "shadow_pool_hit_rate",
+            &[],
+            if acquisitions == 0 { 0.0 } else { recycled as f64 / acquisitions as f64 },
+        );
         snap
     }
 
@@ -523,26 +671,46 @@ impl Engine {
         self.shared.telemetry.queue_depth.set(depth);
     }
 
-    /// The worker with the fewest queued traces, ties broken round-robin.
-    /// With [`EngineConfig::deterministic_dispatch`] the load scan is
-    /// skipped and the rotation alone decides.
+    /// Affinity + fill-first dispatch: each submitting thread has a *home*
+    /// worker; a batch goes to the first worker at or after the home index
+    /// whose backlog is under [`QUEUE_SPILL_THRESHOLD`] traces, and to the
+    /// least-loaded queue when every worker is past it. With
+    /// [`EngineConfig::deterministic_dispatch`] the scan is skipped and a
+    /// round-robin rotation decides.
+    ///
+    /// Dispatch used to pick the minimum-depth queue with a rotating
+    /// tie-break, which inverted scaling on oversubscribed hosts (8 workers
+    /// *slower* than 4 at the same load): any non-empty queue loses the
+    /// depth comparison to an empty one, so under continuous submission
+    /// every batch went to a different — usually sleeping — worker and the
+    /// active set was always the whole pool, paying a wake/sleep transition
+    /// per batch and context-switching among more threads than cores. Home
+    /// affinity makes the active set track the number of *submitting
+    /// threads* instead: N producers feed (about) N warm workers and their
+    /// N separate channels (submission contention stays split), while
+    /// excess workers sleep. The fill-first spill engages further workers
+    /// when a home queue develops a real backlog — but only within the
+    /// host's available parallelism (`spill_window`): past that, an extra
+    /// active worker can only add context switches, so sustained overload
+    /// turns into backpressure on the submitter (Fig. 12a's regime) rather
+    /// than a pool-wide wake-up.
     fn pick_worker(&self) -> usize {
         let workers = self.worker_txs.len();
         if workers == 1 {
             return 0;
         }
-        let rotate = self.next_worker.fetch_add(1, Ordering::Relaxed);
         if self.deterministic_dispatch {
-            return rotate % workers;
+            return self.next_worker.fetch_add(1, Ordering::Relaxed) % workers;
         }
-        let mut best = rotate % workers;
-        let mut best_depth = self.shared.queued[best].load(Ordering::Relaxed);
-        for offset in 1..workers {
-            if best_depth == 0 {
-                break; // cannot beat an empty queue
-            }
-            let idx = (rotate + offset) % workers;
+        let home = submitter_slot() % workers;
+        let mut best = home;
+        let mut best_depth = u64::MAX;
+        for offset in 0..self.spill_window {
+            let idx = (home + offset) % workers;
             let depth = self.shared.queued[idx].load(Ordering::Relaxed);
+            if depth < QUEUE_SPILL_THRESHOLD {
+                return idx;
+            }
             if depth < best_depth {
                 best = idx;
                 best_depth = depth;
@@ -659,23 +827,33 @@ impl Engine {
     }
 }
 
-/// Checks one trace on worker `idx`: runs the checkers, records stats, files
-/// the result in the worker's shard, and recycles the entry buffer.
+/// Checks one trace on worker `idx`: runs the checkers on the worker's
+/// recycled `scratch`, records stats, files the result in the worker's
+/// shard, and recycles the entry buffer.
 ///
 /// With the telemetry timing layer on, the checker loop is run manually so
 /// each entry's cost lands in its [`CheckerCategory`] histogram
 /// (`engine_checker_ns{checker=…}`) — `isPersist` separable from
 /// `TX_CHECKER` separable from plain model replay; otherwise the trace goes
-/// through the clock-free [`check_trace`] fast path.
+/// through the clock-free [`check_trace_with`] fast path. For built-in
+/// models the whole-trace time also lands in `engine_fused_replay_ns`, the
+/// latency of the fused single-pass replay.
 ///
 /// [`CheckerCategory`]: crate::telemetry::CheckerCategory
-fn worker_check(shared: &Shared, idx: usize, model: &Arc<dyn PersistencyModel>, trace: Trace) {
+fn worker_check(
+    shared: &Shared,
+    idx: usize,
+    model: &Arc<dyn PersistencyModel>,
+    trace: Trace,
+    scratch: &mut CheckerScratch,
+) {
     let timing = shared.telemetry.timing;
     let recorder = shared.recorders.get(idx);
     let trace_id = trace.id();
     let diags = if timing || recorder.is_some() {
         let started = Instant::now();
-        let mut checker = TraceChecker::new(model.as_ref());
+        let fused = model.builtin().is_some();
+        let mut checker = TraceChecker::with_scratch(model.as_ref(), scratch);
         let mut last = started;
         for (index, entry) in trace.entries().iter().enumerate() {
             checker.process(entry);
@@ -693,12 +871,16 @@ fn worker_check(shared: &Shared, idx: usize, model: &Arc<dyn PersistencyModel>, 
         }
         let diags = checker.finish();
         if timing {
-            shared.telemetry.check_latency.record(started.elapsed().as_nanos() as u64);
+            let elapsed = started.elapsed().as_nanos() as u64;
+            shared.telemetry.check_latency.record(elapsed);
+            if fused {
+                shared.telemetry.fused_replay.record(elapsed);
+            }
             shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_trace(&trace));
         }
         diags
     } else {
-        check_trace(&trace, model.as_ref())
+        check_trace_with(&trace, model.as_ref(), scratch)
     };
     if let Some(rec) = recorder {
         if diags.iter().any(|d| d.severity() == Severity::Fail) {
@@ -1024,6 +1206,40 @@ mod tests {
         assert_eq!(snap.histogram("engine_check_latency_ns").unwrap().count, 0);
         assert_eq!(engine.worker_trace_stats(), vec![TraceStats::default()]);
         assert!(engine.telemetry_summary().contains("timing off"));
+    }
+
+    #[test]
+    fn shadow_pool_recycles_scratch_state_across_batches() {
+        let engine = Engine::new(EngineConfig::default());
+        for id in 0..50 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let snap = engine.telemetry_snapshot();
+        let recycled = snap.counter("shadow_pool_recycled").unwrap_or(0);
+        let fresh = snap.counter("shadow_pool_fresh").unwrap();
+        assert_eq!(fresh, 1, "one worker allocates scratch state exactly once");
+        assert_eq!(recycled + fresh, 50, "one acquisition per single-trace batch");
+        let hit = snap.gauge("shadow_pool_hit_rate").unwrap();
+        assert!(hit > 0.9, "steady state must recycle, hit rate {hit}");
+        // Tiny clean traces never push a segment map past the flat
+        // representation.
+        assert_eq!(snap.counter("engine_segmap_repr_switches"), Some(0));
+    }
+
+    #[test]
+    fn queue_capacity_is_reported() {
+        let engine = Engine::new(EngineConfig { queue_capacity: 42, ..EngineConfig::default() });
+        assert_eq!(engine.queue_capacity(), 42);
+    }
+
+    #[test]
+    fn derived_queue_capacity_keeps_the_trace_window_consistent() {
+        assert_eq!(derived_queue_capacity(1), 256, "unbatched default unchanged");
+        assert_eq!(derived_queue_capacity(0), 256, "degenerate batch treated as 1");
+        assert_eq!(derived_queue_capacity(4), 64);
+        assert_eq!(derived_queue_capacity(32), 8);
+        assert_eq!(derived_queue_capacity(1024), 8, "floor keeps slack for workers");
     }
 
     #[test]

@@ -77,12 +77,12 @@ mod shadow;
 pub mod telemetry;
 
 pub use bundle::{op_token, BundleReason, DiagnosisBundle};
-pub use checker::{check_trace, TraceChecker};
+pub use checker::{check_trace, check_trace_with, CheckerScratch, TraceChecker};
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
-pub use engine::{Engine, EngineConfig, EngineStats, SubmitError};
+pub use engine::{derived_queue_capacity, Engine, EngineConfig, EngineStats, SubmitError};
 pub use epoch::{Epoch, EpochInterval};
 pub use fifo::{FifoStats, KernelFifo};
-pub use model::{HopsModel, PersistencyModel, X86Model};
+pub use model::{BuiltinModel, HopsModel, PersistencyModel, X86Model};
 pub use session::{PmTestSession, SessionBuilder};
 pub use shadow::{SegState, ShadowMemory};
 pub use telemetry::{CheckerCategory, TelemetryConfig};

@@ -49,19 +49,48 @@ pub trait PersistencyModel: Send + Sync + Debug {
         loc: SourceLoc,
         diags: &mut Vec<Diag>,
     );
+
+    /// Identifies a built-in model so the checker can replay its rules
+    /// without dynamic dispatch or per-event [`Entry`] reconstruction (the
+    /// fused hot path). Custom models keep the default `None` and go through
+    /// [`apply`](Self::apply) / the `check_*` methods per entry — semantics
+    /// are identical either way.
+    fn builtin(&self) -> Option<BuiltinModel> {
+        None
+    }
 }
 
-fn foreign_op(entry: &Entry, model: &str, diags: &mut Vec<Diag>) {
+/// A built-in persistency model, carrying the configuration the checker
+/// needs to inline its rules. See [`PersistencyModel::builtin`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuiltinModel {
+    /// [`X86Model`] with its performance-checker switch.
+    X86 {
+        /// Whether the §5.1.2 performance checkers are enabled.
+        warn_performance: bool,
+    },
+    /// [`HopsModel`].
+    Hops,
+}
+
+fn foreign_op(event: Event, loc: SourceLoc, model: &str, diags: &mut Vec<Diag>) {
     diags.push(Diag {
         kind: DiagKind::ForeignOperation,
-        loc: entry.loc,
+        loc,
         range: None,
         culprit: None,
-        message: format!("`{}` is not part of the {model} persistency model", entry.event),
+        message: format!("`{event}` is not part of the {model} persistency model"),
     });
 }
 
-fn persist_failure(shadow: &ShadowMemory, range: ByteRange, loc: SourceLoc, diags: &mut Vec<Diag>) {
+/// The shared `isPersist` validation (§4.4): both built-in models report an
+/// open persist interval the same way. Also the fused-path implementation.
+pub(crate) fn persist_failure(
+    shadow: &ShadowMemory,
+    range: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
     for (sub, st) in shadow.states_in(range) {
         if let Some(pi) = st.persist {
             if !pi.is_closed() {
@@ -69,9 +98,145 @@ fn persist_failure(shadow: &ShadowMemory, range: ByteRange, loc: SourceLoc, diag
                     kind: DiagKind::NotPersisted,
                     loc,
                     range: Some(sub),
-                    culprit: st.write_loc,
+                    culprit: st.write_loc.map(|id| shadow.resolve_loc(id)),
                     message: format!("persist interval {pi} never closes"),
                 });
+            }
+        }
+    }
+}
+
+/// One x86 operation (§4.4 rules + §5.1.2 performance checkers). Both
+/// [`X86Model::apply`] and the checker's fused path run exactly this code,
+/// which is what keeps their diagnostics byte-identical.
+pub(crate) fn x86_op(
+    warn_performance: bool,
+    shadow: &mut ShadowMemory,
+    event: Event,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    match event {
+        Event::Write(range) => shadow.record_write(range, loc),
+        Event::Flush(range) => {
+            let obs = shadow.record_flush(range, loc);
+            if warn_performance {
+                for sub in obs.unmodified {
+                    diags.push(Diag {
+                        kind: DiagKind::UnnecessaryFlush,
+                        loc,
+                        range: Some(sub),
+                        culprit: None,
+                        message: "writing back data that was never modified".to_owned(),
+                    });
+                }
+                for (sub, earlier) in obs.duplicate {
+                    diags.push(Diag {
+                        kind: DiagKind::DuplicateFlush,
+                        loc,
+                        range: Some(sub),
+                        culprit: earlier,
+                        message: "data already written back".to_owned(),
+                    });
+                }
+            }
+        }
+        Event::Fence => shadow.fence(),
+        Event::OFence => {
+            foreign_op(event, loc, "x86", diags);
+            shadow.ofence();
+        }
+        Event::DFence => {
+            foreign_op(event, loc, "x86", diags);
+            shadow.dfence();
+        }
+        _ => unreachable!("non-operation event {event} reached the model"),
+    }
+}
+
+/// One HOPS operation (§5.2 rules); shared by [`HopsModel::apply`] and the
+/// fused path.
+pub(crate) fn hops_op(
+    shadow: &mut ShadowMemory,
+    event: Event,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    match event {
+        Event::Write(range) => shadow.record_write(range, loc),
+        Event::OFence => shadow.ofence(),
+        Event::DFence => shadow.dfence(),
+        Event::Flush(_) => {
+            // HOPS hardware tracks dirty PM data itself; clwb is redundant
+            // there (§5.2 removes the flush interval).
+            foreign_op(event, loc, "hops", diags);
+        }
+        Event::Fence => {
+            foreign_op(event, loc, "hops", diags);
+            shadow.ofence();
+        }
+        _ => unreachable!("non-operation event {event} reached the model"),
+    }
+}
+
+/// x86 `isOrderedBefore` (§4.4): interval ends-before-starts, one witness
+/// per checker. Shared by [`X86Model`] and the fused path.
+pub(crate) fn x86_ordered_before(
+    shadow: &ShadowMemory,
+    first: ByteRange,
+    second: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    let firsts = shadow.persist_intervals(first);
+    let seconds = shadow.persist_intervals(second);
+    for (sub_a, pi_a, loc_a) in &firsts {
+        for (sub_b, pi_b, _) in &seconds {
+            if !pi_a.ends_before_starts(pi_b) {
+                diags.push(Diag {
+                    kind: DiagKind::NotOrderedBefore,
+                    loc,
+                    range: Some(*sub_a),
+                    culprit: *loc_a,
+                    message: format!(
+                        "persist interval {pi_a} of {sub_a:?} may not complete before \
+                         {pi_b} of {sub_b:?} begins"
+                    ),
+                });
+                return; // one witness per checker, like the paper's output
+            }
+        }
+    }
+}
+
+/// HOPS `isOrderedBefore` (§5.2): fences order persists across epochs, so
+/// interval *starts* are compared. Shared by [`HopsModel`] and the fused
+/// path.
+pub(crate) fn hops_ordered_before(
+    shadow: &ShadowMemory,
+    first: ByteRange,
+    second: ByteRange,
+    loc: SourceLoc,
+    diags: &mut Vec<Diag>,
+) {
+    let firsts = shadow.persist_intervals(first);
+    let seconds = shadow.persist_intervals(second);
+    for (sub_a, pi_a, loc_a) in &firsts {
+        for (sub_b, pi_b, _) in &seconds {
+            if !pi_a.starts_before(pi_b) {
+                diags.push(Diag {
+                    kind: DiagKind::NotOrderedBefore,
+                    loc,
+                    range: Some(*sub_a),
+                    culprit: *loc_a,
+                    message: format!(
+                        "write at {sub_a:?} (epoch {}) is not fence-ordered before \
+                         write at {sub_b:?} (epoch {})",
+                        pi_a.start(),
+                        pi_b.start()
+                    ),
+                });
+                return;
             }
         }
     }
@@ -114,42 +279,7 @@ impl PersistencyModel for X86Model {
     }
 
     fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>) {
-        match entry.event {
-            Event::Write(range) => shadow.record_write(range, entry.loc),
-            Event::Flush(range) => {
-                let obs = shadow.record_flush(range, entry.loc);
-                if self.warn_performance {
-                    for sub in obs.unmodified {
-                        diags.push(Diag {
-                            kind: DiagKind::UnnecessaryFlush,
-                            loc: entry.loc,
-                            range: Some(sub),
-                            culprit: None,
-                            message: "writing back data that was never modified".to_owned(),
-                        });
-                    }
-                    for (sub, earlier) in obs.duplicate {
-                        diags.push(Diag {
-                            kind: DiagKind::DuplicateFlush,
-                            loc: entry.loc,
-                            range: Some(sub),
-                            culprit: earlier,
-                            message: "data already written back".to_owned(),
-                        });
-                    }
-                }
-            }
-            Event::Fence => shadow.fence(),
-            Event::OFence => {
-                foreign_op(entry, self.name(), diags);
-                shadow.ofence();
-            }
-            Event::DFence => {
-                foreign_op(entry, self.name(), diags);
-                shadow.dfence();
-            }
-            _ => unreachable!("non-operation event {} reached the model", entry.event),
-        }
+        x86_op(self.warn_performance, shadow, entry.event, entry.loc, diags);
     }
 
     fn check_persist(
@@ -170,25 +300,11 @@ impl PersistencyModel for X86Model {
         loc: SourceLoc,
         diags: &mut Vec<Diag>,
     ) {
-        let firsts = shadow.persist_intervals(first);
-        let seconds = shadow.persist_intervals(second);
-        for (sub_a, pi_a, loc_a) in &firsts {
-            for (sub_b, pi_b, _) in &seconds {
-                if !pi_a.ends_before_starts(pi_b) {
-                    diags.push(Diag {
-                        kind: DiagKind::NotOrderedBefore,
-                        loc,
-                        range: Some(*sub_a),
-                        culprit: *loc_a,
-                        message: format!(
-                            "persist interval {pi_a} of {sub_a:?} may not complete before \
-                             {pi_b} of {sub_b:?} begins"
-                        ),
-                    });
-                    return; // one witness per checker, like the paper's output
-                }
-            }
-        }
+        x86_ordered_before(shadow, first, second, loc, diags);
+    }
+
+    fn builtin(&self) -> Option<BuiltinModel> {
+        Some(BuiltinModel::X86 { warn_performance: self.warn_performance })
     }
 }
 
@@ -215,21 +331,7 @@ impl PersistencyModel for HopsModel {
     }
 
     fn apply(&self, shadow: &mut ShadowMemory, entry: &Entry, diags: &mut Vec<Diag>) {
-        match entry.event {
-            Event::Write(range) => shadow.record_write(range, entry.loc),
-            Event::OFence => shadow.ofence(),
-            Event::DFence => shadow.dfence(),
-            Event::Flush(_) => {
-                // HOPS hardware tracks dirty PM data itself; clwb is
-                // redundant there (§5.2 removes the flush interval).
-                foreign_op(entry, self.name(), diags);
-            }
-            Event::Fence => {
-                foreign_op(entry, self.name(), diags);
-                shadow.ofence();
-            }
-            _ => unreachable!("non-operation event {} reached the model", entry.event),
-        }
+        hops_op(shadow, entry.event, entry.loc, diags);
     }
 
     fn check_persist(
@@ -250,27 +352,11 @@ impl PersistencyModel for HopsModel {
         loc: SourceLoc,
         diags: &mut Vec<Diag>,
     ) {
-        let firsts = shadow.persist_intervals(first);
-        let seconds = shadow.persist_intervals(second);
-        for (sub_a, pi_a, loc_a) in &firsts {
-            for (sub_b, pi_b, _) in &seconds {
-                if !pi_a.starts_before(pi_b) {
-                    diags.push(Diag {
-                        kind: DiagKind::NotOrderedBefore,
-                        loc,
-                        range: Some(*sub_a),
-                        culprit: *loc_a,
-                        message: format!(
-                            "write at {sub_a:?} (epoch {}) is not fence-ordered before \
-                             write at {sub_b:?} (epoch {})",
-                            pi_a.start(),
-                            pi_b.start()
-                        ),
-                    });
-                    return;
-                }
-            }
-        }
+        hops_ordered_before(shadow, first, second, loc, diags);
+    }
+
+    fn builtin(&self) -> Option<BuiltinModel> {
+        Some(BuiltinModel::Hops)
     }
 }
 

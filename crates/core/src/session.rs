@@ -152,6 +152,9 @@ impl SessionShared {
 pub struct SessionBuilder {
     config: EngineConfig,
     batch_capacity: usize,
+    /// Explicit queue depth, if [`queue_capacity`](Self::queue_capacity)
+    /// was called; otherwise `build` derives one from the batch size.
+    queue_capacity: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -176,11 +179,17 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the per-worker queue depth in batches (default: 256). A full
-    /// queue backpressures `send_trace`, bounding the engine's memory use.
+    /// Sets the per-worker queue depth in batches. A full queue
+    /// backpressures `send_trace`, bounding the engine's memory use.
+    ///
+    /// When not set, the depth is derived from the batch size
+    /// ([`derived_queue_capacity`](crate::derived_queue_capacity)):
+    /// `256 / batch_capacity`, clamped to `[8, 256]`, so the pipeline
+    /// buffers a consistent number of *traces* whether submission is
+    /// batched or not.
     #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
-        self.config.queue_capacity = capacity;
+        self.queue_capacity = Some(capacity);
         self
     }
 
@@ -217,11 +226,15 @@ impl SessionBuilder {
     /// call [`PmTestSession::start`]).
     #[must_use]
     pub fn build(self) -> PmTestSession {
+        let mut config = self.config;
+        config.queue_capacity = self
+            .queue_capacity
+            .unwrap_or_else(|| crate::engine::derived_queue_capacity(self.batch_capacity));
         PmTestSession {
             shared: Arc::new(SessionShared {
                 id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
                 enabled: AtomicBool::new(false),
-                engine: Engine::new(self.config),
+                engine: Engine::new(config),
                 next_trace: AtomicU64::new(0),
                 batch_capacity: self.batch_capacity,
                 vars: Mutex::new(HashMap::new()),
@@ -234,7 +247,7 @@ impl PmTestSession {
     /// Starts building a session.
     #[must_use]
     pub fn builder() -> SessionBuilder {
-        SessionBuilder { config: EngineConfig::default(), batch_capacity: 1 }
+        SessionBuilder { config: EngineConfig::default(), batch_capacity: 1, queue_capacity: None }
     }
 
     /// A `Sink` handle to hand to instrumented pools.
@@ -345,6 +358,14 @@ impl PmTestSession {
     #[must_use]
     pub fn pool_stats(&self) -> pmtest_trace::PoolStats {
         self.shared.engine.buffer_pool().stats()
+    }
+
+    /// The per-worker queue depth the engine was built with — explicit if
+    /// [`SessionBuilder::queue_capacity`] was called, otherwise derived from
+    /// the batch size.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.engine.queue_capacity()
     }
 
     /// Drains the diagnosis bundles captured on ERROR so far — see
@@ -533,6 +554,18 @@ mod tests {
 
     fn r(s: u64, e: u64) -> ByteRange {
         ByteRange::new(s, e)
+    }
+
+    #[test]
+    fn queue_capacity_is_derived_from_the_batch_size() {
+        assert_eq!(PmTestSession::builder().build().queue_capacity(), 256);
+        assert_eq!(PmTestSession::builder().batch_capacity(32).build().queue_capacity(), 8);
+        assert_eq!(PmTestSession::builder().batch_capacity(4).build().queue_capacity(), 64);
+        // An explicit setting always wins, in either call order.
+        let s = PmTestSession::builder().batch_capacity(32).queue_capacity(4).build();
+        assert_eq!(s.queue_capacity(), 4);
+        let s = PmTestSession::builder().queue_capacity(4).batch_capacity(32).build();
+        assert_eq!(s.queue_capacity(), 4);
     }
 
     #[test]

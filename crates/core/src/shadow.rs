@@ -1,7 +1,7 @@
 use std::fmt;
 
 use pmtest_interval::{ByteRange, SegmentMap};
-use pmtest_trace::SourceLoc;
+use pmtest_trace::{LocId, LocInterner, SourceLoc};
 
 use crate::epoch::{Epoch, EpochInterval};
 
@@ -13,17 +13,21 @@ use crate::epoch::{Epoch, EpochInterval};
 ///   (x86 only; the HOPS rules never set it, §5.2).
 ///
 /// Source locations of the responsible write/flush are kept so diagnostics
-/// can point at the culprit operation, not just the failing checker.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// can point at the culprit operation, not just the failing checker. They
+/// are stored as [`LocId`]s interned per shadow memory — a trace replays the
+/// same few call sites over and over, and the 4-byte id keeps this state
+/// `Copy` when a write splits into many segments. Resolve them with
+/// [`ShadowMemory::resolve_loc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SegState {
     /// Persist interval of the last write, if the range was written.
     pub persist: Option<EpochInterval>,
     /// Flush interval of the last writeback, if one was issued.
     pub flush: Option<EpochInterval>,
-    /// Where the last write was issued.
-    pub write_loc: Option<SourceLoc>,
-    /// Where the last writeback was issued.
-    pub flush_loc: Option<SourceLoc>,
+    /// Where the last write was issued (interned).
+    pub write_loc: Option<LocId>,
+    /// Where the last writeback was issued (interned).
+    pub flush_loc: Option<LocId>,
 }
 
 /// What a writeback observed about the ranges it covered, used by the
@@ -40,8 +44,11 @@ pub struct FlushObservation {
 /// The per-trace shadow memory: a segment map from modified address ranges
 /// to their persistency status, plus the global epoch timestamp (§4.4).
 ///
-/// Every trace gets a fresh `ShadowMemory`; traces are independent units of
-/// checking.
+/// Every trace is checked against a *logically* fresh `ShadowMemory`; traces
+/// are independent units of checking. The instance itself is built to be
+/// recycled: [`clear`](Self::clear) resets the state while keeping every
+/// backing allocation (segment vectors, interner arena), so a pooled shadow
+/// memory checks trace after trace without touching the allocator.
 ///
 /// # Examples
 ///
@@ -66,6 +73,9 @@ pub struct ShadowMemory {
     /// Ranges written since the last durability fence (for `dfence`).
     open_writes: Vec<ByteRange>,
     excluded: SegmentMap<()>,
+    /// Source locations of this trace's writes/flushes, interned so segment
+    /// states stay small and `Copy`.
+    locs: LocInterner,
 }
 
 impl Default for ShadowMemory {
@@ -84,7 +94,20 @@ impl ShadowMemory {
             open_flushes: Vec::new(),
             open_writes: Vec::new(),
             excluded: SegmentMap::new(),
+            locs: LocInterner::new(),
         }
+    }
+
+    /// Resets to the empty epoch-0 state while retaining every backing
+    /// allocation, so a recycled shadow memory checks its next trace without
+    /// allocating. Equivalent to `*self = ShadowMemory::new()` semantically.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.timestamp = 0;
+        self.open_flushes.clear();
+        self.open_writes.clear();
+        self.excluded.clear();
+        self.locs.clear();
     }
 
     /// The current global epoch.
@@ -93,12 +116,27 @@ impl ShadowMemory {
         self.timestamp
     }
 
+    /// Resolves an interned source location stored in a [`SegState`].
+    #[must_use]
+    pub fn resolve_loc(&self, id: LocId) -> SourceLoc {
+        self.locs.resolve(id)
+    }
+
+    /// Times the underlying segment maps migrated from their flat small-map
+    /// representation to the BTree (cumulative; survives
+    /// [`clear`](Self::clear)).
+    #[must_use]
+    pub fn repr_switches(&self) -> u64 {
+        self.map.repr_switches() + self.excluded.repr_switches()
+    }
+
     /// Records a store: clears any previous status over `range` and opens a
     /// fresh persist interval at the current epoch (§4.4 `write` rule).
     pub fn record_write(&mut self, range: ByteRange, loc: SourceLoc) {
         if range.is_empty() {
             return;
         }
+        let loc = self.locs.intern(loc);
         self.map.insert(
             range,
             SegState {
@@ -119,6 +157,8 @@ impl ShadowMemory {
             return obs;
         }
         let ts = self.timestamp;
+        let loc = self.locs.intern(loc);
+        let locs = &self.locs;
         self.map.update_range(range, |sub, cur| match cur {
             None => {
                 // Never written: flushing unmodified data.
@@ -131,7 +171,7 @@ impl ShadowMemory {
                 })
             }
             Some(state) => {
-                let mut state = state.clone();
+                let mut state = *state;
                 let already_flushed = match (&state.flush, &state.persist) {
                     // A writeback is already in flight for this data.
                     (Some(f), _) if !f.is_closed() => true,
@@ -142,7 +182,8 @@ impl ShadowMemory {
                     _ => false,
                 };
                 if already_flushed {
-                    obs.duplicate.push((sub, state.flush_loc.or(state.write_loc)));
+                    let earlier = state.flush_loc.or(state.write_loc);
+                    obs.duplicate.push((sub, earlier.map(|id| locs.resolve(id))));
                 }
                 if state.persist.is_none() && state.flush.is_some() {
                     // Re-flushing a never-written range: also unmodified.
@@ -164,7 +205,7 @@ impl ShadowMemory {
         let ts = self.timestamp;
         for range in std::mem::take(&mut self.open_flushes) {
             self.map.update_range(range, |_, cur| {
-                let mut state = cur?.clone();
+                let mut state = *cur?;
                 if let Some(f) = &mut state.flush {
                     if !f.is_closed() {
                         f.close(ts);
@@ -191,7 +232,7 @@ impl ShadowMemory {
         let ts = self.timestamp;
         for range in std::mem::take(&mut self.open_writes) {
             self.map.update_range(range, |_, cur| {
-                let mut state = cur?.clone();
+                let mut state = *cur?;
                 if let Some(p) = &mut state.persist {
                     p.close(ts);
                 }
@@ -210,7 +251,9 @@ impl ShadowMemory {
     ) -> Vec<(ByteRange, EpochInterval, Option<SourceLoc>)> {
         self.map
             .overlapping(range)
-            .filter_map(|(sub, st)| st.persist.map(|p| (sub, p, st.write_loc)))
+            .filter_map(|(sub, st)| {
+                st.persist.map(|p| (sub, p, st.write_loc.map(|id| self.locs.resolve(id))))
+            })
             .collect()
     }
 
@@ -439,5 +482,34 @@ mod tests {
         sh.record_write(r(0, 8), wloc);
         let pis = sh.persist_intervals(r(0, 8));
         assert_eq!(pis[0].2, Some(wloc));
+    }
+
+    #[test]
+    fn cleared_shadow_behaves_like_fresh() {
+        let mut sh = ShadowMemory::new();
+        sh.record_write(r(0, 16), SourceLoc::new("old.rs", 1));
+        sh.record_flush(r(0, 8), SourceLoc::new("old.rs", 2));
+        sh.fence();
+        sh.exclude(r(100, 110));
+        sh.clear();
+        assert_eq!(sh.timestamp(), 0);
+        assert!(!sh.has_exclusions());
+        assert!(sh.persist_intervals(r(0, 16)).is_empty());
+        // Replaying figure 7 on the recycled instance gives fresh results,
+        // including correctly re-interned locations.
+        let wloc = SourceLoc::new("new.rs", 7);
+        sh.record_write(r(0, 8), wloc);
+        sh.record_flush(r(0, 8), SourceLoc::new("new.rs", 8));
+        sh.fence();
+        assert!(sh.is_persisted(r(0, 8)));
+        assert_eq!(sh.persist_intervals(r(0, 8))[0].2, Some(wloc));
+        // A fence after clear must not close stale open_flushes ranges.
+        let mut sh2 = ShadowMemory::new();
+        sh2.record_write(r(0, 8), wloc);
+        sh2.record_flush(r(0, 8), wloc);
+        sh2.clear();
+        sh2.record_write(r(0, 8), wloc);
+        sh2.fence();
+        assert!(!sh2.is_persisted(r(0, 8)), "pre-clear flush must be forgotten");
     }
 }

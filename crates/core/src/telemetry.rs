@@ -188,6 +188,14 @@ pub(crate) struct EngineTelemetry {
     /// Per-category entry-processing time, ns (timing only); indexed like
     /// [`CheckerCategory::ALL`].
     pub(crate) checker_ns: [Histogram; CheckerCategory::ALL.len()],
+    /// Whole-trace fused-replay time on the clock-free worker path, ns,
+    /// timed once per trace (timing only). The per-entry `checker_ns`
+    /// histograms attribute cost per checker category; this one measures the
+    /// single-pass loop the engine actually runs in production mode.
+    pub(crate) fused_replay: Histogram,
+    /// Flat→BTree representation switches across the workers' recycled
+    /// segment maps (always on — the delta is folded in once per trace).
+    pub(crate) segmap_repr_switches: Counter,
     /// FAIL/WARN production per [`DiagKind`]; indexed like [`DiagKind::ALL`].
     diag_kinds: [Counter; DiagKind::ALL.len()],
     /// Busy nanoseconds per worker (timing only).
@@ -226,6 +234,8 @@ impl EngineTelemetry {
             queue_depth: registry.gauge("engine_queue_depth", &[]),
             check_latency: registry.histogram("engine_check_latency_ns", &[]),
             checker_ns,
+            fused_replay: registry.histogram("engine_fused_replay_ns", &[]),
+            segmap_repr_switches: registry.counter("engine_segmap_repr_switches", &[]),
             diag_kinds,
             worker_busy,
             worker_stats: (0..workers).map(|_| Mutex::new(TraceStats::default())).collect(),

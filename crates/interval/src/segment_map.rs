@@ -3,17 +3,29 @@ use std::fmt;
 
 use crate::ByteRange;
 
+/// Segment count past which a map spills from the flat vector to the BTree.
+///
+/// Traces in the engine's short-trace regime touch a handful of ranges, so
+/// the common case is a linear scan over a few cache lines; the BTree only
+/// wins once splits accumulate into dozens of segments (long fuzzed traces,
+/// whole-pool workloads).
+const FLAT_MAX: usize = 32;
+
 /// A map from non-overlapping half-open byte ranges to values.
 ///
 /// This is the container backing the PMTest *shadow memory* (§4.4): each
 /// modified address range maps to its persistency status, and the engine
-/// needs `O(log n)` range-wise updates and lookups. Overlapping inserts split
+/// needs cheap range-wise updates and lookups. Overlapping inserts split
 /// or truncate the segments already present, exactly like writing over part
 /// of a previously tracked range.
 ///
-/// Internally the map is a `BTreeMap` keyed by segment start; the invariant
-/// (checked in debug builds and by property tests) is that segments are
-/// non-empty, sorted, and pairwise disjoint.
+/// Internally the map is **adaptive**: while small it is a flat sorted
+/// vector of `(start, end, value)` segments — binary-searched reads, splice
+/// writes, and zero steady-state allocation once [`clear`](Self::clear) has
+/// been recycling the backing storage. Past [`FLAT_MAX`] segments it spills
+/// into a `BTreeMap` keyed by segment start and stays there until cleared.
+/// The invariant either way (checked in debug builds and by property tests)
+/// is that segments are non-empty, sorted, and pairwise disjoint.
 ///
 /// # Examples
 ///
@@ -26,10 +38,18 @@ use crate::ByteRange;
 /// let segs: Vec<_> = map.iter().map(|(r, v)| (r.start(), r.end(), *v)).collect();
 /// assert_eq!(segs, [(0, 16, 'x'), (16, 32, 'y'), (32, 64, 'x')]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct SegmentMap<V> {
-    /// start -> (end, value)
-    segments: BTreeMap<u64, (u64, V)>,
+    /// The small-map representation: `(start, end, value)`, sorted by start.
+    /// Authoritative while `in_tree` is false; kept (empty, capacity
+    /// retained) while spilled so `clear` can recycle it.
+    flat: Vec<(u64, u64, V)>,
+    /// The large-map representation: start -> (end, value). Authoritative
+    /// while `in_tree` is true.
+    tree: BTreeMap<u64, (u64, V)>,
+    in_tree: bool,
+    /// Flat→tree migrations over the map's lifetime (not reset by `clear`).
+    repr_switches: u64,
 }
 
 impl<V> Default for SegmentMap<V> {
@@ -42,60 +62,111 @@ impl<V> SegmentMap<V> {
     /// Creates an empty map.
     #[must_use]
     pub fn new() -> Self {
-        Self { segments: BTreeMap::new() }
+        Self { flat: Vec::new(), tree: BTreeMap::new(), in_tree: false, repr_switches: 0 }
     }
 
     /// Number of stored segments (not bytes).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.segments.len()
+        if self.in_tree {
+            self.tree.len()
+        } else {
+            self.flat.len()
+        }
     }
 
     /// Whether the map holds no segments.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.segments.is_empty()
+        self.len() == 0
     }
 
-    /// Removes all segments.
+    /// Removes all segments, retaining the flat vector's capacity so a
+    /// recycled map allocates nothing on its next fill. A spilled map drops
+    /// back to the flat representation.
     pub fn clear(&mut self) {
-        self.segments.clear();
+        self.flat.clear();
+        self.tree.clear();
+        self.in_tree = false;
+    }
+
+    /// Times this map migrated from the flat to the BTree representation
+    /// (cumulative; survives [`clear`](Self::clear) so recycled maps keep
+    /// reporting).
+    #[must_use]
+    pub fn repr_switches(&self) -> u64 {
+        self.repr_switches
+    }
+
+    /// Whether the map currently uses the flat small-map representation.
+    #[must_use]
+    pub fn is_flat(&self) -> bool {
+        !self.in_tree
+    }
+
+    /// Index of the first flat segment whose end is after `addr` — the first
+    /// candidate to overlap a range starting at `addr`. (Starts and ends are
+    /// both sorted because segments are disjoint.)
+    fn flat_first_overlapping(&self, addr: u64) -> usize {
+        self.flat.partition_point(|&(_, e, _)| e <= addr)
     }
 
     /// Returns the value covering `addr`, if any.
     #[must_use]
     pub fn get(&self, addr: u64) -> Option<&V> {
-        let (&start, (end, value)) = self.segments.range(..=addr).next_back()?;
-        (start <= addr && addr < *end).then_some(value)
+        if self.in_tree {
+            let (&start, (end, value)) = self.tree.range(..=addr).next_back()?;
+            (start <= addr && addr < *end).then_some(value)
+        } else {
+            let idx = self.flat.partition_point(|&(s, _, _)| s <= addr).checked_sub(1)?;
+            let (_, end, value) = &self.flat[idx];
+            (addr < *end).then_some(value)
+        }
     }
 
     /// Returns the segment (range and value) covering `addr`, if any.
     #[must_use]
     pub fn get_segment(&self, addr: u64) -> Option<(ByteRange, &V)> {
-        let (&start, (end, value)) = self.segments.range(..=addr).next_back()?;
-        (start <= addr && addr < *end).then(|| (ByteRange::new(start, *end), value))
+        if self.in_tree {
+            let (&start, (end, value)) = self.tree.range(..=addr).next_back()?;
+            (start <= addr && addr < *end).then(|| (ByteRange::new(start, *end), value))
+        } else {
+            let idx = self.flat.partition_point(|&(s, _, _)| s <= addr).checked_sub(1)?;
+            let (start, end, value) = &self.flat[idx];
+            (addr < *end).then(|| (ByteRange::new(*start, *end), value))
+        }
     }
 
     /// Iterates over all segments in address order.
     pub fn iter(&self) -> Segments<'_, V> {
-        Segments { inner: self.segments.iter() }
+        Segments {
+            inner: if self.in_tree {
+                SegmentsInner::Tree(self.tree.iter())
+            } else {
+                SegmentsInner::Flat(self.flat.iter())
+            },
+        }
     }
 
     /// Iterates over the segments overlapping `range`, clipped to `range`.
     ///
     /// Each yielded pair is `(clipped_range, value)`; gaps inside `range` are
     /// skipped (see [`SegmentMap::gaps`] for the complement).
-    pub fn overlapping(&self, range: ByteRange) -> impl Iterator<Item = (ByteRange, &V)> {
-        // The first candidate may start before `range.start()`.
-        let first_start = self
-            .segments
-            .range(..=range.start())
-            .next_back()
-            .map(|(&s, _)| s)
-            .unwrap_or(range.start());
-        self.segments.range(first_start..range.end()).filter_map(move |(&s, (e, v))| {
-            ByteRange::new(s, *e).intersection(&range).map(|clip| (clip, v))
-        })
+    pub fn overlapping(&self, range: ByteRange) -> Overlapping<'_, V> {
+        let inner = if self.in_tree {
+            // The first candidate may start before `range.start()`.
+            let first_start = self
+                .tree
+                .range(..=range.start())
+                .next_back()
+                .map(|(&s, _)| s)
+                .unwrap_or(range.start());
+            OverlapInner::Tree(self.tree.range(first_start..range.end()))
+        } else {
+            let lo = self.flat_first_overlapping(range.start());
+            OverlapInner::Flat(self.flat[lo..].iter())
+        };
+        Overlapping { inner, range }
     }
 
     /// Iterates over the maximal sub-ranges of `range` not covered by any
@@ -147,8 +218,15 @@ impl<V: Clone> SegmentMap<V> {
         if range.is_empty() {
             return;
         }
-        self.carve(range);
-        self.segments.insert(range.start(), (range.end(), value));
+        if self.in_tree {
+            self.tree_carve(range);
+            self.tree.insert(range.start(), (range.end(), value));
+        } else {
+            self.flat_carve(range);
+            let idx = self.flat.partition_point(|&(s, _, _)| s < range.start());
+            self.flat.insert(idx, (range.start(), range.end(), value));
+            self.maybe_spill();
+        }
         self.debug_check();
     }
 
@@ -158,7 +236,11 @@ impl<V: Clone> SegmentMap<V> {
         if range.is_empty() {
             return;
         }
-        self.carve(range);
+        if self.in_tree {
+            self.tree_carve(range);
+        } else {
+            self.flat_carve(range);
+        }
         self.debug_check();
     }
 
@@ -171,7 +253,9 @@ impl<V: Clone> SegmentMap<V> {
     /// This is the primitive behind the paper's checking rules: a `write`
     /// replaces the status over its range, a `clwb` updates the flush interval
     /// of covered sub-ranges and can inspect gaps to flag unnecessary
-    /// writebacks.
+    /// writebacks. On the flat representation the rewrite happens in place —
+    /// replacement pieces are staged on the vector's own tail — so the
+    /// steady-state cost is zero allocations.
     pub fn update_range<F>(&mut self, range: ByteRange, mut f: F)
     where
         F: FnMut(ByteRange, Option<&V>) -> Option<V>,
@@ -179,6 +263,102 @@ impl<V: Clone> SegmentMap<V> {
         if range.is_empty() {
             return;
         }
+        if self.in_tree {
+            self.tree_update_range(range, f);
+        } else {
+            // Window of flat segments overlapping the range.
+            let lo = self.flat_first_overlapping(range.start());
+            let hi = self.flat.partition_point(|&(s, _, _)| s < range.end());
+            let old_len = self.flat.len();
+            // Stage the replacement on the tail: the preserved left overhang
+            // of a straddling first segment, then every piece `f` keeps, then
+            // the preserved right overhang. Values are cloned out before the
+            // push so growing the vector never invalidates a borrow.
+            if lo < hi {
+                let (s, _, _) = self.flat[lo];
+                if s < range.start() {
+                    let v = self.flat[lo].2.clone();
+                    self.flat.push((s, range.start(), v));
+                }
+            }
+            let mut cursor = range.start();
+            for i in lo..hi {
+                let (s, e, _) = self.flat[i];
+                let clip_s = s.max(range.start());
+                let clip_e = e.min(range.end());
+                if cursor < clip_s {
+                    if let Some(new) = f(ByteRange::new(cursor, clip_s), None) {
+                        self.flat.push((cursor, clip_s, new));
+                    }
+                }
+                let cur = self.flat[i].2.clone();
+                if let Some(new) = f(ByteRange::new(clip_s, clip_e), Some(&cur)) {
+                    self.flat.push((clip_s, clip_e, new));
+                }
+                cursor = clip_e;
+            }
+            if cursor < range.end() {
+                if let Some(new) = f(ByteRange::new(cursor, range.end()), None) {
+                    self.flat.push((cursor, range.end(), new));
+                }
+            }
+            if lo < hi {
+                let (_, e, _) = self.flat[hi - 1];
+                if e > range.end() {
+                    let v = self.flat[hi - 1].2.clone();
+                    self.flat.push((range.end(), e, v));
+                }
+            }
+            // Swap the staged tail into the window's place and drop the old
+            // window: [prefix, window, rest, staged] → [prefix, staged, rest].
+            let staged = self.flat.len() - old_len;
+            self.flat[lo..].rotate_right(staged);
+            self.flat.drain(lo + staged..lo + staged + (hi - lo));
+            self.maybe_spill();
+        }
+        self.debug_check();
+    }
+
+    /// Spills the flat representation into the BTree once it outgrows
+    /// [`FLAT_MAX`]. One-way until [`clear`](Self::clear).
+    fn maybe_spill(&mut self) {
+        if !self.in_tree && self.flat.len() > FLAT_MAX {
+            self.tree.extend(self.flat.drain(..).map(|(s, e, v)| (s, (e, v))));
+            self.in_tree = true;
+            self.repr_switches += 1;
+        }
+    }
+
+    /// Flat-representation carve: removes `range` coverage, keeping the
+    /// out-of-range overhangs of straddling boundary segments. Overhangs are
+    /// staged on the vector's tail, then rotated into the window's place.
+    fn flat_carve(&mut self, range: ByteRange) {
+        let lo = self.flat_first_overlapping(range.start());
+        let hi = self.flat.partition_point(|&(s, _, _)| s < range.end());
+        if lo == hi {
+            return;
+        }
+        let old_len = self.flat.len();
+        let (first_s, _, _) = self.flat[lo];
+        if first_s < range.start() {
+            let v = self.flat[lo].2.clone();
+            self.flat.push((first_s, range.start(), v));
+        }
+        let (_, last_e, _) = self.flat[hi - 1];
+        if last_e > range.end() {
+            let v = self.flat[hi - 1].2.clone();
+            self.flat.push((range.end(), last_e, v));
+        }
+        let staged = self.flat.len() - old_len;
+        self.flat[lo..].rotate_right(staged);
+        self.flat.drain(lo + staged..lo + staged + (hi - lo));
+    }
+
+    /// BTree-representation `update_range` (the pre-adaptive algorithm).
+    fn tree_update_range<F>(&mut self, range: ByteRange, mut f: F)
+    where
+        F: FnMut(ByteRange, Option<&V>) -> Option<V>,
+    {
         // Collect the current view first to avoid aliasing the tree while
         // mutating it.
         let mut pieces: Vec<(ByteRange, Option<V>)> = Vec::new();
@@ -194,35 +374,34 @@ impl<V: Clone> SegmentMap<V> {
             pieces.push((ByteRange::new(cursor, range.end()), None));
         }
 
-        self.carve(range);
+        self.tree_carve(range);
         for (sub, current) in pieces {
             if let Some(new) = f(sub, current.as_ref()) {
-                self.segments.insert(sub.start(), (sub.end(), new));
+                self.tree.insert(sub.start(), (sub.end(), new));
             }
         }
-        self.debug_check();
     }
 
-    /// Removes `range` coverage, splitting boundary segments so that no
-    /// remaining segment overlaps `range`.
-    fn carve(&mut self, range: ByteRange) {
+    /// BTree-representation carve: removes `range` coverage, splitting
+    /// boundary segments so that no remaining segment overlaps `range`.
+    fn tree_carve(&mut self, range: ByteRange) {
         // Split a segment straddling range.start().
-        if let Some((&s, &(e, _))) = self.segments.range(..range.start()).next_back() {
+        if let Some((&s, &(e, _))) = self.tree.range(..range.start()).next_back() {
             if e > range.start() {
-                let (_, (_, v)) = self.segments.remove_entry(&s).expect("segment exists");
-                self.segments.insert(s, (range.start(), v.clone()));
+                let (_, (_, v)) = self.tree.remove_entry(&s).expect("segment exists");
+                self.tree.insert(s, (range.start(), v.clone()));
                 if e > range.end() {
-                    self.segments.insert(range.end(), (e, v));
+                    self.tree.insert(range.end(), (e, v));
                 }
             }
         }
         // Remove or truncate segments starting inside the range.
         let starts: Vec<u64> =
-            self.segments.range(range.start()..range.end()).map(|(&s, _)| s).collect();
+            self.tree.range(range.start()..range.end()).map(|(&s, _)| s).collect();
         for s in starts {
-            let (e, v) = self.segments.remove(&s).expect("segment exists");
+            let (e, v) = self.tree.remove(&s).expect("segment exists");
             if e > range.end() {
-                self.segments.insert(range.end(), (e, v));
+                self.tree.insert(range.end(), (e, v));
             }
         }
     }
@@ -231,7 +410,8 @@ impl<V: Clone> SegmentMap<V> {
         #[cfg(debug_assertions)]
         {
             let mut prev_end = 0u64;
-            for (&s, &(e, _)) in &self.segments {
+            for (r, _) in self.iter() {
+                let (s, e) = (r.start(), r.end());
                 debug_assert!(s < e, "empty segment [{s:#x},{e:#x})");
                 debug_assert!(s >= prev_end, "overlapping segments at {s:#x}");
                 prev_end = e;
@@ -240,22 +420,77 @@ impl<V: Clone> SegmentMap<V> {
     }
 }
 
+/// Representation-independent equality: two maps are equal when they hold
+/// the same segments, whether flat or spilled.
+impl<V: PartialEq> PartialEq for SegmentMap<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<V: Eq> Eq for SegmentMap<V> {}
+
 impl<V: fmt::Debug> fmt::Debug for SegmentMap<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map().entries(self.iter().map(|(r, v)| (format!("{r:?}"), v))).finish()
     }
 }
 
+enum SegmentsInner<'a, V> {
+    Flat(std::slice::Iter<'a, (u64, u64, V)>),
+    Tree(std::collections::btree_map::Iter<'a, u64, (u64, V)>),
+}
+
 /// Iterator over the segments of a [`SegmentMap`] in address order.
 pub struct Segments<'a, V> {
-    inner: std::collections::btree_map::Iter<'a, u64, (u64, V)>,
+    inner: SegmentsInner<'a, V>,
 }
 
 impl<'a, V> Iterator for Segments<'a, V> {
     type Item = (ByteRange, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.next().map(|(&s, (e, v))| (ByteRange::new(s, *e), v))
+        match &mut self.inner {
+            SegmentsInner::Flat(it) => it.next().map(|(s, e, v)| (ByteRange::new(*s, *e), v)),
+            SegmentsInner::Tree(it) => it.next().map(|(&s, (e, v))| (ByteRange::new(s, *e), v)),
+        }
+    }
+}
+
+enum OverlapInner<'a, V> {
+    Flat(std::slice::Iter<'a, (u64, u64, V)>),
+    Tree(std::collections::btree_map::Range<'a, u64, (u64, V)>),
+}
+
+/// Iterator over the segments of a [`SegmentMap`] overlapping a query range,
+/// clipped to it (see [`SegmentMap::overlapping`]).
+pub struct Overlapping<'a, V> {
+    inner: OverlapInner<'a, V>,
+    range: ByteRange,
+}
+
+impl<'a, V> Iterator for Overlapping<'a, V> {
+    type Item = (ByteRange, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (s, e, v) = match &mut self.inner {
+                OverlapInner::Flat(it) => {
+                    let (s, e, v) = it.next()?;
+                    (*s, *e, v)
+                }
+                OverlapInner::Tree(it) => {
+                    let (&s, (e, v)) = it.next()?;
+                    (s, *e, v)
+                }
+            };
+            if s >= self.range.end() {
+                return None;
+            }
+            if let Some(clip) = ByteRange::new(s, e).intersection(&self.range) {
+                return Some((clip, v));
+            }
+        }
     }
 }
 
@@ -399,6 +634,19 @@ mod tests {
     }
 
     #[test]
+    fn update_range_clips_straddling_segments() {
+        let mut m = SegmentMap::new();
+        m.insert(r(0, 100), 'a');
+        let mut seen = Vec::new();
+        m.update_range(r(40, 60), |sub, cur| {
+            seen.push((sub.start(), sub.end(), cur.copied()));
+            Some('b')
+        });
+        assert_eq!(seen, [(40, 60, Some('a'))]);
+        assert_eq!(dump(&m), [(0, 40, 'a'), (40, 60, 'b'), (60, 100, 'a')]);
+    }
+
+    #[test]
     fn from_iterator_and_extend() {
         let mut m: SegmentMap<char> = [(r(0, 4), 'a'), (r(4, 8), 'b')].into_iter().collect();
         m.extend([(r(8, 12), 'c')]);
@@ -411,5 +659,68 @@ mod tests {
         assert_eq!(format!("{m:?}"), "{}");
         m.insert(r(0, 1), 'z');
         assert!(format!("{m:?}").contains("0x0"));
+    }
+
+    /// Fills with `n` disjoint two-byte segments starting at 0.
+    fn filled(n: u64) -> SegmentMap<char> {
+        let mut m = SegmentMap::new();
+        for i in 0..n {
+            m.insert(r(i * 4, i * 4 + 2), 'a');
+        }
+        m
+    }
+
+    #[test]
+    fn spills_to_tree_past_the_crossover() {
+        let m = filled(FLAT_MAX as u64);
+        assert!(m.is_flat());
+        assert_eq!(m.repr_switches(), 0);
+        let mut m = m;
+        m.insert(r(10_000, 10_002), 'z');
+        assert!(!m.is_flat(), "crossing FLAT_MAX must spill");
+        assert_eq!(m.repr_switches(), 1);
+        assert_eq!(m.len(), FLAT_MAX + 1);
+        // The spilled map keeps behaving identically.
+        assert_eq!(m.get(0), Some(&'a'));
+        assert_eq!(m.get(10_001), Some(&'z'));
+        m.insert(r(1, 5), 'b');
+        assert_eq!(m.get(4), Some(&'b'));
+    }
+
+    #[test]
+    fn clear_returns_to_flat_and_keeps_the_switch_count() {
+        let mut m = filled(FLAT_MAX as u64 + 10);
+        assert!(!m.is_flat());
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.is_flat(), "clear drops back to the flat representation");
+        assert_eq!(m.repr_switches(), 1, "switch count is cumulative");
+        m.insert(r(0, 8), 'q');
+        assert_eq!(dump(&m), [(0, 8, 'q')]);
+    }
+
+    #[test]
+    fn representation_does_not_affect_equality() {
+        let flat = filled(4);
+        let mut spilled = filled(FLAT_MAX as u64 + 1);
+        assert!(!spilled.is_flat());
+        for i in 4..=FLAT_MAX as u64 {
+            spilled.remove(r(i * 4, i * 4 + 2));
+        }
+        assert!(spilled.len() == flat.len());
+        assert_eq!(spilled, flat, "same segments must compare equal across representations");
+    }
+
+    #[test]
+    fn update_range_on_spilled_map_matches_flat() {
+        let mut flat = filled(8);
+        let mut spilled = filled(FLAT_MAX as u64 + 1);
+        for i in 8..=FLAT_MAX as u64 {
+            spilled.remove(r(i * 4, i * 4 + 2));
+        }
+        let bump = |_: ByteRange, cur: Option<&char>| Some(cur.copied().unwrap_or('x'));
+        flat.update_range(r(0, 40), bump);
+        spilled.update_range(r(0, 40), bump);
+        assert_eq!(flat, spilled);
     }
 }

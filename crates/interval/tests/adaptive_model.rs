@@ -1,0 +1,201 @@
+//! Property tests for the *adaptive* `SegmentMap` (flat small-map fast path
+//! with automatic BTree spill) against a naive per-byte `BTreeMap<u64, u8>`
+//! reference model.
+//!
+//! The sibling suite in `properties.rs` exercises the value semantics over a
+//! tiny address space; this one stresses what the adaptive representation
+//! adds: randomized range sequences wide enough to cross the flat→tree
+//! threshold, `clear` interleaved mid-sequence (a recycled map must behave
+//! like a fresh one), and query equivalence on both sides of a switch.
+
+use std::collections::BTreeMap;
+
+use pmtest_interval::{ByteRange, SegmentMap};
+use proptest::prelude::*;
+
+/// Wide enough that dozens of small disjoint segments fit, so op sequences
+/// routinely push the map past its flat-representation crossover.
+const ADDR_SPACE: u64 = 4096;
+
+/// Short ranges keep segments from merging away; long ones exercise splits.
+fn arb_range() -> impl Strategy<Value = ByteRange> {
+    prop_oneof![
+        // Small disjoint-ish segments: drive the segment count up.
+        (0..ADDR_SPACE / 8, 1u64..8).prop_map(|(slot, len)| {
+            let start = slot * 8;
+            ByteRange::new(start, (start + len).min(ADDR_SPACE))
+        }),
+        // Arbitrary spans: exercise straddling splits and bulk overwrites.
+        (0..ADDR_SPACE, 0..ADDR_SPACE).prop_map(|(a, b)| {
+            let (s, e) = if a <= b { (a, b) } else { (b, a) };
+            ByteRange::new(s, e)
+        }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(ByteRange, u8),
+    Remove(ByteRange),
+    Update(ByteRange, u8),
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_range(), any::<u8>()).prop_map(|(r, v)| Op::Insert(r, v)),
+        arb_range().prop_map(Op::Remove),
+        (arb_range(), any::<u8>()).prop_map(|(r, v)| Op::Update(r, v)),
+        Just(Op::Clear),
+    ]
+}
+
+/// Per-byte reference model, as the issue prescribes: address -> value.
+fn apply_reference(model: &mut BTreeMap<u64, u8>, op: &Op) {
+    match op {
+        Op::Insert(r, v) => {
+            for a in r.start()..r.end() {
+                model.insert(a, *v);
+            }
+        }
+        Op::Remove(r) => {
+            for a in r.start()..r.end() {
+                model.remove(&a);
+            }
+        }
+        Op::Update(r, v) => {
+            for a in r.start()..r.end() {
+                let cur = model.get(&a).copied();
+                model.insert(a, cur.map_or(*v, |c| c.wrapping_add(*v)));
+            }
+        }
+        Op::Clear => model.clear(),
+    }
+}
+
+fn apply_map(map: &mut SegmentMap<u8>, op: &Op) {
+    match op {
+        Op::Insert(r, v) => map.insert(*r, *v),
+        Op::Remove(r) => map.remove(*r),
+        Op::Update(r, v) => {
+            map.update_range(*r, |_, cur| Some(cur.copied().map_or(*v, |c| c.wrapping_add(*v))))
+        }
+        Op::Clear => map.clear(),
+    }
+}
+
+/// The map's segments, exploded to bytes — must equal the reference exactly.
+fn explode(map: &SegmentMap<u8>) -> BTreeMap<u64, u8> {
+    let mut bytes = BTreeMap::new();
+    for (r, v) in map.iter() {
+        for a in r.start()..r.end() {
+            bytes.insert(a, *v);
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Insert/split/remove/update/clear sequences leave the adaptive map
+    /// byte-for-byte equal to the reference, at every step, regardless of
+    /// which representation it is currently in.
+    #[test]
+    fn adaptive_map_matches_per_byte_reference(
+        ops in prop::collection::vec(arb_op(), 0..120),
+    ) {
+        let mut map = SegmentMap::new();
+        let mut reference = BTreeMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            apply_reference(&mut reference, op);
+            if matches!(op, Op::Clear) {
+                prop_assert!(map.is_empty());
+                prop_assert!(
+                    map.is_flat(),
+                    "a cleared map must return to the flat representation"
+                );
+            }
+        }
+        prop_assert_eq!(explode(&map), reference);
+    }
+
+    /// Point and range queries agree with the reference on both sides of a
+    /// representation switch.
+    #[test]
+    fn adaptive_map_queries_match_reference(
+        ops in prop::collection::vec(arb_op(), 0..120),
+        probes in prop::collection::vec(arb_range(), 1..8),
+    ) {
+        let mut map = SegmentMap::new();
+        let mut reference = BTreeMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            apply_reference(&mut reference, op);
+        }
+        for q in &probes {
+            prop_assert_eq!(
+                map.get(q.start()).copied(),
+                reference.get(&q.start()).copied()
+            );
+            let ref_covers = (q.start()..q.end()).all(|a| reference.contains_key(&a));
+            let ref_overlaps = (q.start()..q.end()).any(|a| reference.contains_key(&a));
+            prop_assert_eq!(map.covers(*q), ref_covers);
+            prop_assert_eq!(map.overlaps(*q), ref_overlaps);
+            // overlapping() + gaps() partition the probe range.
+            let covered: u64 = map.overlapping(*q).map(|(r, _)| r.len()).sum::<u64>()
+                + map.gaps(*q).iter().map(ByteRange::len).sum::<u64>();
+            prop_assert_eq!(covered, q.len());
+            // Clipped overlaps agree with the reference byte-wise.
+            for (sub, v) in map.overlapping(*q) {
+                for a in sub.start()..sub.end() {
+                    prop_assert_eq!(reference.get(&a), Some(v));
+                }
+            }
+        }
+    }
+
+    /// A map that crossed to the tree and was cleared behaves exactly like a
+    /// fresh one under a second op sequence (recycling equivalence).
+    #[test]
+    fn cleared_map_is_equivalent_to_fresh(
+        warmup in prop::collection::vec(arb_op(), 40..100),
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let mut recycled = SegmentMap::new();
+        for op in &warmup {
+            apply_map(&mut recycled, op);
+        }
+        let switched_during_warmup = recycled.repr_switches();
+        recycled.clear();
+
+        let mut fresh = SegmentMap::new();
+        for op in &ops {
+            apply_map(&mut recycled, op);
+            apply_map(&mut fresh, op);
+        }
+        prop_assert_eq!(&recycled, &fresh);
+        prop_assert_eq!(explode(&recycled), explode(&fresh));
+        // The cumulative switch counter only ever grows.
+        prop_assert!(recycled.repr_switches() >= switched_during_warmup);
+    }
+
+    /// Structural invariant under randomized sequences: segments non-empty,
+    /// sorted, disjoint — in either representation.
+    #[test]
+    fn segments_stay_sorted_and_disjoint(
+        ops in prop::collection::vec(arb_op(), 0..120),
+    ) {
+        let mut map = SegmentMap::new();
+        for op in &ops {
+            apply_map(&mut map, op);
+            let mut prev_end = 0u64;
+            for (r, _) in map.iter() {
+                prop_assert!(!r.is_empty());
+                prop_assert!(r.start() >= prev_end);
+                prev_end = r.end();
+            }
+        }
+    }
+}

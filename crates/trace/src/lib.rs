@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod loc;
 mod pool;
 mod recorder;
 mod sink;
 mod stats;
 
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
+pub use loc::{LocId, LocInterner};
 pub use pool::{BufferPool, PoolStats};
 pub use recorder::{FlightRecorder, IntervalNote, StepRecord};
 pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};
