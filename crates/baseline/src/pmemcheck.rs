@@ -253,7 +253,7 @@ impl Sink for Pmemcheck {
 pub fn run_pmemcheck(trace: &pmtest_trace::Trace) -> Report {
     let checker = Pmemcheck::new();
     for entry in trace.entries() {
-        checker.record(*entry);
+        checker.record(entry);
     }
     checker.finish()
 }

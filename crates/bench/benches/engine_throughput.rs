@@ -1,14 +1,16 @@
 //! Submission throughput of the checking engine: traces/second as a
 //! function of worker count (1–16) and session batch capacity (1 vs 32),
 //! under the short traces where dispatch overhead dominates (the regime of
-//! Fig. 10a's microbenchmarks and Fig. 12b's scaling study).
+//! Fig. 10a's microbenchmarks and Fig. 12b's scaling study) — plus
+//! peak-ingest rows driving the engine through the owned `ThreadRecorder`
+//! handle at large batch sizes.
 //!
-//! Each measured iteration submits a fixed round of short traces through a
-//! `PmTestSession` and ends with the `PMTest_GET_RESULT` barrier, so the
-//! number includes checking, not just enqueueing. Results are written to
-//! `bench_results/BENCH_engine.json` together with the engine's new
-//! pipeline counters (queue high-water mark, backpressure stalls, batch
-//! totals) and the buffer pool's recycling stats.
+//! Each measured iteration submits a fixed round of short traces and ends
+//! with the `PMTest_GET_RESULT` barrier, so the number includes checking,
+//! not just enqueueing. Results are written to
+//! `bench_results/BENCH_engine.json` together with the engine's pipeline
+//! counters (ring occupancy high-water, backpressure stalls, steal counts,
+//! batch totals) and the arena pool's recycling stats.
 //!
 //! Run with: `cargo bench -p pmtest-bench --bench engine_throughput`
 //! (`PMTEST_BENCH_TRACES` overrides the per-round trace count.)
@@ -17,7 +19,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pmtest_core::PmTestSession;
+use pmtest_core::{PmTestSession, ThreadRecorder};
 use pmtest_interval::ByteRange;
 use pmtest_trace::{Event, Sink};
 
@@ -46,9 +48,11 @@ const PRODUCERS: u64 = 4;
 const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Adding workers must never make throughput *worse* at the same batched
-/// load: the 8-worker row may run up to this factor above the 4-worker row
-/// (measurement noise) before the bench fails. The rotating tie-break this
-/// guards against regressed 8w/b32 to 1.42x the 4-worker time.
+/// load: every batch-32 row from 1 to 16 workers may run up to this factor
+/// above the 4-worker row (measurement noise) before the bench fails. The
+/// rotating tie-break this originally guarded against regressed 8w/b32 to
+/// 1.42x the 4-worker time; the flat-through-16 requirement pins the ingest
+/// plane's work-stealing behaviour in the oversubscribed regime.
 /// Set `PMTEST_BENCH_NO_ASSERT=1` (as CI's smoke run does) to report only.
 const SCALING_SLACK: f64 = 1.15;
 
@@ -75,7 +79,27 @@ fn run_round(session: &PmTestSession, traces: u64) {
     assert!(report.is_clean(), "bench traces must check clean");
 }
 
+/// One round of short traces through an owned [`ThreadRecorder`], inline on
+/// the bench thread — the peak-ingest configuration: no `Sink`-path TLS, no
+/// producer-thread spawns, one producer saturating the plane.
+fn run_round_recorder(rec: &mut ThreadRecorder, session: &PmTestSession, traces: u64) {
+    let r = ByteRange::with_len(0, 8);
+    for _ in 0..traces {
+        rec.record(Event::Write(r).here());
+        rec.record(Event::Flush(r).here());
+        rec.record(Event::Fence.here());
+        rec.is_persist(r);
+        rec.send_trace();
+    }
+    rec.flush();
+    let report = session.take_report();
+    assert!(report.is_clean(), "bench traces must check clean");
+}
+
 struct Sample {
+    /// `"session"` for the 4-producer `Sink`-path rows, `"recorder"` for
+    /// the single-producer owned-handle rows.
+    path: &'static str,
     workers: usize,
     batch: usize,
     ns_per_trace: f64,
@@ -95,7 +119,7 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
     for &workers in &WORKER_COUNTS {
         for &batch in &[1usize, 32] {
             // Queue depth left to the derived default (256/batch, floored
-            // at 8): bounded like the kernel FIFO (§4.5), so dispatch cost
+            // at 32): bounded like the kernel FIFO (§4.5), so dispatch cost
             // includes the producer/worker handoff, without the pinned
             // depth-4 queues that used to stall batched rounds.
             let session = PmTestSession::builder().workers(workers).batch_capacity(batch).build();
@@ -107,8 +131,32 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
                 |b, &traces| b.iter(|| run_round(&session, traces)),
             );
             let per_round_ns = group.last_estimate_ns().expect("benchmark just ran");
-            samples.push(Sample { workers, batch, ns_per_trace: per_round_ns / traces as f64 });
+            samples.push(Sample {
+                path: "session",
+                workers,
+                batch,
+                ns_per_trace: per_round_ns / traces as f64,
+            });
         }
+    }
+    // Peak-ingest rows: one producer recording through the owned handle.
+    for &(workers, batch) in &[(1usize, 256usize), (1, 1024), (2, 1024)] {
+        let session = PmTestSession::builder().workers(workers).batch_capacity(batch).build();
+        session.start();
+        let mut rec = session.recorder();
+        run_round_recorder(&mut rec, &session, traces); // warm the pools
+        group.bench_with_input(
+            BenchmarkId::new(format!("rec_w{workers}"), format!("b{batch}")),
+            &traces,
+            |b, &traces| b.iter(|| run_round_recorder(&mut rec, &session, traces)),
+        );
+        let per_round_ns = group.last_estimate_ns().expect("benchmark just ran");
+        samples.push(Sample {
+            path: "recorder",
+            workers,
+            batch,
+            ns_per_trace: per_round_ns / traces as f64,
+        });
     }
     group.finish();
     samples
@@ -139,8 +187,10 @@ fn stats_sample(traces: u64) -> String {
             "    \"traces_submitted\": {},\n",
             "    \"batches_submitted\": {},\n",
             "    \"mean_batch_size\": {:.2},\n",
-            "    \"queue_highwater\": {},\n",
+            "    \"ring_occupancy_highwater\": {},\n",
             "    \"backpressure_stalls\": {},\n",
+            "    \"steals\": {},\n",
+            "    \"rings_registered\": {},\n",
             "    \"pool_recycled\": {},\n",
             "    \"pool_fresh\": {},\n",
             "    \"pool_hit_rate\": {:.4},\n",
@@ -156,6 +206,8 @@ fn stats_sample(traces: u64) -> String {
         stats.mean_batch_size(),
         stats.queue_highwater,
         stats.backpressure_stalls,
+        stats.steals,
+        stats.rings_registered,
         pool.recycled,
         pool.fresh,
         pool.hit_rate(),
@@ -169,15 +221,19 @@ fn stats_sample(traces: u64) -> String {
 
 fn write_json(samples: &[Sample], traces: u64) {
     let speedup_at = |workers: usize| -> Option<f64> {
-        let b1 = samples.iter().find(|s| s.workers == workers && s.batch == 1)?;
-        let b32 = samples.iter().find(|s| s.workers == workers && s.batch == 32)?;
+        let b1 =
+            samples.iter().find(|s| s.path == "session" && s.workers == workers && s.batch == 1)?;
+        let b32 = samples
+            .iter()
+            .find(|s| s.path == "session" && s.workers == workers && s.batch == 32)?;
         Some(b1.ns_per_trace / b32.ns_per_trace)
     };
     let mut rows = String::new();
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
             rows,
-            "    {{\"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}}{}",
+            "    {{\"path\": \"{}\", \"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}}{}",
+            s.path,
             s.workers,
             s.batch,
             s.ns_per_trace,
@@ -197,15 +253,20 @@ fn write_json(samples: &[Sample], traces: u64) {
             );
         }
     }
+    let peak = samples
+        .iter()
+        .max_by(|a, b| a.traces_per_sec().total_cmp(&b.traces_per_sec()))
+        .expect("bench produced samples");
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"engine_throughput\",\n",
             "  \"traces_per_round\": {},\n",
             "  \"entries_per_trace\": {},\n",
-            "  \"workload\": \"short traces: write+flush+fence+isPersist, 4 producer threads, queue capacity derived (256/batch, min 8)\",\n",
-            "  \"telemetry\": \"all layers off (default); workers run the fused single-pass replay on recycled CheckerScratch state (shadow pool); dispatch is submitter-affinity with a fill-first spill bounded by host parallelism\",\n",
+            "  \"workload\": \"short traces: write+flush+fence+isPersist; session rows: 4 producer threads via the Sink path; recorder rows: 1 inline producer via the owned ThreadRecorder handle; ring capacity derived (256/batch, min 32)\",\n",
+            "  \"telemetry\": \"all layers off (default); per-producer SPSC rings with work-stealing workers; producers record packed records into recycled arenas; clean traces take the packed DFA lane, the rest the fused replay on recycled CheckerScratch state\",\n",
             "  \"results\": [\n{}  ],\n",
+            "  \"peak\": {{\"path\": \"{}\", \"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}},\n",
             "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
             "  \"stats_sample\": {}\n",
             "}}\n"
@@ -213,6 +274,11 @@ fn write_json(samples: &[Sample], traces: u64) {
         traces,
         ENTRIES_PER_TRACE,
         rows,
+        peak.path,
+        peak.workers,
+        peak.batch,
+        peak.ns_per_trace,
+        peak.traces_per_sec(),
         speedups,
         stats_sample(traces),
     );
@@ -226,25 +292,43 @@ fn write_json(samples: &[Sample], traces: u64) {
     print!("{json}");
 }
 
-/// Pins the 8-worker inversion fix: at batch 32, going from 4 to 8 workers
-/// must not cost throughput (up to [`SCALING_SLACK`] of noise). Skipped
-/// when `PMTEST_BENCH_NO_ASSERT=1` — CI smoke runs are report-only.
+/// Pins flat scaling through the whole worker axis: at batch 32, no worker
+/// count from 1 to 16 may be slower than the 4-worker row by more than
+/// [`SCALING_SLACK`] of noise — adding (or removing) workers must never
+/// cost throughput on this host. Skipped when `PMTEST_BENCH_NO_ASSERT=1` —
+/// CI smoke runs are report-only.
 fn assert_scaling(samples: &[Sample]) {
     if std::env::var_os("PMTEST_BENCH_NO_ASSERT").is_some() {
         println!("scaling assertion skipped (PMTEST_BENCH_NO_ASSERT)");
         return;
     }
     let at = |workers: usize| {
-        samples.iter().find(|s| s.workers == workers && s.batch == 32).map(|s| s.ns_per_trace)
+        samples
+            .iter()
+            .find(|s| s.path == "session" && s.workers == workers && s.batch == 32)
+            .map(|s| s.ns_per_trace)
     };
-    let (Some(w4), Some(w8)) = (at(4), at(8)) else { return };
+    let Some(w4) = at(4) else { return };
+    for &workers in &WORKER_COUNTS {
+        let Some(t) = at(workers) else { continue };
+        assert!(
+            t <= w4 * SCALING_SLACK,
+            "scaling inversion: {t:.1} ns/trace at w{workers}/b32 vs {w4:.1} at w4/b32 \
+             (limit {:.1})",
+            w4 * SCALING_SLACK,
+        );
+    }
+    println!("scaling assertion ok: every b32 row within {SCALING_SLACK}x of w4/b32 ({w4:.1} ns)");
+    // The ingest plane's headline number: the best configuration must clear
+    // ten million short traces per second end to end (recorded, shipped,
+    // and checked) on this host.
+    let peak = samples.iter().map(|s| s.traces_per_sec()).fold(0.0f64, f64::max);
     assert!(
-        w8 <= w4 * SCALING_SLACK,
-        "8-worker scaling inversion: {w8:.1} ns/trace at w8/b32 vs {w4:.1} at w4/b32 \
-         (limit {:.1})",
-        w4 * SCALING_SLACK,
+        peak >= 10e6,
+        "peak throughput regression: best config reached {:.2}M traces/s, need >= 10M",
+        peak / 1e6,
     );
-    println!("scaling assertion ok: w8/b32 {w8:.1} ns <= w4/b32 {w4:.1} ns x {SCALING_SLACK}");
+    println!("peak throughput ok: {:.2}M traces/s best config", peak / 1e6);
 }
 
 fn engine_throughput(c: &mut Criterion) {
@@ -252,7 +336,8 @@ fn engine_throughput(c: &mut Criterion) {
     let samples = bench_matrix(c);
     for s in &samples {
         println!(
-            "workers={} batch={:>2}: {:>7.1} ns/trace ({:.2} M traces/s)",
+            "{:>8} workers={} batch={:>4}: {:>7.1} ns/trace ({:.2} M traces/s)",
+            s.path,
             s.workers,
             s.batch,
             s.ns_per_trace,

@@ -1,0 +1,169 @@
+//! Component timing probe for the ingest path. Not a benchmark of record —
+//! a diagnostic for where the per-trace nanoseconds go. Run with:
+//! `cargo run --release -p pmtest-bench --example ingest_probe [traces]`
+
+use std::time::Instant;
+
+use pmtest_core::{PersistencyModel, PmTestSession};
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Event, Sink, TraceArena};
+
+fn time(label: &str, traces: u64, f: impl FnOnce()) {
+    let start = Instant::now();
+    f();
+    let ns = start.elapsed().as_nanos() as f64 / traces as f64;
+    println!("{label:<44} {ns:>8.1} ns/trace ({:>6.2} M/s)", 1e3 / ns);
+}
+
+fn main() {
+    let traces: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(500_000);
+    let r = ByteRange::with_len(0, 8);
+
+    // Floor: encode 5 entries into a reused arena, seal, clear.
+    let mut arena = TraceArena::new();
+    time("arena encode+seal only", traces, || {
+        for id in 0..traces {
+            arena.push(Event::Write(r).here());
+            arena.push(Event::Flush(r).here());
+            arena.push(Event::Fence.here());
+            arena.push(Event::IsPersist(r).here());
+            arena.seal(id);
+            if arena.sealed() >= 32 {
+                arena.clear();
+            }
+        }
+    });
+
+    // Clean-lane DFA over the canonical packed trace.
+    let mut probe = TraceArena::new();
+    probe.push(Event::Write(r).here());
+    probe.push(Event::Flush(r).here());
+    probe.push(Event::Fence.here());
+    probe.push(Event::IsPersist(r).here());
+    probe.seal(0);
+    let words: Vec<_> = probe.traces().next().map(|(_, w, _)| w.to_vec()).unwrap();
+    let fast = pmtest_core::X86Model::new().builtin().unwrap();
+    time("packed_clean DFA only", traces, || {
+        for _ in 0..traces {
+            assert!(pmtest_core::packed_clean(fast, std::hint::black_box(&words)));
+        }
+    });
+
+    // Session record path with tracking disabled: pure overhead floor of
+    // the sink calls.
+    let session = PmTestSession::builder().workers(1).batch_capacity(32).build();
+    time("session record, disabled", traces, || {
+        for _ in 0..traces {
+            session.record(Event::Write(r).here());
+            session.record(Event::Flush(r).here());
+            session.record(Event::Fence.here());
+            session.is_persist(r);
+            session.send_trace();
+        }
+    });
+
+    // Produce side alone: tracking on, but a batch capacity nothing reaches,
+    // so no trace ever ships (one big arena grows instead).
+    let produce_only = traces.min(500_000);
+    let session = PmTestSession::builder().workers(1).batch_capacity(usize::MAX >> 1).build();
+    session.start();
+    time("session produce path, no shipping", produce_only, || {
+        for _ in 0..produce_only {
+            session.record(Event::Write(r).here());
+            session.record(Event::Flush(r).here());
+            session.record(Event::Fence.here());
+            session.is_persist(r);
+            session.send_trace();
+        }
+    });
+    drop(session);
+
+    // Report merge: what `take_report` pays to sort one round's results.
+    {
+        use pmtest_core::{Report, TraceReport};
+        let round = traces.min(500_000);
+        let reports: Vec<TraceReport> =
+            (0..round).map(|id| TraceReport { trace_id: id, diags: Vec::new() }).collect();
+        let mut merged = Report::default();
+        time("report extend_traces (pre-sorted ids)", round, || {
+            merged.extend_traces(reports);
+        });
+    }
+
+    // Recorder-handle produce path: owned arena, no TLS/RefCell per event.
+    let session = PmTestSession::builder().workers(1).batch_capacity(usize::MAX >> 1).build();
+    session.start();
+    let mut rec = session.recorder();
+    time("recorder produce path, no shipping", produce_only, || {
+        for _ in 0..produce_only {
+            rec.record(Event::Write(r).here());
+            rec.record(Event::Flush(r).here());
+            rec.record(Event::Fence.here());
+            rec.is_persist(r);
+            rec.send_trace();
+        }
+    });
+    drop(rec);
+    drop(session);
+
+    // Full single-producer pipeline, inline on the main thread.
+    for batch in [32usize, 256] {
+        let session = PmTestSession::builder().workers(1).batch_capacity(batch).build();
+        session.start();
+        for _ in 0..2_000 {
+            session.record(Event::Write(r).here());
+            session.record(Event::Flush(r).here());
+            session.record(Event::Fence.here());
+            session.is_persist(r);
+            session.send_trace();
+        }
+        assert!(session.take_report().is_clean());
+        time(&format!("1 producer inline, w1/b{batch}"), traces, || {
+            for _ in 0..traces {
+                session.record(Event::Write(r).here());
+                session.record(Event::Flush(r).here());
+                session.record(Event::Fence.here());
+                session.is_persist(r);
+                session.send_trace();
+            }
+            assert!(session.take_report().is_clean());
+        });
+        let stats = session.stats();
+        println!(
+            "    stalls={} steals={} highwater={}",
+            stats.backpressure_stalls, stats.steals, stats.queue_highwater
+        );
+    }
+
+    // Recorder-handle pipeline: the peak-ingest configuration.
+    for batch in [256usize, 1024] {
+        let session = PmTestSession::builder().workers(1).batch_capacity(batch).build();
+        session.start();
+        let mut rec = session.recorder();
+        for _ in 0..2_000 {
+            rec.record(Event::Write(r).here());
+            rec.record(Event::Flush(r).here());
+            rec.record(Event::Fence.here());
+            rec.is_persist(r);
+            rec.send_trace();
+        }
+        rec.flush();
+        assert!(session.take_report().is_clean());
+        time(&format!("1 recorder inline, w1/b{batch}"), traces, || {
+            for _ in 0..traces {
+                rec.record(Event::Write(r).here());
+                rec.record(Event::Flush(r).here());
+                rec.record(Event::Fence.here());
+                rec.is_persist(r);
+                rec.send_trace();
+            }
+            rec.flush();
+            assert!(session.take_report().is_clean());
+        });
+        let stats = session.stats();
+        println!(
+            "    stalls={} steals={} highwater={}",
+            stats.backpressure_stalls, stats.steals, stats.queue_highwater
+        );
+    }
+}

@@ -1,5 +1,6 @@
 use pmtest_interval::{ByteRange, IntervalTree, SegmentMap};
-use pmtest_trace::{Entry, Event, SourceLoc, Trace};
+use pmtest_trace::packed::decode_next;
+use pmtest_trace::{Entry, Event, LocResolver, PackedEntry, PackedOp, SourceLoc, Trace};
 
 use crate::diag::{Diag, DiagKind};
 use crate::model::{
@@ -283,9 +284,26 @@ impl<'a> TraceChecker<'a> {
     /// Processes every entry of `trace` and returns the diagnostics.
     #[must_use]
     pub fn run(mut self, trace: &Trace) -> Vec<Diag> {
-        for entry in trace.entries() {
-            self.process(entry);
+        let mut resolver = LocResolver::new();
+        self.process_packed(trace.packed(), &mut resolver);
+        self.finish()
+    }
+
+    /// Processes a packed record slice in place. Decoding happens one entry
+    /// at a time on the stack — the worker hot path never materialises a
+    /// `Vec<Entry>` for the trace.
+    pub fn process_packed(&mut self, words: &[PackedEntry], resolver: &mut LocResolver) {
+        let mut i = 0;
+        while let Some((entry, next)) = decode_next(words, i, resolver) {
+            self.process(&entry);
+            i = next;
         }
+    }
+
+    /// Processes packed records and returns the diagnostics.
+    #[must_use]
+    pub fn run_packed(mut self, words: &[PackedEntry], resolver: &mut LocResolver) -> Vec<Diag> {
+        self.process_packed(words, resolver);
         self.finish()
     }
 
@@ -508,6 +526,154 @@ pub fn check_trace_with(
     scratch: &mut CheckerScratch,
 ) -> Vec<Diag> {
     TraceChecker::with_scratch(model, scratch).run(trace)
+}
+
+/// Checks a packed record slice on recycled scratch state — the worker hot
+/// path over arena-shipped batches. Entries are decoded one at a time on the
+/// stack (locations resolved through the caller's [`LocResolver`] mirror),
+/// so no per-trace `Vec<Entry>` is ever built. Diagnostics are identical to
+/// decoding the slice and calling [`check_trace_with`].
+#[must_use]
+pub fn check_packed_with(
+    words: &[PackedEntry],
+    model: &dyn PersistencyModel,
+    scratch: &mut CheckerScratch,
+    resolver: &mut LocResolver,
+) -> Vec<Diag> {
+    TraceChecker::with_scratch(model, scratch).run_packed(words, resolver)
+}
+
+/// Maximum number of distinct ranges the clean-lane DFA tracks before it
+/// defers to the full checker. The paper's microbenchmark traces (Fig. 10a)
+/// touch one or two objects; four slots covers them with room to spare.
+const FAST_SLOTS: usize = 4;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FastState {
+    Dirty,
+    Flushed,
+    Persisted,
+}
+
+/// The *clean lane*: a conservative single-pass DFA over packed records that
+/// answers "is this trace certainly diagnostic-free under `model`?" without
+/// decoding entries, resolving locations, or touching shadow memory.
+///
+/// The DFA tracks up to [`FAST_SLOTS`] mutually disjoint ranges, each
+/// matched *exactly* (same start and end on every reappearance), through
+/// `dirty → flushed → persisted`. Anything it is not absolutely sure about —
+/// partially overlapping ranges, transaction events, ordering checkers,
+/// scope control, ops foreign to the model, a flush that could draw a
+/// performance warning — makes it bail with `false`, and the caller runs the
+/// full checker. `true` is a proof: the full checker would emit no
+/// diagnostics, so the report is byte-identical either way (an empty
+/// diagnostics list), verified by a differential property test.
+#[must_use]
+pub fn packed_clean(model: BuiltinModel, words: &[PackedEntry]) -> bool {
+    let hops = matches!(model, BuiltinModel::Hops);
+    let mut slots = [(0u64, 0u64, FastState::Dirty); FAST_SLOTS];
+    let mut used = 0usize;
+    for w in words {
+        match w.op() {
+            PackedOp::Write => {
+                let (lo, hi) = (w.lo(), w.hi());
+                if lo >= hi {
+                    return false; // empty write: stay out of corner cases
+                }
+                let mut found = false;
+                for s in slots[..used].iter_mut() {
+                    if s.0 == lo && s.1 == hi {
+                        // Re-dirty: matches the model resetting the flush
+                        // interval on overwrite.
+                        s.2 = FastState::Dirty;
+                        found = true;
+                        break;
+                    }
+                    if lo < s.1 && s.0 < hi {
+                        return false; // partial overlap: defer
+                    }
+                }
+                if !found {
+                    if used == FAST_SLOTS {
+                        return false;
+                    }
+                    slots[used] = (lo, hi, FastState::Dirty);
+                    used += 1;
+                }
+            }
+            PackedOp::Flush => {
+                if hops {
+                    return false; // foreign op under HOPS
+                }
+                let (lo, hi) = (w.lo(), w.hi());
+                let mut closed = false;
+                for s in slots[..used].iter_mut() {
+                    if s.0 == lo && s.1 == hi {
+                        if s.2 != FastState::Dirty {
+                            return false; // duplicate flush may warn
+                        }
+                        s.2 = FastState::Flushed;
+                        closed = true;
+                        break;
+                    }
+                    if lo < s.1 && s.0 < hi {
+                        return false;
+                    }
+                }
+                if !closed {
+                    return false; // flush of an unwritten range may warn
+                }
+            }
+            PackedOp::Fence => {
+                if hops {
+                    return false;
+                }
+                for s in slots[..used].iter_mut() {
+                    if s.2 == FastState::Flushed {
+                        s.2 = FastState::Persisted;
+                    }
+                }
+            }
+            PackedOp::OFence => {
+                if !hops {
+                    return false; // foreign op under x86
+                }
+                // Epoch boundary: orders, persists nothing.
+            }
+            PackedOp::DFence => {
+                if !hops {
+                    return false;
+                }
+                for s in slots[..used].iter_mut() {
+                    s.2 = FastState::Persisted;
+                }
+            }
+            PackedOp::IsPersist => {
+                let (lo, hi) = (w.lo(), w.hi());
+                if lo >= hi {
+                    return false;
+                }
+                for s in slots[..used].iter() {
+                    if s.0 == lo && s.1 == hi {
+                        if s.2 != FastState::Persisted {
+                            return false; // would FAIL — full checker reports it
+                        }
+                        break;
+                    }
+                    if lo < s.1 && s.0 < hi {
+                        return false;
+                    }
+                }
+                // Disjoint from every tracked range: the checker would pass
+                // it only if the range was never written — which holds, or
+                // the write would have landed in a slot or bailed.
+            }
+            // Transactions, ordering checkers, scope control, continuation
+            // records: always the full checker's business.
+            _ => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -249,12 +249,21 @@ impl Report {
     /// Appends per-trace results, keeping the report sorted by trace id.
     /// A no-op for an empty batch, so repeated drains of idle shards cost
     /// nothing.
+    ///
+    /// The common shape — a worker shard, whose trace ids are already
+    /// ascending and all follow the accumulated tail — is a plain append;
+    /// the stable sort (which allocates its merge buffer every call) only
+    /// runs when shards actually interleave.
     pub fn extend_traces(&mut self, traces: Vec<TraceReport>) {
         if traces.is_empty() {
             return;
         }
+        let sorted_append = traces.windows(2).all(|w| w[0].trace_id <= w[1].trace_id)
+            && self.traces.last().is_none_or(|last| last.trace_id <= traces[0].trace_id);
         self.traces.extend(traces);
-        self.traces.sort_by_key(|t| t.trace_id);
+        if !sorted_append {
+            self.traces.sort_by_key(|t| t.trace_id);
+        }
     }
 
     /// Diagnostic counts per kind, for summaries and harness tables.

@@ -1,18 +1,22 @@
+use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use pmtest_obs::{EventLog, TelemetrySnapshot};
-use pmtest_trace::{BufferPool, FlightRecorder, Trace, TraceStats};
+use pmtest_trace::packed::decode_all;
+use pmtest_trace::{
+    ArenaPool, BufferPool, FlightRecorder, LocResolver, PackedEntry, Trace, TraceArena, TraceStats,
+};
 
 use crate::bundle::{capture_step, BundleReason, DiagnosisBundle};
-use crate::checker::{check_trace_with, CheckerScratch, TraceChecker};
+use crate::checker::{check_packed_with, packed_clean, CheckerScratch, TraceChecker};
 use crate::diag::{Report, Severity, TraceReport};
-use crate::model::{PersistencyModel, X86Model};
+use crate::ingest::{IngestPlane, ProducerRing, WorkerGuard};
+use crate::model::{BuiltinModel, PersistencyModel, X86Model};
 use crate::telemetry::{EngineTelemetry, TelemetryConfig};
 
 /// Configuration of the checking engine.
@@ -23,20 +27,20 @@ pub struct EngineConfig {
     /// Number of worker threads (the paper uses one unless stated, §6.1;
     /// Fig. 12b scales this up).
     pub workers: usize,
-    /// Per-worker queue depth, in *batches*. Bounding the queue keeps memory
-    /// finite and reproduces the paper's behaviour that a saturated checking
-    /// pipeline backpressures the program (Fig. 12a).
+    /// Per-producer ring depth, in *batches* (rounded up to a power of two
+    /// internally). Bounding the rings keeps memory finite and reproduces
+    /// the paper's behaviour that a saturated checking pipeline
+    /// backpressures the program (Fig. 12a).
     pub queue_capacity: usize,
     /// What the engine records beyond its always-on counters (latency
     /// histograms, the structured event ring). Defaults to everything off.
     pub telemetry: TelemetryConfig,
-    /// Route batches to workers in pure round-robin order instead of the
-    /// default load-aware scan. The load-aware policy consults live queue
-    /// depths, so the trace→worker assignment depends on checking speed;
-    /// with this knob on, the assignment is a pure function of submission
-    /// order. Reports are sorted by trace id either way — this exists for
-    /// harnesses (the differential fuzzer's replay mode) that want the
-    /// *schedule* itself reproducible, e.g. to pin down shard-merge bugs.
+    /// Retained for compatibility with replay harnesses (the differential
+    /// fuzzer's replay mode). The sharded ingest plane already gives every
+    /// producer thread its own FIFO ring — each producer's batches are
+    /// claimed in submission order — and reports are sorted by trace id
+    /// regardless of which worker checked what, so results are reproducible
+    /// with or without this knob. It no longer changes scheduling.
     pub deterministic_dispatch: bool,
 }
 
@@ -52,13 +56,17 @@ impl Default for EngineConfig {
     }
 }
 
-/// One message on a worker channel: a single trace or a batch of traces.
+/// One message on the ingest plane: a single trace, a batch of traces, or a
+/// whole record arena.
 ///
 /// The single-trace variant keeps the unbatched path (the paper's default)
-/// free of the extra `Vec` a one-element batch would allocate.
+/// free of the extra `Vec` a one-element batch would allocate; the arena
+/// variant is the batched session's zero-copy handoff — many traces, one
+/// contiguous buffer, one pointer move.
 enum TraceBatch {
     One(Trace),
     Many(Vec<Trace>),
+    Arena(TraceArena),
 }
 
 impl TraceBatch {
@@ -66,15 +74,16 @@ impl TraceBatch {
         match self {
             TraceBatch::One(_) => 1,
             TraceBatch::Many(traces) => traces.len() as u64,
+            TraceBatch::Arena(arena) => arena.sealed() as u64,
         }
     }
 }
 
-/// What actually travels on a worker channel: the traces plus their dispatch
-/// accounting. The accounting settles on drop, so the `outstanding` /
-/// `queued` counters stay consistent no matter how the batch dies — checked
-/// normally, abandoned mid-batch by a panicking checker, or discarded inside
-/// a disconnected channel when a worker is gone.
+/// What actually travels on a producer ring: the traces plus their dispatch
+/// accounting. The accounting settles on drop, so the `outstanding` counter
+/// stays consistent no matter how the batch dies — checked normally,
+/// abandoned mid-batch by a panicking checker, or discarded from a dead
+/// plane's rings after the last worker exits.
 struct BatchMsg {
     traces: TraceBatch,
     accounting: BatchAccounting,
@@ -85,31 +94,30 @@ struct BatchMsg {
 }
 
 /// Drop-guard for one dispatched batch. Dropping it marks the batch's traces
-/// as no longer queued or outstanding, waking idle waiters if it was the
-/// last work in flight.
+/// as no longer outstanding, waking idle waiters if it was the last work in
+/// flight.
 struct BatchAccounting {
     shared: Arc<Shared>,
-    idx: usize,
     n: u64,
 }
 
 impl Drop for BatchAccounting {
     fn drop(&mut self) {
-        self.shared.queued[self.idx].fetch_sub(self.n, Ordering::Relaxed);
         self.shared.retire(self.n);
     }
 }
 
-/// Error returned by [`Engine::submit`] / [`Engine::submit_batch`] when the
-/// worker pool is no longer accepting traces — its threads have terminated,
-/// either because the engine was shut down or because a worker panicked.
+/// Error returned by [`Engine::submit`] / [`Engine::submit_batch`] /
+/// [`Engine::submit_arena`] when the worker pool is no longer accepting
+/// traces — its threads have terminated, either because the engine was shut
+/// down or because a worker panicked.
 ///
 /// The submitted traces are dropped; results already collected remain
 /// available through [`Engine::report`] / [`Engine::take_report`]. Those
 /// calls stay safe after a worker death: every dispatched batch settles its
-/// idle-tracking accounting even if a panicking checker abandons it or a
-/// disconnected channel discards it, so the report barrier cannot hang on
-/// traces that will never be checked.
+/// idle-tracking accounting even if a panicking checker abandons it or the
+/// dying worker pool discards it from a ring, so the report barrier cannot
+/// hang on traces that will never be checked.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubmitError;
 
@@ -121,7 +129,7 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Per-worker queue depth (in batches) that [`SessionBuilder`] derives when
+/// Per-producer ring depth (in batches) that [`SessionBuilder`] derives when
 /// none is configured explicitly: sized so the pipeline buffers roughly the
 /// same number of *traces* regardless of batch size.
 ///
@@ -129,15 +137,18 @@ impl std::error::Error for SubmitError {}
 /// submission. A batched session multiplies it: 256 batches of 32 traces is
 /// an 8192-trace pipeline whose memory high-water dwarfs the checking
 /// backlog it buys, while a *fixed* small depth starves the unbatched path.
-/// Deriving `256 / batch_capacity` (floored at 8 so a worker always has a
-/// few batches of slack, capped at the historical 256) keeps the buffered
-/// trace count — and therefore backpressure onset — consistent across batch
-/// sizes. See DESIGN.md §12.
+/// Deriving `256 / batch_capacity` (capped at the historical 256) keeps the
+/// buffered trace count — and therefore backpressure onset — roughly
+/// consistent across batch sizes. The floor is 32 batches: below that, a
+/// producer on a busy host fills its ring faster than a worker gets
+/// scheduled to drain it, and every fill is a millisecond-scale
+/// backpressure stall — a few hundred KiB of extra arena capacity buys back
+/// the whole stall budget. See DESIGN.md §12–13.
 ///
 /// [`SessionBuilder`]: crate::SessionBuilder
 #[must_use]
 pub fn derived_queue_capacity(batch_capacity: usize) -> usize {
-    (256 / batch_capacity.max(1)).clamp(8, 256)
+    (256 / batch_capacity.max(1)).clamp(32, 256)
 }
 
 /// Pool of recycled [`CheckerScratch`] instances shared by the workers.
@@ -194,8 +205,8 @@ impl ShadowPool {
     }
 }
 
-/// The decoupled checking engine: a master dispatching trace batches to a
-/// pool of worker threads (Fig. 8).
+/// The decoupled checking engine: trace batches flow through a sharded
+/// ingest plane to a pool of worker threads (Fig. 8).
 ///
 /// The program under test keeps executing while workers validate completed
 /// traces — this pipelining is the second half of the paper's performance
@@ -203,30 +214,25 @@ impl ShadowPool {
 /// `PMTest_GET_RESULT` barrier: it blocks until every submitted trace has
 /// been checked.
 ///
-/// Three mechanisms keep the submission path cheap (Fig. 12's scalability
+/// Four mechanisms keep the submission path cheap (Fig. 12's scalability
 /// depends on all of them):
 ///
-/// * **Batching** — [`submit_batch`](Self::submit_batch) moves many traces
-///   through the channel, the dispatch bookkeeping, and the idle-tracking
-///   atomics in one step.
+/// * **Per-producer SPSC rings** — each submitting thread registers its own
+///   bounded ring on first submit; a push is one uncontended slot write plus
+///   a tail store, with no cross-producer channel lock. Workers drain their
+///   affinity rings first and *steal* from the rest when idle, so the active
+///   worker set tracks the offered load. See `crate::ingest` and DESIGN.md
+///   §13.
+/// * **Arena batches** — a batched session records straight into a
+///   [`TraceArena`] of compact packed records; [`submit_arena`](Self::submit_arena)
+///   moves the whole batch as one pointer handoff, and workers check the
+///   packed records in place without decoding them into `Entry` vectors.
 /// * **Sharded results** — each worker appends finished [`TraceReport`]s to
 ///   its own shard; shards merge only when a report is requested, so workers
 ///   never contend on a global results lock.
-/// * **Buffer recycling** — workers return each trace's entry buffer to a
-///   [`BufferPool`] that sessions draw from, keeping the per-trace heap
-///   allocation off the hot path.
-///
-/// Dispatch combines submitter affinity with a bounded fill-first spill:
-/// each submitting thread has a home worker, and a batch goes to the first
-/// worker at or after the home index whose backlog is still shallow
-/// (least-loaded once every queue in reach is saturated). The spill never
-/// reaches further than the host's available parallelism — past that,
-/// extra active workers only add context switches, so sustained overload
-/// becomes backpressure on the submitter instead of a pool-wide wake-up.
-/// The number of *active* workers therefore tracks the offered load — N
-/// producers keep about N workers warm on N separate channels — which is
-/// what keeps adding workers from ever reducing throughput on hosts with
-/// fewer cores than workers.
+/// * **Storage recycling** — workers return entry buffers, arenas, and
+///   checker scratch state to pools that sessions and later batches draw
+///   from, keeping the steady-state path off the allocator.
 ///
 /// # Examples
 ///
@@ -246,22 +252,18 @@ impl ShadowPool {
 /// ```
 pub struct Engine {
     shared: Arc<Shared>,
-    worker_txs: Vec<Sender<BatchMsg>>,
-    next_worker: AtomicUsize,
-    deterministic_dispatch: bool,
+    workers: usize,
     queue_capacity: usize,
-    /// How many workers (starting at the submitter's home index) dispatch
-    /// may spill across: the host's available parallelism. Spilling wider
-    /// can only add context switches — workers beyond the spill window are
-    /// reached through backpressure, never through queue-hopping.
-    spill_window: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 struct Shared {
     /// Traces submitted but not yet checked. Producers only touch this
-    /// atomic (plus the channel), keeping `submit` off the result shards.
+    /// atomic (plus their own ring), keeping `submit` off the result shards.
     outstanding: AtomicU64,
+    /// The sharded ingest plane: per-producer rings plus the worker
+    /// wake/steal protocol.
+    plane: Arc<IngestPlane<BatchMsg>>,
     /// Per-worker result shards; worker `i` writes only `shards[i]`.
     shards: Vec<Mutex<Vec<TraceReport>>>,
     /// Results merged out of the shards so far, kept sorted by trace id.
@@ -269,11 +271,11 @@ struct Shared {
     /// request — so [`Engine::report`] clones an already-built [`Report`]
     /// and [`Engine::with_report`] borrows it without copying at all.
     collected: Mutex<Report>,
-    /// Traces queued per worker, for load-aware dispatch.
-    queued: Vec<AtomicU64>,
-    /// Entry buffers recycled between workers (release) and sessions
-    /// (acquire).
+    /// Record buffers recycled between workers (release) and sessions
+    /// (acquire) on the unbatched path.
     pool: Arc<BufferPool>,
+    /// Batch arenas recycled between workers and batched sessions.
+    arena_pool: Arc<ArenaPool>,
     /// Checker scratch state (shadow memory, tx scope, interner) recycled
     /// across batches, one instance held per busy worker.
     shadow_pool: ShadowPool,
@@ -284,8 +286,6 @@ struct Shared {
     diagnostics: AtomicU64,
     batches_submitted: AtomicU64,
     traces_submitted: AtomicU64,
-    queue_highwater: AtomicU64,
-    backpressure_stalls: AtomicU64,
     /// Typed metric handles (histograms, per-kind diagnostic counters, the
     /// event ring). Always present; whether clocks are read depends on
     /// [`TelemetryConfig::timing`].
@@ -310,39 +310,37 @@ struct Shared {
 /// iteration; the first failures are the interesting ones.
 const MAX_BUNDLES: usize = 16;
 
-/// Queued traces a worker absorbs before fill-first dispatch spills to the
-/// next index (see [`Engine::pick_worker`]). Measured in traces, not
-/// batches, so batched and unbatched submission spill at the same backlog.
-/// Two 32-trace batches of slack keeps a worker fed across its dequeues
-/// without letting long traces pile deeply behind one queue.
-const QUEUE_SPILL_THRESHOLD: u64 = 64;
+/// One producer thread's registration with one engine's ingest plane. Lives
+/// in thread-local storage; the drop (thread exit) retires the ring so idle
+/// workers can prune it once drained.
+struct RingSlot {
+    plane_id: u64,
+    ring: Arc<ProducerRing<BatchMsg>>,
+    /// Weak so a thread's registry never keeps a dropped engine alive.
+    plane: Weak<IngestPlane<BatchMsg>>,
+}
 
-/// The submitting thread's dispatch-affinity slot: a small process-wide
-/// sequence number assigned the first time a thread dispatches, reduced
-/// `mod workers` into that thread's *home* worker. Distinct submitting
-/// threads land on distinct home workers (until the pool size wraps), so
-/// concurrent producers neither contend on one channel nor wake more
-/// workers than there are producers.
-fn submitter_slot() -> usize {
-    use std::cell::Cell;
-    static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    SLOT.with(|slot| {
-        let mut v = slot.get();
-        if v == usize::MAX {
-            v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
-            slot.set(v);
+impl Drop for RingSlot {
+    fn drop(&mut self) {
+        self.ring.retire();
+        if let Some(plane) = self.plane.upgrade() {
+            // Wake parked workers so a retired-but-nonempty ring drains and
+            // the registry entry gets pruned.
+            plane.nudge_workers();
         }
-        v
-    })
+    }
+}
+
+thread_local! {
+    /// This thread's producer rings, one per live engine it has submitted
+    /// to. Linear-scanned: a thread talks to one engine in practice.
+    static RINGS: RefCell<Vec<RingSlot>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Shared {
     /// Marks `n` traces as no longer outstanding, waking idle waiters when
-    /// the count reaches zero. Used by workers after finishing a batch and
-    /// by the dispatch rollback when a send fails.
+    /// the count reaches zero. Runs from [`BatchAccounting`]'s drop — after
+    /// a worker finishes a batch, or when an unchecked batch is discarded.
     fn retire(&self, n: u64) {
         if self.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
             // Last outstanding trace: wake any waiter. The brief lock pairs
@@ -363,18 +361,25 @@ pub struct EngineStats {
     pub entries_processed: u64,
     /// Diagnostics (FAIL + WARN) produced.
     pub diagnostics: u64,
-    /// Batches accepted by [`Engine::submit`] / [`Engine::submit_batch`]
-    /// (a bare `submit` counts as a batch of one).
+    /// Batches accepted by the submit methods (a bare `submit` counts as a
+    /// batch of one).
     pub batches_submitted: u64,
     /// Traces accepted across all batches. `traces_submitted /
     /// batches_submitted` is the mean batch size.
     pub traces_submitted: u64,
-    /// Highest number of traces ever queued on a single worker — how deep
-    /// the checking pipeline ran behind the program.
+    /// Highest number of traces ever queued on a single producer ring — how
+    /// deep the checking pipeline ran behind the program.
     pub queue_highwater: u64,
-    /// Times a submission found its worker's queue full and had to block
-    /// until the worker caught up (Fig. 12a's backpressure regime).
+    /// Times a submission found its ring full and had to block until a
+    /// worker caught up (Fig. 12a's backpressure regime).
     pub backpressure_stalls: u64,
+    /// Batches claimed by a worker outside its affinity pass — the
+    /// work-stealing traffic between producers and non-preferred workers.
+    pub steals: u64,
+    /// Producer rings ever registered with the ingest plane (one per
+    /// submitting thread, plus temporaries for submissions during TLS
+    /// teardown).
+    pub rings_registered: u64,
 }
 
 impl EngineStats {
@@ -401,10 +406,11 @@ impl Engine {
         assert!(config.queue_capacity > 0, "engine queue capacity must be positive");
         let shared = Arc::new(Shared {
             outstanding: AtomicU64::new(0),
+            plane: Arc::new(IngestPlane::new(config.workers, config.queue_capacity)),
             shards: (0..config.workers).map(|_| Mutex::new(Vec::new())).collect(),
             collected: Mutex::new(Report::default()),
-            queued: (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
             pool: Arc::new(BufferPool::new()),
+            arena_pool: Arc::new(ArenaPool::new()),
             shadow_pool: ShadowPool::new(config.workers),
             idle_lock: Mutex::new(()),
             idle: Condvar::new(),
@@ -413,8 +419,6 @@ impl Engine {
             diagnostics: AtomicU64::new(0),
             batches_submitted: AtomicU64::new(0),
             traces_submitted: AtomicU64::new(0),
-            queue_highwater: AtomicU64::new(0),
-            backpressure_stalls: AtomicU64::new(0),
             telemetry: EngineTelemetry::new(config.workers, config.telemetry),
             recorders: if config.telemetry.recorder {
                 (0..config.workers)
@@ -427,62 +431,20 @@ impl Engine {
             bundles_dropped: AtomicU64::new(0),
             model_name: config.model.name().to_owned(),
         });
-        let mut worker_txs = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let (tx, rx) = bounded::<BatchMsg>(config.queue_capacity);
             let shared = shared.clone();
             let model = config.model.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("pmtest-worker-{i}"))
-                .spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        // Destructured so the accounting guard outlives the
-                        // checking: a panicking checker unwinds through it
-                        // and the batch still retires (otherwise `wait_idle`
-                        // would block forever on the lost traces).
-                        let BatchMsg { traces, accounting: _accounting, submitted } = msg;
-                        let dequeued = submitted.map(|sent| {
-                            let now = Instant::now();
-                            shared
-                                .telemetry
-                                .dispatch_latency
-                                .record(now.duration_since(sent).as_nanos() as u64);
-                            now
-                        });
-                        // One recycled scratch serves the whole batch; it is
-                        // reset (not reallocated) between traces.
-                        let mut scratch = shared.shadow_pool.acquire();
-                        match traces {
-                            TraceBatch::One(trace) => {
-                                worker_check(&shared, i, &model, trace, &mut scratch);
-                            }
-                            TraceBatch::Many(traces) => {
-                                for trace in traces {
-                                    worker_check(&shared, i, &model, trace, &mut scratch);
-                                }
-                            }
-                        }
-                        shared.telemetry.segmap_repr_switches.add(scratch.take_repr_switch_delta());
-                        shared.shadow_pool.release(scratch);
-                        if let Some(start) = dequeued {
-                            shared.telemetry.worker_busy[i].add(start.elapsed().as_nanos() as u64);
-                        }
-                    }
-                })
+                .spawn(move || worker_loop(&shared, i, &model))
                 .expect("spawn pmtest worker");
-            worker_txs.push(tx);
             handles.push(handle);
         }
         Self {
             shared,
-            worker_txs,
-            next_worker: AtomicUsize::new(0),
-            deterministic_dispatch: config.deterministic_dispatch,
+            workers: config.workers,
             queue_capacity: config.queue_capacity,
-            spill_window: std::thread::available_parallelism()
-                .map_or(1, std::num::NonZeroUsize::get)
-                .min(config.workers),
             handles: Mutex::new(handles),
         }
     }
@@ -490,36 +452,47 @@ impl Engine {
     /// Number of worker threads.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.worker_txs.len()
+        self.workers
     }
 
-    /// Per-worker queue depth, in batches (whatever
+    /// Per-producer ring depth, in batches (whatever
     /// [`EngineConfig::queue_capacity`] was at construction — possibly
-    /// derived from the batch size, see [`derived_queue_capacity`]).
+    /// derived from the batch size, see [`derived_queue_capacity`]; the
+    /// rings themselves round up to a power of two).
     #[must_use]
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
     }
 
-    /// The pool of recycled trace-entry buffers. Sessions draw replacement
+    /// The pool of recycled trace-record buffers. Sessions draw replacement
     /// buffers from here; workers return each checked trace's buffer.
     #[must_use]
     pub fn buffer_pool(&self) -> &Arc<BufferPool> {
         &self.shared.pool
     }
 
+    /// The pool of recycled batch arenas. Batched sessions draw replacement
+    /// arenas from here; workers return each checked batch's arena.
+    #[must_use]
+    pub fn arena_pool(&self) -> &Arc<ArenaPool> {
+        &self.shared.arena_pool
+    }
+
     /// Lifetime counters (never reset, even by
     /// [`take_report`](Self::take_report)).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
+        let plane = &self.shared.plane;
         EngineStats {
             traces_checked: self.shared.traces_checked.load(Ordering::Relaxed),
             entries_processed: self.shared.entries_processed.load(Ordering::Relaxed),
             diagnostics: self.shared.diagnostics.load(Ordering::Relaxed),
             batches_submitted: self.shared.batches_submitted.load(Ordering::Relaxed),
             traces_submitted: self.shared.traces_submitted.load(Ordering::Relaxed),
-            queue_highwater: self.shared.queue_highwater.load(Ordering::Relaxed),
-            backpressure_stalls: self.shared.backpressure_stalls.load(Ordering::Relaxed),
+            queue_highwater: plane.occupancy_highwater(),
+            backpressure_stalls: plane.backpressure_stalls(),
+            steals: plane.steals(),
+            rings_registered: plane.rings_registered(),
         }
     }
 
@@ -540,8 +513,8 @@ impl Engine {
     /// A full machine-readable snapshot of the engine's telemetry: registry
     /// metrics (per-checker latency histograms, per-kind diagnostic
     /// counters, queue-depth and worker-utilization gauges), the lifetime
-    /// [`EngineStats`] counters, buffer-pool statistics, live per-worker
-    /// queue depths, and the contents of the event ring.
+    /// [`EngineStats`] counters, ingest-plane ring metrics, pool statistics,
+    /// and the contents of the event ring.
     ///
     /// Export it with [`TelemetrySnapshot::to_json_lines`],
     /// [`TelemetrySnapshot::to_prometheus`], or dump it to disk via
@@ -557,21 +530,24 @@ impl Engine {
         snap.push_counter("engine_traces_submitted", &[], stats.traces_submitted);
         snap.push_counter("engine_queue_highwater", &[], stats.queue_highwater);
         snap.push_counter("engine_backpressure_stalls", &[], stats.backpressure_stalls);
+        snap.push_counter("engine_ring_steals", &[], stats.steals);
+        snap.push_counter("engine_rings_registered", &[], stats.rings_registered);
         snap.push_gauge("engine_workers", &[], self.workers() as f64);
-        for (i, queued) in self.shared.queued.iter().enumerate() {
-            let worker = i.to_string();
-            snap.push_gauge(
-                "engine_worker_queued",
-                &[("worker", &worker)],
-                queued.load(Ordering::Relaxed) as f64,
-            );
-        }
+        let plane = &self.shared.plane;
+        snap.push_gauge("engine_ring_occupancy", &[], plane.current_occupancy() as f64);
+        snap.push_gauge("engine_rings_live", &[], plane.rings_live() as f64);
         let pool = self.shared.pool.stats();
         snap.push_counter("pool_recycled", &[], pool.recycled);
         snap.push_counter("pool_fresh", &[], pool.fresh);
         snap.push_counter("pool_released", &[], pool.released);
         snap.push_counter("pool_dropped", &[], pool.dropped);
         snap.push_gauge("pool_hit_rate", &[], pool.hit_rate());
+        let arena = self.shared.arena_pool.stats();
+        snap.push_counter("arena_pool_recycled", &[], arena.recycled);
+        snap.push_counter("arena_pool_fresh", &[], arena.fresh);
+        snap.push_counter("arena_pool_released", &[], arena.released);
+        snap.push_counter("arena_pool_dropped", &[], arena.dropped);
+        snap.push_gauge("arena_pool_hit_rate", &[], arena.hit_rate());
         let (recycled, fresh) = self.shared.shadow_pool.counts();
         snap.push_counter("shadow_pool_recycled", &[], recycled);
         snap.push_counter("shadow_pool_fresh", &[], fresh);
@@ -610,8 +586,8 @@ impl Engine {
         self.dispatch(TraceBatch::One(trace))
     }
 
-    /// Submits a batch of traces, all to the same worker, paying the
-    /// dispatch cost once. An empty batch is a no-op.
+    /// Submits a batch of traces in one ring operation, paying the dispatch
+    /// cost once. An empty batch is a no-op.
     ///
     /// # Errors
     ///
@@ -624,99 +600,92 @@ impl Engine {
         self.dispatch(TraceBatch::Many(traces))
     }
 
-    fn dispatch(&self, batch: TraceBatch) -> Result<(), SubmitError> {
-        let n = batch.len();
-        let idx = self.pick_worker();
-        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
-        let depth = self.shared.queued[idx].fetch_add(n, Ordering::Relaxed) + n;
-        // From here the accounting settles when `msg` (or its batch) drops —
-        // whether the worker finishes it, a panicking checker abandons it,
-        // or a disconnected channel discards it. No explicit rollback.
-        let msg = BatchMsg {
-            traces: batch,
-            accounting: BatchAccounting { shared: self.shared.clone(), idx, n },
-            submitted: self.shared.telemetry.timing.then(Instant::now),
-        };
-        let msg = match self.worker_txs[idx].try_send(msg) {
-            Ok(()) => {
-                self.note_submitted(n, depth);
-                return Ok(());
-            }
-            Err(TrySendError::Full(msg)) => {
-                // Queue full: the program now blocks behind the checking
-                // pipeline — the backpressure regime of Fig. 12a.
-                self.shared.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
-                msg
-            }
-            Err(TrySendError::Disconnected(_)) => return Err(SubmitError),
-        };
-        match self.worker_txs[idx].send(msg) {
-            Ok(()) => {
-                self.note_submitted(n, depth);
-                Ok(())
-            }
-            Err(_) => Err(SubmitError),
+    /// Submits a sealed record arena — the batched session's zero-copy path.
+    /// Only sealed traces are checked; an arena with no seals is a no-op
+    /// (any open tail it carries is dropped). The arena returns to
+    /// [`arena_pool`](Self::arena_pool) once its traces are checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] if the worker pool has terminated; the whole
+    /// arena is dropped.
+    pub fn submit_arena(&self, arena: TraceArena) -> Result<(), SubmitError> {
+        if arena.sealed() == 0 {
+            return Ok(());
         }
+        self.dispatch(TraceBatch::Arena(arena))
     }
 
-    /// Records a successfully delivered batch: submission counters, plus the
-    /// queue high-water mark. The mark is only updated here — after the send
-    /// — so a batch bounced off a disconnected channel never records a queue
-    /// depth that existed only on paper.
+    fn dispatch(&self, batch: TraceBatch) -> Result<(), SubmitError> {
+        let plane = &self.shared.plane;
+        if plane.is_dead() {
+            return Err(SubmitError);
+        }
+        let n = batch.len();
+        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        // From here the accounting settles when `msg` drops — whether a
+        // worker finishes it, a panicking checker abandons it, or a dead
+        // plane discards it. No explicit rollback.
+        let msg = BatchMsg {
+            traces: batch,
+            accounting: BatchAccounting { shared: self.shared.clone(), n },
+            submitted: self.shared.telemetry.timing.then(Instant::now),
+        };
+        let (ring, temporary) = self.producer_ring();
+        let depth = match plane.push(&ring, msg, n) {
+            Ok(depth) => depth,
+            Err(_) => return Err(SubmitError),
+        };
+        if temporary {
+            ring.retire();
+            plane.nudge_workers();
+        }
+        if plane.is_dead() {
+            // The last worker may have died — and run its final ring drain —
+            // between our push landing and now. Discard our own ring so the
+            // message cannot linger unclaimed; its accounting settles on
+            // drop either way.
+            plane.drain_discard(&ring);
+            return Err(SubmitError);
+        }
+        self.note_submitted(n, depth);
+        Ok(())
+    }
+
+    /// This thread's producer ring for this engine, registering one on first
+    /// use. The `bool` is true for a *temporary* ring: during thread-local
+    /// teardown (a session slot flushing from its TLS destructor) the
+    /// registry may already be gone, so the submission gets a one-shot ring
+    /// that is retired immediately after the push.
+    fn producer_ring(&self) -> (Arc<ProducerRing<BatchMsg>>, bool) {
+        let plane = &self.shared.plane;
+        let id = plane.plane_id();
+        RINGS
+            .try_with(|slots| {
+                let mut slots = slots.borrow_mut();
+                if let Some(slot) = slots.iter().find(|s| s.plane_id == id) {
+                    return slot.ring.clone();
+                }
+                // Drop registrations whose engine is gone before adding one.
+                slots.retain(|s| s.plane.strong_count() > 0);
+                let ring = plane.register_ring();
+                slots.push(RingSlot {
+                    plane_id: id,
+                    ring: ring.clone(),
+                    plane: Arc::downgrade(plane),
+                });
+                ring
+            })
+            .map(|ring| (ring, false))
+            .unwrap_or_else(|_| (plane.register_ring(), true))
+    }
+
+    /// Records a successfully delivered batch: submission counters plus the
+    /// queue-depth gauge (the ring occupancy the batch landed at).
     fn note_submitted(&self, n: u64, depth: u64) {
         self.shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.traces_submitted.fetch_add(n, Ordering::Relaxed);
-        self.shared.queue_highwater.fetch_max(depth, Ordering::Relaxed);
-        // Sampled on every submit: the depth the delivered batch landed at.
         self.shared.telemetry.queue_depth.set(depth);
-    }
-
-    /// Affinity + fill-first dispatch: each submitting thread has a *home*
-    /// worker; a batch goes to the first worker at or after the home index
-    /// whose backlog is under [`QUEUE_SPILL_THRESHOLD`] traces, and to the
-    /// least-loaded queue when every worker is past it. With
-    /// [`EngineConfig::deterministic_dispatch`] the scan is skipped and a
-    /// round-robin rotation decides.
-    ///
-    /// Dispatch used to pick the minimum-depth queue with a rotating
-    /// tie-break, which inverted scaling on oversubscribed hosts (8 workers
-    /// *slower* than 4 at the same load): any non-empty queue loses the
-    /// depth comparison to an empty one, so under continuous submission
-    /// every batch went to a different — usually sleeping — worker and the
-    /// active set was always the whole pool, paying a wake/sleep transition
-    /// per batch and context-switching among more threads than cores. Home
-    /// affinity makes the active set track the number of *submitting
-    /// threads* instead: N producers feed (about) N warm workers and their
-    /// N separate channels (submission contention stays split), while
-    /// excess workers sleep. The fill-first spill engages further workers
-    /// when a home queue develops a real backlog — but only within the
-    /// host's available parallelism (`spill_window`): past that, an extra
-    /// active worker can only add context switches, so sustained overload
-    /// turns into backpressure on the submitter (Fig. 12a's regime) rather
-    /// than a pool-wide wake-up.
-    fn pick_worker(&self) -> usize {
-        let workers = self.worker_txs.len();
-        if workers == 1 {
-            return 0;
-        }
-        if self.deterministic_dispatch {
-            return self.next_worker.fetch_add(1, Ordering::Relaxed) % workers;
-        }
-        let home = submitter_slot() % workers;
-        let mut best = home;
-        let mut best_depth = u64::MAX;
-        for offset in 0..self.spill_window {
-            let idx = (home + offset) % workers;
-            let depth = self.shared.queued[idx].load(Ordering::Relaxed);
-            if depth < QUEUE_SPILL_THRESHOLD {
-                return idx;
-            }
-            if depth < best_depth {
-                best = idx;
-                best_depth = depth;
-            }
-        }
-        best
     }
 
     /// Blocks until every submitted trace has been checked
@@ -814,48 +783,158 @@ impl Engine {
     /// Shuts the worker pool down, returning everything checked so far
     /// (`PMTest_EXIT`, §4.2).
     ///
-    /// Consumes the engine; the channels disconnect and workers are joined.
+    /// Consumes the engine; the ingest plane closes and workers are joined.
     /// `take_report` already waits for every outstanding trace, so this
     /// performs exactly one idle wait.
-    pub fn shutdown(mut self) -> Report {
-        let report = self.take_report();
-        self.worker_txs.clear();
-        for handle in std::mem::take(&mut *self.handles.lock()) {
-            let _ = handle.join();
-        }
-        report
+    pub fn shutdown(self) -> Report {
+        // Drop (after the return value is built) closes the plane and joins.
+        self.take_report()
     }
 }
 
-/// Checks one trace on worker `idx`: runs the checkers on the worker's
-/// recycled `scratch`, records stats, files the result in the worker's
-/// shard, and recycles the entry buffer.
+/// Tallies a worker accumulates across one batch, settled into the shared
+/// atomics with one `fetch_add` each per batch instead of per trace.
+#[derive(Default)]
+struct BatchTally {
+    traces: u64,
+    entries: u64,
+    diags: u64,
+}
+
+/// One worker thread: claim batches off the ingest plane (affinity rings
+/// first, then stealing), check each trace's packed records in place, and
+/// file results. Exits when the plane is closed and drained; the guard marks
+/// the plane dead if this is the last worker out (normal exit or panic).
+fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyModel>) {
+    let _guard = WorkerGuard::new(shared.plane.clone());
+    let fast = model.builtin();
+    let mut resolver = LocResolver::new();
+    let mut reports: Vec<TraceReport> = Vec::new();
+    while let Some((msg, _n)) = shared.plane.next_batch(idx) {
+        // Destructured so the accounting guard outlives the checking: a
+        // panicking checker unwinds through it and the batch still retires
+        // (otherwise `wait_idle` would block forever on the lost traces).
+        let BatchMsg { traces, accounting: _accounting, submitted } = msg;
+        let dequeued = submitted.map(|sent| {
+            let now = Instant::now();
+            shared.telemetry.dispatch_latency.record(now.duration_since(sent).as_nanos() as u64);
+            now
+        });
+        // One recycled scratch serves the whole batch; it is reset (not
+        // reallocated) between traces.
+        let mut scratch = shared.shadow_pool.acquire();
+        let mut tally = BatchTally::default();
+        match traces {
+            TraceBatch::One(trace) => {
+                check_span(
+                    shared,
+                    idx,
+                    model,
+                    fast,
+                    trace.id(),
+                    trace.packed(),
+                    trace.len() as u32,
+                    &mut scratch,
+                    &mut resolver,
+                    &mut reports,
+                    &mut tally,
+                );
+                shared.pool.release(trace.into_packed());
+            }
+            TraceBatch::Many(traces) => {
+                for trace in traces {
+                    check_span(
+                        shared,
+                        idx,
+                        model,
+                        fast,
+                        trace.id(),
+                        trace.packed(),
+                        trace.len() as u32,
+                        &mut scratch,
+                        &mut resolver,
+                        &mut reports,
+                        &mut tally,
+                    );
+                    shared.pool.release(trace.into_packed());
+                }
+            }
+            TraceBatch::Arena(arena) => {
+                for (id, words, entries) in arena.traces() {
+                    check_span(
+                        shared,
+                        idx,
+                        model,
+                        fast,
+                        id,
+                        words,
+                        entries,
+                        &mut scratch,
+                        &mut resolver,
+                        &mut reports,
+                        &mut tally,
+                    );
+                }
+                shared.arena_pool.release(arena);
+            }
+        }
+        shared.telemetry.segmap_repr_switches.add(scratch.take_repr_switch_delta());
+        shared.shadow_pool.release(scratch);
+        // Batched settlement: one fetch_add per counter per batch.
+        shared.traces_checked.fetch_add(tally.traces, Ordering::Relaxed);
+        shared.entries_processed.fetch_add(tally.entries, Ordering::Relaxed);
+        shared.diagnostics.fetch_add(tally.diags, Ordering::Relaxed);
+        if !reports.is_empty() {
+            shared.shards[idx].lock().append(&mut reports);
+        }
+        if let Some(start) = dequeued {
+            shared.telemetry.worker_busy[idx].add(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Checks one trace's packed records on worker `idx`.
 ///
-/// With the telemetry timing layer on, the checker loop is run manually so
-/// each entry's cost lands in its [`CheckerCategory`] histogram
-/// (`engine_checker_ns{checker=…}`) — `isPersist` separable from
-/// `TX_CHECKER` separable from plain model replay; otherwise the trace goes
-/// through the clock-free [`check_trace_with`] fast path. For built-in
-/// models the whole-trace time also lands in `engine_fused_replay_ns`, the
-/// latency of the fused single-pass replay.
+/// Three paths, fastest first:
+///
+/// * **Clean lane** — for built-in models (and no instrumentation), a
+///   conservative DFA sweep over the raw records ([`packed_clean`]) proves
+///   the common all-clean trace diagnostic-free without decoding entries or
+///   touching the shadow memory.
+/// * **Packed replay** — otherwise the full checker replays the records,
+///   decoding one entry at a time on the stack ([`check_packed_with`]).
+/// * **Instrumented replay** — with the telemetry timing layer or the flight
+///   recorder on, entries are decoded up front and the checker loop is run
+///   manually so each entry's cost lands in its [`CheckerCategory`]
+///   histogram and each step can be captured.
+///
+/// All three produce identical diagnostics (the clean lane only ever proves
+/// "none"). Results land in the worker's report buffer and the batch tally.
 ///
 /// [`CheckerCategory`]: crate::telemetry::CheckerCategory
-fn worker_check(
+#[allow(clippy::too_many_arguments)]
+fn check_span(
     shared: &Shared,
     idx: usize,
     model: &Arc<dyn PersistencyModel>,
-    trace: Trace,
+    fast: Option<BuiltinModel>,
+    trace_id: u64,
+    words: &[PackedEntry],
+    entries: u32,
     scratch: &mut CheckerScratch,
+    resolver: &mut LocResolver,
+    reports: &mut Vec<TraceReport>,
+    tally: &mut BatchTally,
 ) {
     let timing = shared.telemetry.timing;
     let recorder = shared.recorders.get(idx);
-    let trace_id = trace.id();
     let diags = if timing || recorder.is_some() {
         let started = Instant::now();
-        let fused = model.builtin().is_some();
+        let fused = fast.is_some();
+        let decoded = decode_all(words);
         let mut checker = TraceChecker::with_scratch(model.as_ref(), scratch);
         let mut last = started;
-        for (index, entry) in trace.entries().iter().enumerate() {
+        for (index, entry) in decoded.iter().enumerate() {
             checker.process(entry);
             if timing {
                 let now = Instant::now();
@@ -876,11 +955,13 @@ fn worker_check(
             if fused {
                 shared.telemetry.fused_replay.record(elapsed);
             }
-            shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_trace(&trace));
+            shared.telemetry.worker_stats[idx].lock().merge(&TraceStats::from_entries(&decoded));
         }
         diags
+    } else if fast.is_some_and(|f| packed_clean(f, words)) {
+        Vec::new()
     } else {
-        check_trace_with(&trace, model.as_ref(), scratch)
+        check_packed_with(words, model.as_ref(), scratch, resolver)
     };
     if let Some(rec) = recorder {
         if diags.iter().any(|d| d.severity() == Severity::Fail) {
@@ -901,20 +982,19 @@ fn worker_check(
             }
         }
     }
-    shared.traces_checked.fetch_add(1, Ordering::Relaxed);
-    shared.entries_processed.fetch_add(trace.len() as u64, Ordering::Relaxed);
-    shared.diagnostics.fetch_add(diags.len() as u64, Ordering::Relaxed);
+    tally.traces += 1;
+    tally.entries += u64::from(entries);
+    tally.diags += diags.len() as u64;
     for diag in &diags {
         shared.telemetry.diag_counter(diag.kind).inc();
     }
-    shared.shards[idx].lock().push(TraceReport { trace_id, diags });
-    shared.pool.release(trace.into_entries());
+    reports.push(TraceReport { trace_id, diags });
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Disconnect the channels so workers exit their recv loops.
-        self.worker_txs.clear();
+        // Close the plane: workers drain what is queued, then exit.
+        self.shared.plane.close();
         for handle in std::mem::take(&mut *self.handles.lock()) {
             let _ = handle.join();
         }
@@ -924,7 +1004,7 @@ impl Drop for Engine {
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
-            .field("workers", &self.worker_txs.len())
+            .field("workers", &self.workers)
             .field("outstanding", &self.shared.outstanding.load(Ordering::Relaxed))
             .field("stats", &self.stats())
             .finish()
@@ -1098,6 +1178,25 @@ mod tests {
     }
 
     #[test]
+    fn each_producer_thread_registers_its_own_ring() {
+        let engine = Arc::new(Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() }));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..5 {
+                        engine.submit(clean_trace(t * 5 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        engine.wait_idle();
+        let stats = engine.stats();
+        assert!(stats.rings_registered >= 3, "one ring per producer thread");
+        assert_eq!(stats.traces_checked, 15);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() });
@@ -1117,6 +1216,28 @@ mod tests {
     }
 
     #[test]
+    fn arena_submission_checks_every_sealed_trace() {
+        let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+        engine.submit_arena(TraceArena::new()).unwrap(); // no seals: no-op
+        let mut arena = TraceArena::new();
+        let r = ByteRange::with_len(0, 8);
+        for id in 0..10 {
+            arena.push(Event::Write(r).here());
+            arena.push(Event::IsPersist(r).here());
+            arena.seal(id);
+        }
+        engine.submit_arena(arena).unwrap();
+        let report = engine.take_report();
+        assert_eq!(report.traces().len(), 10);
+        assert_eq!(report.fail_count(), 10);
+        let stats = engine.stats();
+        assert_eq!(stats.batches_submitted, 1, "empty arenas are not counted");
+        assert_eq!(stats.traces_submitted, 10);
+        // The checked arena went back to the pool.
+        assert_eq!(engine.arena_pool().stats().released, 1);
+    }
+
+    #[test]
     fn stats_track_batches_and_queue_depth() {
         let engine = Engine::new(EngineConfig::default());
         engine.submit(clean_trace(0)).unwrap();
@@ -1132,7 +1253,7 @@ mod tests {
 
     #[test]
     fn backpressure_stalls_are_counted_and_survivable() {
-        // One worker with a one-batch queue: the second in-flight submission
+        // One worker with a one-slot ring: the second in-flight submission
         // must stall until the worker drains the first.
         let engine = Engine::new(EngineConfig { queue_capacity: 1, ..EngineConfig::default() });
         for id in 0..200 {
@@ -1201,6 +1322,9 @@ mod tests {
         assert_eq!(snap.counter_sum("engine_diag_total"), 4, "no other kind fired");
         assert!(snap.gauge("engine_queue_depth").is_some(), "sampled on submit");
         assert!(snap.gauge("pool_hit_rate").is_some());
+        assert!(snap.counter("engine_ring_steals").is_some(), "ingest counters exported");
+        assert!(snap.counter("engine_rings_registered").unwrap() >= 1);
+        assert!(snap.gauge("engine_ring_occupancy").is_some());
         // Timing layer off: histograms exist but hold no observations, and
         // the per-worker trace stats stay zero.
         assert_eq!(snap.histogram("engine_check_latency_ns").unwrap().count, 0);
@@ -1238,8 +1362,8 @@ mod tests {
         assert_eq!(derived_queue_capacity(1), 256, "unbatched default unchanged");
         assert_eq!(derived_queue_capacity(0), 256, "degenerate batch treated as 1");
         assert_eq!(derived_queue_capacity(4), 64);
-        assert_eq!(derived_queue_capacity(32), 8);
-        assert_eq!(derived_queue_capacity(1024), 8, "floor keeps slack for workers");
+        assert_eq!(derived_queue_capacity(32), 32, "floor absorbs scheduling gaps");
+        assert_eq!(derived_queue_capacity(1024), 32, "floor keeps slack for workers");
     }
 
     #[test]
@@ -1275,8 +1399,62 @@ mod tests {
         assert!(summary.contains("p50"), "{summary}");
     }
 
+    /// The clean lane must be invisible in results: traces it proves clean
+    /// and traces it defers to the full checker land in the same report a
+    /// custom (non-builtin, lane-less) model would produce.
+    #[test]
+    fn clean_lane_does_not_change_the_report() {
+        /// x86 rules without `builtin()`: forces the dynamic-dispatch path,
+        /// which never consults the clean lane.
+        #[derive(Debug)]
+        struct OpaqueX86(X86Model);
+        impl PersistencyModel for OpaqueX86 {
+            fn name(&self) -> &str {
+                "x86"
+            }
+            fn apply(
+                &self,
+                shadow: &mut crate::shadow::ShadowMemory,
+                entry: &pmtest_trace::Entry,
+                diags: &mut Vec<crate::diag::Diag>,
+            ) {
+                self.0.apply(shadow, entry, diags);
+            }
+            fn check_persist(
+                &self,
+                shadow: &crate::shadow::ShadowMemory,
+                range: ByteRange,
+                loc: pmtest_trace::SourceLoc,
+                diags: &mut Vec<crate::diag::Diag>,
+            ) {
+                self.0.check_persist(shadow, range, loc, diags);
+            }
+            fn check_ordered_before(
+                &self,
+                shadow: &crate::shadow::ShadowMemory,
+                first: ByteRange,
+                second: ByteRange,
+                loc: pmtest_trace::SourceLoc,
+                diags: &mut Vec<crate::diag::Diag>,
+            ) {
+                self.0.check_ordered_before(shadow, first, second, loc, diags);
+            }
+        }
+        let fast = Engine::new(EngineConfig::default());
+        let slow = Engine::new(EngineConfig {
+            model: Arc::new(OpaqueX86(X86Model::new())),
+            ..EngineConfig::default()
+        });
+        for id in 0..12 {
+            let mk = if id % 3 == 0 { failing_trace } else { clean_trace };
+            fast.submit(mk(id)).unwrap();
+            slow.submit(mk(id)).unwrap();
+        }
+        assert_eq!(fast.take_report(), slow.take_report());
+    }
+
     /// A model whose checkers panic, killing the worker thread — the only
-    /// way the submission channel can disconnect while an `Engine` is alive.
+    /// way the plane can go dead while an `Engine` is alive.
     #[derive(Debug)]
     struct PanickingModel;
 
@@ -1325,7 +1503,7 @@ mod tests {
         let mut t = Trace::new(0);
         t.push(Event::Write(ByteRange::with_len(0, 8)).here());
         let _ = engine.submit(t); // worker dies checking this trace
-                                  // Spin until the death is observable as a disconnected channel.
+                                  // Spin until the death is observable as a dead ingest plane.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
             let mut t = Trace::new(1);
@@ -1345,9 +1523,8 @@ mod tests {
     #[test]
     fn report_does_not_hang_after_worker_panic() {
         // A panicking checker must not strand its batch's accounting: the
-        // abandoned batch, and any batches later discarded by the
-        // disconnected channel, all have to retire or this report blocks
-        // forever.
+        // abandoned batch, and any batches the dying worker pool discards
+        // from the rings, all have to retire or this report blocks forever.
         let engine = Engine::new(EngineConfig {
             model: Arc::new(PanickingModel),
             queue_capacity: 4,
@@ -1357,8 +1534,8 @@ mod tests {
             let mut t = Trace::new(id);
             t.push(Event::Write(ByteRange::with_len(0, 8)).here());
             // Early submissions kill the worker; later ones race the death
-            // and either land in the dying queue or error out. Every
-            // accepted trace must still retire.
+            // and either land in the dying ring or error out. Every accepted
+            // trace must still retire.
             let _ = engine.submit(t);
         }
         let report = engine.report();

@@ -19,6 +19,11 @@ use pmtest_trace::Trace;
 /// * it is woken only once the FIFO has drained below **half** capacity,
 ///   avoiding wakeup thrashing.
 ///
+/// This FIFO models the *kernel↔user* boundary only; it is not on the
+/// engine's own ingest path, which uses per-producer SPSC rings carrying
+/// packed arenas (DESIGN.md §13). The user-space pump that drains this
+/// FIFO submits into that plane like any other producer.
+///
 /// # Examples
 ///
 /// ```

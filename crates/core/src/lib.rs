@@ -9,11 +9,12 @@
 //! The program under test is instrumented (see `pmtest-pmem` and the
 //! libraries built on it) so that every PM operation and every checker the
 //! programmer places flows into a [`PmTestSession`]. The session buffers
-//! entries per thread; `send_trace` ships the current buffer as an
-//! independent [`pmtest_trace::Trace`] to the [`Engine`] — singly or in
-//! per-thread batches — which dispatches each batch to the least-loaded
-//! worker of its thread pool (Fig. 8). Each
-//! worker replays its trace against the configured
+//! entries per thread into a compact packed-record arena; `send_trace`
+//! seals the open records as an independent trace and ships it to the
+//! [`Engine`] — singly or in per-thread batches — over a sharded ingest
+//! plane: one bounded ring per producer thread, drained by workers that
+//! prefer their affinity rings and steal from the rest when idle (Fig. 8;
+//! DESIGN.md §13). Each worker replays the trace against the configured
 //! [`PersistencyModel`]'s *checking rules*, maintaining a [`ShadowMemory`]
 //! that maps each modified address range to a *persist interval* — the epoch
 //! window in which the write may become durable. Checkers then reduce to
@@ -71,18 +72,21 @@ mod diag;
 mod engine;
 mod epoch;
 mod fifo;
+mod ingest;
 mod model;
 mod session;
 mod shadow;
 pub mod telemetry;
 
 pub use bundle::{op_token, BundleReason, DiagnosisBundle};
-pub use checker::{check_trace, check_trace_with, CheckerScratch, TraceChecker};
+pub use checker::{
+    check_packed_with, check_trace, check_trace_with, packed_clean, CheckerScratch, TraceChecker,
+};
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
 pub use engine::{derived_queue_capacity, Engine, EngineConfig, EngineStats, SubmitError};
 pub use epoch::{Epoch, EpochInterval};
 pub use fifo::{FifoStats, KernelFifo};
 pub use model::{BuiltinModel, HopsModel, PersistencyModel, X86Model};
-pub use session::{PmTestSession, SessionBuilder};
+pub use session::{PmTestSession, SessionBuilder, ThreadRecorder};
 pub use shadow::{SegState, ShadowMemory};
 pub use telemetry::{CheckerCategory, TelemetryConfig};

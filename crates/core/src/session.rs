@@ -6,7 +6,7 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use pmtest_interval::ByteRange;
-use pmtest_trace::{Entry, Event, SharedSink, Sink, Trace};
+use pmtest_trace::{Entry, Event, SharedSink, Sink, TraceArena};
 
 use crate::diag::Report;
 use crate::engine::{Engine, EngineConfig};
@@ -20,13 +20,13 @@ static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
 /// threads").
 struct Slot {
     session: u64,
-    /// Entries of the trace currently being recorded. Drawn from the
-    /// engine's [`pmtest_trace::BufferPool`] so checked traces recycle their
-    /// allocation back to us.
-    buf: Vec<Entry>,
-    /// Traces completed by `send_trace` but not yet shipped to the engine —
-    /// the per-thread submission batch.
-    pending: Vec<Trace>,
+    /// This thread's record arena: the open tail is the trace currently
+    /// being recorded (entries encode to packed records as they arrive);
+    /// sealed spans are traces completed by `send_trace` but not yet shipped
+    /// — the per-thread submission batch. Recycled through the engine's
+    /// [`pmtest_trace::ArenaPool`] so checked batches return their
+    /// allocation to us.
+    arena: TraceArena,
     /// Back-reference for the drop-flush; weak so a dead session does not
     /// keep its engine alive through thread-local storage.
     shared: Weak<SessionShared>,
@@ -36,28 +36,58 @@ impl Drop for Slot {
     fn drop(&mut self) {
         // Thread exit with traces still batched: ship them so nothing a
         // thread recorded is ever lost (`per_thread_buffers_do_not_mix`
-        // relies on this when batching is on).
-        if self.pending.is_empty() {
+        // relies on this when batching is on). An open, un-`send_trace`d
+        // tail is dropped, as it always was.
+        if self.arena.sealed() == 0 {
             return;
         }
         if let Some(shared) = self.shared.upgrade() {
-            shared.ship_batch(std::mem::take(&mut self.pending), FlushCause::ThreadExit);
+            shared.ship_arena(std::mem::take(&mut self.arena), FlushCause::ThreadExit);
         }
     }
 }
 
+/// This thread's slot registry: the slots plus a one-entry position cache.
+/// Slots are never removed while the thread lives, so a cache hit skips
+/// even the linear scan on the per-event path; one struct keeps the whole
+/// lookup to a single thread-local access and `RefCell` borrow.
+struct ThreadSlots {
+    /// `(session id, index into list)` of the last slot this thread used.
+    last: (u64, usize),
+    /// Per-thread slots, keyed by session id. A linear-scanned small
+    /// vector: in practice a thread records into one or two sessions, and
+    /// the scan beats hashing on the per-event hot path.
+    list: Vec<Slot>,
+}
+
+impl ThreadSlots {
+    /// Position of `id`'s slot, via the one-entry cache when possible.
+    #[inline]
+    fn pos(&mut self, id: u64) -> Option<usize> {
+        let (cached_id, cached_pos) = self.last;
+        if cached_id == id {
+            if let Some(slot) = self.list.get(cached_pos) {
+                if slot.session == id {
+                    return Some(cached_pos);
+                }
+            }
+        }
+        let pos = self.list.iter().position(|slot| slot.session == id)?;
+        self.last = (id, pos);
+        Some(pos)
+    }
+}
+
 thread_local! {
-    /// Per-thread slots, keyed by session id. A linear-scanned small vector:
-    /// in practice a thread records into one or two sessions, and the scan
-    /// beats hashing on the per-event hot path.
-    static SLOTS: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+    static SLOTS: RefCell<ThreadSlots> =
+        const { RefCell::new(ThreadSlots { last: (u64::MAX, usize::MAX), list: Vec::new() }) };
 }
 
 fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> R {
     SLOTS.with(|s| {
-        let mut slots = s.borrow_mut();
-        if let Some(pos) = slots.iter().position(|slot| slot.session == shared.id) {
-            let slot = &mut slots[pos];
+        let slots = &mut *s.borrow_mut();
+        if let Some(pos) = slots.pos(shared.id) {
+            let slot = &mut slots.list[pos];
             // The slot may have been created by `SessionShared::record`,
             // which only has `&self` and therefore no back-reference to give
             // it. Repair it here so the drop-flush can reach the engine.
@@ -66,14 +96,14 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
             }
             return f(slot);
         }
-        slots.push(Slot {
+        slots.last = (shared.id, slots.list.len());
+        slots.list.push(Slot {
             session: shared.id,
-            buf: Vec::new(),
-            pending: Vec::new(),
+            arena: TraceArena::new(),
             shared: Arc::downgrade(shared),
         });
-        let last = slots.len() - 1;
-        f(&mut slots[last])
+        let last = slots.list.len() - 1;
+        f(&mut slots.list[last])
     })
 }
 
@@ -101,9 +131,10 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
 ///
 /// By default every `send_trace` goes straight to the engine (the paper's
 /// behaviour). With [`SessionBuilder::batch_capacity`] greater than one,
-/// completed traces collect in a per-thread batch and ship together once the
-/// batch fills — one channel operation and one dispatch for many traces,
-/// which is what lets short-trace workloads scale (Fig. 12b). Batches flush
+/// completed traces collect in the thread's record arena and ship together
+/// once the batch fills — one ring operation and one dispatch for many
+/// traces, which is what lets short-trace workloads scale (Fig. 12b).
+/// Batches flush
 /// automatically on [`report`](Self::report), [`take_report`](Self::take_report),
 /// [`finish`](Self::finish), thread exit, and explicitly via
 /// [`flush`](Self::flush). Results are identical either way; only submission
@@ -140,11 +171,19 @@ struct SessionShared {
 }
 
 impl SessionShared {
-    /// Ships one completed per-thread batch to the engine, recording its
-    /// fill level and why it flushed (`session_flush_total{cause=…}`).
-    fn ship_batch(&self, batch: Vec<Trace>, cause: FlushCause) {
-        self.engine.telemetry().note_batch_shipped(cause, batch.len());
-        let _ = self.engine.submit_batch(batch);
+    /// Ships one completed per-thread batch arena to the engine, recording
+    /// its fill level and why it flushed (`session_flush_total{cause=…}`).
+    /// With batching off (capacity 1) every trace ships the moment it is
+    /// sent, so there is no batch telemetry to record.
+    fn ship_arena(&self, arena: TraceArena, cause: FlushCause) {
+        let n = arena.sealed();
+        if n == 0 {
+            return;
+        }
+        if self.batch_capacity > 1 {
+            self.engine.telemetry().note_batch_shipped(cause, n);
+        }
+        let _ = self.engine.submit_arena(arena);
     }
 }
 
@@ -179,7 +218,7 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the per-worker queue depth in batches. A full queue
+    /// Sets the per-producer ring depth in batches. A full ring
     /// backpressures `send_trace`, bounding the engine's memory use.
     ///
     /// When not set, the depth is derived from the batch size
@@ -212,10 +251,10 @@ impl SessionBuilder {
         self
     }
 
-    /// Routes batches to workers in pure round-robin order instead of the
-    /// load-aware scan (default: off). Used by replay harnesses that need
-    /// the trace→worker schedule itself to be a function of submission
-    /// order; see [`crate::EngineConfig::deterministic_dispatch`].
+    /// Retained for replay harnesses (default: off). The sharded ingest
+    /// plane is per-producer FIFO and reports are sorted by trace id, so
+    /// results are reproducible regardless; this knob no longer changes
+    /// scheduling. See [`crate::EngineConfig::deterministic_dispatch`].
     #[must_use]
     pub fn deterministic_dispatch(mut self, on: bool) -> Self {
         self.config.deterministic_dispatch = on;
@@ -279,6 +318,18 @@ impl PmTestSession {
         with_slot(&self.shared, |_| {});
     }
 
+    /// Creates an owned per-thread recording handle — see
+    /// [`ThreadRecorder`]. The handle bypasses the `Sink` path's
+    /// thread-local slot registry for the lowest per-event overhead; keep
+    /// one per producer thread.
+    #[must_use]
+    pub fn recorder(&self) -> ThreadRecorder {
+        ThreadRecorder {
+            shared: self.shared.clone(),
+            arena: self.shared.engine.arena_pool().acquire(),
+        }
+    }
+
     /// Ships the calling thread's buffered entries to the checking engine as
     /// one independent trace (`PMTest_SEND_TRACE`). Empty buffers are
     /// skipped.
@@ -293,26 +344,18 @@ impl PmTestSession {
     pub fn send_trace(&self) -> Option<u64> {
         let shared = &self.shared;
         with_slot(shared, |slot| {
-            if slot.buf.is_empty() {
+            if slot.arena.open_entries() == 0 {
                 return None;
             }
-            // Swap in a recycled buffer from the engine's pool; the checked
-            // trace's buffer flows back into the pool from the worker.
-            let replacement = shared.engine.buffer_pool().acquire();
-            let entries = std::mem::replace(&mut slot.buf, replacement);
             let trace_id = shared.next_trace.fetch_add(1, Ordering::Relaxed);
-            let trace = Trace::from_entries(trace_id, entries);
-            if shared.batch_capacity <= 1 {
-                let _ = shared.engine.submit(trace);
-            } else {
-                slot.pending.push(trace);
-                if slot.pending.len() >= shared.batch_capacity {
-                    let batch = std::mem::replace(
-                        &mut slot.pending,
-                        Vec::with_capacity(shared.batch_capacity),
-                    );
-                    shared.ship_batch(batch, FlushCause::Capacity);
-                }
+            slot.arena.seal(trace_id);
+            if slot.arena.sealed() >= shared.batch_capacity {
+                // Swap in a recycled arena from the engine's pool; the
+                // checked batch's arena flows back into the pool from the
+                // worker. Any open tail (none here — we just sealed) would
+                // carry over.
+                let shipped = slot.arena.detach_for_ship(shared.engine.arena_pool().acquire());
+                shared.ship_arena(shipped, FlushCause::Capacity);
             }
             Some(trace_id)
         })
@@ -325,8 +368,9 @@ impl PmTestSession {
     /// still being recorded (not yet `send_trace`d) are *not* flushed.
     pub fn flush(&self) {
         with_slot(&self.shared, |slot| {
-            if !slot.pending.is_empty() {
-                self.shared.ship_batch(std::mem::take(&mut slot.pending), FlushCause::ResultPoint);
+            if slot.arena.sealed() > 0 {
+                let shipped = slot.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
+                self.shared.ship_arena(shipped, FlushCause::ResultPoint);
             }
         });
     }
@@ -354,13 +398,14 @@ impl PmTestSession {
         self.shared.engine.stats()
     }
 
-    /// Statistics of the engine's trace-buffer recycling pool.
+    /// Statistics of the engine's arena recycling pool — the pool this
+    /// session's record batches cycle through.
     #[must_use]
     pub fn pool_stats(&self) -> pmtest_trace::PoolStats {
-        self.shared.engine.buffer_pool().stats()
+        self.shared.engine.arena_pool().stats()
     }
 
-    /// The per-worker queue depth the engine was built with — explicit if
+    /// The per-producer ring depth the engine was built with — explicit if
     /// [`SessionBuilder::queue_capacity`] was called, otherwise derived from
     /// the batch size.
     #[must_use]
@@ -495,43 +540,167 @@ impl PmTestSession {
 }
 
 impl Sink for PmTestSession {
+    #[inline]
     fn record(&self, entry: Entry) {
         self.shared.record(entry);
     }
 
+    #[inline]
     fn is_enabled(&self) -> bool {
         self.shared.is_enabled()
     }
 }
 
 impl Sink for SessionShared {
+    #[inline]
     fn record(&self, entry: Entry) {
         if !self.enabled.load(Ordering::Acquire) {
             return;
         }
-        // `record` is called through `Arc<SessionShared>` handles only; the
-        // slot needs the Arc for its weak back-reference, so re-wrap.
+        // `record` only has `&self`, so a slot created here carries no weak
+        // back-reference for the drop-flush; `with_slot` repairs it on the
+        // next session call from this thread.
         SLOTS.with(|s| {
-            let mut slots = s.borrow_mut();
-            if let Some(pos) = slots.iter().position(|slot| slot.session == self.id) {
-                slots[pos].buf.push(entry);
+            let slots = &mut *s.borrow_mut();
+            if let Some(pos) = slots.pos(self.id) {
+                slots.list[pos].arena.push(entry);
             } else {
-                // First event on this thread before any session call: record
-                // without a drop-flush hook. `with_slot` (send_trace,
-                // thread_init, flush, …) repairs the back-reference on the
-                // next session call from this thread.
-                slots.push(Slot {
-                    session: self.id,
-                    buf: vec![entry],
-                    pending: Vec::new(),
-                    shared: Weak::new(),
-                });
+                // First event on this thread before any session call.
+                let mut slot =
+                    Slot { session: self.id, arena: TraceArena::new(), shared: Weak::new() };
+                slot.arena.push(entry);
+                slots.last = (self.id, slots.list.len());
+                slots.list.push(slot);
             }
         });
     }
 
     fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Acquire)
+    }
+}
+
+/// An owned per-thread recording handle — the fastest way into the engine.
+///
+/// The [`Sink`] path (`session.record(...)`) routes every entry through a
+/// thread-local slot registry: a TLS lookup plus a `RefCell` borrow per
+/// event. That is what makes `&self` recording from any thread safe, and
+/// its cost is real but modest — a few nanoseconds per event. A
+/// `ThreadRecorder` removes it entirely by *owning* its record arena and
+/// taking `&mut self`: the borrow checker replaces the runtime machinery,
+/// and `record` compiles down to the enabled check plus the packed-arena
+/// append. This mirrors the paper's C instrumentation, where each thread
+/// writes into its own buffer with no indirection (§4.2).
+///
+/// Traces recorded here are interleaved with `Sink`-path traces in the same
+/// session: ids come from the same counter, batches ship through the same
+/// per-producer ring, and results land in the same [`Report`].
+///
+/// Batching follows the session's
+/// [`batch_capacity`](SessionBuilder::batch_capacity). Sealed traces ship
+/// when the batch fills, on [`flush`](Self::flush), or when the recorder is
+/// dropped; entries recorded but never [`send_trace`](Self::send_trace)d are
+/// discarded on drop, exactly like the `Sink` path's thread slots.
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_core::PmTestSession;
+/// use pmtest_trace::Event;
+/// use pmtest_interval::ByteRange;
+///
+/// let session = PmTestSession::builder().build();
+/// session.start();
+/// let mut rec = session.recorder();
+/// let r = ByteRange::with_len(0, 8);
+/// rec.record(Event::Write(r).here());
+/// rec.record(Event::Flush(r).here());
+/// rec.record(Event::Fence.here());
+/// rec.is_persist(r);
+/// rec.send_trace();
+/// drop(rec); // ships the pending batch
+/// assert!(session.take_report().is_clean());
+/// ```
+pub struct ThreadRecorder {
+    shared: Arc<SessionShared>,
+    arena: TraceArena,
+}
+
+impl ThreadRecorder {
+    /// Appends one entry to the open trace. A no-op while the session is
+    /// stopped (before [`PmTestSession::start`] / after
+    /// [`PmTestSession::end`]).
+    #[inline]
+    pub fn record(&mut self, entry: Entry) {
+        if self.shared.enabled.load(Ordering::Acquire) {
+            self.arena.push(entry);
+        }
+    }
+
+    /// Places an `isPersist(range)` checker (§4.4).
+    #[inline]
+    #[track_caller]
+    pub fn is_persist(&mut self, range: ByteRange) {
+        self.record(Event::IsPersist(range).here());
+    }
+
+    /// Places an `isOrderedBefore(first, second)` checker (§4.4).
+    #[inline]
+    #[track_caller]
+    pub fn is_ordered_before(&mut self, first: ByteRange, second: ByteRange) {
+        self.record(Event::IsOrderedBefore(first, second).here());
+    }
+
+    /// Seals the entries recorded since the last seal as one trace
+    /// (`PMTest_SEND_TRACE`), shipping the batch if it is now full.
+    /// Returns the trace id, or `None` when nothing was recorded.
+    #[inline]
+    pub fn send_trace(&mut self) -> Option<u64> {
+        if self.arena.open_entries() == 0 {
+            return None;
+        }
+        let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
+        self.arena.seal(trace_id);
+        if self.arena.sealed() >= self.shared.batch_capacity {
+            let shipped = self.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
+            self.shared.ship_arena(shipped, FlushCause::Capacity);
+        }
+        Some(trace_id)
+    }
+
+    /// Ships the pending batch now, regardless of fill level. Entries still
+    /// being recorded (not yet sealed) stay in the recorder.
+    pub fn flush(&mut self) {
+        if self.arena.sealed() > 0 {
+            let shipped = self.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
+            self.shared.ship_arena(shipped, FlushCause::ResultPoint);
+        }
+    }
+
+    /// The session this recorder feeds.
+    #[must_use]
+    pub fn session(&self) -> PmTestSession {
+        PmTestSession { shared: self.shared.clone() }
+    }
+}
+
+impl Drop for ThreadRecorder {
+    fn drop(&mut self) {
+        // Sealed traces were promised to the report; the open tail was not.
+        if self.arena.sealed() > 0 {
+            let shipped = self.arena.detach_for_ship(TraceArena::new());
+            self.shared.ship_arena(shipped, FlushCause::ThreadExit);
+        }
+    }
+}
+
+impl fmt::Debug for ThreadRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRecorder")
+            .field("session", &self.shared.id)
+            .field("open_entries", &self.arena.open_entries())
+            .field("sealed", &self.arena.sealed())
+            .finish()
     }
 }
 
@@ -559,7 +728,7 @@ mod tests {
     #[test]
     fn queue_capacity_is_derived_from_the_batch_size() {
         assert_eq!(PmTestSession::builder().build().queue_capacity(), 256);
-        assert_eq!(PmTestSession::builder().batch_capacity(32).build().queue_capacity(), 8);
+        assert_eq!(PmTestSession::builder().batch_capacity(32).build().queue_capacity(), 32);
         assert_eq!(PmTestSession::builder().batch_capacity(4).build().queue_capacity(), 64);
         // An explicit setting always wins, in either call order.
         let s = PmTestSession::builder().batch_capacity(32).queue_capacity(4).build();
@@ -877,7 +1046,7 @@ mod tests {
         for _ in 0..10 {
             record_clean_trace(&session);
         }
-        // Barrier: every checked trace has returned its buffer to the pool,
+        // Barrier: every checked batch has returned its arena to the pool,
         // so the next round's acquires must be recycles.
         assert!(session.report().is_clean());
         for _ in 0..10 {
@@ -885,7 +1054,7 @@ mod tests {
         }
         assert!(session.report().is_clean());
         let pool = session.pool_stats();
-        assert_eq!(pool.released, 20, "workers return every entry buffer");
-        assert!(pool.recycled > 0, "later traces reuse returned buffers");
+        assert_eq!(pool.released, 20, "workers return every arena (one per trace at capacity 1)");
+        assert!(pool.recycled > 0, "later traces reuse returned arenas");
     }
 }

@@ -1,0 +1,142 @@
+//! Differential property tests for the clean-lane DFA (`packed_clean`).
+//!
+//! The clean lane is a conservative pre-pass: scanning a trace's packed
+//! records, it may prove the trace produces *zero* diagnostics under a
+//! built-in model, letting the worker skip the full shadow-memory replay.
+//! Its one obligation is soundness — `packed_clean(model, words) == true`
+//! must imply the full checker returns no diagnostics, for every trace, on
+//! every built-in model flavour. (Completeness is not required: bailing to
+//! the full checker is always allowed, so `false` proves nothing.)
+//!
+//! The generator leans on overlapping, adjacent, empty, and disjoint ranges
+//! drawn from a small universe — exactly the aliasing patterns where an
+//! exact-match DFA could go wrong if its bail conditions were too loose.
+
+use pmtest_core::{check_trace, packed_clean, BuiltinModel, HopsModel, PersistencyModel, X86Model};
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Event, Trace};
+use proptest::prelude::*;
+
+/// A small universe of ranges: overlapping, nested, adjacent, disjoint, and
+/// empty, so sequences alias in every way the DFA's exact-match slots must
+/// handle conservatively.
+fn arb_range() -> impl Strategy<Value = ByteRange> {
+    prop_oneof![
+        Just(ByteRange::new(0, 8)),
+        Just(ByteRange::new(0, 16)),  // contains the first
+        Just(ByteRange::new(4, 12)),  // straddles both halves
+        Just(ByteRange::new(8, 16)),  // adjacent to the first
+        Just(ByteRange::new(32, 64)), // disjoint
+        Just(ByteRange::new(40, 48)), // nested in the disjoint one
+        Just(ByteRange::new(5, 5)),   // empty
+    ]
+}
+
+/// Events over both model dialects plus the checkers — everything the lane
+/// claims to classify. (Tx/scope ops always bail, so including them only
+/// wastes cases; `clean_lane_bails_on_foreign_ops` covers them directly.)
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        4 => arb_range().prop_map(Event::Write),
+        4 => arb_range().prop_map(Event::Flush),
+        2 => Just(Event::Fence),
+        1 => Just(Event::OFence),
+        1 => Just(Event::DFence),
+        3 => arb_range().prop_map(Event::IsPersist),
+        1 => (arb_range(), arb_range()).prop_map(|(a, b)| Event::IsOrderedBefore(a, b)),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(arb_event(), 0..24).prop_map(|events| {
+        let mut t = Trace::new(0);
+        for e in events {
+            t.push(e.here());
+        }
+        t
+    })
+}
+
+/// Every built-in model flavour the lane supports, paired with the dynamic
+/// model the full checker replays.
+fn flavours() -> Vec<(BuiltinModel, Box<dyn PersistencyModel>)> {
+    vec![
+        (X86Model::new().builtin().unwrap(), Box::new(X86Model::new())),
+        (
+            X86Model::without_performance_checks().builtin().unwrap(),
+            Box::new(X86Model::without_performance_checks()),
+        ),
+        (HopsModel::new().builtin().unwrap(), Box::new(HopsModel::new())),
+    ]
+}
+
+proptest! {
+    /// Soundness: whenever the lane says "clean", the full checker agrees —
+    /// zero diagnostics, FAIL or WARN — on every built-in flavour.
+    #[test]
+    fn clean_verdicts_are_sound(trace in arb_trace()) {
+        for (fast, model) in flavours() {
+            if packed_clean(fast, trace.packed()) {
+                let diags = check_trace(&trace, model.as_ref());
+                prop_assert!(
+                    diags.is_empty(),
+                    "lane called trace clean under {:?} but checker found {:?}\ntrace: {:?}",
+                    fast,
+                    diags,
+                    trace.entries(),
+                );
+            }
+        }
+    }
+
+    /// The lane is not vacuous: the canonical write→flush→fence→isPersist
+    /// pattern — the shape the throughput benchmark hammers — must take the
+    /// fast path, for any of the universe's non-empty ranges.
+    #[test]
+    fn canonical_clean_pattern_takes_the_lane(
+        r in arb_range().prop_map(|r| if r.is_empty() { ByteRange::new(0, 8) } else { r }),
+    ) {
+        let mut t = Trace::new(0);
+        t.push(Event::Write(r).here());
+        t.push(Event::Flush(r).here());
+        t.push(Event::Fence.here());
+        t.push(Event::IsPersist(r).here());
+        prop_assert!(packed_clean(X86Model::new().builtin().unwrap(), t.packed()));
+    }
+}
+
+/// Transaction and scope operations are outside the DFA's model; it must
+/// refuse to classify any trace containing them.
+#[test]
+fn clean_lane_bails_on_foreign_ops() {
+    let fast = X86Model::new().builtin().unwrap();
+    let r = ByteRange::new(0, 8);
+    for op in [
+        Event::TxBegin,
+        Event::TxEnd,
+        Event::TxAdd(r),
+        Event::TxCheckerStart,
+        Event::TxCheckerEnd,
+        Event::Exclude(r),
+        Event::Include(r),
+    ] {
+        let mut t = Trace::new(0);
+        t.push(Event::Write(r).here());
+        t.push(Event::Flush(r).here());
+        t.push(Event::Fence.here());
+        t.push(op.here());
+        assert!(!packed_clean(fast, t.packed()), "lane must bail on {op:?}");
+    }
+}
+
+/// A failing isPersist must never be called clean (the direct, non-random
+/// form of the soundness property).
+#[test]
+fn unpersisted_check_is_never_clean() {
+    let fast = X86Model::new().builtin().unwrap();
+    let r = ByteRange::new(0, 8);
+    let mut t = Trace::new(0);
+    t.push(Event::Write(r).here());
+    t.push(Event::IsPersist(r).here());
+    assert!(!packed_clean(fast, t.packed()));
+}

@@ -218,10 +218,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(
             b.iters = (b.iters * 2).min(1 << 30);
         }
     }
-    let per_iter_ns =
-        (b.elapsed.as_nanos() as f64 / b.iters as f64).max(1.0);
-    let batch_budget_ns =
-        measurement_time.as_nanos() as f64 / sample_size as f64;
+    let per_iter_ns = (b.elapsed.as_nanos() as f64 / b.iters as f64).max(1.0);
+    let batch_budget_ns = measurement_time.as_nanos() as f64 / sample_size as f64;
     let batch_iters = ((batch_budget_ns / per_iter_ns) as u64).max(1);
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
@@ -236,7 +234,9 @@ fn run_bench<F: FnMut(&mut Bencher)>(
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 * 1e3 / median),
-        Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 * 1e9 / median / (1 << 20) as f64),
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 * 1e9 / median / (1 << 20) as f64)
+        }
     });
     println!(
         "{name:<48} median {median:>12.1} ns/iter  best {best:>12.1} ns/iter{}",
@@ -309,9 +309,7 @@ mod tests {
         let mut c = fast_criterion();
         c.bench_function("cheap", |b| b.iter(|| black_box(1u64)));
         let cheap = c.last_estimate_ns().unwrap();
-        c.bench_function("pricey", |b| {
-            b.iter(|| (0..2000u64).map(black_box).sum::<u64>())
-        });
+        c.bench_function("pricey", |b| b.iter(|| (0..2000u64).map(black_box).sum::<u64>()));
         let pricey = c.last_estimate_ns().unwrap();
         assert!(pricey > cheap, "pricey {pricey} <= cheap {cheap}");
     }

@@ -295,10 +295,7 @@ pub mod test_runner {
 
         /// Resolves the case count, honoring `PROPTEST_CASES`.
         pub fn resolved_cases(&self) -> u32 {
-            std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(self.cases)
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
         }
     }
 
@@ -316,9 +313,7 @@ pub mod test_runner {
     /// Seed for a named test: `PROPTEST_SEED` if set, else a stable hash of
     /// the test name (failures reproduce run to run).
     pub fn seed_for(test_name: &str) -> u64 {
-        if let Some(seed) =
-            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok())
-        {
+        if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()) {
             return seed;
         }
         // FNV-1a, stable across platforms and compiler versions.

@@ -1,0 +1,214 @@
+//! Arena-backed batch buffers: a session records straight into one
+//! contiguous packed-record arena, and shipping a batch hands the whole
+//! arena to the engine as a single pointer/offset move.
+//!
+//! The old batched path built one `Vec<Entry>` per trace and shipped a
+//! `Vec<Trace>` — a heap buffer per trace plus an enum payload per entry.
+//! A [`TraceArena`] replaces that with two flat vectors: the packed words
+//! of every trace in the batch, back to back, and a small span index
+//! `(id, start, records, entries)` marking where each sealed trace lives.
+//! Arenas are recycled through the pool in `crate::pool`, so steady-state
+//! recording never touches the allocator.
+
+use crate::event::Entry;
+use crate::packed::{encode_into_interned, LocInterner, PackedEntry};
+
+/// Where one sealed trace lives inside a [`TraceArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The trace identifier (assigned in submission order).
+    pub id: u64,
+    /// First record of the trace in the arena's word buffer.
+    pub start: u32,
+    /// Number of packed records.
+    pub records: u32,
+    /// Logical entry count (`isOrderedBefore` packs into two records).
+    pub entries: u32,
+}
+
+/// A recycled arena of packed trace records plus the span index of the
+/// sealed traces inside it.
+///
+/// Recording appends to the *open* region at the tail; [`seal`](Self::seal)
+/// turns the open region into a span. Shipping moves the whole arena; any
+/// still-open tail is first carried over into the replacement arena by
+/// [`detach_for_ship`](Self::detach_for_ship).
+///
+/// # Examples
+///
+/// ```
+/// use pmtest_trace::{Event, TraceArena};
+/// use pmtest_interval::ByteRange;
+///
+/// let mut arena = TraceArena::new();
+/// arena.push(Event::Write(ByteRange::with_len(0, 8)).here());
+/// arena.push(Event::Fence.here());
+/// arena.seal(7);
+/// assert_eq!(arena.sealed(), 1);
+/// let (id, words, entries) = arena.traces().next().unwrap();
+/// assert_eq!((id, words.len(), entries), (7, 2, 2));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceArena {
+    words: Vec<PackedEntry>,
+    spans: Vec<TraceSpan>,
+    /// First word of the open (not yet sealed) region.
+    open_start: usize,
+    /// Logical entries recorded into the open region.
+    open_entries: u32,
+    /// First-level location cache; survives [`clear`](Self::clear) so a
+    /// recycled arena starts warm (interned ids are process-global).
+    interner: LocInterner,
+}
+
+impl TraceArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one entry into the open region.
+    #[inline]
+    pub fn push(&mut self, entry: Entry) {
+        encode_into_interned(&mut self.words, entry, &mut self.interner);
+        self.open_entries += 1;
+    }
+
+    /// Entries recorded into the open region since the last seal.
+    #[must_use]
+    pub fn open_entries(&self) -> u32 {
+        self.open_entries
+    }
+
+    /// Seals the open region as trace `id`. A seal with nothing recorded
+    /// produces an (empty) span all the same; callers gate on
+    /// [`open_entries`](Self::open_entries).
+    pub fn seal(&mut self, id: u64) {
+        let start = u32::try_from(self.open_start).expect("arena exceeds u32 records");
+        let records =
+            u32::try_from(self.words.len() - self.open_start).expect("trace exceeds u32 records");
+        self.spans.push(TraceSpan { id, start, records, entries: self.open_entries });
+        self.open_start = self.words.len();
+        self.open_entries = 0;
+    }
+
+    /// Number of sealed traces.
+    #[must_use]
+    pub fn sealed(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena holds neither sealed spans nor open records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.words.is_empty()
+    }
+
+    /// Iterates the sealed traces as `(id, records, entry_count)`.
+    pub fn traces(&self) -> impl Iterator<Item = (u64, &[PackedEntry], u32)> {
+        self.spans.iter().map(|s| {
+            let lo = s.start as usize;
+            let hi = lo + s.records as usize;
+            (s.id, &self.words[lo..hi], s.entries)
+        })
+    }
+
+    /// Prepares this arena for shipping: the still-open tail (entries
+    /// recorded but not yet sealed) is moved into `fresh`, which replaces
+    /// `self`; the sealed arena is returned, ready to hand to the engine.
+    #[must_use]
+    pub fn detach_for_ship(&mut self, mut fresh: TraceArena) -> TraceArena {
+        debug_assert!(fresh.is_empty(), "replacement arena must be recycled clean");
+        if self.open_entries > 0 {
+            fresh.words.extend_from_slice(&self.words[self.open_start..]);
+            fresh.open_entries = self.open_entries;
+            self.words.truncate(self.open_start);
+            self.open_entries = 0;
+        }
+        // The location cache belongs with the *recording* side: keep the
+        // warm one here, ship the replacement's (the checker never uses it).
+        std::mem::swap(&mut self.interner, &mut fresh.interner);
+        std::mem::replace(self, fresh)
+    }
+
+    /// Forgets all records and spans while keeping the backing allocations,
+    /// upholding the pool's cleared-on-release invariant.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.spans.clear();
+        self.open_start = 0;
+        self.open_entries = 0;
+    }
+
+    /// Capacity of the word buffer, used by the pool's retention cap.
+    #[must_use]
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, SourceLoc};
+    use pmtest_interval::ByteRange;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::new(s, e)
+    }
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc::new("arena.rs", line)
+    }
+
+    #[test]
+    fn seals_partition_the_word_buffer() {
+        let mut arena = TraceArena::new();
+        arena.push(Event::Write(r(0, 8)).at(loc(1)));
+        arena.push(Event::Fence.at(loc(2)));
+        arena.seal(10);
+        arena.push(Event::IsOrderedBefore(r(0, 8), r(8, 16)).at(loc(3)));
+        arena.seal(11);
+        assert_eq!(arena.sealed(), 2);
+        let spans: Vec<_> = arena.traces().collect();
+        assert_eq!(spans[0].0, 10);
+        assert_eq!(spans[0].1.len(), 2);
+        assert_eq!(spans[0].2, 2);
+        // isOrderedBefore is one entry but two records.
+        assert_eq!(spans[1].0, 11);
+        assert_eq!(spans[1].1.len(), 2);
+        assert_eq!(spans[1].2, 1);
+    }
+
+    #[test]
+    fn detach_carries_the_open_tail() {
+        let mut arena = TraceArena::new();
+        arena.push(Event::Write(r(0, 8)).at(loc(1)));
+        arena.seal(1);
+        arena.push(Event::Fence.at(loc(2))); // open, not sealed
+        let shipped = arena.detach_for_ship(TraceArena::new());
+        assert_eq!(shipped.sealed(), 1);
+        assert_eq!(shipped.traces().next().unwrap().0, 1);
+        // The open fence survived into the live arena.
+        assert_eq!(arena.open_entries(), 1);
+        arena.seal(2);
+        let (id, words, entries) = arena.traces().next().unwrap();
+        assert_eq!((id, entries), (2, 1));
+        assert_eq!(words[0].op(), crate::packed::PackedOp::Fence);
+    }
+
+    #[test]
+    fn clear_recycles_allocations() {
+        let mut arena = TraceArena::new();
+        for i in 0..100 {
+            arena.push(Event::Write(r(0, 8)).at(loc(1)));
+            arena.seal(i);
+        }
+        let cap = arena.word_capacity();
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.sealed(), 0);
+        assert_eq!(arena.word_capacity(), cap, "clear must keep the backing buffer");
+    }
+}

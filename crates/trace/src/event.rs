@@ -52,6 +52,16 @@ impl SourceLoc {
     pub fn line(&self) -> u32 {
         self.line
     }
+
+    /// Equality tuned for hot-path cache scans: `#[track_caller]` hands out
+    /// the same `&'static str` per call site, so the file comparison is
+    /// almost always settled by pointer identity instead of a `memcmp` of
+    /// the path. Falls back to content equality for hand-built locations.
+    #[must_use]
+    #[inline]
+    pub fn same_site(&self, other: &Self) -> bool {
+        self.line == other.line && (std::ptr::eq(self.file, other.file) || self.file == other.file)
+    }
 }
 
 impl fmt::Debug for SourceLoc {
@@ -198,23 +208,41 @@ impl fmt::Debug for Entry {
 /// and may be validated on any worker thread (§4.4). Dividing a program into
 /// per-transaction traces is what lets PMTest pipeline program execution with
 /// checking.
+///
+/// Internally a trace stores the compact binary form — fixed-width
+/// [`PackedEntry`](crate::PackedEntry) records with the source location
+/// interned at record time — so shipping a trace moves pointer-free `u64`
+/// words, not enum payloads. [`entries`](Self::entries) decodes back to
+/// [`Entry`] values on demand.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     id: u64,
-    entries: Vec<Entry>,
+    /// Logical entry count: `isOrderedBefore` packs into two records, so
+    /// the record count alone is not the entry count.
+    len: u32,
+    words: Vec<crate::PackedEntry>,
 }
 
 impl Trace {
     /// Creates an empty trace with the given identifier.
     #[must_use]
     pub fn new(id: u64) -> Self {
-        Self { id, entries: Vec::new() }
+        Self { id, len: 0, words: Vec::new() }
     }
 
     /// Creates a trace from pre-recorded entries.
     #[must_use]
     pub fn from_entries(id: u64, entries: Vec<Entry>) -> Self {
-        Self { id, entries }
+        let mut trace = Self::new(id);
+        trace.extend(entries);
+        trace
+    }
+
+    /// Creates a trace directly from packed records. `len` is the logical
+    /// entry count the records decode to.
+    #[must_use]
+    pub fn from_packed(id: u64, words: Vec<crate::PackedEntry>, len: u32) -> Self {
+        Self { id, len, words }
     }
 
     /// The trace identifier (assigned in submission order).
@@ -223,33 +251,48 @@ impl Trace {
         self.id
     }
 
-    /// The recorded entries in program order.
+    /// The recorded entries in program order, decoded from the packed form.
+    /// Allocates; hot paths should walk [`packed`](Self::packed) instead.
     #[must_use]
-    pub fn entries(&self) -> &[Entry] {
-        &self.entries
+    pub fn entries(&self) -> Vec<Entry> {
+        crate::packed::decode_all(&self.words)
+    }
+
+    /// The packed records backing this trace.
+    #[must_use]
+    pub fn packed(&self) -> &[crate::PackedEntry] {
+        &self.words
     }
 
     /// Number of recorded entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len as usize
     }
 
     /// Whether the trace holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
-    /// Appends an entry.
+    /// Appends an entry, encoding it in place.
     pub fn push(&mut self, entry: Entry) {
-        self.entries.push(entry);
+        crate::packed::encode_into(&mut self.words, entry);
+        self.len += 1;
     }
 
-    /// Consumes the trace, returning its entries.
+    /// Consumes the trace, returning its decoded entries.
     #[must_use]
     pub fn into_entries(self) -> Vec<Entry> {
-        self.entries
+        self.entries()
+    }
+
+    /// Consumes the trace, returning the packed record buffer (for
+    /// recycling through a pool).
+    #[must_use]
+    pub fn into_packed(self) -> Vec<crate::PackedEntry> {
+        self.words
     }
 }
 
@@ -257,8 +300,8 @@ impl fmt::Display for Trace {
     /// One entry per line, in program order — handy when debugging a
     /// checker verdict.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trace #{} ({} entries)", self.id, self.entries.len())?;
-        for (i, entry) in self.entries.iter().enumerate() {
+        writeln!(f, "trace #{} ({} entries)", self.id, self.len)?;
+        for (i, entry) in self.entries().iter().enumerate() {
             writeln!(f, "  [{i:>4}] {} @ {}", entry.event, entry.loc)?;
         }
         Ok(())
@@ -267,7 +310,9 @@ impl fmt::Display for Trace {
 
 impl Extend<Entry> for Trace {
     fn extend<T: IntoIterator<Item = Entry>>(&mut self, iter: T) {
-        self.entries.extend(iter);
+        for entry in iter {
+            self.push(entry);
+        }
     }
 }
 

@@ -36,16 +36,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod event;
 mod loc;
+pub mod packed;
 mod pool;
 mod recorder;
 mod sink;
 mod stats;
 
+pub use arena::{TraceArena, TraceSpan};
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
 pub use loc::{LocId, LocInterner};
-pub use pool::{BufferPool, PoolStats};
+pub use packed::{LocResolver, PackedEntry, PackedOp, PACKED_ENTRY_BYTES};
+pub use pool::{ArenaPool, BufferPool, PoolItem, PoolStats, RecyclePool};
 pub use recorder::{FlightRecorder, IntervalNote, StepRecord};
 pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};
 pub use stats::TraceStats;

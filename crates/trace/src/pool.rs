@@ -1,12 +1,18 @@
-//! Recycling pool for trace entry buffers.
+//! Recycling pools for trace buffers and batch arenas.
 //!
-//! Decoupled checking (Fig. 8) moves a `Vec<Entry>` from the program thread
-//! to a checking worker on every `PMTest_SEND_TRACE`. Without recycling, each
-//! trace costs one heap allocation on the hot path plus one deallocation on a
-//! worker — and under the short traces of the paper's microbenchmarks
-//! (Fig. 10a) the allocator becomes a measurable fraction of the runtime
-//! overhead. The [`BufferPool`] closes that loop: workers return emptied
-//! buffers here, and sessions draw replacements instead of allocating.
+//! Decoupled checking (Fig. 8) moves trace storage from the program thread
+//! to a checking worker on every `PMTest_SEND_TRACE`. Without recycling,
+//! each trace costs one heap allocation on the hot path plus one
+//! deallocation on a worker — and under the short traces of the paper's
+//! microbenchmarks (Fig. 10a) the allocator becomes a measurable fraction
+//! of the runtime overhead. The pools close that loop: workers return
+//! emptied storage here, and sessions draw replacements instead of
+//! allocating. Two instantiations exist:
+//!
+//! * [`BufferPool`] — `Vec<PackedEntry>` record buffers, backing
+//!   single-`Trace` submissions;
+//! * [`ArenaPool`] — [`TraceArena`] batch arenas, backing the session's
+//!   record-in-place batching.
 //!
 //! The free list is sharded to keep producers (many program threads) and
 //! consumers (worker threads) from serialising on one lock. Each shard is a
@@ -16,68 +22,113 @@
 //! within noise of that design for the pool's access pattern (sub-microsecond
 //! critical sections, shard count ≥ typical thread count).
 //!
-//! Buffers are always [cleared](Vec::clear) on release, *before* they become
-//! visible to any other trace. That is the pool's core invariant: a recycled
-//! buffer can never leak entries from one trace into another.
+//! Items are always recycled (cleared) on release, *before* they become
+//! visible to any other trace. That is the pool's core invariant: recycled
+//! storage can never leak records from one trace into another.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::event::Entry;
+use crate::arena::TraceArena;
+use crate::packed::PackedEntry;
 
 /// Number of independent free-list shards. A power of two so the rotating
 /// counter maps onto shards with a mask.
 const SHARDS: usize = 8;
 
-/// Default cap on buffers retained per shard (total = `SHARDS` × this).
-const DEFAULT_BUFFERS_PER_SHARD: usize = 64;
+/// Default cap on items retained per shard (total = `SHARDS` × this).
+const DEFAULT_ITEMS_PER_SHARD: usize = 64;
 
-/// Default cap on the capacity of a retained buffer. A trace that ballooned
-/// to thousands of entries should not pin that memory forever; oversized
-/// buffers are dropped instead of pooled.
-const DEFAULT_MAX_BUFFER_CAPACITY: usize = 4096;
+/// Default cap on the retained capacity of a pooled item, in records. A
+/// trace that ballooned to thousands of records should not pin that memory
+/// forever; oversized items are dropped instead of pooled.
+const DEFAULT_MAX_ITEM_CAPACITY: usize = 4096;
 
-/// A sharded free list of `Vec<Entry>` buffers shared between sessions
+/// Storage the recycling pool knows how to clear and size-check.
+pub trait PoolItem: Default + Send {
+    /// Empties the item while keeping its backing allocation.
+    fn recycle(&mut self);
+    /// Retained backing capacity, in records, for the retention cap.
+    fn retained_capacity(&self) -> usize;
+    /// Whether the item is empty (the pool's cleared-on-release invariant).
+    fn is_clear(&self) -> bool;
+}
+
+impl PoolItem for Vec<PackedEntry> {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+
+    fn retained_capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn is_clear(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl PoolItem for TraceArena {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+
+    fn retained_capacity(&self) -> usize {
+        self.word_capacity()
+    }
+
+    fn is_clear(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+/// A sharded free list of recyclable trace storage shared between sessions
 /// (which acquire) and engine workers (which release).
 ///
 /// # Examples
 ///
 /// ```
-/// use pmtest_trace::{BufferPool, Entry, Event};
+/// use pmtest_trace::BufferPool;
 ///
 /// let pool = BufferPool::new();
 /// let mut buf = pool.acquire(); // fresh allocation: pool is empty
-/// buf.push(Event::Fence.here());
+/// buf.reserve(16);
 /// pool.release(buf);
 /// let buf = pool.acquire(); // recycled — and guaranteed empty
 /// assert!(buf.is_empty());
 /// assert_eq!(pool.stats().recycled, 1);
 /// ```
-pub struct BufferPool {
-    shards: Vec<Mutex<Vec<Vec<Entry>>>>,
+pub struct RecyclePool<T> {
+    shards: Vec<Mutex<Vec<T>>>,
     /// Rotates acquire/release across shards so a single hot thread does not
     /// hammer shard 0.
     cursor: AtomicUsize,
-    buffers_per_shard: usize,
-    max_buffer_capacity: usize,
+    items_per_shard: usize,
+    max_item_capacity: usize,
     recycled: AtomicU64,
     fresh: AtomicU64,
     released: AtomicU64,
     dropped: AtomicU64,
 }
 
-/// Lifetime counters of a [`BufferPool`].
+/// Packed-record buffers for single-`Trace` submissions.
+pub type BufferPool = RecyclePool<Vec<PackedEntry>>;
+
+/// Batch arenas for the session's record-in-place batching.
+pub type ArenaPool = RecyclePool<TraceArena>;
+
+/// Lifetime counters of a [`RecyclePool`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Acquires served from the free list.
     pub recycled: u64,
     /// Acquires that fell back to a fresh allocation.
     pub fresh: u64,
-    /// Buffers returned to the pool (whether retained or dropped).
+    /// Items returned to the pool (whether retained or dropped).
     pub released: u64,
-    /// Released buffers dropped because a shard was full or the buffer
-    /// exceeded the capacity cap.
+    /// Released items dropped because a shard was full or the item exceeded
+    /// the capacity cap.
     pub dropped: u64,
 }
 
@@ -94,23 +145,23 @@ impl PoolStats {
     }
 }
 
-impl BufferPool {
+impl<T: PoolItem> RecyclePool<T> {
     /// A pool with the default retention caps.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_limits(SHARDS * DEFAULT_BUFFERS_PER_SHARD, DEFAULT_MAX_BUFFER_CAPACITY)
+        Self::with_limits(SHARDS * DEFAULT_ITEMS_PER_SHARD, DEFAULT_MAX_ITEM_CAPACITY)
     }
 
-    /// A pool retaining at most `max_buffers` buffers in total, each of
-    /// capacity at most `max_buffer_capacity` entries.
+    /// A pool retaining at most `max_items` items in total, each of
+    /// capacity at most `max_item_capacity` records.
     #[must_use]
-    pub fn with_limits(max_buffers: usize, max_buffer_capacity: usize) -> Self {
-        let buffers_per_shard = max_buffers.div_ceil(SHARDS).max(1);
+    pub fn with_limits(max_items: usize, max_item_capacity: usize) -> Self {
+        let items_per_shard = max_items.div_ceil(SHARDS).max(1);
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             cursor: AtomicUsize::new(0),
-            buffers_per_shard,
-            max_buffer_capacity,
+            items_per_shard,
+            max_item_capacity,
             recycled: AtomicU64::new(0),
             fresh: AtomicU64::new(0),
             released: AtomicU64::new(0),
@@ -118,34 +169,35 @@ impl BufferPool {
         }
     }
 
-    /// Takes a buffer from the pool, or allocates a fresh one if every shard
-    /// is empty. The returned buffer is always empty.
+    /// Takes an item from the pool, or allocates a fresh one if every shard
+    /// is empty. The returned item is always empty.
     #[must_use]
-    pub fn acquire(&self) -> Vec<Entry> {
+    pub fn acquire(&self) -> T {
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for offset in 0..SHARDS {
             let shard = &self.shards[(start + offset) & (SHARDS - 1)];
             // Skip contended shards: a miss here only costs an extra probe.
             let Some(mut guard) = shard.try_lock() else { continue };
-            if let Some(buf) = guard.pop() {
+            if let Some(item) = guard.pop() {
                 drop(guard);
                 self.recycled.fetch_add(1, Ordering::Relaxed);
-                debug_assert!(buf.is_empty(), "pooled buffer must be empty");
-                return buf;
+                debug_assert!(item.is_clear(), "pooled item must be empty");
+                return item;
             }
         }
         self.fresh.fetch_add(1, Ordering::Relaxed);
-        Vec::new()
+        T::default()
     }
 
-    /// Returns a buffer to the pool. The buffer is cleared here — before it
-    /// becomes visible to any future [`acquire`](Self::acquire) — so entries
-    /// can never leak across traces. Oversized buffers and overflow beyond
+    /// Returns an item to the pool. The item is cleared here — before it
+    /// becomes visible to any future [`acquire`](Self::acquire) — so records
+    /// can never leak across traces. Oversized items and overflow beyond
     /// the retention cap are dropped.
-    pub fn release(&self, mut buf: Vec<Entry>) {
+    pub fn release(&self, mut item: T) {
         self.released.fetch_add(1, Ordering::Relaxed);
-        buf.clear();
-        if buf.capacity() == 0 || buf.capacity() > self.max_buffer_capacity {
+        item.recycle();
+        let cap = item.retained_capacity();
+        if cap == 0 || cap > self.max_item_capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -153,15 +205,15 @@ impl BufferPool {
         for offset in 0..SHARDS {
             let shard = &self.shards[(start + offset) & (SHARDS - 1)];
             let Some(mut guard) = shard.try_lock() else { continue };
-            if guard.len() < self.buffers_per_shard {
-                guard.push(buf);
+            if guard.len() < self.items_per_shard {
+                guard.push(item);
                 return;
             }
         }
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Buffers currently available for recycling.
+    /// Items currently available for recycling.
     #[must_use]
     pub fn available(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -179,15 +231,15 @@ impl BufferPool {
     }
 }
 
-impl Default for BufferPool {
+impl<T: PoolItem> Default for RecyclePool<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl std::fmt::Debug for BufferPool {
+impl<T: PoolItem> std::fmt::Debug for RecyclePool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BufferPool")
+        f.debug_struct("RecyclePool")
             .field("available", &self.available())
             .field("stats", &self.stats())
             .finish()
@@ -198,11 +250,12 @@ impl std::fmt::Debug for BufferPool {
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::packed::encode_into;
 
-    fn dirty_buffer(n: usize) -> Vec<Entry> {
+    fn dirty_buffer(n: usize) -> Vec<PackedEntry> {
         let mut buf = Vec::with_capacity(n.max(1));
         for _ in 0..n {
-            buf.push(Event::Fence.here());
+            encode_into(&mut buf, Event::Fence.here());
         }
         buf
     }
@@ -221,7 +274,7 @@ mod tests {
         let pool = BufferPool::new();
         pool.release(dirty_buffer(5));
         let buf = pool.acquire();
-        assert!(buf.is_empty(), "recycled buffer leaked entries");
+        assert!(buf.is_empty(), "recycled buffer leaked records");
         assert!(buf.capacity() >= 5, "capacity should be retained");
         assert_eq!(pool.stats().recycled, 1);
     }
@@ -266,6 +319,19 @@ mod tests {
     }
 
     #[test]
+    fn arena_pool_recycles_cleared_arenas() {
+        let pool = ArenaPool::new();
+        let mut arena = pool.acquire();
+        arena.push(Event::Fence.here());
+        arena.seal(1);
+        pool.release(arena);
+        let arena = pool.acquire();
+        assert!(arena.is_empty(), "recycled arena leaked traces");
+        assert_eq!(arena.sealed(), 0);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
     fn concurrent_producers_and_consumers() {
         let pool = std::sync::Arc::new(BufferPool::new());
         std::thread::scope(|s| {
@@ -275,7 +341,7 @@ mod tests {
                     for _ in 0..1_000 {
                         let mut buf = pool.acquire();
                         assert!(buf.is_empty());
-                        buf.push(Event::Fence.here());
+                        encode_into(&mut buf, Event::Fence.here());
                         pool.release(buf);
                     }
                 });

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{Event, EventKind, Trace};
+use crate::{Entry, Event, EventKind, Trace};
 
 /// Aggregate statistics of a trace — the kind of analysis WHISPER (ASPLOS
 /// 2017) performs on PM workloads and that motivated PMTest's design: how
@@ -61,9 +61,16 @@ impl TraceStats {
     /// Computes the statistics of one trace.
     #[must_use]
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut stats = TraceStats { entries: trace.len() as u64, ..TraceStats::default() };
+        Self::from_entries(&trace.entries())
+    }
+
+    /// Computes the statistics of one trace given as an entry slice (the
+    /// engine's already-decoded form).
+    #[must_use]
+    pub fn from_entries(entries: &[Entry]) -> Self {
+        let mut stats = TraceStats { entries: entries.len() as u64, ..TraceStats::default() };
         let mut epoch_writes = 0u64;
-        for entry in trace.entries() {
+        for entry in entries {
             match entry.event {
                 Event::Write(r) => {
                     stats.writes += 1;

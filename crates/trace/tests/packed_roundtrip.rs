@@ -1,0 +1,90 @@
+//! Property tests for the compact binary trace encoding.
+//!
+//! The packed form must be a lossless encoding of `Entry` over the *full*
+//! op alphabet — both persistency-model dialects (x86 `write`/`clwb`/
+//! `sfence`, HOPS `ofence`/`dfence`), the transaction events, the checkers
+//! (including the two-operand `isOrderedBefore`, which spans a continuation
+//! record), and scope control. Any sequence of entries encoded into a trace
+//! must decode back to exactly the same events and source locations.
+
+use pmtest_interval::ByteRange;
+use pmtest_trace::{Entry, Event, SourceLoc, Trace, PACKED_ENTRY_BYTES};
+use proptest::prelude::*;
+
+/// A handful of distinct static file names so locations vary without
+/// needing leaked strings.
+const FILES: [&str; 4] = ["alpha.rs", "beta.rs", "gamma.rs", "delta.rs"];
+
+fn arb_loc() -> impl Strategy<Value = SourceLoc> {
+    (0..FILES.len(), any::<u32>()).prop_map(|(f, line)| SourceLoc::new(FILES[f], line))
+}
+
+fn arb_range() -> impl Strategy<Value = ByteRange> {
+    // Ordered pair over the full u64 width, empty ranges included.
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| ByteRange::new(a.min(b), a.max(b)))
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        arb_range().prop_map(Event::Write),
+        arb_range().prop_map(Event::Flush),
+        Just(Event::Fence),
+        Just(Event::OFence),
+        Just(Event::DFence),
+        Just(Event::TxBegin),
+        Just(Event::TxEnd),
+        arb_range().prop_map(Event::TxAdd),
+        arb_range().prop_map(Event::IsPersist),
+        (arb_range(), arb_range()).prop_map(|(a, b)| Event::IsOrderedBefore(a, b)),
+        Just(Event::TxCheckerStart),
+        Just(Event::TxCheckerEnd),
+        arb_range().prop_map(Event::Exclude),
+        arb_range().prop_map(Event::Include),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (arb_event(), arb_loc()).prop_map(|(e, l)| e.at(l))
+}
+
+proptest! {
+    /// Old-`Entry` → packed records → `Entry` is the identity, entry for
+    /// entry, over arbitrary sequences from the full alphabet.
+    #[test]
+    fn entries_round_trip_through_packed(entries in proptest::collection::vec(arb_entry(), 0..64)) {
+        let trace = Trace::from_entries(42, entries.clone());
+        prop_assert_eq!(trace.len(), entries.len());
+        let decoded = trace.entries();
+        prop_assert_eq!(decoded.len(), entries.len());
+        for (got, want) in decoded.iter().zip(&entries) {
+            prop_assert_eq!(got.event, want.event);
+            prop_assert_eq!(got.loc, want.loc);
+        }
+        // The packed form never exceeds two records per entry and stays at
+        // its fixed width.
+        prop_assert!(trace.packed().len() <= 2 * entries.len());
+        prop_assert_eq!(std::mem::size_of_val(trace.packed()),
+                        trace.packed().len() * PACKED_ENTRY_BYTES);
+    }
+
+    /// Push-by-push encoding agrees with bulk `from_entries`, and
+    /// `into_entries` matches `entries`.
+    #[test]
+    fn incremental_and_bulk_encoding_agree(entries in proptest::collection::vec(arb_entry(), 0..32)) {
+        let bulk = Trace::from_entries(7, entries.clone());
+        let mut incremental = Trace::new(7);
+        for &e in &entries {
+            incremental.push(e);
+        }
+        prop_assert_eq!(&bulk, &incremental);
+        prop_assert_eq!(bulk.entries(), incremental.clone().into_entries());
+    }
+}
+
+/// The record width is pinned: silent growth past 3×u64 is a build error in
+/// the crate (const assert) and a test failure here.
+#[test]
+fn packed_record_width_is_pinned() {
+    assert_eq!(PACKED_ENTRY_BYTES, 24);
+    assert_eq!(std::mem::size_of::<pmtest_trace::PackedEntry>(), 24);
+}

@@ -6,7 +6,8 @@
 //! arbitrarily dirty buffers) preceded it, and the stats counters must stay
 //! consistent with the operation sequence.
 
-use pmtest_trace::{BufferPool, Entry, Event, Trace};
+use pmtest_trace::packed::encode_into;
+use pmtest_trace::{BufferPool, Event, PackedEntry, Trace};
 use proptest::prelude::*;
 
 /// One step of a pool workload.
@@ -28,10 +29,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn dirty(n: u8) -> Vec<Entry> {
+fn dirty(n: u8) -> Vec<PackedEntry> {
     let mut buf = Vec::with_capacity(n.max(1) as usize);
     for _ in 0..n {
-        buf.push(Event::Fence.here());
+        encode_into(&mut buf, Event::Fence.here());
     }
     buf
 }
@@ -42,7 +43,7 @@ proptest! {
     #[test]
     fn acquired_buffers_are_always_empty(ops in proptest::collection::vec(arb_op(), 1..200)) {
         let pool = BufferPool::new();
-        let mut held: Vec<Vec<Entry>> = Vec::new();
+        let mut held: Vec<Vec<PackedEntry>> = Vec::new();
         let mut acquires = 0u64;
         let mut releases = 0u64;
         for op in &ops {
@@ -73,22 +74,22 @@ proptest! {
         prop_assert!(pool.available() as u64 <= releases);
     }
 
-    /// Round-tripping entry buffers through `Trace` the way the engine does
-    /// (session builds `Trace::from_entries`, worker releases
-    /// `trace.into_entries()`) never leaks entries across traces, for any
+    /// Round-tripping record buffers through `Trace` the way the engine does
+    /// (session encodes into a pooled buffer, worker releases
+    /// `trace.into_packed()`) never leaks records across traces, for any
     /// sequence of trace lengths.
     #[test]
     fn trace_round_trip_never_leaks(lens in proptest::collection::vec(0..40usize, 1..100)) {
         let pool = BufferPool::new();
         for (id, len) in lens.iter().enumerate() {
             let mut buf = pool.acquire();
-            prop_assert!(buf.is_empty(), "trace {} inherited {} entries", id, buf.len());
+            prop_assert!(buf.is_empty(), "trace {} inherited {} records", id, buf.len());
             for _ in 0..*len {
-                buf.push(Event::Fence.here());
+                encode_into(&mut buf, Event::Fence.here());
             }
-            let trace = Trace::from_entries(id as u64, buf);
+            let trace = Trace::from_packed(id as u64, buf, *len as u32);
             prop_assert_eq!(trace.len(), *len);
-            pool.release(trace.into_entries());
+            pool.release(trace.into_packed());
         }
         let stats = pool.stats();
         prop_assert_eq!(stats.released, lens.len() as u64);
