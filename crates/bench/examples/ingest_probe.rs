@@ -1,5 +1,8 @@
 //! Component timing probe for the ingest path. Not a benchmark of record —
-//! a diagnostic for where the per-trace nanoseconds go. Run with:
+//! a diagnostic for where the per-trace nanoseconds go, ending with the
+//! telemetry layer's own five-stage latency decomposition
+//! (record→ring-push, ring-wait, claim/steal→replay, replay, report-merge)
+//! from an instrumented w4/b32 round. Run with:
 //! `cargo run --release -p pmtest-bench --example ingest_probe [traces]`
 
 use std::time::Instant;
@@ -165,5 +168,49 @@ fn main() {
             "    stalls={} steals={} highwater={}",
             stats.backpressure_stalls, stats.steals, stats.queue_highwater
         );
+    }
+
+    // Stage-latency decomposition: the same w4/b32 short-trace round with
+    // the timing layer on, broken into the five per-batch pipeline stages
+    // (record→ring-push, ring-wait, claim/steal→replay, replay,
+    // report-merge). Per-*batch* numbers — divide by the batch size for the
+    // per-trace share.
+    {
+        let round = traces.min(500_000);
+        let session = PmTestSession::builder()
+            .workers(4)
+            .batch_capacity(32)
+            .telemetry(pmtest_core::TelemetryConfig::timing_only())
+            .build();
+        session.start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let session = session.clone();
+                s.spawn(move || {
+                    session.thread_init();
+                    for _ in 0..round / 4 {
+                        session.record(Event::Write(r).here());
+                        session.record(Event::Flush(r).here());
+                        session.record(Event::Fence.here());
+                        session.is_persist(r);
+                        session.send_trace();
+                    }
+                });
+            }
+        });
+        assert!(session.take_report().is_clean());
+        let snap = session.telemetry_snapshot();
+        println!("\nstage latency decomposition (4 producers, w4/b32, per batch):");
+        for stage in ["record_push", "ring_wait", "claim_replay", "replay", "report_merge"] {
+            let h = snap
+                .histogram_with("engine_stage_ns", "stage", stage)
+                .expect("stage histograms register unconditionally");
+            let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+            println!(
+                "    {stage:<14} n={:>6}  mean {:>9.0} ns  p50 {:>9.0}  p90 {:>9.0}  p99 {:>9.0}",
+                h.count, mean, h.p50, h.p90, h.p99
+            );
+        }
+        println!("    {}", session.telemetry_summary().replace('\n', "\n    "));
     }
 }

@@ -6,7 +6,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
-use pmtest_obs::{EventLog, TelemetrySnapshot};
+use pmtest_obs::{EventLog, ScrapeServer, SpanHandle, TelemetrySnapshot};
 use pmtest_trace::packed::decode_all;
 use pmtest_trace::{
     ArenaPool, BufferPool, FlightRecorder, LocResolver, PackedEntry, Trace, TraceArena, TraceStats,
@@ -17,7 +17,7 @@ use crate::checker::{check_packed_with, packed_clean, CheckerScratch, TraceCheck
 use crate::diag::{Report, Severity, TraceReport};
 use crate::ingest::{IngestPlane, ProducerRing, WorkerGuard};
 use crate::model::{BuiltinModel, PersistencyModel, X86Model};
-use crate::telemetry::{EngineTelemetry, TelemetryConfig};
+use crate::telemetry::{EngineTelemetry, Stage, TelemetryConfig};
 
 /// Configuration of the checking engine.
 #[derive(Clone, Debug)]
@@ -255,6 +255,11 @@ pub struct Engine {
     workers: usize,
     queue_capacity: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Live HTTP scrape endpoint, present when
+    /// [`TelemetryConfig::scrape_addr`] is set. Holds only a [`Weak`] back
+    /// to [`Shared`], so it never keeps a dropped engine's state alive; its
+    /// drop (after the workers join) stops the serving thread.
+    scrape: Option<ScrapeServer>,
 }
 
 struct Shared {
@@ -349,6 +354,80 @@ impl Shared {
             self.idle.notify_all();
         }
     }
+
+    /// Lifetime counters; see [`Engine::stats`].
+    fn stats(&self) -> EngineStats {
+        let plane = &self.plane;
+        EngineStats {
+            traces_checked: self.traces_checked.load(Ordering::Relaxed),
+            entries_processed: self.entries_processed.load(Ordering::Relaxed),
+            diagnostics: self.diagnostics.load(Ordering::Relaxed),
+            batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
+            traces_submitted: self.traces_submitted.load(Ordering::Relaxed),
+            queue_highwater: plane.occupancy_highwater(),
+            backpressure_stalls: plane.backpressure_stalls(),
+            steals: plane.steals(),
+            rings_registered: plane.rings_registered(),
+            affinity_hits: plane.affinity_hits(),
+            parks: plane.parks(),
+            wakes: plane.wakes(),
+            recruit_cas_fails: plane.recruit_cas_fails(),
+        }
+    }
+
+    /// Snapshot assembly; see [`Engine::telemetry_snapshot`]. Lives on
+    /// `Shared` so the scrape endpoint can serve live snapshots through a
+    /// [`Weak`] without holding the engine itself.
+    fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        let stats = self.stats();
+        snap.push_counter("engine_traces_checked", &[], stats.traces_checked);
+        snap.push_counter("engine_entries_processed", &[], stats.entries_processed);
+        snap.push_counter("engine_diagnostics", &[], stats.diagnostics);
+        snap.push_counter("engine_batches_submitted", &[], stats.batches_submitted);
+        snap.push_counter("engine_traces_submitted", &[], stats.traces_submitted);
+        snap.push_counter("engine_queue_highwater", &[], stats.queue_highwater);
+        snap.push_counter("engine_backpressure_stalls", &[], stats.backpressure_stalls);
+        snap.push_counter("engine_ring_steals", &[], stats.steals);
+        snap.push_counter("engine_ring_affinity_hits", &[], stats.affinity_hits);
+        snap.push_counter("engine_rings_registered", &[], stats.rings_registered);
+        snap.push_counter("engine_parker_parks", &[], stats.parks);
+        snap.push_counter("engine_parker_wakes", &[], stats.wakes);
+        snap.push_counter("engine_parker_recruit_cas_fails", &[], stats.recruit_cas_fails);
+        snap.push_gauge("engine_workers", &[], self.shards.len() as f64);
+        let plane = &self.plane;
+        snap.push_gauge("engine_ring_occupancy", &[], plane.current_occupancy() as f64);
+        snap.push_gauge("engine_rings_live", &[], plane.rings_live() as f64);
+        for (i, ring) in plane.ring_stats().iter().enumerate() {
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("ring", &idx)];
+            snap.push_gauge("engine_ring_occupancy_traces", labels, ring.occupancy as f64);
+            snap.push_gauge("engine_ring_highwater", labels, ring.highwater as f64);
+            snap.push_counter("engine_ring_pushed", labels, ring.pushed);
+        }
+        let pool = self.pool.stats();
+        snap.push_counter("pool_recycled", &[], pool.recycled);
+        snap.push_counter("pool_fresh", &[], pool.fresh);
+        snap.push_counter("pool_released", &[], pool.released);
+        snap.push_counter("pool_dropped", &[], pool.dropped);
+        snap.push_gauge("pool_hit_rate", &[], pool.hit_rate());
+        let arena = self.arena_pool.stats();
+        snap.push_counter("arena_pool_recycled", &[], arena.recycled);
+        snap.push_counter("arena_pool_fresh", &[], arena.fresh);
+        snap.push_counter("arena_pool_released", &[], arena.released);
+        snap.push_counter("arena_pool_dropped", &[], arena.dropped);
+        snap.push_gauge("arena_pool_hit_rate", &[], arena.hit_rate());
+        let (recycled, fresh) = self.shadow_pool.counts();
+        snap.push_counter("shadow_pool_recycled", &[], recycled);
+        snap.push_counter("shadow_pool_fresh", &[], fresh);
+        let acquisitions = recycled + fresh;
+        snap.push_gauge(
+            "shadow_pool_hit_rate",
+            &[],
+            if acquisitions == 0 { 0.0 } else { recycled as f64 / acquisitions as f64 },
+        );
+        snap
+    }
 }
 
 /// Lifetime counters of an [`Engine`] (useful for the benchmark harnesses
@@ -380,6 +459,16 @@ pub struct EngineStats {
     /// submitting thread, plus temporaries for submissions during TLS
     /// teardown).
     pub rings_registered: u64,
+    /// Batches claimed by a worker inside its affinity pass — the complement
+    /// of `steals`.
+    pub affinity_hits: u64,
+    /// Worker parks actually entered (a worker found no work and slept).
+    pub parks: u64,
+    /// Parked workers recruited awake by a producer push.
+    pub wakes: u64,
+    /// Recruiting-CAS attempts that lost to an already-in-flight recruit —
+    /// how often the single-recruit gate damped a would-be wake.
+    pub recruit_cas_fails: u64,
 }
 
 impl EngineStats {
@@ -419,7 +508,7 @@ impl Engine {
             diagnostics: AtomicU64::new(0),
             batches_submitted: AtomicU64::new(0),
             traces_submitted: AtomicU64::new(0),
-            telemetry: EngineTelemetry::new(config.workers, config.telemetry),
+            telemetry: EngineTelemetry::new(config.workers, &config.telemetry),
             recorders: if config.telemetry.recorder {
                 (0..config.workers)
                     .map(|_| FlightRecorder::new(config.telemetry.recorder_capacity))
@@ -441,11 +530,23 @@ impl Engine {
                 .expect("spawn pmtest worker");
             handles.push(handle);
         }
+        // The scrape endpoint captures only a weak reference: an engine
+        // being torn down answers its last scrapes with an empty snapshot
+        // instead of keeping `Shared` alive.
+        let scrape = config.telemetry.scrape_addr.as_deref().map(|addr| {
+            let weak = Arc::downgrade(&shared);
+            let source: pmtest_obs::SnapshotSource = Arc::new(move || {
+                weak.upgrade().map(|s| s.telemetry_snapshot()).unwrap_or_default()
+            });
+            ScrapeServer::bind(addr, source)
+                .unwrap_or_else(|e| panic!("bind telemetry scrape endpoint {addr}: {e}"))
+        });
         Self {
             shared,
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             handles: Mutex::new(handles),
+            scrape,
         }
     }
 
@@ -482,18 +583,7 @@ impl Engine {
     /// [`take_report`](Self::take_report)).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        let plane = &self.shared.plane;
-        EngineStats {
-            traces_checked: self.shared.traces_checked.load(Ordering::Relaxed),
-            entries_processed: self.shared.entries_processed.load(Ordering::Relaxed),
-            diagnostics: self.shared.diagnostics.load(Ordering::Relaxed),
-            batches_submitted: self.shared.batches_submitted.load(Ordering::Relaxed),
-            traces_submitted: self.shared.traces_submitted.load(Ordering::Relaxed),
-            queue_highwater: plane.occupancy_highwater(),
-            backpressure_stalls: plane.backpressure_stalls(),
-            steals: plane.steals(),
-            rings_registered: plane.rings_registered(),
-        }
+        self.shared.stats()
     }
 
     /// The typed metric handles shared with sessions (batch-fill histogram,
@@ -521,43 +611,24 @@ impl Engine {
     /// [`pmtest_obs::writer`].
     #[must_use]
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
-        let mut snap = self.shared.telemetry.snapshot();
-        let stats = self.stats();
-        snap.push_counter("engine_traces_checked", &[], stats.traces_checked);
-        snap.push_counter("engine_entries_processed", &[], stats.entries_processed);
-        snap.push_counter("engine_diagnostics", &[], stats.diagnostics);
-        snap.push_counter("engine_batches_submitted", &[], stats.batches_submitted);
-        snap.push_counter("engine_traces_submitted", &[], stats.traces_submitted);
-        snap.push_counter("engine_queue_highwater", &[], stats.queue_highwater);
-        snap.push_counter("engine_backpressure_stalls", &[], stats.backpressure_stalls);
-        snap.push_counter("engine_ring_steals", &[], stats.steals);
-        snap.push_counter("engine_rings_registered", &[], stats.rings_registered);
-        snap.push_gauge("engine_workers", &[], self.workers() as f64);
-        let plane = &self.shared.plane;
-        snap.push_gauge("engine_ring_occupancy", &[], plane.current_occupancy() as f64);
-        snap.push_gauge("engine_rings_live", &[], plane.rings_live() as f64);
-        let pool = self.shared.pool.stats();
-        snap.push_counter("pool_recycled", &[], pool.recycled);
-        snap.push_counter("pool_fresh", &[], pool.fresh);
-        snap.push_counter("pool_released", &[], pool.released);
-        snap.push_counter("pool_dropped", &[], pool.dropped);
-        snap.push_gauge("pool_hit_rate", &[], pool.hit_rate());
-        let arena = self.shared.arena_pool.stats();
-        snap.push_counter("arena_pool_recycled", &[], arena.recycled);
-        snap.push_counter("arena_pool_fresh", &[], arena.fresh);
-        snap.push_counter("arena_pool_released", &[], arena.released);
-        snap.push_counter("arena_pool_dropped", &[], arena.dropped);
-        snap.push_gauge("arena_pool_hit_rate", &[], arena.hit_rate());
-        let (recycled, fresh) = self.shared.shadow_pool.counts();
-        snap.push_counter("shadow_pool_recycled", &[], recycled);
-        snap.push_counter("shadow_pool_fresh", &[], fresh);
-        let acquisitions = recycled + fresh;
-        snap.push_gauge(
-            "shadow_pool_hit_rate",
-            &[],
-            if acquisitions == 0 { 0.0 } else { recycled as f64 / acquisitions as f64 },
-        );
-        snap
+        self.shared.telemetry_snapshot()
+    }
+
+    /// The address the telemetry scrape endpoint is actually serving from,
+    /// when [`TelemetryConfig::scrape_addr`] was set — with port `0` in the
+    /// config, this carries the OS-assigned port.
+    #[must_use]
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::local_addr)
+    }
+
+    /// Exports the span buffers as Chrome trace-event JSON — load the string
+    /// (saved as `*.trace.json`) in Perfetto or `chrome://tracing` to see
+    /// the ship/claim/replay/merge timeline per thread. Empty (but valid)
+    /// unless [`TelemetryConfig::tracing`] is on.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        pmtest_obs::trace_event::to_chrome_trace(&self.shared.telemetry.spans.snapshot())
     }
 
     /// One human-readable line summarizing [`telemetry_snapshot`]
@@ -623,13 +694,14 @@ impl Engine {
         }
         let n = batch.len();
         self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        let submitted = self.shared.telemetry.timing.then(Instant::now);
         // From here the accounting settles when `msg` drops — whether a
         // worker finishes it, a panicking checker abandons it, or a dead
         // plane discards it. No explicit rollback.
         let msg = BatchMsg {
             traces: batch,
             accounting: BatchAccounting { shared: self.shared.clone(), n },
-            submitted: self.shared.telemetry.timing.then(Instant::now),
+            submitted,
         };
         let (ring, temporary) = self.producer_ring();
         let depth = match plane.push(&ring, msg, n) {
@@ -647,6 +719,11 @@ impl Engine {
             // drop either way.
             plane.drain_discard(&ring);
             return Err(SubmitError);
+        }
+        if let Some(sent) = submitted {
+            // Producer-side stage: building the message and landing it in
+            // the ring, including any backpressure wait inside `push`.
+            self.shared.telemetry.stage(Stage::RecordPush).record(sent.elapsed().as_nanos() as u64);
         }
         self.note_submitted(n, depth);
         Ok(())
@@ -810,19 +887,36 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
     let fast = model.builtin();
     let mut resolver = LocResolver::new();
     let mut reports: Vec<TraceReport> = Vec::new();
+    // One span buffer per worker (tid = worker index). Registration is the
+    // only allocation; with the tracing layer off the sink defers even that,
+    // and every record below is one relaxed load and a taken-branch.
+    let span: SpanHandle = shared.telemetry.spans.register(idx as u64);
     while let Some((msg, _n)) = shared.plane.next_batch(idx) {
+        // Re-checked per batch: the sink can be toggled at runtime.
+        let tracing = span.enabled();
         // Destructured so the accounting guard outlives the checking: a
         // panicking checker unwinds through it and the batch still retires
         // (otherwise `wait_idle` would block forever on the lost traces).
         let BatchMsg { traces, accounting: _accounting, submitted } = msg;
         let dequeued = submitted.map(|sent| {
             let now = Instant::now();
-            shared.telemetry.dispatch_latency.record(now.duration_since(sent).as_nanos() as u64);
+            let waited = now.duration_since(sent).as_nanos() as u64;
+            shared.telemetry.dispatch_latency.record(waited);
+            shared.telemetry.stage(Stage::RingWait).record(waited);
             now
         });
+        let span_claim = tracing.then(|| span.now_ns());
         // One recycled scratch serves the whole batch; it is reset (not
         // reallocated) between traces.
         let mut scratch = shared.shadow_pool.acquire();
+        let replay_start = shared.telemetry.timing.then(Instant::now);
+        if let (Some(from), Some(to)) = (dequeued, replay_start) {
+            shared
+                .telemetry
+                .stage(Stage::ClaimReplay)
+                .record(to.duration_since(from).as_nanos() as u64);
+        }
+        let span_replay = tracing.then(|| span.now_ns());
         let mut tally = BatchTally::default();
         match traces {
             TraceBatch::One(trace) => {
@@ -878,6 +972,11 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
                 shared.arena_pool.release(arena);
             }
         }
+        let replay_done = shared.telemetry.timing.then(Instant::now);
+        if let (Some(from), Some(to)) = (replay_start, replay_done) {
+            shared.telemetry.stage(Stage::Replay).record(to.duration_since(from).as_nanos() as u64);
+        }
+        let span_merge = tracing.then(|| span.now_ns());
         shared.telemetry.segmap_repr_switches.add(scratch.take_repr_switch_delta());
         shared.shadow_pool.release(scratch);
         // Batched settlement: one fetch_add per counter per batch.
@@ -886,6 +985,16 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
         shared.diagnostics.fetch_add(tally.diags, Ordering::Relaxed);
         if !reports.is_empty() {
             shared.shards[idx].lock().append(&mut reports);
+        }
+        if let Some(from) = replay_done {
+            shared.telemetry.stage(Stage::ReportMerge).record(from.elapsed().as_nanos() as u64);
+        }
+        if let (Some(claim), Some(replay), Some(merge)) = (span_claim, span_replay, span_merge) {
+            let names = shared.telemetry.span_names;
+            let end = span.now_ns();
+            span.record(names.claim, claim, replay.saturating_sub(claim));
+            span.record(names.replay, replay, merge.saturating_sub(replay));
+            span.record(names.merge, merge, end.saturating_sub(merge));
         }
         if let Some(start) = dequeued {
             shared.telemetry.worker_busy[idx].add(start.elapsed().as_nanos() as u64);
@@ -1451,6 +1560,109 @@ mod tests {
             slow.submit(mk(id)).unwrap();
         }
         assert_eq!(fast.take_report(), slow.take_report());
+    }
+
+    #[test]
+    fn timing_layer_populates_all_five_stage_histograms() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::timing_only(),
+            ..EngineConfig::default()
+        });
+        for id in 0..8 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let snap = engine.telemetry_snapshot();
+        for stage in crate::telemetry::Stage::ALL {
+            let h = snap
+                .histogram_with("engine_stage_ns", "stage", stage.label())
+                .unwrap_or_else(|| panic!("stage {} missing", stage.label()));
+            assert_eq!(h.count, 8, "one {} observation per batch", stage.label());
+        }
+    }
+
+    #[test]
+    fn snapshot_exposes_ring_steal_parker_and_arena_counters() {
+        let engine = Engine::new(EngineConfig::default());
+        for id in 0..4 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let snap = engine.telemetry_snapshot();
+        // Steal/affinity accounting: every claimed batch is one or the other.
+        let steals = snap.counter("engine_ring_steals").unwrap();
+        let affinity = snap.counter("engine_ring_affinity_hits").unwrap();
+        assert_eq!(steals + affinity, 4, "each batch claim is a steal or an affinity hit");
+        // Parker counters are present (values depend on scheduling).
+        assert!(snap.counter("engine_parker_parks").is_some());
+        assert!(snap.counter("engine_parker_wakes").is_some());
+        assert!(snap.counter("engine_parker_recruit_cas_fails").is_some());
+        // Per-ring gauges carry a ring label.
+        assert!(snap.gauge("engine_ring_highwater").is_some());
+        assert!(snap.gauge("engine_ring_occupancy_traces").is_some());
+        assert!(snap.counter("engine_ring_pushed").is_some());
+        // Arena/intern counters register even when the batched path is idle.
+        assert_eq!(snap.counter("engine_arena_slab_allocs"), Some(0));
+        assert_eq!(snap.counter_sum("engine_intern_hits"), 0);
+        // Span accounting is exported alongside the event ring's.
+        assert_eq!(snap.counter("engine_spans_dropped"), Some(0));
+    }
+
+    #[test]
+    fn tracing_layer_yields_a_loadable_chrome_trace() {
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::tracing_only(),
+            ..EngineConfig::default()
+        });
+        for id in 0..6 {
+            engine.submit(clean_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let trace = engine.chrome_trace();
+        let stats = pmtest_obs::trace_event::validate_str(&trace).expect("trace must validate");
+        assert!(stats.pairs >= 18, "claim+replay+merge per batch, got {}", stats.pairs);
+        for name in ["claim", "replay", "merge"] {
+            assert!(trace.contains(name), "span {name} missing from {trace}");
+        }
+        // Tracing off: still a valid (empty) document.
+        let engine = Engine::new(EngineConfig::default());
+        engine.submit(clean_trace(0)).unwrap();
+        engine.wait_idle();
+        let trace = engine.chrome_trace();
+        let stats = pmtest_obs::trace_event::validate_str(&trace).unwrap();
+        assert_eq!(stats.events, 0, "tracing off records nothing");
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_prometheus_and_json() {
+        use std::io::{Read as _, Write as _};
+        let engine = Engine::new(EngineConfig {
+            telemetry: TelemetryConfig::off().with_scrape("127.0.0.1:0"),
+            ..EngineConfig::default()
+        });
+        for id in 0..3 {
+            engine.submit(failing_trace(id)).unwrap();
+        }
+        engine.wait_idle();
+        let addr = engine.scrape_addr().expect("scrape endpoint is live");
+        let get = |path: &str| {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: pmtest\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("engine_traces_checked 3"), "{metrics}");
+        assert!(metrics.contains("engine_stage_ns"), "stage histograms are exported");
+        let json = get("/snapshot.json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(json.contains("engine_traces_checked"), "{json}");
+        // No scrape configured: no endpoint.
+        let plain = Engine::new(EngineConfig::default());
+        assert!(plain.scrape_addr().is_none());
     }
 
     /// A model whose checkers panic, killing the worker thread — the only

@@ -85,10 +85,30 @@ pub(crate) struct ProducerRing<T> {
     retired: AtomicBool,
     /// The worker that scans this ring in its affinity pass.
     pref: usize,
+    /// Messages ever pushed onto this ring.
+    pushed: AtomicU64,
+    /// Highest trace occupancy this ring has ever reached.
+    highwater: AtomicU64,
     /// Producers stalled on a full ring wait here; consumers notify after
     /// every take.
     space_lock: Mutex<()>,
     space: Condvar,
+}
+
+/// One ring's observability sample, as exported by
+/// [`IngestPlane::ring_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RingStats {
+    /// The worker that scans this ring in its affinity pass.
+    pub(crate) pref: usize,
+    /// Traces currently queued.
+    pub(crate) occupancy: u64,
+    /// Messages ever pushed.
+    pub(crate) pushed: u64,
+    /// Highest trace occupancy ever reached.
+    pub(crate) highwater: u64,
+    /// The owning producer has exited.
+    pub(crate) retired: bool,
 }
 
 impl<T> ProducerRing<T> {
@@ -102,6 +122,8 @@ impl<T> ProducerRing<T> {
             occupancy: AtomicU64::new(0),
             retired: AtomicBool::new(false),
             pref,
+            pushed: AtomicU64::new(0),
+            highwater: AtomicU64::new(0),
             space_lock: Mutex::new(()),
             space: Condvar::new(),
         }
@@ -162,12 +184,21 @@ pub(crate) struct IngestPlane<T> {
     // ---- counters ----
     /// Batches claimed outside the claiming worker's affinity pass.
     steals: AtomicU64,
+    /// Batches claimed inside the claiming worker's affinity pass.
+    affinity_hits: AtomicU64,
     /// Rings ever registered (≥ live rings; retired rings are pruned).
     rings_registered: AtomicU64,
     /// Highest trace occupancy ever observed on a single ring at push time.
     occupancy_highwater: AtomicU64,
     /// Pushes that found their ring full and had to wait for a consumer.
     backpressure_stalls: AtomicU64,
+    /// Worker parks actually entered (`park_timeout` calls).
+    parks: AtomicU64,
+    /// Sleepers unparked by a producer's recruit wake.
+    wakes: AtomicU64,
+    /// Recruiting CAS attempts that lost to an in-flight recruit: the
+    /// backlog warranted a wake but one was already pending.
+    recruit_cas_fails: AtomicU64,
 }
 
 impl<T: Send> IngestPlane<T> {
@@ -185,9 +216,13 @@ impl<T: Send> IngestPlane<T> {
             dead: AtomicBool::new(false),
             workers_alive: AtomicUsize::new(workers),
             steals: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
             rings_registered: AtomicU64::new(0),
             occupancy_highwater: AtomicU64::new(0),
             backpressure_stalls: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            recruit_cas_fails: AtomicU64::new(0),
         }
     }
 
@@ -254,7 +289,9 @@ impl<T: Send> IngestPlane<T> {
             ring.space.wait_for(&mut guard, FULL_RING_POLL);
         }
         ring.tail.store(t + 1, Ordering::Release);
+        ring.pushed.fetch_add(1, Ordering::Relaxed);
         let depth = ring.occupancy.fetch_add(n, Ordering::Relaxed) + n;
+        ring.highwater.fetch_max(depth, Ordering::Relaxed);
         self.occupancy_highwater.fetch_max(depth, Ordering::Relaxed);
         let pending = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
         // Dekker handshake with the park path: workers enlist in `parked`
@@ -275,13 +312,19 @@ impl<T: Send> IngestPlane<T> {
         let sleepers = self.sleepers.load(Ordering::SeqCst);
         if sleepers > 0 {
             let awake = self.workers_alive.load(Ordering::SeqCst).saturating_sub(sleepers);
-            if pending > awake as u64
-                && self
+            if pending > awake as u64 {
+                if self
                     .recruiting
                     .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
-            {
-                self.wake_one();
+                {
+                    self.wake_one();
+                } else {
+                    // Backlog warranted a wake, but a recruit is already in
+                    // flight. High rates here mean the single-recruit gate is
+                    // doing real damping work.
+                    self.recruit_cas_fails.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         Ok(depth)
@@ -299,6 +342,7 @@ impl<T: Send> IngestPlane<T> {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             thread
         };
+        self.wakes.fetch_add(1, Ordering::Relaxed);
         woken.unpark();
     }
 
@@ -341,6 +385,7 @@ impl<T: Send> IngestPlane<T> {
         let rings = self.rings.read();
         for ring in rings.iter().filter(|r| r.pref == me) {
             if let Some(got) = self.try_pop(ring) {
+                self.affinity_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(got);
             }
         }
@@ -381,6 +426,7 @@ impl<T: Send> IngestPlane<T> {
                 self.delist(me);
                 continue;
             }
+            self.parks.fetch_add(1, Ordering::Relaxed);
             std::thread::park_timeout(WORKER_PARK);
             self.delist(me);
         }
@@ -461,6 +507,42 @@ impl<T: Send> IngestPlane<T> {
     /// Batches claimed outside the claiming worker's affinity pass.
     pub(crate) fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Batches claimed inside the claiming worker's affinity pass.
+    pub(crate) fn affinity_hits(&self) -> u64 {
+        self.affinity_hits.load(Ordering::Relaxed)
+    }
+
+    /// Worker parks actually entered.
+    pub(crate) fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Sleepers unparked by a producer's recruit wake.
+    pub(crate) fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
+    /// Recruiting CAS attempts that lost to an in-flight recruit.
+    pub(crate) fn recruit_cas_fails(&self) -> u64 {
+        self.recruit_cas_fails.load(Ordering::Relaxed)
+    }
+
+    /// A per-ring observability sample across every registered ring still
+    /// on the scan path.
+    pub(crate) fn ring_stats(&self) -> Vec<RingStats> {
+        self.rings
+            .read()
+            .iter()
+            .map(|r| RingStats {
+                pref: r.pref,
+                occupancy: r.occupancy.load(Ordering::Relaxed),
+                pushed: r.pushed.load(Ordering::Relaxed),
+                highwater: r.highwater.load(Ordering::Relaxed),
+                retired: r.retired.load(Ordering::Acquire),
+            })
+            .collect()
     }
 
     /// Producer rings ever registered with this plane.
@@ -659,5 +741,80 @@ mod tests {
         plane.push(&ring, 2, 1).unwrap();
         assert!(plane.try_claim(1).is_some());
         assert_eq!(plane.steals(), 1, "foreign claim is a steal");
+        assert_eq!(plane.affinity_hits(), 1, "only the first claim was on-affinity");
+    }
+
+    /// Per-ring samples track pushes, occupancy, and the high-water mark.
+    #[test]
+    fn ring_stats_sample_push_and_highwater() {
+        let plane: Arc<IngestPlane<u32>> = Arc::new(IngestPlane::new(2, 8));
+        let a = plane.register_ring();
+        let b = plane.register_ring();
+        plane.push(&a, 1, 3).unwrap();
+        plane.push(&a, 2, 2).unwrap();
+        plane.push(&b, 3, 1).unwrap();
+        assert!(plane.try_claim(0).is_some());
+        let stats = plane.ring_stats();
+        assert_eq!(stats.len(), 2);
+        let sa = stats.iter().find(|s| s.pref == 0).unwrap();
+        let sb = stats.iter().find(|s| s.pref == 1).unwrap();
+        assert_eq!(sa.pushed, 2);
+        assert_eq!(sa.highwater, 5, "high-water survives the claim");
+        assert_eq!(sa.occupancy, 2, "one 3-trace batch claimed");
+        assert!(!sa.retired);
+        assert_eq!((sb.pushed, sb.occupancy, sb.highwater), (1, 1, 1));
+        a.retire();
+        assert!(plane.ring_stats().iter().any(|s| s.retired));
+    }
+
+    /// A parked worker records the park, and the producer wake that recruits
+    /// it is counted; a second ready batch while the recruit is still in
+    /// flight records a recruiting-CAS loss instead of a second wake.
+    #[test]
+    fn parker_counters_track_parks_wakes_and_recruit_losses() {
+        let plane: Arc<IngestPlane<u32>> = Arc::new(IngestPlane::new(1, 8));
+        let ring = plane.register_ring();
+        let worker = {
+            let plane = plane.clone();
+            std::thread::spawn(move || {
+                let mut got = 0u32;
+                while plane.next_batch(0).is_some() {
+                    got += 1;
+                }
+                got
+            })
+        };
+        // Wait until the worker is actually parked, then feed it.
+        while plane.sleepers.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        plane.push(&ring, 1, 1).unwrap();
+        while plane.pending.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        plane.close();
+        assert_eq!(worker.join().unwrap(), 1);
+        assert!(plane.parks() >= 1, "the worker parked at least once");
+
+        // Wake accounting, driven deterministically: enlist this thread as a
+        // sleeper, then a wake must pop it and count exactly once.
+        let plane: Arc<IngestPlane<u32>> = Arc::new(IngestPlane::new(1, 8));
+        plane.parked.lock().push((0, std::thread::current()));
+        plane.sleepers.store(1, Ordering::SeqCst);
+        plane.wake_one();
+        assert_eq!(plane.wakes(), 1, "popping a sleeper counts one wake");
+        plane.wake_one();
+        assert_eq!(plane.wakes(), 1, "an empty stack wakes (and counts) nothing");
+
+        // Recruit-loss path: with the recruiting flag pre-claimed and a
+        // sleeper enlisted, a push whose backlog exceeds the awake count
+        // must count a CAS loss rather than wake anyone.
+        let plane: Arc<IngestPlane<u32>> = Arc::new(IngestPlane::new(1, 8));
+        let ring = plane.register_ring();
+        plane.recruiting.store(true, Ordering::SeqCst);
+        plane.sleepers.store(1, Ordering::SeqCst);
+        plane.push(&ring, 2, 1).unwrap();
+        assert_eq!(plane.recruit_cas_fails(), 1);
+        assert_eq!(plane.wakes(), 0, "a lost recruit CAS must not wake");
     }
 }

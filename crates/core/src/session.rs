@@ -6,6 +6,7 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use pmtest_interval::ByteRange;
+use pmtest_obs::SpanHandle;
 use pmtest_trace::{Entry, Event, SharedSink, Sink, TraceArena};
 
 use crate::diag::Report;
@@ -14,6 +15,10 @@ use crate::model::PersistencyModel;
 use crate::telemetry::{FlushCause, TelemetryConfig};
 
 static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Producer-side span-buffer thread ids start here, leaving the low range
+/// for the engine's workers (worker `i` records under tid `i`).
+static NEXT_PRODUCER_TID: AtomicU64 = AtomicU64::new(1000);
 
 /// Per-thread recording state for one session (§4.5: "PMTest maintains a
 /// per-thread data structure that maintains the trace of different
@@ -27,6 +32,10 @@ struct Slot {
     /// [`pmtest_trace::ArenaPool`] so checked batches return their
     /// allocation to us.
     arena: TraceArena,
+    /// This thread's producer-side span buffer, present when the session's
+    /// engine had the tracing layer on at slot creation; `ship` spans land
+    /// here.
+    span: Option<SpanHandle>,
     /// Back-reference for the drop-flush; weak so a dead session does not
     /// keep its engine alive through thread-local storage.
     shared: Weak<SessionShared>,
@@ -42,7 +51,7 @@ impl Drop for Slot {
             return;
         }
         if let Some(shared) = self.shared.upgrade() {
-            shared.ship_arena(std::mem::take(&mut self.arena), FlushCause::ThreadExit);
+            shared.ship_from(&mut self.arena, self.span.as_ref(), FlushCause::ThreadExit);
         }
     }
 }
@@ -100,6 +109,7 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
         slots.list.push(Slot {
             session: shared.id,
             arena: TraceArena::new(),
+            span: shared.producer_span(),
             shared: Arc::downgrade(shared),
         });
         let last = slots.list.len() - 1;
@@ -184,6 +194,43 @@ impl SessionShared {
             self.engine.telemetry().note_batch_shipped(cause, n);
         }
         let _ = self.engine.submit_arena(arena);
+    }
+
+    /// The full ship path for a recording-side arena: detach the sealed
+    /// batch onto a recycled arena, fold the allocator/intern tallies the
+    /// live arena kept through the detach into the engine's counters, and
+    /// submit — wrapped in a producer-side `ship` span when `span` is
+    /// recording. A no-op when nothing is sealed.
+    fn ship_from(&self, arena: &mut TraceArena, span: Option<&SpanHandle>, cause: FlushCause) {
+        if arena.sealed() == 0 {
+            return;
+        }
+        match span.filter(|h| h.enabled()) {
+            Some(h) => {
+                let start = h.now_ns();
+                self.ship_detached(arena, cause);
+                let name = self.engine.telemetry().span_names.ship;
+                h.record(name, start, h.now_ns().saturating_sub(start));
+            }
+            None => self.ship_detached(arena, cause),
+        }
+    }
+
+    fn ship_detached(&self, arena: &mut TraceArena, cause: FlushCause) {
+        let shipped = arena.detach_for_ship(self.engine.arena_pool().acquire());
+        // `detach_for_ship` keeps the tallies on the recording side; taking
+        // them here makes the fold exactly once per shipped batch.
+        self.engine.telemetry().note_arena_stats(arena.take_stats());
+        self.ship_arena(shipped, cause);
+    }
+
+    /// A producer-side span buffer for one recording thread, when the
+    /// engine's tracing layer is on.
+    fn producer_span(&self) -> Option<SpanHandle> {
+        let spans = &self.engine.telemetry().spans;
+        spans
+            .is_enabled()
+            .then(|| spans.register(NEXT_PRODUCER_TID.fetch_add(1, Ordering::Relaxed)))
     }
 }
 
@@ -325,8 +372,9 @@ impl PmTestSession {
     #[must_use]
     pub fn recorder(&self) -> ThreadRecorder {
         ThreadRecorder {
-            shared: self.shared.clone(),
             arena: self.shared.engine.arena_pool().acquire(),
+            span: self.shared.producer_span(),
+            shared: self.shared.clone(),
         }
     }
 
@@ -354,8 +402,7 @@ impl PmTestSession {
                 // checked batch's arena flows back into the pool from the
                 // worker. Any open tail (none here — we just sealed) would
                 // carry over.
-                let shipped = slot.arena.detach_for_ship(shared.engine.arena_pool().acquire());
-                shared.ship_arena(shipped, FlushCause::Capacity);
+                shared.ship_from(&mut slot.arena, slot.span.as_ref(), FlushCause::Capacity);
             }
             Some(trace_id)
         })
@@ -368,10 +415,7 @@ impl PmTestSession {
     /// still being recorded (not yet `send_trace`d) are *not* flushed.
     pub fn flush(&self) {
         with_slot(&self.shared, |slot| {
-            if slot.arena.sealed() > 0 {
-                let shipped = slot.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
-                self.shared.ship_arena(shipped, FlushCause::ResultPoint);
-            }
+            self.shared.ship_from(&mut slot.arena, slot.span.as_ref(), FlushCause::ResultPoint);
         });
     }
 
@@ -444,6 +488,22 @@ impl PmTestSession {
     #[must_use]
     pub fn telemetry_summary(&self) -> String {
         self.shared.engine.telemetry_summary()
+    }
+
+    /// Exports the captured ingest-plane spans as Chrome trace-event JSON —
+    /// see [`Engine::chrome_trace`]. Empty (`{"traceEvents":[]}`-shaped)
+    /// unless [`crate::TelemetryConfig::tracing`] is on.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        self.shared.engine.chrome_trace()
+    }
+
+    /// Local address of the live telemetry scrape endpoint, if
+    /// [`crate::TelemetryConfig::scrape_addr`] was configured — see
+    /// [`Engine::scrape_addr`].
+    #[must_use]
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.shared.engine.scrape_addr()
     }
 
     /// The engine's structured event log (empty unless enabled via
@@ -566,8 +626,12 @@ impl Sink for SessionShared {
                 slots.list[pos].arena.push(entry);
             } else {
                 // First event on this thread before any session call.
-                let mut slot =
-                    Slot { session: self.id, arena: TraceArena::new(), shared: Weak::new() };
+                let mut slot = Slot {
+                    session: self.id,
+                    arena: TraceArena::new(),
+                    span: self.producer_span(),
+                    shared: Weak::new(),
+                };
                 slot.arena.push(entry);
                 slots.last = (self.id, slots.list.len());
                 slots.list.push(slot);
@@ -624,6 +688,8 @@ impl Sink for SessionShared {
 pub struct ThreadRecorder {
     shared: Arc<SessionShared>,
     arena: TraceArena,
+    /// This recorder's producer-side span buffer (tracing layer).
+    span: Option<SpanHandle>,
 }
 
 impl ThreadRecorder {
@@ -662,8 +728,7 @@ impl ThreadRecorder {
         let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
         self.arena.seal(trace_id);
         if self.arena.sealed() >= self.shared.batch_capacity {
-            let shipped = self.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
-            self.shared.ship_arena(shipped, FlushCause::Capacity);
+            self.shared.ship_from(&mut self.arena, self.span.as_ref(), FlushCause::Capacity);
         }
         Some(trace_id)
     }
@@ -671,10 +736,7 @@ impl ThreadRecorder {
     /// Ships the pending batch now, regardless of fill level. Entries still
     /// being recorded (not yet sealed) stay in the recorder.
     pub fn flush(&mut self) {
-        if self.arena.sealed() > 0 {
-            let shipped = self.arena.detach_for_ship(self.shared.engine.arena_pool().acquire());
-            self.shared.ship_arena(shipped, FlushCause::ResultPoint);
-        }
+        self.shared.ship_from(&mut self.arena, self.span.as_ref(), FlushCause::ResultPoint);
     }
 
     /// The session this recorder feeds.
@@ -687,10 +749,7 @@ impl ThreadRecorder {
 impl Drop for ThreadRecorder {
     fn drop(&mut self) {
         // Sealed traces were promised to the report; the open tail was not.
-        if self.arena.sealed() > 0 {
-            let shipped = self.arena.detach_for_ship(TraceArena::new());
-            self.shared.ship_arena(shipped, FlushCause::ThreadExit);
-        }
+        self.shared.ship_from(&mut self.arena, self.span.as_ref(), FlushCause::ThreadExit);
     }
 }
 
@@ -1056,5 +1115,53 @@ mod tests {
         let pool = session.pool_stats();
         assert_eq!(pool.released, 20, "workers return every arena (one per trace at capacity 1)");
         assert!(pool.recycled > 0, "later traces reuse returned arenas");
+    }
+
+    #[test]
+    fn ship_spans_appear_in_the_chrome_trace() {
+        let session = PmTestSession::builder()
+            .batch_capacity(2)
+            .telemetry(TelemetryConfig::tracing_only())
+            .build();
+        session.start();
+        for _ in 0..4 {
+            record_clean_trace(&session);
+        }
+        assert!(session.report().is_clean());
+        let json = session.chrome_trace();
+        let stats = pmtest_obs::trace_event::validate_str(&json).expect("loadable trace");
+        // Two capacity ships on the producer side plus claim/replay/merge
+        // per batch on the worker side.
+        assert!(stats.pairs >= 8, "expected ship + worker stage spans, got {stats:?}");
+        for name in ["ship", "claim", "replay", "merge"] {
+            assert!(json.contains(&format!("\"name\":\"{name}\"")), "span {name} missing");
+        }
+    }
+
+    #[test]
+    fn arena_tallies_fold_into_the_snapshot_at_ship_time() {
+        let session = PmTestSession::builder().batch_capacity(8).build();
+        session.start();
+        for _ in 0..32 {
+            record_clean_trace(&session);
+        }
+        assert!(session.report().is_clean());
+        let snap = session.telemetry_snapshot();
+        // Growing the first arena from empty reallocates at least once.
+        assert!(snap.counter("engine_arena_slab_allocs").unwrap_or(0) >= 1);
+        // Every recorded entry resolves its source location through some
+        // intern tier; repeats within a batch hit the arena cache.
+        let interns = snap.counter_sum("engine_intern_hits");
+        assert!(interns >= 32, "expected intern tier hits, got {interns}");
+        let arena_hits = snap
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == "engine_intern_hits"
+                    && c.labels.iter().any(|(k, v)| k == "tier" && v == "arena")
+            })
+            .map(|c| c.value)
+            .sum::<u64>();
+        assert!(arena_hits > 0, "repeat sites must hit the arena-resident cache");
     }
 }

@@ -9,11 +9,14 @@
 //! and is opt-in via [`TelemetryConfig::timing`]; the structured
 //! [`EventLog`] ring is likewise behind [`TelemetryConfig::events`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use pmtest_obs::{Counter, EventLog, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot};
-use pmtest_trace::{Event, FlightRecorder, TraceStats};
+use pmtest_obs::{
+    Counter, EventLog, Gauge, Histogram, MetricsRegistry, SpanSink, TelemetrySnapshot,
+};
+use pmtest_trace::{ArenaStats, Event, FlightRecorder, TraceStats};
 
 use crate::diag::DiagKind;
 
@@ -21,12 +24,14 @@ use crate::diag::DiagKind;
 ///
 /// The default is everything off: counters and the queue-depth gauge still
 /// update (they are single relaxed atomics), but no clocks are read on the
-/// hot path and the event ring stays empty.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// hot path, the event ring stays empty, and the span buffers are never
+/// even allocated.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TelemetryConfig {
-    /// Record latency histograms (per-checker, per-trace, dispatch), worker
-    /// busy time / utilization, and per-worker [`TraceStats`] aggregation.
-    /// Costs two `Instant` reads per trace entry on the worker side.
+    /// Record latency histograms (per-checker, per-trace, dispatch, the
+    /// five pipeline stages), worker busy time / utilization, and
+    /// per-worker [`TraceStats`] aggregation. Costs two `Instant` reads per
+    /// trace entry on the worker side.
     pub timing: bool,
     /// Record structured events (batch spans, flush causes) into the ring.
     pub events: bool,
@@ -39,6 +44,18 @@ pub struct TelemetryConfig {
     pub recorder: bool,
     /// Steps retained per worker by the flight recorder.
     pub recorder_capacity: usize,
+    /// Record per-thread ingest spans (ship/claim/replay/merge) into
+    /// lock-free span buffers, exportable as Perfetto-loadable Chrome
+    /// trace-event JSON (see DESIGN.md §14). When off — the default — the
+    /// record path is one relaxed atomic load and a branch.
+    pub tracing: bool,
+    /// Spans retained per thread by the span buffers (newest win).
+    pub tracing_capacity: usize,
+    /// When set (e.g. `"127.0.0.1:9184"`), the engine serves its live
+    /// telemetry over HTTP from this address: `GET /metrics` (Prometheus
+    /// text exposition) and `GET /snapshot.json`. Port `0` binds an
+    /// OS-assigned port, readable from `Engine::scrape_addr`.
+    pub scrape_addr: Option<String>,
 }
 
 impl Default for TelemetryConfig {
@@ -57,20 +74,18 @@ impl TelemetryConfig {
             event_capacity: EventLog::DEFAULT_CAPACITY,
             recorder: false,
             recorder_capacity: FlightRecorder::DEFAULT_CAPACITY,
+            tracing: false,
+            tracing_capacity: pmtest_obs::DEFAULT_SPAN_CAPACITY,
+            scrape_addr: None,
         }
     }
 
-    /// Everything on: timing histograms, the event ring, and the flight
-    /// recorder (diagnosis bundles on ERROR).
+    /// Everything on: timing histograms, the event ring, the flight
+    /// recorder (diagnosis bundles on ERROR), and span tracing. The scrape
+    /// endpoint stays off — opt in with [`with_scrape`](Self::with_scrape).
     #[must_use]
     pub fn enabled() -> Self {
-        Self {
-            timing: true,
-            events: true,
-            event_capacity: EventLog::DEFAULT_CAPACITY,
-            recorder: true,
-            recorder_capacity: FlightRecorder::DEFAULT_CAPACITY,
-        }
+        Self { timing: true, events: true, recorder: true, tracing: true, ..Self::off() }
     }
 
     /// Timing histograms without the event ring.
@@ -83,6 +98,65 @@ impl TelemetryConfig {
     #[must_use]
     pub fn recorder_only() -> Self {
         Self { recorder: true, ..Self::off() }
+    }
+
+    /// Span tracing only: per-thread ingest spans, no timing histograms.
+    #[must_use]
+    pub fn tracing_only() -> Self {
+        Self { tracing: true, ..Self::off() }
+    }
+
+    /// Turns span tracing on.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Serves live telemetry over HTTP from `addr` (see
+    /// [`scrape_addr`](Self::scrape_addr)).
+    #[must_use]
+    pub fn with_scrape(mut self, addr: impl Into<String>) -> Self {
+        self.scrape_addr = Some(addr.into());
+        self
+    }
+}
+
+/// A pipeline stage of the ingest plane, as decomposed by the
+/// `engine_stage_ns{stage=…}` latency histograms: one trace's life is
+/// record→ring-push on the producer, the ring wait, claim (or steal) to
+/// replay start on the worker, the replay itself, and the report merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Producer side: sealing the batch and pushing it into the producer's
+    /// ring, including any backpressure wait.
+    RecordPush,
+    /// Submit to worker dequeue: time the batch sat in the ring.
+    RingWait,
+    /// Worker dequeue to first replay: shadow-state acquisition and batch
+    /// unpacking.
+    ClaimReplay,
+    /// Replaying the batch through the checkers.
+    Replay,
+    /// Appending results to the report shard and settling the tallies.
+    ReportMerge,
+}
+
+impl Stage {
+    /// Every stage, in histogram registration order.
+    pub const ALL: [Stage; 5] =
+        [Stage::RecordPush, Stage::RingWait, Stage::ClaimReplay, Stage::Replay, Stage::ReportMerge];
+
+    /// The `stage` label value of the stage's histogram.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::RecordPush => "record_push",
+            Stage::RingWait => "ring_wait",
+            Stage::ClaimReplay => "claim_replay",
+            Stage::Replay => "replay",
+            Stage::ReportMerge => "report_merge",
+        }
     }
 }
 
@@ -205,13 +279,52 @@ pub(crate) struct EngineTelemetry {
     /// Traces per shipped session batch.
     pub(crate) batch_fill: Histogram,
     flush_causes: [Counter; 3],
+    /// Per-stage pipeline latency, ns (timing only); indexed like
+    /// [`Stage::ALL`]. Registered unconditionally so a snapshot always
+    /// exposes all five stages (count 0 with timing off).
+    pub(crate) stages: [Histogram; Stage::ALL.len()],
+    /// Lock-free per-thread span buffers (tracing layer; see DESIGN.md §14).
+    pub(crate) spans: Arc<SpanSink>,
+    /// Pre-interned span names for the ingest pipeline's recording sites.
+    pub(crate) span_names: SpanNames,
+    /// Arena word-slab reallocations, folded in at batch-ship time.
+    arena_slab_allocs: Counter,
+    /// Location-intern tier hits (arena / TLS / global), folded in at
+    /// batch-ship time.
+    intern_tiers: [Counter; 3],
+}
+
+/// Span-name ids pre-interned at engine construction so recording threads
+/// never touch the intern table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpanNames {
+    /// Producer: seal + ring push of one batch (includes backpressure).
+    pub(crate) ship: u32,
+    /// Worker: dequeue to replay start for one batch.
+    pub(crate) claim: u32,
+    /// Worker: replaying one batch.
+    pub(crate) replay: u32,
+    /// Worker: merging one batch's results into the report shard.
+    pub(crate) merge: u32,
 }
 
 impl EngineTelemetry {
-    pub(crate) fn new(workers: usize, config: TelemetryConfig) -> Self {
+    pub(crate) fn new(workers: usize, config: &TelemetryConfig) -> Self {
         let registry = MetricsRegistry::new();
         let events = EventLog::with_capacity(config.event_capacity.max(1));
         events.set_enabled(config.events);
+        let spans = Arc::new(SpanSink::new(config.tracing_capacity.max(1)));
+        spans.set_enabled(config.tracing);
+        let span_names = SpanNames {
+            ship: spans.intern("ship"),
+            claim: spans.intern("claim"),
+            replay: spans.intern("replay"),
+            merge: spans.intern("merge"),
+        };
+        let stages =
+            Stage::ALL.map(|s| registry.histogram("engine_stage_ns", &[("stage", s.label())]));
+        let intern_tiers = ["arena", "tls", "global"]
+            .map(|tier| registry.counter("engine_intern_hits", &[("tier", tier)]));
         let checker_ns = CheckerCategory::ALL
             .map(|c| registry.histogram("engine_checker_ns", &[("checker", c.label())]));
         let diag_kinds = DiagKind::ALL.map(|k| {
@@ -247,7 +360,35 @@ impl EngineTelemetry {
                 registry
                     .counter("session_flush_total", &[("cause", FlushCause::ThreadExit.label())]),
             ],
+            stages,
+            spans,
+            span_names,
+            arena_slab_allocs: registry.counter("engine_arena_slab_allocs", &[]),
+            intern_tiers,
             registry,
+        }
+    }
+
+    /// The latency histogram of one pipeline stage.
+    pub(crate) fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Folds one shipped arena's allocator/intern tallies into the shared
+    /// counters (called once per batch — cold by construction).
+    pub(crate) fn note_arena_stats(&self, stats: ArenaStats) {
+        if stats.slab_allocs > 0 {
+            self.arena_slab_allocs.add(stats.slab_allocs);
+        }
+        let ArenaStats { interns, .. } = stats;
+        if interns.arena_hits > 0 {
+            self.intern_tiers[0].add(interns.arena_hits);
+        }
+        if interns.tls_hits > 0 {
+            self.intern_tiers[1].add(interns.tls_hits);
+        }
+        if interns.global > 0 {
+            self.intern_tiers[2].add(interns.global);
         }
     }
 
@@ -310,6 +451,7 @@ impl EngineTelemetry {
             }
         }
         snap.push_counter("engine_events_dropped", &[], self.events.dropped());
+        snap.push_counter("engine_spans_dropped", &[], self.spans.dropped());
         snap.events = self.events.snapshot();
         snap
     }
@@ -318,6 +460,10 @@ impl EngineTelemetry {
 /// A one-line human summary of an engine snapshot — traces checked, check
 /// latency p50/p99, queue high-water, diagnostics — for examples and
 /// harnesses to dogfood the telemetry API without formatting it themselves.
+///
+/// When the capped telemetry rings lost anything (event-ring overwrites,
+/// span-buffer overwrites), a second WARNING line is appended — silent data
+/// loss in the observability layer is how regressions hide.
 #[must_use]
 pub fn summary_line(snap: &TelemetrySnapshot) -> String {
     let traces = snap.counter("engine_traces_checked").unwrap_or(0);
@@ -338,12 +484,22 @@ pub fn summary_line(snap: &TelemetrySnapshot) -> String {
         }
         _ => "check latency n/a (timing off)".to_owned(),
     };
-    format!(
+    let mut line = format!(
         "telemetry: {traces} traces checked, {latency}, queue high-water {highwater}, \
          {} FAIL / {} WARN",
         sev_total("FAIL"),
         sev_total("WARN"),
-    )
+    );
+    let events_dropped = snap.counter_sum("engine_events_dropped");
+    let spans_dropped = snap.counter_sum("engine_spans_dropped");
+    if events_dropped > 0 || spans_dropped > 0 {
+        line.push_str(&format!(
+            "\nWARNING: telemetry rings overflowed — {events_dropped} event(s) and \
+             {spans_dropped} span(s) dropped; raise event_capacity/tracing_capacity \
+             or snapshot more often"
+        ));
+    }
+    line
 }
 
 #[cfg(test)]
@@ -377,7 +533,7 @@ mod tests {
 
     #[test]
     fn diag_counters_cover_every_kind() {
-        let tel = EngineTelemetry::new(1, TelemetryConfig::off());
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
         for kind in DiagKind::ALL {
             tel.diag_counter(kind).inc();
         }
@@ -388,15 +544,76 @@ mod tests {
 
     #[test]
     fn summary_line_reports_timing_state() {
-        let tel = EngineTelemetry::new(1, TelemetryConfig::off());
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
         let s = summary_line(&tel.snapshot());
         assert!(s.contains("timing off"), "{s}");
-        let tel = EngineTelemetry::new(1, TelemetryConfig::enabled());
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::enabled());
         tel.check_latency.record(1_500);
         let mut snap = tel.snapshot();
         snap.push_counter("engine_traces_checked", &[], 1);
         let s = summary_line(&snap);
         assert!(s.contains("1 traces checked"), "{s}");
         assert!(s.contains("p50"), "{s}");
+        assert!(!s.contains("WARNING"), "no drops, no warning: {s}");
+    }
+
+    #[test]
+    fn summary_line_warns_on_ring_drops() {
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
+        let mut snap = tel.snapshot();
+        // Simulate overflowed rings.
+        snap.push_counter("engine_events_dropped", &[], 3);
+        snap.push_counter("engine_spans_dropped", &[], 5);
+        let s = summary_line(&snap);
+        assert!(s.contains("WARNING"), "{s}");
+        assert!(s.contains("3 event(s)"), "{s}");
+        assert!(s.contains("5 span(s)"), "{s}");
+    }
+
+    #[test]
+    fn all_five_stage_histograms_register_even_when_off() {
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
+        let snap = tel.snapshot();
+        for stage in Stage::ALL {
+            let h = snap
+                .histogram_with("engine_stage_ns", "stage", stage.label())
+                .unwrap_or_else(|| panic!("stage {} must be registered", stage.label()));
+            assert_eq!(h.count, 0, "timing off records nothing");
+        }
+        // Labels are distinct (they key the histogram label set).
+        let mut labels: Vec<_> = Stage::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn arena_stats_fold_into_tiered_counters() {
+        use pmtest_trace::InternStats;
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
+        tel.note_arena_stats(ArenaStats {
+            slab_allocs: 2,
+            interns: InternStats { arena_hits: 100, tls_hits: 7, global: 1 },
+        });
+        tel.note_arena_stats(ArenaStats {
+            slab_allocs: 0,
+            interns: InternStats { arena_hits: 50, tls_hits: 0, global: 0 },
+        });
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("engine_arena_slab_allocs"), Some(2));
+        assert_eq!(snap.counter_sum("engine_intern_hits"), 158);
+    }
+
+    #[test]
+    fn tracing_layer_gates_span_recording() {
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::off());
+        assert!(!tel.spans.is_enabled(), "tracing is off by default");
+        let tel = EngineTelemetry::new(1, &TelemetryConfig::tracing_only());
+        assert!(tel.spans.is_enabled());
+        let h = tel.spans.register(0);
+        h.record(tel.span_names.replay, 10, 5);
+        let dump = tel.spans.snapshot();
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(dump.records[0].name, "replay");
     }
 }

@@ -4,20 +4,25 @@
 //! line, every other file as one JSON document. A `.jsonl` file whose first
 //! line is a diagnosis-bundle header is additionally validated against the
 //! bundle schema (`pmtest_obs::bundle`): typed fields, known line kinds,
-//! counts consistent with the header, escape round-trips. Exits non-zero
-//! (with the offending file, line, and error on stderr) if anything fails,
-//! so CI can gate on the emitted snapshots actually parsing. No
-//! dependencies, no serde: it reuses the crate's own minimal JSON reader.
+//! counts consistent with the header, escape round-trips. A JSON document
+//! carrying a `traceEvents` array is validated as a Chrome trace-event file
+//! (`pmtest_obs::trace_event`): schema, per-track monotone `ts`, matched
+//! `B`/`E` pairs. Exits non-zero (with the offending file, line, and error
+//! on stderr) if anything fails, so CI can gate on the emitted snapshots
+//! actually parsing. No dependencies, no serde: it reuses the crate's own
+//! minimal JSON reader.
 
 use std::process::ExitCode;
 
-use pmtest_obs::{bundle, json};
+use pmtest_obs::{bundle, json, trace_event};
 
-fn check_file(path: &str) -> Result<usize, String> {
+fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     if path.ends_with(".jsonl") {
         if bundle::is_bundle(&text) {
-            return bundle::validate_bundle(&text).map_err(|e| format!("{path}: {e}"));
+            return bundle::validate_bundle(&text)
+                .map(|docs| format!("{docs} document{}", plural(docs)))
+                .map_err(|e| format!("{path}: {e}"));
         }
         let mut docs = 0;
         for (i, line) in text.lines().enumerate() {
@@ -30,10 +35,28 @@ fn check_file(path: &str) -> Result<usize, String> {
         if docs == 0 {
             return Err(format!("{path}: no JSON documents found"));
         }
-        Ok(docs)
+        Ok(format!("{docs} document{}", plural(docs)))
     } else {
-        json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        Ok(1)
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if trace_event::is_trace_event_doc(&doc) {
+            let stats = trace_event::validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+            return Ok(format!(
+                "trace-event: {} events, {} B/E pairs, {} thread track{}",
+                stats.events,
+                stats.pairs,
+                stats.threads,
+                plural(stats.threads)
+            ));
+        }
+        Ok("1 document".to_owned())
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
     }
 }
 
@@ -46,9 +69,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     for path in &paths {
         match check_file(path) {
-            Ok(docs) => {
-                println!("ok: {path} ({docs} document{})", if docs == 1 { "" } else { "s" })
-            }
+            Ok(what) => println!("ok: {path} ({what})"),
             Err(e) => {
                 eprintln!("FAIL: {e}");
                 failed = true;

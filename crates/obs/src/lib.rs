@@ -15,7 +15,13 @@
 //!   ([`TelemetrySnapshot::to_json_lines`]) for machine triage and
 //!   Prometheus text exposition ([`TelemetrySnapshot::to_prometheus`]) for
 //!   scraping, plus a [`writer`] that drops snapshots into `bench_results/`
-//!   next to the benchmark reports.
+//!   next to the benchmark reports;
+//! * lock-free per-thread span buffers ([`SpanSink`]) for continuous
+//!   profiling, exported as Perfetto-loadable Chrome trace-event JSON
+//!   ([`trace_event`]) and self-validated by the same module;
+//! * a std-only blocking HTTP scrape endpoint ([`ScrapeServer`]) serving
+//!   the Prometheus exposition and the JSON snapshot of a live engine — the
+//!   first building block of the `pmtestd` daemon.
 //!
 //! Like the offline shims under `crates/shims/`, this crate vendors exactly
 //! the API surface the workspace needs — no external dependencies, std only
@@ -45,9 +51,14 @@ mod events;
 mod export;
 pub mod json;
 mod metrics;
+mod scrape;
 mod snapshot;
+mod spans;
+pub mod trace_event;
 pub mod writer;
 
 pub use events::{EventLog, EventRecord, Field, SpanGuard};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use scrape::{ScrapeServer, SnapshotSource};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot};
+pub use spans::{SpanDump, SpanHandle, SpanRecord, SpanSink, DEFAULT_SPAN_CAPACITY};

@@ -1,0 +1,236 @@
+//! A std-only blocking HTTP scrape endpoint.
+//!
+//! The first concrete building block of the `pmtestd` daemon from the
+//! roadmap: a tiny single-threaded HTTP/1.1 server that serves the live
+//! telemetry of a running engine —
+//!
+//! * `GET /metrics` → the Prometheus text exposition
+//!   ([`TelemetrySnapshot::to_prometheus`]), scrapeable by a stock
+//!   Prometheus;
+//! * `GET /snapshot.json` (or `/`) → the single-document JSON snapshot
+//!   ([`TelemetrySnapshot::to_json`]), loadable by `obs-check` and the
+//!   `bench_results/` tooling.
+//!
+//! Like everything in this crate it is dependency-free: `TcpListener`, a
+//! request-line parse, and a `Connection: close` response. One connection is
+//! served at a time — a scrape endpoint's traffic is one poller on a
+//! multi-second interval, and keeping the server trivial keeps it out of the
+//! way of the engine it observes. Each request pulls a *fresh* snapshot from
+//! the provided source callback, so the numbers are live, not cached.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_obs::{MetricsRegistry, ScrapeServer};
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! registry.counter("up", &[]).inc();
+//! let source = Arc::clone(&registry);
+//! let server = ScrapeServer::bind("127.0.0.1:0", Arc::new(move || source.snapshot())).unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+//! conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+//! let mut body = String::new();
+//! conn.read_to_string(&mut body).unwrap();
+//! assert!(body.starts_with("HTTP/1.1 200 OK"));
+//! assert!(body.contains("up 1"));
+//! server.shutdown();
+//! ```
+
+use crate::snapshot::TelemetrySnapshot;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Producer of live snapshots for the server to serve.
+pub type SnapshotSource = Arc<dyn Fn() -> TelemetrySnapshot + Send + Sync>;
+
+/// Handle to a running scrape server; shuts the server down on drop.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, or port `0` to let the OS
+    /// pick) and starts the serving thread. `source` is called once per
+    /// request.
+    pub fn bind(addr: &str, source: SnapshotSource) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("pmtest-scrape".into())
+            .spawn(move || serve(&listener, &stop_flag, &source))?;
+        Ok(Self { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(thread) = self.thread.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn serve(listener: &TcpListener, stop: &AtomicBool, source: &SnapshotSource) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut conn) = conn else { continue };
+        // A stuck client must not wedge the endpoint.
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle(&mut conn, source);
+    }
+}
+
+fn handle(conn: &mut TcpStream, source: &SnapshotSource) -> io::Result<()> {
+    let request = read_request_head(conn)?;
+    let mut parts = request.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(conn, "405 Method Not Allowed", "text/plain", "only GET is served\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = source().to_prometheus();
+            respond(conn, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/" | "/snapshot.json" => {
+            let body = source().to_json("scrape");
+            respond(conn, "200 OK", "application/json", &body)
+        }
+        _ => respond(conn, "404 Not Found", "text/plain", "try /metrics or /snapshot.json\n"),
+    }
+}
+
+/// Reads up to the end of the request headers (or a size cap) and returns
+/// the request line.
+fn read_request_head(conn: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    Ok(head.lines().next().unwrap_or("").to_owned())
+}
+
+fn respond(conn: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn demo_server() -> ScrapeServer {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("scrape_demo_total", &[("kind", "test")]).add(7);
+        registry.histogram("scrape_demo_ns", &[]).record(1000);
+        let source = Arc::clone(&registry);
+        ScrapeServer::bind("127.0.0.1:0", Arc::new(move || source.snapshot())).unwrap()
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let server = demo_server();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("scrape_demo_total{kind=\"test\"} 7"), "{body}");
+
+        let (head, body) = get(addr, "/snapshot.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let doc = crate::json::parse(&body).expect("served JSON parses");
+        assert_eq!(doc.get("bench").and_then(crate::json::JsonValue::as_str), Some("scrape"));
+
+        // Requests are served sequentially but repeatedly.
+        let (head, _) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = demo_server();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent_on_drop() {
+        let server = demo_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly on loopback backlog; a request
+                // must at least not be answered.
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+                let mut s = String::new();
+                c.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+                c.read_to_string(&mut s).unwrap_or(0) == 0 || s.is_empty()
+            }
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! Lock-free per-thread span buffers for continuous profiling.
+//!
+//! The engine's ingest plane wants flight-recorder style tracing — "what did
+//! every thread spend its time on, with nanosecond timestamps" — without a
+//! lock or an allocation anywhere near the hot path. The design here:
+//!
+//! * one [`SpanSink`] per engine holds the shared on/off flag, the span-name
+//!   intern table, and the registry of per-thread buffers;
+//! * each recording thread owns a [`SpanHandle`] writing into its private
+//!   [`seqlock`]-style ring of fixed-width slots, so the hot path is a
+//!   handful of uncontended atomic stores and *zero* allocation;
+//! * when the layer is disabled the whole record path is one relaxed atomic
+//!   load and a branch — and the slot ring is never even allocated;
+//! * the ring overwrites: the newest `capacity` spans per thread survive,
+//!   and everything older is counted in [`SpanSink::dropped`] rather than
+//!   silently lost.
+//!
+//! Timestamps come from a monotonic [`Instant`] epoch shared by the sink
+//! (`clock_gettime` via the vDSO, ~20ns — the safe stand-in for a raw cycle
+//! counter, which would need `unsafe` this crate forbids). Readers snapshot
+//! concurrently with writers; a per-slot sequence word makes torn records
+//! detectable, and the snapshot simply skips them.
+//!
+//! [`seqlock`]: https://en.wikipedia.org/wiki/Seqlock
+//!
+//! # Examples
+//!
+//! ```
+//! use pmtest_obs::SpanSink;
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(SpanSink::new(1024));
+//! let replay = sink.intern("replay");
+//! sink.set_enabled(true);
+//! let handle = sink.register(0);
+//! let t0 = sink.now_ns();
+//! // ... do the work ...
+//! handle.record(replay, t0, sink.now_ns().saturating_sub(t0));
+//! let dump = sink.snapshot();
+//! assert_eq!(dump.records.len(), 1);
+//! assert_eq!(dump.records[0].name, "replay");
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default slots per thread buffer when the caller does not choose one.
+pub const DEFAULT_SPAN_CAPACITY: usize = 8192;
+
+/// One fixed-width span slot. The sequence word is odd while the writer is
+/// mid-update and even when the payload is stable; a reader that observes an
+/// odd value, or a value that changed across its payload reads, discards the
+/// record as torn. `SeqCst` throughout keeps the protocol obviously sound —
+/// the cost only exists when tracing is enabled.
+#[derive(Debug, Default)]
+struct SpanSlot {
+    seq: AtomicU64,
+    name: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+/// The per-thread ring. A single writer (the owning [`SpanHandle`]) appends;
+/// any number of readers snapshot. Slots are allocated lazily on the first
+/// *enabled* record so a disabled run never allocates.
+#[derive(Debug)]
+pub(crate) struct SpanBuffer {
+    tid: u64,
+    capacity: usize,
+    slots: OnceLock<Box<[SpanSlot]>>,
+    /// Total records ever written; `head % capacity` is the next slot.
+    head: AtomicU64,
+}
+
+impl SpanBuffer {
+    fn new(tid: u64, capacity: usize) -> Self {
+        Self { tid, capacity: capacity.max(1), slots: OnceLock::new(), head: AtomicU64::new(0) }
+    }
+
+    /// Whether the slot ring has been allocated (i.e. at least one record
+    /// was written while the layer was enabled).
+    #[cfg(test)]
+    fn is_allocated(&self) -> bool {
+        self.slots.get().is_some()
+    }
+
+    fn write(&self, name: u32, start_ns: u64, dur_ns: u64) {
+        let slots =
+            self.slots.get_or_init(|| (0..self.capacity).map(|_| SpanSlot::default()).collect());
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &slots[(head % self.capacity as u64) as usize];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::SeqCst); // odd: writing
+        slot.name.store(u64::from(name), Ordering::SeqCst);
+        slot.start_ns.store(start_ns, Ordering::SeqCst);
+        slot.dur_ns.store(dur_ns, Ordering::SeqCst);
+        slot.seq.store(seq + 2, Ordering::SeqCst); // even: stable
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Records overwritten so far (ring wrap), i.e. spans no snapshot can
+    /// recover any more.
+    fn dropped(&self) -> u64 {
+        self.head.load(Ordering::Acquire).saturating_sub(self.capacity as u64)
+    }
+
+    /// Reads every stable record, skipping torn ones. Returns
+    /// `(records, torn)`.
+    fn read(&self) -> (Vec<(u64, u32, u64, u64)>, u64) {
+        let Some(slots) = self.slots.get() else { return (Vec::new(), 0) };
+        let head = self.head.load(Ordering::Acquire);
+        let live = head.min(self.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(live);
+        let mut torn = 0u64;
+        // Oldest surviving record first.
+        let base = head.saturating_sub(self.capacity as u64);
+        for i in 0..live as u64 {
+            let slot = &slots[((base + i) % self.capacity as u64) as usize];
+            let s1 = slot.seq.load(Ordering::SeqCst);
+            let name = slot.name.load(Ordering::SeqCst);
+            let start = slot.start_ns.load(Ordering::SeqCst);
+            let dur = slot.dur_ns.load(Ordering::SeqCst);
+            let s2 = slot.seq.load(Ordering::SeqCst);
+            if s1 % 2 != 0 || s1 != s2 {
+                torn += 1;
+                continue;
+            }
+            out.push((self.tid, name as u32, start, dur));
+        }
+        (out, torn)
+    }
+}
+
+/// The shared side of the span layer: on/off flag, name intern table, clock
+/// epoch, and the registry of every thread's buffer.
+///
+/// Created once per engine; threads obtain writers with
+/// [`register`](Self::register).
+#[derive(Debug)]
+pub struct SpanSink {
+    enabled: AtomicBool,
+    capacity: usize,
+    epoch: Instant,
+    names: Mutex<Vec<String>>,
+    buffers: Mutex<Vec<Arc<SpanBuffer>>>,
+}
+
+impl SpanSink {
+    /// Creates a sink whose per-thread rings hold `capacity` spans each.
+    /// The layer starts disabled.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            names: Mutex::new(Vec::new()),
+            buffers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turns recording on or off. Off is the default; while off, a record
+    /// call is a single relaxed load and a branch.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether the layer is currently recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the sink's epoch — the timestamp base every span
+    /// uses, so spans from different threads share one timeline.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Interns a span name, returning its stable id. Intended for cold setup
+    /// code (engine construction); recording threads pass the id.
+    pub fn intern(&self, name: &str) -> u32 {
+        let mut names = self.names.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return u32::try_from(i).expect("span name table exceeds u32");
+        }
+        names.push(name.to_string());
+        u32::try_from(names.len() - 1).expect("span name table exceeds u32")
+    }
+
+    /// Registers a new per-thread buffer and returns its writer handle.
+    /// `tid` is a caller-chosen thread label (worker index, producer id…)
+    /// carried into the exported trace.
+    #[must_use]
+    pub fn register(self: &Arc<Self>, tid: u64) -> SpanHandle {
+        let buffer = Arc::new(SpanBuffer::new(tid, self.capacity));
+        self.buffers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&buffer));
+        SpanHandle { sink: Arc::clone(self), buffer }
+    }
+
+    /// Total spans overwritten across all thread buffers (ring wrap). These
+    /// are bounded, counted losses — never torn data.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.buffers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|b| b.dropped())
+            .sum()
+    }
+
+    /// Snapshots every buffer: all stable records (oldest surviving first,
+    /// per thread), plus the drop and torn-skip counts.
+    #[must_use]
+    pub fn snapshot(&self) -> SpanDump {
+        let names = self.names.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let buffers: Vec<Arc<SpanBuffer>> = self
+            .buffers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        let mut torn = 0u64;
+        for buffer in buffers {
+            let (rows, skipped) = buffer.read();
+            torn += skipped;
+            dropped += buffer.dropped();
+            for (tid, name_id, start_ns, dur_ns) in rows {
+                let name = names
+                    .get(name_id as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("span#{name_id}"));
+                records.push(SpanRecord { tid, name, start_ns, dur_ns });
+            }
+        }
+        SpanDump { records, dropped, torn }
+    }
+
+    #[cfg(test)]
+    fn buffer_allocated(&self, idx: usize) -> bool {
+        self.buffers.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx].is_allocated()
+    }
+}
+
+/// A single-thread writer into its private span ring. Obtain one per thread
+/// via [`SpanSink::register`]; the handle is `Send` but deliberately not
+/// `Clone` — one writer per buffer is what makes the ring lock-free.
+#[derive(Debug)]
+pub struct SpanHandle {
+    sink: Arc<SpanSink>,
+    buffer: Arc<SpanBuffer>,
+}
+
+impl SpanHandle {
+    /// Whether recording is on — one relaxed atomic load, suitable for
+    /// guarding the timestamp reads themselves.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// The sink's clock, for taking `start_ns` before the timed section.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.sink.now_ns()
+    }
+
+    /// Records one completed span. When the layer is disabled this is a
+    /// relaxed load and a branch; nothing is written or allocated.
+    #[inline]
+    pub fn record(&self, name: u32, start_ns: u64, dur_ns: u64) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        self.buffer.write(name, start_ns, dur_ns);
+    }
+}
+
+/// One recovered span: which thread, what it was doing, and when.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Caller-chosen thread label from [`SpanSink::register`].
+    pub tid: u64,
+    /// Resolved span name.
+    pub name: String,
+    /// Nanoseconds since the sink epoch when the span began.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything a snapshot recovered from the span layer.
+#[derive(Clone, Debug, Default)]
+pub struct SpanDump {
+    /// All stable records, grouped by thread (oldest surviving first).
+    pub records: Vec<SpanRecord>,
+    /// Spans overwritten by ring wrap before this snapshot could read them.
+    pub dropped: u64,
+    /// Slots skipped because a writer was mid-update — transient, re-read
+    /// on the next snapshot.
+    pub torn: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_round_trip_with_names() {
+        let sink = Arc::new(SpanSink::new(16));
+        let a = sink.intern("claim");
+        let b = sink.intern("replay");
+        assert_eq!(sink.intern("claim"), a, "interning is idempotent");
+        sink.set_enabled(true);
+        let h = sink.register(3);
+        h.record(a, 100, 50);
+        h.record(b, 150, 25);
+        let dump = sink.snapshot();
+        assert_eq!(dump.dropped, 0);
+        assert_eq!(dump.torn, 0);
+        assert_eq!(dump.records.len(), 2);
+        assert_eq!(
+            dump.records[0],
+            SpanRecord { tid: 3, name: "claim".into(), start_ns: 100, dur_ns: 50 }
+        );
+        assert_eq!(dump.records[1].name, "replay");
+    }
+
+    #[test]
+    fn disabled_path_never_allocates_the_ring() {
+        let sink = Arc::new(SpanSink::new(1024));
+        let name = sink.intern("noop");
+        let h = sink.register(0);
+        for i in 0..10_000 {
+            h.record(name, i, 1);
+        }
+        assert!(!sink.buffer_allocated(0), "disabled records must not allocate");
+        assert!(sink.snapshot().records.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wrap_counts_drops_and_keeps_newest() {
+        let sink = Arc::new(SpanSink::new(8));
+        let name = sink.intern("w");
+        sink.set_enabled(true);
+        let h = sink.register(0);
+        for i in 0..20u64 {
+            h.record(name, i, 1);
+        }
+        let dump = sink.snapshot();
+        assert_eq!(dump.dropped, 12, "20 written into 8 slots drops exactly 12");
+        assert_eq!(dump.records.len(), 8);
+        // Newest 8 survive, oldest surviving first.
+        let starts: Vec<u64> = dump.records.iter().map(|r| r.start_ns).collect();
+        assert_eq!(starts, (12..20).collect::<Vec<_>>());
+    }
+
+    /// The torn-record invariant under fire: writers hammer while a reader
+    /// snapshots continuously. Every surfaced record must be internally
+    /// consistent (we encode `dur = start ^ MAGIC` so any cross-slot or
+    /// mid-write tear is detectable), and the written/dropped/observable
+    /// accounting must balance per thread.
+    #[test]
+    fn hammer_no_torn_records_bounded_drops() {
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 50_000;
+        const CAP: usize = 256;
+        const MAGIC: u64 = 0x9E37_79B9_7F4A_7C15;
+
+        let sink = Arc::new(SpanSink::new(CAP));
+        let name = sink.intern("hammer");
+        sink.set_enabled(true);
+        let handles: Vec<SpanHandle> = (0..WRITERS).map(|t| sink.register(t)).collect();
+
+        thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        h.record(name, i, i ^ MAGIC);
+                    }
+                });
+            }
+            // Concurrent reader: no surfaced record may be torn.
+            let sink = Arc::clone(&sink);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    for r in sink.snapshot().records {
+                        assert_eq!(r.dur_ns, r.start_ns ^ MAGIC, "torn record surfaced");
+                        assert_eq!(r.name, "hammer");
+                    }
+                }
+            });
+        });
+
+        let dump = sink.snapshot();
+        for r in &dump.records {
+            assert_eq!(r.dur_ns, r.start_ns ^ MAGIC);
+        }
+        // Quiescent accounting: every thread wrote PER_WRITER records into a
+        // CAP ring, so exactly PER_WRITER - CAP dropped each and CAP survive.
+        assert_eq!(dump.dropped, WRITERS * (PER_WRITER - CAP as u64));
+        assert_eq!(dump.records.len(), WRITERS as usize * CAP);
+        assert_eq!(dump.torn, 0, "no writer is active; nothing may read as torn");
+    }
+
+    #[test]
+    fn clock_is_monotonic_from_shared_epoch() {
+        let sink = Arc::new(SpanSink::new(4));
+        let t0 = sink.now_ns();
+        let t1 = sink.now_ns();
+        assert!(t1 >= t0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: arbitrary span dumps must export to Chrome trace-event
+//! JSON that round-trips through the crate's own hand-rolled parser and
+//! passes the `obs-check` validator — schema, per-track monotone `ts`,
+//! matched `B`/`E` pairs — no matter how the spans land (nested, disjoint,
+//! partially overlapping, zero-width, or with nasty names).
+
+use pmtest_obs::json::{self, JsonValue};
+use pmtest_obs::{trace_event, SpanDump, SpanRecord};
+use proptest::prelude::*;
+
+/// Span names exercising JSON escaping: quotes, backslashes, control
+/// characters, non-ASCII.
+const NAMES: [&str; 6] =
+    ["replay", "ring wait", "a\"quote", "back\\slash", "tab\there", "ünïcode—span"];
+
+fn arb_record() -> impl Strategy<Value = SpanRecord> {
+    (0..4u64, 0..NAMES.len(), 0..1_000_000u64, 0..200_000u64).prop_map(
+        |(tid, name, start_ns, dur_ns)| SpanRecord {
+            tid,
+            name: NAMES[name].to_owned(),
+            start_ns,
+            dur_ns,
+        },
+    )
+}
+
+proptest! {
+    /// Export → parse → validate succeeds, and the document's event count
+    /// is exactly two per span (one B, one E), all on the right tracks.
+    #[test]
+    fn chrome_trace_round_trips_through_own_parser(
+        records in proptest::collection::vec(arb_record(), 0..80),
+        dropped in 0..1000u64,
+    ) {
+        let dump = SpanDump { records: records.clone(), dropped, torn: 0 };
+        let text = trace_event::to_chrome_trace(&dump);
+
+        // The emitted document must parse with the hand-rolled reader…
+        let doc = json::parse(&text).expect("exporter must emit valid JSON");
+        // …and satisfy the trace-event schema checks.
+        let stats = trace_event::validate(&doc).expect("exporter output must validate");
+        prop_assert_eq!(stats.pairs, records.len());
+        prop_assert_eq!(stats.events, records.len() * 2);
+
+        // Drop accounting survives the round trip.
+        prop_assert_eq!(doc.get("spanDropped").and_then(JsonValue::as_f64), Some(dropped as f64));
+
+        // Every span's name appears (escaped and unescaped) in the doc.
+        let events = match doc.get("traceEvents") {
+            Some(JsonValue::Array(events)) => events,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        for r in &records {
+            prop_assert!(
+                events.iter().any(|e| {
+                    e.get("name").and_then(JsonValue::as_str) == Some(r.name.as_str())
+                        && e.get("tid").and_then(JsonValue::as_f64) == Some(r.tid as f64)
+                }),
+                "span {:?} missing from export", r.name
+            );
+        }
+    }
+
+    /// Extreme timestamps (u64 range, potential start+dur overflow) must
+    /// still yield a valid, monotone document.
+    #[test]
+    fn chrome_trace_survives_extreme_timestamps(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..16),
+    ) {
+        let records: Vec<SpanRecord> = raw
+            .iter()
+            .map(|&(start_ns, dur_ns)| SpanRecord {
+                tid: 0,
+                name: "x".to_owned(),
+                start_ns,
+                dur_ns,
+            })
+            .collect();
+        let n = records.len();
+        let dump = SpanDump { records, dropped: 0, torn: 0 };
+        let stats = trace_event::validate_str(&trace_event::to_chrome_trace(&dump))
+            .expect("extreme timestamps must still validate");
+        prop_assert_eq!(stats.pairs, n);
+    }
+}

@@ -10,8 +10,9 @@
 //! `measurement_time / sample_size`, then reports the **median** and **best**
 //! per-iteration time over `sample_size` batches. No statistical regression,
 //! HTML reports, or outlier analysis — numbers print to stdout and are
-//! queryable by the caller via [`Criterion::last_estimate_ns`] (used by this
-//! repository's JSON-emitting benches).
+//! queryable by the caller via [`Criterion::last_estimate_ns`] /
+//! [`Criterion::last_best_ns`] (used by this repository's JSON-emitting
+//! benches: medians for reporting, floors for regression guards).
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +27,7 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     last_estimate_ns: Option<f64>,
+    last_best_ns: Option<f64>,
 }
 
 impl Default for Criterion {
@@ -35,6 +37,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
             last_estimate_ns: None,
+            last_best_ns: None,
         }
     }
 }
@@ -63,7 +66,7 @@ impl Criterion {
 
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let estimate = run_bench(
+        let (median, best) = run_bench(
             name,
             None,
             self.sample_size,
@@ -71,7 +74,8 @@ impl Criterion {
             self.warm_up_time,
             &mut f,
         );
-        self.last_estimate_ns = Some(estimate);
+        self.last_estimate_ns = Some(median);
+        self.last_best_ns = Some(best);
         self
     }
 
@@ -85,6 +89,16 @@ impl Criterion {
     #[must_use]
     pub fn last_estimate_ns(&self) -> Option<f64> {
         self.last_estimate_ns
+    }
+
+    /// Best (minimum) ns/iter over the most recent benchmark's sample
+    /// batches — the cost floor. Scheduler noise on a shared host only ever
+    /// *adds* time, so regression guards compare floors: a real code-cost
+    /// increase raises the floor, a noisy-neighbor episode does not lower
+    /// it. (Shim extension.)
+    #[must_use]
+    pub fn last_best_ns(&self) -> Option<f64> {
+        self.last_best_ns
     }
 }
 
@@ -105,7 +119,7 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let name = format!("{}/{}", self.name, id);
-        let estimate = run_bench(
+        let (median, best) = run_bench(
             &name,
             self.throughput,
             self.parent.sample_size,
@@ -113,7 +127,8 @@ impl BenchmarkGroup<'_> {
             self.parent.warm_up_time,
             &mut f,
         );
-        self.parent.last_estimate_ns = Some(estimate);
+        self.parent.last_estimate_ns = Some(median);
+        self.parent.last_best_ns = Some(best);
         self
     }
 
@@ -125,7 +140,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id);
-        let estimate = run_bench(
+        let (median, best) = run_bench(
             &name,
             self.throughput,
             self.parent.sample_size,
@@ -133,7 +148,8 @@ impl BenchmarkGroup<'_> {
             self.parent.warm_up_time,
             &mut |b| f(b, input),
         );
-        self.parent.last_estimate_ns = Some(estimate);
+        self.parent.last_estimate_ns = Some(median);
+        self.parent.last_best_ns = Some(best);
         self
     }
 
@@ -142,6 +158,13 @@ impl BenchmarkGroup<'_> {
     #[must_use]
     pub fn last_estimate_ns(&self) -> Option<f64> {
         self.parent.last_estimate_ns
+    }
+
+    /// Best (minimum) ns/iter of the most recently run benchmark (shim
+    /// extension, mirrors [`Criterion::last_best_ns`]).
+    #[must_use]
+    pub fn last_best_ns(&self) -> Option<f64> {
+        self.parent.last_best_ns
     }
 
     /// Ends the group (no-op beyond matching the real API).
@@ -206,7 +229,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     measurement_time: Duration,
     warm_up_time: Duration,
     f: &mut F,
-) -> f64 {
+) -> (f64, f64) {
     // Warm-up: also sizes the batch so one batch ≈ measurement_time/samples.
     let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
     let warm_start = Instant::now();
@@ -242,7 +265,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         "{name:<48} median {median:>12.1} ns/iter  best {best:>12.1} ns/iter{}",
         rate.unwrap_or_default()
     );
-    median
+    (median, best)
 }
 
 /// Declares a group of benchmark functions, optionally with a config.
@@ -289,6 +312,8 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         let est = c.last_estimate_ns().expect("estimate recorded");
         assert!(est > 0.0);
+        let best = c.last_best_ns().expect("best sample recorded");
+        assert!(best > 0.0 && best <= est, "floor {best} must not exceed median {est}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! recording never touches the allocator.
 
 use crate::event::Entry;
-use crate::packed::{encode_into_interned, LocInterner, PackedEntry};
+use crate::packed::{encode_into_interned, InternStats, LocInterner, PackedEntry};
 
 /// Where one sealed trace lives inside a [`TraceArena`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +59,22 @@ pub struct TraceArena {
     /// First-level location cache; survives [`clear`](Self::clear) so a
     /// recycled arena starts warm (interned ids are process-global).
     interner: LocInterner,
+    /// Word-buffer reallocations observed so far (plain counter; the cold
+    /// fold into shared telemetry happens at batch-ship time).
+    slab_allocs: u64,
+    /// Capacity at the last [`seal`](Self::seal), to detect growth.
+    last_word_cap: usize,
+}
+
+/// Allocator-facing tallies of one recording arena: word-slab growth plus
+/// the location-intern tier hits, taken (and reset) at batch-ship time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Times the packed-word buffer had to reallocate (steady state: zero —
+    /// recycled arenas keep their backing slab).
+    pub slab_allocs: u64,
+    /// Location-intern tier hits recorded through this arena.
+    pub interns: InternStats,
 }
 
 impl TraceArena {
@@ -91,6 +107,12 @@ impl TraceArena {
         self.spans.push(TraceSpan { id, start, records, entries: self.open_entries });
         self.open_start = self.words.len();
         self.open_entries = 0;
+        // Growth check once per trace, not per entry: cheap enough to keep
+        // even with telemetry off.
+        if self.words.capacity() > self.last_word_cap {
+            self.slab_allocs += 1;
+            self.last_word_cap = self.words.capacity();
+        }
     }
 
     /// Number of sealed traces.
@@ -128,8 +150,15 @@ impl TraceArena {
         }
         // The location cache belongs with the *recording* side: keep the
         // warm one here, ship the replacement's (the checker never uses it).
+        // The allocation tallies travel with it — the ship path reads them
+        // off the live arena right after this returns.
         std::mem::swap(&mut self.interner, &mut fresh.interner);
-        std::mem::replace(self, fresh)
+        std::mem::swap(&mut self.slab_allocs, &mut fresh.slab_allocs);
+        let shipped = std::mem::replace(self, fresh);
+        // `self` is now the replacement; re-anchor its growth watermark so
+        // a retained slab is not miscounted as a fresh allocation.
+        self.last_word_cap = self.words.capacity();
+        shipped
     }
 
     /// Forgets all records and spans while keeping the backing allocations,
@@ -139,6 +168,18 @@ impl TraceArena {
         self.spans.clear();
         self.open_start = 0;
         self.open_entries = 0;
+        self.last_word_cap = self.words.capacity();
+    }
+
+    /// Returns and resets the allocator/intern tallies accumulated since
+    /// the last take. The ship path calls this on the live (recording-side)
+    /// arena right after [`detach_for_ship`](Self::detach_for_ship), which
+    /// keeps the tallies on the recording side.
+    pub fn take_stats(&mut self) -> ArenaStats {
+        ArenaStats {
+            slab_allocs: std::mem::take(&mut self.slab_allocs),
+            interns: self.interner.take_stats(),
+        }
     }
 
     /// Capacity of the word buffer, used by the pool's retention cap.
@@ -196,6 +237,50 @@ mod tests {
         let (id, words, entries) = arena.traces().next().unwrap();
         assert_eq!((id, entries), (2, 1));
         assert_eq!(words[0].op(), crate::packed::PackedOp::Fence);
+    }
+
+    #[test]
+    fn stats_track_slab_growth_and_intern_tiers() {
+        let mut arena = TraceArena::new();
+        for i in 0..64 {
+            // Two alternating sites: first touch falls through to TLS or
+            // global, every later one hits the arena-resident cache.
+            arena.push(Event::Write(r(0, 8)).at(loc(1)));
+            arena.push(Event::Fence.at(loc(2)));
+            arena.seal(i);
+        }
+        let stats = arena.take_stats();
+        assert!(stats.slab_allocs >= 1, "growing from empty must count at least one slab");
+        assert_eq!(stats.interns.arena_hits, 126, "all but the two first touches hit the arena");
+        assert_eq!(stats.interns.tls_hits + stats.interns.global, 2);
+        // take_stats resets.
+        assert_eq!(arena.take_stats(), ArenaStats::default());
+
+        // A recycled (cleared) arena keeps its slab: no further growth, and
+        // the interner stays warm.
+        let cap = arena.word_capacity();
+        arena.clear();
+        for i in 0..64 {
+            arena.push(Event::Write(r(0, 8)).at(loc(1)));
+            arena.push(Event::Fence.at(loc(2)));
+            arena.seal(i);
+        }
+        assert_eq!(arena.word_capacity(), cap);
+        let stats = arena.take_stats();
+        assert_eq!(stats.slab_allocs, 0, "recycled slab must not recount");
+        assert_eq!(stats.interns.arena_hits, 128, "warm interner hits every entry");
+    }
+
+    #[test]
+    fn detach_keeps_tallies_on_the_recording_side() {
+        let mut arena = TraceArena::new();
+        arena.push(Event::Write(r(0, 8)).at(loc(9)));
+        arena.seal(1);
+        let mut shipped = arena.detach_for_ship(TraceArena::new());
+        assert_eq!(shipped.take_stats(), ArenaStats::default(), "shipped side carries no tallies");
+        let stats = arena.take_stats();
+        assert!(stats.slab_allocs >= 1);
+        assert_eq!(stats.interns.tls_hits + stats.interns.global, 1);
     }
 
     #[test]

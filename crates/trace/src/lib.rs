@@ -45,10 +45,10 @@ mod recorder;
 mod sink;
 mod stats;
 
-pub use arena::{TraceArena, TraceSpan};
+pub use arena::{ArenaStats, TraceArena, TraceSpan};
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
 pub use loc::{LocId, LocInterner};
-pub use packed::{LocResolver, PackedEntry, PackedOp, PACKED_ENTRY_BYTES};
+pub use packed::{InternStats, LocResolver, PackedEntry, PackedOp, PACKED_ENTRY_BYTES};
 pub use pool::{ArenaPool, BufferPool, PoolItem, PoolStats, RecyclePool};
 pub use recorder::{FlightRecorder, IntervalNote, StepRecord};
 pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};

@@ -195,21 +195,36 @@ fn intern_uncached(loc: SourceLoc) -> u32 {
 /// 32-bit id. Two locations with equal file/line always get the same id.
 #[must_use]
 pub fn intern_loc(loc: SourceLoc) -> u32 {
+    intern_loc_tiered(loc).0
+}
+
+/// Which tier of the three-level intern cache settled a lookup. Purely an
+/// observability detail; the returned id is identical either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InternTier {
+    /// Hit in the thread-local cache.
+    Tls,
+    /// Fell through to the process-wide table (lock + dedup index).
+    Global,
+}
+
+/// [`intern_loc`], also reporting which tier answered.
+fn intern_loc_tiered(loc: SourceLoc) -> (u32, InternTier) {
     // The thread cache may already be torn down when a session slot flushes
     // from a thread-local destructor; fall through to the global table then.
     LOC_CACHE
         .try_with(|cache| {
             let mut cache = cache.borrow_mut();
             if let Some(&(_, id)) = cache.iter().find(|(l, _)| l.same_site(&loc)) {
-                return id;
+                return (id, InternTier::Tls);
             }
             let id = intern_uncached(loc);
             if cache.len() < THREAD_CACHE_MAX {
                 cache.push((loc, id));
             }
-            id
+            (id, InternTier::Global)
         })
-        .unwrap_or_else(|_| intern_uncached(loc))
+        .unwrap_or_else(|_| (intern_uncached(loc), InternTier::Global))
 }
 
 /// First-level intern cache embedded in a recording buffer.
@@ -228,11 +243,35 @@ pub struct LocInterner {
     sites: Vec<(SourceLoc, u32)>,
     /// Round-robin eviction cursor.
     next: usize,
+    /// Tier-hit tallies (plain counters: the interner is single-owner, and
+    /// the cold fold into shared telemetry happens at batch-ship time).
+    stats: InternStats,
 }
 
 /// Sites held by a [`LocInterner`] — enough for the instrumentation macros
 /// of a hot loop, small enough that a miss-heavy scan stays cheap.
 const LOC_INTERNER_MAX: usize = 8;
+
+/// Tier-hit tallies of the three-level location-intern cache: per-arena
+/// scan → thread-local cache → process-global table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Lookups settled by the arena-resident site scan.
+    pub arena_hits: u64,
+    /// Arena misses settled by the thread-local cache.
+    pub tls_hits: u64,
+    /// Lookups that fell through to the process-global table.
+    pub global: u64,
+}
+
+impl InternStats {
+    /// Adds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: InternStats) {
+        self.arena_hits += other.arena_hits;
+        self.tls_hits += other.tls_hits;
+        self.global += other.global;
+    }
+}
 
 impl LocInterner {
     /// Interns `loc`, consulting the in-buffer cache first.
@@ -240,9 +279,14 @@ impl LocInterner {
     #[must_use]
     pub fn intern(&mut self, loc: SourceLoc) -> u32 {
         if let Some(&(_, id)) = self.sites.iter().find(|(l, _)| l.same_site(&loc)) {
+            self.stats.arena_hits += 1;
             return id;
         }
-        let id = intern_loc(loc);
+        let (id, tier) = intern_loc_tiered(loc);
+        match tier {
+            InternTier::Tls => self.stats.tls_hits += 1,
+            InternTier::Global => self.stats.global += 1,
+        }
         if self.sites.len() < LOC_INTERNER_MAX {
             self.sites.push((loc, id));
         } else {
@@ -250,6 +294,12 @@ impl LocInterner {
             self.next = (self.next + 1) % LOC_INTERNER_MAX;
         }
         id
+    }
+
+    /// Returns and resets the tier-hit tallies accumulated since the last
+    /// take. Called at batch-ship time to fold into shared telemetry.
+    pub fn take_stats(&mut self) -> InternStats {
+        std::mem::take(&mut self.stats)
     }
 }
 

@@ -1,11 +1,13 @@
 //! Engine telemetry end to end: drive a mixed multi-threaded workload with
 //! every telemetry layer on, then export what the engine observed in all
 //! three machine-readable formats (JSON-lines, Prometheus text exposition,
-//! single-document JSON) plus the diagnostics as JSON-lines.
+//! single-document JSON), the diagnostics as JSON-lines, and the ingest
+//! spans as a Perfetto-loadable Chrome trace-event file.
 //!
 //! The emitted files land in `bench_results/` (same shape as the benchmark
 //! reports there); CI re-parses them with the `obs-check` binary to keep the
-//! formats honest.
+//! formats honest. Open `TELEMETRY_trace.trace.json` at
+//! <https://ui.perfetto.dev> to see the ship/claim/replay/merge timeline.
 //!
 //! Run with: `cargo run --release --example telemetry`
 
@@ -16,11 +18,12 @@ const THREADS: u64 = 4;
 const TRACES_PER_THREAD: u64 = 100;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Everything on: timing histograms AND the structured event ring.
+    // Everything on: timing histograms, the structured event ring, the
+    // flight recorder, AND the per-thread span buffers.
     let session = PmTestSession::builder()
         .workers(2)
         .batch_capacity(8)
-        .telemetry(TelemetryConfig::enabled())
+        .telemetry(TelemetryConfig::enabled().with_tracing())
         .build();
     session.start();
 
@@ -82,10 +85,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The flight recorder auto-captured a diagnosis bundle for each failing
     // trace (bounded); dump the first one for `pmtest-explain` / `obs-check`.
     let bundle = writer::write_lines(dir, "EXPLAIN_demo", &bundles[0].to_json_lines())?;
+    // The ingest spans as Chrome trace-event JSON — load this file in the
+    // Perfetto UI to see every producer's ship spans above each worker's
+    // claim/replay/merge lanes.
+    let chrome = session.chrome_trace();
+    let trace_path = format!("{dir}/TELEMETRY_trace.trace.json");
+    std::fs::write(&trace_path, &chrome)?;
     println!("\nwrote {}", doc.display());
     println!("wrote {}", jsonl.display());
     println!("wrote {diags}");
     println!("wrote {} ({} bundles captured)", bundle.display(), bundles.len());
+    println!("wrote {trace_path} (open at https://ui.perfetto.dev)");
 
     // The demo doubles as a smoke test: the planted bugs must be visible in
     // both the report and the telemetry counters.
@@ -102,5 +112,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!snap.events.is_empty(), "event ring captured batch flushes");
     assert!(!bundles.is_empty(), "failing traces must auto-capture diagnosis bundles");
     assert!(bundles.iter().all(|b| !b.steps.is_empty()), "bundles carry a trace window");
+    // The five ingest stages all saw traffic, and the exported trace-event
+    // file is schema-valid and non-trivial.
+    for stage in ["record_push", "ring_wait", "claim_replay", "replay", "report_merge"] {
+        let h = snap.histogram_with("engine_stage_ns", "stage", stage).expect("stage registered");
+        assert!(h.count > 0, "stage {stage} recorded no batches");
+    }
+    let stats = pmtest::obs::trace_event::validate_str(&chrome)
+        .map_err(|e| format!("invalid trace-event JSON: {e}"))?;
+    assert!(stats.pairs > 0, "tracing layer captured no spans");
+    assert!(stats.threads >= 2, "producer and worker tracks expected, got {stats:?}");
+    assert_eq!(snap.counter_sum("engine_spans_dropped"), 0, "span buffers must not overflow here");
     Ok(())
 }
