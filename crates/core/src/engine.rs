@@ -308,6 +308,15 @@ struct Shared {
     /// Name of the configured persistency model, for bundle headers built
     /// outside the workers ([`Engine::capture_bundle`]).
     model_name: String,
+    /// Crash points visited by exploration sweeps recorded on this engine
+    /// ([`Engine::record_exploration`]).
+    explore_points: AtomicU64,
+    /// Crash images run through a recovery procedure.
+    explore_images: AtomicU64,
+    /// Crash points served off shared (incrementally advanced) prefix state.
+    explore_share_hits: AtomicU64,
+    /// Crash points that paid a from-scratch rescan.
+    explore_share_misses: AtomicU64,
 }
 
 /// Most ERROR bundles retained between [`Engine::take_bundles`] drains. One
@@ -426,6 +435,21 @@ impl Shared {
             &[],
             if acquisitions == 0 { 0.0 } else { recycled as f64 / acquisitions as f64 },
         );
+        let hits = self.explore_share_hits.load(Ordering::Relaxed);
+        let misses = self.explore_share_misses.load(Ordering::Relaxed);
+        snap.push_counter(
+            "crash_points_enumerated",
+            &[],
+            self.explore_points.load(Ordering::Relaxed),
+        );
+        snap.push_counter("images_checked", &[], self.explore_images.load(Ordering::Relaxed));
+        snap.push_counter("prefix_share_hits", &[], hits);
+        snap.push_counter("prefix_share_misses", &[], misses);
+        snap.push_gauge(
+            "prefix_share_hit_rate",
+            &[],
+            if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+        );
         snap
     }
 }
@@ -519,6 +543,10 @@ impl Engine {
             bundles: Mutex::new(Vec::new()),
             bundles_dropped: AtomicU64::new(0),
             model_name: config.model.name().to_owned(),
+            explore_points: AtomicU64::new(0),
+            explore_images: AtomicU64::new(0),
+            explore_share_hits: AtomicU64::new(0),
+            explore_share_misses: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -620,6 +648,29 @@ impl Engine {
     #[must_use]
     pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
         self.scrape.as_ref().map(ScrapeServer::local_addr)
+    }
+
+    /// Folds one exploration sweep's counters into the engine's telemetry
+    /// (`crash_points_enumerated`, `images_checked`, `prefix_share_hits`,
+    /// `prefix_share_misses` in [`telemetry_snapshot`](Self::telemetry_snapshot)).
+    pub fn record_exploration(&self, stats: &crate::explore::ExploreStats) {
+        self.shared.explore_points.fetch_add(stats.crash_points_enumerated, Ordering::Relaxed);
+        self.shared.explore_images.fetch_add(stats.images_checked, Ordering::Relaxed);
+        self.shared.explore_share_hits.fetch_add(stats.prefix_share_hits, Ordering::Relaxed);
+        self.shared.explore_share_misses.fetch_add(stats.prefix_share_misses, Ordering::Relaxed);
+    }
+
+    /// Runs a crash-point exploration sweep ([`crate::explore::explore`])
+    /// and records its counters on this engine's telemetry.
+    pub fn explore(
+        &self,
+        sim: &pmtest_pmem::crash::CrashSim,
+        proc: &dyn crate::explore::RecoveryProc,
+        config: &crate::explore::ExploreConfig,
+    ) -> crate::explore::ExploreReport {
+        let report = crate::explore::explore(sim, proc, config);
+        self.record_exploration(&report.stats);
+        report
     }
 
     /// Exports the span buffers as Chrome trace-event JSON — load the string
@@ -1753,5 +1804,61 @@ mod tests {
         let report = engine.report();
         assert!(report.traces().is_empty(), "no trace survives a panicking checker");
         assert!(engine.take_report().is_clean());
+    }
+
+    #[test]
+    fn telemetry_snapshot_exports_exploration_counters() {
+        use crate::explore::{ExploreConfig, RecoveryProc};
+        use pmtest_pmem::crash::{CrashSim, ValuedOp};
+
+        struct NoopProc;
+        impl RecoveryProc for NoopProc {
+            fn name(&self) -> &str {
+                "noop"
+            }
+
+            fn check(&self, _point: usize, _image: &[u8]) -> Result<(), String> {
+                Ok(())
+            }
+        }
+
+        let engine = Engine::new(EngineConfig::default());
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(snap.counter("crash_points_enumerated"), Some(0));
+        assert_eq!(snap.gauge("prefix_share_hit_rate"), Some(0.0), "no sweeps yet");
+
+        let sim = CrashSim::new(
+            vec![0; 128],
+            vec![
+                ValuedOp::Write { range: ByteRange::with_len(0, 1), data: vec![0xAA] },
+                ValuedOp::Flush(ByteRange::with_len(0, 1)),
+                ValuedOp::Fence,
+                ValuedOp::Write { range: ByteRange::with_len(64, 1), data: vec![1] },
+                ValuedOp::Flush(ByteRange::with_len(64, 1)),
+                ValuedOp::Fence,
+            ],
+        );
+        let report = engine.explore(&sim, &NoopProc, &ExploreConfig::default());
+        assert!(report.is_clean());
+        assert!(report.stats.images_checked > 0);
+
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(
+            snap.counter("crash_points_enumerated"),
+            Some(report.stats.crash_points_enumerated)
+        );
+        assert_eq!(snap.counter("images_checked"), Some(report.stats.images_checked));
+        assert_eq!(snap.counter("prefix_share_hits"), Some(report.stats.prefix_share_hits));
+        assert_eq!(snap.counter("prefix_share_misses"), Some(0), "model-mode ascending sweep");
+        assert_eq!(snap.gauge("prefix_share_hit_rate"), Some(1.0));
+
+        // A second sweep accumulates rather than resets.
+        engine.explore(&sim, &NoopProc, &ExploreConfig::default());
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(
+            snap.counter("crash_points_enumerated"),
+            Some(2 * report.stats.crash_points_enumerated)
+        );
+        assert_eq!(snap.counter("images_checked"), Some(2 * report.stats.images_checked));
     }
 }

@@ -71,6 +71,7 @@ pub mod compose;
 mod diag;
 mod engine;
 mod epoch;
+pub mod explore;
 mod fifo;
 mod ingest;
 mod model;
@@ -85,6 +86,10 @@ pub use checker::{
 pub use diag::{Diag, DiagKind, Report, Severity, TraceReport};
 pub use engine::{derived_queue_capacity, Engine, EngineConfig, EngineStats, SubmitError};
 pub use epoch::{Epoch, EpochInterval};
+pub use explore::{
+    explore, ExploreConfig, ExploreMode, ExplorePhase, ExploreReport, ExploreStats,
+    ExploreViolation, PointOutcome, RecoveryProc,
+};
 pub use fifo::{FifoStats, KernelFifo};
 pub use model::{BuiltinModel, HopsModel, PersistencyModel, X86Model};
 pub use session::{PmTestSession, SessionBuilder, ThreadRecorder};

@@ -193,10 +193,19 @@ pub fn capture_diagnosis_bundle(program: &Program) -> Result<String, String> {
 }
 
 /// Builds the crash-state oracle for the program: an all-zeros pool image
-/// plus the program's valued-op log.
+/// plus the program's valued-op log, each op carrying its synthetic
+/// `difftest:<op index>` source site so exploration violations attribute
+/// culprit writes back to program lines.
 #[must_use]
 pub fn crash_sim(program: &Program) -> CrashSim {
-    CrashSim::new(vec![0u8; POOL_BYTES as usize], program.valued_ops())
+    let sites = program
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.is_valued())
+        .map(|(i, _)| Program::loc(i))
+        .collect();
+    CrashSim::with_sites(vec![0u8; POOL_BYTES as usize], program.valued_ops(), sites)
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 //!
 //! [`gen`] produces seeded, deterministic programs; [`exec`] runs them;
 //! [`compare`] flags verdict divergences outside the documented
-//! over-approximations; [`shrink`] delta-debugs a diverging program down to
+//! over-approximations; [`explore`] cross-validates the crash-point
+//! exploration engine (prefix-shared vs fresh replay vs per-check oracle
+//! verdicts); [`shrink`] delta-debugs a diverging program down to
 //! a minimal op sequence; [`corpus`] persists minimized counterexamples as
 //! committed regression tests; [`mutate`] replays randomized workload
 //! sequences through the planted-fault catalog to prove the harness
@@ -24,6 +26,7 @@
 pub mod compare;
 pub mod corpus;
 pub mod exec;
+pub mod explore;
 pub mod gen;
 pub mod mutate;
 pub mod program;

@@ -1,0 +1,66 @@
+//! Property tests for crash-point exploration: over generated programs in
+//! both dialects, the prefix-shared incremental sweep must be
+//! observationally equivalent to a fresh-replay reference that rebuilds the
+//! crash cursor from scratch at every point. "Observationally equivalent"
+//! means the rendered verdict bodies (per-point state/violation rows, minus
+//! the hit-rate summary line, which differs by construction) are
+//! byte-identical, and the two sweeps visit the same points and check the
+//! same number of images.
+
+use pmtest_difftest::explore::{explore_program, explore_program_with, verdict_body};
+use pmtest_difftest::gen::{generate, GenConfig};
+use pmtest_difftest::program::Dialect;
+use proptest::prelude::*;
+
+/// Generates a program pinned to one dialect.
+fn program_for(seed: u64, hops: bool, max_ops: usize) -> pmtest_difftest::program::Program {
+    let cfg = GenConfig { max_ops, hops_probability: if hops { 1.0 } else { 0.0 } };
+    let program = generate(seed, &cfg);
+    assert_eq!(program.dialect, if hops { Dialect::Hops } else { Dialect::X86 });
+    program
+}
+
+proptest! {
+    /// Model-mode sweeps: shared and fresh replay agree byte-for-byte on
+    /// every generated program, x86 and HOPS alike, and the shared sweep
+    /// never pays a rescan (ascending fence boundaries are always cursor
+    /// advances).
+    #[test]
+    fn prefix_shared_matches_fresh_replay_model_mode(
+        seed in any::<u64>(),
+        hops in any::<bool>(),
+        max_ops in 8..40usize,
+    ) {
+        let program = program_for(seed, hops, max_ops);
+        let outcome = explore_program(&program).expect("generated program must submit");
+        prop_assert_eq!(verdict_body(&outcome.shared), verdict_body(&outcome.fresh));
+        prop_assert!(outcome.divergences.is_empty(), "{:?}", outcome.divergences);
+        prop_assert_eq!(
+            outcome.shared.stats.crash_points_enumerated,
+            outcome.fresh.stats.crash_points_enumerated
+        );
+        prop_assert_eq!(outcome.shared.stats.images_checked, outcome.fresh.stats.images_checked);
+        prop_assert_eq!(outcome.shared.stats.prefix_share_misses, 0);
+        prop_assert_eq!(outcome.fresh.stats.prefix_share_hits, 0);
+        if outcome.shared.stats.crash_points_enumerated > 0 {
+            prop_assert!(outcome.shared.stats.prefix_share_hit_rate() >= 0.9);
+        }
+    }
+
+    /// Random-mode sweeps (seeded sampling, including backward seeks that
+    /// force rescans): shared and fresh still agree on every verdict.
+    #[test]
+    fn prefix_shared_matches_fresh_replay_random_mode(
+        seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+        hops in any::<bool>(),
+        points in 1..12usize,
+    ) {
+        let program = program_for(seed, hops, 32);
+        let outcome = explore_program_with(&program, Some((sample_seed, points)))
+            .expect("generated program must submit");
+        prop_assert_eq!(verdict_body(&outcome.shared), verdict_body(&outcome.fresh));
+        prop_assert!(outcome.divergences.is_empty(), "{:?}", outcome.divergences);
+        prop_assert_eq!(outcome.shared.stats.images_checked, outcome.fresh.stats.images_checked);
+    }
+}

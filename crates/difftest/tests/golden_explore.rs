@@ -1,0 +1,104 @@
+//! Exploration-report pinning: the crash-point exploration engine's full
+//! rendered output (point outcomes, violations, culprit attributions, and
+//! cross-validation divergences) over the committed counterexample corpus
+//! plus a fixed generated seed range is committed to
+//! `tests/golden/explore_reports.txt`. Any rework of the incremental cursor
+//! or the derived-invariant comparator must reproduce it byte-identically.
+//!
+//! Regenerate (only when exploration output is *intentionally* changed)
+//! with: `PMTEST_BLESS=1 cargo test -p pmtest-difftest --test golden_explore`
+
+use std::fmt::Write as _;
+
+use pmtest_difftest::corpus::load_corpus;
+use pmtest_difftest::explore::{explore_program, verdict_body};
+use pmtest_difftest::gen::{generate, GenConfig};
+use pmtest_difftest::program::Program;
+
+const GOLDEN_SEEDS: u64 = 50;
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/explore_reports.txt");
+
+fn render_one(out: &mut String, header: &str, program: &Program) {
+    let outcome = explore_program(program).expect("golden explore run");
+    let _ = writeln!(out, "# {header} dialect {:?}", program.dialect);
+    out.push_str(&outcome.shared.render());
+    // The fresh-replay reference must agree on everything but the
+    // prefix-share figures; pin that equivalence into the golden file
+    // rather than a bare assert so a regression shows up as a diff.
+    let _ = writeln!(
+        out,
+        "fresh-replay verdicts: {}",
+        if verdict_body(&outcome.shared) == verdict_body(&outcome.fresh) {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    for d in &outcome.divergences {
+        let _ = writeln!(out, "divergence: {d}");
+    }
+}
+
+fn render_corpus() -> String {
+    let mut out = String::new();
+    for (name, program) in load_corpus() {
+        render_one(&mut out, &format!("corpus {name}"), &program);
+    }
+    let cfg = GenConfig::default();
+    for seed in 0..GOLDEN_SEEDS {
+        let program = generate(seed, &cfg);
+        render_one(&mut out, &format!("seed {seed}"), &program);
+    }
+    out
+}
+
+#[test]
+fn exploration_reports_match_the_committed_golden_corpus() {
+    let rendered = render_corpus();
+    if std::env::var_os("PMTEST_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+            .expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden explore corpus");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden explore corpus missing; generate with PMTEST_BLESS=1 \
+         cargo test -p pmtest-difftest --test golden_explore",
+    );
+    if rendered != golden {
+        let mismatch = golden
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: golden `{a}` vs rendered `{b}`", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "length: golden {} lines vs rendered {}",
+                    golden.lines().count(),
+                    rendered.lines().count()
+                )
+            });
+        panic!("exploration reports diverged from the golden corpus; first {mismatch}");
+    }
+}
+
+#[test]
+fn golden_corpus_has_no_divergences_and_full_prefix_sharing() {
+    // Beyond byte-pinning: the committed corpus must itself be divergence-
+    // free, and every model-mode sweep must prefix-share every point (the
+    // acceptance bar for incremental exploration).
+    for (name, program) in load_corpus() {
+        let outcome = explore_program(&program).expect("corpus explore run");
+        assert!(
+            outcome.divergences.is_empty(),
+            "corpus entry {name} diverges: {:?}",
+            outcome.divergences
+        );
+        assert!(
+            outcome.shared.stats.prefix_share_hit_rate() >= 0.9,
+            "corpus entry {name} prefix-share rate {} below 0.9",
+            outcome.shared.stats.prefix_share_hit_rate()
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! annotated epoch/interval timelines.
 //!
 //! ```text
-//! pmtest-explain [--bundle-out DIR] <file>...
+//! pmtest-explain [--bundle-out DIR] [--crash-point N] <file>...
 //! ```
 //!
 //! Each input is content-detected: a JSON-lines file whose first line is a
@@ -12,6 +12,12 @@
 //! flight-recorder-enabled engine and the captured diagnosis bundle is
 //! written to `DIR/<stem>.bundle.jsonl` (ERROR capture if a checker fails,
 //! manual capture otherwise) — CI validates these with `obs-check`.
+//!
+//! With `--crash-point N` (program inputs only), the timeline gains a crash
+//! divider after the `N`-th persistent-memory op — the coordinate
+//! `difftest-fuzz --explore` reports — plus the crash oracle's state
+//! summary at that point: dirty lines, pending vs forced stores, reachable
+//! states, and the worst-case culprit store.
 
 #![forbid(unsafe_code)]
 
@@ -20,16 +26,17 @@ use std::process::ExitCode;
 
 use pmtest_difftest::exec::capture_diagnosis_bundle;
 use pmtest_difftest::program::Program;
-use pmtest_explain::{explain_bundle, explain_program};
+use pmtest_explain::{explain_bundle, explain_crash_point, explain_program};
 use pmtest_obs::bundle::is_bundle;
 
 struct Args {
     bundle_out: Option<PathBuf>,
+    crash_point: Option<usize>,
     inputs: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { bundle_out: None, inputs: Vec::new() };
+    let mut args = Args { bundle_out: None, crash_point: None, inputs: Vec::new() };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,12 +44,18 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--bundle-out needs a directory")?;
                 args.bundle_out = Some(PathBuf::from(dir));
             }
+            "--crash-point" => {
+                let n = it.next().ok_or("--crash-point needs a point index")?;
+                args.crash_point = Some(n.parse().map_err(|e| format!("--crash-point {n}: {e}"))?);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => args.inputs.push(PathBuf::from(path)),
         }
     }
     if args.inputs.is_empty() {
-        return Err("usage: pmtest-explain [--bundle-out DIR] <file>...".to_owned());
+        return Err(
+            "usage: pmtest-explain [--bundle-out DIR] [--crash-point N] <file>...".to_owned()
+        );
     }
     Ok(args)
 }
@@ -56,11 +69,23 @@ fn run(args: &Args) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let name = stem(path);
         if is_bundle(&text) {
+            if args.crash_point.is_some() {
+                return Err(format!(
+                    "{name}: --crash-point applies to program inputs, not bundles"
+                ));
+            }
             let render = explain_bundle(&text, &name).map_err(|e| format!("{name}: {e}"))?;
             print!("{render}");
         } else {
             let program = Program::from_text(&text).map_err(|e| format!("{name}: {e}"))?;
-            print!("{}", explain_program(&program, &name));
+            match args.crash_point {
+                Some(point) => print!(
+                    "{}",
+                    explain_crash_point(&program, &name, point)
+                        .map_err(|e| format!("{name}: {e}"))?
+                ),
+                None => print!("{}", explain_program(&program, &name)),
+            }
             if let Some(dir) = &args.bundle_out {
                 let contents =
                     capture_diagnosis_bundle(&program).map_err(|e| format!("{name}: {e}"))?;

@@ -1,0 +1,70 @@
+//! Crash-point timeline rendering: `explain_crash_point` splices a crash
+//! divider into the epoch/interval grid and appends the oracle's
+//! per-line pending/forced summary for the chosen point.
+
+use pmtest_difftest::program::{Dialect, Op, Program};
+use pmtest_explain::explain_crash_point;
+
+fn sample() -> Program {
+    Program {
+        dialect: Dialect::X86,
+        ops: vec![
+            Op::Write { addr: 0, len: 8 },  // valued op 0
+            Op::Flush { addr: 0, len: 8 },  // valued op 1
+            Op::Fence,                      // valued op 2 -> boundary point 3
+            Op::Write { addr: 64, len: 8 }, // valued op 3
+            Op::CheckPersist { addr: 0, len: 8 },
+        ],
+    }
+}
+
+#[test]
+fn boundary_point_renders_divider_and_state_summary() {
+    let render = explain_crash_point(&sample(), "demo", 3).unwrap();
+    // The divider lands after the fence row (program op 2) and before the
+    // second write (program op 3).
+    let divider = render.lines().position(|l| l.contains("CRASH point 3/4")).unwrap();
+    let fence_row = render.lines().position(|l| l.contains("[2]")).unwrap();
+    let write_row = render.lines().position(|l| l.contains("[3]")).unwrap();
+    assert!(fence_row < divider && divider < write_row, "{render}");
+    assert!(render.contains("fence boundary"), "{render}");
+    // Only the first line is dirty, and its single store is forced durable.
+    assert!(render.contains("dirty lines: 1, reachable states: 1"), "{render}");
+    assert!(render.contains("1 forced durable"), "{render}");
+    assert!(render.contains("every store is guaranteed durable"), "{render}");
+}
+
+#[test]
+fn final_point_reports_worst_case_culprit() {
+    // Point 4 is the end-of-program boundary: the second write is still
+    // unflushed, so it is the earliest losable store; its site encodes the
+    // program op index (difftest:3).
+    let render = explain_crash_point(&sample(), "demo", 4).unwrap();
+    assert!(render.contains("fence boundary"), "{render}");
+    assert!(render.contains("worst-case culprit: op 3 @ difftest:3"), "{render}");
+}
+
+#[test]
+fn interior_point_is_labeled_covered() {
+    // Point 1: the first write has executed but its flush/fence have not —
+    // an interior point whose states the next boundary covers.
+    let render = explain_crash_point(&sample(), "demo", 1).unwrap();
+    assert!(render.contains("interior"), "{render}");
+    assert!(render.contains("dirty lines: 1, reachable states: 2"), "{render}");
+    assert!(render.contains("worst-case culprit: op 0 @ difftest:0"), "{render}");
+}
+
+#[test]
+fn point_zero_cuts_before_the_first_store() {
+    let render = explain_crash_point(&sample(), "demo", 0).unwrap();
+    let divider = render.lines().position(|l| l.contains("CRASH point 0/4")).unwrap();
+    let first_row = render.lines().position(|l| l.contains("[0]")).unwrap();
+    assert!(divider < first_row, "{render}");
+    assert!(render.contains("dirty lines: 0, reachable states: 1"), "{render}");
+}
+
+#[test]
+fn out_of_range_point_is_rejected() {
+    let err = explain_crash_point(&sample(), "demo", 5).unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+}

@@ -25,9 +25,11 @@
 //! only *remove* states, so ignoring it over-approximates reachability; see
 //! DESIGN.md).
 
+use std::borrow::Cow;
 use std::fmt;
 
 use pmtest_interval::ByteRange;
+use pmtest_trace::SourceLoc;
 use rand::Rng;
 
 use crate::cacheline::{align_to_lines, line_base, CACHE_LINE};
@@ -60,6 +62,9 @@ pub enum ValuedOp {
 pub struct CrashSim {
     base: Vec<u8>,
     ops: Vec<ValuedOp>,
+    /// Source sites parallel to `ops`; empty when the recording carries no
+    /// location information.
+    sites: Vec<SourceLoc>,
 }
 
 /// How a workload validates a post-crash memory image.
@@ -100,19 +105,79 @@ impl CrashSim {
     /// log.
     #[must_use]
     pub fn new(base: Vec<u8>, ops: Vec<ValuedOp>) -> Self {
-        Self { base, ops }
+        Self { base, ops, sites: Vec::new() }
+    }
+
+    /// Like [`new`](Self::new), additionally attaching the source site of
+    /// each operation for culprit attribution in exploration reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is non-empty and its length differs from `ops`.
+    #[must_use]
+    pub fn with_sites(base: Vec<u8>, ops: Vec<ValuedOp>, sites: Vec<SourceLoc>) -> Self {
+        assert!(
+            sites.is_empty() || sites.len() == ops.len(),
+            "sites must be empty or parallel to ops"
+        );
+        Self { base, ops, sites }
     }
 
     /// Drains the crash recording of `pool`, if one was started.
     #[must_use]
     pub fn from_pool(pool: &PmPool) -> Option<Self> {
-        pool.take_crash_recording().map(|(base, ops)| Self::new(base, ops))
+        pool.take_crash_recording_sited()
+            .map(|(base, ops, sites)| Self::with_sites(base, ops, sites))
     }
 
     /// Number of recorded operations; crash points range over `0..=op_count`.
     #[must_use]
     pub fn op_count(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The source site that issued operation `op_idx`, when the recording
+    /// captured one.
+    #[must_use]
+    pub fn site(&self, op_idx: usize) -> Option<SourceLoc> {
+        self.sites.get(op_idx).copied()
+    }
+
+    /// Crash points at ordering boundaries: one immediately *before* each
+    /// `sfence`/`dfence`, plus the end of the trace.
+    ///
+    /// This is a covering set for reachability: within an epoch (between two
+    /// fences) no write becomes forced, so the pending pieces at any interior
+    /// point are a *prefix* of the pieces at the epoch's terminating fence
+    /// point, with identical forced boundaries. Every image reachable at the
+    /// interior point is therefore also reachable at the fence point (choose
+    /// the same per-line prefixes), and enumerating only boundary points
+    /// visits every reachable crash state of the whole trace.
+    #[must_use]
+    pub fn boundary_points(&self) -> Vec<usize> {
+        let mut points: Vec<usize> = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, ValuedOp::Fence | ValuedOp::DFence))
+            .map(|(idx, _)| idx)
+            .collect();
+        points.push(self.ops.len());
+        points
+    }
+
+    /// Creates an incremental cursor positioned at crash point 0.
+    #[must_use]
+    pub fn cursor(&self) -> CrashCursor<'_> {
+        CrashCursor {
+            sim: self,
+            point: 0,
+            lines: Vec::new(),
+            aux: Vec::new(),
+            last_dfence: None,
+            advanced_ops: 0,
+            rebuilds: 0,
+        }
     }
 
     /// The image with *all* writes applied (no crash).
@@ -183,7 +248,7 @@ impl CrashSim {
             };
         }
         lines.retain(|l| !l.pieces.is_empty());
-        CrashAnalysis { sim: self, lines }
+        CrashAnalysis { sim: self, lines: Cow::Owned(lines) }
     }
 
     /// Searches for a reachable crash state that fails `check`, visiting at
@@ -249,10 +314,177 @@ struct LinePending {
     forced: usize,
 }
 
+/// Per-line flush bookkeeping the cursor carries in addition to
+/// [`LinePending`] (parallel vectors).
+#[derive(Clone, Debug)]
+struct LineAux {
+    /// Latest completed-flush/dfence boundary: pieces with `op_idx` below it
+    /// are forced.
+    boundary: Option<usize>,
+    /// Latest `clwb` covering this line whose completing fence has not yet
+    /// been seen.
+    pending_flush: Option<usize>,
+}
+
+/// An incremental crash-point analyzer that prefix-shares shadow state
+/// between adjacent crash points.
+///
+/// [`CrashSim::analyze`] rescans `ops[..point]` on every call, which makes
+/// visiting all crash points of a trace quadratic in its length. The cursor
+/// instead keeps the per-line pending/forced state *live* and folds one
+/// operation in per [`advance`](Self::advance), so an ascending sweep over
+/// crash points replays each operation exactly once. Seeking backwards
+/// rebuilds from scratch (counted in [`rebuilds`](Self::rebuilds)); callers
+/// that sort their crash points never pay it.
+///
+/// The cursor's [`analysis`](Self::analysis) borrows the live state instead
+/// of cloning it, and is bit-for-bit equivalent to `analyze(point)` — the
+/// equivalence is asserted across this module's tests and fuzzed by the
+/// difftest proptests.
+pub struct CrashCursor<'a> {
+    sim: &'a CrashSim,
+    point: usize,
+    lines: Vec<LinePending>,
+    aux: Vec<LineAux>,
+    last_dfence: Option<usize>,
+    advanced_ops: u64,
+    rebuilds: u64,
+}
+
+impl<'a> CrashCursor<'a> {
+    /// The current crash point (operations folded in so far).
+    #[must_use]
+    pub fn point(&self) -> usize {
+        self.point
+    }
+
+    /// Total operations folded in incrementally over the cursor's lifetime.
+    #[must_use]
+    pub fn advanced_ops(&self) -> u64 {
+        self.advanced_ops
+    }
+
+    /// Times the cursor had to discard its state and rebuild from scratch
+    /// (backward seeks).
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Moves the cursor to `point`, folding in only the delta when seeking
+    /// forward. Returns `true` when the seek went backwards and forced a
+    /// rebuild from operation 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point > op_count()`.
+    pub fn seek(&mut self, point: usize) -> bool {
+        assert!(point <= self.sim.ops.len(), "crash point out of range");
+        let rebuilt = point < self.point;
+        if rebuilt {
+            self.point = 0;
+            self.lines.clear();
+            self.aux.clear();
+            self.last_dfence = None;
+            self.rebuilds += 1;
+        }
+        while self.point < point {
+            self.advance();
+        }
+        rebuilt
+    }
+
+    /// Folds in the next operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is already at the end of the trace.
+    pub fn advance(&mut self) {
+        let idx = self.point;
+        match &self.sim.ops[idx] {
+            ValuedOp::Write { range, .. } => {
+                for line in crate::cacheline::lines(*range) {
+                    let clip = range
+                        .intersection(&ByteRange::new(line, line + CACHE_LINE))
+                        .expect("line touched implies overlap");
+                    let li = if let Some(i) = self.lines.iter().position(|l| l.line == line) {
+                        i
+                    } else {
+                        self.lines.push(LinePending { line, pieces: Vec::new(), forced: 0 });
+                        // A line first written here starts at the last dfence
+                        // boundary; it forces nothing (every piece is later)
+                        // but mirrors the from-scratch scan exactly.
+                        self.aux.push(LineAux { boundary: self.last_dfence, pending_flush: None });
+                        self.lines.len() - 1
+                    };
+                    self.lines[li].pieces.push(Piece { op_idx: idx, range: clip });
+                }
+            }
+            ValuedOp::Flush(r) => {
+                // Flushes of lines never written need no bookkeeping: a
+                // boundary at this index would force nothing, since every
+                // later piece has a larger op index.
+                let flushed = align_to_lines(*r);
+                for (l, aux) in self.lines.iter().zip(&mut self.aux) {
+                    if flushed.contains_addr(l.line) {
+                        aux.pending_flush = Some(aux.pending_flush.map_or(idx, |p| p.max(idx)));
+                    }
+                }
+            }
+            ValuedOp::Fence => {
+                for (l, aux) in self.lines.iter_mut().zip(&mut self.aux) {
+                    if let Some(f) = aux.pending_flush.take() {
+                        aux.boundary = Some(aux.boundary.map_or(f, |b| b.max(f)));
+                        refresh_forced(l, aux.boundary);
+                    }
+                }
+            }
+            ValuedOp::DFence => {
+                self.last_dfence = Some(idx);
+                for (l, aux) in self.lines.iter_mut().zip(&mut self.aux) {
+                    aux.boundary = Some(aux.boundary.map_or(idx, |b| b.max(idx)));
+                    aux.pending_flush = None;
+                    refresh_forced(l, aux.boundary);
+                }
+            }
+        }
+        self.point += 1;
+        self.advanced_ops += 1;
+    }
+
+    /// The crash analysis at the cursor's current point, borrowing the live
+    /// shadow state (no per-point clone).
+    #[must_use]
+    pub fn analysis(&self) -> CrashAnalysis<'_> {
+        CrashAnalysis { sim: self.sim, lines: Cow::Borrowed(&self.lines) }
+    }
+}
+
+impl fmt::Debug for CrashCursor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashCursor")
+            .field("point", &self.point)
+            .field("dirty_lines", &self.lines.len())
+            .field("advanced_ops", &self.advanced_ops)
+            .field("rebuilds", &self.rebuilds)
+            .finish()
+    }
+}
+
+/// Advances `forced` past every piece below `boundary`. `forced` is
+/// monotone: boundaries only grow and pieces only append, so resuming from
+/// the previous value is exact.
+fn refresh_forced(l: &mut LinePending, boundary: Option<usize>) {
+    let Some(b) = boundary else { return };
+    while l.forced < l.pieces.len() && l.pieces[l.forced].op_idx < b {
+        l.forced += 1;
+    }
+}
+
 /// The reachable crash states at one crash point.
 pub struct CrashAnalysis<'a> {
     sim: &'a CrashSim,
-    lines: Vec<LinePending>,
+    lines: Cow<'a, [LinePending]>,
 }
 
 impl CrashAnalysis<'_> {
@@ -270,11 +502,24 @@ impl CrashAnalysis<'_> {
             .fold(1u128, |acc, l| acc.saturating_mul((l.pieces.len() - l.forced + 1) as u128))
     }
 
+    /// Per-dirty-line summary, in first-write order (the order `prefixes`
+    /// vectors are parallel to): `(line base address, op indices of the
+    /// line's pending pieces, forced prefix length)`. The first `forced`
+    /// ops of each line are guaranteed durable; the rest may independently
+    /// be lost.
+    #[must_use]
+    pub fn line_summaries(&self) -> Vec<(u64, Vec<usize>, usize)> {
+        self.lines
+            .iter()
+            .map(|l| (l.line, l.pieces.iter().map(|p| p.op_idx).collect(), l.forced))
+            .collect()
+    }
+
     /// Whether `range` is guaranteed durable at this point (every written
     /// byte of it is in some line's forced prefix, or was never written).
     #[must_use]
     pub fn is_guaranteed_durable(&self, range: ByteRange) -> bool {
-        for l in &self.lines {
+        for l in self.lines.iter() {
             for (i, p) in l.pieces.iter().enumerate() {
                 if i >= l.forced && p.range.overlaps(&range) {
                     return false;
@@ -315,7 +560,14 @@ impl CrashAnalysis<'_> {
     /// Iterates over all reachable crash images (odometer over per-line
     /// prefixes). The first yielded state is the minimal image.
     pub fn states(&self) -> CrashStates<'_> {
-        CrashStates {
+        CrashStates(self.enumerate())
+    }
+
+    /// Like [`states`](Self::states), but each item also carries the
+    /// per-line prefix choice that produced the image, for culprit
+    /// attribution via [`culprit_op`](Self::culprit_op).
+    pub fn enumerate(&self) -> CrashChoices<'_> {
+        CrashChoices {
             analysis: self,
             odometer: self.lines.iter().map(|l| l.forced).collect(),
             done: false,
@@ -325,10 +577,40 @@ impl CrashAnalysis<'_> {
     /// Draws one reachable crash image uniformly over per-line prefix
     /// choices.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<u8> {
+        self.sample_with_choice(rng).image
+    }
+
+    /// Like [`sample`](Self::sample), but also carries the prefix choice.
+    pub fn sample_with_choice<R: Rng>(&self, rng: &mut R) -> CrashState {
         let prefixes: Vec<usize> =
             self.lines.iter().map(|l| rng.gen_range(l.forced..=l.pieces.len())).collect();
-        self.image_for(&prefixes)
+        let image = self.image_for(&prefixes);
+        CrashState { image, prefixes }
     }
+
+    /// The earliest write excluded from the image produced by `prefixes` —
+    /// the first store whose loss distinguishes this crash image from the
+    /// fully-persisted state. `None` when every piece is included (the image
+    /// is the final image of this prefix).
+    #[must_use]
+    pub fn culprit_op(&self, prefixes: &[usize]) -> Option<usize> {
+        self.lines
+            .iter()
+            .zip(prefixes)
+            .filter_map(|(l, &k)| l.pieces.get(k).map(|p| p.op_idx))
+            .min()
+    }
+}
+
+/// One reachable crash image together with the per-line persist-prefix
+/// choice that produced it.
+#[derive(Clone, Debug)]
+pub struct CrashState {
+    /// The materialized memory image.
+    pub image: Vec<u8>,
+    /// Chosen persisted-piece count per dirty line (parallel to the
+    /// analysis's lines, in first-write order).
+    pub prefixes: Vec<usize>,
 }
 
 impl fmt::Debug for CrashAnalysis<'_> {
@@ -341,20 +623,33 @@ impl fmt::Debug for CrashAnalysis<'_> {
 }
 
 /// Iterator over the reachable crash images of a [`CrashAnalysis`].
-pub struct CrashStates<'a> {
+pub struct CrashStates<'a>(CrashChoices<'a>);
+
+impl Iterator for CrashStates<'_> {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|s| s.image)
+    }
+}
+
+/// Iterator over reachable crash states with their prefix choices
+/// ([`CrashAnalysis::enumerate`]).
+pub struct CrashChoices<'a> {
     analysis: &'a CrashAnalysis<'a>,
     odometer: Vec<usize>,
     done: bool,
 }
 
-impl Iterator for CrashStates<'_> {
-    type Item = Vec<u8>;
+impl Iterator for CrashChoices<'_> {
+    type Item = CrashState;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
             return None;
         }
         let image = self.analysis.image_for(&self.odometer);
+        let prefixes = self.odometer.clone();
         // Advance the odometer.
         let lines = &self.analysis.lines;
         let mut i = 0;
@@ -370,7 +665,7 @@ impl Iterator for CrashStates<'_> {
             self.odometer[i] = lines[i].forced;
             i += 1;
         }
-        Some(image)
+        Some(CrashState { image, prefixes })
     }
 }
 
@@ -568,5 +863,149 @@ mod tests {
     fn same_line_helper() {
         assert!(same_line(0, 63));
         assert!(!same_line(63, 64));
+    }
+
+    /// Op sequences that exercise every cursor transition: straddling
+    /// writes, flush-before-write, flush-without-fence, dfence seeding,
+    /// overwrites, and multi-line interleavings.
+    fn cursor_fixtures() -> Vec<CrashSim> {
+        let data: Vec<u8> = (0..8).collect();
+        vec![
+            CrashSim::new(vec![0; 64], vec![]),
+            CrashSim::new(vec![0; 64], vec![w(0, &[7]), fl(0, 1), ValuedOp::Fence]),
+            CrashSim::new(
+                vec![0; 128],
+                vec![
+                    fl(0, 1), // flush before any write to the line
+                    w(0, &[1]),
+                    fl(0, 1),
+                    w(1, &[2]), // write after flush, same line
+                    ValuedOp::Fence,
+                    w(64, &[3]),
+                    fl(64, 1),
+                    fl(64, 1), // double flush
+                    ValuedOp::Fence,
+                    ValuedOp::Fence, // fence with no pending flush
+                ],
+            ),
+            CrashSim::new(
+                vec![0; 256],
+                vec![
+                    w(0, &[1]),
+                    w(128, &[2]),
+                    ValuedOp::DFence,
+                    w(64, &[3]), // line first written after the dfence
+                    w(0, &[4]),
+                    fl(0, 1),
+                    ValuedOp::DFence,
+                    w(60, &data), // straddles lines 0 and 1
+                    fl(60, 8),
+                    ValuedOp::Fence,
+                ],
+            ),
+            CrashSim::new(
+                vec![0; 64],
+                vec![w(0, &[1]), fl(0, 1), w(1, &[2]), ValuedOp::Fence, w(2, &[3]), fl(0, 64)],
+            ),
+        ]
+    }
+
+    /// Collects the full behavioural surface of an analysis for equality
+    /// checks: dirty lines, state count, forced image, and all states.
+    fn fingerprint(a: &CrashAnalysis<'_>) -> (usize, u128, Vec<u8>, Vec<Vec<u8>>) {
+        (a.dirty_lines(), a.state_count(), a.minimal_image(), a.states().take(4096).collect())
+    }
+
+    #[test]
+    fn cursor_matches_analyze_at_every_point() {
+        for sim in cursor_fixtures() {
+            let mut cursor = sim.cursor();
+            for point in 0..=sim.op_count() {
+                let rebuilt = cursor.seek(point);
+                assert!(!rebuilt, "ascending seeks never rebuild");
+                let inc = fingerprint(&cursor.analysis());
+                let fresh = fingerprint(&sim.analyze(point));
+                assert_eq!(inc, fresh, "cursor diverged from analyze at point {point}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_backward_seek_rebuilds_and_matches() {
+        let sim = cursor_fixtures().pop().unwrap();
+        let mut cursor = sim.cursor();
+        cursor.seek(sim.op_count());
+        assert_eq!(cursor.rebuilds(), 0);
+        let rebuilt = cursor.seek(2);
+        assert!(rebuilt);
+        assert_eq!(cursor.rebuilds(), 1);
+        assert_eq!(fingerprint(&cursor.analysis()), fingerprint(&sim.analyze(2)));
+    }
+
+    #[test]
+    fn cursor_ascending_sweep_replays_each_op_once() {
+        let sim = cursor_fixtures().pop().unwrap();
+        let mut cursor = sim.cursor();
+        for point in sim.boundary_points() {
+            cursor.seek(point);
+        }
+        assert_eq!(cursor.advanced_ops(), sim.op_count() as u64);
+        assert_eq!(cursor.rebuilds(), 0);
+    }
+
+    #[test]
+    fn boundary_points_cover_all_reachable_states() {
+        for sim in cursor_fixtures() {
+            let boundaries = sim.boundary_points();
+            let mut at_boundaries: Vec<Vec<u8>> = Vec::new();
+            for &p in &boundaries {
+                at_boundaries.extend(sim.analyze(p).states().take(4096));
+            }
+            for point in 0..=sim.op_count() {
+                for state in sim.analyze(point).states().take(4096) {
+                    assert!(
+                        at_boundaries.contains(&state),
+                        "state at interior point {point} missing from boundary enumeration"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_exposes_prefix_choices_and_culprits() {
+        // Two pending writes to one line: the choice excluding both blames
+        // the first write; excluding only the second blames the second.
+        let sim = CrashSim::new(vec![0; 64], vec![w(0, &[1]), w(1, &[2])]);
+        let a = sim.analyze(2);
+        let states: Vec<CrashState> = a.enumerate().collect();
+        assert_eq!(states.len(), 3);
+        assert_eq!(a.culprit_op(&states[0].prefixes), Some(0), "all-lost blames op 0");
+        assert_eq!(a.culprit_op(&states[1].prefixes), Some(1), "second-lost blames op 1");
+        assert_eq!(a.culprit_op(&states[2].prefixes), None, "complete image has no culprit");
+        for s in &states {
+            assert_eq!(s.image, a.image_for(&s.prefixes));
+        }
+    }
+
+    #[test]
+    fn sample_with_choice_reproduces_image() {
+        let sim = CrashSim::new(vec![0; 128], vec![w(0, &[1]), w(64, &[2]), w(1, &[3])]);
+        let a = sim.analyze(3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..32 {
+            let s = a.sample_with_choice(&mut rng);
+            assert_eq!(s.image, a.image_for(&s.prefixes));
+        }
+    }
+
+    #[test]
+    fn sites_attach_to_ops() {
+        let loc = SourceLoc::new("app.rs", 42);
+        let sim = CrashSim::with_sites(vec![0; 64], vec![w(0, &[1])], vec![loc]);
+        assert_eq!(sim.site(0), Some(loc));
+        assert_eq!(sim.site(1), None);
+        let plain = CrashSim::new(vec![0; 64], vec![w(0, &[1])]);
+        assert_eq!(plain.site(0), None);
     }
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pmtest_interval::ByteRange;
-use pmtest_trace::{Event, NullSink, SharedSink, Sink};
+use pmtest_trace::{Event, NullSink, SharedSink, Sink, SourceLoc};
 
 use crate::crash::ValuedOp;
 use crate::PmError;
@@ -51,6 +51,9 @@ pub struct PmPool {
 struct ValueLog {
     base: Vec<u8>,
     ops: Vec<ValuedOp>,
+    /// Call site of each op (parallel to `ops`), for culprit attribution in
+    /// exploration reports.
+    sites: Vec<SourceLoc>,
 }
 
 impl PmPool {
@@ -173,9 +176,11 @@ impl PmPool {
             self.mem[base + i].store(b, Ordering::Relaxed);
         }
         if !range.is_empty() {
-            self.sink.record(Event::Write(range).here());
+            let entry = Event::Write(range).here();
+            self.sink.record(entry);
             if let Some(log) = self.value_log.lock().as_mut() {
                 log.ops.push(ValuedOp::Write { range, data: data.to_vec() });
+                log.sites.push(entry.loc);
             }
         }
         Ok(range)
@@ -217,18 +222,22 @@ impl PmPool {
         if range.is_empty() {
             return;
         }
-        self.sink.record(Event::Flush(range).here());
+        let entry = Event::Flush(range).here();
+        self.sink.record(entry);
         if let Some(log) = self.value_log.lock().as_mut() {
             log.ops.push(ValuedOp::Flush(range));
+            log.sites.push(entry.loc);
         }
     }
 
     /// Issues an `sfence`, ordering and completing prior writebacks.
     #[track_caller]
     pub fn fence(&self) {
-        self.sink.record(Event::Fence.here());
+        let entry = Event::Fence.here();
+        self.sink.record(entry);
         if let Some(log) = self.value_log.lock().as_mut() {
             log.ops.push(ValuedOp::Fence);
+            log.sites.push(entry.loc);
         }
     }
 
@@ -248,9 +257,11 @@ impl PmPool {
     /// Issues a HOPS durability fence (`dfence`, §5.2).
     #[track_caller]
     pub fn dfence(&self) {
-        self.sink.record(Event::DFence.here());
+        let entry = Event::DFence.here();
+        self.sink.record(entry);
         if let Some(log) = self.value_log.lock().as_mut() {
             log.ops.push(ValuedOp::DFence);
+            log.sites.push(entry.loc);
         }
     }
 
@@ -273,7 +284,7 @@ impl PmPool {
     /// pool keeps this side log only when asked.
     pub fn begin_crash_recording(&self) {
         let base = self.snapshot();
-        *self.value_log.lock() = Some(ValueLog { base, ops: Vec::new() });
+        *self.value_log.lock() = Some(ValueLog { base, ops: Vec::new(), sites: Vec::new() });
     }
 
     /// Stops recording and returns the pre-trace image plus the valued
@@ -283,6 +294,13 @@ impl PmPool {
     /// [`begin_crash_recording`]: Self::begin_crash_recording
     pub fn take_crash_recording(&self) -> Option<(Vec<u8>, Vec<ValuedOp>)> {
         self.value_log.lock().take().map(|log| (log.base, log.ops))
+    }
+
+    /// Like [`take_crash_recording`](Self::take_crash_recording), but also
+    /// returns the call site of each recorded operation (parallel to the op
+    /// vector), for culprit attribution in exploration reports.
+    pub fn take_crash_recording_sited(&self) -> Option<(Vec<u8>, Vec<ValuedOp>, Vec<SourceLoc>)> {
+        self.value_log.lock().take().map(|log| (log.base, log.ops, log.sites))
     }
 
     /// Copies the full pool contents (the volatile image).

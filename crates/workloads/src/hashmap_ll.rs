@@ -78,6 +78,58 @@ impl HashMapLl {
         })
     }
 
+    /// Attaches to an existing map (same `nbuckets` it was created with) at
+    /// the start of `heap`'s root area without reinitializing it — the
+    /// post-crash mount path used by recovery procedures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area cannot hold the bucket array
+    /// plus count.
+    pub fn open(
+        heap: Arc<PmHeap>,
+        nbuckets: u64,
+        check: CheckMode,
+        faults: FaultSet,
+    ) -> Result<Self, KvError> {
+        let root = heap.root();
+        let needed = 8 + nbuckets * 8;
+        if root.len() < needed {
+            return Err(KvError::Pm(PmError::OutOfMemory { requested: needed }));
+        }
+        let pm = heap.pool().clone();
+        Ok(Self {
+            pm,
+            heap,
+            mode: PersistMode::X86,
+            base: root.start(),
+            nbuckets,
+            check,
+            faults,
+            op_lock: Mutex::new(()),
+        })
+    }
+
+    /// Walks every bucket chain, returning `(key, value)` pairs in bucket
+    /// order (used by crash-validation checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on a corrupt image.
+    pub fn entries(&self) -> Result<Vec<(u64, Vec<u8>)>, KvError> {
+        let mut out = Vec::new();
+        for b in 0..self.nbuckets {
+            let mut cur = self.pm.read_u64(self.base + 8 + b * 8)?;
+            while cur != 0 && out.len() <= 1_000_000 {
+                let key = self.node_key(cur)?;
+                let vlen = self.pm.read_u64(cur + 16)?;
+                out.push((key, self.pm.read_vec(ByteRange::with_len(cur + NODE_HDR, vlen))?));
+                cur = self.node_next(cur)?;
+            }
+        }
+        Ok(out)
+    }
+
     /// The underlying pool.
     #[must_use]
     pub fn pool(&self) -> &Arc<PmPool> {

@@ -57,6 +57,7 @@ mod kv;
 mod kvstore;
 mod queue;
 mod rbtree;
+pub mod recovery;
 mod rediskv;
 
 pub use arraystore::ArrayStore;
@@ -69,4 +70,5 @@ pub use kv::{CheckMode, KvError, KvMap};
 pub use kvstore::KvStore;
 pub use queue::PmQueue;
 pub use rbtree::RbTree;
+pub use recovery::{HashMapRecovery, PmfsRecovery, QueueRecovery};
 pub use rediskv::RedisKv;

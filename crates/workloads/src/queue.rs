@@ -57,6 +57,30 @@ impl PmQueue {
         Ok(Self { pm, heap, mode, base: root.start(), check, faults, op_lock: Mutex::new(()) })
     }
 
+    /// Attaches to an existing queue at the start of `heap`'s root area
+    /// without reinitializing it — the post-crash mount path used by
+    /// recovery procedures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] if the root area is too small.
+    pub fn open(heap: Arc<PmHeap>, check: CheckMode, faults: FaultSet) -> Result<Self, KvError> {
+        let root = heap.root();
+        if root.len() < 24 {
+            return Err(KvError::Pm(PmError::OutOfMemory { requested: 24 }));
+        }
+        let pm = heap.pool().clone();
+        Ok(Self {
+            pm,
+            heap,
+            mode: PersistMode::X86,
+            base: root.start(),
+            check,
+            faults,
+            op_lock: Mutex::new(()),
+        })
+    }
+
     /// The underlying pool.
     #[must_use]
     pub fn pool(&self) -> &Arc<PmPool> {

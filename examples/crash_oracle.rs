@@ -4,13 +4,17 @@
 //! hardware, enumerating every memory image a power failure could leave
 //! behind (`pmtest::pmem::crash`). This example shows the two agreeing on
 //! the paper's B-Tree Bug 2: when the split node is modified without a
-//! `TX_ADD`, (1) PMTest reports a missing backup, and (2) the oracle finds
-//! a reachable crash state from which recovery produces a corrupted tree.
+//! `TX_ADD`, (1) PMTest reports a missing backup, and (2) the crash-point
+//! exploration engine (`pmtest::core::explore`, DESIGN.md §15) sweeps
+//! every fence boundary of the recorded transaction, runs recovery against
+//! each reachable image, and pins the violation to a crash point and a
+//! culprit store.
 //!
 //! Run with: `cargo run --example crash_oracle`
 
 use std::sync::Arc;
 
+use pmtest::core::explore::{explore, ExploreConfig, RecoveryProc};
 use pmtest::prelude::*;
 use pmtest::txlib::ObjPool;
 use pmtest::workloads::{gen, BTree, CheckMode, Fault, FaultSet, KvMap};
@@ -57,35 +61,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tree.insert(3, &gen::value_for(3, 16))?;
     let sim = pmtest::pmem::crash::CrashSim::from_pool(&pm).expect("recording active");
 
-    // Recovery check: after rollback, every previously inserted key must
-    // still be found with its value (the transaction never committed ⇒ old
-    // state), or all four keys if it did commit.
-    let check = move |image: &[u8]| -> Result<(), String> {
-        let pool = Arc::new(
-            ObjPool::recover_image(image, 4096, PersistMode::X86).map_err(|e| e.to_string())?,
-        );
-        let tree = BTree::open(pool, CheckMode::None, FaultSet::none());
-        for k in 0..3u64 {
-            match tree.get(k) {
-                Ok(Some(v)) if v == gen::value_for(k, 16) => {}
-                Ok(other) => return Err(format!("key {k}: lost or corrupted ({other:?})")),
-                Err(e) => return Err(format!("key {k}: tree unreadable: {e}")),
-            }
+    // Recovery procedure: after rollback, every previously inserted key
+    // must still be found with its value (the transaction never committed
+    // ⇒ old state), or all four keys if it did commit.
+    struct TreeRecovery;
+
+    impl RecoveryProc for TreeRecovery {
+        fn name(&self) -> &str {
+            "btree-split"
         }
-        Ok(())
-    };
+
+        fn check(&self, _point: usize, image: &[u8]) -> Result<(), String> {
+            let pool = Arc::new(
+                ObjPool::recover_image(image, 4096, PersistMode::X86).map_err(|e| e.to_string())?,
+            );
+            let tree = BTree::open(pool, CheckMode::None, FaultSet::none());
+            for k in 0..3u64 {
+                match tree.get(k) {
+                    Ok(Some(v)) if v == gen::value_for(k, 16) => {}
+                    Ok(other) => return Err(format!("key {k}: lost or corrupted ({other:?})")),
+                    Err(e) => return Err(format!("key {k}: tree unreadable: {e}")),
+                }
+            }
+            Ok(())
+        }
+    }
+
     // The full Yat-style state space explodes (that is the point of §2.2);
-    // report its size, then search it by sampling instead.
+    // report its size, then sweep the fence boundaries instead: model-mode
+    // exploration visits every boundary crash point, prefix-sharing shadow
+    // state between adjacent points, and bounds the per-point image count.
     let total = pmtest::baseline::yat::estimate_states(&sim);
     println!("oracle: {total} reachable crash states across all crash points");
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-    let violation = sim.find_violation_sampled(&check, 24, &mut rng);
-    match violation {
-        Some(v) => {
-            println!("  reachable inconsistency at crash point {}: {}", v.point, v.reason);
-        }
-        None => println!("  (no inconsistency sampled — rerun with more samples)"),
+    let config = ExploreConfig { max_states_per_point: 256, ..ExploreConfig::default() };
+    let report = explore(&sim, &TreeRecovery, &config);
+    println!("{}", report.render());
+    match report.violations.first() {
+        Some(v) => println!(
+            "  reachable inconsistency at crash point {} (culprit op {:?}): {}",
+            v.point, v.culprit_op, v.reason
+        ),
+        None => println!("  (no inconsistency within the per-point image budget)"),
     }
     Ok(())
 }
