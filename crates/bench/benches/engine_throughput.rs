@@ -188,6 +188,32 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
             floor_ns_per_trace: floor_ns / traces as f64,
         });
     }
+    // A/B row: the reference configuration with only the cross-trace
+    // profiler on. The profiling decode walk runs on the replay path, so
+    // this row prices the advisor's data collection; the profiling-*off*
+    // guard is the plain w4/b32 row above, whose floor assertion keeps the
+    // disabled-path cost (one relaxed load) from regressing.
+    {
+        let session = PmTestSession::builder()
+            .workers(4)
+            .batch_capacity(32)
+            .telemetry(TelemetryConfig::profiling_only())
+            .build();
+        session.start();
+        run_round(&session, traces); // warm the buffer pool
+        group.bench_with_input(BenchmarkId::new("profiling_w4", "b32"), &traces, |b, &traces| {
+            b.iter(|| run_round(&session, traces))
+        });
+        let per_round_ns = group.last_estimate_ns().expect("benchmark just ran");
+        let floor_ns = group.last_best_ns().expect("benchmark just ran");
+        samples.push(Sample {
+            path: "session-profiling",
+            workers: 4,
+            batch: 32,
+            ns_per_trace: per_round_ns / traces as f64,
+            floor_ns_per_trace: floor_ns / traces as f64,
+        });
+    }
     // Peak-ingest rows: one producer recording through the owned handle.
     for &(workers, batch) in &[(1usize, 256usize), (1, 1024), (2, 1024)] {
         let session = PmTestSession::builder().workers(workers).batch_capacity(batch).build();
@@ -316,7 +342,7 @@ fn write_json(samples: &[Sample], traces: u64) {
             "  \"traces_per_round\": {},\n",
             "  \"entries_per_trace\": {},\n",
             "  \"workload\": \"short traces: write+flush+fence+isPersist; session rows: 4 producer threads via the Sink path; recorder rows: 1 inline producer via the owned ThreadRecorder handle; ring capacity derived (256/batch, min 32)\",\n",
-            "  \"telemetry\": \"all layers off (default) except the session-telemetry A/B row (timing + events + recorder + tracing on); per-producer SPSC rings with work-stealing workers; producers record packed records into recycled arenas; clean traces take the packed DFA lane, the rest the fused replay on recycled CheckerScratch state\",\n",
+            "  \"telemetry\": \"all layers off (default) except the session-telemetry A/B row (timing + events + recorder + tracing on) and the session-profiling A/B row (cross-trace profiler only); per-producer SPSC rings with work-stealing workers; producers record packed records into recycled arenas; clean traces take the packed DFA lane, the rest the fused replay on recycled CheckerScratch state\",\n",
             "  \"results\": [\n{}  ],\n",
             "  \"peak\": {{\"path\": \"{}\", \"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}},\n",
             "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
@@ -423,6 +449,15 @@ fn assert_telemetry_budget(samples: &[Sample], baseline: Option<f64>) {
     if let Some(on) = at("session-telemetry") {
         println!(
             "telemetry A/B at w4/b32: off {:.1} ns/trace, all layers on {:.1} ns/trace \
+             ({:+.1}%)",
+            off.ns_per_trace,
+            on.ns_per_trace,
+            (on.ns_per_trace / off.ns_per_trace - 1.0) * 100.0,
+        );
+    }
+    if let Some(on) = at("session-profiling") {
+        println!(
+            "profiling A/B at w4/b32: off {:.1} ns/trace, profiler on {:.1} ns/trace \
              ({:+.1}%)",
             off.ns_per_trace,
             on.ns_per_trace,

@@ -29,4 +29,4 @@ mod cases;
 mod runner;
 
 pub use cases::{catalog, BugCase, BugClass, PmfsFault, Scenario, StructKind};
-pub use runner::{run_case, run_clean, CaseOutcome};
+pub use runner::{run_case, run_case_profiled, run_clean, CaseOutcome, ProfiledOutcome};

@@ -1,7 +1,8 @@
 use std::sync::Arc;
 
-use pmtest_core::{PmTestSession, Report};
+use pmtest_core::{PmTestSession, Report, TelemetryConfig};
 use pmtest_mnemosyne::MnPool;
+use pmtest_obs::AdvisorReport;
 use pmtest_pmem::{PersistMode, PmHeap, PmPool};
 use pmtest_pmfs::{Pmfs, PmfsOptions};
 use pmtest_trace::Event;
@@ -26,13 +27,36 @@ const POOL_BYTES: usize = 1 << 21;
 const ROOT_BYTES: u64 = 4096;
 const VALUE_SIZE: usize = 32;
 
+/// A profiled case run: the usual outcome plus the advisor's ranked,
+/// source-located suggestions for the traces the case recorded.
+#[derive(Clone, Debug)]
+pub struct ProfiledOutcome {
+    /// The detection outcome, as from [`run_case`].
+    pub outcome: CaseOutcome,
+    /// The advisor report derived from the run's cross-trace profile.
+    pub advisor: AdvisorReport,
+}
+
 /// Runs a catalog case with its fault planted; `detected` reflects whether
 /// the expected diagnostic appeared.
 #[must_use]
 pub fn run_case(case: &BugCase) -> CaseOutcome {
-    let report = run_scenario(&case.scenario);
+    let session = session(TelemetryConfig::off());
+    let report = run_scenario(&session, &case.scenario);
     let detected = report.iter().any(|d| d.kind == case.expect);
     CaseOutcome { report, detected }
+}
+
+/// Runs a catalog case on a profiling-enabled session and returns the
+/// advisor's view of it alongside the detection outcome — the bridge from
+/// the planted-fault catalog to `pmtest-explain --advise`.
+#[must_use]
+pub fn run_case_profiled(case: &BugCase) -> ProfiledOutcome {
+    let session = session(TelemetryConfig::profiling_only());
+    let report = run_scenario(&session, &case.scenario);
+    let detected = report.iter().any(|d| d.kind == case.expect);
+    let advisor = session.advisor_report();
+    ProfiledOutcome { outcome: CaseOutcome { report, detected }, advisor }
 }
 
 /// Runs the *clean* variant of a case (same scenario, fault removed);
@@ -49,31 +73,36 @@ pub fn run_clean(case: &BugCase) -> CaseOutcome {
         // handled inside the driver via `fault: None` semantics.
         Scenario::TxlibAbandon => Scenario::TxlibAbandon,
     };
+    let session = session(TelemetryConfig::off());
     let report = match (&case.scenario, &clean) {
-        (Scenario::TxlibAbandon, _) => run_txlib(true),
-        _ => run_scenario(&clean),
+        (Scenario::TxlibAbandon, _) => run_txlib(&session, true),
+        _ => run_scenario(&session, &clean),
     };
     CaseOutcome { detected: !report.is_clean(), report }
 }
 
-fn run_scenario(scenario: &Scenario) -> Report {
+fn run_scenario(session: &PmTestSession, scenario: &Scenario) -> Report {
     match scenario {
         Scenario::Structure { kind, fault, with_removes } => {
-            run_structure(*kind, *fault, *with_removes)
+            run_structure(session, *kind, *fault, *with_removes)
         }
-        Scenario::Pmfs { fault } => run_pmfs(*fault),
-        Scenario::TxlibAbandon => run_txlib(false),
+        Scenario::Pmfs { fault } => run_pmfs(session, *fault),
+        Scenario::TxlibAbandon => run_txlib(session, false),
     }
 }
 
-fn session() -> PmTestSession {
-    let s = PmTestSession::builder().build();
+fn session(telemetry: TelemetryConfig) -> PmTestSession {
+    let s = PmTestSession::builder().telemetry(telemetry).build();
     s.start();
     s
 }
 
-fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> Report {
-    let session = session();
+fn run_structure(
+    session: &PmTestSession,
+    kind: StructKind,
+    fault: Option<Fault>,
+    with_removes: bool,
+) -> Report {
     let pm = Arc::new(PmPool::new(POOL_BYTES, session.sink()));
     let faults = fault.map_or_else(FaultSet::none, FaultSet::one);
     let keys: Vec<u64> = (0..24u64).collect();
@@ -105,7 +134,7 @@ fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> 
             let heap = Arc::new(PmHeap::new(pm, ROOT_BYTES));
             let map =
                 HashMapLl::create(heap, 4, CheckMode::Checkers, faults).expect("create hashmap_ll");
-            drive_kv(&session, &map, &keys, with_removes);
+            drive_kv(session, &map, &keys, with_removes);
         }
         StructKind::KvStore => {
             let pool = Arc::new(
@@ -161,7 +190,7 @@ fn run_structure(kind: StructKind, fault: Option<Fault>, with_removes: bool) -> 
                 ),
                 _ => unreachable!(),
             };
-            drive_kv(&session, map.as_ref(), &keys, with_removes);
+            drive_kv(session, map.as_ref(), &keys, with_removes);
         }
     }
     session.finish()
@@ -185,8 +214,7 @@ fn drive_kv(session: &PmTestSession, map: &(impl KvMap + ?Sized), keys: &[u64], 
     }
 }
 
-fn run_pmfs(fault: Option<PmfsFault>) -> Report {
-    let session = session();
+fn run_pmfs(session: &PmTestSession, fault: Option<PmfsFault>) -> Report {
     let pm = Arc::new(PmPool::new(1 << 19, session.sink()));
     let mut opts = PmfsOptions { checkers: true, ..PmfsOptions::default() };
     match fault {
@@ -211,8 +239,7 @@ fn run_pmfs(fault: Option<PmfsFault>) -> Report {
     session.finish()
 }
 
-fn run_txlib(clean: bool) -> Report {
-    let session = session();
+fn run_txlib(session: &PmTestSession, clean: bool) -> Report {
     let pm = Arc::new(PmPool::new(POOL_BYTES, session.sink()));
     let pool = Arc::new(ObjPool::create(pm, ROOT_BYTES, PersistMode::X86).expect("create pool"));
     let root = pool.root().start();

@@ -1,0 +1,98 @@
+//! Advisor acceptance over the planted-fault catalog: every performance
+//! fault — duplicate flushes (`Fault::ALL`'s `*DoubleFlush*` plants and the
+//! PMFS legacy double flush), duplicate undo logs (`*DoubleLog*`), and the
+//! unmapped-flush plant — must surface in `run_case_profiled` as a ranked,
+//! source-located suggestion at exactly the `#[track_caller]` site the
+//! WARN diagnostic reports, and the emitted `ADVISOR_*.json` must pass the
+//! `obs-check` schema validation.
+
+use pmtest_bugs::{catalog, run_case_profiled, BugClass};
+use pmtest_core::DiagKind;
+use pmtest_obs::advisor::{self, SuggestionKind};
+
+/// The suggestion kind a WARN perf diagnostic must surface as.
+fn expected_kind(diag: DiagKind) -> Option<SuggestionKind> {
+    match diag {
+        DiagKind::DuplicateFlush => Some(SuggestionKind::FlushCoalescing),
+        DiagKind::UnnecessaryFlush => Some(SuggestionKind::WastedPersist),
+        DiagKind::DuplicateLog => Some(SuggestionKind::LogElision),
+        _ => None,
+    }
+}
+
+#[test]
+fn every_planted_perf_fault_yields_a_ranked_sited_suggestion() {
+    let perf_cases: Vec<_> = catalog()
+        .into_iter()
+        .filter(|c| matches!(c.class, BugClass::LowLevelPerf | BugClass::TxPerf))
+        .collect();
+    assert!(perf_cases.len() >= 6, "catalog must keep its perf plants");
+    for case in &perf_cases {
+        let run = run_case_profiled(case);
+        assert!(
+            run.outcome.detected,
+            "{}: expected {:?}, report: {}",
+            case.id, case.expect, run.outcome.report
+        );
+        let report = &run.advisor;
+        assert!(!report.suggestions.is_empty(), "{}: advisor found nothing", case.id);
+
+        // Every WARN perf diagnostic must map to a suggestion of the
+        // matching kind anchored at exactly its #[track_caller] site.
+        let mut mapped = 0;
+        for diag in run.outcome.report.iter() {
+            let Some(kind) = expected_kind(diag.kind) else { continue };
+            let site = format!("{}:{}", diag.loc.file(), diag.loc.line());
+            let hit = report.suggestions.iter().find(|s| s.kind == kind && s.site == site);
+            let found = hit.unwrap_or_else(|| {
+                panic!(
+                    "{}: WARN {} @ {site} has no {} suggestion; got {:?}",
+                    case.id,
+                    diag.kind.code(),
+                    kind.code(),
+                    report
+                        .suggestions
+                        .iter()
+                        .map(|s| format!("#{} {} @ {}", s.rank, s.kind.code(), s.site))
+                        .collect::<Vec<_>>()
+                )
+            });
+            assert!(found.rank >= 1, "{}: unranked suggestion", case.id);
+            assert!(found.count > 0, "{}: empty suggestion at {site}", case.id);
+            mapped += 1;
+        }
+        assert!(mapped > 0, "{}: detected perf fault produced no WARN perf diagnostic", case.id);
+
+        // The planted site is real source, not a synthetic key.
+        let top = &report.suggestions[0];
+        assert!(
+            top.site.contains(".rs:"),
+            "{}: suggestion site {:?} is not a source location",
+            case.id,
+            top.site
+        );
+
+        // The emitted document must survive the obs-check validator.
+        let json = report.to_json();
+        let stats = advisor::validate(&json)
+            .unwrap_or_else(|e| panic!("{}: advisor JSON fails validation: {e}", case.id));
+        assert_eq!(stats.suggestions, report.suggestions.len(), "{}", case.id);
+    }
+}
+
+#[test]
+fn profiled_run_matches_unprofiled_detection() {
+    // Profiling is observation only: it must not change what the checkers
+    // report. Spot-check one case per perf class.
+    for id in ["queue-perf-double-tail", "ctree-perf-double-log"] {
+        let case = catalog().into_iter().find(|c| c.id == id).expect("case exists");
+        let plain = pmtest_bugs::run_case(&case);
+        let profiled = run_case_profiled(&case);
+        assert_eq!(plain.detected, profiled.outcome.detected, "{id}");
+        assert_eq!(
+            plain.report.iter().count(),
+            profiled.outcome.report.iter().count(),
+            "{id}: diagnostic count changed under profiling"
+        );
+    }
+}

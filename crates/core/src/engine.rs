@@ -698,6 +698,25 @@ impl Engine {
         self.shared.telemetry.worker_stats.iter().map(|s| *s.lock()).collect()
     }
 
+    /// The cross-trace performance profile aggregated so far — per-site
+    /// flush/fence/log counts, wasted-persist bytes, and WARN occurrences.
+    /// Empty unless [`TelemetryConfig::profiling`] is on. Call after the
+    /// traces of interest have been checked (e.g. after
+    /// [`wait_idle`](Self::wait_idle) or a session flush).
+    #[must_use]
+    pub fn profile(&self) -> pmtest_obs::ProfileSnapshot {
+        self.shared.telemetry.profile.snapshot()
+    }
+
+    /// Ranks [`profile`](Self::profile) into the advisor's source-located
+    /// suggestions (see DESIGN.md §16). Serialize with
+    /// [`AdvisorReport::to_json`](pmtest_obs::AdvisorReport::to_json) or
+    /// render with `pmtest-explain --advise`.
+    #[must_use]
+    pub fn advisor_report(&self) -> pmtest_obs::AdvisorReport {
+        pmtest_obs::AdvisorReport::from_profile(&self.profile())
+    }
+
     /// Submits one trace for asynchronous checking.
     ///
     /// # Errors
@@ -1141,6 +1160,9 @@ fn check_span(
                 shared.bundles_dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+    if shared.telemetry.profile.is_enabled() {
+        crate::telemetry::profile_span(&shared.telemetry.profile, words, resolver, &diags);
     }
     tally.traces += 1;
     tally.entries += u64::from(entries);

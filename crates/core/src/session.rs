@@ -498,6 +498,26 @@ impl PmTestSession {
         self.shared.engine.chrome_trace()
     }
 
+    /// The cross-trace performance profile — see [`Engine::profile`].
+    /// Flushes the calling thread's pending batch and waits for the engine
+    /// so every recorded trace is aggregated. Empty unless
+    /// [`crate::TelemetryConfig::profiling`] is on.
+    #[must_use]
+    pub fn profile(&self) -> pmtest_obs::ProfileSnapshot {
+        self.flush();
+        self.shared.engine.wait_idle();
+        self.shared.engine.profile()
+    }
+
+    /// The advisor's ranked, source-located suggestions derived from
+    /// [`profile`](Self::profile) — see [`Engine::advisor_report`].
+    #[must_use]
+    pub fn advisor_report(&self) -> pmtest_obs::AdvisorReport {
+        self.flush();
+        self.shared.engine.wait_idle();
+        self.shared.engine.advisor_report()
+    }
+
     /// Local address of the live telemetry scrape endpoint, if
     /// [`crate::TelemetryConfig::scrape_addr`] was configured — see
     /// [`Engine::scrape_addr`].

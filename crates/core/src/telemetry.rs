@@ -13,12 +13,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use pmtest_interval::{ByteRange, SegmentMap};
+use pmtest_obs::advisor::AdvisorReport;
 use pmtest_obs::{
-    Counter, EventLog, Gauge, Histogram, MetricsRegistry, SpanSink, TelemetrySnapshot,
+    Counter, EventLog, Gauge, Histogram, MetricsRegistry, ProfileStore, SiteDelta, SpanSink,
+    TelemetrySnapshot,
 };
-use pmtest_trace::{ArenaStats, Event, FlightRecorder, TraceStats};
+use pmtest_trace::packed::decode_next;
+use pmtest_trace::{ArenaStats, Event, FlightRecorder, LocResolver, PackedEntry, TraceStats};
 
-use crate::diag::DiagKind;
+use crate::diag::{Diag, DiagKind, Severity};
 
 /// What the engine records beyond its always-on counters.
 ///
@@ -51,6 +55,11 @@ pub struct TelemetryConfig {
     pub tracing: bool,
     /// Spans retained per thread by the span buffers (newest win).
     pub tracing_capacity: usize,
+    /// Aggregate a cross-trace performance profile: per-`SourceLoc`
+    /// flush/fence/log counts, wasted-persist bytes, and WARN diagnostics,
+    /// feeding the optimization advisor (see DESIGN.md §16). When off — the
+    /// default — the per-trace cost is one relaxed atomic load and a branch.
+    pub profiling: bool,
     /// When set (e.g. `"127.0.0.1:9184"`), the engine serves its live
     /// telemetry over HTTP from this address: `GET /metrics` (Prometheus
     /// text exposition) and `GET /snapshot.json`. Port `0` binds an
@@ -76,16 +85,25 @@ impl TelemetryConfig {
             recorder_capacity: FlightRecorder::DEFAULT_CAPACITY,
             tracing: false,
             tracing_capacity: pmtest_obs::DEFAULT_SPAN_CAPACITY,
+            profiling: false,
             scrape_addr: None,
         }
     }
 
     /// Everything on: timing histograms, the event ring, the flight
-    /// recorder (diagnosis bundles on ERROR), and span tracing. The scrape
-    /// endpoint stays off — opt in with [`with_scrape`](Self::with_scrape).
+    /// recorder (diagnosis bundles on ERROR), span tracing, and the
+    /// cross-trace performance profile. The scrape endpoint stays off —
+    /// opt in with [`with_scrape`](Self::with_scrape).
     #[must_use]
     pub fn enabled() -> Self {
-        Self { timing: true, events: true, recorder: true, tracing: true, ..Self::off() }
+        Self {
+            timing: true,
+            events: true,
+            recorder: true,
+            tracing: true,
+            profiling: true,
+            ..Self::off()
+        }
     }
 
     /// Timing histograms without the event ring.
@@ -106,10 +124,24 @@ impl TelemetryConfig {
         Self { tracing: true, ..Self::off() }
     }
 
+    /// Cross-trace performance profiling only: the advisor's site-keyed
+    /// profile store, no timing histograms, no rings.
+    #[must_use]
+    pub fn profiling_only() -> Self {
+        Self { profiling: true, ..Self::off() }
+    }
+
     /// Turns span tracing on.
     #[must_use]
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Turns cross-trace performance profiling on.
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
         self
     }
 
@@ -283,6 +315,9 @@ pub(crate) struct EngineTelemetry {
     /// [`Stage::ALL`]. Registered unconditionally so a snapshot always
     /// exposes all five stages (count 0 with timing off).
     pub(crate) stages: [Histogram; Stage::ALL.len()],
+    /// Cross-trace, site-keyed performance profile feeding the advisor
+    /// (profiling layer; see DESIGN.md §16). One relaxed load when off.
+    pub(crate) profile: ProfileStore,
     /// Lock-free per-thread span buffers (tracing layer; see DESIGN.md §14).
     pub(crate) spans: Arc<SpanSink>,
     /// Pre-interned span names for the ingest pipeline's recording sites.
@@ -315,6 +350,8 @@ impl EngineTelemetry {
         events.set_enabled(config.events);
         let spans = Arc::new(SpanSink::new(config.tracing_capacity.max(1)));
         spans.set_enabled(config.tracing);
+        let profile = ProfileStore::new();
+        profile.set_enabled(config.profiling);
         let span_names = SpanNames {
             ship: spans.intern("ship"),
             claim: spans.intern("claim"),
@@ -361,6 +398,7 @@ impl EngineTelemetry {
                     .counter("session_flush_total", &[("cause", FlushCause::ThreadExit.label())]),
             ],
             stages,
+            profile,
             spans,
             span_names,
             arena_slab_allocs: registry.counter("engine_arena_slab_allocs", &[]),
@@ -452,9 +490,105 @@ impl EngineTelemetry {
         }
         snap.push_counter("engine_events_dropped", &[], self.events.dropped());
         snap.push_counter("engine_spans_dropped", &[], self.spans.dropped());
+        if self.profile.is_enabled() {
+            let profile = self.profile.snapshot();
+            profile.fold_into(&mut snap);
+            AdvisorReport::from_profile(&profile).fold_into(&mut snap);
+        }
         snap.events = self.events.snapshot();
         snap
     }
+}
+
+/// Feeds one checked trace into the cross-trace profile store: a single
+/// decode walk re-detects the wasteful persistency patterns — duplicate and
+/// unnecessary flushes, duplicate undo-log appends, fences ordering no new
+/// work — per source site, dialect-independently (under HOPS the checkers
+/// demote flush/fence to `ForeignOperation`, but the profile still sees
+/// them), and attributes every WARN diagnostic to its site. Called from the
+/// worker replay path only when [`ProfileStore::is_enabled`] — the off cost
+/// is the caller's one relaxed load.
+pub(crate) fn profile_span(
+    store: &ProfileStore,
+    words: &[PackedEntry],
+    resolver: &mut LocResolver,
+    diags: &[Diag],
+) {
+    let mut sites: std::collections::BTreeMap<(&'static str, u32), SiteDelta> =
+        std::collections::BTreeMap::new();
+    // Shadow sets mirroring the checker's redundancy view: what has been
+    // written (and not yet re-dirtied), what is clean-flushed, and what the
+    // open transaction has already logged.
+    let mut written: SegmentMap<()> = SegmentMap::new();
+    let mut flushed: SegmentMap<()> = SegmentMap::new();
+    let mut logged: SegmentMap<()> = SegmentMap::new();
+    let mut work_since_fence = false;
+    let overlap_bytes = |map: &SegmentMap<()>, r: ByteRange| -> u64 {
+        map.overlapping(r).map(|(seg, _)| seg.intersection(&r).map_or(0, |o| o.len())).sum()
+    };
+    let mut i = 0;
+    while let Some((entry, next)) = decode_next(words, i, resolver) {
+        i = next;
+        let site = (entry.loc.file(), entry.loc.line());
+        match entry.event {
+            Event::Write(r) => {
+                sites.entry(site).or_default().writes += 1;
+                written.insert(r, ());
+                // A rewrite re-dirties the line: a later flush is useful again.
+                flushed.remove(r);
+                work_since_fence = true;
+            }
+            Event::Flush(r) => {
+                let delta = sites.entry(site).or_default();
+                delta.flushes += 1;
+                let dup = overlap_bytes(&flushed, r);
+                if dup > 0 {
+                    delta.dup_flushes += 1;
+                    delta.dup_flush_bytes += dup;
+                }
+                let unwritten: u64 = written.gaps(r).iter().map(ByteRange::len).sum();
+                if unwritten > 0 {
+                    delta.unnecessary_flushes += 1;
+                    delta.unnecessary_flush_bytes += unwritten;
+                }
+                flushed.insert(r, ());
+                work_since_fence = true;
+            }
+            Event::Fence | Event::OFence | Event::DFence => {
+                let delta = sites.entry(site).or_default();
+                delta.fences += 1;
+                if !work_since_fence {
+                    delta.redundant_fences += 1;
+                }
+                work_since_fence = false;
+            }
+            Event::TxAdd(r) => {
+                let delta = sites.entry(site).or_default();
+                delta.logs += 1;
+                let dup = overlap_bytes(&logged, r);
+                if dup > 0 {
+                    delta.dup_logs += 1;
+                    delta.dup_log_bytes += dup;
+                }
+                logged.insert(r, ());
+                work_since_fence = true;
+            }
+            Event::TxBegin | Event::TxEnd => logged.clear(),
+            Event::IsPersist(_)
+            | Event::IsOrderedBefore(_, _)
+            | Event::TxCheckerStart
+            | Event::TxCheckerEnd
+            | Event::Exclude(_)
+            | Event::Include(_) => {}
+        }
+    }
+    let ops: Vec<_> = sites.into_iter().collect();
+    let warns: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Warn)
+        .map(|d| ((d.loc.file(), d.loc.line()), d.kind.code()))
+        .collect();
+    store.record_trace(&ops, &warns);
 }
 
 /// A one-line human summary of an engine snapshot — traces checked, check
@@ -490,6 +624,17 @@ pub fn summary_line(snap: &TelemetrySnapshot) -> String {
         sev_total("FAIL"),
         sev_total("WARN"),
     );
+    let profiled = snap.counter_sum("profile_traces_profiled");
+    if profiled > 0 {
+        line.push_str(&format!(
+            "\nadvisor: {profiled} traces profiled across {} sites — {} suggestion(s), \
+             {} wasted persist bytes, {} redundant fence(s)",
+            snap.gauge("profile_sites_tracked").unwrap_or(0.0) as u64,
+            snap.counter_sum("advisor_suggestions"),
+            snap.counter_sum("profile_wasted_persist_bytes"),
+            snap.counter_sum("profile_redundant_fences"),
+        ));
+    }
     let events_dropped = snap.counter_sum("engine_events_dropped");
     let spans_dropped = snap.counter_sum("engine_spans_dropped");
     if events_dropped > 0 || spans_dropped > 0 {

@@ -29,9 +29,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod advise;
 mod load;
 mod render;
 
+pub use advise::{profile_program, render_advisor, render_advisor_diff};
 pub use load::{load_bundle, model_from_name, parse_loc, parse_op, LoadedBundle};
 pub use render::render_trace;
 

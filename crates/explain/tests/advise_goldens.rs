@@ -1,0 +1,124 @@
+//! Golden advisor reports and renders.
+//!
+//! Two hand-written wasteful programs — one per dialect, planting the same
+//! duplicate-flush / duplicate-log / extra-fence patterns — are profiled on
+//! an engine and pinned three ways: the `ADVISOR_*.json` document must stay
+//! byte-identical, the `pmtest-explain --advise` render must stay
+//! byte-identical, and the JSON must pass the `obs-check` advisor
+//! validation. Regenerate with `PMTEST_BLESS=1 cargo test -p
+//! pmtest-explain`.
+
+use std::path::PathBuf;
+
+use pmtest_difftest::program::Program;
+use pmtest_explain::{profile_program, render_advisor, render_advisor_diff};
+use pmtest_obs::advisor::{self, AdvisorReport};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("PMTEST_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); regenerate with PMTEST_BLESS=1", path.display())
+    });
+    assert_eq!(got, &golden, "{name}: drifted; PMTEST_BLESS=1 to regenerate");
+}
+
+/// x86 dialect: duplicate flush, duplicate undo-log entry, back-to-back
+/// fences, and a flush of never-written data.
+fn wasteful_x86() -> Program {
+    Program::from_text(
+        "dialect x86\n\
+         tx_begin\n\
+         tx_add 0 8\n\
+         tx_add 0 8\n\
+         write 0 8\n\
+         flush 0 64\n\
+         flush 0 64\n\
+         fence\n\
+         fence\n\
+         flush 128 64\n\
+         fence\n\
+         tx_commit\n",
+    )
+    .expect("valid x86 program")
+}
+
+/// HOPS dialect: the same wasteful shapes expressed with ofence/dfence —
+/// the profiler detects them dialect-independently even though the HOPS
+/// checkers treat flush/fence as foreign operations.
+fn wasteful_hops() -> Program {
+    Program::from_text(
+        "dialect hops\n\
+         tx_begin\n\
+         tx_add 0 8\n\
+         tx_add 0 8\n\
+         write 0 8\n\
+         ofence\n\
+         ofence\n\
+         write 64 8\n\
+         dfence\n\
+         dfence\n\
+         tx_commit\n",
+    )
+    .expect("valid hops program")
+}
+
+#[test]
+fn advisor_json_and_render_match_goldens() {
+    for (stem, program) in [("advise_x86", wasteful_x86()), ("advise_hops", wasteful_hops())] {
+        let report = profile_program(&program);
+        let json = report.to_json();
+        let stats = advisor::validate(&json)
+            .unwrap_or_else(|e| panic!("{stem}: emitted advisor JSON fails validation: {e}"));
+        assert!(stats.suggestions > 0, "{stem}: wasteful program must yield suggestions");
+        check_golden(&format!("{stem}.json"), &json);
+        check_golden(&format!("{stem}.advise.txt"), &render_advisor(&report, stem, 10));
+    }
+}
+
+#[test]
+fn advisor_report_is_byte_deterministic_across_runs() {
+    let program = wasteful_x86();
+    let first = profile_program(&program).to_json();
+    for _ in 0..3 {
+        assert_eq!(profile_program(&program).to_json(), first, "advisor JSON must be stable");
+    }
+}
+
+#[test]
+fn diff_against_fixed_program_matches_golden() {
+    let old = profile_program(&wasteful_x86());
+    // The "fixed" run: duplicate log, duplicate flushes, extra fences, and
+    // the unwritten-range flush all removed.
+    let fixed = Program::from_text(
+        "dialect x86\n\
+         tx_begin\n\
+         tx_add 0 8\n\
+         write 0 8\n\
+         flush 0 64\n\
+         fence\n\
+         tx_commit\n",
+    )
+    .expect("valid x86 program");
+    let new = profile_program(&fixed);
+    check_golden("advise_x86.diff.txt", &render_advisor_diff(&old, &new, "advise_x86"));
+}
+
+#[test]
+fn golden_json_round_trips_through_parser() {
+    if std::env::var_os("PMTEST_BLESS").is_some() {
+        return;
+    }
+    let text = std::fs::read_to_string(golden_dir().join("advise_x86.json"))
+        .expect("golden present (PMTEST_BLESS=1 to regenerate)");
+    let report = AdvisorReport::from_json(&text).expect("golden parses");
+    assert_eq!(report.to_json(), text, "parse→serialize is the identity on the golden");
+}

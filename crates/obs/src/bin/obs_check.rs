@@ -7,14 +7,18 @@
 //! counts consistent with the header, escape round-trips. A JSON document
 //! carrying a `traceEvents` array is validated as a Chrome trace-event file
 //! (`pmtest_obs::trace_event`): schema, per-track monotone `ts`, matched
-//! `B`/`E` pairs. Exits non-zero (with the offending file, line, and error
-//! on stderr) if anything fails, so CI can gate on the emitted snapshots
-//! actually parsing. No dependencies, no serde: it reuses the crate's own
-//! minimal JSON reader.
+//! `B`/`E` pairs. A document carrying the `pmtest-advisor/v1` schema tag is
+//! validated as an advisor report (`pmtest_obs::advisor`): site keys parse
+//! and resolve into the embedded profile, suggestion counts are consistent
+//! with it, the score formula holds, and the ranking is contiguous and
+//! monotone under the full tie-break order. Exits non-zero (with the
+//! offending file, line, and error on stderr) if anything fails, so CI can
+//! gate on the emitted snapshots actually parsing. No dependencies, no
+//! serde: it reuses the crate's own minimal JSON reader.
 
 use std::process::ExitCode;
 
-use pmtest_obs::{bundle, json, trace_event};
+use pmtest_obs::{advisor, bundle, json, trace_event};
 
 fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -46,6 +50,18 @@ fn check_file(path: &str) -> Result<String, String> {
                 stats.pairs,
                 stats.threads,
                 plural(stats.threads)
+            ));
+        }
+        if advisor::is_advisor_doc(&text) {
+            let stats = advisor::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+            return Ok(format!(
+                "advisor: {} suggestion{} over {} site{}, {} trace{} profiled",
+                stats.suggestions,
+                plural(stats.suggestions),
+                stats.sites,
+                plural(stats.sites),
+                stats.traces,
+                plural(stats.traces as usize)
             ));
         }
         Ok("1 document".to_owned())

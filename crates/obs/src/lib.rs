@@ -19,6 +19,10 @@
 //! * lock-free per-thread span buffers ([`SpanSink`]) for continuous
 //!   profiling, exported as Perfetto-loadable Chrome trace-event JSON
 //!   ([`trace_event`]) and self-validated by the same module;
+//! * a cross-trace, site-keyed performance [`ProfileStore`] ([`profile`])
+//!   plus the [`advisor`] that ranks its snapshot into source-located
+//!   flush-coalescing / log-elision / redundant-fence suggestions, emitted
+//!   as deterministic `ADVISOR_*.json` documents;
 //! * a std-only blocking HTTP scrape endpoint ([`ScrapeServer`]) serving
 //!   the Prometheus exposition and the JSON snapshot of a live engine — the
 //!   first building block of the `pmtestd` daemon.
@@ -46,19 +50,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod bundle;
 mod events;
 mod export;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod scrape;
 mod snapshot;
 mod spans;
 pub mod trace_event;
 pub mod writer;
 
+pub use advisor::{AdvisorReport, Suggestion, SuggestionKind};
 pub use events::{EventLog, EventRecord, Field, SpanGuard};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{ProfileSnapshot, ProfileStore, SiteDelta, SiteProfile};
 pub use scrape::{ScrapeServer, SnapshotSource};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot};
 pub use spans::{SpanDump, SpanHandle, SpanRecord, SpanSink, DEFAULT_SPAN_CAPACITY};
