@@ -56,6 +56,28 @@ const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 /// Set `PMTEST_BENCH_NO_ASSERT=1` (as CI's smoke run does) to report only.
 const SCALING_SLACK: f64 = 1.15;
 
+/// Oversubscription budget (the 155→187 ns w1→w16 drift guard): the
+/// batch-32 floor at 16 workers may not exceed the single-worker floor by
+/// more than this factor. [`SCALING_SLACK`] pins every b32 row to the
+/// 4-worker row; this pins the far end of the axis to the near end, so the
+/// whole curve has to stay flat, not just its middle.
+/// Same `PMTEST_BENCH_NO_ASSERT=1` escape hatch.
+const W16_VS_W1_SLACK: f64 = 1.25;
+
+/// Minimum speedup of the cached repetitive-workload row over its uncached
+/// twin (floor over floor). The workload repeats one 62-record trace shape,
+/// so the cache serves ~everything after the first occurrence; anything
+/// under 3x means the cached path stopped being a hash lookup.
+const REP_SPEEDUP_MIN: f64 = 3.0;
+
+/// Budget for the cached-probe microbench row: fingerprint + L1 lookup on
+/// the short 4-entry trace shape, in nanoseconds (floor sample).
+const CACHED_PROBE_BUDGET_NS: f64 = 40.0;
+
+/// Minimum verdict-cache hit rate over the repetitive workload (count-based,
+/// from the cache's own counters — not a timing number).
+const REP_HIT_RATE_MIN: f64 = 0.95;
+
 /// Telemetry-off budget against the *committed* baseline: with every
 /// telemetry layer disabled (the default), the w4/b32 session row's floor
 /// sample may not run more than this factor above the ns/trace recorded in
@@ -80,6 +102,45 @@ fn run_round(session: &PmTestSession, traces: u64) {
                     session.record(Event::Fence.here());
                     session.is_persist(r);
                     session.send_trace();
+                }
+            });
+        }
+    });
+    let report = session.take_report();
+    assert!(report.is_clean(), "bench traces must check clean");
+}
+
+/// Distinct 64-byte ranges per repetitive-workload trace. Well past the
+/// clean-lane DFA's exact-match slots, so the uncached run pays the full
+/// fused replay — the production-shaped cost the verdict cache memoizes.
+const REP_RANGES: u64 = 30;
+
+/// Records one repetitive-workload trace: [`REP_RANGES`] write+flush pairs
+/// over distinct ranges, a fence, and a checker — 62 records, one shape,
+/// identical on every call (same ranges, same source sites), which is what
+/// makes the whole round a single cache fingerprint.
+fn record_repetitive_trace(session: &PmTestSession) {
+    for i in 0..REP_RANGES {
+        let r = ByteRange::with_len(i * 64, 64);
+        session.record(Event::Write(r).here());
+        session.record(Event::Flush(r).here());
+    }
+    session.record(Event::Fence.here());
+    session.is_persist(ByteRange::with_len(0, 64));
+    session.send_trace();
+}
+
+/// Records and submits one round of repetitive-workload traces from
+/// [`PRODUCERS`] threads, then drains the engine. The A/B pair of rows runs
+/// this with the verdict cache off and on.
+fn run_round_repetitive(session: &PmTestSession, traces: u64) {
+    let per_producer = traces / PRODUCERS;
+    std::thread::scope(|s| {
+        for _ in 0..PRODUCERS {
+            s.spawn(|| {
+                session.thread_init();
+                for _ in 0..per_producer {
+                    record_repetitive_trace(session);
                 }
             });
         }
@@ -214,6 +275,62 @@ fn bench_matrix(c: &mut Criterion) -> Vec<Sample> {
             floor_ns_per_trace: floor_ns / traces as f64,
         });
     }
+    // Repetitive-workload A/B rows: one 62-record trace shape repeated for
+    // the whole round, checked with the verdict cache off (`session-rep`,
+    // the full fused-replay cost) and on (`session-cached`, a fingerprint
+    // plus an L1 probe per trace after the first). The ratio of the two
+    // floors is the memoization win on production-shaped traffic.
+    for cached in [false, true] {
+        let session =
+            PmTestSession::builder().workers(4).batch_capacity(32).verdict_cache(cached).build();
+        session.start();
+        run_round_repetitive(&session, traces); // warm pools and cache
+        let id = if cached { "cached_w4" } else { "rep_w4" };
+        group.bench_with_input(BenchmarkId::new(id, "b32"), &traces, |b, &traces| {
+            b.iter(|| run_round_repetitive(&session, traces))
+        });
+        let per_round_ns = group.last_estimate_ns().expect("benchmark just ran");
+        let floor_ns = group.last_best_ns().expect("benchmark just ran");
+        samples.push(Sample {
+            path: if cached { "session-cached" } else { "session-rep" },
+            workers: 4,
+            batch: 32,
+            ns_per_trace: per_round_ns / traces as f64,
+            floor_ns_per_trace: floor_ns / traces as f64,
+        });
+    }
+    // Cached-probe microbench row: the marginal cost of the cached path in
+    // isolation — fingerprint the short 4-entry trace shape and probe a
+    // resident L1 entry. No engine, no dispatch: this is the number the
+    // <=40 ns/trace cached-path budget pins.
+    {
+        use pmtest_core::cache::{CachedVerdict, VerdictCache, WorkerCache};
+        use pmtest_core::VerdictCacheConfig;
+        let mut words = Vec::new();
+        let r = ByteRange::with_len(0, 8);
+        for event in [Event::Write(r), Event::Flush(r), Event::Fence, Event::IsPersist(r)] {
+            pmtest_trace::packed::encode_into(&mut words, event.here());
+        }
+        let cache = VerdictCache::new(&VerdictCacheConfig::default());
+        let mut wc = WorkerCache::new();
+        let fp = wc.fingerprint(&words);
+        wc.install(&cache, fp, CachedVerdict::new(Vec::new(), None));
+        group.bench_with_input(BenchmarkId::new("cached_probe", "b1"), &traces, |b, _| {
+            b.iter(|| {
+                let fp = wc.fingerprint(criterion::black_box(&words));
+                criterion::black_box(wc.lookup(&cache, fp, false).is_some())
+            })
+        });
+        let per_iter_ns = group.last_estimate_ns().expect("benchmark just ran");
+        let floor_ns = group.last_best_ns().expect("benchmark just ran");
+        samples.push(Sample {
+            path: "cached-probe",
+            workers: 1,
+            batch: 1,
+            ns_per_trace: per_iter_ns,
+            floor_ns_per_trace: floor_ns,
+        });
+    }
     // Peak-ingest rows: one producer recording through the owned handle.
     for &(workers, batch) in &[(1usize, 256usize), (1, 1024), (2, 1024)] {
         let session = PmTestSession::builder().workers(workers).batch_capacity(batch).build();
@@ -296,7 +413,49 @@ fn stats_sample(traces: u64) -> String {
     s
 }
 
-fn write_json(samples: &[Sample], traces: u64) {
+/// Verdict-cache counters from one cache-on repetitive round at the
+/// reference w4/b32 configuration: the JSON block plus the count-based hit
+/// rate the [`REP_HIT_RATE_MIN`] guard checks. A dedicated run (not the
+/// timed rows) so the counters describe exactly one warm round.
+fn verdict_cache_sample(traces: u64) -> (String, f64) {
+    let session =
+        PmTestSession::builder().workers(4).batch_capacity(32).verdict_cache(true).build();
+    session.start();
+    run_round_repetitive(&session, traces); // cold round: populates the cache
+    run_round_repetitive(&session, traces); // warm round
+    let stats = session.verdict_cache_stats().expect("cache enabled");
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "{{\n",
+            "    \"workers\": 4,\n",
+            "    \"batch_capacity\": 32,\n",
+            "    \"l1_hits\": {},\n",
+            "    \"l2_hits\": {},\n",
+            "    \"misses\": {},\n",
+            "    \"bypasses\": {},\n",
+            "    \"inserts\": {},\n",
+            "    \"evictions\": {},\n",
+            "    \"bytes_resident\": {},\n",
+            "    \"entries\": {},\n",
+            "    \"hit_rate\": {:.4}\n",
+            "  }}"
+        ),
+        stats.l1_hits,
+        stats.l2_hits,
+        stats.misses,
+        stats.bypasses,
+        stats.inserts,
+        stats.evictions,
+        stats.bytes_resident,
+        stats.entries,
+        stats.hit_rate(),
+    );
+    (s, stats.hit_rate())
+}
+
+fn write_json(samples: &[Sample], traces: u64, verdict_cache: &str) {
     let speedup_at = |workers: usize| -> Option<f64> {
         let b1 =
             samples.iter().find(|s| s.path == "session" && s.workers == workers && s.batch == 1)?;
@@ -331,8 +490,11 @@ fn write_json(samples: &[Sample], traces: u64) {
             );
         }
     }
+    // Peak is an end-to-end number (recorded, shipped, checked); the
+    // cached-probe microbench runs no engine and must not claim it.
     let peak = samples
         .iter()
+        .filter(|s| s.path != "cached-probe")
         .max_by(|a, b| a.traces_per_sec().total_cmp(&b.traces_per_sec()))
         .expect("bench produced samples");
     let json = format!(
@@ -341,11 +503,12 @@ fn write_json(samples: &[Sample], traces: u64) {
             "  \"bench\": \"engine_throughput\",\n",
             "  \"traces_per_round\": {},\n",
             "  \"entries_per_trace\": {},\n",
-            "  \"workload\": \"short traces: write+flush+fence+isPersist; session rows: 4 producer threads via the Sink path; recorder rows: 1 inline producer via the owned ThreadRecorder handle; ring capacity derived (256/batch, min 32)\",\n",
-            "  \"telemetry\": \"all layers off (default) except the session-telemetry A/B row (timing + events + recorder + tracing on) and the session-profiling A/B row (cross-trace profiler only); per-producer SPSC rings with work-stealing workers; producers record packed records into recycled arenas; clean traces take the packed DFA lane, the rest the fused replay on recycled CheckerScratch state\",\n",
+            "  \"workload\": \"short traces: write+flush+fence+isPersist; session rows: 4 producer threads via the Sink path; session-rep/session-cached rows: one 62-record repetitive shape (30 distinct write+flush ranges) with the verdict cache off/on; cached-probe row: fingerprint + L1 lookup only, no engine; recorder rows: 1 inline producer via the owned ThreadRecorder handle; ring capacity derived (256/batch, min 32)\",\n",
+            "  \"telemetry\": \"all layers off (default) except the session-telemetry A/B row (timing + events + recorder + tracing on) and the session-profiling A/B row (cross-trace profiler only); per-producer SPSC rings with work-stealing workers; producers record packed records into recycled arenas; clean traces take the packed DFA lane, the rest the fused replay on recycled CheckerScratch state; session-cached serves repeats from the content-addressed verdict cache\",\n",
             "  \"results\": [\n{}  ],\n",
             "  \"peak\": {{\"path\": \"{}\", \"workers\": {}, \"batch\": {}, \"ns_per_trace\": {:.1}, \"traces_per_sec\": {:.0}}},\n",
             "  \"speedup_batch32_over_batch1_by_workers\": {{\n{}  }},\n",
+            "  \"verdict_cache_sample\": {},\n",
             "  \"stats_sample\": {}\n",
             "}}\n"
         ),
@@ -358,6 +521,7 @@ fn write_json(samples: &[Sample], traces: u64) {
         peak.ns_per_trace,
         peak.traces_per_sec(),
         speedups,
+        verdict_cache,
         stats_sample(traces),
     );
     // cargo sets the bench cwd to crates/bench; anchor the output at the
@@ -402,16 +566,83 @@ fn assert_scaling(samples: &[Sample]) {
     println!(
         "scaling assertion ok: every b32 floor within {SCALING_SLACK}x of w4/b32 ({w4:.1} ns)"
     );
+    // Pin the far end of the axis to the near end: the oversubscribed
+    // 16-worker row may not drift past the single-worker floor by more than
+    // the [`W16_VS_W1_SLACK`] budget.
+    if let (Some(w1), Some(w16)) = (at(1), at(16)) {
+        assert!(
+            w16 <= w1 * W16_VS_W1_SLACK,
+            "oversubscription drift: {w16:.1} ns/trace (floor) at w16/b32 vs {w1:.1} at w1/b32 \
+             (limit {:.1})",
+            w1 * W16_VS_W1_SLACK,
+        );
+        println!(
+            "oversubscription budget ok: w16/b32 floor {w16:.1} ns within {W16_VS_W1_SLACK}x \
+             of w1/b32 floor {w1:.1} ns"
+        );
+    }
     // The ingest plane's headline number: the best configuration must clear
     // ten million short traces per second end to end (recorded, shipped,
     // and checked) on this host.
-    let peak = samples.iter().map(|s| s.floor_traces_per_sec()).fold(0.0f64, f64::max);
+    let peak = samples
+        .iter()
+        .filter(|s| s.path != "cached-probe")
+        .map(|s| s.floor_traces_per_sec())
+        .fold(0.0f64, f64::max);
     assert!(
         peak >= 10e6,
         "peak throughput regression: best config reached {:.2}M traces/s, need >= 10M",
         peak / 1e6,
     );
     println!("peak throughput ok: {:.2}M traces/s best config", peak / 1e6);
+}
+
+/// The verdict-cache guards: the cached repetitive row must beat its
+/// uncached twin by [`REP_SPEEDUP_MIN`] (floor over floor), the cached-probe
+/// microbench must fit the [`CACHED_PROBE_BUDGET_NS`] budget, and the
+/// count-based hit rate of the warm repetitive round must clear
+/// [`REP_HIT_RATE_MIN`]. Same `PMTEST_BENCH_NO_ASSERT=1` escape hatch.
+fn assert_verdict_cache(samples: &[Sample], hit_rate: f64) {
+    let at = |path: &str| samples.iter().find(|s| s.path == path);
+    if let (Some(rep), Some(cached)) = (at("session-rep"), at("session-cached")) {
+        println!(
+            "verdict-cache A/B at w4/b32: off {:.1} ns/trace, on {:.1} ns/trace \
+             ({:.1}x floor speedup, hit rate {:.4})",
+            rep.ns_per_trace,
+            cached.ns_per_trace,
+            rep.floor_ns_per_trace / cached.floor_ns_per_trace,
+            hit_rate,
+        );
+    }
+    if std::env::var_os("PMTEST_BENCH_NO_ASSERT").is_some() {
+        println!("verdict-cache guards skipped (PMTEST_BENCH_NO_ASSERT)");
+        return;
+    }
+    let (Some(rep), Some(cached)) = (at("session-rep"), at("session-cached")) else { return };
+    let speedup = rep.floor_ns_per_trace / cached.floor_ns_per_trace;
+    assert!(
+        speedup >= REP_SPEEDUP_MIN,
+        "verdict-cache speedup regression: cached row {:.1} ns/trace (floor) is only {speedup:.2}x \
+         the uncached {:.1} ns/trace, need >= {REP_SPEEDUP_MIN}x",
+        cached.floor_ns_per_trace,
+        rep.floor_ns_per_trace,
+    );
+    if let Some(probe) = at("cached-probe") {
+        assert!(
+            probe.floor_ns_per_trace <= CACHED_PROBE_BUDGET_NS,
+            "cached-path budget blown: fingerprint + L1 probe costs {:.1} ns (floor), \
+             budget {CACHED_PROBE_BUDGET_NS} ns",
+            probe.floor_ns_per_trace,
+        );
+    }
+    assert!(
+        hit_rate >= REP_HIT_RATE_MIN,
+        "verdict-cache hit rate {hit_rate:.4} below {REP_HIT_RATE_MIN} on the repetitive workload",
+    );
+    println!(
+        "verdict-cache guards ok: {speedup:.2}x speedup, probe floor {:.1} ns, hit rate {hit_rate:.4}",
+        at("cached-probe").map_or(f64::NAN, |s| s.floor_ns_per_trace),
+    );
 }
 
 /// The w4/b32 session ns/trace recorded in the *committed*
@@ -500,9 +731,11 @@ fn engine_throughput(c: &mut Criterion) {
             s.traces_per_sec() / 1e6
         );
     }
-    write_json(&samples, traces);
+    let (cache_json, hit_rate) = verdict_cache_sample(traces);
+    write_json(&samples, traces, &cache_json);
     assert_scaling(&samples);
     assert_telemetry_budget(&samples, baseline);
+    assert_verdict_cache(&samples, hit_rate);
 }
 
 criterion_group! {

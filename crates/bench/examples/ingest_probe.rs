@@ -213,4 +213,66 @@ fn main() {
         }
         println!("    {}", session.telemetry_summary().replace('\n', "\n    "));
     }
+
+    // Verdict-cache decomposition: a repetitive workload (one 62-record
+    // shape, 30 distinct ranges — past the clean-lane DFA's slots, so the
+    // uncached run pays the full fused replay) checked cache-off then
+    // cache-on, with the hit-rate breakdown by tier.
+    {
+        let round = traces.min(100_000);
+        let record_rep = |session: &PmTestSession| {
+            for i in 0..30u64 {
+                let range = ByteRange::with_len(i * 64, 64);
+                session.record(Event::Write(range).here());
+                session.record(Event::Flush(range).here());
+            }
+            session.record(Event::Fence.here());
+            session.is_persist(ByteRange::with_len(0, 64));
+            session.send_trace();
+        };
+        println!("\nverdict-cache decomposition (1 producer, w1/b32, repetitive shape):");
+        let mut uncached_ns = 0.0;
+        for cached in [false, true] {
+            let session = PmTestSession::builder()
+                .workers(1)
+                .batch_capacity(32)
+                .verdict_cache(cached)
+                .build();
+            session.start();
+            for _ in 0..2_000 {
+                record_rep(&session);
+            }
+            assert!(session.take_report().is_clean());
+            let start = Instant::now();
+            for _ in 0..round {
+                record_rep(&session);
+            }
+            assert!(session.take_report().is_clean());
+            let ns = start.elapsed().as_nanos() as f64 / round as f64;
+            let label = if cached { "repetitive, cache on" } else { "repetitive, cache off" };
+            println!("    {label:<40} {ns:>8.1} ns/trace ({:>6.2} M/s)", 1e3 / ns);
+            if cached {
+                println!("    memoization speedup: {:.2}x", uncached_ns / ns);
+                let stats = session.verdict_cache_stats().expect("cache enabled");
+                let lookups =
+                    (stats.l1_hits + stats.l2_hits + stats.misses + stats.bypasses).max(1);
+                let share = |n: u64| 100.0 * n as f64 / lookups as f64;
+                println!(
+                    "    lookups={lookups}: L1 hits {:.2}% | L2 hits {:.2}% | misses {:.2}% \
+                     | bypasses {:.2}% (hit rate {:.4})",
+                    share(stats.l1_hits),
+                    share(stats.l2_hits),
+                    share(stats.misses),
+                    share(stats.bypasses),
+                    stats.hit_rate(),
+                );
+                println!(
+                    "    L2 resident: {} entries, {} bytes ({} inserts, {} evictions)",
+                    stats.entries, stats.bytes_resident, stats.inserts, stats.evictions
+                );
+            } else {
+                uncached_ns = ns;
+            }
+        }
+    }
 }

@@ -13,6 +13,9 @@ use pmtest_trace::{
 };
 
 use crate::bundle::{capture_step, BundleReason, DiagnosisBundle};
+use crate::cache::{
+    CachedVerdict, VerdictCache, VerdictCacheConfig, VerdictCacheStats, WorkerCache,
+};
 use crate::checker::{check_packed_with, packed_clean, CheckerScratch, TraceChecker};
 use crate::diag::{Report, Severity, TraceReport};
 use crate::ingest::{IngestPlane, ProducerRing, WorkerGuard};
@@ -42,6 +45,10 @@ pub struct EngineConfig {
     /// regardless of which worker checked what, so results are reproducible
     /// with or without this knob. It no longer changes scheduling.
     pub deterministic_dispatch: bool,
+    /// The content-addressed verdict cache (see [`crate::cache`]). Off by
+    /// default: the default configuration keeps measuring — and the golden
+    /// suites keep pinning — the uncached path.
+    pub verdict_cache: VerdictCacheConfig,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +59,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             telemetry: TelemetryConfig::off(),
             deterministic_dispatch: false,
+            verdict_cache: VerdictCacheConfig::default(),
         }
     }
 }
@@ -284,6 +292,9 @@ struct Shared {
     /// Checker scratch state (shadow memory, tx scope, interner) recycled
     /// across batches, one instance held per busy worker.
     shadow_pool: ShadowPool,
+    /// Shared L2 of the content-addressed verdict cache; `None` unless
+    /// [`VerdictCacheConfig::enabled`]. Workers keep their L1s privately.
+    verdict_cache: Option<VerdictCache>,
     idle_lock: Mutex<()>,
     idle: Condvar,
     traces_checked: AtomicU64,
@@ -435,6 +446,18 @@ impl Shared {
             &[],
             if acquisitions == 0 { 0.0 } else { recycled as f64 / acquisitions as f64 },
         );
+        if let Some(cache) = &self.verdict_cache {
+            let stats = cache.stats();
+            snap.push_counter("verdict_cache_l1_hits", &[], stats.l1_hits);
+            snap.push_counter("verdict_cache_l2_hits", &[], stats.l2_hits);
+            snap.push_counter("verdict_cache_misses", &[], stats.misses);
+            snap.push_counter("verdict_cache_bypasses", &[], stats.bypasses);
+            snap.push_counter("verdict_cache_inserts", &[], stats.inserts);
+            snap.push_counter("verdict_cache_evictions", &[], stats.evictions);
+            snap.push_gauge("verdict_cache_bytes_resident", &[], stats.bytes_resident as f64);
+            snap.push_gauge("verdict_cache_entries", &[], stats.entries as f64);
+            snap.push_gauge("verdict_cache_hit_rate", &[], stats.hit_rate());
+        }
         let hits = self.explore_share_hits.load(Ordering::Relaxed);
         let misses = self.explore_share_misses.load(Ordering::Relaxed);
         snap.push_counter(
@@ -525,6 +548,10 @@ impl Engine {
             pool: Arc::new(BufferPool::new()),
             arena_pool: Arc::new(ArenaPool::new()),
             shadow_pool: ShadowPool::new(config.workers),
+            verdict_cache: config
+                .verdict_cache
+                .enabled
+                .then(|| VerdictCache::new(&config.verdict_cache)),
             idle_lock: Mutex::new(()),
             idle: Condvar::new(),
             traces_checked: AtomicU64::new(0),
@@ -612,6 +639,15 @@ impl Engine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.shared.stats()
+    }
+
+    /// Counter snapshot of the verdict cache — `None` unless
+    /// [`VerdictCacheConfig::enabled`] was set at construction. Hit tallies
+    /// settle per worker batch, so read after [`wait_idle`](Self::wait_idle)
+    /// for exact counts.
+    #[must_use]
+    pub fn verdict_cache_stats(&self) -> Option<VerdictCacheStats> {
+        self.shared.verdict_cache.as_ref().map(VerdictCache::stats)
     }
 
     /// The typed metric handles shared with sessions (batch-fill histogram,
@@ -957,6 +993,9 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
     let fast = model.builtin();
     let mut resolver = LocResolver::new();
     let mut reports: Vec<TraceReport> = Vec::new();
+    // This worker's verdict-cache front end (fingerprinter + private L1),
+    // present only when the engine carries the shared L2.
+    let mut wcache: Option<WorkerCache> = shared.verdict_cache.as_ref().map(|_| WorkerCache::new());
     // One span buffer per worker (tid = worker index). Registration is the
     // only allocation; with the tracing layer off the sink defers even that,
     // and every record below is one relaxed load and a taken-branch.
@@ -1002,6 +1041,7 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
                     &mut resolver,
                     &mut reports,
                     &mut tally,
+                    wcache.as_mut(),
                 );
                 shared.pool.release(trace.into_packed());
             }
@@ -1019,6 +1059,7 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
                         &mut resolver,
                         &mut reports,
                         &mut tally,
+                        wcache.as_mut(),
                     );
                     shared.pool.release(trace.into_packed());
                 }
@@ -1037,6 +1078,7 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
                         &mut resolver,
                         &mut reports,
                         &mut tally,
+                        wcache.as_mut(),
                     );
                 }
                 shared.arena_pool.release(arena);
@@ -1050,6 +1092,9 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
         shared.telemetry.segmap_repr_switches.add(scratch.take_repr_switch_delta());
         shared.shadow_pool.release(scratch);
         // Batched settlement: one fetch_add per counter per batch.
+        if let (Some(cache), Some(wc)) = (shared.verdict_cache.as_ref(), wcache.as_mut()) {
+            cache.flush_tally(&mut wc.tally);
+        }
         shared.traces_checked.fetch_add(tally.traces, Ordering::Relaxed);
         shared.entries_processed.fetch_add(tally.entries, Ordering::Relaxed);
         shared.diagnostics.fetch_add(tally.diags, Ordering::Relaxed);
@@ -1090,6 +1135,12 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize, model: &Arc<dyn PersistencyMode
 /// All three produce identical diagnostics (the clean lane only ever proves
 /// "none"). Results land in the worker's report buffer and the batch tally.
 ///
+/// With the verdict cache on (and the instrumented lane off — see the
+/// bypass predicate in [`crate::cache`]), the trace is fingerprinted first:
+/// a hit replays the memoized verdict — identical diagnostics, identical
+/// profile deltas — without touching the checker at all, and a miss runs
+/// the normal lanes and memoizes their outcome.
+///
 /// [`CheckerCategory`]: crate::telemetry::CheckerCategory
 #[allow(clippy::too_many_arguments)]
 fn check_span(
@@ -1104,9 +1155,41 @@ fn check_span(
     resolver: &mut LocResolver,
     reports: &mut Vec<TraceReport>,
     tally: &mut BatchTally,
+    wcache: Option<&mut WorkerCache>,
 ) {
     let timing = shared.telemetry.timing;
     let recorder = shared.recorders.get(idx);
+    let profiling = shared.telemetry.profile.is_enabled();
+    // Verdict-cache probe. The bypass predicate is the instrumented lane's
+    // own condition: per-entry timing and flight-recorder capture (incl.
+    // ERROR bundles) must observe every occurrence, so those traces are
+    // checked cold and never cached.
+    let mut cache_slot: Option<(&VerdictCache, &mut WorkerCache, pmtest_trace::TraceFingerprint)> =
+        None;
+    if let (Some(cache), Some(wc)) = (shared.verdict_cache.as_ref(), wcache) {
+        if timing || recorder.is_some() {
+            wc.tally.bypasses += 1;
+        } else {
+            let fp = wc.fingerprint(words);
+            if let Some(verdict) = wc.lookup(cache, fp, profiling) {
+                if profiling {
+                    if let Some((ops, warns)) = &verdict.profile {
+                        shared.telemetry.profile.record_trace(ops, warns);
+                    }
+                }
+                let diags = verdict.diags.clone();
+                tally.traces += 1;
+                tally.entries += u64::from(entries);
+                tally.diags += diags.len() as u64;
+                for diag in &diags {
+                    shared.telemetry.diag_counter(diag.kind).inc();
+                }
+                reports.push(TraceReport { trace_id, diags });
+                return;
+            }
+            cache_slot = Some((cache, wc, fp));
+        }
+    }
     let diags = if timing || recorder.is_some() {
         let started = Instant::now();
         let fused = fast.is_some();
@@ -1161,7 +1244,20 @@ fn check_span(
             }
         }
     }
-    if shared.telemetry.profile.is_enabled() {
+    if let Some((cache, wc, fp)) = cache_slot {
+        // Cache miss: memoize the cold check's full verdict. The profile
+        // deltas are computed once and double as this trace's own profile
+        // fold, so a profiled miss pays the walk exactly as often as the
+        // uncached path does.
+        let profile = if profiling {
+            let deltas = crate::telemetry::profile_deltas(words, resolver, &diags);
+            shared.telemetry.profile.record_trace(&deltas.0, &deltas.1);
+            Some(deltas)
+        } else {
+            None
+        };
+        wc.install(cache, fp, CachedVerdict::new(diags.clone(), profile));
+    } else if profiling {
         crate::telemetry::profile_span(&shared.telemetry.profile, words, resolver, &diags);
     }
     tally.traces += 1;

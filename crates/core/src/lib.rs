@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod bundle;
+pub mod cache;
 mod checker;
 pub mod compose;
 mod diag;
@@ -80,6 +81,7 @@ mod shadow;
 pub mod telemetry;
 
 pub use bundle::{op_token, BundleReason, DiagnosisBundle};
+pub use cache::{VerdictCacheConfig, VerdictCacheStats};
 pub use checker::{
     check_packed_with, check_trace, check_trace_with, packed_clean, CheckerScratch, TraceChecker,
 };

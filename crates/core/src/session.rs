@@ -108,7 +108,7 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
         slots.last = (shared.id, slots.list.len());
         slots.list.push(Slot {
             session: shared.id,
-            arena: TraceArena::new(),
+            arena: shared.prewarmed_arena(),
             span: shared.producer_span(),
             shared: Arc::downgrade(shared),
         });
@@ -150,6 +150,13 @@ fn with_slot<R>(shared: &Arc<SessionShared>, f: impl FnOnce(&mut Slot) -> R) -> 
 /// [`flush`](Self::flush). Results are identical either way; only submission
 /// granularity changes.
 ///
+/// The thread-exit flush runs in a thread-local destructor. Note that
+/// `std::thread::scope` unblocks when the spawned *closures* return, which
+/// is before TLS destructors run — so a report taken right after a bare
+/// `scope` can race a still-flushing exiting thread. Join the
+/// `ScopedJoinHandle`s explicitly (a real OS-thread join, which waits for
+/// destructors) or call [`flush`](Self::flush) at the end of the closure.
+///
 /// # Examples
 ///
 /// ```
@@ -178,9 +185,41 @@ struct SessionShared {
     next_trace: AtomicU64,
     batch_capacity: usize,
     vars: Mutex<HashMap<String, ByteRange>>,
+    /// Arenas pre-released into the engine's pool so far, bounding the
+    /// per-producer pre-warm at [`PREWARM_MAX_ARENAS`] per session.
+    prewarmed: AtomicU64,
 }
 
+/// Session-wide cap on pre-warmed arenas — the pool's own retention cap
+/// (8 shards × 64 items), past which releases would be dropped anyway.
+const PREWARM_MAX_ARENAS: u64 = 512;
+
 impl SessionShared {
+    /// Pre-warms the engine's arena pool for one new producer thread and
+    /// draws the thread's initial recording arena from it.
+    ///
+    /// A producer keeps `queue_capacity + 1` arenas in flight once its ring
+    /// backs up (one per queued batch, plus the one it records into), so a
+    /// cold pool mints exactly that many `pool_fresh` arenas per thread
+    /// before recycling takes over. Releasing them up front — pre-sized so
+    /// the pool's retention check keeps them and the first batches record
+    /// without slab growth — moves those misses off the steady-state rate:
+    /// the committed w4/b32 `pool_hit_rate` was 0.79 without this, ≥0.9
+    /// with it (asserted in the engine stress test).
+    fn prewarmed_arena(&self) -> TraceArena {
+        let pool = self.engine.arena_pool();
+        let per_producer = self.engine.queue_capacity() as u64 + 1;
+        // ~8 packed words per trace of headroom, clamped to the pool's
+        // per-item retention cap.
+        let words = (self.batch_capacity * 8).clamp(16, 4096);
+        for _ in 0..per_producer {
+            if self.prewarmed.fetch_add(1, Ordering::Relaxed) >= PREWARM_MAX_ARENAS {
+                break;
+            }
+            pool.release(TraceArena::with_word_capacity(words));
+        }
+        pool.acquire()
+    }
     /// Ships one completed per-thread batch arena to the engine, recording
     /// its fill level and why it flushed (`session_flush_total{cause=…}`).
     /// With batching off (capacity 1) every trace ships the moment it is
@@ -308,6 +347,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the content-addressed verdict cache (default: off): repeated
+    /// trace shapes are fingerprinted and their memoized verdict — same
+    /// diagnostics, same profile deltas — replayed at hash-lookup cost. See
+    /// [`crate::cache`] for the bypass predicate and memory bound.
+    #[must_use]
+    pub fn verdict_cache(mut self, on: bool) -> Self {
+        self.config.verdict_cache.enabled = on;
+        self
+    }
+
+    /// Sets the verdict cache's resident-byte bound (default: 32 MiB).
+    /// Implies nothing about [`verdict_cache`](Self::verdict_cache) — the
+    /// cache must still be enabled explicitly.
+    #[must_use]
+    pub fn verdict_cache_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.config.verdict_cache.max_bytes = max_bytes;
+        self
+    }
+
     /// Spawns the engine and returns the session (tracking starts *disabled*;
     /// call [`PmTestSession::start`]).
     #[must_use]
@@ -324,6 +382,7 @@ impl SessionBuilder {
                 next_trace: AtomicU64::new(0),
                 batch_capacity: self.batch_capacity,
                 vars: Mutex::new(HashMap::new()),
+                prewarmed: AtomicU64::new(0),
             }),
         }
     }
@@ -447,6 +506,13 @@ impl PmTestSession {
     #[must_use]
     pub fn pool_stats(&self) -> pmtest_trace::PoolStats {
         self.shared.engine.arena_pool().stats()
+    }
+
+    /// Counter snapshot of the engine's verdict cache — `None` unless
+    /// [`SessionBuilder::verdict_cache`] enabled it.
+    #[must_use]
+    pub fn verdict_cache_stats(&self) -> Option<crate::cache::VerdictCacheStats> {
+        self.shared.engine.verdict_cache_stats()
     }
 
     /// The per-producer ring depth the engine was built with — explicit if
@@ -990,16 +1056,24 @@ mod tests {
         let session = PmTestSession::builder().batch_capacity(64).workers(2).build();
         session.start();
         std::thread::scope(|s| {
-            for _ in 0..4 {
-                let session = session.clone();
-                s.spawn(move || {
-                    session.thread_init();
-                    for _ in 0..10 {
-                        record_clean_trace(&session);
-                    }
-                    // Batch (10 < 64) still pending here; the thread-local
-                    // slot's Drop must ship it on thread exit.
-                });
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let session = session.clone();
+                    s.spawn(move || {
+                        session.thread_init();
+                        for _ in 0..10 {
+                            record_clean_trace(&session);
+                        }
+                        // Batch (10 < 64) still pending here; the thread-local
+                        // slot's Drop must ship it on thread exit.
+                    })
+                })
+                .collect();
+            // Join each handle explicitly: the scope exit itself only waits
+            // for the closures to return, which happens *before* TLS
+            // destructors — and the drop-flush under test runs in one.
+            for h in handles {
+                h.join().unwrap();
             }
         });
         let report = session.finish();
@@ -1116,6 +1190,42 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.batches_submitted, 3, "capacity 1 submits immediately");
         assert_eq!(stats.traces_submitted, 3);
+    }
+
+    #[test]
+    fn batched_sessions_with_many_threads_keep_the_pool_warm() {
+        // Stress shape: many producer threads shipping many batches each.
+        // The per-producer pre-warm (queue_capacity + 1 arenas released at
+        // slot creation) must hold the arena pool hit rate at steady-state
+        // levels from the first batch — this was 0.79 cold at w4/b32.
+        let session =
+            PmTestSession::builder().workers(4).batch_capacity(16).queue_capacity(8).build();
+        session.start();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let session = session.clone();
+                    s.spawn(move || {
+                        session.thread_init();
+                        for _ in 0..100 {
+                            record_clean_trace(&session);
+                        }
+                        session.flush();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let report = session.finish();
+        assert_eq!(report.traces().len(), 600, "no trace lost under stress");
+        assert!(report.is_clean());
+        let pool = session.pool_stats();
+        assert!(
+            pool.hit_rate() >= 0.9,
+            "pre-warmed arena pool must serve >=90% of acquires: {pool:?}"
+        );
     }
 
     #[test]

@@ -514,6 +514,18 @@ pub(crate) fn profile_span(
     resolver: &mut LocResolver,
     diags: &[Diag],
 ) {
+    let (ops, warns) = profile_deltas(words, resolver, diags);
+    store.record_trace(&ops, &warns);
+}
+
+/// The profiling walk of [`profile_span`], separated from the store fold so
+/// the verdict cache can capture (and later replay) a trace's deltas: both
+/// vectors' keys are `'static`, making the pair storable verbatim.
+pub(crate) fn profile_deltas(
+    words: &[PackedEntry],
+    resolver: &mut LocResolver,
+    diags: &[Diag],
+) -> crate::cache::ProfileDeltas {
     let mut sites: std::collections::BTreeMap<(&'static str, u32), SiteDelta> =
         std::collections::BTreeMap::new();
     // Shadow sets mirroring the checker's redundancy view: what has been
@@ -588,7 +600,7 @@ pub(crate) fn profile_span(
         .filter(|d| d.severity() == Severity::Warn)
         .map(|d| ((d.loc.file(), d.loc.line()), d.kind.code()))
         .collect();
-    store.record_trace(&ops, &warns);
+    (ops, warns)
 }
 
 /// A one-line human summary of an engine snapshot — traces checked, check
@@ -633,6 +645,21 @@ pub fn summary_line(snap: &TelemetrySnapshot) -> String {
             snap.counter_sum("advisor_suggestions"),
             snap.counter_sum("profile_wasted_persist_bytes"),
             snap.counter_sum("profile_redundant_fences"),
+        ));
+    }
+    // Presence of the miss counter marks a cache-enabled engine (all-zero
+    // counters on an idle cached engine still print, deliberately).
+    if snap.counter("verdict_cache_misses").is_some() {
+        let l1 = snap.counter_sum("verdict_cache_l1_hits");
+        let l2 = snap.counter_sum("verdict_cache_l2_hits");
+        line.push_str(&format!(
+            "\nverdict cache: {:.1}% hit rate ({l1} L1 / {l2} L2), {} miss(es), \
+             {} bypassed, {} eviction(s), {} bytes resident",
+            snap.gauge("verdict_cache_hit_rate").unwrap_or(0.0) * 100.0,
+            snap.counter_sum("verdict_cache_misses"),
+            snap.counter_sum("verdict_cache_bypasses"),
+            snap.counter_sum("verdict_cache_evictions"),
+            snap.gauge("verdict_cache_bytes_resident").unwrap_or(0.0) as u64,
         ));
     }
     let events_dropped = snap.counter_sum("engine_events_dropped");

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use pmtest_core::{
     Engine, EngineConfig, HopsModel, PersistencyModel, Report, SubmitError, TelemetryConfig,
-    X86Model,
+    VerdictCacheConfig, X86Model,
 };
 use pmtest_pmem::crash::CrashSim;
 use pmtest_trace::Trace;
@@ -108,6 +108,38 @@ pub fn run_with_model(
 /// Returns [`SubmitError`] if the engine stopped accepting traces.
 pub fn run_engine(program: &Program, run: EngineRun, replicas: u64) -> Result<Report, SubmitError> {
     run_with_model(program, model_for(program.dialect), run, replicas)
+}
+
+/// Builds a matrix-cell engine with the verdict cache enabled — identical
+/// to [`build_engine`] otherwise, for cache-on/off equivalence sweeps.
+#[must_use]
+pub fn build_engine_cached(model: Arc<dyn PersistencyModel>, run: EngineRun) -> Engine {
+    Engine::new(EngineConfig {
+        model,
+        workers: run.workers,
+        queue_capacity: 64,
+        deterministic_dispatch: true,
+        verdict_cache: VerdictCacheConfig { enabled: true, ..VerdictCacheConfig::default() },
+        ..EngineConfig::default()
+    })
+}
+
+/// Like [`run_engine`], but with the verdict cache enabled. The replica
+/// scheme guarantees hits: replicas 2..N of every trace share replica 1's
+/// fingerprint, so any cache-induced divergence shows up as a report
+/// mismatch against the uncached run.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] if the engine stopped accepting traces.
+pub fn run_engine_cached(
+    program: &Program,
+    run: EngineRun,
+    replicas: u64,
+) -> Result<Report, SubmitError> {
+    let engine = build_engine_cached(model_for(program.dialect), run);
+    submit_replicas(&engine, program, run.batch_capacity, replicas, 0)?;
+    Ok(engine.shutdown())
 }
 
 /// The reports of one program across the engine matrix.

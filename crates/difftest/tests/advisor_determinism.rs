@@ -27,6 +27,7 @@ fn advisor_json(program: &Program, workers: usize, batch_capacity: usize) -> Str
         queue_capacity: 64,
         deterministic_dispatch: true,
         telemetry: TelemetryConfig::profiling_only(),
+        ..EngineConfig::default()
     });
     submit_replicas(&engine, program, batch_capacity, REPLICAS, 0).expect("submit replicas");
     engine.wait_idle();

@@ -84,6 +84,18 @@ impl TraceArena {
         Self::default()
     }
 
+    /// Creates an empty arena whose word buffer is pre-sized to `words`
+    /// records. Pre-warmed pool arenas use this so the first batches through
+    /// a fresh pool record without slab growth — and so the pool's
+    /// retention check (which drops zero-capacity items) keeps them.
+    #[must_use]
+    pub fn with_word_capacity(words: usize) -> Self {
+        let mut arena = Self::default();
+        arena.words.reserve_exact(words);
+        arena.last_word_cap = arena.words.capacity();
+        arena
+    }
+
     /// Encodes one entry into the open region.
     #[inline]
     pub fn push(&mut self, entry: Entry) {

@@ -48,7 +48,10 @@ mod stats;
 pub use arena::{ArenaStats, TraceArena, TraceSpan};
 pub use event::{Entry, Event, EventKind, SourceLoc, Trace};
 pub use loc::{LocId, LocInterner};
-pub use packed::{InternStats, LocResolver, PackedEntry, PackedOp, PACKED_ENTRY_BYTES};
+pub use packed::{
+    Fingerprinter, InternStats, LocResolver, PackedEntry, PackedOp, TraceFingerprint,
+    PACKED_ENTRY_BYTES,
+};
 pub use pool::{ArenaPool, BufferPool, PoolItem, PoolStats, RecyclePool};
 pub use recorder::{FlightRecorder, IntervalNote, StepRecord};
 pub use sink::{CountingSink, MemorySink, NullSink, SharedSink, Sink};

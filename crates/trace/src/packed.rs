@@ -435,6 +435,110 @@ pub fn decode_all(words: &[PackedEntry]) -> Vec<Entry> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Trace fingerprinting
+// ---------------------------------------------------------------------------
+
+/// A stable 128-bit content fingerprint of a packed record stream.
+///
+/// Two streams fingerprint equal exactly when they encode the same event
+/// sequence — same opcodes, same range words, same *source sites* — in the
+/// same order. The key is run-stable: interned location ids are folded in
+/// via a content hash of the site (file bytes + line), never via the raw id,
+/// so the fingerprint does not depend on the order sites happened to be
+/// interned in this process. That makes it safe to key caches that must
+/// agree across runs, dialects, and worker schedules.
+///
+/// Collisions are not adversarially hard — this is a 128-bit mixing hash,
+/// not a MAC — but accidental collision probability is ~2⁻¹²⁸ per pair,
+/// negligible against any realistic trace population.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl TraceFingerprint {
+    /// The fingerprint as one 128-bit integer (for map keys / sharding).
+    #[must_use]
+    pub fn as_u128(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+/// One round of the splitmix64 finalizer — full-avalanche 64→64 mixing.
+#[inline]
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Run-stable 64-bit hash of a source site: FNV-1a over the file bytes,
+/// line folded in, finished with a splitmix round. Equal file/line content
+/// hashes equal regardless of `&'static str` pointer identity or intern
+/// order.
+#[must_use]
+pub fn site_hash(loc: SourceLoc) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in loc.file().as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h ^ (u64::from(loc.line()) << 1))
+}
+
+/// Computes [`TraceFingerprint`]s over packed record streams.
+///
+/// Owns a per-id mirror of site hashes (the global location table is
+/// append-only, so the mirror only ever extends), keeping the table's read
+/// lock off the per-record path: steady-state fingerprinting is an indexed
+/// load plus a few arithmetic rounds per record.
+#[derive(Debug, Default)]
+pub struct Fingerprinter {
+    site_hashes: Vec<u64>,
+}
+
+impl Fingerprinter {
+    /// Creates a fingerprinter with an empty site-hash mirror.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The run-stable hash for an interned id, refreshing the mirror from
+    /// the global table when the id is newer than anything seen so far.
+    #[inline]
+    fn id_hash(&mut self, id: u32) -> u64 {
+        let idx = id as usize;
+        if idx >= self.site_hashes.len() {
+            let table = global().table.read();
+            self.site_hashes.extend(table[self.site_hashes.len()..].iter().map(|&l| site_hash(l)));
+        }
+        self.site_hashes[idx]
+    }
+
+    /// Fingerprints one packed record stream.
+    ///
+    /// Two cross-coupled 64-bit lanes, three mixing rounds per record over
+    /// (opcode ⊕ site hash, range start, range end), record count folded
+    /// into the finalizer so a prefix never collides with its extension.
+    #[must_use]
+    pub fn fingerprint(&mut self, words: &[PackedEntry]) -> TraceFingerprint {
+        let mut a = 0x243f_6a88_85a3_08d3u64; // distinct lane seeds (pi digits)
+        let mut b = 0x1319_8a2e_0370_7344u64;
+        for rec in words {
+            let k = self.id_hash(rec.loc_id()) ^ (rec.meta & 0xff);
+            a = splitmix64(a ^ k);
+            b = splitmix64(b ^ rec.hi ^ a);
+            a = splitmix64(a ^ rec.lo);
+        }
+        a = splitmix64(a ^ words.len() as u64);
+        b = splitmix64(b ^ a.rotate_left(31));
+        TraceFingerprint { hi: b, lo: a }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +605,66 @@ mod tests {
         assert_eq!(resolver.resolve(a).line(), 1);
         let b = intern_loc(SourceLoc::new("late.rs", 2));
         assert_eq!(resolver.resolve(b), SourceLoc::new("late.rs", 2));
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let loc = SourceLoc::new("fp.rs", 1);
+        let encode = |events: &[Event]| {
+            let mut buf = Vec::new();
+            for &e in events {
+                encode_into(&mut buf, e.at(loc));
+            }
+            buf
+        };
+        let base = encode(&[Event::Write(r(0, 8)), Event::Flush(r(0, 8)), Event::Fence]);
+        let mut fp = Fingerprinter::new();
+        let f0 = fp.fingerprint(&base);
+        // Same stream, same fingerprint — including from a fresh mirror.
+        assert_eq!(Fingerprinter::new().fingerprint(&base), f0);
+        // Any content change — opcode, range word, order, length — differs.
+        let op = encode(&[Event::Write(r(0, 8)), Event::Flush(r(0, 8)), Event::OFence]);
+        let range = encode(&[Event::Write(r(0, 9)), Event::Flush(r(0, 8)), Event::Fence]);
+        let order = encode(&[Event::Flush(r(0, 8)), Event::Write(r(0, 8)), Event::Fence]);
+        let longer =
+            encode(&[Event::Write(r(0, 8)), Event::Flush(r(0, 8)), Event::Fence, Event::Fence]);
+        for other in [&op, &range, &order, &longer] {
+            assert_ne!(fp.fingerprint(other), f0);
+        }
+        // A prefix never collides with its extension.
+        assert_ne!(fp.fingerprint(&base[..2]), f0);
+        // The empty stream is a fixed, non-degenerate value.
+        assert_eq!(fp.fingerprint(&[]), Fingerprinter::new().fingerprint(&[]));
+        assert_ne!(fp.fingerprint(&[]).as_u128(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_source_sites_not_intern_ids() {
+        // Same event stream from a different source site: different key.
+        let mk = |loc: SourceLoc| {
+            let mut buf = Vec::new();
+            encode_into(&mut buf, Event::Write(r(0, 8)).at(loc));
+            buf
+        };
+        let mut fp = Fingerprinter::new();
+        let a = fp.fingerprint(&mk(SourceLoc::new("site_a.rs", 7)));
+        let b = fp.fingerprint(&mk(SourceLoc::new("site_b.rs", 7)));
+        let a_line = fp.fingerprint(&mk(SourceLoc::new("site_a.rs", 8)));
+        assert_ne!(a, b);
+        assert_ne!(a, a_line);
+        assert_eq!(a, fp.fingerprint(&mk(SourceLoc::new("site_a.rs", 7))));
+    }
+
+    #[test]
+    fn site_hash_is_content_stable() {
+        // Equal file/line content hashes equal even across distinct string
+        // allocations — the property that makes fingerprints run-stable
+        // (intern ids assigned in a different order hash the same).
+        let heap_a: &'static str = Box::leak(String::from("stable_site.rs").into_boxed_str());
+        let heap_b: &'static str = Box::leak(String::from("stable_site.rs").into_boxed_str());
+        assert!(!std::ptr::eq(heap_a, heap_b));
+        assert_eq!(site_hash(SourceLoc::new(heap_a, 3)), site_hash(SourceLoc::new(heap_b, 3)));
+        assert_ne!(site_hash(SourceLoc::new(heap_a, 3)), site_hash(SourceLoc::new(heap_a, 4)));
     }
 
     #[test]
